@@ -1,0 +1,146 @@
+//! **Figure 4 reproduction** — per-program compile+analysis time over the
+//! utility suite with 2–10 bytes of symbolic input at `-O0`, `-O3` and
+//! `-OSYMBEX`, under a per-run budget (the paper's 1-hour timeout analog).
+//!
+//! The paper's figure shows, per program (sorted), the time of the faster
+//! of {-O3, -OSYMBEX} (yellow), the time gained by -OSYMBEX over -O3
+//! (blue, right side) and the time -O3 wins back (red, left side). We print
+//! the same series as an ASCII bar chart plus the headline numbers:
+//! average total-time reduction vs -O3 and vs -O0, maximum speedup factor,
+//! and the programs that only finish under -OSYMBEX.
+//!
+//! Knobs: `OVERIFY_SYM_BYTES_LIST` (default `2,3,4`; the paper uses 2..10),
+//! `OVERIFY_BUDGET`, `OVERIFY_TIMEOUT_SECS`, `OVERIFY_UTILITIES`.
+
+use overify::OptLevel;
+use overify_bench::{build_utility, env_list, selected_utilities, suite_config};
+use std::time::Duration;
+
+struct Outcome {
+    name: &'static str,
+    /// Total compile+analysis time per level, and whether every sweep run
+    /// finished within budget.
+    t: [Duration; 3],
+    finished: [bool; 3],
+    bugs: [usize; 3],
+}
+
+fn main() {
+    let bytes = env_list("OVERIFY_SYM_BYTES_LIST", &[2, 3, 4]);
+    let utilities = selected_utilities();
+    let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+
+    println!(
+        "# Figure 4: {} utilities x {{-O0,-O3,-OSYMBEX}} x {:?} symbolic bytes",
+        utilities.len(),
+        bytes
+    );
+    println!("# per-run budget: see OVERIFY_BUDGET / OVERIFY_TIMEOUT_SECS\n");
+
+    let mut outcomes = Vec::new();
+    for u in &utilities {
+        let mut t = [Duration::ZERO; 3];
+        let mut finished = [true; 3];
+        let mut bugs = [0usize; 3];
+        for (li, level) in levels.into_iter().enumerate() {
+            let start = std::time::Instant::now();
+            let prog = build_utility(u, level);
+            for &n in &bytes {
+                let report = overify::verify_program(&prog, "umain", &suite_config(n));
+                finished[li] &= report.exhausted;
+                bugs[li] = bugs[li].max(report.bug_signature().len());
+            }
+            t[li] = start.elapsed();
+        }
+        println!(
+            "{:<14} O0 {:>9.2?}{} O3 {:>9.2?}{} OSYMBEX {:>9.2?}{}",
+            u.name,
+            t[0],
+            if finished[0] { " " } else { "*" },
+            t[1],
+            if finished[1] { " " } else { "*" },
+            t[2],
+            if finished[2] { " " } else { "*" },
+        );
+        outcomes.push(Outcome {
+            name: u.name,
+            t,
+            finished,
+            bugs,
+        });
+    }
+
+    // The figure's series: per program, min(t3, tv), and the gain of one
+    // over the other; sorted so OSYMBEX wins grow to the right.
+    let mut series: Vec<(&str, f64, f64)> = outcomes
+        .iter()
+        .map(|o| {
+            let t3 = o.t[1].as_secs_f64();
+            let tv = o.t[2].as_secs_f64();
+            (o.name, t3.min(tv), t3 - tv) // Positive = OSYMBEX gain.
+        })
+        .collect();
+    series.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+
+    println!(
+        "\n# series (sorted by OSYMBEX gain; log scale: '#' faster-of-two, \
+         '+' OSYMBEX gain, '-' O3 gain)"
+    );
+    // Log-scale widths so milliseconds and seconds are both visible.
+    let log_w = |secs: f64| -> usize {
+        if secs <= 0.0 {
+            return 0;
+        }
+        // 1 ms -> 1 char, each 10x -> +8 chars.
+        ((secs.log10() + 3.0) * 8.0).max(0.0).round() as usize
+    };
+    for (name, base, gain) in &series {
+        let total_w = log_w(base + gain.abs());
+        let base_w = log_w(*base).min(total_w);
+        let gain_w = total_w - base_w;
+        let bar = if *gain >= 0.0 {
+            format!("{}{}", "#".repeat(base_w), "+".repeat(gain_w))
+        } else {
+            format!("{}{}", "#".repeat(base_w), "-".repeat(gain_w))
+        };
+        println!("{name:<14} {bar}");
+    }
+
+    // Headline numbers.
+    let total = |i: usize| -> f64 { outcomes.iter().map(|o| o.t[i].as_secs_f64()).sum() };
+    let (t0, t3, tv) = (total(0), total(1), total(2));
+    let max_speedup = outcomes
+        .iter()
+        .map(|o| o.t[1].as_secs_f64() / o.t[2].as_secs_f64().max(1e-9))
+        .fold(0.0f64, f64::max);
+    let only_osymbex = outcomes
+        .iter()
+        .filter(|o| o.finished[2] && (!o.finished[0] || !o.finished[1]))
+        .count();
+    println!("\n# summary");
+    println!(
+        "total time      -O0 {t0:.2}s   -O3 {t3:.2}s   -OSYMBEX {tv:.2}s"
+    );
+    println!(
+        "avg reduction   {:.0}% vs -O3, {:.0}% vs -O0 (paper: 58% / 63%)",
+        (1.0 - tv / t3) * 100.0,
+        (1.0 - tv / t0) * 100.0
+    );
+    println!("max speedup     {max_speedup:.1}x vs -O3 (paper: up to 95x overall)");
+    println!(
+        "budget-limited runs completing only under -OSYMBEX: {only_osymbex} \
+         (paper: 6 vs -O3, 11 vs -O0)"
+    );
+
+    // Bug preservation (paper: all bugs found at -O0/-O3 also found at
+    // -OSYMBEX).
+    for o in &outcomes {
+        assert!(
+            o.bugs[2] >= o.bugs[0].max(o.bugs[1]),
+            "{}: -OSYMBEX missed bugs ({:?})",
+            o.name,
+            o.bugs
+        );
+    }
+    println!("bug preservation: -OSYMBEX found every bug the baselines found");
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the substrates: front-end, pipeline,
+//! solver layers and the concrete interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overify::{BuildOptions, OptLevel};
+use overify_bench::{wc_text, WC_SOURCE};
+use overify_ir::CmpPred;
+use overify_symex::{ExprPool, Solver};
+
+fn bench_frontend(c: &mut Criterion) {
+    // The raw front-end needs the libc prototypes wc calls.
+    let wc_with_decls = format!("{}\n{}", overify_libc::DECLARATIONS, WC_SOURCE);
+    c.bench_function("frontend/compile_wc", |b| {
+        b.iter(|| overify_lang::compile(std::hint::black_box(&wc_with_decls)).unwrap())
+    });
+    let libc = overify_libc::libc_source(overify::LibcVariant::Native);
+    c.bench_function("frontend/compile_native_libc", |b| {
+        b.iter(|| overify_lang::compile(std::hint::black_box(&libc)).unwrap())
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    for level in [OptLevel::O2, OptLevel::O3, OptLevel::Overify] {
+        c.bench_function(&format!("pipeline/wc_at_{}", level.name()), |b| {
+            b.iter(|| overify::compile(WC_SOURCE, &BuildOptions::level(level)).unwrap())
+        });
+    }
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/range_query_8bit", |b| {
+        b.iter(|| {
+            let mut pool = ExprPool::new();
+            let mut s = Solver::default();
+            let x = pool.fresh_sym(8);
+            let a = pool.constant(8, 10);
+            let bb = pool.constant(8, 200);
+            let c1 = pool.cmp(CmpPred::Ugt, x, a);
+            let c2 = pool.cmp(CmpPred::Ult, x, bb);
+            s.check(&pool, &[c1, c2])
+        })
+    });
+    c.bench_function("solver/multiply_equation_8bit", |b| {
+        b.iter(|| {
+            let mut pool = ExprPool::new();
+            let mut s = Solver::default();
+            let x = pool.fresh_sym(8);
+            let k = pool.constant(8, 13);
+            let m = pool.bin(overify_ir::BinOp::Mul, x, k);
+            let t = pool.constant(8, 17);
+            let c1 = pool.cmp(CmpPred::Eq, m, t);
+            s.check(&pool, &[c1])
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let prog = overify::compile(WC_SOURCE, &BuildOptions::level(OptLevel::O3)).unwrap();
+    let text = wc_text(4096);
+    c.bench_function("interp/wc_o3_4k_text", |b| {
+        b.iter(|| {
+            overify::run_program(
+                &prog,
+                "wc",
+                std::hint::black_box(&text),
+                &[1],
+                &overify::ExecConfig::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_pipeline, bench_solver, bench_interp
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! **Table 1 reproduction** — the `wc` case study.
+//!
+//! Paper (6.10-era KLEE on x86, strings up to 10 chars):
+//!
+//! ```text
+//! Optimization   -O0      -O2     -O3   -OVERIFY
+//! tverify [ms]   13,126   8,079   736   49
+//! tcompile [ms]  38       42      43    44
+//! trun [ms]      3,318    704     694   1,827
+//! # instructions 896,853  480,229 37,829 312
+//! # paths        30,537   30,537  2,045  11
+//! ```
+//!
+//! We reproduce the *shape*: paths identical at -O0/-O2, reduced at -O3,
+//! linear at -OVERIFY; verification time and interpreted instructions
+//! collapse; concrete run time is minimized by -O3, NOT by -OVERIFY.
+//!
+//! `OVERIFY_SYM_BYTES` (default 6) selects the symbolic string length; 10
+//! matches the paper but multiplies -O0 time considerably.
+
+use overify::{compile, BuildOptions, ExecConfig, OptLevel, SymArg, SymConfig};
+use overify_bench::{env_u64, wc_text, WC_SOURCE};
+
+fn main() {
+    let n = env_u64("OVERIFY_SYM_BYTES", 6) as usize;
+    let text = wc_text(8192);
+    let levels = [OptLevel::O0, OptLevel::O2, OptLevel::O3, OptLevel::Overify];
+
+    println!("# Table 1: exhaustively exploring wc with {n} symbolic bytes");
+    println!("# (paper used 10 bytes; set OVERIFY_SYM_BYTES=10 to match)\n");
+
+    struct Row {
+        level: &'static str,
+        tverify: f64,
+        tcompile: f64,
+        trun_cycles: u64,
+        instructions: u64,
+        paths: u64,
+        static_size: usize,
+    }
+    let mut rows = Vec::new();
+    for level in levels {
+        let prog = compile(WC_SOURCE, &BuildOptions::level(level)).expect("wc compiles");
+        let report = overify::verify_program(
+            &prog,
+            "wc",
+            &SymConfig {
+                input_bytes: n,
+                pass_len_arg: false,
+                extra_args: vec![SymArg::Symbolic],
+                ..Default::default()
+            },
+        );
+        assert!(report.exhausted, "{level}: must complete");
+        assert!(report.bugs.is_empty());
+        let run = overify::run_program(&prog, "wc", &text, &[1], &ExecConfig::default());
+        rows.push(Row {
+            level: level.name(),
+            tverify: report.time.as_secs_f64() * 1e3,
+            tcompile: prog.compile_time.as_secs_f64() * 1e3,
+            trun_cycles: run.cycles,
+            instructions: report.instructions,
+            paths: report.total_paths(),
+            static_size: prog.size(),
+        });
+    }
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "Optimization", rows[0].level, rows[1].level, rows[2].level, rows[3].level
+    );
+    let cell =
+        |f: &dyn Fn(&Row) -> String| -> String {
+            format!(
+                "{:<16} {:>10} {:>10} {:>10} {:>10}",
+                "",
+                f(&rows[0]),
+                f(&rows[1]),
+                f(&rows[2]),
+                f(&rows[3])
+            )
+        };
+    println!(
+        "tverify [ms]    {}",
+        cell(&|r: &Row| format!("{:.1}", r.tverify)).trim_start()
+    );
+    println!(
+        "tcompile [ms]   {}",
+        cell(&|r: &Row| format!("{:.1}", r.tcompile)).trim_start()
+    );
+    println!(
+        "trun [cycles]   {}",
+        cell(&|r: &Row| r.trun_cycles.to_string()).trim_start()
+    );
+    println!(
+        "# instructions  {}",
+        cell(&|r: &Row| r.instructions.to_string()).trim_start()
+    );
+    println!(
+        "# paths         {}",
+        cell(&|r: &Row| r.paths.to_string()).trim_start()
+    );
+    println!(
+        "static size     {}",
+        cell(&|r: &Row| r.static_size.to_string()).trim_start()
+    );
+
+    // Shape assertions (the claims the paper makes).
+    assert_eq!(rows[0].paths, rows[1].paths, "O0 and O2 paths identical");
+    assert!(rows[2].paths < rows[1].paths, "O3 cuts paths");
+    assert!(rows[3].paths < rows[2].paths, "OVERIFY cuts paths further");
+    assert!(rows[3].paths as usize <= 2 * (n + 1), "OVERIFY paths are linear");
+    assert!(rows[3].tverify < rows[0].tverify, "verification got faster");
+    assert!(
+        rows[3].trun_cycles > rows[2].trun_cycles,
+        "OVERIFY executes slower than O3 on a CPU"
+    );
+    let speedup = rows[0].tverify / rows[3].tverify;
+    println!("\nverification speedup -O0 -> -OVERIFY: {speedup:.0}x");
+    println!("shape checks passed: paths O0==O2>O3>OVERIFY(linear); trun O3<OVERIFY");
+}

@@ -1,0 +1,140 @@
+//! Shared harness code for the reproduction benches.
+//!
+//! Every `cargo bench` target in this crate regenerates one table or figure
+//! of the paper (or an ablation of a design choice), printing the same rows
+//! or series the paper reports. Budgets are deterministic (instruction
+//! counts) plus a wall-clock cap, so the Figure 4 "timeout" phenomenon is
+//! reproducible.
+//!
+//! Environment knobs (all optional):
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `OVERIFY_SYM_BYTES` | per-bench | symbolic input bytes |
+//! | `OVERIFY_BUDGET` | `10_000_000` | interpreted-instruction budget per run |
+//! | `OVERIFY_TIMEOUT_SECS` | `30` | wall-clock cap per run |
+//! | `OVERIFY_UTILITIES` | all | comma-separated subset of the suite |
+
+use overify::{BuildOptions, CompiledProgram, OptLevel, SymConfig, VerificationReport};
+use overify_coreutils::Utility;
+use std::time::Duration;
+
+/// Reads an env var with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a comma-separated usize list.
+pub fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Compiles a suite utility at a level with that level's default libc.
+pub fn build_utility(u: &Utility, level: OptLevel) -> CompiledProgram {
+    let opts = BuildOptions::level(level);
+    let start = std::time::Instant::now();
+    let mut module =
+        overify_coreutils::compile_utility(u, opts.resolved_libc()).expect("utility compiles");
+    let stats = overify::build::compile_module(&mut module, &opts);
+    CompiledProgram {
+        module,
+        stats,
+        level,
+        libc: Some(opts.resolved_libc()),
+        compile_time: start.elapsed(),
+    }
+}
+
+/// The default verification configuration for suite runs.
+pub fn suite_config(input_bytes: usize) -> SymConfig {
+    SymConfig {
+        input_bytes,
+        pass_len_arg: true,
+        max_instructions: env_u64("OVERIFY_BUDGET", 10_000_000),
+        timeout: Duration::from_secs(env_u64("OVERIFY_TIMEOUT_SECS", 30)),
+        ..Default::default()
+    }
+}
+
+/// Verifies a compiled utility with the suite configuration.
+pub fn verify_utility(prog: &CompiledProgram, input_bytes: usize) -> VerificationReport {
+    overify::verify_program(prog, "umain", &suite_config(input_bytes))
+}
+
+/// The subset of utilities selected by `OVERIFY_UTILITIES`.
+pub fn selected_utilities() -> Vec<&'static Utility> {
+    let filter = std::env::var("OVERIFY_UTILITIES").ok();
+    overify_coreutils::suite()
+        .iter()
+        .filter(|u| match &filter {
+            None => true,
+            Some(f) => f.split(',').any(|name| name.trim() == u.name),
+        })
+        .collect()
+}
+
+/// Milliseconds with two decimals, for table cells.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Listing 1, the paper's motivating example.
+pub const WC_SOURCE: &str = r#"
+int wc(unsigned char *str, int any) {
+    int res = 0;
+    int new_word = 1;
+    for (unsigned char *p = str; *p; ++p) {
+        if (isspace(*p) || (any && !isalpha(*p))) {
+            new_word = 1;
+        } else {
+            if (new_word) {
+                ++res;
+                new_word = 0;
+            }
+        }
+    }
+    return res;
+}
+"#;
+
+/// A long concrete text for `t_run` measurements.
+pub fn wc_text(len: usize) -> Vec<u8> {
+    let mut text: Vec<u8> = b"lorem ipsum,dolor sit 42 amet! "
+        .iter()
+        .copied()
+        .cycle()
+        .take(len)
+        .collect();
+    text.push(0);
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(env_u64("OVERIFY_TEST_UNSET_VAR", 7), 7);
+        assert_eq!(env_list("OVERIFY_TEST_UNSET_VAR", &[2, 3]), vec![2, 3]);
+    }
+
+    #[test]
+    fn harness_builds_and_verifies_one_utility() {
+        let u = overify_coreutils::utility("echo").unwrap();
+        let prog = build_utility(u, OptLevel::Overify);
+        let r = verify_utility(&prog, 2);
+        assert!(r.exhausted);
+        assert!(r.bugs.is_empty());
+    }
+}

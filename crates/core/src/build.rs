@@ -1,0 +1,185 @@
+//! Compilation driver: source → optimized, libc-linked module.
+
+use overify_ir::Module;
+use overify_libc::LibcVariant;
+use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
+use std::time::{Duration, Instant};
+
+/// What to build and how.
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// Optimization level (the compiler switch).
+    pub level: OptLevel,
+    /// Which libc to link; `None` picks the paper's defaults — the native
+    /// library below `-OVERIFY`, the verification library at `-OVERIFY`.
+    pub libc: Option<LibcVariant>,
+    /// Link a libc at all (off for freestanding snippets).
+    pub link_libc: bool,
+    /// Cost-model override (the branch-cost ablation knob).
+    pub cost: Option<CostModel>,
+    /// Runtime-checks override (defaults: only `-OVERIFY`).
+    pub runtime_checks: Option<bool>,
+    /// Annotations override (defaults: only `-OVERIFY`).
+    pub annotations: Option<bool>,
+}
+
+impl BuildOptions {
+    /// Defaults for a level.
+    pub fn level(level: OptLevel) -> BuildOptions {
+        BuildOptions {
+            level,
+            libc: None,
+            link_libc: true,
+            cost: None,
+            runtime_checks: None,
+            annotations: None,
+        }
+    }
+
+    /// The libc variant this build links.
+    pub fn resolved_libc(&self) -> LibcVariant {
+        self.libc.unwrap_or(match self.level {
+            OptLevel::Overify => LibcVariant::Verify,
+            _ => LibcVariant::Native,
+        })
+    }
+}
+
+/// A build failure.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Front-end (lex/parse/sema) failure.
+    Compile(overify_lang::CompileError),
+    /// Linking the libc failed (duplicate symbols).
+    Link(overify_ir::module::LinkError),
+    /// The final module failed IR verification — a compiler bug.
+    Malformed(overify_ir::VerifyError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::Link(e) => write!(f, "link error: {e}"),
+            BuildError::Malformed(e) => write!(f, "internal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<overify_lang::CompileError> for BuildError {
+    fn from(e: overify_lang::CompileError) -> BuildError {
+        BuildError::Compile(e)
+    }
+}
+
+/// A compiled program plus its build metadata.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    pub module: Module,
+    /// Transformation counters (Table 3).
+    pub stats: OptStats,
+    pub level: OptLevel,
+    pub libc: Option<LibcVariant>,
+    /// Wall-clock compile (+ optimize + link) time — Table 1's `t_compile`.
+    pub compile_time: Duration,
+}
+
+impl CompiledProgram {
+    /// Live instruction count — Table 1's "# instructions" (static).
+    pub fn size(&self) -> usize {
+        self.module.live_inst_count()
+    }
+}
+
+/// Compiles MiniC source at the requested level, linking the configured
+/// libc, optimizing, and verifying the result.
+pub fn compile(source: &str, opts: &BuildOptions) -> Result<CompiledProgram, BuildError> {
+    let start = Instant::now();
+    let mut module = if opts.link_libc {
+        let combined = format!("{}\n{source}", overify_libc::DECLARATIONS);
+        let mut m = overify_lang::compile(&combined)?;
+        let libc = overify_libc::compile_libc(opts.resolved_libc())?;
+        m.link(libc).map_err(BuildError::Link)?;
+        m
+    } else {
+        overify_lang::compile(source)?
+    };
+    let stats = optimize_in_place(&mut module, opts);
+    overify_ir::verify_module(&module).map_err(BuildError::Malformed)?;
+    Ok(CompiledProgram {
+        module,
+        stats,
+        level: opts.level,
+        libc: opts.link_libc.then(|| opts.resolved_libc()),
+        compile_time: start.elapsed(),
+    })
+}
+
+/// Optimizes an already-built module (used when the caller assembled the
+/// module itself, e.g. the coreutils harness).
+pub fn compile_module(module: &mut Module, opts: &BuildOptions) -> OptStats {
+    optimize_in_place(module, opts)
+}
+
+fn optimize_in_place(module: &mut Module, opts: &BuildOptions) -> OptStats {
+    let mut pipe = PipelineOptions::level(opts.level);
+    pipe.cost = opts.cost.clone();
+    pipe.runtime_checks = opts.runtime_checks;
+    pipe.annotations = opts.annotations;
+    // Pipeline-internal verification is expensive; rely on the final check.
+    pipe.verify_each_pass = false;
+    overify_opt::optimize(module, &pipe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libc_defaults_follow_level() {
+        assert_eq!(
+            BuildOptions::level(OptLevel::O0).resolved_libc(),
+            LibcVariant::Native
+        );
+        assert_eq!(
+            BuildOptions::level(OptLevel::O3).resolved_libc(),
+            LibcVariant::Native
+        );
+        assert_eq!(
+            BuildOptions::level(OptLevel::Overify).resolved_libc(),
+            LibcVariant::Verify
+        );
+        let mut o = BuildOptions::level(OptLevel::Overify);
+        o.libc = Some(LibcVariant::Native);
+        assert_eq!(o.resolved_libc(), LibcVariant::Native);
+    }
+
+    #[test]
+    fn compile_reports_errors() {
+        let r = compile("int f( {", &BuildOptions::level(OptLevel::O0));
+        assert!(matches!(r, Err(BuildError::Compile(_))));
+    }
+
+    #[test]
+    fn freestanding_build_skips_libc() {
+        let mut o = BuildOptions::level(OptLevel::O2);
+        o.link_libc = false;
+        let p = compile("int f(int x) { return x + 1; }", &o).unwrap();
+        assert!(p.module.function("isspace").is_none());
+        assert!(p.libc.is_none());
+    }
+
+    #[test]
+    fn size_shrinks_with_optimization() {
+        let src = "int f(int x) { int a = x + 0; int b = a * 1; return b - 0; }";
+        let mut o0 = BuildOptions::level(OptLevel::O0);
+        o0.link_libc = false;
+        let mut o2 = BuildOptions::level(OptLevel::O2);
+        o2.link_libc = false;
+        let p0 = compile(src, &o0).unwrap();
+        let p2 = compile(src, &o2).unwrap();
+        assert!(p2.size() < p0.size());
+    }
+}

@@ -1,0 +1,94 @@
+//! The three-configuration build chain of Figure 3.
+//!
+//! > *"Developers usually create different build configurations... Our
+//! > proposed -OVERIFY option adds a third build configuration, aimed at
+//! > automated testing and verification."*
+
+use crate::build::{compile, BuildError, BuildOptions, CompiledProgram};
+use overify_opt::OptLevel;
+
+/// One source, three builds: debug (`-O0 -g`-style), release (`-O3`), and
+/// verification (`-OVERIFY`).
+pub struct BuildChain {
+    source: String,
+    base: BuildOptions,
+}
+
+impl BuildChain {
+    /// Creates a chain over `source`.
+    pub fn new(source: impl Into<String>) -> BuildChain {
+        BuildChain {
+            source: source.into(),
+            base: BuildOptions::level(OptLevel::O0),
+        }
+    }
+
+    /// Disables libc linking for every configuration.
+    pub fn freestanding(mut self) -> BuildChain {
+        self.base.link_libc = false;
+        self
+    }
+
+    fn build(&self, level: OptLevel) -> Result<CompiledProgram, BuildError> {
+        let mut opts = self.base.clone();
+        opts.level = level;
+        opts.libc = None; // Each configuration picks its own default libc.
+        compile(&self.source, &opts)
+    }
+
+    /// The development build: unoptimized, direct mapping to source.
+    pub fn debug(&self) -> Result<CompiledProgram, BuildError> {
+        self.build(OptLevel::O0)
+    }
+
+    /// The release build: optimized for CPU execution.
+    pub fn release(&self) -> Result<CompiledProgram, BuildError> {
+        self.build(OptLevel::O3)
+    }
+
+    /// The verification build: optimized for analysis tools.
+    pub fn verification(&self) -> Result<CompiledProgram, BuildError> {
+        self.build(OptLevel::Overify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::ExecConfig;
+
+    #[test]
+    fn three_builds_agree_behaviourally() {
+        let chain = BuildChain::new(
+            r#"
+            int umain(unsigned char *in, int n) {
+                int sum = 0;
+                for (int i = 0; in[i]; i++) {
+                    if (isdigit(in[i])) sum += in[i] - '0';
+                }
+                return sum;
+            }
+            "#,
+        );
+        let dbg = chain.debug().unwrap();
+        let rel = chain.release().unwrap();
+        let ver = chain.verification().unwrap();
+        assert_eq!(dbg.level, OptLevel::O0);
+        assert_eq!(rel.level, OptLevel::O3);
+        assert_eq!(ver.level, OptLevel::Overify);
+
+        let cfg = ExecConfig::default();
+        for input in [&b"123\0"[..], b"a5b\0", b"\0"] {
+            let n = (input.len() - 1) as u64;
+            let r0 = crate::run_program(&dbg, "umain", input, &[n], &cfg);
+            let r3 = crate::run_program(&rel, "umain", input, &[n], &cfg);
+            let rv = crate::run_program(&ver, "umain", input, &[n], &cfg);
+            assert_eq!(r0.ret, r3.ret);
+            assert_eq!(r0.ret, rv.ret);
+            assert_eq!(r0.output, rv.output);
+        }
+        // The release build should be the fastest to execute; the
+        // verification build pays speculation costs (Table 1's trun row).
+        // (Not asserted: cycle counts are workload-dependent at this size.)
+    }
+}

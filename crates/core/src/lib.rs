@@ -1,0 +1,130 @@
+//! `overify` — the `-OVERIFY` compiler switch (HotOS'13), reproduced.
+//!
+//! > *"We propose that compilers support a new kind of switch, `-OVERIFY`,
+//! > that generates code optimized for the needs of verification tools."*
+//!
+//! This crate is the user-facing assembly of the reproduction:
+//!
+//! * [`compile`] builds MiniC source at any [`OptLevel`] (`-O0` … `-O3`,
+//!   `-OVERIFY`), linking the matching libc variant and returning the
+//!   transformation statistics of Table 3;
+//! * [`verify_program`] runs the KLEE-style symbolic executor over the
+//!   compiled module (Table 1's `t_verify`, `# paths`, `# instructions`);
+//! * [`run_program`] executes it concretely under a CPU cost model
+//!   (Table 1's `t_run`);
+//! * [`BuildChain`] mirrors Figure 3: one source, three build
+//!   configurations (debug, release, verification).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use overify::{compile, verify_program, BuildOptions, OptLevel, SymConfig};
+//!
+//! let src = r#"
+//!     int umain(unsigned char *in, int n) {
+//!         int vowels = 0;
+//!         for (int i = 0; in[i]; i++) {
+//!             int c = tolower(in[i]);
+//!             if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u')
+//!                 vowels++;
+//!         }
+//!         return vowels;
+//!     }
+//! "#;
+//!
+//! // Compile for verification...
+//! let prog = compile(src, &BuildOptions::level(OptLevel::Overify)).unwrap();
+//! // ...and exhaustively explore all inputs of up to 2 bytes.
+//! let report = verify_program(
+//!     &prog,
+//!     "umain",
+//!     &SymConfig { input_bytes: 2, pass_len_arg: true, ..Default::default() },
+//! );
+//! assert!(report.exhausted);
+//! assert!(report.bugs.is_empty());
+//! ```
+
+pub mod build;
+pub mod chain;
+
+pub use build::{compile, compile_module, BuildError, BuildOptions, CompiledProgram};
+pub use chain::BuildChain;
+
+// Re-export the pieces a downstream user needs, so `overify` is the single
+// dependency.
+pub use overify_interp::{
+    run_module, run_with_buffer, CpuCostModel, ExecConfig, ExecResult, Outcome,
+};
+pub use overify_ir::Module;
+pub use overify_libc::LibcVariant;
+pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
+pub use overify_symex::{
+    Bug, BugKind, SearchStrategy, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+};
+
+/// Symbolically verifies a compiled program's entry function.
+///
+/// This is the `KLEE` arrow in Figure 3: the verification build is handed
+/// to the symbolic executor unchanged.
+pub fn verify_program(
+    prog: &CompiledProgram,
+    entry: &str,
+    cfg: &SymConfig,
+) -> VerificationReport {
+    overify_symex::verify(&prog.module, entry, cfg)
+}
+
+/// Runs a compiled program concretely on `input`, returning outputs and the
+/// CPU-model cycle count (Table 1's `t_run`).
+pub fn run_program(
+    prog: &CompiledProgram,
+    entry: &str,
+    input: &[u8],
+    extra_args: &[u64],
+    cfg: &ExecConfig,
+) -> ExecResult {
+    overify_interp::run_with_buffer(&prog.module, entry, input, extra_args, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_all_levels() {
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int x = 0;
+                for (int i = 0; in[i]; i++) {
+                    if (isdigit(in[i])) x = x * 10 + (in[i] - '0');
+                }
+                return x;
+            }
+        "#;
+        for level in OptLevel::all() {
+            let prog = compile(src, &BuildOptions::level(level)).unwrap();
+            let r = run_program(&prog, "umain", b"a1b2\0", &[4], &ExecConfig::default());
+            assert_eq!(r.ret, Some(12), "{level}");
+            let v = verify_program(
+                &prog,
+                "umain",
+                &SymConfig {
+                    input_bytes: 1,
+                    pass_len_arg: true,
+                    ..Default::default()
+                },
+            );
+            assert!(v.exhausted, "{level}");
+            assert!(v.bugs.is_empty(), "{level}: {:?}", v.bugs);
+        }
+    }
+
+    #[test]
+    fn overify_uses_verify_libc_by_default() {
+        let src = "int umain(unsigned char *in, int n) { return isspace(in[0]); }";
+        let o0 = compile(src, &BuildOptions::level(OptLevel::O0)).unwrap();
+        let ov = compile(src, &BuildOptions::level(OptLevel::Overify)).unwrap();
+        assert!(o0.module.global("__ctype_tab").is_some());
+        assert!(ov.module.global("__ctype_tab").is_none());
+    }
+}

@@ -1,0 +1,670 @@
+//! MiniC sources of the utility suite.
+//!
+//! Conventions: entry `int umain(unsigned char *in, int n)`; `in` holds `n`
+//! bytes plus a terminating NUL; output goes through `putchar`; the return
+//! value is a small summary (count, checksum, status).
+
+use super::Utility;
+
+/// The suite, in stable order (Figure 4's x-axis indexes this).
+pub const SUITE: &[Utility] = &[
+    Utility {
+        name: "echo",
+        models: "echo/cat",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int i = 0;
+    while (in[i]) {
+        putchar(in[i]);
+        i++;
+    }
+    return i;
+}
+"#,
+    },
+    Utility {
+        name: "cat_n",
+        models: "cat -n / nl",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int number_lines = n & 1;  // cat -n vs plain cat: invariant flag.
+    int line = 1;
+    int at_start = 1;
+    int i = 0;
+    while (in[i]) {
+        if (at_start) {
+            if (number_lines) {
+                putchar('0' + line % 10);
+                putchar(':');
+            }
+            at_start = 0;
+        }
+        putchar(in[i]);
+        if (in[i] == '\n') {
+            line++;
+            at_start = 1;
+        }
+        i++;
+    }
+    return line;
+}
+"#,
+    },
+    Utility {
+        name: "wc_words",
+        models: "wc -w (paper Listing 1)",
+        source: r#"
+int wc(unsigned char *str, int any) {
+    int res = 0;
+    int new_word = 1;
+    for (unsigned char *p = str; *p; ++p) {
+        if (isspace(*p) || (any && !isalpha(*p))) {
+            new_word = 1;
+        } else {
+            if (new_word) {
+                ++res;
+                new_word = 0;
+            }
+        }
+    }
+    return res;
+}
+int umain(unsigned char *in, int n) {
+    // `any` plays the role of a command-line flag: loop-invariant but not
+    // a compile-time constant, exactly the unswitching opportunity of
+    // paper section 1.
+    return wc(in, n & 1);
+}
+"#,
+    },
+    Utility {
+        name: "wc_lines",
+        models: "wc -l",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int lines = 0;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == '\n') lines++;
+    }
+    return lines;
+}
+"#,
+    },
+    Utility {
+        name: "wc_bytes",
+        models: "wc -c",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    return (int)strlen((char*)in);
+}
+"#,
+    },
+    Utility {
+        name: "tr_upper",
+        models: "tr a-z A-Z",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int only_alpha = n & 1;   // Invariant option flag.
+    int changed = 0;
+    for (int i = 0; in[i]; i++) {
+        if (only_alpha) {
+            if (isalpha(in[i])) {
+                int c = toupper(in[i]);
+                if (c != in[i]) changed++;
+                putchar(c);
+            } else {
+                putchar(in[i]);
+            }
+        } else {
+            int c = toupper(in[i]);
+            if (c != in[i]) changed++;
+            putchar(c);
+        }
+    }
+    return changed;
+}
+"#,
+    },
+    Utility {
+        name: "tr_lower",
+        models: "tr A-Z a-z",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int changed = 0;
+    for (int i = 0; in[i]; i++) {
+        int c = tolower(in[i]);
+        if (c != in[i]) changed++;
+        putchar(c);
+    }
+    return changed;
+}
+"#,
+    },
+    Utility {
+        name: "rot13",
+        models: "tr (rot13)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    for (int i = 0; in[i]; i++) {
+        int c = in[i];
+        if (c >= 'a' && c <= 'z') {
+            c = 'a' + (c - 'a' + 13) % 26;
+        } else if (c >= 'A' && c <= 'Z') {
+            c = 'A' + (c - 'A' + 13) % 26;
+        }
+        putchar(c);
+    }
+    return 0;
+}
+"#,
+    },
+    Utility {
+        name: "tr_squeeze",
+        models: "tr -s",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int squeeze_blanks_only = n & 1;  // tr -s ' ' vs tr -s (all).
+    int prev = -1;
+    int kept = 0;
+    for (int i = 0; in[i]; i++) {
+        if (squeeze_blanks_only) {
+            if (in[i] == prev && in[i] == ' ') {
+            } else {
+                putchar(in[i]);
+                kept++;
+            }
+        } else {
+            if (in[i] != prev) {
+                putchar(in[i]);
+                kept++;
+            }
+        }
+        prev = in[i];
+    }
+    return kept;
+}
+"#,
+    },
+    Utility {
+        name: "cut_f1",
+        models: "cut -d: -f1",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int i = 0;
+    while (in[i] && in[i] != ':' && in[i] != ',') {
+        putchar(in[i]);
+        i++;
+    }
+    return i;
+}
+"#,
+    },
+    Utility {
+        name: "expand",
+        models: "expand (tabs to spaces)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int tabstop = 4;
+    if (n & 1) tabstop = 8;   // expand -t8: invariant configuration.
+    int col = 0;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == '\t') {
+            int pad = tabstop - col % tabstop;
+            for (int k = 0; k < pad; k++) putchar(' ');
+            col += pad;
+        } else {
+            putchar(in[i]);
+            if (in[i] == '\n') col = 0;
+            else col++;
+        }
+    }
+    return col;
+}
+"#,
+    },
+    Utility {
+        name: "fold_w4",
+        models: "fold -w4",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int spaces_only = n & 1;  // fold -s: break at blanks only.
+    int col = 0;
+    int breaks = 0;
+    for (int i = 0; in[i]; i++) {
+        putchar(in[i]);
+        col++;
+        if (in[i] == '\n') col = 0;
+        if (col == 4) {
+            if (spaces_only) {
+                if (in[i] == ' ') {
+                    putchar('\n');
+                    col = 0;
+                    breaks++;
+                }
+            } else {
+                putchar('\n');
+                col = 0;
+                breaks++;
+            }
+        }
+    }
+    return breaks;
+}
+"#,
+    },
+    Utility {
+        name: "head_c4",
+        models: "head -c4",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int i = 0;
+    while (in[i] && i < 4) {
+        putchar(in[i]);
+        i++;
+    }
+    return i;
+}
+"#,
+    },
+    Utility {
+        name: "tail_c4",
+        models: "tail -c4",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    long len = strlen((char*)in);
+    long start = 0;
+    if (len > 4) start = len - 4;
+    for (long i = start; i < len; i++) putchar(in[i]);
+    return (int)(len - start);
+}
+"#,
+    },
+    Utility {
+        name: "grep_ab",
+        models: "grep (fixed pattern)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int hits = 0;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == 'a' && in[i + 1] == 'b') hits++;
+    }
+    return hits;
+}
+"#,
+    },
+    Utility {
+        name: "uniq_runs",
+        models: "uniq -c",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    if (!in[0]) return 0;
+    int runs = 1;
+    int longest = 1;
+    int cur = 1;
+    for (int i = 1; in[i]; i++) {
+        if (in[i] == in[i - 1]) {
+            cur++;
+            if (cur > longest) longest = cur;
+        } else {
+            runs++;
+            cur = 1;
+        }
+    }
+    return runs * 100 + longest;
+}
+"#,
+    },
+    Utility {
+        name: "base64_enc",
+        models: "base64",
+        source: r#"
+const char b64tab[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+int umain(unsigned char *in, int n) {
+    int i = 0;
+    int out = 0;
+    while (i + 2 < n) {
+        int v = (in[i] << 16) | (in[i + 1] << 8) | in[i + 2];
+        putchar(b64tab[(v >> 18) & 63]);
+        putchar(b64tab[(v >> 12) & 63]);
+        putchar(b64tab[(v >> 6) & 63]);
+        putchar(b64tab[v & 63]);
+        i += 3;
+        out += 4;
+    }
+    if (i < n) {
+        int v = in[i] << 16;
+        if (i + 1 < n) v |= in[i + 1] << 8;
+        putchar(b64tab[(v >> 18) & 63]);
+        putchar(b64tab[(v >> 12) & 63]);
+        if (i + 1 < n) putchar(b64tab[(v >> 6) & 63]);
+        else putchar('=');
+        putchar('=');
+        out += 4;
+    }
+    return out;
+}
+"#,
+    },
+    Utility {
+        name: "cksum_x",
+        models: "cksum (CRC-flavoured)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    unsigned int crc = 0;
+    for (int i = 0; in[i]; i++) {
+        crc = (crc << 3) ^ (crc >> 5) ^ in[i];
+    }
+    return (int)(crc & 0x7fffffff);
+}
+"#,
+    },
+    Utility {
+        name: "sum_bsd",
+        models: "sum (BSD rotating checksum)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    unsigned int s = 0;
+    for (int i = 0; in[i]; i++) {
+        s = (s >> 1) + ((s & 1) << 15);
+        s += in[i];
+        s &= 0xffff;
+    }
+    return (int)(s % 255);
+}
+"#,
+    },
+    Utility {
+        name: "od_hex",
+        models: "od -x",
+        source: r#"
+const char hexdig[] = "0123456789abcdef";
+int umain(unsigned char *in, int n) {
+    for (int i = 0; i < n; i++) {
+        putchar(hexdig[(in[i] >> 4) & 15]);
+        putchar(hexdig[in[i] & 15]);
+        if (i + 1 < n) putchar(' ');
+    }
+    return n * 3;
+}
+"#,
+    },
+    Utility {
+        name: "basename_x",
+        models: "basename",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int last = 0;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == '/') last = i + 1;
+    }
+    int count = 0;
+    for (int i = last; in[i]; i++) {
+        putchar(in[i]);
+        count++;
+    }
+    return count;
+}
+"#,
+    },
+    Utility {
+        name: "dirname_x",
+        models: "dirname",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int last = -1;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == '/') last = i;
+    }
+    if (last < 0) {
+        putchar('.');
+        return 1;
+    }
+    if (last == 0) last = 1;
+    for (int i = 0; i < last; i++) putchar(in[i]);
+    return last;
+}
+"#,
+    },
+    Utility {
+        name: "rev_x",
+        models: "rev",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    long len = strlen((char*)in);
+    for (long i = len - 1; i >= 0; i--) putchar(in[i]);
+    return (int)len;
+}
+"#,
+    },
+    Utility {
+        name: "yes_8",
+        models: "yes | head -8",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int c = 'y';
+    if (in[0]) c = in[0];
+    for (int i = 0; i < 8; i++) {
+        putchar(c);
+        putchar('\n');
+    }
+    return 16;
+}
+"#,
+    },
+    Utility {
+        name: "seq_stars",
+        models: "seq (bounded)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int v = atoi((char*)in);
+    if (v < 0) v = 0;
+    if (v > 9) v = 9;
+    for (int i = 0; i < v; i++) putchar('*');
+    return v;
+}
+"#,
+    },
+    Utility {
+        name: "factor_byte",
+        models: "factor (first byte)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int v = in[0];
+    if (v < 2) return 0;
+    int found = 0;
+    for (int d = 2; d < 10; d++) {
+        while (v % d == 0) {
+            putchar('0' + d);
+            v = v / d;
+            found++;
+        }
+    }
+    return found * 256 + v;
+}
+"#,
+    },
+    Utility {
+        name: "cmp_halves",
+        models: "cmp (split input)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int half = n / 2;
+    int r = memcmp((char*)in, (char*)in + half, half);
+    if (r == 0) return 0;
+    if (r < 0) return 1;
+    return 2;
+}
+"#,
+    },
+    Utility {
+        name: "vowel_count",
+        models: "tr -cd aeiou | wc -c",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int v = 0;
+    for (int i = 0; in[i]; i++) {
+        int c = tolower(in[i]);
+        if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') v++;
+    }
+    return v;
+}
+"#,
+    },
+    Utility {
+        name: "csv_fields",
+        models: "csv field counter (quote-aware)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int fields = 1;
+    int quoted = 0;
+    for (int i = 0; in[i]; i++) {
+        if (in[i] == '"') {
+            quoted = !quoted;
+        } else if (in[i] == ',' && !quoted) {
+            fields++;
+        }
+    }
+    if (!in[0]) return 0;
+    return fields;
+}
+"#,
+    },
+    Utility {
+        name: "unesc",
+        models: "echo -e (escape processing)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int i = 0;
+    int out = 0;
+    while (in[i]) {
+        if (in[i] == '\\' && in[i + 1]) {
+            i++;
+            if (in[i] == 'n') putchar('\n');
+            else if (in[i] == 't') putchar('\t');
+            else putchar(in[i]);
+        } else {
+            putchar(in[i]);
+        }
+        out++;
+        i++;
+    }
+    return out;
+}
+"#,
+    },
+    Utility {
+        name: "sort_4",
+        models: "sort (first 4 bytes)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    char buf[4];
+    int len = 0;
+    while (len < 4 && in[len]) {
+        buf[len] = in[len];
+        len++;
+    }
+    for (int i = 1; i < len; i++) {
+        char key = buf[i];
+        int j = i - 1;
+        while (j >= 0 && buf[j] > key) {
+            buf[j + 1] = buf[j];
+            j--;
+        }
+        buf[j + 1] = key;
+    }
+    for (int i = 0; i < len; i++) putchar(buf[i]);
+    return len;
+}
+"#,
+    },
+    Utility {
+        name: "pr_fmt",
+        models: "pr (three option flags)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int number_lines = n & 1;     // pr -n
+    int to_upper = n & 2;         // pr --upper (invented)
+    int squeeze = n & 4;          // pr -s
+    int line = 1;
+    int at_start = 1;
+    int prev = -1;
+    int out = 0;
+    for (int i = 0; in[i]; i++) {
+        int c = in[i];
+        if (at_start) {
+            if (number_lines) {
+                putchar('0' + line % 10);
+                putchar('|');
+                out += 2;
+            }
+            at_start = 0;
+        }
+        if (to_upper) {
+            c = toupper(c);
+        }
+        if (squeeze) {
+            if (c == ' ' && prev == ' ') {
+                prev = c;
+                continue;
+            }
+        }
+        putchar(c);
+        out++;
+        prev = c;
+        if (c == '\n') {
+            line++;
+            at_start = 1;
+        }
+    }
+    return out * 10 + line;
+}
+"#,
+    },
+    Utility {
+        name: "hash_alnum",
+        models: "cksum (polynomial hash, conditional arm is multiply-heavy)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    unsigned int h = 5381;
+    for (int i = 0; in[i]; i++) {
+        if (isalnum(in[i])) {
+            h = h * 31 * 31 + in[i] * 7;
+        }
+    }
+    return (int)(h & 0x7fffffff);
+}
+"#,
+    },
+    Utility {
+        name: "score_mix",
+        models: "expr-style scoring (cubic arm: too costly for CPU speculation)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int acc = 0;
+    for (int i = 0; in[i]; i++) {
+        int c = in[i];
+        if (c > 'm') {
+            acc += c * c * c;
+        } else if (c > 'a') {
+            acc += c * c;
+        }
+    }
+    return acc;
+}
+"#,
+    },
+    Utility {
+        name: "paste_2",
+        models: "paste (interleave halves)",
+        source: r#"
+int umain(unsigned char *in, int n) {
+    int half = n / 2;
+    for (int i = 0; i < half; i++) {
+        putchar(in[i]);
+        putchar(in[half + i]);
+    }
+    return half * 2;
+}
+"#,
+    },
+];

@@ -1,0 +1,92 @@
+//! CPU cost model.
+//!
+//! The numbers are stylized x86-ish latencies. Their purpose is not cycle
+//! accuracy but preserving the *ordering* the paper reports: branchy code is
+//! cheap to execute (branches are nearly free on a CPU) while straight-line
+//! speculative code pays for every instruction it executes. This is the
+//! "conflicting requirements of fast execution and fast verification"
+//! (paper §1).
+
+use overify_ir::{BinOp, InstKind};
+
+/// Per-operation cycle costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuCostModel {
+    /// Default cost of a simple ALU operation.
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide / remainder.
+    pub div: u64,
+    /// Memory access (load or store), assuming cache hit.
+    pub mem: u64,
+    /// Taken or not, a well-predicted branch.
+    pub branch: u64,
+    /// Call/return overhead.
+    pub call: u64,
+    /// Conditional select (cmov).
+    pub select: u64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> CpuCostModel {
+        CpuCostModel {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            mem: 4,
+            branch: 2,
+            call: 6,
+            select: 2,
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// Cost of one (non-terminator) instruction.
+    pub fn inst_cost(&self, kind: &InstKind) -> u64 {
+        match kind {
+            InstKind::Bin { op, .. } => match op {
+                BinOp::Mul => self.mul,
+                BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => self.div,
+                _ => self.alu,
+            },
+            InstKind::Cmp { .. } | InstKind::Cast { .. } | InstKind::PtrAdd { .. } => self.alu,
+            InstKind::Select { .. } => self.select,
+            InstKind::Load { .. } | InstKind::Store { .. } => self.mem,
+            InstKind::Alloca { .. } | InstKind::GlobalAddr { .. } => self.alu,
+            InstKind::Call { .. } => self.call,
+            InstKind::Phi { .. } | InstKind::Nop => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{Operand, Ty, ValueId};
+
+    #[test]
+    fn relative_costs_are_sane() {
+        let m = CpuCostModel::default();
+        let add = InstKind::Bin {
+            op: BinOp::Add,
+            ty: Ty::I32,
+            lhs: Operand::Value(ValueId(0)),
+            rhs: Operand::Value(ValueId(1)),
+        };
+        let div = InstKind::Bin {
+            op: BinOp::UDiv,
+            ty: Ty::I32,
+            lhs: Operand::Value(ValueId(0)),
+            rhs: Operand::Value(ValueId(1)),
+        };
+        assert!(m.inst_cost(&div) > m.inst_cost(&add));
+        assert!(m.branch < m.div);
+        let phi = InstKind::Phi {
+            ty: Ty::I32,
+            incomings: vec![],
+        };
+        assert_eq!(m.inst_cost(&phi), 0);
+    }
+}

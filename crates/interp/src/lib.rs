@@ -1,0 +1,24 @@
+//! `overify-interp`: a concrete interpreter for overify IR.
+//!
+//! Two jobs:
+//!
+//! 1. **Measure `t_run`.** Table 1 of the paper shows that verification-
+//!    optimized code *executes slower* on a CPU (the branch-free `wc` loop
+//!    runs ~2.5× longer than the `-O3` version). The interpreter charges
+//!    each instruction according to a simple CPU cost model so this
+//!    crossover is reproducible deterministically.
+//! 2. **Differential testing.** Every optimization level must preserve
+//!    program behaviour; the test suites run the same inputs through
+//!    modules compiled at different levels and compare outputs, return
+//!    values and outcomes.
+//!
+//! Pointers are encoded as `(object_id << 32) | offset`, making pointer
+//! arithmetic plain integer arithmetic, exactly as in the symbolic engine.
+
+pub mod cost;
+pub mod memory;
+pub mod run;
+
+pub use cost::CpuCostModel;
+pub use memory::{decode_ptr, encode_ptr, MemObject, Memory};
+pub use run::{run_module, run_with_buffer, ExecConfig, ExecResult, Outcome};

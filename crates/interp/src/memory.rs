@@ -1,0 +1,208 @@
+//! Object-based concrete memory.
+//!
+//! Every allocation (global, alloca, malloc) is an independent object; a
+//! pointer is `(object_id << 32) | offset`. Out-of-bounds offsets survive
+//! pointer arithmetic (as in C) but fault on access, which is exactly the
+//! failure the runtime-checks pass and the verification engines look for.
+
+use overify_ir::Module;
+
+/// Number of low bits holding the intra-object offset.
+pub const OFFSET_BITS: u32 = 32;
+
+/// Builds a pointer value from an object id and a byte offset.
+pub fn encode_ptr(obj: u32, offset: u32) -> u64 {
+    ((obj as u64) << OFFSET_BITS) | offset as u64
+}
+
+/// Splits a pointer value into `(object_id, offset)`.
+pub fn decode_ptr(ptr: u64) -> (u32, u32) {
+    ((ptr >> OFFSET_BITS) as u32, ptr as u32)
+}
+
+/// One allocation.
+#[derive(Clone, Debug)]
+pub struct MemObject {
+    pub data: Vec<u8>,
+    /// Constant globals are read-only.
+    pub writable: bool,
+    /// Stack objects die when their frame returns; access then faults.
+    pub alive: bool,
+    /// Debug name (global name, or "alloca"/"malloc").
+    pub name: String,
+}
+
+/// The object table. Object 0 is reserved so that the null pointer (0)
+/// never resolves.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    objects: Vec<MemObject>,
+}
+
+/// A memory access fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemFault {
+    /// Null, dangling or never-allocated object.
+    BadObject,
+    /// Offset + width exceeds the object size.
+    OutOfBounds,
+    /// Write to a read-only object.
+    ReadOnly,
+}
+
+impl Memory {
+    /// Creates a memory image with all of the module's globals materialized
+    /// as objects `1..=n` in order.
+    pub fn with_globals(m: &Module) -> Memory {
+        let mut objects = vec![MemObject {
+            data: Vec::new(),
+            writable: false,
+            alive: false,
+            name: "<null>".into(),
+        }];
+        for g in &m.globals {
+            let mut data = g.init.clone();
+            data.resize(g.size as usize, 0);
+            objects.push(MemObject {
+                data,
+                writable: !g.is_const,
+                alive: true,
+                name: g.name.clone(),
+            });
+        }
+        Memory { objects }
+    }
+
+    /// Pointer to global `index` (the module's global ordering).
+    pub fn global_ptr(&self, index: u32) -> u64 {
+        encode_ptr(index + 1, 0)
+    }
+
+    /// Allocates a fresh object, returning its pointer.
+    pub fn allocate(&mut self, size: u64, name: &str) -> u64 {
+        let id = self.objects.len() as u32;
+        self.objects.push(MemObject {
+            data: vec![0; size as usize],
+            writable: true,
+            alive: true,
+            name: name.into(),
+        });
+        encode_ptr(id, 0)
+    }
+
+    /// Marks an object dead (stack frame unwound).
+    pub fn kill(&mut self, ptr: u64) {
+        let (obj, _) = decode_ptr(ptr);
+        if let Some(o) = self.objects.get_mut(obj as usize) {
+            o.alive = false;
+        }
+    }
+
+    /// Object lookup with liveness check.
+    fn object(&self, id: u32) -> Result<&MemObject, MemFault> {
+        match self.objects.get(id as usize) {
+            Some(o) if o.alive => Ok(o),
+            _ => Err(MemFault::BadObject),
+        }
+    }
+
+    /// Reads `width` bytes at `ptr`, little-endian.
+    pub fn read(&self, ptr: u64, width: u64) -> Result<u64, MemFault> {
+        let (id, off) = decode_ptr(ptr);
+        let o = self.object(id)?;
+        let off = off as usize;
+        let w = width as usize;
+        if off + w > o.data.len() {
+            return Err(MemFault::OutOfBounds);
+        }
+        let mut buf = [0u8; 8];
+        buf[..w].copy_from_slice(&o.data[off..off + w]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes `width` bytes of `value` at `ptr`, little-endian.
+    pub fn write(&mut self, ptr: u64, width: u64, value: u64) -> Result<(), MemFault> {
+        let (id, off) = decode_ptr(ptr);
+        // Inline the checks to appease the borrow checker.
+        let o = match self.objects.get_mut(id as usize) {
+            Some(o) if o.alive => o,
+            _ => return Err(MemFault::BadObject),
+        };
+        if !o.writable {
+            return Err(MemFault::ReadOnly);
+        }
+        let off = off as usize;
+        let w = width as usize;
+        if off + w > o.data.len() {
+            return Err(MemFault::OutOfBounds);
+        }
+        o.data[off..off + w].copy_from_slice(&value.to_le_bytes()[..w]);
+        Ok(())
+    }
+
+    /// Copies a byte slice into an object (used to set up input buffers).
+    pub fn write_bytes(&mut self, ptr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write(ptr + i as u64, 1, b as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Size of the object `ptr` points into.
+    pub fn object_size(&self, ptr: u64) -> Result<u64, MemFault> {
+        let (id, _) = decode_ptr(ptr);
+        Ok(self.object(id)?.data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = encode_ptr(7, 123);
+        assert_eq!(decode_ptr(p), (7, 123));
+        assert_eq!(decode_ptr(0), (0, 0));
+    }
+
+    #[test]
+    fn alloc_read_write() {
+        let m = Module::new();
+        let mut mem = Memory::with_globals(&m);
+        let p = mem.allocate(8, "buf");
+        mem.write(p, 4, 0xdeadbeef).unwrap();
+        assert_eq!(mem.read(p, 4).unwrap(), 0xdeadbeef);
+        assert_eq!(mem.read(p, 1).unwrap(), 0xef);
+        // Little-endian layout.
+        assert_eq!(mem.read(p + 3, 1).unwrap(), 0xde);
+    }
+
+    #[test]
+    fn faults() {
+        let m = Module::new();
+        let mut mem = Memory::with_globals(&m);
+        let p = mem.allocate(4, "buf");
+        assert_eq!(mem.read(p, 8), Err(MemFault::OutOfBounds));
+        assert_eq!(mem.read(p + 4, 1), Err(MemFault::OutOfBounds));
+        assert_eq!(mem.read(0, 1), Err(MemFault::BadObject));
+        mem.kill(p);
+        assert_eq!(mem.read(p, 1), Err(MemFault::BadObject));
+    }
+
+    #[test]
+    fn globals_are_materialized() {
+        let mut m = Module::new();
+        m.add_global(overify_ir::Global {
+            name: "tab".into(),
+            size: 4,
+            init: vec![9, 8],
+            is_const: true,
+        });
+        let mut mem = Memory::with_globals(&m);
+        let p = mem.global_ptr(0);
+        assert_eq!(mem.read(p, 1).unwrap(), 9);
+        assert_eq!(mem.read(p + 2, 1).unwrap(), 0); // Zero-filled tail.
+        assert_eq!(mem.write(p, 1, 1), Err(MemFault::ReadOnly));
+    }
+}

@@ -1,0 +1,644 @@
+//! The concrete execution engine.
+
+use crate::cost::CpuCostModel;
+use crate::memory::{Memory, MemFault};
+use overify_ir::{
+    fold, AbortKind, BlockId, Callee, InstKind, Intrinsic, Module, Operand, Terminator,
+    ValueId,
+};
+use std::collections::HashMap;
+
+/// Execution limits and environment.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Maximum executed instructions before giving up.
+    pub max_steps: u64,
+    /// CPU cost model used to accumulate `cycles`.
+    pub cost: CpuCostModel,
+    /// Bytes delivered by the `sym_input` intrinsic when run concretely.
+    pub sym_input: Vec<u8>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            max_steps: 50_000_000,
+            cost: CpuCostModel::default(),
+            sym_input: Vec::new(),
+        }
+    }
+}
+
+/// How a concrete run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The entry function returned normally.
+    Ok,
+    /// The program crashed (the single failure channel).
+    Abort(AbortKind),
+    /// An `assume` was violated; the run is vacuous, not buggy.
+    AssumeViolated,
+    /// `max_steps` exhausted.
+    OutOfFuel,
+    /// Malformed IR or a missing function — an engine-level error.
+    Error(String),
+}
+
+/// The result of a concrete run.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    pub outcome: Outcome,
+    /// Return value of the entry function (when `outcome` is `Ok`).
+    pub ret: Option<u64>,
+    /// Bytes written through `putchar`.
+    pub output: Vec<u8>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Accumulated CPU-model cycles (the paper's `t_run` analogue).
+    pub cycles: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+}
+
+struct Frame {
+    func: usize,
+    block: BlockId,
+    inst_idx: usize,
+    regs: Vec<u64>,
+    allocas: Vec<u64>,
+    /// Where to deposit the callee's return value on return.
+    result: Option<ValueId>,
+}
+
+struct Interp<'a> {
+    m: &'a Module,
+    fn_index: HashMap<&'a str, usize>,
+    mem: Memory,
+    stack: Vec<Frame>,
+    cfg: &'a ExecConfig,
+    sym_off: usize,
+    out: ExecResult,
+}
+
+/// Runs `entry(args...)` concretely. Pointer-typed arguments must already be
+/// valid encoded pointers (see [`run_with_buffer`] for the common case).
+pub fn run_module(m: &Module, entry: &str, args: &[u64], cfg: &ExecConfig) -> ExecResult {
+    let mut it = Interp {
+        m,
+        fn_index: m
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect(),
+        mem: Memory::with_globals(m),
+        stack: Vec::new(),
+        cfg,
+        sym_off: 0,
+        out: ExecResult {
+            outcome: Outcome::Ok,
+            ret: None,
+            output: Vec::new(),
+            steps: 0,
+            cycles: 0,
+            branches: 0,
+        },
+    };
+    it.out.outcome = it.run(entry, args);
+    it.out
+}
+
+/// Runs `entry(buffer_ptr, extra...)` with `buffer` materialized in memory.
+pub fn run_with_buffer(
+    m: &Module,
+    entry: &str,
+    buffer: &[u8],
+    extra_args: &[u64],
+    cfg: &ExecConfig,
+) -> ExecResult {
+    let mut it = Interp {
+        m,
+        fn_index: m
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect(),
+        mem: Memory::with_globals(m),
+        stack: Vec::new(),
+        cfg,
+        sym_off: 0,
+        out: ExecResult {
+            outcome: Outcome::Ok,
+            ret: None,
+            output: Vec::new(),
+            steps: 0,
+            cycles: 0,
+            branches: 0,
+        },
+    };
+    let ptr = it.mem.allocate(buffer.len().max(1) as u64, "input");
+    if it.mem.write_bytes(ptr, buffer).is_err() {
+        it.out.outcome = Outcome::Error("failed to set up input buffer".into());
+        return it.out;
+    }
+    let mut args = vec![ptr];
+    args.extend_from_slice(extra_args);
+    it.out.outcome = it.run(entry, &args);
+    it.out
+}
+
+/// Control transferred out of the instruction loop.
+enum Flow {
+    Continue,
+    Stop(Outcome),
+}
+
+impl<'a> Interp<'a> {
+    fn run(&mut self, entry: &str, args: &[u64]) -> Outcome {
+        match self.push_call(entry, args, None) {
+            Ok(()) => {}
+            Err(o) => return o,
+        }
+        loop {
+            if self.out.steps >= self.cfg.max_steps {
+                return Outcome::OutOfFuel;
+            }
+            match self.step() {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Stop(o)) => return o,
+                Err(o) => return o,
+            }
+        }
+    }
+
+    fn func_of(&self, idx: usize) -> &'a overify_ir::Function {
+        &self.m.functions[idx]
+    }
+
+    fn push_call(
+        &mut self,
+        name: &str,
+        args: &[u64],
+        result: Option<ValueId>,
+    ) -> Result<(), Outcome> {
+        let idx = *self
+            .fn_index
+            .get(name)
+            .ok_or_else(|| Outcome::Error(format!("unknown function @{name}")))?;
+        let f = self.func_of(idx);
+        if f.is_declaration {
+            return Err(Outcome::Error(format!("call to undefined @{name}")));
+        }
+        if args.len() != f.params.len() {
+            return Err(Outcome::Error(format!("bad arity calling @{name}")));
+        }
+        let mut regs = vec![0u64; f.values.len()];
+        for (i, &a) in args.iter().enumerate() {
+            regs[f.params[i].index()] = a & f.value_ty(f.params[i]).mask();
+        }
+        self.stack.push(Frame {
+            func: idx,
+            block: f.entry(),
+            inst_idx: 0,
+            regs,
+            allocas: Vec::new(),
+            result,
+        });
+        Ok(())
+    }
+
+    fn eval(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Const(c) => c.bits,
+            Operand::Value(v) => self.stack.last().unwrap().regs[v.index()],
+        }
+    }
+
+    fn set(&mut self, v: Option<ValueId>, val: u64) {
+        if let Some(v) = v {
+            let f = self.func_of(self.stack.last().unwrap().func);
+            let masked = val & f.value_ty(v).mask();
+            self.stack.last_mut().unwrap().regs[v.index()] = masked;
+        }
+    }
+
+    /// Transfers control to `target`, evaluating its phi nodes in parallel.
+    fn enter_block(&mut self, target: BlockId) {
+        let frame = self.stack.last().unwrap();
+        let f = self.func_of(frame.func);
+        let from = frame.block;
+        // Evaluate all phis with pre-transfer register values.
+        let mut updates: Vec<(ValueId, u64)> = Vec::new();
+        let mut phi_count = 0;
+        for &id in &f.block(target).insts {
+            match &f.inst(id).kind {
+                InstKind::Phi { incomings, .. } => {
+                    phi_count += 1;
+                    if let Some(result) = f.inst(id).result {
+                        let op = incomings
+                            .iter()
+                            .find(|(p, _)| *p == from)
+                            .map(|(_, op)| *op)
+                            .unwrap_or(Operand::Const(overify_ir::Const::zero(
+                                f.value_ty(result),
+                            )));
+                        updates.push((result, self.eval(op)));
+                    }
+                }
+                InstKind::Nop => phi_count += 1,
+                _ => break,
+            }
+        }
+        let frame = self.stack.last_mut().unwrap();
+        for (v, val) in updates {
+            frame.regs[v.index()] = val;
+        }
+        frame.block = target;
+        frame.inst_idx = phi_count;
+    }
+
+    fn mem_fault(&self, e: MemFault) -> Outcome {
+        match e {
+            MemFault::BadObject | MemFault::OutOfBounds | MemFault::ReadOnly => {
+                Outcome::Abort(AbortKind::OutOfBounds)
+            }
+        }
+    }
+
+    /// Executes one instruction or terminator.
+    fn step(&mut self) -> Result<Flow, Outcome> {
+        let frame = self.stack.last().unwrap();
+        let f = self.func_of(frame.func);
+        let block = f.block(frame.block);
+
+        // Terminator?
+        if frame.inst_idx >= block.insts.len() {
+            self.out.steps += 1;
+            return self.exec_terminator(&block.term.clone());
+        }
+
+        let inst_id = block.insts[frame.inst_idx];
+        let inst = f.inst(inst_id);
+        let kind = inst.kind.clone();
+        let result = inst.result;
+        self.out.steps += 1;
+        self.out.cycles += self.cfg.cost.inst_cost(&kind);
+        self.stack.last_mut().unwrap().inst_idx += 1;
+
+        match kind {
+            InstKind::Nop => {}
+            InstKind::Bin { op, ty, lhs, rhs } => {
+                let (a, b) = (self.eval(lhs), self.eval(rhs));
+                match fold::eval_bin(op, ty, a, b) {
+                    Some(v) => self.set(result, v),
+                    None => return Ok(Flow::Stop(Outcome::Abort(AbortKind::DivByZero))),
+                }
+            }
+            InstKind::Cmp { pred, ty, lhs, rhs } => {
+                let (a, b) = (self.eval(lhs), self.eval(rhs));
+                self.set(result, fold::eval_cmp(pred, ty, a, b) as u64);
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                let c = self.eval(cond);
+                let v = if c != 0 {
+                    self.eval(on_true)
+                } else {
+                    self.eval(on_false)
+                };
+                self.set(result, v);
+            }
+            InstKind::Cast { op, to, value } => {
+                let frame = self.stack.last().unwrap();
+                let f = self.func_of(frame.func);
+                let from = f.operand_ty(value);
+                let v = self.eval(value);
+                self.set(result, fold::eval_cast(op, from, to, v));
+            }
+            InstKind::Alloca { size } => {
+                let p = self.mem.allocate(size, "alloca");
+                self.stack.last_mut().unwrap().allocas.push(p);
+                self.set(result, p);
+            }
+            InstKind::Load { ty, addr } => {
+                let p = self.eval(addr);
+                match self.mem.read(p, ty.bytes()) {
+                    Ok(v) => self.set(result, v & ty.mask()),
+                    Err(e) => return Ok(Flow::Stop(self.mem_fault(e))),
+                }
+            }
+            InstKind::Store { ty, value, addr } => {
+                let p = self.eval(addr);
+                let v = self.eval(value);
+                if let Err(e) = self.mem.write(p, ty.bytes(), v) {
+                    return Ok(Flow::Stop(self.mem_fault(e)));
+                }
+            }
+            InstKind::PtrAdd { base, offset } => {
+                let b = self.eval(base);
+                let o = self.eval(offset);
+                self.set(result, b.wrapping_add(o));
+            }
+            InstKind::GlobalAddr { global } => {
+                let p = self.mem.global_ptr(global.0);
+                self.set(result, p);
+            }
+            InstKind::Call { callee, args } => {
+                let vals: Vec<u64> = args.iter().map(|a| self.eval(*a)).collect();
+                match callee {
+                    Callee::Intrinsic(i) => {
+                        if let Some(stop) = self.exec_intrinsic(i, &vals, result)? {
+                            return Ok(Flow::Stop(stop));
+                        }
+                    }
+                    Callee::Func(name) => {
+                        self.push_call(&name, &vals, result).map_err(|o| o)?;
+                    }
+                }
+            }
+            InstKind::Phi { .. } => {
+                // Phis are consumed by enter_block; reaching one here means
+                // fall-through into a block head, which cannot happen.
+                return Err(Outcome::Error("phi executed outside block entry".into()));
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        i: Intrinsic,
+        args: &[u64],
+        result: Option<ValueId>,
+    ) -> Result<Option<Outcome>, Outcome> {
+        match i {
+            Intrinsic::SymInput => {
+                let (ptr, len) = (args[0], args[1]);
+                for k in 0..len {
+                    let byte = self
+                        .cfg
+                        .sym_input
+                        .get(self.sym_off)
+                        .copied()
+                        .unwrap_or(0);
+                    self.sym_off += 1;
+                    if let Err(e) = self.mem.write(ptr + k, 1, byte as u64) {
+                        return Ok(Some(self.mem_fault(e)));
+                    }
+                }
+                Ok(None)
+            }
+            Intrinsic::Assume => {
+                if args[0] == 0 {
+                    Ok(Some(Outcome::AssumeViolated))
+                } else {
+                    Ok(None)
+                }
+            }
+            Intrinsic::Assert => {
+                if args[0] == 0 {
+                    Ok(Some(Outcome::Abort(AbortKind::AssertFail)))
+                } else {
+                    Ok(None)
+                }
+            }
+            Intrinsic::PutChar => {
+                self.out.output.push(args[0] as u8);
+                self.set(result, args[0] & 0xff);
+                Ok(None)
+            }
+            Intrinsic::Malloc => {
+                let p = self.mem.allocate(args[0].max(1), "malloc");
+                self.set(result, p);
+                Ok(None)
+            }
+            Intrinsic::Abort => Ok(Some(Outcome::Abort(AbortKind::Explicit))),
+        }
+    }
+
+    fn exec_terminator(&mut self, t: &Terminator) -> Result<Flow, Outcome> {
+        match t {
+            Terminator::Br { target } => {
+                self.enter_block(*target);
+                Ok(Flow::Continue)
+            }
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                self.out.branches += 1;
+                self.out.cycles += self.cfg.cost.branch;
+                let c = self.eval(*cond);
+                let target = if c != 0 { *on_true } else { *on_false };
+                self.enter_block(target);
+                Ok(Flow::Continue)
+            }
+            Terminator::Ret { value } => {
+                self.out.cycles += self.cfg.cost.call;
+                let v = value.map(|op| self.eval(op));
+                let frame = self.stack.pop().unwrap();
+                for a in frame.allocas {
+                    self.mem.kill(a);
+                }
+                match self.stack.last_mut() {
+                    None => {
+                        self.out.ret = v;
+                        Ok(Flow::Stop(Outcome::Ok))
+                    }
+                    Some(_) => {
+                        if let (Some(dest), Some(v)) = (frame.result, v) {
+                            self.set(Some(dest), v);
+                        }
+                        Ok(Flow::Continue)
+                    }
+                }
+            }
+            Terminator::Abort { kind } => Ok(Flow::Stop(Outcome::Abort(*kind))),
+            Terminator::Unreachable => {
+                Ok(Flow::Stop(Outcome::Abort(AbortKind::UnreachableReached)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        // The interp crate's dev-dependency on the front-end keeps these
+        // tests readable.
+        overify_lang_compile(src)
+    }
+
+    // Small indirection so the dev-dependency is referenced in one place.
+    fn overify_lang_compile(src: &str) -> Module {
+        overify_lang::compile(src).expect("test source must compile")
+    }
+
+    #[test]
+    fn returns_value() {
+        let m = compile("int f(int a, int b) { return a * b + 1; }");
+        let r = run_module(&m, "f", &[6, 7], &ExecConfig::default());
+        assert_eq!(r.outcome, Outcome::Ok);
+        assert_eq!(r.ret, Some(43));
+    }
+
+    #[test]
+    fn loops_and_locals() {
+        let m = compile(
+            "int sum(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
+        );
+        let r = run_module(&m, "sum", &[100], &ExecConfig::default());
+        assert_eq!(r.ret, Some(5050));
+        assert!(r.branches >= 100);
+    }
+
+    #[test]
+    fn signed_arithmetic_wraps_and_compares() {
+        let m = compile("int f(int a) { return a / -2; }");
+        let r = run_module(&m, "f", &[(-10i64 as u64) & 0xffff_ffff], &ExecConfig::default());
+        assert_eq!(r.ret, Some(5));
+    }
+
+    #[test]
+    fn division_by_zero_aborts() {
+        let m = compile("int f(int a, int b) { return a / b; }");
+        let r = run_module(&m, "f", &[1, 0], &ExecConfig::default());
+        assert_eq!(r.outcome, Outcome::Abort(AbortKind::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_aborts() {
+        let m = compile("int f(int i) { char buf[4]; return buf[i]; }");
+        let r = run_module(&m, "f", &[10], &ExecConfig::default());
+        assert_eq!(r.outcome, Outcome::Abort(AbortKind::OutOfBounds));
+        let ok = run_module(&m, "f", &[3], &ExecConfig::default());
+        assert_eq!(ok.outcome, Outcome::Ok);
+    }
+
+    #[test]
+    fn null_deref_aborts() {
+        let m = compile("int f() { int *p = 0; return *p; }");
+        let r = run_module(&m, "f", &[], &ExecConfig::default());
+        assert_eq!(r.outcome, Outcome::Abort(AbortKind::OutOfBounds));
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        let m = compile("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }");
+        let r = run_module(&m, "fib", &[12], &ExecConfig::default());
+        assert_eq!(r.ret, Some(144));
+    }
+
+    #[test]
+    fn putchar_collects_output() {
+        let m = compile(
+            r#"int f() { putchar('h'); putchar('i'); putchar('\n'); return 0; }"#,
+        );
+        let r = run_module(&m, "f", &[], &ExecConfig::default());
+        assert_eq!(r.output, b"hi\n");
+    }
+
+    #[test]
+    fn buffer_argument_and_string_scan() {
+        let m = compile(
+            r#"
+            int count_x(unsigned char *s, int n) {
+                int c = 0;
+                for (int i = 0; i < n; i++) if (s[i] == 'x') c++;
+                return c;
+            }
+            "#,
+        );
+        let r = run_with_buffer(&m, "count_x", b"axbxcx", &[6], &ExecConfig::default());
+        assert_eq!(r.ret, Some(3));
+    }
+
+    #[test]
+    fn sym_input_feeds_bytes() {
+        let m = compile(
+            r#"
+            int f() {
+                char b[3];
+                __sym_input(b, 3);
+                return b[0] + b[1] + b[2];
+            }
+            "#,
+        );
+        let cfg = ExecConfig {
+            sym_input: vec![1, 2, 3],
+            ..Default::default()
+        };
+        let r = run_module(&m, "f", &[], &cfg);
+        assert_eq!(r.ret, Some(6));
+    }
+
+    #[test]
+    fn assert_and_assume() {
+        let m = compile("int f(int x) { __assert(x != 5); return x; }");
+        assert_eq!(
+            run_module(&m, "f", &[5], &ExecConfig::default()).outcome,
+            Outcome::Abort(AbortKind::AssertFail)
+        );
+        assert_eq!(
+            run_module(&m, "f", &[4], &ExecConfig::default()).outcome,
+            Outcome::Ok
+        );
+        let m2 = compile("int g(int x) { __assume(x > 0); return x; }");
+        assert_eq!(
+            run_module(&m2, "g", &[0], &ExecConfig::default()).outcome,
+            Outcome::AssumeViolated
+        );
+    }
+
+    #[test]
+    fn fuel_limit() {
+        let m = compile("int f() { while (1) {} return 0; }");
+        let cfg = ExecConfig {
+            max_steps: 1000,
+            ..Default::default()
+        };
+        assert_eq!(run_module(&m, "f", &[], &cfg).outcome, Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn dangling_stack_pointer_faults() {
+        let m = compile(
+            r#"
+            int *leak() { int x = 1; return &x; }
+            int f() { int *p = leak(); return *p; }
+            "#,
+        );
+        let r = run_module(&m, "f", &[], &ExecConfig::default());
+        assert_eq!(r.outcome, Outcome::Abort(AbortKind::OutOfBounds));
+    }
+
+    #[test]
+    fn globals_read_write() {
+        let m = compile(
+            r#"
+            int counter = 10;
+            const char tab[3] = {5, 6, 7};
+            int f() { counter += tab[2]; return counter; }
+            "#,
+        );
+        let r = run_module(&m, "f", &[], &ExecConfig::default());
+        assert_eq!(r.ret, Some(17));
+    }
+
+    #[test]
+    fn cycles_accumulate_with_cost_model() {
+        let m = compile("int f(int a, int b) { return a / b + a * b; }");
+        let r = run_module(&m, "f", &[8, 2], &ExecConfig::default());
+        assert_eq!(r.ret, Some(20));
+        // div (20) + mul (3) at minimum.
+        assert!(r.cycles >= 23, "cycles = {}", r.cycles);
+    }
+}

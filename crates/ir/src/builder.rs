@@ -1,0 +1,212 @@
+//! A convenience cursor for constructing IR, used heavily by the MiniC
+//! front-end's lowering and by tests.
+
+use crate::function::Function;
+use crate::inst::{
+    AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator,
+};
+use crate::types::Ty;
+use crate::value::{BlockId, GlobalId, Operand, ValueId};
+
+/// A positioned builder: appends instructions to `block` of `func`.
+///
+/// The cursor performs no simplification; `-O0` output is exactly what the
+/// front-end emits, which is what makes the O0/O3/OVERIFY comparison honest.
+pub struct Cursor<'a> {
+    pub func: &'a mut Function,
+    pub block: BlockId,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the entry block.
+    pub fn new(func: &'a mut Function) -> Cursor<'a> {
+        let block = func.entry();
+        Cursor { func, block }
+    }
+
+    /// Moves the cursor to `block`.
+    pub fn at(&mut self, block: BlockId) -> &mut Self {
+        self.block = block;
+        self
+    }
+
+    /// Adds a block (does not move the cursor).
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    fn emit(&mut self, kind: InstKind, ty: Option<Ty>) -> Option<Operand> {
+        self.func
+            .append_inst(self.block, kind, ty)
+            .map(Operand::Value)
+    }
+
+    /// `lhs op rhs`
+    pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
+        self.emit(InstKind::Bin { op, ty, lhs, rhs }, Some(ty)).unwrap()
+    }
+
+    /// `icmp pred lhs, rhs`
+    pub fn cmp(&mut self, pred: CmpPred, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
+        self.emit(InstKind::Cmp { pred, ty, lhs, rhs }, Some(Ty::I1))
+            .unwrap()
+    }
+
+    /// `select cond, t, f`
+    pub fn select(&mut self, ty: Ty, cond: Operand, t: Operand, f: Operand) -> Operand {
+        self.emit(
+            InstKind::Select {
+                ty,
+                cond,
+                on_true: t,
+                on_false: f,
+            },
+            Some(ty),
+        )
+        .unwrap()
+    }
+
+    /// Width cast.
+    pub fn cast(&mut self, op: CastOp, to: Ty, value: Operand) -> Operand {
+        self.emit(InstKind::Cast { op, to, value }, Some(to)).unwrap()
+    }
+
+    /// Stack allocation of `size` bytes.
+    pub fn alloca(&mut self, size: u64) -> Operand {
+        self.emit(InstKind::Alloca { size }, Some(Ty::Ptr)).unwrap()
+    }
+
+    /// Typed load.
+    pub fn load(&mut self, ty: Ty, addr: Operand) -> Operand {
+        self.emit(InstKind::Load { ty, addr }, Some(ty)).unwrap()
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, ty: Ty, value: Operand, addr: Operand) {
+        self.emit(InstKind::Store { ty, value, addr }, None);
+    }
+
+    /// Byte-granular pointer arithmetic.
+    pub fn ptradd(&mut self, base: Operand, offset: Operand) -> Operand {
+        self.emit(InstKind::PtrAdd { base, offset }, Some(Ty::Ptr))
+            .unwrap()
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, global: GlobalId) -> Operand {
+        self.emit(InstKind::GlobalAddr { global }, Some(Ty::Ptr))
+            .unwrap()
+    }
+
+    /// Direct call; `ret_ty` decides whether a result value is produced.
+    pub fn call(&mut self, name: &str, args: Vec<Operand>, ret_ty: Ty) -> Option<Operand> {
+        let kind = InstKind::Call {
+            callee: Callee::Func(name.to_string()),
+            args,
+        };
+        if ret_ty == Ty::Void {
+            self.emit(kind, None)
+        } else {
+            self.emit(kind, Some(ret_ty))
+        }
+    }
+
+    /// Intrinsic call.
+    pub fn intrinsic(&mut self, i: Intrinsic, args: Vec<Operand>) -> Option<Operand> {
+        let kind = InstKind::Call {
+            callee: Callee::Intrinsic(i),
+            args,
+        };
+        let ret = i.ret_ty();
+        if ret == Ty::Void {
+            self.emit(kind, None)
+        } else {
+            self.emit(kind, Some(ret))
+        }
+    }
+
+    /// Phi node; callers must keep incomings consistent with predecessors.
+    pub fn phi(&mut self, ty: Ty, incomings: Vec<(BlockId, Operand)>) -> ValueId {
+        self.emit(InstKind::Phi { ty, incomings }, Some(ty))
+            .unwrap()
+            .as_value()
+            .unwrap()
+    }
+
+    /// Unconditional branch terminator.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.set_term(self.block, Terminator::Br { target });
+    }
+
+    /// Conditional branch terminator.
+    pub fn condbr(&mut self, cond: Operand, on_true: BlockId, on_false: BlockId) {
+        self.func.set_term(
+            self.block,
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            },
+        );
+    }
+
+    /// Return terminator.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.func.set_term(self.block, Terminator::Ret { value });
+    }
+
+    /// Abort terminator.
+    pub fn abort(&mut self, kind: AbortKind) {
+        self.func.set_term(self.block, Terminator::Abort { kind });
+    }
+
+    /// Shorthand constant.
+    pub fn imm(&self, ty: Ty, bits: u64) -> Operand {
+        Operand::imm(ty, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn build_min_function() {
+        // min(a, b) via select.
+        let mut f = Function::new("min", &[Ty::I32, Ty::I32], Ty::I32);
+        let (a, b) = (
+            Operand::Value(f.params[0]),
+            Operand::Value(f.params[1]),
+        );
+        let mut c = Cursor::new(&mut f);
+        let lt = c.cmp(CmpPred::Slt, Ty::I32, a, b);
+        let m = c.select(Ty::I32, lt, a, b);
+        c.ret(Some(m));
+
+        let mut module = Module::new();
+        module.functions.push(f);
+        verify_module(&module).unwrap();
+    }
+
+    #[test]
+    fn build_branchy_abs() {
+        let mut f = Function::new("abs", &[Ty::I32], Ty::I32);
+        let a = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let neg = c.add_block("neg");
+        let pos = c.add_block("pos");
+        let lt = c.cmp(CmpPred::Slt, Ty::I32, a, c.imm(Ty::I32, 0));
+        c.condbr(lt, neg, pos);
+        c.at(neg);
+        let n = c.bin(BinOp::Sub, Ty::I32, c.imm(Ty::I32, 0), a);
+        c.ret(Some(n));
+        c.at(pos);
+        c.ret(Some(a));
+
+        let mut module = Module::new();
+        module.functions.push(f);
+        verify_module(&module).unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! Control-flow graph queries: successors, predecessors, reachability and
+//! reverse post-order.
+
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// Predecessor/successor tables for a function, computed once and reused by
+/// the analyses in [`crate::dom`] and [`crate::loops`].
+///
+/// The tables are a snapshot: passes that mutate control flow must recompute.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub preds: Vec<Vec<BlockId>>,
+    pub succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG tables for `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        Cfg { preds, succs }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks reachable from the entry, as a bitmap indexed by block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let n = self.succs.len();
+        let mut seen = vec![false; n];
+        if n == 0 {
+            return seen;
+        }
+        let mut stack = vec![BlockId(0)];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse post-order over reachable blocks, starting at the entry.
+    ///
+    /// This is the canonical iteration order for forward dataflow and the
+    /// dominance computation.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.succs.len();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut postorder = Vec::with_capacity(n);
+        if n == 0 {
+            return postorder;
+        }
+        // Iterative DFS with an explicit (block, next-successor) stack so
+        // deep CFGs (fully unrolled loops) cannot overflow the Rust stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = self.succs(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Terminator;
+    use crate::types::{Const, Ty};
+    use crate::value::Operand;
+
+    /// Builds the diamond CFG: entry -> {l, r} -> exit.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", &[], Ty::Void);
+        let e = f.entry();
+        let l = f.add_block("l");
+        let r = f.add_block("r");
+        let x = f.add_block("exit");
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Const(Const::bool(true)),
+                on_true: l,
+                on_false: r,
+            },
+        );
+        f.set_term(l, Terminator::Br { target: x });
+        f.set_term(r, Terminator::Br { target: x });
+        f.set_term(x, Terminator::Ret { value: None });
+        f
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // Exit must come after both branches.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded_from_rpo() {
+        let mut f = diamond();
+        let dead = f.add_block("dead");
+        f.set_term(dead, Terminator::Ret { value: None });
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.reachable()[dead.index()]);
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Uses the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+//! Dominance Algorithm"), which is simple, robust, and fast enough for the
+//! function sizes this compiler produces (even after aggressive full
+//! unrolling).
+
+use crate::cfg::Cfg;
+use crate::value::BlockId;
+
+/// The dominator tree of a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order, kept for clients iterating in dominance-friendly
+    /// order.
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree from a CFG snapshot.
+    pub fn compute(cfg: &Cfg) -> DomTree {
+        let n = cfg.succs.len();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, rpo };
+        }
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // Skip unprocessed / unreachable preds.
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b || b != BlockId(0) => {
+                if b == BlockId(0) {
+                    None
+                } else {
+                    Some(d)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == BlockId(0) {
+                return false;
+            }
+            cur = self.idom[cur.index()].unwrap();
+        }
+    }
+
+    /// Reverse post-order of reachable blocks.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Dominance frontier of every block: `DF(b)` is the set of blocks where
+    /// `b`'s dominance stops — exactly where SSA construction places phis.
+    pub fn dominance_frontiers(&self, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = cfg.succs.len();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in (0..n as u32).map(BlockId) {
+            if !self.is_reachable(b) {
+                continue;
+            }
+            let preds = cfg.preds(b);
+            if preds.len() < 2 {
+                continue;
+            }
+            let idom_b = self.idom[b.index()].unwrap();
+            for &p in preds {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    match self.idom[runner.index()] {
+                        Some(next) if next != runner => runner = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+/// Walks both candidate dominators up the tree until they meet.
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].unwrap();
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].unwrap();
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::inst::Terminator;
+    use crate::types::{Const, Ty};
+    use crate::value::Operand;
+
+    /// entry -> {l, r}; l -> exit; r -> exit; plus a loop r -> r2 -> r.
+    fn build() -> (Function, Cfg) {
+        let mut f = Function::new("t", &[], Ty::Void);
+        let e = f.entry();
+        let l = f.add_block("l");
+        let r = f.add_block("r");
+        let r2 = f.add_block("r2");
+        let x = f.add_block("exit");
+        let t = Operand::Const(Const::bool(true));
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: t,
+                on_true: l,
+                on_false: r,
+            },
+        );
+        f.set_term(l, Terminator::Br { target: x });
+        f.set_term(
+            r,
+            Terminator::CondBr {
+                cond: t,
+                on_true: r2,
+                on_false: x,
+            },
+        );
+        f.set_term(r2, Terminator::Br { target: r });
+        f.set_term(x, Terminator::Ret { value: None });
+        let cfg = Cfg::compute(&f);
+        (f, cfg)
+    }
+
+    #[test]
+    fn idoms() {
+        let (_, cfg) = build();
+        let dom = DomTree::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(2)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (_, cfg) = build();
+        let dom = DomTree::compute(&cfg);
+        assert!(dom.dominates(BlockId(0), BlockId(4)));
+        assert!(dom.dominates(BlockId(2), BlockId(3)));
+        assert!(dom.dominates(BlockId(2), BlockId(2)));
+        assert!(!dom.dominates(BlockId(1), BlockId(4)));
+        assert!(!dom.dominates(BlockId(3), BlockId(2)));
+    }
+
+    #[test]
+    fn frontiers_mark_merge_points() {
+        let (_, cfg) = build();
+        let dom = DomTree::compute(&cfg);
+        let df = dom.dominance_frontiers(&cfg);
+        // l's dominance stops at exit.
+        assert_eq!(df[1], vec![BlockId(4)]);
+        // r2's frontier is the loop header r.
+        assert_eq!(df[3], vec![BlockId(2)]);
+        // r's frontier includes exit and itself (loop header).
+        assert!(df[2].contains(&BlockId(4)));
+        assert!(df[2].contains(&BlockId(2)));
+    }
+}

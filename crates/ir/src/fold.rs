@@ -1,0 +1,162 @@
+//! Shared constant evaluation for binary operations, comparisons and casts.
+//!
+//! Every engine that gives meaning to IR instructions — the optimizer's
+//! constant folder, the concrete interpreter and the symbolic expression
+//! builder — routes scalar arithmetic through this module so that all three
+//! agree bit-for-bit. Semantics follow LLVM with one deviation: shifts by an
+//! amount `>= width` are defined (zero for `shl`/`lshr`, sign-fill for
+//! `ashr`) rather than poison, so differential testing across engines is
+//! deterministic.
+
+use crate::inst::{BinOp, CastOp, CmpPred};
+use crate::types::{sign_extend, Ty};
+
+/// Evaluates `op` on `width(ty)`-bit values `a`, `b` (already truncated).
+/// Returns `None` for division or remainder by zero.
+pub fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Option<u64> {
+    let mask = ty.mask();
+    let width = ty.bits();
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinOp::SDiv => {
+            if b == 0 {
+                return None;
+            }
+            let sa = sign_extend(a, width);
+            let sb = sign_extend(b, width);
+            // Wrapping handles INT_MIN / -1 like LLVM's undefined case;
+            // we define it as wrap-around for determinism.
+            sa.wrapping_div(sb) as u64
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return None;
+            }
+            let sa = sign_extend(a, width);
+            let sb = sign_extend(b, width);
+            sa.wrapping_rem(sb) as u64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= width as u64 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::LShr => {
+            if b >= width as u64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::AShr => {
+            let sa = sign_extend(a, width);
+            if b >= width as u64 {
+                (sa >> 63) as u64
+            } else {
+                (sa >> b) as u64
+            }
+        }
+    };
+    Some(r & mask)
+}
+
+/// Evaluates comparison `pred` on `width(ty)`-bit values.
+pub fn eval_cmp(pred: CmpPred, ty: Ty, a: u64, b: u64) -> bool {
+    let width = ty.bits();
+    let (sa, sb) = (sign_extend(a, width), sign_extend(b, width));
+    match pred {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Ult => a < b,
+        CmpPred::Ule => a <= b,
+        CmpPred::Ugt => a > b,
+        CmpPred::Uge => a >= b,
+        CmpPred::Slt => sa < sb,
+        CmpPred::Sle => sa <= sb,
+        CmpPred::Sgt => sa > sb,
+        CmpPred::Sge => sa >= sb,
+    }
+}
+
+/// Evaluates a cast of `val` (a `from`-typed bit pattern) to type `to`.
+pub fn eval_cast(op: CastOp, from: Ty, to: Ty, val: u64) -> u64 {
+    match op {
+        CastOp::Zext => val & from.mask() & to.mask(),
+        CastOp::Sext => (sign_extend(val, from.bits()) as u64) & to.mask(),
+        CastOp::Trunc => val & to.mask(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arith_wraps() {
+        assert_eq!(eval_bin(BinOp::Add, Ty::I8, 200, 100), Some(44));
+        assert_eq!(eval_bin(BinOp::Sub, Ty::I8, 0, 1), Some(255));
+        assert_eq!(eval_bin(BinOp::Mul, Ty::I8, 16, 16), Some(0));
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(eval_bin(BinOp::UDiv, Ty::I32, 7, 2), Some(3));
+        assert_eq!(eval_bin(BinOp::UDiv, Ty::I32, 7, 0), None);
+        // -7 / 2 == -3 (trunc toward zero).
+        let a = (-7i64 as u64) & Ty::I32.mask();
+        assert_eq!(
+            eval_bin(BinOp::SDiv, Ty::I32, a, 2),
+            Some((-3i64 as u64) & Ty::I32.mask())
+        );
+        assert_eq!(
+            eval_bin(BinOp::SRem, Ty::I32, a, 2),
+            Some((-1i64 as u64) & Ty::I32.mask())
+        );
+    }
+
+    #[test]
+    fn shift_out_of_range_is_defined() {
+        assert_eq!(eval_bin(BinOp::Shl, Ty::I8, 1, 8), Some(0));
+        assert_eq!(eval_bin(BinOp::LShr, Ty::I8, 0x80, 9), Some(0));
+        assert_eq!(eval_bin(BinOp::AShr, Ty::I8, 0x80, 100), Some(0xff));
+        assert_eq!(eval_bin(BinOp::AShr, Ty::I8, 0x40, 100), Some(0));
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let neg1 = 0xffu64;
+        assert!(eval_cmp(CmpPred::Slt, Ty::I8, neg1, 0));
+        assert!(!eval_cmp(CmpPred::Ult, Ty::I8, neg1, 0));
+        assert!(eval_cmp(CmpPred::Sge, Ty::I8, 5, neg1));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(CastOp::Zext, Ty::I8, Ty::I32, 0xff), 0xff);
+        assert_eq!(
+            eval_cast(CastOp::Sext, Ty::I8, Ty::I32, 0xff),
+            0xffff_ffff
+        );
+        assert_eq!(eval_cast(CastOp::Trunc, Ty::I32, Ty::I8, 0x1234), 0x34);
+        assert_eq!(eval_cast(CastOp::Sext, Ty::I1, Ty::I8, 1), 0xff);
+    }
+}

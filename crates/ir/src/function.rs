@@ -1,0 +1,387 @@
+//! Functions and basic blocks.
+
+use crate::inst::{Inst, InstKind, Terminator};
+use crate::meta::Annotations;
+use crate::types::Ty;
+use crate::value::{BlockId, InstId, Operand, ValueData, ValueDef, ValueId, ENTRY_BLOCK};
+use std::collections::HashMap;
+
+/// A basic block: a straight-line instruction sequence plus one terminator.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Unique (within the function) human-readable label.
+    pub name: String,
+    /// Instructions in execution order (indices into `Function::insts`).
+    pub insts: Vec<InstId>,
+    pub term: Terminator,
+}
+
+/// A function: parameters, return type and a CFG of basic blocks.
+///
+/// Instruction and value payloads live in function-level tables
+/// (`insts`, `values`) referenced by the small typed ids from
+/// [`crate::value`]; blocks store instruction ids in order. Deleting an
+/// instruction tombstones it as [`InstKind::Nop`] and removes the id from its
+/// block.
+#[derive(Clone, Debug)]
+pub struct Function {
+    pub name: String,
+    /// Parameter values, in declaration order.
+    pub params: Vec<ValueId>,
+    pub ret_ty: Ty,
+    /// Blocks; `blocks[0]` is the entry block of a defined function.
+    pub blocks: Vec<Block>,
+    /// Instruction table (may contain `Nop` tombstones).
+    pub insts: Vec<Inst>,
+    /// Value table.
+    pub values: Vec<ValueData>,
+    /// Verification-oriented metadata (the paper's "program annotations").
+    pub annotations: Annotations,
+    /// True for external declarations without a body.
+    pub is_declaration: bool,
+}
+
+impl Default for Function {
+    /// An empty placeholder function (useful with `std::mem::take` when a
+    /// pass needs to borrow a function and the module simultaneously).
+    fn default() -> Function {
+        Function::new("<default>", &[], Ty::Void)
+    }
+}
+
+impl Function {
+    /// Creates an empty function with the given signature and an entry block.
+    pub fn new(name: impl Into<String>, param_tys: &[Ty], ret_ty: Ty) -> Function {
+        let mut f = Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_ty,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            values: Vec::new(),
+            annotations: Annotations::default(),
+            is_declaration: false,
+        };
+        for (i, &ty) in param_tys.iter().enumerate() {
+            let v = f.make_value(ty, ValueDef::Param(i as u32), None);
+            f.params.push(v);
+        }
+        f.add_block("entry");
+        f
+    }
+
+    /// Creates an external declaration (no body).
+    pub fn declare(name: impl Into<String>, param_tys: &[Ty], ret_ty: Ty) -> Function {
+        let mut f = Function::new(name, param_tys, ret_ty);
+        f.blocks.clear();
+        f.is_declaration = true;
+        f
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        ENTRY_BLOCK
+    }
+
+    /// Parameter types, in order.
+    pub fn param_tys(&self) -> Vec<Ty> {
+        self.params.iter().map(|&v| self.value_ty(v)).collect()
+    }
+
+    /// Adds a new block with a unique label derived from `name` and an
+    /// `unreachable` placeholder terminator.
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        let mut label = name.to_string();
+        if self.blocks.iter().any(|b| b.name == label) {
+            let mut n = 1usize;
+            loop {
+                label = format!("{name}.{n}");
+                if !self.blocks.iter().any(|b| b.name == label) {
+                    break;
+                }
+                n += 1;
+            }
+        }
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: label,
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
+        id
+    }
+
+    /// Registers a new value.
+    pub fn make_value(&mut self, ty: Ty, def: ValueDef, name: Option<String>) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { ty, def, name });
+        id
+    }
+
+    /// Appends an instruction to `block`. If `kind` produces a result for
+    /// this call site (`result_ty` is `Some`), a fresh value is created and
+    /// returned.
+    pub fn append_inst(
+        &mut self,
+        block: BlockId,
+        kind: InstKind,
+        result_ty: Option<Ty>,
+    ) -> Option<ValueId> {
+        let (id, val) = self.create_inst(kind, result_ty);
+        self.blocks[block.index()].insts.push(id);
+        val
+    }
+
+    /// Inserts an instruction at position `pos` within `block`.
+    pub fn insert_inst(
+        &mut self,
+        block: BlockId,
+        pos: usize,
+        kind: InstKind,
+        result_ty: Option<Ty>,
+    ) -> Option<ValueId> {
+        let (id, val) = self.create_inst(kind, result_ty);
+        self.blocks[block.index()].insts.insert(pos, id);
+        val
+    }
+
+    /// Creates an instruction entry (not yet placed in any block).
+    pub fn create_inst(&mut self, kind: InstKind, result_ty: Option<Ty>) -> (InstId, Option<ValueId>) {
+        let id = InstId(self.insts.len() as u32);
+        let result = result_ty.map(|ty| self.make_value(ty, ValueDef::Inst(id), None));
+        self.insts.push(Inst { kind, result });
+        (id, result)
+    }
+
+    /// Accessors.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// All block ids, in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Type of a value.
+    pub fn value_ty(&self, v: ValueId) -> Ty {
+        self.values[v.index()].ty
+    }
+
+    /// Type of an operand.
+    pub fn operand_ty(&self, op: Operand) -> Ty {
+        match op {
+            Operand::Const(c) => c.ty,
+            Operand::Value(v) => self.value_ty(v),
+        }
+    }
+
+    /// Sets the terminator of `block`.
+    pub fn set_term(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.index()].term = term;
+    }
+
+    /// Marks an instruction dead; it remains in the table as a tombstone
+    /// until [`Function::purge_nops`] removes it from block lists.
+    pub fn kill_inst(&mut self, id: InstId) {
+        self.insts[id.index()].kind = InstKind::Nop;
+        self.insts[id.index()].result = None;
+    }
+
+    /// Removes `Nop` tombstones from all block instruction lists.
+    pub fn purge_nops(&mut self) {
+        let insts = &self.insts;
+        for b in &mut self.blocks {
+            b.insts
+                .retain(|&id| !matches!(insts[id.index()].kind, InstKind::Nop));
+        }
+    }
+
+    /// Replaces every use of value `from` (in instruction operands and
+    /// terminators) with operand `to`.
+    pub fn replace_all_uses(&mut self, from: ValueId, to: Operand) {
+        for inst in &mut self.insts {
+            inst.kind.for_each_operand_mut(|op| {
+                if *op == Operand::Value(from) {
+                    *op = to;
+                }
+            });
+        }
+        for b in &mut self.blocks {
+            if let Terminator::CondBr { cond, .. } = &mut b.term {
+                if *cond == Operand::Value(from) {
+                    *cond = to;
+                }
+            }
+            if let Terminator::Ret { value: Some(v) } = &mut b.term {
+                if *v == Operand::Value(from) {
+                    *v = to;
+                }
+            }
+        }
+    }
+
+    /// Counts the uses of each value across all live instructions and
+    /// terminators.
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.values.len()];
+        let mut bump = |op: &Operand| {
+            if let Operand::Value(v) = op {
+                counts[v.index()] += 1;
+            }
+        };
+        for b in &self.blocks {
+            for &i in &b.insts {
+                self.insts[i.index()].kind.for_each_operand(&mut bump);
+            }
+            match &b.term {
+                Terminator::CondBr { cond, .. } => bump(cond),
+                Terminator::Ret { value: Some(v) } => bump(v),
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Number of live (non-Nop) instructions, a proxy for code size used by
+    /// the inlining and unrolling cost models.
+    pub fn live_inst_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|&&i| !matches!(self.insts[i.index()].kind, InstKind::Nop))
+            .count()
+    }
+
+    /// Rewrites phi nodes in `block`: every incoming edge from `old_pred`
+    /// is changed to come from `new_pred`.
+    pub fn retarget_phis(&mut self, block: BlockId, old_pred: BlockId, new_pred: BlockId) {
+        let ids: Vec<InstId> = self.blocks[block.index()].insts.clone();
+        for id in ids {
+            if let InstKind::Phi { incomings, .. } = &mut self.insts[id.index()].kind {
+                for (pred, _) in incomings.iter_mut() {
+                    if *pred == old_pred {
+                        *pred = new_pred;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes phi incomings from `pred` in `block` (used when an edge is
+    /// deleted).
+    pub fn remove_phi_edge(&mut self, block: BlockId, pred: BlockId) {
+        let ids: Vec<InstId> = self.blocks[block.index()].insts.clone();
+        for id in ids {
+            if let InstKind::Phi { incomings, .. } = &mut self.insts[id.index()].kind {
+                incomings.retain(|(p, _)| *p != pred);
+            }
+        }
+    }
+
+    /// Maps each block name to its id.
+    pub fn block_name_map(&self) -> HashMap<String, BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.name.clone(), BlockId(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+    use crate::types::Const;
+
+    fn sample() -> Function {
+        let mut f = Function::new("f", &[Ty::I32], Ty::I32);
+        let e = f.entry();
+        let p = f.params[0];
+        let v = f
+            .append_inst(
+                e,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: Operand::Value(p),
+                    rhs: Operand::imm(Ty::I32, 1),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        f
+    }
+
+    #[test]
+    fn build_and_query() {
+        let f = sample();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.live_inst_count(), 1);
+        assert_eq!(f.value_ty(f.params[0]), Ty::I32);
+    }
+
+    #[test]
+    fn unique_block_names() {
+        let mut f = Function::new("f", &[], Ty::Void);
+        let b1 = f.add_block("loop");
+        let b2 = f.add_block("loop");
+        assert_ne!(f.block(b1).name, f.block(b2).name);
+    }
+
+    #[test]
+    fn kill_and_purge() {
+        let mut f = sample();
+        let id = f.blocks[0].insts[0];
+        f.kill_inst(id);
+        assert_eq!(f.live_inst_count(), 0);
+        f.purge_nops();
+        assert!(f.blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn replace_uses_rewrites_ret() {
+        let mut f = sample();
+        let v = match f.blocks[0].term {
+            Terminator::Ret { value: Some(Operand::Value(v)) } => v,
+            _ => panic!(),
+        };
+        f.replace_all_uses(v, Operand::Const(Const::new(Ty::I32, 9)));
+        match f.blocks[0].term {
+            Terminator::Ret {
+                value: Some(Operand::Const(c)),
+            } => assert_eq!(c.bits, 9),
+            _ => panic!("ret not rewritten"),
+        }
+    }
+
+    #[test]
+    fn use_counts_count_terminators() {
+        let f = sample();
+        let counts = f.use_counts();
+        assert_eq!(counts[f.params[0].index()], 1);
+        // The add result is used once, by the ret.
+        let add_result = f.insts[0].result.unwrap();
+        assert_eq!(counts[add_result.index()], 1);
+    }
+}

@@ -1,0 +1,668 @@
+//! Instructions, terminators and intrinsics.
+
+use crate::types::Ty;
+use crate::value::{BlockId, GlobalId, Operand, ValueId};
+use std::fmt;
+
+/// Binary integer operations. Division and remainder by zero are undefined
+/// behaviour; the engines report them as bugs and the `runtime-checks` pass
+/// turns them into explicit aborts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+}
+
+impl BinOp {
+    /// Name as used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::UDiv => "udiv",
+            BinOp::SDiv => "sdiv",
+            BinOp::URem => "urem",
+            BinOp::SRem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Parses an operation name.
+    pub fn from_name(s: &str) -> Option<BinOp> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "udiv" => BinOp::UDiv,
+            "sdiv" => BinOp::SDiv,
+            "urem" => BinOp::URem,
+            "srem" => BinOp::SRem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "lshr" => BinOp::LShr,
+            "ashr" => BinOp::AShr,
+            _ => return None,
+        })
+    }
+
+    /// True for commutative operations (used by value numbering to
+    /// canonicalize operand order).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// True if the operation can trap (divide / remainder by zero).
+    pub fn can_trap(self) -> bool {
+        matches!(
+            self,
+            BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem
+        )
+    }
+}
+
+/// Integer comparison predicates (LLVM `icmp` flavours).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+}
+
+impl CmpPred {
+    /// Name as used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+        }
+    }
+
+    /// Parses a predicate name.
+    pub fn from_name(s: &str) -> Option<CmpPred> {
+        Some(match s {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "ult" => CmpPred::Ult,
+            "ule" => CmpPred::Ule,
+            "ugt" => CmpPred::Ugt,
+            "uge" => CmpPred::Uge,
+            "slt" => CmpPred::Slt,
+            "sle" => CmpPred::Sle,
+            "sgt" => CmpPred::Sgt,
+            "sge" => CmpPred::Sge,
+            _ => return None,
+        })
+    }
+
+    /// The logically negated predicate (`eq` ↔ `ne`, `ult` ↔ `uge`, ...).
+    pub fn negate(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Ne,
+            CmpPred::Ne => CmpPred::Eq,
+            CmpPred::Ult => CmpPred::Uge,
+            CmpPred::Ule => CmpPred::Ugt,
+            CmpPred::Ugt => CmpPred::Ule,
+            CmpPred::Uge => CmpPred::Ult,
+            CmpPred::Slt => CmpPred::Sge,
+            CmpPred::Sle => CmpPred::Sgt,
+            CmpPred::Sgt => CmpPred::Sle,
+            CmpPred::Sge => CmpPred::Slt,
+        }
+    }
+
+    /// The predicate with operands swapped (`ult` ↔ `ugt`, `eq` ↔ `eq`, ...).
+    pub fn swap(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::Ult => CmpPred::Ugt,
+            CmpPred::Ule => CmpPred::Uge,
+            CmpPred::Ugt => CmpPred::Ult,
+            CmpPred::Uge => CmpPred::Ule,
+            CmpPred::Slt => CmpPred::Sgt,
+            CmpPred::Sle => CmpPred::Sge,
+            CmpPred::Sgt => CmpPred::Slt,
+            CmpPred::Sge => CmpPred::Sle,
+        }
+    }
+}
+
+/// Width-changing casts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Zero-extend to a wider type.
+    Zext,
+    /// Sign-extend to a wider type.
+    Sext,
+    /// Truncate to a narrower type.
+    Trunc,
+}
+
+impl CastOp {
+    /// Name as used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            CastOp::Zext => "zext",
+            CastOp::Sext => "sext",
+            CastOp::Trunc => "trunc",
+        }
+    }
+
+    /// Parses a cast name.
+    pub fn from_name(s: &str) -> Option<CastOp> {
+        Some(match s {
+            "zext" => CastOp::Zext,
+            "sext" => CastOp::Sext,
+            "trunc" => CastOp::Trunc,
+            _ => return None,
+        })
+    }
+}
+
+/// Built-in operations with runtime/engine support.
+///
+/// These model the verification environment: symbolic input introduction
+/// (KLEE's `klee_make_symbolic`), assumptions and assertions, character I/O
+/// and a bump allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `sym_input(ptr, len)` — marks `len` bytes at `ptr` as symbolic input.
+    SymInput,
+    /// `assume(i1)` — constrains the current path; silently kills
+    /// contradicting paths.
+    Assume,
+    /// `assert(i1)` — aborts (reports a bug) if the condition can be false.
+    Assert,
+    /// `putchar(i32) -> i32` — appends a byte to the program's output stream.
+    PutChar,
+    /// `malloc(i64) -> ptr` — bump allocation; never freed.
+    Malloc,
+    /// `abort()` — unconditional program abort (used by runtime checks).
+    Abort,
+}
+
+impl Intrinsic {
+    /// Name as used by the textual format and resolved by the front-end.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::SymInput => "sym_input",
+            Intrinsic::Assume => "assume",
+            Intrinsic::Assert => "assert",
+            Intrinsic::PutChar => "putchar",
+            Intrinsic::Malloc => "malloc",
+            Intrinsic::Abort => "abort",
+        }
+    }
+
+    /// Parses an intrinsic name.
+    pub fn from_name(s: &str) -> Option<Intrinsic> {
+        Some(match s {
+            "sym_input" => Intrinsic::SymInput,
+            "assume" => Intrinsic::Assume,
+            "assert" => Intrinsic::Assert,
+            "putchar" => Intrinsic::PutChar,
+            "malloc" => Intrinsic::Malloc,
+            "abort" => Intrinsic::Abort,
+            _ => return None,
+        })
+    }
+
+    /// Return type of the intrinsic.
+    pub fn ret_ty(self) -> Ty {
+        match self {
+            Intrinsic::SymInput | Intrinsic::Assume | Intrinsic::Assert | Intrinsic::Abort => {
+                Ty::Void
+            }
+            Intrinsic::PutChar => Ty::I32,
+            Intrinsic::Malloc => Ty::Ptr,
+        }
+    }
+
+    /// True if the intrinsic has side effects visible to the environment and
+    /// must not be removed or reordered.
+    pub fn has_side_effects(self) -> bool {
+        // `Assume`/`Assert` constrain paths, `SymInput` introduces symbols,
+        // `PutChar` writes output, `Malloc` allocates, `Abort` terminates.
+        true
+    }
+}
+
+/// A call target: a named function in the module or an intrinsic.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// Direct call, resolved by name at link/execution time.
+    Func(String),
+    /// Built-in operation.
+    Intrinsic(Intrinsic),
+}
+
+impl Callee {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Func(n) => n,
+            Callee::Intrinsic(i) => i.name(),
+        }
+    }
+}
+
+/// Why a program aborted. The `runtime-checks` pass and the engines both map
+/// distinct failures onto this single "crash" channel — the paper's point
+/// that runtime checks let verifiers look for one kind of failure only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbortKind {
+    /// Out-of-bounds memory access.
+    OutOfBounds,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// `assert` intrinsic failed.
+    AssertFail,
+    /// Explicit `abort()` call.
+    Explicit,
+    /// `unreachable` terminator was reached.
+    UnreachableReached,
+}
+
+impl AbortKind {
+    /// Name as used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortKind::OutOfBounds => "oob",
+            AbortKind::DivByZero => "divzero",
+            AbortKind::AssertFail => "assertfail",
+            AbortKind::Explicit => "explicit",
+            AbortKind::UnreachableReached => "unreachable",
+        }
+    }
+
+    /// Parses an abort-kind name.
+    pub fn from_name(s: &str) -> Option<AbortKind> {
+        Some(match s {
+            "oob" => AbortKind::OutOfBounds,
+            "divzero" => AbortKind::DivByZero,
+            "assertfail" => AbortKind::AssertFail,
+            "explicit" => AbortKind::Explicit,
+            "unreachable" => AbortKind::UnreachableReached,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AbortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The operation an instruction performs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstKind {
+    /// `result = op ty lhs, rhs`
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `result = icmp pred ty lhs, rhs` — result type is `i1`.
+    Cmp {
+        pred: CmpPred,
+        ty: Ty,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `result = select i1 cond, on_true, on_false`
+    Select {
+        ty: Ty,
+        cond: Operand,
+        on_true: Operand,
+        on_false: Operand,
+    },
+    /// `result = zext/sext/trunc value to ty`
+    Cast { op: CastOp, to: Ty, value: Operand },
+    /// `result = alloca size` — stack allocation of `size` bytes.
+    Alloca { size: u64 },
+    /// `result = load ty, addr`
+    Load { ty: Ty, addr: Operand },
+    /// `store ty value, addr` — no result.
+    Store {
+        ty: Ty,
+        value: Operand,
+        addr: Operand,
+    },
+    /// `result = ptradd base, offset` — byte-granular pointer arithmetic.
+    PtrAdd { base: Operand, offset: Operand },
+    /// `result = globaladdr @name` — address of a global.
+    GlobalAddr { global: GlobalId },
+    /// `result = call @callee(args...)` — `result` is absent for void callees.
+    Call { callee: Callee, args: Vec<Operand> },
+    /// SSA phi node: `result = phi ty [bb -> op, ...]`.
+    Phi {
+        ty: Ty,
+        incomings: Vec<(BlockId, Operand)>,
+    },
+    /// Tombstone left behind by passes; skipped everywhere and removed by
+    /// instruction compaction.
+    Nop,
+}
+
+impl InstKind {
+    /// The result type, or `None` for instructions that produce no value.
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            InstKind::Bin { ty, .. } => Some(*ty),
+            InstKind::Cmp { .. } => Some(Ty::I1),
+            InstKind::Select { ty, .. } => Some(*ty),
+            InstKind::Cast { to, .. } => Some(*to),
+            InstKind::Alloca { .. } | InstKind::PtrAdd { .. } | InstKind::GlobalAddr { .. } => {
+                Some(Ty::Ptr)
+            }
+            InstKind::Load { ty, .. } => Some(*ty),
+            InstKind::Store { .. } | InstKind::Nop => None,
+            InstKind::Call { .. } => None, // Determined per-call from the callee.
+            InstKind::Phi { ty, .. } => Some(*ty),
+        }
+    }
+
+    /// True if the instruction writes memory, performs I/O or otherwise must
+    /// not be removed when its result is unused.
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            InstKind::Store { .. } | InstKind::Call { .. } => true,
+            // Division can trap; treat as side-effecting for DCE purposes.
+            InstKind::Bin { op, .. } => op.can_trap(),
+            _ => false,
+        }
+    }
+
+    /// True if the instruction may be speculatively hoisted past a branch
+    /// (no side effects, cannot trap, does not read memory).
+    ///
+    /// Loads are excluded here; the if-conversion pass separately allows
+    /// provably-dereferenceable loads under the verification cost model.
+    pub fn is_speculatable(&self) -> bool {
+        match self {
+            InstKind::Bin { op, rhs, .. } => {
+                // Division is speculatable only when the divisor is a
+                // non-zero constant.
+                if op.can_trap() {
+                    matches!(rhs, Operand::Const(c) if !c.is_zero())
+                } else {
+                    true
+                }
+            }
+            InstKind::Cmp { .. }
+            | InstKind::Select { .. }
+            | InstKind::Cast { .. }
+            | InstKind::PtrAdd { .. }
+            | InstKind::GlobalAddr { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Calls `f` on every operand.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            InstKind::Cast { value, .. } => f(value),
+            InstKind::Load { addr, .. } => f(addr),
+            InstKind::Store { value, addr, .. } => {
+                f(value);
+                f(addr);
+            }
+            InstKind::PtrAdd { base, offset } => {
+                f(base);
+                f(offset);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            InstKind::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(op);
+                }
+            }
+            InstKind::Alloca { .. } | InstKind::GlobalAddr { .. } | InstKind::Nop => {}
+        }
+    }
+
+    /// Calls `f` on every operand, allowing mutation (used by value remapping
+    /// in the inliner and loop-cloning passes).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            InstKind::Cast { value, .. } => f(value),
+            InstKind::Load { addr, .. } => f(addr),
+            InstKind::Store { value, addr, .. } => {
+                f(value);
+                f(addr);
+            }
+            InstKind::PtrAdd { base, offset } => {
+                f(base);
+                f(offset);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            InstKind::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(op);
+                }
+            }
+            InstKind::Alloca { .. } | InstKind::GlobalAddr { .. } | InstKind::Nop => {}
+        }
+    }
+}
+
+/// One instruction: its operation plus the value it defines, if any.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    pub kind: InstKind,
+    pub result: Option<ValueId>,
+}
+
+/// Block terminators. Every reachable block has exactly one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br { target: BlockId },
+    /// Two-way conditional branch on an `i1` operand.
+    CondBr {
+        cond: Operand,
+        on_true: BlockId,
+        on_false: BlockId,
+    },
+    /// Function return; operand present iff the return type is non-void.
+    Ret { value: Option<Operand> },
+    /// Program abort: the single failure channel verifiers look for.
+    Abort { kind: AbortKind },
+    /// Statically unreachable; reaching it dynamically is a bug.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } => vec![*on_true, *on_false],
+            _ => vec![],
+        }
+    }
+
+    /// Replaces every successor equal to `from` with `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Br { target } => {
+                if *target == from {
+                    *target = to;
+                }
+            }
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } => {
+                if *on_true == from {
+                    *on_true = to;
+                }
+                if *on_false == from {
+                    *on_false = to;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Const;
+
+    #[test]
+    fn predicate_negation_is_involutive() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Ult,
+            CmpPred::Ule,
+            CmpPred::Ugt,
+            CmpPred::Uge,
+            CmpPred::Slt,
+            CmpPred::Sle,
+            CmpPred::Sgt,
+            CmpPred::Sge,
+        ] {
+            assert_eq!(p.negate().negate(), p);
+            assert_eq!(p.swap().swap(), p);
+            assert_eq!(CmpPred::from_name(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn binop_round_trip_and_traits() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::UDiv,
+            BinOp::SDiv,
+            BinOp::URem,
+            BinOp::SRem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::LShr,
+            BinOp::AShr,
+        ] {
+            assert_eq!(BinOp::from_name(op.name()), Some(op));
+        }
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(BinOp::UDiv.can_trap());
+        assert!(!BinOp::Shl.can_trap());
+    }
+
+    #[test]
+    fn speculation_rules() {
+        let div_by_const = InstKind::Bin {
+            op: BinOp::UDiv,
+            ty: Ty::I32,
+            lhs: Operand::Value(ValueId(0)),
+            rhs: Operand::Const(Const::new(Ty::I32, 4)),
+        };
+        assert!(div_by_const.is_speculatable());
+        let div_by_var = InstKind::Bin {
+            op: BinOp::UDiv,
+            ty: Ty::I32,
+            lhs: Operand::Value(ValueId(0)),
+            rhs: Operand::Value(ValueId(1)),
+        };
+        assert!(!div_by_var.is_speculatable());
+        let load = InstKind::Load {
+            ty: Ty::I8,
+            addr: Operand::Value(ValueId(0)),
+        };
+        assert!(!load.is_speculatable());
+    }
+
+    #[test]
+    fn terminator_retarget() {
+        let mut t = Terminator::CondBr {
+            cond: Operand::Const(Const::bool(true)),
+            on_true: BlockId(1),
+            on_false: BlockId(2),
+        };
+        t.retarget(BlockId(2), BlockId(3));
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(3)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! `overify-ir`: the intermediate representation used by the -OVERIFY
+//! compiler pipeline.
+//!
+//! The IR is an SSA-flavoured, byte-addressed representation closely modeled
+//! on LLVM bitcode, which is what the -OVERIFY paper's prototype (`-OSYMBEX`)
+//! consumes and produces. It supports:
+//!
+//! * integer types `i1`/`i8`/`i16`/`i32`/`i64` plus `ptr` and `void`,
+//! * arithmetic, comparison, select, cast, memory and call instructions,
+//! * explicit control flow (blocks terminated by `br`/`condbr`/`ret`/
+//!   `abort`/`unreachable`),
+//! * phi nodes for SSA form (programs start in non-SSA "alloca" form and are
+//!   promoted by the `mem2reg` pass in `overify-opt`),
+//! * program annotations (value ranges, loop trip counts) — the metadata
+//!   channel the paper proposes compilers should preserve for verifiers,
+//! * a human-readable textual format with a parser and printer, and
+//! * CFG analyses: predecessors, reverse post-order, dominators, dominance
+//!   frontiers and natural-loop detection.
+//!
+//! # Example
+//!
+//! ```
+//! use overify_ir::{parse_module, Module};
+//!
+//! let m: Module = parse_module(
+//!     r#"
+//!     func @add1(%a: i32) -> i32 {
+//!     entry:
+//!       %r = add i32 %a, 1
+//!       ret i32 %r
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(m.functions.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod fold;
+pub mod function;
+pub mod inst;
+pub mod loops;
+pub mod meta;
+pub mod module;
+pub mod parse;
+pub mod print;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use builder::Cursor;
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use function::{Block, Function};
+pub use inst::{
+    AbortKind, BinOp, Callee, CastOp, CmpPred, Inst, InstKind, Intrinsic, Terminator,
+};
+pub use loops::{Loop, LoopForest};
+pub use meta::{Annotations, ValueRange};
+pub use module::{Global, Module};
+pub use parse::{parse_module, ParseError};
+pub use types::{Const, Ty};
+pub use value::{BlockId, FuncId, GlobalId, InstId, Operand, ValueData, ValueDef, ValueId};
+pub use verify::{verify_function, verify_module, VerifyError};

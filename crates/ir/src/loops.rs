@@ -1,0 +1,292 @@
+//! Natural loop detection.
+//!
+//! Loops are discovered from back edges (`latch -> header` where the header
+//! dominates the latch). The resulting [`LoopForest`] drives loop
+//! unswitching, unrolling and LICM in `overify-opt`, and the trip-count
+//! annotation pass.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::inst::Terminator;
+use crate::value::BlockId;
+use std::collections::HashSet;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The single entry block of the loop.
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// Blocks *outside* the loop that are targets of an edge leaving it.
+    pub exits: Vec<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+}
+
+impl Loop {
+    /// True if `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function, outermost first.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    pub loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects loops from the dominator tree. Loops sharing a header are
+    /// merged (LLVM-style): one loop per header.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let n = cfg.succs.len();
+        // Gather back edges grouped by header.
+        let mut by_header: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in (0..n as u32).map(BlockId) {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    by_header[s.index()].push(b);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for header in (0..n as u32).map(BlockId) {
+            let latches = &by_header[header.index()];
+            if latches.is_empty() {
+                continue;
+            }
+            // Collect the loop body: blocks that can reach a latch without
+            // going through the header.
+            let mut blocks: HashSet<BlockId> = HashSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in latches {
+                if blocks.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if dom.is_reachable(p) && blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            // Exits: out-of-loop successors of in-loop blocks.
+            let mut exits = Vec::new();
+            for &b in &blocks {
+                for &s in cfg.succs(b) {
+                    if !blocks.contains(&s) && !exits.contains(&s) {
+                        exits.push(s);
+                    }
+                }
+            }
+            exits.sort();
+            loops.push(Loop {
+                header,
+                blocks,
+                latches: latches.clone(),
+                exits,
+                depth: 0,
+            });
+        }
+
+        // Compute nesting depth: loop A contains loop B if A's blocks are a
+        // superset of B's and A != B.
+        let snapshot: Vec<HashSet<BlockId>> = loops.iter().map(|l| l.blocks.clone()).collect();
+        for (i, l) in loops.iter_mut().enumerate() {
+            let mut depth = 1;
+            for (j, other) in snapshot.iter().enumerate() {
+                if i != j && other.len() > l.blocks.len() && l.blocks.is_subset(other) {
+                    depth += 1;
+                }
+            }
+            l.depth = depth;
+        }
+        // Outermost first (stable order for deterministic pass behaviour).
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopForest { loops }
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+
+    /// The loop headed exactly at `header`, if any.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+}
+
+/// Ensures the loop has a dedicated preheader: a block that is the unique
+/// out-of-loop predecessor of the header and branches only to it.
+///
+/// Returns the preheader block. Invalidates CFG/dominator snapshots.
+pub fn ensure_preheader(f: &mut Function, lp: &Loop) -> BlockId {
+    let cfg = Cfg::compute(f);
+    let outside: Vec<BlockId> = cfg
+        .preds(lp.header)
+        .iter()
+        .copied()
+        .filter(|p| !lp.contains(*p))
+        .collect();
+    // A single outside predecessor whose only successor is the header
+    // already is a preheader.
+    if outside.len() == 1 {
+        let p = outside[0];
+        if cfg.succs(p).len() == 1 {
+            return p;
+        }
+    }
+    let pre = f.add_block("preheader");
+    f.set_term(pre, Terminator::Br { target: lp.header });
+    for p in &outside {
+        f.block_mut(*p).term.retarget(lp.header, pre);
+    }
+    // Phi incomings from outside predecessors now flow through the
+    // preheader. With multiple outside preds we would need new phis in the
+    // preheader; the passes in this codebase only request preheaders for
+    // loops with a single outside predecessor, so assert that invariant.
+    assert!(
+        outside.len() <= 1,
+        "ensure_preheader with multiple outside predecessors requires phi splitting"
+    );
+    if let Some(&p) = outside.first() {
+        f.retarget_phis(lp.header, p, pre);
+    }
+    pre
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Const, Ty};
+    use crate::value::Operand;
+
+    /// entry -> header; header -> {body, exit}; body -> header.
+    fn simple_loop() -> Function {
+        let mut f = Function::new("t", &[], Ty::Void);
+        let e = f.entry();
+        let h = f.add_block("header");
+        let b = f.add_block("body");
+        let x = f.add_block("exit");
+        let t = Operand::Const(Const::bool(true));
+        f.set_term(e, Terminator::Br { target: h });
+        f.set_term(
+            h,
+            Terminator::CondBr {
+                cond: t,
+                on_true: b,
+                on_false: x,
+            },
+        );
+        f.set_term(b, Terminator::Br { target: h });
+        f.set_term(x, Terminator::Ret { value: None });
+        f
+    }
+
+    #[test]
+    fn detects_simple_loop() {
+        let f = simple_loop();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert_eq!(l.exits, vec![BlockId(3)]);
+        assert_eq!(l.blocks.len(), 2);
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        // entry -> h1; h1 -> {h2, exit}; h2 -> {b2, h1latch}; b2 -> h2;
+        // h1latch -> h1.
+        let mut f = Function::new("t", &[], Ty::Void);
+        let e = f.entry();
+        let h1 = f.add_block("h1");
+        let h2 = f.add_block("h2");
+        let b2 = f.add_block("b2");
+        let l1 = f.add_block("l1");
+        let x = f.add_block("exit");
+        let t = Operand::Const(Const::bool(true));
+        f.set_term(e, Terminator::Br { target: h1 });
+        f.set_term(
+            h1,
+            Terminator::CondBr {
+                cond: t,
+                on_true: h2,
+                on_false: x,
+            },
+        );
+        f.set_term(
+            h2,
+            Terminator::CondBr {
+                cond: t,
+                on_true: b2,
+                on_false: l1,
+            },
+        );
+        f.set_term(b2, Terminator::Br { target: h2 });
+        f.set_term(l1, Terminator::Br { target: h1 });
+        f.set_term(x, Terminator::Ret { value: None });
+
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        let outer = forest.loop_with_header(h1).unwrap();
+        let inner = forest.loop_with_header(h2).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(inner.blocks.is_subset(&outer.blocks));
+        assert_eq!(
+            forest.innermost_containing(b2).unwrap().header,
+            h2
+        );
+    }
+
+    #[test]
+    fn preheader_insertion() {
+        let mut f = simple_loop();
+        // Entry branches straight to header and nothing else, so it already
+        // acts as a preheader.
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let lp = forest.loops[0].clone();
+        let pre = ensure_preheader(&mut f, &lp);
+        assert_eq!(pre, BlockId(0));
+
+        // Make the entry conditional so a fresh preheader is required.
+        let t = Operand::Const(Const::bool(true));
+        f.set_term(
+            BlockId(0),
+            Terminator::CondBr {
+                cond: t,
+                on_true: lp.header,
+                on_false: BlockId(3),
+            },
+        );
+        let pre2 = ensure_preheader(&mut f, &lp);
+        assert_ne!(pre2, BlockId(0));
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(lp.header).len(), 2); // preheader + latch
+        assert_eq!(cfg.succs(pre2), &[lp.header]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Program annotations: the metadata channel the paper proposes compilers
+//! should expose to verification tools.
+//!
+//! Today's compilers compute value ranges, loop trip counts and alias facts
+//! during optimization and then throw them away. `-OVERIFY` keeps them: the
+//! annotation pass in `overify-opt` fills in this structure and the symbolic
+//! execution engine in `overify-symex` consults it to skip solver queries for
+//! branches the compiler already proved one-sided.
+
+use crate::value::{BlockId, ValueId};
+use std::collections::HashMap;
+
+/// An inclusive unsigned range `[umin, umax]` for a value's bit pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueRange {
+    pub umin: u64,
+    pub umax: u64,
+}
+
+impl ValueRange {
+    /// The full range of a `width`-bit value.
+    pub fn full(width: u32) -> ValueRange {
+        let umax = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        ValueRange { umin: 0, umax }
+    }
+
+    /// A single-point range.
+    pub fn point(v: u64) -> ValueRange {
+        ValueRange { umin: v, umax: v }
+    }
+
+    /// True if the range is a single value.
+    pub fn is_point(&self) -> bool {
+        self.umin == self.umax
+    }
+
+    /// True if `v` lies within the range.
+    pub fn contains(&self, v: u64) -> bool {
+        self.umin <= v && v <= self.umax
+    }
+
+    /// Intersection, or `None` when empty.
+    pub fn intersect(&self, other: &ValueRange) -> Option<ValueRange> {
+        let umin = self.umin.max(other.umin);
+        let umax = self.umax.min(other.umax);
+        if umin <= umax {
+            Some(ValueRange { umin, umax })
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-function annotation tables.
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    /// Proven unsigned ranges for SSA values.
+    pub value_ranges: HashMap<ValueId, ValueRange>,
+    /// Upper bounds on loop trip counts, keyed by loop header block.
+    pub trip_counts: HashMap<BlockId, u64>,
+}
+
+impl Annotations {
+    /// True if no annotation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.value_ranges.is_empty() && self.trip_counts.is_empty()
+    }
+
+    /// Number of recorded facts (used in reports and the annotations
+    /// ablation experiment).
+    pub fn fact_count(&self) -> usize {
+        self.value_ranges.len() + self.trip_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_widths() {
+        assert_eq!(ValueRange::full(1), ValueRange { umin: 0, umax: 1 });
+        assert_eq!(ValueRange::full(8), ValueRange { umin: 0, umax: 255 });
+        assert_eq!(ValueRange::full(64).umax, u64::MAX);
+    }
+
+    #[test]
+    fn intersect_and_contains() {
+        let a = ValueRange { umin: 3, umax: 10 };
+        let b = ValueRange { umin: 8, umax: 20 };
+        assert_eq!(a.intersect(&b), Some(ValueRange { umin: 8, umax: 10 }));
+        let c = ValueRange { umin: 11, umax: 12 };
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.contains(3));
+        assert!(!a.contains(11));
+        assert!(ValueRange::point(5).is_point());
+    }
+
+    #[test]
+    fn fact_count() {
+        let mut ann = Annotations::default();
+        assert!(ann.is_empty());
+        ann.value_ranges.insert(ValueId(0), ValueRange::point(1));
+        ann.trip_counts.insert(BlockId(2), 10);
+        assert_eq!(ann.fact_count(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Modules and globals, plus module linking.
+
+use crate::function::Function;
+use crate::value::GlobalId;
+use std::collections::HashMap;
+
+/// A global variable: a named, fixed-size byte region with an initializer.
+#[derive(Clone, Debug)]
+pub struct Global {
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initial contents; shorter than `size` means zero-fill of the tail.
+    pub init: Vec<u8>,
+    /// Constant globals may be assumed immutable by optimizations and
+    /// engines (writes to them are out-of-bounds bugs).
+    pub is_const: bool,
+}
+
+/// A compilation unit: functions plus globals.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    pub functions: Vec<Function>,
+    pub globals: Vec<Global>,
+}
+
+/// Errors produced by [`Module::link`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// Two modules define a function body with the same name.
+    DuplicateFunction(String),
+    /// Two modules define a global with the same name.
+    DuplicateGlobal(String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::DuplicateFunction(n) => write!(f, "duplicate function definition: @{n}"),
+            LinkError::DuplicateGlobal(n) => write!(f, "duplicate global definition: @{n}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Index of a function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<(GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Total live instruction count across all defined functions — the
+    /// "compiled program size" statistic reported in Table 1.
+    pub fn live_inst_count(&self) -> usize {
+        self.functions.iter().map(|f| f.live_inst_count()).sum()
+    }
+
+    /// Links `other` into `self`.
+    ///
+    /// Function *declarations* are resolved against definitions from either
+    /// side; duplicate *definitions* are an error. Global ids inside
+    /// `other`'s functions are remapped to the combined global table.
+    pub fn link(&mut self, other: Module) -> Result<(), LinkError> {
+        // Remap other's globals.
+        let mut global_map: HashMap<u32, u32> = HashMap::new();
+        for (i, g) in other.globals.into_iter().enumerate() {
+            if let Some((existing, eg)) = self.global(&g.name) {
+                // Two identically named globals are only tolerated when they
+                // are bit-identical constants (e.g. shared tables).
+                if eg.is_const && g.is_const && eg.size == g.size && eg.init == g.init {
+                    global_map.insert(i as u32, existing.0);
+                    continue;
+                }
+                return Err(LinkError::DuplicateGlobal(g.name));
+            }
+            let id = self.add_global(g);
+            global_map.insert(i as u32, id.0);
+        }
+
+        for mut f in other.functions {
+            // Remap global references in the incoming function.
+            for inst in &mut f.insts {
+                if let crate::inst::InstKind::GlobalAddr { global } = &mut inst.kind {
+                    global.0 = *global_map
+                        .get(&global.0)
+                        .expect("global id out of range while linking");
+                }
+            }
+            match self.function_index(&f.name) {
+                Some(i) => {
+                    let existing = &self.functions[i];
+                    match (existing.is_declaration, f.is_declaration) {
+                        (true, false) => self.functions[i] = f,
+                        (_, true) => {} // Keep whichever is already there.
+                        (false, false) => {
+                            return Err(LinkError::DuplicateFunction(f.name));
+                        }
+                    }
+                }
+                None => self.functions.push(f),
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the names of declared-but-undefined functions (unresolved
+    /// externals after linking).
+    pub fn unresolved(&self) -> Vec<&str> {
+        self.functions
+            .iter()
+            .filter(|f| f.is_declaration)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+
+    fn def(name: &str) -> Function {
+        Function::new(name, &[], Ty::Void)
+    }
+
+    #[test]
+    fn link_resolves_declarations() {
+        let mut a = Module::new();
+        a.functions.push(Function::declare("f", &[], Ty::Void));
+        a.functions.push(def("main"));
+        let mut b = Module::new();
+        b.functions.push(def("f"));
+        a.link(b).unwrap();
+        assert_eq!(a.functions.len(), 2);
+        assert!(a.unresolved().is_empty());
+        assert!(!a.function("f").unwrap().is_declaration);
+    }
+
+    #[test]
+    fn link_rejects_duplicate_definitions() {
+        let mut a = Module::new();
+        a.functions.push(def("f"));
+        let mut b = Module::new();
+        b.functions.push(def("f"));
+        assert_eq!(
+            a.link(b),
+            Err(LinkError::DuplicateFunction("f".to_string()))
+        );
+    }
+
+    #[test]
+    fn link_merges_identical_const_globals() {
+        let mut a = Module::new();
+        a.add_global(Global {
+            name: "tab".into(),
+            size: 4,
+            init: vec![1, 2, 3, 4],
+            is_const: true,
+        });
+        let mut b = Module::new();
+        b.add_global(Global {
+            name: "tab".into(),
+            size: 4,
+            init: vec![1, 2, 3, 4],
+            is_const: true,
+        });
+        a.link(b).unwrap();
+        assert_eq!(a.globals.len(), 1);
+    }
+
+    #[test]
+    fn link_rejects_conflicting_globals() {
+        let mut a = Module::new();
+        a.add_global(Global {
+            name: "g".into(),
+            size: 4,
+            init: vec![],
+            is_const: false,
+        });
+        let mut b = Module::new();
+        b.add_global(Global {
+            name: "g".into(),
+            size: 4,
+            init: vec![],
+            is_const: false,
+        });
+        assert!(a.link(b).is_err());
+    }
+}

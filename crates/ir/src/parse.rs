@@ -1,0 +1,782 @@
+//! Parser for the textual IR format produced by [`crate::print`].
+
+use crate::function::Function;
+use crate::inst::{
+    AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator,
+};
+use crate::module::{Global, Module};
+use crate::types::{Const, Ty};
+use crate::value::{BlockId, GlobalId, Operand, ValueDef, ValueId};
+use std::collections::HashMap;
+
+/// A parse failure with a 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Sentinel for values referenced before their definition (phi back edges).
+const PENDING_DEF: ValueDef = ValueDef::Param(u32::MAX);
+
+/// Parses a whole module from its textual form.
+pub fn parse_module(src: &str) -> Result<Module> {
+    // Tokenize every line up front (comments start with ';').
+    let lines: Vec<(usize, Vec<String>)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let code = match l.find(';') {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            (i + 1, tokenize(code))
+        })
+        .filter(|(_, toks)| !toks.is_empty())
+        .collect();
+
+    // Pass 1: function signatures and globals (so calls can be typed).
+    let mut sigs: HashMap<String, (Vec<Ty>, Ty)> = HashMap::new();
+    for (ln, toks) in &lines {
+        match toks[0].as_str() {
+            "func" | "decl" => {
+                let (name, params, ret) = parse_signature(*ln, toks)?;
+                let tys = params.iter().map(|(_, ty)| *ty).collect();
+                sigs.insert(name, (tys, ret));
+            }
+            _ => {}
+        }
+    }
+
+    let mut m = Module::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, toks) = &lines[i];
+        match toks[0].as_str() {
+            "global" => {
+                m.globals.push(parse_global(*ln, toks)?);
+                i += 1;
+            }
+            "decl" => {
+                let (name, params, ret) = parse_signature(*ln, toks)?;
+                let tys: Vec<Ty> = params.iter().map(|(_, t)| *t).collect();
+                m.functions.push(Function::declare(name, &tys, ret));
+                i += 1;
+            }
+            "func" => {
+                let end = lines[i..]
+                    .iter()
+                    .position(|(_, t)| t.len() == 1 && t[0] == "}")
+                    .map(|p| i + p)
+                    .ok_or_else(|| err(*ln, "unterminated function body"))?;
+                let f = parse_function(&lines[i..=end], &sigs, &m)?;
+                m.functions.push(f);
+                i = end + 1;
+            }
+            other => return Err(err(*ln, format!("unexpected token `{other}`"))),
+        }
+    }
+    Ok(m)
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Splits a line into tokens, padding punctuation with spaces first.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut padded = String::with_capacity(line.len() + 8);
+    for c in line.chars() {
+        match c {
+            ',' | '(' | ')' | '[' | ']' | ':' | '{' | '}' => {
+                padded.push(' ');
+                padded.push(c);
+                padded.push(' ');
+            }
+            _ => padded.push(c),
+        }
+    }
+    padded.split_whitespace().map(|s| s.to_string()).collect()
+}
+
+/// Parses `func|decl @name ( %p : ty , ... ) -> ty [{]`.
+fn parse_signature(ln: usize, toks: &[String]) -> Result<(String, Vec<(Option<String>, Ty)>, Ty)> {
+    let mut c = TokCursor::new(ln, toks);
+    c.next()?; // func | decl
+    let name = c.at_name()?;
+    c.expect("(")?;
+    let mut params = Vec::new();
+    if c.peek() != Some(")") {
+        loop {
+            let tok = c.next()?.to_string();
+            let (pname, ty) = if let Some(stripped) = tok.strip_prefix('%') {
+                c.expect(":")?;
+                let ty = c.ty()?;
+                (Some(strip_index_suffix(stripped)), ty)
+            } else {
+                // A bare type (declarations).
+                (
+                    None,
+                    Ty::from_name(&tok).ok_or_else(|| err(ln, format!("bad type `{tok}`")))?,
+                )
+            };
+            params.push((pname, ty));
+            if c.peek() == Some(",") {
+                c.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+    c.expect(")")?;
+    c.expect("->")?;
+    let ret = c.ty()?;
+    Ok((name, params, ret))
+}
+
+/// Parses `global @name size [const] [x"hex"]`.
+fn parse_global(ln: usize, toks: &[String]) -> Result<Global> {
+    let mut c = TokCursor::new(ln, toks);
+    c.expect("global")?;
+    let name = c.at_name()?;
+    let size = c
+        .next()?
+        .parse::<u64>()
+        .map_err(|_| err(ln, "bad global size"))?;
+    let mut is_const = false;
+    let mut init = Vec::new();
+    while let Some(t) = c.peek() {
+        if t == "const" {
+            is_const = true;
+            c.next()?;
+        } else if let Some(hex) = t.strip_prefix("x\"").and_then(|s| s.strip_suffix('"')) {
+            let hex = hex.to_string();
+            c.next()?;
+            if hex.len() % 2 != 0 {
+                return Err(err(ln, "odd hex initializer length"));
+            }
+            for i in (0..hex.len()).step_by(2) {
+                let b = u8::from_str_radix(&hex[i..i + 2], 16)
+                    .map_err(|_| err(ln, "bad hex digit in initializer"))?;
+                init.push(b);
+            }
+        } else {
+            return Err(err(ln, format!("unexpected token `{t}` in global")));
+        }
+    }
+    if init.len() as u64 > size {
+        return Err(err(ln, "initializer longer than global size"));
+    }
+    Ok(Global {
+        name,
+        size,
+        init,
+        is_const,
+    })
+}
+
+/// Removes a trailing `.v<digits>` uniquifier from a printed value name.
+fn strip_index_suffix(name: &str) -> String {
+    if let Some(pos) = name.rfind(".v") {
+        if name[pos + 2..].chars().all(|c| c.is_ascii_digit()) && pos + 2 < name.len() {
+            return name[..pos].to_string();
+        }
+    }
+    name.to_string()
+}
+
+struct FuncParser<'a> {
+    f: Function,
+    names: HashMap<String, ValueId>,
+    pending: HashMap<String, usize>, // value name -> first line referencing it
+    blocks: HashMap<String, BlockId>,
+    sigs: &'a HashMap<String, (Vec<Ty>, Ty)>,
+    module: &'a Module,
+}
+
+impl<'a> FuncParser<'a> {
+    /// Looks up or creates (as pending) the value for token `tok` of type `ty`.
+    fn value(&mut self, ln: usize, tok: &str, ty: Ty) -> Result<ValueId> {
+        let key = tok.to_string();
+        if let Some(&v) = self.names.get(&key) {
+            return Ok(v);
+        }
+        // Forward reference: create a placeholder that the defining
+        // instruction will claim.
+        let base = strip_index_suffix(tok);
+        let name = if base.starts_with('v') && base[1..].chars().all(|c| c.is_ascii_digit()) {
+            None
+        } else {
+            Some(base)
+        };
+        let v = self.f.make_value(ty, PENDING_DEF, name);
+        self.names.insert(key.clone(), v);
+        self.pending.insert(key, ln);
+        Ok(v)
+    }
+
+    /// Parses an operand with an expected type.
+    fn operand(&mut self, ln: usize, tok: &str, ty: Ty) -> Result<Operand> {
+        if let Some(v) = tok.strip_prefix('%') {
+            let id = self.value(ln, v, ty)?;
+            Ok(Operand::Value(id))
+        } else {
+            let bits = parse_int(ln, tok)?;
+            Ok(Operand::Const(Const::new(ty, bits)))
+        }
+    }
+
+    /// Binds the result name of an instruction being defined.
+    fn bind_result(&mut self, ln: usize, tok: &str, ty: Ty) -> Result<ValueId> {
+        let key = tok
+            .strip_prefix('%')
+            .ok_or_else(|| err(ln, "result must start with %"))?
+            .to_string();
+        if let Some(&v) = self.names.get(&key) {
+            // Claiming a pending forward reference.
+            if self.pending.remove(&key).is_none() {
+                return Err(err(ln, format!("value %{key} defined twice")));
+            }
+            if self.f.value_ty(v) != ty {
+                return Err(err(
+                    ln,
+                    format!(
+                        "type mismatch for %{key}: forward use assumed {}, defined as {}",
+                        self.f.value_ty(v),
+                        ty
+                    ),
+                ));
+            }
+            Ok(v)
+        } else {
+            let base = strip_index_suffix(&key);
+            let name = if base.starts_with('v') && base[1..].chars().all(|c| c.is_ascii_digit()) {
+                None
+            } else {
+                Some(base)
+            };
+            let v = self.f.make_value(ty, PENDING_DEF, name);
+            self.names.insert(key, v);
+            Ok(v)
+        }
+    }
+
+    fn block_id(&mut self, ln: usize, name: &str) -> Result<BlockId> {
+        self.blocks
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(ln, format!("unknown block `{name}`")))
+    }
+
+    /// Resolves a call target's signature.
+    fn callee_sig(&self, ln: usize, name: &str) -> Result<(Callee, Vec<Ty>, Ty)> {
+        if let Some(i) = Intrinsic::from_name(name) {
+            let params: Vec<Ty> = match i {
+                Intrinsic::SymInput => vec![Ty::Ptr, Ty::I64],
+                Intrinsic::Assume | Intrinsic::Assert => vec![Ty::I1],
+                Intrinsic::PutChar => vec![Ty::I32],
+                Intrinsic::Malloc => vec![Ty::I64],
+                Intrinsic::Abort => vec![],
+            };
+            return Ok((Callee::Intrinsic(i), params, i.ret_ty()));
+        }
+        if let Some((tys, ret)) = self.sigs.get(name) {
+            return Ok((Callee::Func(name.to_string()), tys.clone(), *ret));
+        }
+        // Calls may also target functions already linked into the module.
+        if let Some(f) = self.module.function(name) {
+            return Ok((
+                Callee::Func(name.to_string()),
+                f.param_tys(),
+                f.ret_ty,
+            ));
+        }
+        Err(err(ln, format!("unknown callee @{name}")))
+    }
+}
+
+/// Intrinsic parameter signature used by the verifier as well.
+pub(crate) fn intrinsic_params(i: Intrinsic) -> Vec<Ty> {
+    match i {
+        Intrinsic::SymInput => vec![Ty::Ptr, Ty::I64],
+        Intrinsic::Assume | Intrinsic::Assert => vec![Ty::I1],
+        Intrinsic::PutChar => vec![Ty::I32],
+        Intrinsic::Malloc => vec![Ty::I64],
+        Intrinsic::Abort => vec![],
+    }
+}
+
+fn parse_int(ln: usize, tok: &str) -> Result<u64> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| err(ln, format!("bad integer `{tok}`")))?;
+    Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v })
+}
+
+fn parse_function(
+    lines: &[(usize, Vec<String>)],
+    sigs: &HashMap<String, (Vec<Ty>, Ty)>,
+    module: &Module,
+) -> Result<Function> {
+    let (hdr_ln, hdr) = &lines[0];
+    let (name, params, ret) = parse_signature(*hdr_ln, hdr)?;
+    let tys: Vec<Ty> = params.iter().map(|(_, t)| *t).collect();
+    let mut f = Function::new(name, &tys, ret);
+    f.blocks.clear();
+
+    let mut p = FuncParser {
+        f,
+        names: HashMap::new(),
+        pending: HashMap::new(),
+        blocks: HashMap::new(),
+        sigs,
+        module,
+    };
+    // Register parameter names.
+    for (i, (pname, _)) in params.iter().enumerate() {
+        let v = p.f.params[i];
+        if let Some(n) = pname {
+            p.f.values[v.index()].name = Some(n.clone());
+            p.names.insert(format!("{n}.v{}", v.0), v);
+            p.names.insert(n.clone(), v);
+        } else {
+            p.names.insert(format!("v{}", v.0), v);
+        }
+    }
+
+    let body = &lines[1..lines.len() - 1];
+    // Collect block labels first so branches can resolve forward.
+    for (ln, toks) in body {
+        if toks.len() == 2 && toks[1] == ":" {
+            let label = toks[0].clone();
+            if p.blocks.contains_key(&label) {
+                return Err(err(*ln, format!("duplicate block label `{label}`")));
+            }
+            let id = p.f.add_block(&label);
+            p.blocks.insert(label, id);
+        }
+    }
+    if p.f.blocks.is_empty() {
+        return Err(err(*hdr_ln, "function has no blocks"));
+    }
+
+    let mut cur: Option<BlockId> = None;
+    for (ln, toks) in body {
+        if toks.len() == 2 && toks[1] == ":" {
+            cur = Some(p.blocks[&toks[0]]);
+            continue;
+        }
+        let b = cur.ok_or_else(|| err(*ln, "instruction before first block label"))?;
+        parse_body_line(&mut p, *ln, b, toks)?;
+    }
+
+    if let Some((name, ln)) = p.pending.iter().next() {
+        return Err(err(*ln, format!("use of undefined value %{name}")));
+    }
+    Ok(p.f)
+}
+
+/// Parses one instruction or terminator line into block `b`.
+fn parse_body_line(p: &mut FuncParser, ln: usize, b: BlockId, toks: &[String]) -> Result<()> {
+    // `%res = <op> ...` or `<op> ...`
+    let (result_tok, rest) = if toks.len() >= 2 && toks[1] == "=" {
+        (Some(toks[0].as_str()), &toks[2..])
+    } else {
+        (None, toks)
+    };
+    let mut c = TokCursor::new(ln, rest);
+    let op = c.next()?.to_string();
+
+    // Terminators first.
+    match op.as_str() {
+        "br" => {
+            let t = c.next()?.to_string();
+            let target = p.block_id(ln, &t)?;
+            p.f.set_term(b, Terminator::Br { target });
+            return Ok(());
+        }
+        "condbr" => {
+            let cond_tok = c.next()?.to_string();
+            let cond = p.operand(ln, &cond_tok, Ty::I1)?;
+            c.expect(",")?;
+            let t1 = c.next()?.to_string();
+            c.expect(",")?;
+            let t2 = c.next()?.to_string();
+            let on_true = p.block_id(ln, &t1)?;
+            let on_false = p.block_id(ln, &t2)?;
+            p.f.set_term(
+                b,
+                Terminator::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                },
+            );
+            return Ok(());
+        }
+        "ret" => {
+            let value = if c.peek().is_some() {
+                let ty = c.ty()?;
+                let v = c.next()?.to_string();
+                Some(p.operand(ln, &v, ty)?)
+            } else {
+                None
+            };
+            p.f.set_term(b, Terminator::Ret { value });
+            return Ok(());
+        }
+        "abort" => {
+            let k = c.next()?.to_string();
+            let kind =
+                AbortKind::from_name(&k).ok_or_else(|| err(ln, format!("bad abort kind `{k}`")))?;
+            p.f.set_term(b, Terminator::Abort { kind });
+            return Ok(());
+        }
+        "unreachable" => {
+            p.f.set_term(b, Terminator::Unreachable);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    // Instructions.
+    let (kind, result_ty): (InstKind, Option<Ty>) = if let Some(binop) = BinOp::from_name(&op) {
+        let ty = c.ty()?;
+        let l = c.next()?.to_string();
+        c.expect(",")?;
+        let r = c.next()?.to_string();
+        let lhs = p.operand(ln, &l, ty)?;
+        let rhs = p.operand(ln, &r, ty)?;
+        (
+            InstKind::Bin {
+                op: binop,
+                ty,
+                lhs,
+                rhs,
+            },
+            Some(ty),
+        )
+    } else if op == "icmp" {
+        let pred_tok = c.next()?.to_string();
+        let pred = CmpPred::from_name(&pred_tok)
+            .ok_or_else(|| err(ln, format!("bad predicate `{pred_tok}`")))?;
+        let ty = c.ty()?;
+        let l = c.next()?.to_string();
+        c.expect(",")?;
+        let r = c.next()?.to_string();
+        let lhs = p.operand(ln, &l, ty)?;
+        let rhs = p.operand(ln, &r, ty)?;
+        (InstKind::Cmp { pred, ty, lhs, rhs }, Some(Ty::I1))
+    } else if op == "select" {
+        let ty = c.ty()?;
+        let ct = c.next()?.to_string();
+        c.expect(",")?;
+        let at = c.next()?.to_string();
+        c.expect(",")?;
+        let bt = c.next()?.to_string();
+        let cond = p.operand(ln, &ct, Ty::I1)?;
+        let on_true = p.operand(ln, &at, ty)?;
+        let on_false = p.operand(ln, &bt, ty)?;
+        (
+            InstKind::Select {
+                ty,
+                cond,
+                on_true,
+                on_false,
+            },
+            Some(ty),
+        )
+    } else if let Some(cast) = CastOp::from_name(&op) {
+        let from = c.ty()?;
+        let v = c.next()?.to_string();
+        c.expect("to")?;
+        let to = c.ty()?;
+        let value = p.operand(ln, &v, from)?;
+        (InstKind::Cast { op: cast, to, value }, Some(to))
+    } else if op == "alloca" {
+        let size = c
+            .next()?
+            .parse::<u64>()
+            .map_err(|_| err(ln, "bad alloca size"))?;
+        (InstKind::Alloca { size }, Some(Ty::Ptr))
+    } else if op == "load" {
+        let ty = c.ty()?;
+        c.expect(",")?;
+        let a = c.next()?.to_string();
+        let addr = p.operand(ln, &a, Ty::Ptr)?;
+        (InstKind::Load { ty, addr }, Some(ty))
+    } else if op == "store" {
+        let ty = c.ty()?;
+        let v = c.next()?.to_string();
+        c.expect(",")?;
+        let a = c.next()?.to_string();
+        let value = p.operand(ln, &v, ty)?;
+        let addr = p.operand(ln, &a, Ty::Ptr)?;
+        (InstKind::Store { ty, value, addr }, None)
+    } else if op == "ptradd" {
+        let bt = c.next()?.to_string();
+        c.expect(",")?;
+        let ot = c.next()?.to_string();
+        let base = p.operand(ln, &bt, Ty::Ptr)?;
+        let offset = p.operand(ln, &ot, Ty::I64)?;
+        (InstKind::PtrAdd { base, offset }, Some(Ty::Ptr))
+    } else if op == "globaladdr" {
+        let idx = c
+            .next()?
+            .parse::<u32>()
+            .map_err(|_| err(ln, "bad global index"))?;
+        (
+            InstKind::GlobalAddr {
+                global: GlobalId(idx),
+            },
+            Some(Ty::Ptr),
+        )
+    } else if op == "call" {
+        let callee_tok = c.at_name()?;
+        let (callee, param_tys, ret) = p.callee_sig(ln, &callee_tok)?;
+        c.expect("(")?;
+        let mut args = Vec::new();
+        if c.peek() != Some(")") {
+            loop {
+                let at = c.next()?.to_string();
+                let ty = *param_tys
+                    .get(args.len())
+                    .ok_or_else(|| err(ln, "too many call arguments"))?;
+                args.push(p.operand(ln, &at, ty)?);
+                if c.peek() == Some(",") {
+                    c.next()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        c.expect(")")?;
+        if args.len() != param_tys.len() {
+            return Err(err(ln, "wrong number of call arguments"));
+        }
+        let result_ty = if ret == Ty::Void { None } else { Some(ret) };
+        (InstKind::Call { callee, args }, result_ty)
+    } else if op == "phi" {
+        let ty = c.ty()?;
+        let mut incomings = Vec::new();
+        loop {
+            c.expect("[")?;
+            let bt = c.next()?.to_string();
+            c.expect(":")?;
+            let vt = c.next()?.to_string();
+            c.expect("]")?;
+            let block = p.block_id(ln, &bt)?;
+            let val = p.operand(ln, &vt, ty)?;
+            incomings.push((block, val));
+            if c.peek() == Some(",") {
+                c.next()?;
+            } else {
+                break;
+            }
+        }
+        (InstKind::Phi { ty, incomings }, Some(ty))
+    } else if op == "nop" {
+        (InstKind::Nop, None)
+    } else {
+        return Err(err(ln, format!("unknown instruction `{op}`")));
+    };
+
+    // Materialize the instruction, binding the declared result value.
+    match (result_tok, result_ty) {
+        (Some(rt), Some(ty)) => {
+            let v = p.bind_result(ln, rt, ty)?;
+            let id = crate::value::InstId(p.f.insts.len() as u32);
+            p.f.values[v.index()].def = ValueDef::Inst(id);
+            p.f.insts.push(crate::inst::Inst {
+                kind,
+                result: Some(v),
+            });
+            p.f.blocks[b.index()].insts.push(id);
+        }
+        (None, None) => {
+            p.f.append_inst(b, kind, None);
+        }
+        (Some(_), None) => return Err(err(ln, "instruction produces no result")),
+        (None, Some(_)) => {
+            // A value-producing instruction whose result is discarded.
+            p.f.append_inst(b, kind, None);
+        }
+    }
+    Ok(())
+}
+
+/// Cursor over one line's tokens.
+struct TokCursor<'a> {
+    line: usize,
+    toks: &'a [String],
+    pos: usize,
+}
+
+impl<'a> TokCursor<'a> {
+    fn new(line: usize, toks: &'a [String]) -> TokCursor<'a> {
+        TokCursor { line, toks, pos: 0 }
+    }
+
+    fn next(&mut self) -> Result<&'a str> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| err(self.line, "unexpected end of line"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<()> {
+        let t = self.next()?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(err(self.line, format!("expected `{tok}`, found `{t}`")))
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty> {
+        let t = self.next()?;
+        Ty::from_name(t).ok_or_else(|| err(self.line, format!("bad type `{t}`")))
+    }
+
+    /// Parses `@name`, returning the bare name.
+    fn at_name(&mut self) -> Result<String> {
+        let t = self.next()?;
+        t.strip_prefix('@')
+            .map(|s| s.to_string())
+            .ok_or_else(|| err(self.line, format!("expected @name, found `{t}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_module;
+
+    const WC_LIKE: &str = r#"
+    ; A loop with a phi and a forward reference.
+    func @count(%s.v0: ptr, %n.v1: i32) -> i32 {
+    entry:
+      br header
+    header:
+      %i.v2 = phi i32 [entry: 0], [body: %inext.v4]
+      %c.v3 = icmp slt i32 %i.v2, %n.v1
+      condbr %c.v3, body, done
+    body:
+      %inext.v4 = add i32 %i.v2, 1
+      br header
+    done:
+      ret i32 %i.v2
+    }
+    "#;
+
+    #[test]
+    fn parses_loop_with_forward_reference() {
+        let m = parse_module(WC_LIKE).unwrap();
+        let f = m.function("count").unwrap();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.params.len(), 2);
+        crate::verify::verify_function(&m, f).unwrap();
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let m1 = parse_module(WC_LIKE).unwrap();
+        let p1 = print_module(&m1);
+        let m2 = parse_module(&p1).unwrap();
+        let p2 = print_module(&m2);
+        let m3 = parse_module(&p2).unwrap();
+        let p3 = print_module(&m3);
+        assert_eq!(p2, p3);
+    }
+
+    #[test]
+    fn parses_globals_and_calls() {
+        let src = r#"
+        global @tab 4 const x"01020304"
+        func @f() -> i32 {
+        entry:
+          %p.v0 = globaladdr 0
+          %v1 = load i8, %p.v0
+          %v2 = zext i8 %v1 to i32
+          %v3 = call @putchar(%v2)
+          ret i32 %v3
+        }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.globals[0].init, vec![1, 2, 3, 4]);
+        crate::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_undefined_value() {
+        let src = r#"
+        func @f() -> i32 {
+        entry:
+          ret i32 %nope
+        }
+        "#;
+        // A use in `ret` of a never-defined value must be rejected.
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let src = r#"
+        func @f() -> i32 {
+        entry:
+          %v0 = call @missing()
+          ret i32 %v0
+        }
+        "#;
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn parses_negative_and_hex_constants() {
+        let src = r#"
+        func @f() -> i32 {
+        entry:
+          %a.v0 = add i32 -1, 0x10
+          ret i32 %a.v0
+        }
+        "#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let inst = &f.insts[0];
+        match &inst.kind {
+            InstKind::Bin { lhs, rhs, .. } => {
+                assert_eq!(lhs.as_const().unwrap().bits, 0xffff_ffff);
+                assert_eq!(rhs.as_const().unwrap().bits, 0x10);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Textual printer for modules and functions.
+//!
+//! The format is LLVM-flavoured and round-trips through [`crate::parse`]:
+//!
+//! ```text
+//! global @tab 257 const x"000102"
+//!
+//! decl @ext(i32) -> i32
+//!
+//! func @wc(%p.v0: ptr, %any.v1: i32) -> i32 {
+//! entry:
+//!   %v2 = add i32 %any.v1, 1
+//!   condbr %v3, then, done
+//! ...
+//! }
+//! ```
+//!
+//! Values print as `%v<idx>`, or `%<name>.v<idx>` when a source-level name is
+//! known; the parser strips the `.v<idx>` suffix, so names survive a
+//! round-trip without growing.
+
+use crate::function::Function;
+use crate::inst::{Callee, InstKind, Terminator};
+use crate::module::Module;
+use crate::value::{BlockId, Operand, ValueId};
+use std::fmt::Write;
+
+/// Prints a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = write!(out, "global @{} {}", g.name, g.size);
+        if g.is_const {
+            out.push_str(" const");
+        }
+        if !g.init.is_empty() {
+            out.push_str(" x\"");
+            for b in &g.init {
+                let _ = write!(out, "{b:02x}");
+            }
+            out.push('"');
+        }
+        out.push('\n');
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints one function (or declaration).
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    if f.is_declaration {
+        let _ = write!(out, "decl @{}(", f.name);
+        for (i, ty) in f.param_tys().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{ty}");
+        }
+        let _ = writeln!(out, ") -> {}", f.ret_ty);
+        return out;
+    }
+
+    let _ = write!(out, "func @{}(", f.name);
+    for (i, &p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", value_name(f, p), f.value_ty(p));
+    }
+    let _ = writeln!(out, ") -> {} {{", f.ret_ty);
+
+    for b in f.block_ids() {
+        let block = f.block(b);
+        let _ = writeln!(out, "{}:", block.name);
+        for &i in &block.insts {
+            let inst = f.inst(i);
+            if matches!(inst.kind, InstKind::Nop) {
+                continue;
+            }
+            out.push_str("  ");
+            print_inst(&mut out, f, inst.result, &inst.kind);
+            out.push('\n');
+        }
+        out.push_str("  ");
+        print_term(&mut out, f, &block.term);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The printed spelling of a value reference.
+fn value_name(f: &Function, v: ValueId) -> String {
+    match &f.values[v.index()].name {
+        Some(n) => format!("%{}.v{}", n, v.0),
+        None => format!("%v{}", v.0),
+    }
+}
+
+fn operand(f: &Function, op: &Operand) -> String {
+    match op {
+        Operand::Const(c) => format!("{}", c.bits),
+        Operand::Value(v) => value_name(f, *v),
+    }
+}
+
+fn block_name(f: &Function, b: BlockId) -> &str {
+    &f.block(b).name
+}
+
+fn print_inst(out: &mut String, f: &Function, result: Option<ValueId>, kind: &InstKind) {
+    if let Some(r) = result {
+        let _ = write!(out, "{} = ", value_name(f, r));
+    }
+    match kind {
+        InstKind::Bin { op, ty, lhs, rhs } => {
+            let _ = write!(
+                out,
+                "{} {} {}, {}",
+                op.name(),
+                ty,
+                operand(f, lhs),
+                operand(f, rhs)
+            );
+        }
+        InstKind::Cmp { pred, ty, lhs, rhs } => {
+            let _ = write!(
+                out,
+                "icmp {} {} {}, {}",
+                pred.name(),
+                ty,
+                operand(f, lhs),
+                operand(f, rhs)
+            );
+        }
+        InstKind::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let _ = write!(
+                out,
+                "select {} {}, {}, {}",
+                ty,
+                operand(f, cond),
+                operand(f, on_true),
+                operand(f, on_false)
+            );
+        }
+        InstKind::Cast { op, to, value } => {
+            let from = f.operand_ty(*value);
+            let _ = write!(out, "{} {} {} to {}", op.name(), from, operand(f, value), to);
+        }
+        InstKind::Alloca { size } => {
+            let _ = write!(out, "alloca {size}");
+        }
+        InstKind::Load { ty, addr } => {
+            let _ = write!(out, "load {}, {}", ty, operand(f, addr));
+        }
+        InstKind::Store { ty, value, addr } => {
+            let _ = write!(out, "store {} {}, {}", ty, operand(f, value), operand(f, addr));
+        }
+        InstKind::PtrAdd { base, offset } => {
+            let _ = write!(out, "ptradd {}, {}", operand(f, base), operand(f, offset));
+        }
+        InstKind::GlobalAddr { global } => {
+            let _ = write!(out, "globaladdr {}", global.0);
+        }
+        InstKind::Call { callee, args } => {
+            let _ = write!(out, "call @{}(", callee_name(callee));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&operand(f, a));
+            }
+            out.push(')');
+        }
+        InstKind::Phi { ty, incomings } => {
+            let _ = write!(out, "phi {ty} ");
+            for (i, (b, op)) in incomings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}: {}]", block_name(f, *b), operand(f, op));
+            }
+        }
+        InstKind::Nop => {
+            out.push_str("nop");
+        }
+    }
+}
+
+fn callee_name(c: &Callee) -> &str {
+    c.name()
+}
+
+fn print_term(out: &mut String, f: &Function, t: &Terminator) {
+    match t {
+        Terminator::Br { target } => {
+            let _ = write!(out, "br {}", block_name(f, *target));
+        }
+        Terminator::CondBr {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let _ = write!(
+                out,
+                "condbr {}, {}, {}",
+                operand(f, cond),
+                block_name(f, *on_true),
+                block_name(f, *on_false)
+            );
+        }
+        Terminator::Ret { value } => match value {
+            Some(v) => {
+                let ty = f.operand_ty(*v);
+                let _ = write!(out, "ret {} {}", ty, operand(f, v));
+            }
+            None => out.push_str("ret"),
+        },
+        Terminator::Abort { kind } => {
+            let _ = write!(out, "abort {}", kind.name());
+        }
+        Terminator::Unreachable => out.push_str("unreachable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut f = Function::new("inc", &[Ty::I32], Ty::I32);
+        f.values[0].name = Some("x".into());
+        let e = f.entry();
+        let p = f.params[0];
+        let v = f
+            .append_inst(
+                e,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: Operand::Value(p),
+                    rhs: Operand::imm(Ty::I32, 1),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        let s = print_function(&f);
+        assert!(s.contains("func @inc(%x.v0: i32) -> i32 {"), "{s}");
+        assert!(s.contains("%v1 = add i32 %x.v0, 1"), "{s}");
+        assert!(s.contains("ret i32 %v1"), "{s}");
+    }
+
+    #[test]
+    fn prints_declaration() {
+        let f = Function::declare("puts", &[Ty::Ptr], Ty::I32);
+        assert_eq!(print_function(&f), "decl @puts(ptr) -> i32\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! Scalar types and constants.
+//!
+//! The IR is byte-addressed: aggregates (arrays, structs) exist only in the
+//! front-end and are lowered to `alloca` + pointer arithmetic, mirroring how
+//! verification tools such as KLEE model memory as flat byte arrays.
+
+use std::fmt;
+
+/// A first-class scalar type.
+///
+/// Pointers are opaque 64-bit values; the engines encode them as
+/// `(object id << 32) | offset`, which keeps pointer arithmetic plain
+/// bit-vector arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// Single-bit boolean, the result type of comparisons.
+    I1,
+    /// 8-bit integer (C `char`).
+    I8,
+    /// 16-bit integer (C `short`).
+    I16,
+    /// 32-bit integer (C `int`).
+    I32,
+    /// 64-bit integer (C `long`).
+    I64,
+    /// Pointer (64-bit).
+    Ptr,
+    /// No value; only valid as a function return type.
+    Void,
+}
+
+impl Ty {
+    /// Width of the type in bits. `Void` has width 0.
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I16 => 16,
+            Ty::I32 => 32,
+            Ty::I64 | Ty::Ptr => 64,
+            Ty::Void => 0,
+        }
+    }
+
+    /// Width of the type in bytes when stored in memory (`i1` occupies one
+    /// byte, like LLVM's memory representation of `i1`).
+    pub fn bytes(self) -> u64 {
+        match self {
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::Ptr => 8,
+            Ty::Void => 0,
+        }
+    }
+
+    /// Bit mask covering the type's width (`0xff` for `i8`, ...).
+    pub fn mask(self) -> u64 {
+        match self.bits() {
+            0 => 0,
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Returns true for integer types (everything except `Ptr` and `Void`).
+    pub fn is_int(self) -> bool {
+        !matches!(self, Ty::Ptr | Ty::Void)
+    }
+
+    /// Parses a type name as used in the textual format.
+    pub fn from_name(s: &str) -> Option<Ty> {
+        Some(match s {
+            "i1" => Ty::I1,
+            "i8" => Ty::I8,
+            "i16" => Ty::I16,
+            "i32" => Ty::I32,
+            "i64" => Ty::I64,
+            "ptr" => Ty::Ptr,
+            "void" => Ty::Void,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::Ptr => "ptr",
+            Ty::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed integer constant. `bits` always holds the value truncated to the
+/// type's width (so two equal constants compare equal structurally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Const {
+    pub ty: Ty,
+    pub bits: u64,
+}
+
+impl Const {
+    /// Creates a constant, truncating `bits` to the width of `ty`.
+    pub fn new(ty: Ty, bits: u64) -> Const {
+        Const {
+            ty,
+            bits: bits & ty.mask(),
+        }
+    }
+
+    /// The boolean `true` constant.
+    pub fn bool(b: bool) -> Const {
+        Const::new(Ty::I1, b as u64)
+    }
+
+    /// Zero of the given type.
+    pub fn zero(ty: Ty) -> Const {
+        Const::new(ty, 0)
+    }
+
+    /// Interprets the constant as a signed integer (sign-extended to i64).
+    pub fn as_signed(self) -> i64 {
+        sign_extend(self.bits, self.ty.bits())
+    }
+
+    /// Returns true if the constant is zero.
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits)
+    }
+}
+
+/// Sign-extends `bits` from `width` bits to 64 bits and reinterprets as i64.
+pub fn sign_extend(bits: u64, width: u32) -> i64 {
+    if width == 0 {
+        return 0;
+    }
+    if width >= 64 {
+        return bits as i64;
+    }
+    let shift = 64 - width;
+    ((bits << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_masks() {
+        assert_eq!(Ty::I1.bits(), 1);
+        assert_eq!(Ty::I8.mask(), 0xff);
+        assert_eq!(Ty::I64.mask(), u64::MAX);
+        assert_eq!(Ty::Ptr.bytes(), 8);
+        assert_eq!(Ty::Void.bits(), 0);
+    }
+
+    #[test]
+    fn const_truncates() {
+        let c = Const::new(Ty::I8, 0x1ff);
+        assert_eq!(c.bits, 0xff);
+        assert_eq!(c.as_signed(), -1);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0x80, 8), -128);
+        assert_eq!(sign_extend(0x7f, 8), 127);
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0xffff_ffff, 32), -1);
+        assert_eq!(sign_extend(5, 64), 5);
+    }
+
+    #[test]
+    fn type_names_round_trip() {
+        for ty in [Ty::I1, Ty::I8, Ty::I16, Ty::I32, Ty::I64, Ty::Ptr, Ty::Void] {
+            assert_eq!(Ty::from_name(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(Ty::from_name("i128"), None);
+    }
+}

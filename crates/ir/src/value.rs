@@ -1,0 +1,151 @@
+//! Entity identifiers and operands.
+//!
+//! All IR entities are referenced through small typed indices into per-function
+//! (or per-module) tables. This keeps the IR compact, cheap to clone (needed by
+//! the inliner, unswitcher and unroller) and free of reference cycles.
+
+use crate::types::{Const, Ty};
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning table.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifies an SSA value (function parameter or instruction result).
+    ValueId,
+    "%v"
+);
+entity_id!(
+    /// Identifies an instruction within a function.
+    InstId,
+    "inst"
+);
+entity_id!(
+    /// Identifies a basic block within a function.
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Identifies a function within a module.
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Identifies a global variable within a module.
+    GlobalId,
+    "g"
+);
+
+/// The entry block of every function.
+pub const ENTRY_BLOCK: BlockId = BlockId(0);
+
+/// What defines a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// Bookkeeping for one SSA value.
+#[derive(Clone, Debug)]
+pub struct ValueData {
+    pub ty: Ty,
+    pub def: ValueDef,
+    /// Optional source-level name, kept for readable printing and debugging.
+    pub name: Option<String>,
+}
+
+/// An instruction operand: either an immediate constant or an SSA value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Const(Const),
+    Value(ValueId),
+}
+
+impl Operand {
+    /// Shorthand for an integer-constant operand.
+    pub fn imm(ty: Ty, bits: u64) -> Operand {
+        Operand::Const(Const::new(ty, bits))
+    }
+
+    /// The constant, if this operand is one.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Operand::Const(c) => Some(c),
+            Operand::Value(_) => None,
+        }
+    }
+
+    /// The value id, if this operand is an SSA value.
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// True if this operand is the given constant value.
+    pub fn is_const_bits(self, bits: u64) -> bool {
+        matches!(self, Operand::Const(c) if c.bits == bits)
+    }
+}
+
+impl From<Const> for Operand {
+    fn from(c: Const) -> Operand {
+        Operand::Const(c)
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Operand {
+        Operand::Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_accessors() {
+        let c = Operand::imm(Ty::I32, 7);
+        assert_eq!(c.as_const().unwrap().bits, 7);
+        assert!(c.as_value().is_none());
+        assert!(c.is_const_bits(7));
+        let v = Operand::Value(ValueId(3));
+        assert_eq!(v.as_value(), Some(ValueId(3)));
+        assert!(!v.is_const_bits(7));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(ValueId(4).to_string(), "%v4");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+    }
+}

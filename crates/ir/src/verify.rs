@@ -1,0 +1,654 @@
+//! IR well-formedness verifier.
+//!
+//! Run after parsing, after lowering and (in debug builds and tests) after
+//! every optimization pass. Catching a malformed module here is vastly
+//! cheaper than chasing a miscompile through the symbolic executor.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::inst::{Callee, InstKind, Terminator};
+use crate::module::Module;
+use crate::parse::intrinsic_params;
+use crate::types::Ty;
+use crate::value::{BlockId, InstId, Operand, ValueDef, ValueId};
+
+/// A verification failure: function name plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    pub function: String,
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IR verification failed in @{}: {}", self.function, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+type Result<T> = std::result::Result<T, VerifyError>;
+
+/// Verifies every function in the module.
+pub fn verify_module(m: &Module) -> Result<()> {
+    for f in &m.functions {
+        if !f.is_declaration {
+            verify_function(m, f)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verifies one function.
+pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
+    let fail = |msg: String| VerifyError {
+        function: f.name.clone(),
+        msg,
+    };
+
+    if f.blocks.is_empty() {
+        return Err(fail("defined function has no blocks".into()));
+    }
+
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+
+    // Block-level checks.
+    for b in f.block_ids() {
+        let block = f.block(b);
+        let mut seen_non_phi = false;
+        for &i in &block.insts {
+            let inst = f.inst(i);
+            match &inst.kind {
+                InstKind::Phi { .. } => {
+                    if seen_non_phi {
+                        return Err(fail(format!(
+                            "phi after non-phi instruction in block {}",
+                            block.name
+                        )));
+                    }
+                }
+                InstKind::Nop => {}
+                _ => seen_non_phi = true,
+            }
+            check_inst(m, f, b, i)?;
+        }
+        // Terminator checks.
+        match &block.term {
+            Terminator::Br { target } | Terminator::CondBr { on_true: target, .. }
+                if target.index() >= f.blocks.len() =>
+            {
+                return Err(fail(format!("branch to invalid block in {}", block.name)));
+            }
+            Terminator::CondBr { cond, .. } => {
+                if f.operand_ty(*cond) != Ty::I1 {
+                    return Err(fail(format!("condbr condition not i1 in {}", block.name)));
+                }
+            }
+            Terminator::Ret { value } => match (value, f.ret_ty) {
+                (None, Ty::Void) => {}
+                (Some(v), ty) if ty != Ty::Void => {
+                    if f.operand_ty(*v) != ty {
+                        return Err(fail(format!(
+                            "return type mismatch in {}: expected {}, got {}",
+                            block.name,
+                            ty,
+                            f.operand_ty(*v)
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(fail(format!(
+                        "return value presence mismatch in {}",
+                        block.name
+                    )))
+                }
+            },
+            _ => {}
+        }
+    }
+
+    // Phi incoming edges must match predecessors exactly (reachable blocks).
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        let mut preds: Vec<BlockId> = cfg.preds(b).to_vec();
+        preds.sort();
+        preds.dedup();
+        for &i in &f.block(b).insts {
+            if let InstKind::Phi { incomings, .. } = &f.inst(i).kind {
+                let mut inc: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                inc.sort();
+                let mut inc_dedup = inc.clone();
+                inc_dedup.dedup();
+                if inc_dedup.len() != inc.len() {
+                    return Err(fail(format!(
+                        "phi has duplicate incoming blocks in {}",
+                        f.block(b).name
+                    )));
+                }
+                // Every reachable pred must be covered; extra incomings from
+                // unreachable blocks are tolerated (passes clean them lazily).
+                for p in &preds {
+                    if !inc.contains(p) {
+                        return Err(fail(format!(
+                            "phi in {} missing incoming for predecessor {}",
+                            f.block(b).name,
+                            f.block(*p).name
+                        )));
+                    }
+                }
+                for p in &inc {
+                    if p.index() >= f.blocks.len() {
+                        return Err(fail("phi incoming from invalid block".into()));
+                    }
+                }
+            }
+        }
+    }
+
+    // SSA dominance: each value use must be dominated by its definition.
+    check_dominance(f, &cfg, &dom)?;
+
+    Ok(())
+}
+
+/// Per-instruction type and operand checks.
+fn check_inst(m: &Module, f: &Function, _b: BlockId, id: InstId) -> Result<()> {
+    let fail = |msg: String| VerifyError {
+        function: f.name.clone(),
+        msg,
+    };
+    let inst = f.inst(id);
+    let check_op = |op: &Operand, expect: Ty, what: &str| -> Result<()> {
+        let ty = f.operand_ty(*op);
+        if ty != expect {
+            return Err(fail(format!(
+                "{what} of {id:?} has type {ty}, expected {expect}"
+            )));
+        }
+        Ok(())
+    };
+
+    // Operand value ids must be in range.
+    let mut bad = None;
+    inst.kind.for_each_operand(|op| {
+        if let Operand::Value(v) = op {
+            if v.index() >= f.values.len() {
+                bad = Some(*v);
+            }
+        }
+    });
+    if let Some(v) = bad {
+        return Err(fail(format!("operand {v} out of range in {id:?}")));
+    }
+
+    match &inst.kind {
+        InstKind::Bin { ty, lhs, rhs, .. } => {
+            if !ty.is_int() {
+                return Err(fail(format!("binop on non-integer type {ty}")));
+            }
+            check_op(lhs, *ty, "lhs")?;
+            check_op(rhs, *ty, "rhs")?;
+            expect_result(f, inst, Some(*ty))?;
+        }
+        InstKind::Cmp { ty, lhs, rhs, .. } => {
+            check_op(lhs, *ty, "lhs")?;
+            check_op(rhs, *ty, "rhs")?;
+            expect_result(f, inst, Some(Ty::I1))?;
+        }
+        InstKind::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => {
+            check_op(cond, Ty::I1, "cond")?;
+            check_op(on_true, *ty, "true arm")?;
+            check_op(on_false, *ty, "false arm")?;
+            expect_result(f, inst, Some(*ty))?;
+        }
+        InstKind::Cast { op, to, value } => {
+            let from = f.operand_ty(*value);
+            let ok = match op {
+                crate::inst::CastOp::Zext | crate::inst::CastOp::Sext => {
+                    from.bits() < to.bits() && from.is_int() && to.is_int()
+                }
+                crate::inst::CastOp::Trunc => from.bits() > to.bits() && from.is_int() && to.is_int(),
+            };
+            if !ok {
+                return Err(fail(format!("invalid cast {} {from} to {to}", op.name())));
+            }
+            expect_result(f, inst, Some(*to))?;
+        }
+        InstKind::Alloca { size } => {
+            if *size == 0 {
+                return Err(fail("alloca of zero bytes".into()));
+            }
+            expect_result(f, inst, Some(Ty::Ptr))?;
+        }
+        InstKind::Load { ty, addr } => {
+            check_op(addr, Ty::Ptr, "address")?;
+            if *ty == Ty::Void {
+                return Err(fail("load of void".into()));
+            }
+            expect_result(f, inst, Some(*ty))?;
+        }
+        InstKind::Store { ty, value, addr } => {
+            check_op(addr, Ty::Ptr, "address")?;
+            check_op(value, *ty, "stored value")?;
+            expect_result(f, inst, None)?;
+        }
+        InstKind::PtrAdd { base, offset } => {
+            check_op(base, Ty::Ptr, "base")?;
+            check_op(offset, Ty::I64, "offset")?;
+            expect_result(f, inst, Some(Ty::Ptr))?;
+        }
+        InstKind::GlobalAddr { global } => {
+            if global.index() >= m.globals.len() {
+                return Err(fail(format!("globaladdr {} out of range", global.0)));
+            }
+            expect_result(f, inst, Some(Ty::Ptr))?;
+        }
+        InstKind::Call { callee, args } => {
+            let (params, ret) = match callee {
+                Callee::Intrinsic(i) => (intrinsic_params(*i), i.ret_ty()),
+                Callee::Func(name) => match m.function(name) {
+                    Some(g) => (g.param_tys(), g.ret_ty),
+                    None => return Err(fail(format!("call to unknown function @{name}"))),
+                },
+            };
+            if args.len() != params.len() {
+                return Err(fail(format!(
+                    "call to @{} has {} args, expected {}",
+                    callee.name(),
+                    args.len(),
+                    params.len()
+                )));
+            }
+            for (a, &ty) in args.iter().zip(&params) {
+                check_op(a, ty, "argument")?;
+            }
+            let expected = if ret == Ty::Void { None } else { Some(ret) };
+            // A discarded non-void result is allowed.
+            if inst.result.is_some() {
+                expect_result(f, inst, expected)?;
+            }
+        }
+        InstKind::Phi { ty, incomings } => {
+            for (_, op) in incomings {
+                check_op(op, *ty, "phi incoming")?;
+            }
+            if incomings.is_empty() {
+                return Err(fail("phi with no incomings".into()));
+            }
+            expect_result(f, inst, Some(*ty))?;
+        }
+        InstKind::Nop => {}
+    }
+    Ok(())
+}
+
+fn expect_result(f: &Function, inst: &crate::inst::Inst, ty: Option<Ty>) -> Result<()> {
+    let fail = |msg: String| VerifyError {
+        function: f.name.clone(),
+        msg,
+    };
+    match (inst.result, ty) {
+        (None, None) => Ok(()),
+        (Some(r), Some(t)) => {
+            if f.value_ty(r) != t {
+                Err(fail(format!(
+                    "result {r} has type {}, expected {t}",
+                    f.value_ty(r)
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        (Some(_), None) => Err(fail("instruction must not produce a result".into())),
+        (None, Some(_)) => Ok(()), // Discarded result is fine.
+    }
+}
+
+/// Checks the SSA dominance property for every use.
+fn check_dominance(f: &Function, _cfg: &Cfg, dom: &DomTree) -> Result<()> {
+    let fail = |msg: String| VerifyError {
+        function: f.name.clone(),
+        msg,
+    };
+
+    // Location of each instruction: (block, index within block).
+    let mut inst_pos: Vec<Option<(BlockId, usize)>> = vec![None; f.insts.len()];
+    for b in f.block_ids() {
+        for (i, &id) in f.block(b).insts.iter().enumerate() {
+            inst_pos[id.index()] = Some((b, i));
+        }
+    }
+
+    let def_site = |v: ValueId| -> Option<(BlockId, usize)> {
+        match f.values[v.index()].def {
+            ValueDef::Param(u) if u != u32::MAX => Some((BlockId(0), 0)),
+            ValueDef::Param(_) => None, // Unresolved pending marker.
+            ValueDef::Inst(i) => inst_pos[i.index()],
+        }
+    };
+
+    // `true` if a value defined at `def` is available at (block, idx).
+    let available = |v: ValueId, use_block: BlockId, use_idx: usize| -> bool {
+        match f.values[v.index()].def {
+            ValueDef::Param(u) => u != u32::MAX,
+            ValueDef::Inst(_) => match def_site(v) {
+                None => false,
+                Some((db, di)) => {
+                    if db == use_block {
+                        di < use_idx
+                    } else {
+                        dom.dominates(db, use_block)
+                    }
+                }
+            },
+        }
+    };
+
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        let block = f.block(b);
+        for (idx, &id) in block.insts.iter().enumerate() {
+            let inst = f.inst(id);
+            if let InstKind::Phi { incomings, .. } = &inst.kind {
+                // Phi operands must be available at the end of their
+                // incoming block.
+                for (pred, op) in incomings {
+                    if let Operand::Value(v) = op {
+                        if !dom.is_reachable(*pred) {
+                            continue;
+                        }
+                        if !available(*v, *pred, usize::MAX) {
+                            return Err(fail(format!(
+                                "phi operand {v} not available on edge {} -> {}",
+                                f.block(*pred).name,
+                                block.name
+                            )));
+                        }
+                    }
+                }
+                continue;
+            }
+            let mut bad = None;
+            inst.kind.for_each_operand(|op| {
+                if let Operand::Value(v) = op {
+                    if bad.is_none() && !available(*v, b, idx) {
+                        bad = Some(*v);
+                    }
+                }
+            });
+            if let Some(v) = bad {
+                return Err(fail(format!(
+                    "use of {v} in {} is not dominated by its definition",
+                    block.name
+                )));
+            }
+        }
+        // Terminator uses.
+        let term_ops: Vec<Operand> = match &block.term {
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret { value: Some(v) } => vec![*v],
+            _ => vec![],
+        };
+        for op in term_ops {
+            if let Operand::Value(v) = op {
+                if !available(v, b, usize::MAX) {
+                    return Err(fail(format!(
+                        "terminator use of {v} in {} is not dominated by its definition",
+                        block.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, CmpPred};
+    use crate::types::Const;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new();
+        m.functions.push(f);
+        m
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut f = Function::new("ok", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let e = f.entry();
+        let v = f
+            .append_inst(
+                e,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: p,
+                    rhs: Operand::imm(Ty::I32, 1),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        verify_module(&module_with(f)).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad", &[Ty::I8], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let e = f.entry();
+        // add i32 with an i8 operand.
+        let v = f
+            .append_inst(
+                e,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: p,
+                    rhs: Operand::imm(Ty::I32, 1),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad", &[], Ty::I32);
+        let e = f.entry();
+        let b2 = f.add_block("b2");
+        // Define v in b2 but use it in entry's ret: not dominated.
+        let v = f
+            .append_inst(
+                b2,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: Operand::imm(Ty::I32, 1),
+                    rhs: Operand::imm(Ty::I32, 2),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        f.set_term(b2, Terminator::Ret { value: Some(Operand::imm(Ty::I32, 0)) });
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_missing_pred() {
+        let mut f = Function::new("bad", &[], Ty::I32);
+        let e = f.entry();
+        let merge = f.add_block("merge");
+        let other = f.add_block("other");
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Const(Const::bool(true)),
+                on_true: merge,
+                on_false: other,
+            },
+        );
+        f.set_term(other, Terminator::Br { target: merge });
+        // Phi only lists `entry`, missing `other`.
+        let v = f
+            .append_inst(
+                merge,
+                InstKind::Phi {
+                    ty: Ty::I32,
+                    incomings: vec![(e, Operand::imm(Ty::I32, 1))],
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            merge,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.msg.contains("missing incoming"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_condbr_type() {
+        let mut f = Function::new("bad", &[], Ty::Void);
+        let e = f.entry();
+        let t = f.add_block("t");
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::imm(Ty::I32, 1),
+                on_true: t,
+                on_false: t,
+            },
+        );
+        f.set_term(t, Terminator::Ret { value: None });
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_cast() {
+        let mut f = Function::new("bad", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let e = f.entry();
+        // zext i32 -> i32 is invalid (must widen).
+        let v = f
+            .append_inst(
+                e,
+                InstKind::Cast {
+                    op: crate::inst::CastOp::Zext,
+                    to: Ty::I32,
+                    value: p,
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(
+            e,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            },
+        );
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn accepts_loop_phi() {
+        // A canonical counting loop exercises phi + dominance over a back edge.
+        let mut f = Function::new("loop", &[Ty::I32], Ty::I32);
+        let n = Operand::Value(f.params[0]);
+        let e = f.entry();
+        let h = f.add_block("h");
+        let body = f.add_block("body");
+        let done = f.add_block("done");
+        f.set_term(e, Terminator::Br { target: h });
+        let phi = f
+            .append_inst(
+                h,
+                InstKind::Phi {
+                    ty: Ty::I32,
+                    incomings: vec![(e, Operand::imm(Ty::I32, 0))],
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        let cond = f
+            .append_inst(
+                h,
+                InstKind::Cmp {
+                    pred: CmpPred::Slt,
+                    ty: Ty::I32,
+                    lhs: Operand::Value(phi),
+                    rhs: n,
+                },
+                Some(Ty::I1),
+            )
+            .unwrap();
+        f.set_term(
+            h,
+            Terminator::CondBr {
+                cond: Operand::Value(cond),
+                on_true: body,
+                on_false: done,
+            },
+        );
+        let next = f
+            .append_inst(
+                body,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    lhs: Operand::Value(phi),
+                    rhs: Operand::imm(Ty::I32, 1),
+                },
+                Some(Ty::I32),
+            )
+            .unwrap();
+        f.set_term(body, Terminator::Br { target: h });
+        // Patch the phi to include the back edge.
+        if let InstKind::Phi { incomings, .. } = &mut f.insts[0].kind {
+            incomings.push((body, Operand::Value(next)));
+        }
+        f.set_term(
+            done,
+            Terminator::Ret {
+                value: Some(Operand::Value(phi)),
+            },
+        );
+        verify_module(&module_with(f)).unwrap();
+    }
+}

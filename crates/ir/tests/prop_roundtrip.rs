@@ -1,0 +1,144 @@
+//! Property tests: randomly generated well-formed functions survive a
+//! print → parse → print round trip (fixpoint after one normalization), and
+//! parsing never panics on printed output.
+
+use overify_ir::{
+    parse_module, print::print_module, verify_module, BinOp, CastOp, CmpPred, Const, Cursor,
+    Function, Module, Operand, Ty,
+};
+use proptest::prelude::*;
+
+/// Recipe for one instruction; operand indices select among available
+/// values of the right type at build time.
+#[derive(Clone, Debug)]
+enum Step {
+    Bin(BinOp, u8, u8),
+    Cmp(CmpPred, u8, u8),
+    SelectI32(u8, u8, u8),
+    ZextTo64(u8),
+    TruncTo8(u8),
+    Const(u32),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = CmpPred> {
+    prop_oneof![
+        Just(CmpPred::Eq),
+        Just(CmpPred::Ne),
+        Just(CmpPred::Ult),
+        Just(CmpPred::Sge),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (arb_binop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
+        (arb_pred(), any::<u8>(), any::<u8>()).prop_map(|(p, a, b)| Step::Cmp(p, a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::SelectI32(c, a, b)),
+        any::<u8>().prop_map(Step::ZextTo64),
+        any::<u8>().prop_map(Step::TruncTo8),
+        any::<u32>().prop_map(Step::Const),
+    ]
+}
+
+/// Builds a function from the recipe: two i32 params, a diamond in the
+/// middle (so phis and multiple blocks are exercised), then a ret.
+fn build(steps: &[Step]) -> Module {
+    let mut f = Function::new("gen", &[Ty::I32, Ty::I32], Ty::I32);
+    let mut i32s: Vec<Operand> = f.params.iter().map(|&p| Operand::Value(p)).collect();
+    let mut i1s: Vec<Operand> = vec![Operand::Const(Const::bool(true))];
+    let mut c = Cursor::new(&mut f);
+
+    let pick = |v: &Vec<Operand>, i: u8| v[i as usize % v.len()];
+    for s in steps {
+        match s {
+            Step::Bin(op, a, b) => {
+                let r = c.bin(*op, Ty::I32, pick(&i32s, *a), pick(&i32s, *b));
+                i32s.push(r);
+            }
+            Step::Cmp(p, a, b) => {
+                let r = c.cmp(*p, Ty::I32, pick(&i32s, *a), pick(&i32s, *b));
+                i1s.push(r);
+            }
+            Step::SelectI32(cc, a, b) => {
+                let r = c.select(Ty::I32, pick(&i1s, *cc), pick(&i32s, *a), pick(&i32s, *b));
+                i32s.push(r);
+            }
+            Step::ZextTo64(a) => {
+                // Widen then narrow so the value stays in the i32 pool.
+                let w = c.cast(CastOp::Zext, Ty::I64, pick(&i32s, *a));
+                let n = c.cast(CastOp::Trunc, Ty::I32, w);
+                i32s.push(n);
+            }
+            Step::TruncTo8(a) => {
+                let n = c.cast(CastOp::Trunc, Ty::I8, pick(&i32s, *a));
+                let w = c.cast(CastOp::Zext, Ty::I32, n);
+                i32s.push(w);
+            }
+            Step::Const(k) => {
+                i32s.push(Operand::imm(Ty::I32, *k as u64));
+            }
+        }
+    }
+
+    // Diamond with a phi to exercise block/phi printing.
+    let t = c.add_block("left");
+    let e = c.add_block("right");
+    let m = c.add_block("merge");
+    let cond = *i1s.last().unwrap();
+    let (va, vb) = (i32s[0], *i32s.last().unwrap());
+    c.condbr(cond, t, e);
+    c.at(t);
+    c.br(m);
+    c.at(e);
+    c.br(m);
+    c.at(m);
+    let phi = c.phi(Ty::I32, vec![(t, va), (e, vb)]);
+    c.ret(Some(Operand::Value(phi)));
+
+    let mut module = Module::new();
+    module.functions.push(f);
+    module
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_reaches_fixpoint(steps in proptest::collection::vec(arb_step(), 1..24)) {
+        let m = build(&steps);
+        verify_module(&m).expect("generated module is well-formed");
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).expect("printer output parses");
+        verify_module(&m2).expect("parsed module is well-formed");
+        let p2 = print_module(&m2);
+        let m3 = parse_module(&p2).expect("normalized output parses");
+        let p3 = print_module(&m3);
+        prop_assert_eq!(p2, p3, "print/parse must reach a fixpoint");
+    }
+
+    #[test]
+    fn parsed_module_is_semantically_identical(steps in proptest::collection::vec(arb_step(), 1..16)) {
+        // Structural identity after one round trip: same block count, same
+        // live instruction count, same signature.
+        let m = build(&steps);
+        let m2 = parse_module(&print_module(&m)).unwrap();
+        let (f1, f2) = (&m.functions[0], &m2.functions[0]);
+        prop_assert_eq!(f1.blocks.len(), f2.blocks.len());
+        prop_assert_eq!(f1.live_inst_count(), f2.live_inst_count());
+        prop_assert_eq!(f1.param_tys(), f2.param_tys());
+        prop_assert_eq!(f1.ret_ty, f2.ret_ty);
+    }
+}

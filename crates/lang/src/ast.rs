@@ -1,0 +1,252 @@
+//! MiniC abstract syntax tree.
+
+use crate::ctype::CType;
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// Function definition.
+    Func(FuncDef),
+    /// Function prototype (declaration).
+    Proto(FuncProto),
+    /// Global variable.
+    Global(GlobalDef),
+}
+
+/// A function signature.
+#[derive(Clone, Debug)]
+pub struct FuncProto {
+    pub name: String,
+    pub params: Vec<(CType, String)>,
+    pub ret: CType,
+    pub line: usize,
+}
+
+/// A function definition: prototype plus body.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    pub proto: FuncProto,
+    pub body: Vec<Stmt>,
+}
+
+/// A global variable definition.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    pub name: String,
+    pub cty: CType,
+    pub is_const: bool,
+    pub init: Option<Initializer>,
+    pub line: usize,
+}
+
+/// A variable initializer.
+#[derive(Clone, Debug)]
+pub enum Initializer {
+    /// Single expression (must be a constant for globals).
+    Expr(Expr),
+    /// `{ a, b, c }` brace list for arrays.
+    List(Vec<Expr>),
+    /// String literal initializing a char array.
+    Str(Vec<u8>),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Local declaration: one or more declarators.
+    Decl {
+        decls: Vec<(CType, String, Option<Initializer>)>,
+        line: usize,
+    },
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    Break {
+        line: usize,
+    },
+    Continue {
+        line: usize,
+    },
+    Return {
+        value: Option<Expr>,
+        line: usize,
+    },
+    /// Nested block with its own scope.
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators (short-circuit `&&`/`||` are separate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinaryOp {
+    /// True for comparison operators, whose result type is `int`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `~x`
+    Not,
+    /// `!x`
+    LogicalNot,
+}
+
+/// Expressions, each carrying its source line for diagnostics.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    IntLit {
+        value: i64,
+        line: usize,
+    },
+    StrLit {
+        bytes: Vec<u8>,
+        line: usize,
+    },
+    Ident {
+        name: String,
+        line: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+        line: usize,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: usize,
+    },
+    /// `a && b` / `a || b` — lowered as control flow.
+    Logical {
+        and: bool,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        line: usize,
+    },
+    /// `cond ? a : b`
+    Conditional {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+        line: usize,
+    },
+    /// Plain or compound assignment (`op` is `None` for `=`).
+    Assign {
+        op: Option<BinaryOp>,
+        target: Box<Expr>,
+        value: Box<Expr>,
+        line: usize,
+    },
+    /// Pre/post increment/decrement.
+    IncDec {
+        inc: bool,
+        pre: bool,
+        target: Box<Expr>,
+        line: usize,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: usize,
+    },
+    /// `arr[idx]`
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        line: usize,
+    },
+    /// `*p`
+    Deref {
+        expr: Box<Expr>,
+        line: usize,
+    },
+    /// `&lv`
+    AddrOf {
+        expr: Box<Expr>,
+        line: usize,
+    },
+    /// `(type)expr`
+    Cast {
+        to: CType,
+        expr: Box<Expr>,
+        line: usize,
+    },
+    /// `sizeof(type)`
+    SizeOf {
+        ty: CType,
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// Source line of the expression.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::IntLit { line, .. }
+            | Expr::StrLit { line, .. }
+            | Expr::Ident { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Logical { line, .. }
+            | Expr::Conditional { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::IncDec { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Deref { line, .. }
+            | Expr::AddrOf { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::SizeOf { line, .. } => *line,
+        }
+    }
+}

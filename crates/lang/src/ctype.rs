@@ -1,0 +1,224 @@
+//! MiniC's source-level type system.
+//!
+//! The IR is signedness-free (operations carry signedness instead), so the
+//! front-end tracks signedness here and picks `sdiv`/`udiv`, `slt`/`ult`,
+//! `sext`/`zext` during lowering.
+
+use overify_ir::Ty;
+
+/// A MiniC type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    Void,
+    /// Integer with IR width and signedness. `char` is unsigned 8-bit in
+    /// MiniC (like `unsigned char` in C), which matches Listing 1's use of
+    /// `unsigned char *`.
+    Int { ty: Ty, signed: bool },
+    /// Pointer to an element type.
+    Ptr(Box<CType>),
+    /// Fixed-size array; decays to a pointer in expressions.
+    Array(Box<CType>, u64),
+}
+
+impl CType {
+    /// `int` — the promoted arithmetic type.
+    pub fn int() -> CType {
+        CType::Int {
+            ty: Ty::I32,
+            signed: true,
+        }
+    }
+
+    /// `unsigned int`.
+    pub fn uint() -> CType {
+        CType::Int {
+            ty: Ty::I32,
+            signed: false,
+        }
+    }
+
+    /// `char` (unsigned 8-bit).
+    pub fn char_() -> CType {
+        CType::Int {
+            ty: Ty::I8,
+            signed: false,
+        }
+    }
+
+    /// `long` (signed 64-bit).
+    pub fn long() -> CType {
+        CType::Int {
+            ty: Ty::I64,
+            signed: true,
+        }
+    }
+
+    /// `unsigned long`.
+    pub fn ulong() -> CType {
+        CType::Int {
+            ty: Ty::I64,
+            signed: false,
+        }
+    }
+
+    /// Pointer to `self`.
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+
+    /// The IR type used to hold a value of this type in a register.
+    pub fn ir_ty(&self) -> Ty {
+        match self {
+            CType::Void => Ty::Void,
+            CType::Int { ty, .. } => *ty,
+            CType::Ptr(_) | CType::Array(_, _) => Ty::Ptr,
+        }
+    }
+
+    /// Size of a value of this type in memory, in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            CType::Void => 0,
+            CType::Int { ty, .. } => ty.bytes(),
+            CType::Ptr(_) => 8,
+            CType::Array(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// True for integer types.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Int { .. })
+    }
+
+    /// True for pointer (or array, which decays) types.
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, CType::Ptr(_) | CType::Array(_, _))
+    }
+
+    /// Signedness; pointers compare unsigned.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, CType::Int { signed: true, .. })
+    }
+
+    /// Element type of a pointer or array.
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(e) | CType::Array(e, _) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The type after array-to-pointer decay.
+    pub fn decayed(&self) -> CType {
+        match self {
+            CType::Array(e, _) => CType::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Integer promotion: types narrower than `int` promote to `int`.
+    pub fn promoted(&self) -> CType {
+        match self {
+            CType::Int { ty, .. } if ty.bits() < 32 => CType::int(),
+            other => other.clone(),
+        }
+    }
+
+    /// The usual arithmetic conversions for a binary operator applied to
+    /// `self` and `other` (both integers).
+    pub fn common_with(&self, other: &CType) -> CType {
+        let a = self.promoted();
+        let b = other.promoted();
+        match (&a, &b) {
+            (
+                CType::Int {
+                    ty: ta,
+                    signed: sa,
+                },
+                CType::Int {
+                    ty: tb,
+                    signed: sb,
+                },
+            ) => {
+                if ta.bits() > tb.bits() {
+                    a.clone()
+                } else if tb.bits() > ta.bits() {
+                    b.clone()
+                } else {
+                    // Same width: unsigned wins.
+                    CType::Int {
+                        ty: *ta,
+                        signed: *sa && *sb,
+                    }
+                }
+            }
+            _ => a,
+        }
+    }
+}
+
+impl std::fmt::Display for CType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Int { ty, signed } => {
+                let base = match ty {
+                    Ty::I8 => "char",
+                    Ty::I16 => "short",
+                    Ty::I32 => "int",
+                    Ty::I64 => "long",
+                    Ty::I1 => "_Bool",
+                    _ => "?",
+                };
+                if *signed || *ty == Ty::I8 {
+                    // `char` is printed bare even though it is unsigned.
+                    if !*signed && *ty != Ty::I8 {
+                        write!(f, "unsigned {base}")
+                    } else {
+                        write!(f, "{base}")
+                    }
+                } else {
+                    write!(f, "unsigned {base}")
+                }
+            }
+            CType::Ptr(e) => write!(f, "{e}*"),
+            CType::Array(e, n) => write!(f, "{e}[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(CType::char_().size(), 1);
+        assert_eq!(CType::int().size(), 4);
+        assert_eq!(CType::int().ptr_to().size(), 8);
+        assert_eq!(CType::Array(Box::new(CType::int()), 10).size(), 40);
+    }
+
+    #[test]
+    fn promotions() {
+        assert_eq!(CType::char_().promoted(), CType::int());
+        assert_eq!(CType::long().promoted(), CType::long());
+    }
+
+    #[test]
+    fn common_type_rules() {
+        // char + int -> int
+        assert_eq!(CType::char_().common_with(&CType::int()), CType::int());
+        // int + unsigned -> unsigned
+        assert_eq!(CType::int().common_with(&CType::uint()), CType::uint());
+        // int + long -> long
+        assert_eq!(CType::int().common_with(&CType::long()), CType::long());
+    }
+
+    #[test]
+    fn decay() {
+        let arr = CType::Array(Box::new(CType::char_()), 4);
+        assert_eq!(arr.decayed(), CType::char_().ptr_to());
+        assert_eq!(arr.ir_ty(), Ty::Ptr);
+    }
+}

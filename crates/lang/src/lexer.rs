@@ -1,0 +1,347 @@
+//! MiniC tokenizer.
+
+use crate::CompileError;
+
+/// Token categories.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value already decoded; char literals included).
+    Int(i64),
+    /// String literal (decoded bytes, without the implicit NUL).
+    Str(Vec<u8>),
+    /// Punctuation or operator, e.g. `"+"`, `"<<="`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// All multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "?", ":", ";", ",", "(", ")", "[", "]", "{", "}",
+];
+
+/// Converts MiniC source into a token stream.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, appending a final `Eof` token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(CompileError {
+                                    line: start_line,
+                                    msg: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let c = match self.peek() {
+            None => {
+                return Ok(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                })
+            }
+            Some(c) => c,
+        };
+
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string();
+            return Ok(Token {
+                kind: TokenKind::Ident(text),
+                line,
+            });
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            if c == b'0' && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+                self.bump();
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start + 2..self.pos]).unwrap();
+                let v = i64::from_str_radix(text, 16)
+                    .map_err(|_| self.err("hex literal out of range"))?;
+                return Ok(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err("integer literal out of range"))?;
+            return Ok(Token {
+                kind: TokenKind::Int(v),
+                line,
+            });
+        }
+
+        // Character literals.
+        if c == b'\'' {
+            self.bump();
+            let v = self.escaped_char(b'\'')? as i64;
+            if self.bump() != Some(b'\'') {
+                return Err(self.err("unterminated character literal"));
+            }
+            return Ok(Token {
+                kind: TokenKind::Int(v),
+                line,
+            });
+        }
+
+        // String literals.
+        if c == b'"' {
+            self.bump();
+            let mut bytes = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(_) => bytes.push(self.escaped_char(b'"')?),
+                    None => return Err(self.err("unterminated string literal")),
+                }
+            }
+            return Ok(Token {
+                kind: TokenKind::Str(bytes),
+                line,
+            });
+        }
+
+        // Punctuation, longest match first.
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+            }
+        }
+
+        Err(self.err(format!("unexpected character `{}`", c as char)))
+    }
+
+    /// Decodes one possibly escaped character inside a literal delimited by
+    /// `delim`.
+    fn escaped_char(&mut self, _delim: u8) -> Result<u8, CompileError> {
+        let c = self.bump().ok_or_else(|| self.err("unterminated literal"))?;
+        if c != b'\\' {
+            return Ok(c);
+        }
+        let e = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+        Ok(match e {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                while let Some(h) = self.peek() {
+                    if h.is_ascii_hexdigit() {
+                        v = v * 16 + (h as char).to_digit(16).unwrap();
+                        self.bump();
+                        any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return Err(self.err("\\x escape with no digits"));
+                }
+                (v & 0xff) as u8
+            }
+            other => return Err(self.err(format!("unknown escape `\\{}`", other as char))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_operators_with_maximal_munch() {
+        assert_eq!(
+            kinds("a <<= b >> 1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds(r#"0x1F 42 'a' '\n' '\0' "hi\n""#),
+            vec![
+                TokenKind::Int(31),
+                TokenKind::Int(42),
+                TokenKind::Int(97),
+                TokenKind::Int(10),
+                TokenKind::Int(0),
+                TokenKind::Str(vec![b'h', b'i', b'\n']),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = Lexer::new("// one\n/* two\nthree */ x").tokenize().unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+        assert!(Lexer::new("/* abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn hex_escape_in_string() {
+        assert_eq!(
+            kinds(r#""\x41\x42""#),
+            vec![TokenKind::Str(vec![0x41, 0x42]), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! `overify-lang`: the MiniC front-end.
+//!
+//! MiniC is the C subset in which the -OVERIFY reproduction's workloads are
+//! written: Listing 1's `wc`, the verification-oriented libc, and the
+//! Coreutils-style utility suite. It supports:
+//!
+//! * types: `void`, `char` (unsigned 8-bit), `short`, `int`, `long`,
+//!   `unsigned` variants, pointers and one-dimensional arrays,
+//! * functions, prototypes, global variables with initializers (including
+//!   string literals and brace lists), `const`,
+//! * statements: blocks, `if`/`else`, `while`, `do`-`while`, `for`,
+//!   `break`, `continue`, `return`, declarations,
+//! * expressions: the full C operator set including short-circuit `&&`/`||`,
+//!   `?:`, compound assignment, pre/post `++`/`--`, casts, `sizeof`,
+//!   pointer arithmetic and array indexing,
+//! * builtins mapped to IR intrinsics: `__sym_input`, `__assume`,
+//!   `__assert`, `putchar`, `malloc`, `abort`.
+//!
+//! Lowering is deliberately naive — every local lives in an `alloca`, every
+//! short-circuit operator branches — so `-O0` output faithfully reproduces
+//! the path structure an unoptimized C compile would hand to KLEE.
+//!
+//! # Example
+//!
+//! ```
+//! let m = overify_lang::compile(
+//!     "int add(int a, int b) { return a + b; }",
+//! )
+//! .unwrap();
+//! assert!(m.function("add").is_some());
+//! ```
+
+pub mod ast;
+pub mod ctype;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ctype::CType;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::parse_program;
+
+use overify_ir::Module;
+
+/// A front-end failure (lexing, parsing or semantic) with a 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles MiniC source to an (unoptimized) IR module and verifies it.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let program = parse_program(src)?;
+    let module = lower_program(&program)?;
+    if let Err(e) = overify_ir::verify_module(&module) {
+        // A verifier failure after lowering is a front-end bug; surface it
+        // with enough context to debug.
+        return Err(CompileError {
+            line: 0,
+            msg: format!("internal error: lowered IR is malformed: {e}"),
+        });
+    }
+    Ok(module)
+}

@@ -1,0 +1,1274 @@
+//! Lowering from the MiniC AST to overify IR.
+//!
+//! The translation is intentionally naive, mirroring `clang -O0`:
+//!
+//! * every local variable and parameter lives in an `alloca`,
+//! * `&&`, `||` and `?:` become control flow through a temporary,
+//! * no folding beyond what C requires for constant initializers.
+//!
+//! This gives the `-O0` baseline its authentic path structure; all cleverness
+//! lives in `overify-opt`.
+
+use crate::ast::*;
+use crate::ctype::CType;
+use crate::CompileError;
+use overify_ir::{
+    BinOp, BlockId, CastOp, CmpPred, Const, Cursor, Function, Global, GlobalId, Intrinsic, Module,
+    Operand, Terminator, Ty,
+};
+use std::collections::HashMap;
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+fn err(line: usize, msg: impl Into<String>) -> CompileError {
+    CompileError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Names reserved for builtins; user functions may not shadow them.
+const BUILTINS: &[&str] = &["__sym_input", "__assume", "__assert", "putchar", "malloc", "abort"];
+
+/// Lowers a parsed program to an IR module.
+pub fn lower_program(prog: &Program) -> Result<Module> {
+    let mut lw = Lowerer {
+        module: Module::new(),
+        sigs: HashMap::new(),
+        globals: HashMap::new(),
+        str_lits: HashMap::new(),
+    };
+
+    // Pass 1: collect signatures and check consistency.
+    for item in &prog.items {
+        let proto = match item {
+            Item::Func(f) => &f.proto,
+            Item::Proto(p) => p,
+            Item::Global(_) => continue,
+        };
+        if BUILTINS.contains(&proto.name.as_str()) {
+            return Err(err(
+                proto.line,
+                format!("`{}` is a builtin and cannot be redeclared", proto.name),
+            ));
+        }
+        let sig = (
+            proto.params.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+            proto.ret.clone(),
+        );
+        if let Some(prev) = lw.sigs.get(&proto.name) {
+            if *prev != sig {
+                return Err(err(
+                    proto.line,
+                    format!("conflicting declarations of `{}`", proto.name),
+                ));
+            }
+        } else {
+            lw.sigs.insert(proto.name.clone(), sig);
+        }
+    }
+
+    // Pass 2: globals (so functions can reference them).
+    for item in &prog.items {
+        if let Item::Global(g) = item {
+            lw.lower_global(g)?;
+        }
+    }
+
+    // Pass 3: function bodies.
+    let mut defined: Vec<String> = Vec::new();
+    for item in &prog.items {
+        if let Item::Func(def) = item {
+            if defined.contains(&def.proto.name) {
+                return Err(err(
+                    def.proto.line,
+                    format!("duplicate definition of `{}`", def.proto.name),
+                ));
+            }
+            defined.push(def.proto.name.clone());
+            let f = lw.lower_function(def)?;
+            lw.module.functions.push(f);
+        }
+    }
+
+    // Remaining prototypes become declarations (resolved at link time).
+    for item in &prog.items {
+        if let Item::Proto(p) = item {
+            if lw.module.function(&p.name).is_none() {
+                let tys: Vec<Ty> = p.params.iter().map(|(t, _)| t.ir_ty()).collect();
+                lw.module
+                    .functions
+                    .push(Function::declare(p.name.clone(), &tys, p.ret.ir_ty()));
+            }
+        }
+    }
+
+    Ok(lw.module)
+}
+
+/// A typed rvalue.
+#[derive(Clone, Debug)]
+struct RV {
+    op: Operand,
+    cty: CType,
+}
+
+/// A resolved lvalue: an address plus the type stored there.
+#[derive(Clone, Debug)]
+struct LV {
+    addr: Operand,
+    cty: CType,
+}
+
+struct Lowerer {
+    module: Module,
+    sigs: HashMap<String, (Vec<CType>, CType)>,
+    globals: HashMap<String, (GlobalId, CType)>,
+    str_lits: HashMap<Vec<u8>, GlobalId>,
+}
+
+impl Lowerer {
+    fn lower_global(&mut self, g: &GlobalDef) -> Result<()> {
+        if self.globals.contains_key(&g.name) {
+            return Err(err(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        let size = g.cty.size();
+        if size == 0 {
+            return Err(err(g.line, "global of size zero"));
+        }
+        let init = match &g.init {
+            None => Vec::new(),
+            Some(init) => encode_initializer(&g.cty, init, g.line)?,
+        };
+        let id = self.module.add_global(Global {
+            name: g.name.clone(),
+            size,
+            init,
+            is_const: g.is_const,
+        });
+        self.globals.insert(g.name.clone(), (id, g.cty.clone()));
+        Ok(())
+    }
+
+    /// Interns a string literal as an anonymous constant global.
+    fn intern_str(&mut self, bytes: &[u8]) -> GlobalId {
+        if let Some(&id) = self.str_lits.get(bytes) {
+            return id;
+        }
+        let mut data = bytes.to_vec();
+        data.push(0);
+        let id = self.module.add_global(Global {
+            name: format!("str.{}", self.str_lits.len()),
+            size: data.len() as u64,
+            init: data,
+            is_const: true,
+        });
+        self.str_lits.insert(bytes.to_vec(), id);
+        id
+    }
+
+    fn lower_function(&mut self, def: &FuncDef) -> Result<Function> {
+        let proto = &def.proto;
+        let param_tys: Vec<Ty> = proto.params.iter().map(|(t, _)| t.ir_ty()).collect();
+        let mut f = Function::new(proto.name.clone(), &param_tys, proto.ret.ir_ty());
+        for (i, (_, pname)) in proto.params.iter().enumerate() {
+            f.values[f.params[i].index()].name = Some(pname.clone());
+        }
+
+        let mut fl = FnLower {
+            lw: self,
+            f,
+            block: overify_ir::value::ENTRY_BLOCK,
+            scopes: vec![HashMap::new()],
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            ret: proto.ret.clone(),
+            terminated: false,
+        };
+
+        // Spill parameters to allocas (promoted later by mem2reg).
+        for (i, (pty, pname)) in proto.params.iter().enumerate() {
+            let pv = Operand::Value(fl.f.params[i]);
+            let addr = fl.cursor().alloca(pty.size().max(1));
+            fl.cursor().store(pty.ir_ty(), pv, addr);
+            fl.scopes
+                .last_mut()
+                .unwrap()
+                .insert(pname.clone(), LV {
+                    addr,
+                    cty: pty.clone(),
+                });
+        }
+
+        fl.lower_stmts(&def.body)?;
+
+        // Implicit return for functions that fall off the end.
+        if !fl.terminated {
+            let term = match proto.ret {
+                CType::Void => Terminator::Ret { value: None },
+                ref r => Terminator::Ret {
+                    value: Some(Operand::Const(Const::zero(r.ir_ty()))),
+                },
+            };
+            fl.f.set_term(fl.block, term);
+        }
+        Ok(fl.f)
+    }
+}
+
+/// Encodes a global initializer to bytes (little-endian elements).
+fn encode_initializer(cty: &CType, init: &Initializer, line: usize) -> Result<Vec<u8>> {
+    match (cty, init) {
+        (CType::Array(elem, n), Initializer::Str(bytes)) => {
+            if elem.size() != 1 {
+                return Err(err(line, "string initializer requires a char array"));
+            }
+            if bytes.len() as u64 + 1 > *n {
+                return Err(err(line, "string initializer longer than array"));
+            }
+            let mut out = bytes.clone();
+            out.push(0);
+            Ok(out)
+        }
+        (CType::Array(elem, n), Initializer::List(items)) => {
+            if items.len() as u64 > *n {
+                return Err(err(line, "too many initializer elements"));
+            }
+            let esize = elem.size() as usize;
+            let mut out = Vec::with_capacity(items.len() * esize);
+            for item in items {
+                let v = eval_const_expr(item)?;
+                out.extend_from_slice(&(v as u64).to_le_bytes()[..esize]);
+            }
+            Ok(out)
+        }
+        (CType::Int { ty, .. }, Initializer::Expr(e)) => {
+            let v = eval_const_expr(e)?;
+            Ok((v as u64).to_le_bytes()[..ty.bytes() as usize].to_vec())
+        }
+        _ => Err(err(line, "unsupported global initializer form")),
+    }
+}
+
+/// Evaluates a constant expression (for global initializers).
+fn eval_const_expr(e: &Expr) -> Result<i64> {
+    match e {
+        Expr::IntLit { value, .. } => Ok(*value),
+        Expr::Unary { op, expr, .. } => {
+            let v = eval_const_expr(expr)?;
+            Ok(match op {
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::Not => !v,
+                UnaryOp::LogicalNot => (v == 0) as i64,
+            })
+        }
+        Expr::Binary { op, lhs, rhs, line } => {
+            let a = eval_const_expr(lhs)?;
+            let b = eval_const_expr(rhs)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err(err(*line, "division by zero in constant expression"));
+                    }
+                    a.wrapping_div(b)
+                }
+                BinaryOp::Rem => {
+                    if b == 0 {
+                        return Err(err(*line, "remainder by zero in constant expression"));
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinaryOp::And => a & b,
+                BinaryOp::Or => a | b,
+                BinaryOp::Xor => a ^ b,
+                BinaryOp::Shl => a.wrapping_shl(b as u32),
+                BinaryOp::Shr => a.wrapping_shr(b as u32),
+                BinaryOp::Eq => (a == b) as i64,
+                BinaryOp::Ne => (a != b) as i64,
+                BinaryOp::Lt => (a < b) as i64,
+                BinaryOp::Le => (a <= b) as i64,
+                BinaryOp::Gt => (a > b) as i64,
+                BinaryOp::Ge => (a >= b) as i64,
+            })
+        }
+        Expr::SizeOf { ty, .. } => Ok(ty.size() as i64),
+        Expr::Cast { expr, .. } => eval_const_expr(expr),
+        other => Err(err(
+            other.line(),
+            "expression is not constant (global initializers must be)",
+        )),
+    }
+}
+
+struct FnLower<'a> {
+    lw: &'a mut Lowerer,
+    f: Function,
+    block: BlockId,
+    scopes: Vec<HashMap<String, LV>>,
+    breaks: Vec<BlockId>,
+    continues: Vec<BlockId>,
+    ret: CType,
+    terminated: bool,
+}
+
+impl<'a> FnLower<'a> {
+    fn cursor(&mut self) -> Cursor<'_> {
+        Cursor {
+            func: &mut self.f,
+            block: self.block,
+        }
+    }
+
+    /// Switches emission to `b`.
+    fn move_to(&mut self, b: BlockId) {
+        self.block = b;
+        self.terminated = false;
+    }
+
+    /// Ensures the current block is open, diverting trailing dead code into a
+    /// fresh unreachable block.
+    fn ensure_open(&mut self) {
+        if self.terminated {
+            let dead = self.f.add_block("dead");
+            self.block = dead;
+            self.terminated = false;
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&LV> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                let r = self.lower_stmts(body);
+                self.scopes.pop();
+                r
+            }
+            Stmt::Decl { decls, line } => {
+                for (cty, name, init) in decls {
+                    self.lower_local_decl(cty, name, init.as_ref(), *line)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.ensure_open();
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.ensure_open();
+                let c = self.to_bool(cond)?;
+                let then_bb = self.f.add_block("if.then");
+                let else_bb = self.f.add_block("if.else");
+                let merge = self.f.add_block("if.end");
+                self.cursor().condbr(c, then_bb, else_bb);
+
+                self.move_to(then_bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(then_body)?;
+                self.scopes.pop();
+                if !self.terminated {
+                    self.cursor().br(merge);
+                }
+
+                self.move_to(else_bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(else_body)?;
+                self.scopes.pop();
+                if !self.terminated {
+                    self.cursor().br(merge);
+                }
+
+                self.move_to(merge);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.ensure_open();
+                let cond_bb = self.f.add_block("while.cond");
+                let body_bb = self.f.add_block("while.body");
+                let exit_bb = self.f.add_block("while.end");
+                self.cursor().br(cond_bb);
+
+                self.move_to(cond_bb);
+                let c = self.to_bool(cond)?;
+                self.cursor().condbr(c, body_bb, exit_bb);
+
+                self.move_to(body_bb);
+                self.breaks.push(exit_bb);
+                self.continues.push(cond_bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(body)?;
+                self.scopes.pop();
+                self.breaks.pop();
+                self.continues.pop();
+                if !self.terminated {
+                    self.cursor().br(cond_bb);
+                }
+
+                self.move_to(exit_bb);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.ensure_open();
+                let body_bb = self.f.add_block("do.body");
+                let cond_bb = self.f.add_block("do.cond");
+                let exit_bb = self.f.add_block("do.end");
+                self.cursor().br(body_bb);
+
+                self.move_to(body_bb);
+                self.breaks.push(exit_bb);
+                self.continues.push(cond_bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(body)?;
+                self.scopes.pop();
+                self.breaks.pop();
+                self.continues.pop();
+                if !self.terminated {
+                    self.cursor().br(cond_bb);
+                }
+
+                self.move_to(cond_bb);
+                let c = self.to_bool(cond)?;
+                self.cursor().condbr(c, body_bb, exit_bb);
+
+                self.move_to(exit_bb);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.ensure_open();
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.lower_stmt(init)?;
+                }
+                let cond_bb = self.f.add_block("for.cond");
+                let body_bb = self.f.add_block("for.body");
+                let step_bb = self.f.add_block("for.step");
+                let exit_bb = self.f.add_block("for.end");
+                self.cursor().br(cond_bb);
+
+                self.move_to(cond_bb);
+                match cond {
+                    Some(c) => {
+                        let cv = self.to_bool(c)?;
+                        self.cursor().condbr(cv, body_bb, exit_bb);
+                    }
+                    None => self.cursor().br(body_bb),
+                }
+
+                self.move_to(body_bb);
+                self.breaks.push(exit_bb);
+                self.continues.push(step_bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(body)?;
+                self.scopes.pop();
+                self.breaks.pop();
+                self.continues.pop();
+                if !self.terminated {
+                    self.cursor().br(step_bb);
+                }
+
+                self.move_to(step_bb);
+                if let Some(step) = step {
+                    self.lower_expr(step)?;
+                }
+                self.cursor().br(cond_bb);
+
+                self.scopes.pop();
+                self.move_to(exit_bb);
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                self.ensure_open();
+                let target = *self
+                    .breaks
+                    .last()
+                    .ok_or_else(|| err(*line, "`break` outside of a loop"))?;
+                self.cursor().br(target);
+                self.terminated = true;
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                self.ensure_open();
+                let target = *self
+                    .continues
+                    .last()
+                    .ok_or_else(|| err(*line, "`continue` outside of a loop"))?;
+                self.cursor().br(target);
+                self.terminated = true;
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                self.ensure_open();
+                let term = match (value, &self.ret) {
+                    (None, CType::Void) => Terminator::Ret { value: None },
+                    (Some(_), CType::Void) => {
+                        return Err(err(*line, "void function returns a value"))
+                    }
+                    (None, _) => return Err(err(*line, "non-void function returns no value")),
+                    (Some(e), ret) => {
+                        let ret = ret.clone();
+                        let rv = self.lower_expr(e)?;
+                        let rv = self.convert(rv, &ret, *line)?;
+                        Terminator::Ret {
+                            value: Some(rv.op),
+                        }
+                    }
+                };
+                self.f.set_term(self.block, term);
+                self.terminated = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_local_decl(
+        &mut self,
+        cty: &CType,
+        name: &str,
+        init: Option<&Initializer>,
+        line: usize,
+    ) -> Result<()> {
+        self.ensure_open();
+        if cty.size() == 0 {
+            return Err(err(line, "variable of size zero"));
+        }
+        let addr = self.cursor().alloca(cty.size());
+        // Name the alloca's value after the variable for readable IR.
+        if let Operand::Value(v) = addr {
+            self.f.values[v.index()].name = Some(name.to_string());
+        }
+        self.scopes.last_mut().unwrap().insert(
+            name.to_string(),
+            LV {
+                addr,
+                cty: cty.clone(),
+            },
+        );
+        match (init, cty) {
+            (None, _) => {}
+            (Some(Initializer::Expr(e)), _) => {
+                let rv = self.lower_expr(e)?;
+                let rv = self.convert(rv, cty, line)?;
+                self.cursor().store(cty.ir_ty(), rv.op, addr);
+            }
+            (Some(Initializer::Str(bytes)), CType::Array(elem, n)) => {
+                if elem.size() != 1 {
+                    return Err(err(line, "string initializer requires a char array"));
+                }
+                if bytes.len() as u64 + 1 > *n {
+                    return Err(err(line, "string longer than array"));
+                }
+                let mut data = bytes.clone();
+                data.push(0);
+                for (i, b) in data.iter().enumerate() {
+                    let mut c = self.cursor();
+                    let p = c.ptradd(addr, Operand::imm(Ty::I64, i as u64));
+                    c.store(Ty::I8, Operand::imm(Ty::I8, *b as u64), p);
+                }
+            }
+            (Some(Initializer::List(items)), CType::Array(elem, n)) => {
+                if items.len() as u64 > *n {
+                    return Err(err(line, "too many initializer elements"));
+                }
+                let elem = (**elem).clone();
+                let esize = elem.size();
+                for (i, item) in items.iter().enumerate() {
+                    let rv = self.lower_expr(item)?;
+                    let rv = self.convert(rv, &elem, line)?;
+                    let mut c = self.cursor();
+                    let p = c.ptradd(addr, Operand::imm(Ty::I64, i as u64 * esize));
+                    c.store(elem.ir_ty(), rv.op, p);
+                }
+            }
+            _ => return Err(err(line, "invalid initializer for this type")),
+        }
+        Ok(())
+    }
+
+    /// Lowers `e` and converts the result to `i1` truthiness.
+    fn to_bool(&mut self, e: &Expr) -> Result<Operand> {
+        let rv = self.lower_expr(e)?;
+        self.rv_to_bool(rv, e.line())
+    }
+
+    fn rv_to_bool(&mut self, rv: RV, line: usize) -> Result<Operand> {
+        let cty = rv.cty.decayed();
+        if cty.is_integer() {
+            let ty = cty.ir_ty();
+            Ok(self
+                .cursor()
+                .cmp(CmpPred::Ne, ty, rv.op, Operand::Const(Const::zero(ty))))
+        } else if cty.is_pointer_like() {
+            Ok(self.cursor().cmp(
+                CmpPred::Ne,
+                Ty::Ptr,
+                rv.op,
+                Operand::Const(Const::zero(Ty::Ptr)),
+            ))
+        } else {
+            Err(err(line, "value has no truth value"))
+        }
+    }
+
+    /// Converts an rvalue to `to` with C's implicit conversion rules.
+    fn convert(&mut self, rv: RV, to: &CType, line: usize) -> Result<RV> {
+        let from = rv.cty.decayed();
+        let to = to.decayed();
+        if from == to {
+            return Ok(RV { op: rv.op, cty: to });
+        }
+        match (&from, &to) {
+            (CType::Int { ty: ft, signed }, CType::Int { ty: tt, .. }) => {
+                if ft == tt {
+                    return Ok(RV { op: rv.op, cty: to });
+                }
+                // Fold constant conversions so literals stay literals.
+                if let Operand::Const(c) = rv.op {
+                    let op = if ft.bits() < tt.bits() {
+                        if *signed {
+                            CastOp::Sext
+                        } else {
+                            CastOp::Zext
+                        }
+                    } else {
+                        CastOp::Trunc
+                    };
+                    let bits = overify_ir::fold::eval_cast(op, *ft, *tt, c.bits);
+                    return Ok(RV {
+                        op: Operand::Const(Const::new(*tt, bits)),
+                        cty: to,
+                    });
+                }
+                let op = if ft.bits() < tt.bits() {
+                    let cast = if *signed { CastOp::Sext } else { CastOp::Zext };
+                    self.cursor().cast(cast, *tt, rv.op)
+                } else {
+                    self.cursor().cast(CastOp::Trunc, *tt, rv.op)
+                };
+                Ok(RV { op, cty: to })
+            }
+            (CType::Ptr(_), CType::Ptr(_)) => Ok(RV { op: rv.op, cty: to }),
+            // Integer literal 0 converts to a null pointer.
+            (CType::Int { .. }, CType::Ptr(_)) => match rv.op {
+                Operand::Const(c) if c.bits == 0 => Ok(RV {
+                    op: Operand::Const(Const::zero(Ty::Ptr)),
+                    cty: to,
+                }),
+                _ => Err(err(line, format!("cannot convert `{from}` to `{to}`"))),
+            },
+            _ => Err(err(line, format!("cannot convert `{from}` to `{to}`"))),
+        }
+    }
+
+    /// Resolves an lvalue expression to an address.
+    fn lower_lvalue(&mut self, e: &Expr) -> Result<LV> {
+        match e {
+            Expr::Ident { name, line } => {
+                if let Some(lv) = self.lookup(name) {
+                    return Ok(lv.clone());
+                }
+                if let Some((gid, cty)) = self.lw.globals.get(name).cloned() {
+                    let addr = self.cursor().global_addr(gid);
+                    return Ok(LV { addr, cty });
+                }
+                Err(err(*line, format!("unknown variable `{name}`")))
+            }
+            Expr::Deref { expr, line } => {
+                let rv = self.lower_expr(expr)?;
+                let cty = rv.cty.decayed();
+                let pointee = cty
+                    .pointee()
+                    .ok_or_else(|| err(*line, "cannot dereference a non-pointer"))?
+                    .clone();
+                if pointee == CType::Void {
+                    return Err(err(*line, "cannot dereference `void*`"));
+                }
+                Ok(LV {
+                    addr: rv.op,
+                    cty: pointee,
+                })
+            }
+            Expr::Index { base, index, line } => {
+                let base_rv = self.lower_expr(base)?;
+                let cty = base_rv.cty.decayed();
+                let elem = cty
+                    .pointee()
+                    .ok_or_else(|| err(*line, "indexing a non-pointer"))?
+                    .clone();
+                let idx = self.lower_expr(index)?;
+                let off = self.scaled_offset(idx, elem.size(), *line)?;
+                let addr = self.cursor().ptradd(base_rv.op, off);
+                Ok(LV { addr, cty: elem })
+            }
+            other => Err(err(other.line(), "expression is not an lvalue")),
+        }
+    }
+
+    /// Converts an index rvalue into an `i64` byte offset scaled by `size`.
+    fn scaled_offset(&mut self, idx: RV, size: u64, line: usize) -> Result<Operand> {
+        if !idx.cty.is_integer() {
+            return Err(err(line, "array index must be an integer"));
+        }
+        let idx64 = self.convert(
+            idx.clone(),
+            &if idx.cty.is_signed() {
+                CType::long()
+            } else {
+                CType::ulong()
+            },
+            line,
+        )?;
+        if size == 1 {
+            return Ok(idx64.op);
+        }
+        Ok(self.cursor().bin(
+            BinOp::Mul,
+            Ty::I64,
+            idx64.op,
+            Operand::imm(Ty::I64, size),
+        ))
+    }
+
+    /// Loads the value stored at `lv` (with array decay).
+    fn load_lv(&mut self, lv: &LV) -> RV {
+        match &lv.cty {
+            CType::Array(elem, _) => RV {
+                // Arrays decay: the "value" is the address of element 0.
+                op: lv.addr,
+                cty: CType::Ptr(elem.clone()),
+            },
+            cty => {
+                let op = self.cursor().load(cty.ir_ty(), lv.addr);
+                RV {
+                    op,
+                    cty: cty.clone(),
+                }
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<RV> {
+        match e {
+            Expr::IntLit { value, .. } => {
+                // Decimal literals are `int` when they fit, `long` otherwise.
+                let cty = if *value >= i32::MIN as i64 && *value <= i32::MAX as i64 {
+                    CType::int()
+                } else {
+                    CType::long()
+                };
+                Ok(RV {
+                    op: Operand::Const(Const::new(cty.ir_ty(), *value as u64)),
+                    cty,
+                })
+            }
+            Expr::StrLit { bytes, .. } => {
+                let gid = self.lw.intern_str(bytes);
+                let op = self.cursor().global_addr(gid);
+                Ok(RV {
+                    op,
+                    cty: CType::char_().ptr_to(),
+                })
+            }
+            Expr::Ident { .. } | Expr::Deref { .. } | Expr::Index { .. } => {
+                let lv = self.lower_lvalue(e)?;
+                Ok(self.load_lv(&lv))
+            }
+            Expr::AddrOf { expr, line } => {
+                let lv = self.lower_lvalue(expr)?;
+                let pointee = match &lv.cty {
+                    // `&arr` yields a pointer to the first element in MiniC.
+                    CType::Array(elem, _) => (**elem).clone(),
+                    other => other.clone(),
+                };
+                let _ = line;
+                Ok(RV {
+                    op: lv.addr,
+                    cty: pointee.ptr_to(),
+                })
+            }
+            Expr::Unary { op, expr, line } => self.lower_unary(*op, expr, *line),
+            Expr::Binary { op, lhs, rhs, line } => self.lower_binary(*op, lhs, rhs, *line),
+            Expr::Logical { and, lhs, rhs, line } => self.lower_logical(*and, lhs, rhs, *line),
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+                line,
+            } => self.lower_conditional(cond, then_expr, else_expr, *line),
+            Expr::Assign {
+                op,
+                target,
+                value,
+                line,
+            } => self.lower_assign(*op, target, value, *line),
+            Expr::IncDec {
+                inc,
+                pre,
+                target,
+                line,
+            } => self.lower_incdec(*inc, *pre, target, *line),
+            Expr::Call { name, args, line } => self.lower_call(name, args, *line),
+            Expr::Cast { to, expr, line } => {
+                let rv = self.lower_expr(expr)?;
+                if *to == CType::Void {
+                    return Ok(RV {
+                        op: Operand::imm(Ty::I32, 0),
+                        cty: CType::Void,
+                    });
+                }
+                self.convert(rv, to, *line)
+            }
+            Expr::SizeOf { ty, .. } => Ok(RV {
+                op: Operand::Const(Const::new(Ty::I64, ty.size())),
+                cty: CType::ulong(),
+            }),
+        }
+    }
+
+    fn lower_unary(&mut self, op: UnaryOp, expr: &Expr, line: usize) -> Result<RV> {
+        match op {
+            UnaryOp::LogicalNot => {
+                let rv = self.lower_expr(expr)?;
+                let b = self.rv_to_bool(rv, line)?;
+                // `!x` == (x == 0): invert then widen to int.
+                let inv = self.cursor().bin(
+                    BinOp::Xor,
+                    Ty::I1,
+                    b,
+                    Operand::Const(Const::bool(true)),
+                );
+                let op = self.cursor().cast(CastOp::Zext, Ty::I32, inv);
+                Ok(RV {
+                    op,
+                    cty: CType::int(),
+                })
+            }
+            UnaryOp::Neg | UnaryOp::Not => {
+                let rv = self.lower_expr(expr)?;
+                if !rv.cty.is_integer() {
+                    return Err(err(line, "unary operator requires an integer"));
+                }
+                let cty = rv.cty.promoted();
+                let rv = self.convert(rv, &cty, line)?;
+                let ty = cty.ir_ty();
+                // Fold on constants so `-1` is a literal, as C requires in
+                // constant contexts.
+                if let Operand::Const(c) = rv.op {
+                    let bits = match op {
+                        UnaryOp::Neg => (c.bits as i64).wrapping_neg() as u64,
+                        _ => !c.bits,
+                    };
+                    return Ok(RV {
+                        op: Operand::Const(Const::new(ty, bits)),
+                        cty,
+                    });
+                }
+                let out = match op {
+                    UnaryOp::Neg => self.cursor().bin(
+                        BinOp::Sub,
+                        ty,
+                        Operand::Const(Const::zero(ty)),
+                        rv.op,
+                    ),
+                    _ => self.cursor().bin(
+                        BinOp::Xor,
+                        ty,
+                        rv.op,
+                        Operand::Const(Const::new(ty, u64::MAX)),
+                    ),
+                };
+                Ok(RV { op: out, cty })
+            }
+        }
+    }
+
+    fn lower_binary(&mut self, op: BinaryOp, lhs: &Expr, rhs: &Expr, line: usize) -> Result<RV> {
+        let l = self.lower_expr(lhs)?;
+        let r = self.lower_expr(rhs)?;
+        self.lower_binary_rv(op, l, r, line)
+    }
+
+    fn lower_binary_rv(&mut self, op: BinaryOp, l: RV, r: RV, line: usize) -> Result<RV> {
+        let lc = l.cty.decayed();
+        let rc = r.cty.decayed();
+
+        // Pointer arithmetic.
+        if lc.is_pointer_like() && rc.is_integer() && matches!(op, BinaryOp::Add | BinaryOp::Sub) {
+            let elem = lc.pointee().unwrap().clone();
+            let mut off = self.scaled_offset(r, elem.size(), line)?;
+            if op == BinaryOp::Sub {
+                off = self
+                    .cursor()
+                    .bin(BinOp::Sub, Ty::I64, Operand::Const(Const::zero(Ty::I64)), off);
+            }
+            let out = self.cursor().ptradd(l.op, off);
+            return Ok(RV { op: out, cty: lc });
+        }
+        if lc.is_integer() && rc.is_pointer_like() && op == BinaryOp::Add {
+            return self.lower_binary_rv(op, r, l, line);
+        }
+
+        // Pointer comparisons (including against the literal 0).
+        if op.is_comparison() && (lc.is_pointer_like() || rc.is_pointer_like()) {
+            let lp = self.convert(l, &lc.clone().decayed(), line)?;
+            let (lp, rp) = if lc.is_pointer_like() && rc.is_pointer_like() {
+                (lp, r)
+            } else if lc.is_pointer_like() {
+                let rp = self.convert(r, &lc, line)?;
+                (lp, rp)
+            } else {
+                let new_l = self.convert(lp, &rc, line)?;
+                (new_l, r)
+            };
+            let pred = comparison_pred(op, false);
+            let b = self.cursor().cmp(pred, Ty::Ptr, lp.op, rp.op);
+            let out = self.cursor().cast(CastOp::Zext, Ty::I32, b);
+            return Ok(RV {
+                op: out,
+                cty: CType::int(),
+            });
+        }
+
+        if !lc.is_integer() || !rc.is_integer() {
+            return Err(err(line, format!("invalid operands `{lc}` and `{rc}`")));
+        }
+
+        let common = lc.common_with(&rc);
+        let lv = self.convert(l, &common, line)?;
+        let rv = self.convert(r, &common, line)?;
+        let ty = common.ir_ty();
+        let signed = common.is_signed();
+
+        if op.is_comparison() {
+            let pred = comparison_pred(op, signed);
+            let b = self.cursor().cmp(pred, ty, lv.op, rv.op);
+            let out = self.cursor().cast(CastOp::Zext, Ty::I32, b);
+            return Ok(RV {
+                op: out,
+                cty: CType::int(),
+            });
+        }
+
+        let irop = match op {
+            BinaryOp::Add => BinOp::Add,
+            BinaryOp::Sub => BinOp::Sub,
+            BinaryOp::Mul => BinOp::Mul,
+            BinaryOp::Div => {
+                if signed {
+                    BinOp::SDiv
+                } else {
+                    BinOp::UDiv
+                }
+            }
+            BinaryOp::Rem => {
+                if signed {
+                    BinOp::SRem
+                } else {
+                    BinOp::URem
+                }
+            }
+            BinaryOp::And => BinOp::And,
+            BinaryOp::Or => BinOp::Or,
+            BinaryOp::Xor => BinOp::Xor,
+            BinaryOp::Shl => BinOp::Shl,
+            BinaryOp::Shr => {
+                if signed {
+                    BinOp::AShr
+                } else {
+                    BinOp::LShr
+                }
+            }
+            _ => unreachable!(),
+        };
+        let out = self.cursor().bin(irop, ty, lv.op, rv.op);
+        Ok(RV {
+            op: out,
+            cty: common,
+        })
+    }
+
+    /// Short-circuit `&&` / `||` through a temporary, exactly like `-O0` C.
+    fn lower_logical(&mut self, and: bool, lhs: &Expr, rhs: &Expr, line: usize) -> Result<RV> {
+        let tmp = self.cursor().alloca(4);
+        let lb = self.to_bool(lhs)?;
+        let rhs_bb = self.f.add_block(if and { "land.rhs" } else { "lor.rhs" });
+        let short_bb = self.f.add_block(if and { "land.short" } else { "lor.short" });
+        let merge = self.f.add_block(if and { "land.end" } else { "lor.end" });
+        if and {
+            self.cursor().condbr(lb, rhs_bb, short_bb);
+        } else {
+            self.cursor().condbr(lb, short_bb, rhs_bb);
+        }
+
+        // Short-circuit side: result is 0 for `&&`, 1 for `||`.
+        self.move_to(short_bb);
+        let short_val = Operand::imm(Ty::I32, if and { 0 } else { 1 });
+        self.cursor().store(Ty::I32, short_val, tmp);
+        self.cursor().br(merge);
+
+        // Evaluate the right-hand side.
+        self.move_to(rhs_bb);
+        let rb = self.to_bool(rhs)?;
+        let _ = line;
+        let rz = self.cursor().cast(CastOp::Zext, Ty::I32, rb);
+        self.cursor().store(Ty::I32, rz, tmp);
+        self.cursor().br(merge);
+
+        self.move_to(merge);
+        let out = self.cursor().load(Ty::I32, tmp);
+        Ok(RV {
+            op: out,
+            cty: CType::int(),
+        })
+    }
+
+    fn lower_conditional(
+        &mut self,
+        cond: &Expr,
+        then_expr: &Expr,
+        else_expr: &Expr,
+        line: usize,
+    ) -> Result<RV> {
+        let c = self.to_bool(cond)?;
+        let then_bb = self.f.add_block("cond.then");
+        let else_bb = self.f.add_block("cond.else");
+        let merge = self.f.add_block("cond.end");
+        self.cursor().condbr(c, then_bb, else_bb);
+
+        // First pass evaluates both arms into a temporary once the common
+        // type is known; we discover the common type by lowering the arms.
+        self.move_to(then_bb);
+        let tv = self.lower_expr(then_expr)?;
+        let then_out = self.block;
+
+        self.move_to(else_bb);
+        let ev = self.lower_expr(else_expr)?;
+        let else_out = self.block;
+
+        let common = common_arm_type(&tv.cty, &ev.cty, line)?;
+        let tmp_size = common.size().max(1);
+
+        // The temporary must dominate both arms: put it in the entry block.
+        let (_, tmp_val) = self.f.create_inst(
+            overify_ir::InstKind::Alloca { size: tmp_size },
+            Some(Ty::Ptr),
+        );
+        let entry = self.f.entry();
+        let id = match self.f.values[tmp_val.unwrap().index()].def {
+            overify_ir::ValueDef::Inst(i) => i,
+            _ => unreachable!(),
+        };
+        self.f.blocks[entry.index()].insts.insert(0, id);
+        let tmp = Operand::Value(tmp_val.unwrap());
+
+        self.move_to(then_out);
+        let tv = self.convert(tv, &common, line)?;
+        self.cursor().store(common.ir_ty(), tv.op, tmp);
+        self.cursor().br(merge);
+
+        self.move_to(else_out);
+        let ev = self.convert(ev, &common, line)?;
+        self.cursor().store(common.ir_ty(), ev.op, tmp);
+        self.cursor().br(merge);
+
+        self.move_to(merge);
+        let out = self.cursor().load(common.ir_ty(), tmp);
+        Ok(RV { op: out, cty: common })
+    }
+
+    fn lower_assign(
+        &mut self,
+        op: Option<BinaryOp>,
+        target: &Expr,
+        value: &Expr,
+        line: usize,
+    ) -> Result<RV> {
+        let lv = self.lower_lvalue(target)?;
+        if matches!(lv.cty, CType::Array(_, _)) {
+            return Err(err(line, "cannot assign to an array"));
+        }
+        let new_val = match op {
+            None => {
+                let rv = self.lower_expr(value)?;
+                self.convert(rv, &lv.cty, line)?
+            }
+            Some(bop) => {
+                let cur = self.load_lv(&lv);
+                let rv = self.lower_expr(value)?;
+                let combined = self.lower_binary_rv(bop, cur, rv, line)?;
+                self.convert(combined, &lv.cty, line)?
+            }
+        };
+        self.cursor().store(lv.cty.ir_ty(), new_val.op, lv.addr);
+        Ok(new_val)
+    }
+
+    fn lower_incdec(&mut self, inc: bool, pre: bool, target: &Expr, line: usize) -> Result<RV> {
+        let lv = self.lower_lvalue(target)?;
+        let old = self.load_lv(&lv);
+        let one = Expr::IntLit { value: 1, line };
+        let op = if inc { BinaryOp::Add } else { BinaryOp::Sub };
+        let one_rv = self.lower_expr(&one)?;
+        let new = self.lower_binary_rv(op, old.clone(), one_rv, line)?;
+        let new = self.convert(new, &lv.cty, line)?;
+        self.cursor().store(lv.cty.ir_ty(), new.op, lv.addr);
+        Ok(if pre { new } else { old })
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr], line: usize) -> Result<RV> {
+        // Builtins first.
+        match name {
+            "__sym_input" => {
+                let [ptr, len] = self.expect_args::<2>(args, line)?;
+                let ptr = self.lower_expr(&ptr)?;
+                if !ptr.cty.decayed().is_pointer_like() {
+                    return Err(err(line, "__sym_input expects a pointer"));
+                }
+                let len = self.lower_expr(&len)?;
+                let len = self.convert(len, &CType::long(), line)?;
+                self.cursor()
+                    .intrinsic(Intrinsic::SymInput, vec![ptr.op, len.op]);
+                return Ok(void_rv());
+            }
+            "__assume" | "__assert" => {
+                let [c] = self.expect_args::<1>(args, line)?;
+                let b = self.to_bool(&c)?;
+                let i = if name == "__assume" {
+                    Intrinsic::Assume
+                } else {
+                    Intrinsic::Assert
+                };
+                self.cursor().intrinsic(i, vec![b]);
+                return Ok(void_rv());
+            }
+            "putchar" => {
+                let [c] = self.expect_args::<1>(args, line)?;
+                let c = self.lower_expr(&c)?;
+                let c = self.convert(c, &CType::int(), line)?;
+                let out = self.cursor().intrinsic(Intrinsic::PutChar, vec![c.op]);
+                return Ok(RV {
+                    op: out.unwrap(),
+                    cty: CType::int(),
+                });
+            }
+            "malloc" => {
+                let [n] = self.expect_args::<1>(args, line)?;
+                let n = self.lower_expr(&n)?;
+                let n = self.convert(n, &CType::long(), line)?;
+                let out = self.cursor().intrinsic(Intrinsic::Malloc, vec![n.op]);
+                return Ok(RV {
+                    op: out.unwrap(),
+                    cty: CType::char_().ptr_to(),
+                });
+            }
+            "abort" => {
+                if !args.is_empty() {
+                    return Err(err(line, "abort takes no arguments"));
+                }
+                self.cursor().intrinsic(Intrinsic::Abort, vec![]);
+                return Ok(void_rv());
+            }
+            _ => {}
+        }
+
+        let (param_tys, ret) = self
+            .lw
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(line, format!("call to undeclared function `{name}`")))?;
+        if args.len() != param_tys.len() {
+            return Err(err(
+                line,
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    param_tys.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut ops = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&param_tys) {
+            let rv = self.lower_expr(a)?;
+            let rv = self.convert(rv, pty, line)?;
+            ops.push(rv.op);
+        }
+        let out = self.cursor().call(name, ops, ret.ir_ty());
+        Ok(match ret {
+            CType::Void => void_rv(),
+            ret => RV {
+                op: out.unwrap(),
+                cty: ret,
+            },
+        })
+    }
+
+    fn expect_args<const N: usize>(&self, args: &[Expr], line: usize) -> Result<[Expr; N]> {
+        if args.len() != N {
+            return Err(err(line, format!("expected {N} arguments, got {}", args.len())));
+        }
+        Ok(std::array::from_fn(|i| args[i].clone()))
+    }
+}
+
+fn void_rv() -> RV {
+    RV {
+        op: Operand::imm(Ty::I32, 0),
+        cty: CType::Void,
+    }
+}
+
+/// Common type of `?:` arms.
+fn common_arm_type(a: &CType, b: &CType, line: usize) -> Result<CType> {
+    let a = a.decayed();
+    let b = b.decayed();
+    if a.is_integer() && b.is_integer() {
+        return Ok(a.common_with(&b));
+    }
+    if a == b {
+        return Ok(a);
+    }
+    if a.is_pointer_like() && b.is_pointer_like() {
+        return Ok(a);
+    }
+    Err(err(line, format!("incompatible `?:` arms `{a}` and `{b}`")))
+}
+
+/// Maps an AST comparison to an IR predicate.
+fn comparison_pred(op: BinaryOp, signed: bool) -> CmpPred {
+    match (op, signed) {
+        (BinaryOp::Eq, _) => CmpPred::Eq,
+        (BinaryOp::Ne, _) => CmpPred::Ne,
+        (BinaryOp::Lt, true) => CmpPred::Slt,
+        (BinaryOp::Lt, false) => CmpPred::Ult,
+        (BinaryOp::Le, true) => CmpPred::Sle,
+        (BinaryOp::Le, false) => CmpPred::Ule,
+        (BinaryOp::Gt, true) => CmpPred::Sgt,
+        (BinaryOp::Gt, false) => CmpPred::Ugt,
+        (BinaryOp::Ge, true) => CmpPred::Sge,
+        (BinaryOp::Ge, false) => CmpPred::Uge,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,923 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::ctype::CType;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::CompileError;
+use overify_ir::Ty;
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+/// Parses a MiniC translation unit.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+/// Words that start a type.
+const TYPE_KEYWORDS: &[&str] = &["void", "char", "short", "int", "long", "unsigned", "const"];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn line(&self) -> usize {
+        self.peek().line
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(x) if *x == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(x) if x == name)
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.is_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_any_ident(&mut self) -> Result<String> {
+        match self.bump().kind {
+            TokenKind::Ident(n) => Ok(n),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// True if the current token starts a type.
+    fn at_type(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(x) if TYPE_KEYWORDS.contains(&x.as_str()))
+    }
+
+    /// Parses a type prefix: qualifiers, base type and `*`s. Returns the
+    /// type and whether `const` appeared.
+    fn type_prefix(&mut self) -> Result<(CType, bool)> {
+        let mut is_const = false;
+        while self.eat_ident("const") {
+            is_const = true;
+        }
+        let base = if self.eat_ident("void") {
+            CType::Void
+        } else if self.eat_ident("char") {
+            CType::char_()
+        } else if self.eat_ident("short") {
+            CType::Int {
+                ty: Ty::I16,
+                signed: true,
+            }
+        } else if self.eat_ident("int") {
+            CType::int()
+        } else if self.eat_ident("long") {
+            CType::long()
+        } else if self.eat_ident("unsigned") {
+            if self.eat_ident("char") {
+                CType::char_()
+            } else if self.eat_ident("short") {
+                CType::Int {
+                    ty: Ty::I16,
+                    signed: false,
+                }
+            } else if self.eat_ident("long") {
+                CType::ulong()
+            } else {
+                self.eat_ident("int");
+                CType::uint()
+            }
+        } else {
+            return Err(self.err("expected type name"));
+        };
+        // Interleaved `const` after the base (e.g. `char const`).
+        while self.eat_ident("const") {
+            is_const = true;
+        }
+        let mut ty = base;
+        while self.eat_punct("*") {
+            ty = ty.ptr_to();
+            while self.eat_ident("const") {
+                is_const = true;
+            }
+        }
+        Ok((ty, is_const))
+    }
+
+    /// Parses an optional array suffix `[N]` or `[]` after a declarator name.
+    fn array_suffix(&mut self, base: CType) -> Result<(CType, bool)> {
+        if !self.eat_punct("[") {
+            return Ok((base, false));
+        }
+        if self.eat_punct("]") {
+            // Size inferred from the initializer.
+            return Ok((CType::Array(Box::new(base), 0), true));
+        }
+        let n = match self.bump().kind {
+            TokenKind::Int(v) if v > 0 => v as u64,
+            _ => return Err(self.err("array size must be a positive integer literal")),
+        };
+        self.expect_punct("]")?;
+        Ok((CType::Array(Box::new(base), n), false))
+    }
+
+    /// Parses one top-level item.
+    fn item(&mut self) -> Result<Item> {
+        let line = self.line();
+        let (base, is_const) = self.type_prefix()?;
+        let name = self.expect_any_ident()?;
+
+        if self.is_punct("(") {
+            // Function prototype or definition.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.is_punct(")") {
+                if self.is_ident("void") && {
+                    // `(void)` exactly.
+                    matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(TokenKind::Punct(")")))
+                } {
+                    self.bump();
+                } else {
+                    loop {
+                        let (pty, _) = self.type_prefix()?;
+                        let pname = self.expect_any_ident()?;
+                        let (pty, _) = self.array_suffix(pty)?;
+                        // Array parameters decay to pointers.
+                        params.push((pty.decayed(), pname));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.expect_punct(")")?;
+            let proto = FuncProto {
+                name,
+                params,
+                ret: base,
+                line,
+            };
+            if self.eat_punct(";") {
+                return Ok(Item::Proto(proto));
+            }
+            self.expect_punct("{")?;
+            let body = self.block_body()?;
+            return Ok(Item::Func(FuncDef { proto, body }));
+        }
+
+        // Global variable.
+        let (cty, infer) = self.array_suffix(base)?;
+        let init = if self.eat_punct("=") {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        let cty = infer_array_size(cty, infer, &init, line)?;
+        Ok(Item::Global(GlobalDef {
+            name,
+            cty,
+            is_const,
+            init,
+            line,
+        }))
+    }
+
+    fn initializer(&mut self) -> Result<Initializer> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.is_punct("}") {
+                loop {
+                    items.push(self.expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if self.is_punct("}") {
+                        break; // Trailing comma.
+                    }
+                }
+            }
+            self.expect_punct("}")?;
+            return Ok(Initializer::List(items));
+        }
+        if let TokenKind::Str(bytes) = &self.peek().kind {
+            let bytes = bytes.clone();
+            self.bump();
+            return Ok(Initializer::Str(bytes));
+        }
+        Ok(Initializer::Expr(self.expr()?))
+    }
+
+    /// Parses statements until the closing `}` (which is consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if self.at_type() {
+            return self.decl_stmt();
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_body = self.stmt_as_block()?;
+            let else_body = if self.eat_ident("else") {
+                self.stmt_as_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_ident("do") {
+            let body = self.stmt_as_block()?;
+            if !self.eat_ident("while") {
+                return Err(self.err("expected `while` after do-body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { body, cond });
+        }
+        if self.eat_ident("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.at_type() {
+                Some(Box::new(self.decl_stmt()?))
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if self.is_punct(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = self.stmt_as_block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_ident("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.eat_ident("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue { line });
+        }
+        if self.eat_ident("return") {
+            let value = if self.is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value, line });
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Block(Vec::new()));
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Wraps a single statement as a block body (for `if (c) stmt;`).
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Local declaration statement, possibly with several declarators.
+    fn decl_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        let (base, _) = self.type_prefix()?;
+        let mut decls = Vec::new();
+        loop {
+            // Additional `*`s per declarator (`int x, *p;`).
+            let mut dty = base.clone();
+            while self.eat_punct("*") {
+                dty = dty.ptr_to();
+            }
+            let name = self.expect_any_ident()?;
+            let (dty, infer) = self.array_suffix(dty)?;
+            let init = if self.eat_punct("=") {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            let dty = infer_array_size(dty, infer, &init, line)?;
+            decls.push((dty, name, init));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl { decls, line })
+    }
+
+    // ---- Expressions (precedence climbing). ----
+
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr> {
+        let lhs = self.conditional()?;
+        let line = self.line();
+        let op = if self.eat_punct("=") {
+            None
+        } else if self.eat_punct("+=") {
+            Some(BinaryOp::Add)
+        } else if self.eat_punct("-=") {
+            Some(BinaryOp::Sub)
+        } else if self.eat_punct("*=") {
+            Some(BinaryOp::Mul)
+        } else if self.eat_punct("/=") {
+            Some(BinaryOp::Div)
+        } else if self.eat_punct("%=") {
+            Some(BinaryOp::Rem)
+        } else if self.eat_punct("&=") {
+            Some(BinaryOp::And)
+        } else if self.eat_punct("|=") {
+            Some(BinaryOp::Or)
+        } else if self.eat_punct("^=") {
+            Some(BinaryOp::Xor)
+        } else if self.eat_punct("<<=") {
+            Some(BinaryOp::Shl)
+        } else if self.eat_punct(">>=") {
+            Some(BinaryOp::Shr)
+        } else {
+            return Ok(lhs);
+        };
+        let value = self.assignment()?;
+        Ok(Expr::Assign {
+            op,
+            target: Box::new(lhs),
+            value: Box::new(value),
+            line,
+        })
+    }
+
+    fn conditional(&mut self) -> Result<Expr> {
+        let cond = self.logical_or()?;
+        if self.is_punct("?") {
+            let line = self.line();
+            self.bump();
+            let then_expr = self.expr()?;
+            self.expect_punct(":")?;
+            let else_expr = self.conditional()?;
+            return Ok(Expr::Conditional {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+                line,
+            });
+        }
+        Ok(cond)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.logical_and()?;
+        while self.is_punct("||") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.logical_and()?;
+            lhs = Expr::Logical {
+                and: false,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_or()?;
+        while self.is_punct("&&") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_or()?;
+            lhs = Expr::Logical {
+                and: true,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_xor()?;
+        while self.is_punct("|") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_xor()?;
+            lhs = bin(BinaryOp::Or, lhs, rhs, line);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_and()?;
+        while self.is_punct("^") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_and()?;
+            lhs = bin(BinaryOp::Xor, lhs, rhs, line);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality()?;
+        while self.is_punct("&") {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = bin(BinaryOp::And, lhs, rhs, line);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("==") {
+                BinaryOp::Eq
+            } else if self.eat_punct("!=") {
+                BinaryOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = bin(op, lhs, rhs, line);
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("<=") {
+                BinaryOp::Le
+            } else if self.eat_punct(">=") {
+                BinaryOp::Ge
+            } else if self.eat_punct("<") {
+                BinaryOp::Lt
+            } else if self.eat_punct(">") {
+                BinaryOp::Gt
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.shift()?;
+            lhs = bin(op, lhs, rhs, line);
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("<<") {
+                BinaryOp::Shl
+            } else if self.eat_punct(">>") {
+                BinaryOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = bin(op, lhs, rhs, line);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("+") {
+                BinaryOp::Add
+            } else if self.eat_punct("-") {
+                BinaryOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = bin(op, lhs, rhs, line);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.cast_expr()?;
+        loop {
+            let line = self.line();
+            let op = if self.eat_punct("*") {
+                BinaryOp::Mul
+            } else if self.eat_punct("/") {
+                BinaryOp::Div
+            } else if self.eat_punct("%") {
+                BinaryOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.cast_expr()?;
+            lhs = bin(op, lhs, rhs, line);
+        }
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr> {
+        // `(` type `)` cast-expr — distinguishable because MiniC has no
+        // typedefs: a type keyword after `(` means a cast.
+        if self.is_punct("(") {
+            if let Some(t) = self.tokens.get(self.pos + 1) {
+                if matches!(&t.kind, TokenKind::Ident(x) if TYPE_KEYWORDS.contains(&x.as_str())) {
+                    let line = self.line();
+                    self.bump(); // (
+                    let (to, _) = self.type_prefix()?;
+                    self.expect_punct(")")?;
+                    let inner = self.cast_expr()?;
+                    return Ok(Expr::Cast {
+                        to,
+                        expr: Box::new(inner),
+                        line,
+                    });
+                }
+            }
+        }
+        self.unary()
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        if self.eat_punct("++") {
+            let t = self.unary()?;
+            return Ok(Expr::IncDec {
+                inc: true,
+                pre: true,
+                target: Box::new(t),
+                line,
+            });
+        }
+        if self.eat_punct("--") {
+            let t = self.unary()?;
+            return Ok(Expr::IncDec {
+                inc: false,
+                pre: true,
+                target: Box::new(t),
+                line,
+            });
+        }
+        if self.eat_punct("!") {
+            let e = self.cast_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::LogicalNot,
+                expr: Box::new(e),
+                line,
+            });
+        }
+        if self.eat_punct("~") {
+            let e = self.cast_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+                line,
+            });
+        }
+        if self.eat_punct("-") {
+            let e = self.cast_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+                line,
+            });
+        }
+        if self.eat_punct("+") {
+            return self.cast_expr();
+        }
+        if self.eat_punct("*") {
+            let e = self.cast_expr()?;
+            return Ok(Expr::Deref {
+                expr: Box::new(e),
+                line,
+            });
+        }
+        if self.eat_punct("&") {
+            let e = self.cast_expr()?;
+            return Ok(Expr::AddrOf {
+                expr: Box::new(e),
+                line,
+            });
+        }
+        if self.is_ident("sizeof") {
+            self.bump();
+            self.expect_punct("(")?;
+            let (ty, _) = self.type_prefix()?;
+            let (ty, _) = self.array_suffix(ty)?;
+            self.expect_punct(")")?;
+            return Ok(Expr::SizeOf { ty, line });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                    line,
+                };
+            } else if self.is_punct("(") {
+                let name = match &e {
+                    Expr::Ident { name, .. } => name.clone(),
+                    _ => return Err(self.err("only direct calls are supported")),
+                };
+                self.bump();
+                let mut args = Vec::new();
+                if !self.is_punct(")") {
+                    loop {
+                        args.push(self.assignment()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+                e = Expr::Call { name, args, line };
+            } else if self.eat_punct("++") {
+                e = Expr::IncDec {
+                    inc: true,
+                    pre: false,
+                    target: Box::new(e),
+                    line,
+                };
+            } else if self.eat_punct("--") {
+                e = Expr::IncDec {
+                    inc: false,
+                    pre: false,
+                    target: Box::new(e),
+                    line,
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit { value: v, line })
+            }
+            TokenKind::Str(bytes) => {
+                self.bump();
+                Ok(Expr::StrLit { bytes, line })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Ident { name, line })
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+fn bin(op: BinaryOp, lhs: Expr, rhs: Expr, line: usize) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        line,
+    }
+}
+
+/// Resolves `[]` array sizes from initializers.
+fn infer_array_size(
+    cty: CType,
+    infer: bool,
+    init: &Option<Initializer>,
+    line: usize,
+) -> Result<CType> {
+    if !infer {
+        return Ok(cty);
+    }
+    let CType::Array(elem, _) = cty else {
+        unreachable!()
+    };
+    let n = match init {
+        Some(Initializer::Str(bytes)) => bytes.len() as u64 + 1, // Implicit NUL.
+        Some(Initializer::List(items)) => items.len() as u64,
+        _ => {
+            return Err(CompileError {
+                line,
+                msg: "array with `[]` requires an initializer".into(),
+            })
+        }
+    };
+    Ok(CType::Array(elem, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_wc() {
+        // Listing 1 from the paper, verbatim modulo `isspace` prototypes.
+        let src = r#"
+            int isspace(int c);
+            int isalpha(int c);
+            int wc(unsigned char *str, int any) {
+                int res = 0;
+                int new_word = 1;
+                for (unsigned char *p = str; *p; ++p) {
+                    if (isspace(*p) || (any && !isalpha(*p))) {
+                        new_word = 1;
+                    } else {
+                        if (new_word) {
+                            ++res;
+                            new_word = 0;
+                        }
+                    }
+                }
+                return res;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.items.len(), 3);
+        match &prog.items[2] {
+            Item::Func(f) => {
+                assert_eq!(f.proto.name, "wc");
+                assert_eq!(f.proto.params.len(), 2);
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let src = r#"
+            const char table[4] = {1, 2, 3, 4};
+            char msg[] = "hi";
+            int counter = 0;
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.items.len(), 3);
+        match &prog.items[1] {
+            Item::Global(g) => assert_eq!(g.cty, CType::Array(Box::new(CType::char_()), 3)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        // `a + b * c` must parse as a + (b * c).
+        let src = "int f(int a, int b, int c) { return a + b * c; }";
+        let prog = parse_program(src).unwrap();
+        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
+        match e {
+            Expr::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            _ => panic!("bad precedence: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_casts_and_sizeof() {
+        let src = "long f(int x) { return (long)x + (long)sizeof(int); }";
+        parse_program(src).unwrap();
+    }
+
+    #[test]
+    fn parses_do_while_and_ternary() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                do { s += n > 0 ? n : -n; n--; } while (n);
+                return s;
+            }
+        "#;
+        parse_program(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_indirect_calls() {
+        assert!(parse_program("int f(int x) { return (x + 1)(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse_program("int f() { return 1 }").is_err());
+    }
+}

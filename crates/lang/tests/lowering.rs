@@ -1,0 +1,247 @@
+//! End-to-end front-end tests: MiniC source compiles to verified IR with the
+//! expected structure.
+
+use overify_ir::{InstKind, Terminator};
+use overify_lang::compile;
+
+#[test]
+fn compiles_listing1_wc() {
+    let src = r#"
+        int isspace(int c);
+        int isalpha(int c);
+        int wc(unsigned char *str, int any) {
+            int res = 0;
+            int new_word = 1;
+            for (unsigned char *p = str; *p; ++p) {
+                if (isspace(*p) || (any && !isalpha(*p))) {
+                    new_word = 1;
+                } else {
+                    if (new_word) {
+                        ++res;
+                        new_word = 0;
+                    }
+                }
+            }
+            return res;
+        }
+    "#;
+    let m = compile(src).unwrap();
+    let f = m.function("wc").unwrap();
+    assert!(!f.is_declaration);
+    // The unoptimized lowering must branch for the short-circuit operators:
+    // count conditional branches.
+    let condbrs = f
+        .blocks
+        .iter()
+        .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
+        .count();
+    assert!(condbrs >= 5, "expected branchy -O0 lowering, got {condbrs} condbrs");
+    // isspace/isalpha stay as calls for the linker.
+    assert!(m.function("isspace").unwrap().is_declaration);
+}
+
+#[test]
+fn globals_and_string_literals() {
+    let src = r#"
+        const char tab[4] = {1, 2, 3, 4};
+        char buf[8];
+        int n = 42;
+        char *greet() { return "hi"; }
+    "#;
+    let m = compile(src).unwrap();
+    assert_eq!(m.globals.len(), 4); // tab, buf, n, "hi"
+    let (_, tab) = m.global("tab").unwrap();
+    assert!(tab.is_const);
+    assert_eq!(tab.init, vec![1, 2, 3, 4]);
+    let (_, n) = m.global("n").unwrap();
+    assert_eq!(n.init, vec![42, 0, 0, 0]);
+    let (_, s) = m.global("str.0").unwrap();
+    assert_eq!(s.init, vec![b'h', b'i', 0]);
+}
+
+#[test]
+fn arithmetic_conversions_pick_signedness() {
+    let src = r#"
+        int f(unsigned int a, int b) { return a / b; }
+        int g(int a, int b) { return a / b; }
+        int h(unsigned char c) { return c >> 1; }
+    "#;
+    let m = compile(src).unwrap();
+    let count_op = |fname: &str, op: overify_ir::BinOp| {
+        m.function(fname)
+            .unwrap()
+            .insts
+            .iter()
+            .filter(|i| matches!(&i.kind, InstKind::Bin { op: o, .. } if *o == op))
+            .count()
+    };
+    // unsigned / int -> unsigned division
+    assert_eq!(count_op("f", overify_ir::BinOp::UDiv), 1);
+    // int / int -> signed division
+    assert_eq!(count_op("g", overify_ir::BinOp::SDiv), 1);
+    // char promotes to int, so int (signed) shift
+    assert_eq!(count_op("h", overify_ir::BinOp::AShr), 1);
+}
+
+#[test]
+fn pointer_arithmetic_scales() {
+    let src = "int f(int *p, int i) { return p[i]; }";
+    let m = compile(src).unwrap();
+    let f = m.function("f").unwrap();
+    // Must contain a multiply by 4 feeding a ptradd.
+    let has_scale = f.insts.iter().any(|i| {
+        matches!(&i.kind, InstKind::Bin { op: overify_ir::BinOp::Mul, rhs, .. }
+            if rhs.is_const_bits(4))
+    });
+    assert!(has_scale, "index must be scaled by element size");
+    assert!(f
+        .insts
+        .iter()
+        .any(|i| matches!(&i.kind, InstKind::PtrAdd { .. })));
+}
+
+#[test]
+fn builtins_map_to_intrinsics() {
+    let src = r#"
+        int run() {
+            char buf[4];
+            __sym_input(buf, 4);
+            __assume(buf[0] > 0);
+            __assert(buf[0] != 13);
+            putchar(buf[0]);
+            return 0;
+        }
+    "#;
+    let m = compile(src).unwrap();
+    let f = m.function("run").unwrap();
+    let intrinsics: Vec<&str> = f
+        .insts
+        .iter()
+        .filter_map(|i| match &i.kind {
+            InstKind::Call {
+                callee: overify_ir::Callee::Intrinsic(x),
+                ..
+            } => Some(x.name()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(intrinsics, vec!["sym_input", "assume", "assert", "putchar"]);
+}
+
+#[test]
+fn control_flow_statements() {
+    let src = r#"
+        int collatz_len(int n) {
+            int len = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                len++;
+                if (len > 1000) break;
+            }
+            return len;
+        }
+        int sum_do(int n) {
+            int s = 0;
+            do { s += n; n--; } while (n > 0);
+            return s;
+        }
+        int skip(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i == 3) continue;
+                s += i;
+            }
+            return s;
+        }
+    "#;
+    compile(src).unwrap();
+}
+
+#[test]
+fn ternary_and_logical_results() {
+    let src = r#"
+        int max3(int a, int b, int c) {
+            int m = a > b ? a : b;
+            return m > c ? m : c;
+        }
+        int both(int a, int b) { return a && b; }
+        int either(int a, int b) { return a || b; }
+    "#;
+    compile(src).unwrap();
+}
+
+#[test]
+fn rejects_type_errors() {
+    assert!(compile("int f(int *p) { return p * 2; }").is_err());
+    assert!(compile("int f() { return g(); }").is_err());
+    assert!(compile("int f(int a) { return a; } int f(int a) { return a; }").is_err());
+    assert!(compile("void f() { return 1; }").is_err());
+    assert!(compile("int f() { return; }").is_err());
+    assert!(compile("int f() { break; }").is_err());
+    assert!(compile("int f(char c) { int *p; p = c; return 0; }").is_err());
+}
+
+#[test]
+fn rejects_builtin_redefinition() {
+    assert!(compile("int putchar(int c) { return c; }").is_err());
+}
+
+#[test]
+fn sizeof_values() {
+    let src = r#"
+        long sz() { return sizeof(int) + sizeof(char) + sizeof(long) + sizeof(int*); }
+    "#;
+    let m = compile(src).unwrap();
+    // 4 + 1 + 8 + 8 = 21; the adds are instructions, just check it compiles
+    // and the constants are present.
+    let f = m.function("sz").unwrap();
+    assert!(!f.is_declaration);
+}
+
+#[test]
+fn multi_declarator_locals() {
+    let src = "int f() { int a = 1, b = 2, *p = &a; return a + b + *p; }";
+    compile(src).unwrap();
+}
+
+#[test]
+fn nested_scopes_shadow() {
+    let src = r#"
+        int f(int x) {
+            int y = 1;
+            { int y = 2; x += y; }
+            return x + y;
+        }
+    "#;
+    compile(src).unwrap();
+}
+
+#[test]
+fn local_array_initializers() {
+    let src = r#"
+        int f() {
+            char s[] = "ab";
+            int v[3] = {1, 2, 3};
+            return s[0] + v[2];
+        }
+    "#;
+    compile(src).unwrap();
+}
+
+#[test]
+fn print_parse_round_trip_of_lowered_module() {
+    let src = r#"
+        int fact(int n) {
+            int r = 1;
+            while (n > 1) { r *= n; n--; }
+            return r;
+        }
+    "#;
+    let m = compile(src).unwrap();
+    let p1 = overify_ir::print::print_module(&m);
+    let m2 = overify_ir::parse_module(&p1).unwrap();
+    let p2 = overify_ir::print::print_module(&m2);
+    let m3 = overify_ir::parse_module(&p2).unwrap();
+    assert_eq!(p2, overify_ir::print::print_module(&m3));
+    overify_ir::verify_module(&m2).unwrap();
+}

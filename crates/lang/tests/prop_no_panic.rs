@@ -1,0 +1,80 @@
+//! Robustness: the front-end must reject malformed input with an error —
+//! never a panic — and mutation of valid programs must not break that.
+
+use proptest::prelude::*;
+
+const SEED_PROGRAMS: &[&str] = &[
+    "int f(int a, int b) { return a + b * 2; }",
+    "int g(unsigned char *s, int n) { int k = 0; while (s[k]) k++; return k; }",
+    "const char t[3] = {1,2,3}; int h() { return t[0]; }",
+    "int r(int x) { if (x > 0) { return -x; } else { return x; } }",
+    "long q(long v) { do { v /= 2; } while (v > 10); return v; }",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a valid program anywhere must produce Ok or Err, never a
+    /// panic.
+    #[test]
+    fn truncated_programs_never_panic(idx in 0usize..5, cut in 0usize..200) {
+        let src = SEED_PROGRAMS[idx];
+        let cut = cut.min(src.len());
+        // Cut on a char boundary (sources are ASCII).
+        let _ = overify_lang::compile(&src[..cut]);
+    }
+
+    /// Splicing random bytes into a valid program must not panic the lexer
+    /// or parser.
+    #[test]
+    fn mutated_programs_never_panic(
+        idx in 0usize..5,
+        pos in 0usize..200,
+        junk in proptest::collection::vec(32u8..127, 1..12),
+    ) {
+        let src = SEED_PROGRAMS[idx];
+        let pos = pos.min(src.len());
+        let mut mutated = String::new();
+        mutated.push_str(&src[..pos]);
+        mutated.push_str(std::str::from_utf8(&junk).unwrap());
+        mutated.push_str(&src[pos..]);
+        let _ = overify_lang::compile(&mutated);
+    }
+
+    /// Random ASCII soup must not panic.
+    #[test]
+    fn random_soup_never_panics(soup in "[ -~]{0,120}") {
+        let _ = overify_lang::compile(&soup);
+    }
+}
+
+/// The IR parser gets the same treatment.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ir_parser_never_panics(soup in "[ -~\n]{0,160}") {
+        let _ = overify_ir::parse_module(&soup);
+    }
+
+    #[test]
+    fn truncated_ir_never_panics(cut in 0usize..300) {
+        let src = r#"
+        global @tab 4 const x"01020304"
+        func @f(%a: i32) -> i32 {
+        entry:
+          %b = add i32 %a, 1
+          condbr %c, t, e
+        t:
+          %c = icmp eq i32 %b, 3
+          ret i32 1
+        e:
+          ret i32 0
+        }
+        "#;
+        let cut = cut.min(src.len());
+        if src.is_char_boundary(cut) {
+            let _ = overify_ir::parse_module(&src[..cut]);
+        }
+    }
+}

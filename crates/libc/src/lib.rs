@@ -1,0 +1,245 @@
+//! `overify-libc`: the C standard library, twice.
+//!
+//! Paper §3, "Library-level changes": *"For programs that use the C/C++
+//! standard library, the analysis effort depends significantly on the
+//! complexity of library functions... As part of -OVERIFY, we are currently
+//! developing a version of libC that is tailored to the needs of program
+//! analysis."*
+//!
+//! Two MiniC implementations with identical observable behaviour:
+//!
+//! * [`LibcVariant::Native`] — glibc-style: character classification goes
+//!   through a 256-entry flag table. A *symbolic* index into that table
+//!   forces the verifier to model a symbolic memory read (an if-then-else
+//!   chain over the table), which is exactly why real-libc code is slow to
+//!   analyze.
+//! * [`LibcVariant::Verify`] — the analysis-friendly library: branch-free
+//!   comparison chains, no tables, and precondition checks (`__assert`)
+//!   that turn latent pointer bugs into immediate, well-located crashes.
+//!
+//! Linked by the driver in `overify` (the core crate): `-O0..-O3` get the
+//! native library, `-OVERIFY` gets the verification library.
+
+use overify_ir::Module;
+use overify_lang::CompileError;
+
+pub mod source;
+
+/// Which library implementation to link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LibcVariant {
+    /// Table-driven, CPU-tuned (models glibc/uClibc).
+    Native,
+    /// Branch-free, precondition-checked (the paper's -OVERIFY libc).
+    Verify,
+}
+
+impl LibcVariant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LibcVariant::Native => "native",
+            LibcVariant::Verify => "verify",
+        }
+    }
+}
+
+/// Prototypes for every libc function, for inclusion ahead of user code.
+pub const DECLARATIONS: &str = r#"
+int isspace(int c);
+int isalpha(int c);
+int isdigit(int c);
+int isalnum(int c);
+int isupper(int c);
+int islower(int c);
+int ispunct(int c);
+int isprint(int c);
+int isxdigit(int c);
+int toupper(int c);
+int tolower(int c);
+long strlen(const char *s);
+int strcmp(const char *a, const char *b);
+int strncmp(const char *a, const char *b, long n);
+char *strchr(const char *s, int c);
+char *strcpy(char *dst, const char *src);
+void *memcpy(char *dst, const char *src, long n);
+void *memset(char *dst, int c, long n);
+int memcmp(const char *a, const char *b, long n);
+int atoi(const char *s);
+int abs(int x);
+"#;
+
+/// Full MiniC source of the chosen variant.
+pub fn libc_source(variant: LibcVariant) -> String {
+    match variant {
+        LibcVariant::Native => source::native_source(),
+        LibcVariant::Verify => source::verify_source().to_string(),
+    }
+}
+
+/// Compiles the chosen libc variant to an IR module.
+pub fn compile_libc(variant: LibcVariant) -> Result<Module, CompileError> {
+    overify_lang::compile(&libc_source(variant))
+}
+
+/// Compiles `user_src` (with the libc prototypes prepended) and links the
+/// chosen libc variant into it.
+pub fn compile_and_link(
+    user_src: &str,
+    variant: LibcVariant,
+) -> Result<Module, Box<dyn std::error::Error>> {
+    let combined = format!("{DECLARATIONS}\n{user_src}");
+    let mut m = overify_lang::compile(&combined)?;
+    let libc = compile_libc(variant)?;
+    m.link(libc)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, run_with_buffer, ExecConfig, Outcome};
+
+    #[test]
+    fn both_variants_compile_and_link() {
+        for v in [LibcVariant::Native, LibcVariant::Verify] {
+            let m = compile_libc(v).unwrap_or_else(|e| panic!("{v:?}: {e}"));
+            overify_ir::verify_module(&m).unwrap();
+            assert!(m.function("isspace").is_some());
+            assert!(m.function("strlen").is_some());
+        }
+    }
+
+    #[test]
+    fn ctype_agrees_with_rust_for_all_bytes() {
+        // Both variants must agree with Rust's ASCII predicates on every
+        // possible argument value 0..=255.
+        for v in [LibcVariant::Native, LibcVariant::Verify] {
+            let m = compile_libc(v).unwrap();
+            let cfg = ExecConfig::default();
+            for c in 0u64..=255 {
+                let ch = c as u8;
+                let cases: [(&str, bool); 9] = [
+                    ("isspace", ch.is_ascii_whitespace() || ch == 0x0b),
+                    ("isalpha", ch.is_ascii_alphabetic()),
+                    ("isdigit", ch.is_ascii_digit()),
+                    ("isalnum", ch.is_ascii_alphanumeric()),
+                    ("isupper", ch.is_ascii_uppercase()),
+                    ("islower", ch.is_ascii_lowercase()),
+                    ("ispunct", ch.is_ascii_punctuation()),
+                    ("isprint", (0x20..=0x7e).contains(&ch)),
+                    ("isxdigit", ch.is_ascii_hexdigit()),
+                ];
+                for (f, expect) in cases {
+                    let r = run_module(&m, f, &[c], &cfg);
+                    assert_eq!(r.outcome, Outcome::Ok, "{v:?} {f}({c})");
+                    let got = r.ret.unwrap() != 0;
+                    assert_eq!(got, expect, "{v:?} {f}({c})");
+                }
+                // Case conversion.
+                let up = run_module(&m, "toupper", &[c], &cfg).ret.unwrap() as u8;
+                assert_eq!(up, ch.to_ascii_uppercase(), "{v:?} toupper({c})");
+                let lo = run_module(&m, "tolower", &[c], &cfg).ret.unwrap() as u8;
+                assert_eq!(lo, ch.to_ascii_lowercase(), "{v:?} tolower({c})");
+            }
+        }
+    }
+
+    #[test]
+    fn string_functions_behave() {
+        for v in [LibcVariant::Native, LibcVariant::Verify] {
+            let src = r#"
+                int check(unsigned char *in, int n) {
+                    char buf[16];
+                    long len = strlen((char*)in);
+                    strcpy(buf, (char*)in);
+                    int c1 = strcmp(buf, (char*)in);
+                    memset(buf, 'x', 3);
+                    int has = strchr((char*)in, 'b') != 0;
+                    return (int)len * 100 + c1 * 10 + has;
+                }
+            "#;
+            let m = compile_and_link(src, v).unwrap();
+            overify_ir::verify_module(&m).unwrap();
+            let r = run_with_buffer(&m, "check", b"ab\0", &[3], &ExecConfig::default());
+            assert_eq!(r.outcome, Outcome::Ok, "{v:?}");
+            // len 2, equal strings (0), contains 'b' (1).
+            assert_eq!(r.ret, Some(201), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn atoi_and_abs() {
+        for v in [LibcVariant::Native, LibcVariant::Verify] {
+            let src = r#"
+                int go(unsigned char *in, int n) {
+                    return atoi((char*)in) + abs(-5);
+                }
+            "#;
+            let m = compile_and_link(src, v).unwrap();
+            let r = run_with_buffer(&m, "go", b"-42\0", &[4], &ExecConfig::default());
+            assert_eq!(r.ret.map(|v| v as i64 as i32), Some(-37), "{v:?}");
+            let r2 = run_with_buffer(&m, "go", b"123\0", &[4], &ExecConfig::default());
+            assert_eq!(r2.ret, Some(128), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn verify_variant_asserts_null_preconditions() {
+        let src = r#"
+            int bad(unsigned char *in, int n) {
+                char *p = 0;
+                return (int)strlen(p);
+            }
+        "#;
+        let m = compile_and_link(src, LibcVariant::Verify).unwrap();
+        let r = run_with_buffer(&m, "bad", b"\0", &[0], &ExecConfig::default());
+        // The precondition check fires as an assertion failure — a crash
+        // near the root cause, not a wild pointer fault.
+        assert_eq!(
+            r.outcome,
+            Outcome::Abort(overify_ir::AbortKind::AssertFail)
+        );
+        // The native variant still crashes, but on the raw access.
+        let m2 = compile_and_link(src, LibcVariant::Native).unwrap();
+        let r2 = run_with_buffer(&m2, "bad", b"\0", &[0], &ExecConfig::default());
+        assert_eq!(
+            r2.outcome,
+            Outcome::Abort(overify_ir::AbortKind::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn native_ctype_uses_table_verify_does_not() {
+        let native = compile_libc(LibcVariant::Native).unwrap();
+        let verify = compile_libc(LibcVariant::Verify).unwrap();
+        assert!(
+            native.global("__ctype_tab").is_some(),
+            "native libc models the glibc classification table"
+        );
+        assert!(verify.global("__ctype_tab").is_none());
+        // The verify isspace contains no loads at all.
+        let f = verify.function("isspace").unwrap();
+        let loads = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, overify_ir::InstKind::Load { .. }))
+            .count();
+        // (Parameter spills load from allocas; exclude by checking there is
+        // no GlobalAddr instead.)
+        let table_refs = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, overify_ir::InstKind::GlobalAddr { .. }))
+            .count();
+        assert_eq!(table_refs, 0);
+        let _ = loads;
+        let nf = native.function("isspace").unwrap();
+        let native_table_refs = nf
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, overify_ir::InstKind::GlobalAddr { .. }))
+            .count();
+        assert!(native_table_refs >= 1);
+    }
+}

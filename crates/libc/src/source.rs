@@ -1,0 +1,325 @@
+//! The MiniC sources of both library variants.
+
+/// Classification flag bits used by the native table (glibc-style).
+const F_SPACE: u8 = 0x01;
+const F_UPPER: u8 = 0x02;
+const F_LOWER: u8 = 0x04;
+const F_DIGIT: u8 = 0x08;
+const F_PUNCT: u8 = 0x10;
+const F_HEXLET: u8 = 0x20;
+const F_PRINT: u8 = 0x40;
+
+/// Computes the 256-entry classification table at build time.
+fn ctype_flags(c: u8) -> u8 {
+    let mut f = 0u8;
+    if matches!(c, b' ' | b'\t' | b'\n' | 0x0b | 0x0c | b'\r') {
+        f |= F_SPACE;
+    }
+    if c.is_ascii_uppercase() {
+        f |= F_UPPER;
+    }
+    if c.is_ascii_lowercase() {
+        f |= F_LOWER;
+    }
+    if c.is_ascii_digit() {
+        f |= F_DIGIT;
+    }
+    if c.is_ascii_punctuation() {
+        f |= F_PUNCT;
+    }
+    if matches!(c, b'a'..=b'f' | b'A'..=b'F') {
+        f |= F_HEXLET;
+    }
+    if (0x20..=0x7e).contains(&c) {
+        f |= F_PRINT;
+    }
+    f
+}
+
+/// The native (glibc-modelled) library: classification via a flag table.
+///
+/// A symbolic character indexed into `__ctype_tab` becomes a symbolic load,
+/// which a symbolic executor must expand into a 256-way if-then-else — the
+/// cost the -OVERIFY library avoids.
+pub fn native_source() -> String {
+    let table: Vec<String> = (0u16..=255)
+        .map(|c| ctype_flags(c as u8).to_string())
+        .collect();
+    format!(
+        r#"
+const char __ctype_tab[256] = {{{table}}};
+
+int isspace(int c) {{ return __ctype_tab[c & 255] & {sp}; }}
+int isupper(int c) {{ return __ctype_tab[c & 255] & {up}; }}
+int islower(int c) {{ return __ctype_tab[c & 255] & {lo}; }}
+int isdigit(int c) {{ return __ctype_tab[c & 255] & {di}; }}
+int isalpha(int c) {{ return __ctype_tab[c & 255] & {al}; }}
+int isalnum(int c) {{ return __ctype_tab[c & 255] & {an}; }}
+int ispunct(int c) {{ return __ctype_tab[c & 255] & {pu}; }}
+int isprint(int c) {{ return __ctype_tab[c & 255] & {pr}; }}
+int isxdigit(int c) {{ return __ctype_tab[c & 255] & {xd}; }}
+
+int toupper(int c) {{
+    if (islower(c)) return c - 32;
+    return c;
+}}
+
+int tolower(int c) {{
+    if (isupper(c)) return c + 32;
+    return c;
+}}
+
+long strlen(const char *s) {{
+    long n = 0;
+    while (s[n]) n++;
+    return n;
+}}
+
+int strcmp(const char *a, const char *b) {{
+    long i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+    return 0;
+}}
+
+int strncmp(const char *a, const char *b, long n) {{
+    long i = 0;
+    while (i < n) {{
+        if (a[i] != b[i]) {{
+            if (a[i] < b[i]) return -1;
+            return 1;
+        }}
+        if (!a[i]) return 0;
+        i++;
+    }}
+    return 0;
+}}
+
+char *strchr(const char *s, int c) {{
+    long i = 0;
+    while (s[i]) {{
+        if (s[i] == (char)c) return (char*)s + i;
+        i++;
+    }}
+    if ((char)c == 0) return (char*)s + i;
+    return 0;
+}}
+
+char *strcpy(char *dst, const char *src) {{
+    long i = 0;
+    while (src[i]) {{
+        dst[i] = src[i];
+        i++;
+    }}
+    dst[i] = 0;
+    return dst;
+}}
+
+void *memcpy(char *dst, const char *src, long n) {{
+    for (long i = 0; i < n; i++) dst[i] = src[i];
+    return dst;
+}}
+
+void *memset(char *dst, int c, long n) {{
+    for (long i = 0; i < n; i++) dst[i] = (char)c;
+    return dst;
+}}
+
+int memcmp(const char *a, const char *b, long n) {{
+    for (long i = 0; i < n; i++) {{
+        if (a[i] != b[i]) {{
+            if (a[i] < b[i]) return -1;
+            return 1;
+        }}
+    }}
+    return 0;
+}}
+
+int atoi(const char *s) {{
+    long i = 0;
+    int sign = 1;
+    int v = 0;
+    while (isspace(s[i])) i++;
+    if (s[i] == '-') {{ sign = -1; i++; }}
+    else if (s[i] == '+') {{ i++; }}
+    while (isdigit(s[i])) {{
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }}
+    return sign * v;
+}}
+
+int abs(int x) {{
+    if (x < 0) return -x;
+    return x;
+}}
+"#,
+        table = table.join(","),
+        sp = F_SPACE,
+        up = F_UPPER,
+        lo = F_LOWER,
+        di = F_DIGIT,
+        al = F_UPPER | F_LOWER,
+        an = F_UPPER | F_LOWER | F_DIGIT,
+        pu = F_PUNCT,
+        pr = F_PRINT,
+        xd = F_DIGIT | F_HEXLET,
+    )
+}
+
+/// The verification-optimized library (-OVERIFY's libc): branch-free
+/// classification by comparison, no tables, and precondition assertions on
+/// pointer arguments so bugs surface at the call site.
+pub fn verify_source() -> &'static str {
+    r#"
+int isspace(int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == 11 || c == 12 || c == '\r';
+}
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z'); }
+int isalnum(int c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+}
+int ispunct(int c) {
+    return (c >= 33 && c <= 47) || (c >= 58 && c <= 64) || (c >= 91 && c <= 96)
+        || (c >= 123 && c <= 126);
+}
+int isprint(int c) { return c >= 32 && c <= 126; }
+int isxdigit(int c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int toupper(int c) {
+    return c - ((c >= 'a' && c <= 'z') ? 32 : 0);
+}
+
+int tolower(int c) {
+    return c + ((c >= 'A' && c <= 'Z') ? 32 : 0);
+}
+
+long strlen(const char *s) {
+    __assert(s != 0);
+    long n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int strcmp(const char *a, const char *b) {
+    __assert(a != 0);
+    __assert(b != 0);
+    long i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+    return 0;
+}
+
+int strncmp(const char *a, const char *b, long n) {
+    __assert(a != 0);
+    __assert(b != 0);
+    long i = 0;
+    while (i < n) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) return -1;
+            return 1;
+        }
+        if (!a[i]) return 0;
+        i++;
+    }
+    return 0;
+}
+
+char *strchr(const char *s, int c) {
+    __assert(s != 0);
+    long i = 0;
+    while (s[i]) {
+        if (s[i] == (char)c) return (char*)s + i;
+        i++;
+    }
+    if ((char)c == 0) return (char*)s + i;
+    return 0;
+}
+
+char *strcpy(char *dst, const char *src) {
+    __assert(dst != 0);
+    __assert(src != 0);
+    long i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+void *memcpy(char *dst, const char *src, long n) {
+    __assert(dst != 0 || n == 0);
+    __assert(src != 0 || n == 0);
+    for (long i = 0; i < n; i++) dst[i] = src[i];
+    return dst;
+}
+
+void *memset(char *dst, int c, long n) {
+    __assert(dst != 0 || n == 0);
+    for (long i = 0; i < n; i++) dst[i] = (char)c;
+    return dst;
+}
+
+int memcmp(const char *a, const char *b, long n) {
+    __assert(a != 0 || n == 0);
+    __assert(b != 0 || n == 0);
+    for (long i = 0; i < n; i++) {
+        if (a[i] != b[i]) {
+            if (a[i] < b[i]) return -1;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int atoi(const char *s) {
+    __assert(s != 0);
+    long i = 0;
+    int sign = 1;
+    int v = 0;
+    while (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') i++;
+    if (s[i] == '-') { sign = -1; i++; }
+    else if (s[i] == '+') { i++; }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    return sign * v;
+}
+
+int abs(int x) {
+    return x < 0 ? -x : x;
+}
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_flags_match_rust_predicates() {
+        for c in 0u16..=255 {
+            let c = c as u8;
+            let f = ctype_flags(c);
+            assert_eq!(f & F_UPPER != 0, c.is_ascii_uppercase(), "c={c}");
+            assert_eq!(f & F_DIGIT != 0, c.is_ascii_digit(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn sources_are_nonempty_and_table_sized() {
+        let n = native_source();
+        assert!(n.contains("__ctype_tab[256]"));
+        assert_eq!(n.matches(',').count() >= 255, true);
+        assert!(verify_source().contains("__assert"));
+    }
+}

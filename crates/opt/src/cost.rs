@@ -1,0 +1,87 @@
+//! The two cost models (paper §3 and §4).
+//!
+//! `-OSYMBEX` differs from `-O3` in exactly three ways the paper lists:
+//! (1) it considers the cost of a branch to be much higher than on a CPU,
+//! (2) it removes loops whenever possible even if the program grows, and
+//! (3) it inlines aggressively. All three are knobs here.
+
+/// Tunable cost parameters consulted by the passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// How many simple instructions one conditional branch is worth. The
+    /// if-conversion pass speculates a branch away when the hoisted
+    /// instructions cost no more than this.
+    pub branch_cost: u64,
+    /// Maximum callee size (live instructions) for inlining.
+    pub inline_threshold: usize,
+    /// Callees at or below this size are always inlined.
+    pub always_inline_threshold: usize,
+    /// Stop growing a caller beyond this many instructions.
+    pub caller_size_limit: usize,
+    /// Full unrolling budget: `trip_count * body_size` must not exceed this.
+    pub unroll_total_budget: usize,
+    /// Never unroll more than this many iterations.
+    pub unroll_max_trips: u64,
+    /// Maximum loop size (instructions) eligible for unswitching.
+    pub unswitch_size_limit: usize,
+    /// Maximum number of unswitches per function (each one can double the
+    /// loop nest).
+    pub unswitch_per_function: usize,
+    /// Whether if-conversion may speculate provably in-bounds loads.
+    pub speculate_loads: bool,
+}
+
+impl CostModel {
+    /// The classic `-O2`/`-O3` regime: optimize for a pipelined CPU with
+    /// instruction caches and a branch predictor.
+    ///
+    /// A branch is worth a handful of instructions (a mispredict), which —
+    /// like LLVM's SimplifyCFG — permits speculating a provably safe load
+    /// plus a compare, but nothing expensive.
+    pub fn cpu() -> CostModel {
+        CostModel {
+            branch_cost: 6,
+            inline_threshold: 60,
+            always_inline_threshold: 12,
+            caller_size_limit: 6_000,
+            unroll_total_budget: 128,
+            unroll_max_trips: 16,
+            unswitch_size_limit: 48,
+            unswitch_per_function: 2,
+            speculate_loads: true,
+        }
+    }
+
+    /// The `-OVERIFY`/`-OSYMBEX` regime: optimize for a symbolic execution
+    /// engine where a branch may double verification work and code size is
+    /// nearly free.
+    pub fn verification() -> CostModel {
+        CostModel {
+            branch_cost: 1_000,
+            inline_threshold: 1_500,
+            always_inline_threshold: 200,
+            caller_size_limit: 60_000,
+            unroll_total_budget: 16_384,
+            unroll_max_trips: 256,
+            unswitch_size_limit: 600,
+            unswitch_per_function: 24,
+            speculate_loads: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_values_every_knob_higher() {
+        let cpu = CostModel::cpu();
+        let verif = CostModel::verification();
+        assert!(verif.branch_cost > cpu.branch_cost * 100);
+        assert!(verif.inline_threshold > cpu.inline_threshold);
+        assert!(verif.unroll_total_budget > cpu.unroll_total_budget);
+        assert!(verif.unswitch_size_limit > cpu.unswitch_size_limit);
+        assert!(verif.speculate_loads);
+    }
+}

@@ -1,0 +1,25 @@
+//! `overify-opt`: the optimization pipeline behind the `-OVERIFY` switch.
+//!
+//! The paper's central claim is that the *same* compiler machinery serves
+//! two masters with different cost models:
+//!
+//! * **CPU execution** — branches are nearly free, code size is precious
+//!   (caches), so speculation and loop restructuring are applied sparingly.
+//! * **Verification** — every conditional branch can double the number of
+//!   paths a tool must explore, so a branch is worth hundreds of ALU
+//!   instructions, and code size barely matters.
+//!
+//! [`CostModel::cpu`] and [`CostModel::verification`] encode those two
+//! regimes; the pass implementations are shared. [`pipeline::optimize`]
+//! assembles them into the `-O0`/`-O1`/`-O2`/`-O3`/`-OVERIFY` levels and
+//! returns the [`OptStats`] counters reported in Table 3 of the paper.
+
+pub mod cost;
+pub mod passes;
+pub mod pipeline;
+pub mod stats;
+pub mod util;
+
+pub use cost::CostModel;
+pub use pipeline::{optimize, OptLevel, PipelineOptions};
+pub use stats::OptStats;

@@ -1,0 +1,322 @@
+//! Program annotations (paper §3).
+//!
+//! *"Compilers also do not keep information computed during compilation,
+//! such as alias information, variable ranges, loop invariants, or trip
+//! counts. This information however is priceless for verification tools,
+//! and could be easily preserved in the form of program metadata."*
+//!
+//! This pass computes unsigned value ranges (a forward dataflow with a
+//! bounded number of iterations) and constant loop trip counts, and stores
+//! them in [`overify_ir::Annotations`]. Consumers:
+//!
+//! * the runtime-checks pass elides checks the ranges prove safe,
+//! * the symbolic executor decides annotated branches without solver calls.
+
+use crate::stats::OptStats;
+use crate::util::trip_count;
+use overify_ir::{
+    BinOp, CastOp, Cfg, DomTree, Function, InstKind, LoopForest, Operand, Ty, ValueId,
+    ValueRange,
+};
+use std::collections::HashMap;
+
+/// Computes and stores annotations for one function.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let ranges = compute_ranges(f);
+    let mut added = 0u64;
+    f.annotations.value_ranges.clear();
+    for (v, r) in ranges {
+        let full = ValueRange::full(f.value_ty(v).bits());
+        if r != full {
+            f.annotations.value_ranges.insert(v, r);
+            added += 1;
+        }
+    }
+
+    // Loop trip counts.
+    f.annotations.trip_counts.clear();
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(&cfg, &dom);
+    for lp in &forest.loops {
+        if let Some(c) = trip_count(f, lp, 1 << 20) {
+            f.annotations.trip_counts.insert(lp.header, c.trip_count);
+            added += 1;
+        }
+    }
+
+    stats.annotations_added += added;
+    added > 0
+}
+
+/// Bounded-iteration forward range analysis.
+pub fn compute_ranges(f: &Function) -> HashMap<ValueId, ValueRange> {
+    let mut ranges: HashMap<ValueId, ValueRange> = HashMap::new();
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let rpo: Vec<_> = dom.rpo().to_vec();
+
+    let range_of = |ranges: &HashMap<ValueId, ValueRange>, op: Operand, ty: Ty| -> ValueRange {
+        match op {
+            Operand::Const(c) => ValueRange::point(c.bits),
+            Operand::Value(v) => ranges
+                .get(&v)
+                .copied()
+                .unwrap_or_else(|| ValueRange::full(ty.bits())),
+        }
+    };
+
+    // Three rounds handles the phi cycles we care about without widening
+    // machinery; anything unresolved stays at full range (sound).
+    for _ in 0..3 {
+        let mut changed = false;
+        for &b in &rpo {
+            for &id in &f.block(b).insts {
+                let inst = f.inst(id);
+                let Some(result) = inst.result else { continue };
+                let out_ty = f.value_ty(result);
+                let full = ValueRange::full(out_ty.bits());
+                let r = match &inst.kind {
+                    InstKind::Cmp { .. } => ValueRange { umin: 0, umax: 1 },
+                    InstKind::Cast { op, to, value } => {
+                        let from = f.operand_ty(*value);
+                        let vr = range_of(&ranges, *value, from);
+                        match op {
+                            CastOp::Zext => vr,
+                            CastOp::Trunc => {
+                                if vr.umax <= to.mask() {
+                                    vr
+                                } else {
+                                    full
+                                }
+                            }
+                            CastOp::Sext => {
+                                // Only safe when the source is provably
+                                // non-negative.
+                                let smax = (1u64 << (from.bits() - 1)) - 1;
+                                if vr.umax <= smax {
+                                    vr
+                                } else {
+                                    full
+                                }
+                            }
+                        }
+                    }
+                    InstKind::Bin { op, ty, lhs, rhs } => {
+                        let a = range_of(&ranges, *lhs, *ty);
+                        let c = range_of(&ranges, *rhs, *ty);
+                        bin_range(*op, *ty, a, c).unwrap_or(full)
+                    }
+                    InstKind::Select {
+                        ty,
+                        on_true,
+                        on_false,
+                        ..
+                    } => {
+                        let a = range_of(&ranges, *on_true, *ty);
+                        let b2 = range_of(&ranges, *on_false, *ty);
+                        ValueRange {
+                            umin: a.umin.min(b2.umin),
+                            umax: a.umax.max(b2.umax),
+                        }
+                    }
+                    InstKind::Phi { ty, incomings } => {
+                        let mut acc: Option<ValueRange> = None;
+                        for (_, op) in incomings {
+                            let r = range_of(&ranges, *op, *ty);
+                            acc = Some(match acc {
+                                None => r,
+                                Some(a) => ValueRange {
+                                    umin: a.umin.min(r.umin),
+                                    umax: a.umax.max(r.umax),
+                                },
+                            });
+                        }
+                        acc.unwrap_or(full)
+                    }
+                    InstKind::Load { ty, .. } => ValueRange::full(ty.bits()),
+                    _ => full,
+                };
+                let prev = ranges.get(&result).copied();
+                if prev != Some(r) {
+                    ranges.insert(result, r);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ranges
+}
+
+/// Range transfer for a binary operation; `None` means "unknown".
+fn bin_range(op: BinOp, ty: Ty, a: ValueRange, b: ValueRange) -> Option<ValueRange> {
+    let mask = ty.mask();
+    match op {
+        BinOp::Add => {
+            let lo = a.umin.checked_add(b.umin)?;
+            let hi = a.umax.checked_add(b.umax)?;
+            if hi <= mask {
+                Some(ValueRange { umin: lo, umax: hi })
+            } else {
+                None
+            }
+        }
+        BinOp::Mul => {
+            let lo = a.umin.checked_mul(b.umin)?;
+            let hi = a.umax.checked_mul(b.umax)?;
+            if hi <= mask {
+                Some(ValueRange { umin: lo, umax: hi })
+            } else {
+                None
+            }
+        }
+        BinOp::And => {
+            // Result cannot exceed either operand's max.
+            Some(ValueRange {
+                umin: 0,
+                umax: a.umax.min(b.umax),
+            })
+        }
+        BinOp::Or | BinOp::Xor => {
+            // The result fits in as many bits as the wider operand: bound
+            // by the next power of two above the larger maximum.
+            let m = a.umax.max(b.umax);
+            let bound = m
+                .checked_add(1)
+                .and_then(u64::checked_next_power_of_two)
+                .map_or(mask, |p| p - 1);
+            Some(ValueRange {
+                umin: 0,
+                umax: bound.min(mask),
+            })
+        }
+        BinOp::UDiv => {
+            if b.umin == 0 {
+                return None;
+            }
+            Some(ValueRange {
+                umin: a.umin / b.umax,
+                umax: a.umax / b.umin,
+            })
+        }
+        BinOp::URem => {
+            if b.umin == 0 {
+                return None;
+            }
+            Some(ValueRange {
+                umin: 0,
+                umax: b.umax - 1,
+            })
+        }
+        BinOp::LShr => {
+            if b.is_point() && b.umin < 64 {
+                Some(ValueRange {
+                    umin: a.umin >> b.umin,
+                    umax: a.umax >> b.umin,
+                })
+            } else {
+                Some(ValueRange {
+                    umin: 0,
+                    umax: a.umax,
+                })
+            }
+        }
+        BinOp::Shl => {
+            if b.is_point() && b.umin < 64 {
+                let hi = a.umax.checked_shl(b.umin as u32)?;
+                if hi <= mask {
+                    return Some(ValueRange {
+                        umin: a.umin << b.umin,
+                        umax: hi,
+                    });
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prep(src: &str) -> overify_ir::Module {
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        for f in &mut m.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            super::super::instsimplify::run(f, &mut stats);
+            super::super::simplifycfg::run(f, &mut stats);
+        }
+        m
+    }
+
+    #[test]
+    fn byte_ranges_propagate_through_zext() {
+        let src = "int f(unsigned char c) { return c + 1; }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        assert!(run(&mut m.functions[fi], &mut stats));
+        let f = m.function("f").unwrap();
+        // Some value (the zext or the add) must carry a <= 256 range.
+        let tight = f
+            .annotations
+            .value_ranges
+            .values()
+            .any(|r| r.umax <= 256);
+        assert!(tight, "ranges: {:?}", f.annotations.value_ranges);
+    }
+
+    #[test]
+    fn masked_value_gets_tight_range() {
+        let src = "int f(int x) { return (x & 15) + 3; }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        run(&mut m.functions[fi], &mut stats);
+        let f = m.function("f").unwrap();
+        let has_mask_range = f
+            .annotations
+            .value_ranges
+            .values()
+            .any(|r| r.umax == 15);
+        let has_sum_range = f
+            .annotations
+            .value_ranges
+            .values()
+            .any(|r| r.umin == 3 && r.umax == 18);
+        assert!(has_mask_range && has_sum_range, "{:?}", f.annotations.value_ranges);
+    }
+
+    #[test]
+    fn records_trip_counts() {
+        let src = "int f() { int s = 0; for (int i = 0; i < 12; i++) s += i; return s; }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        run(&mut m.functions[fi], &mut stats);
+        let f = m.function("f").unwrap();
+        let trips: Vec<u64> = f.annotations.trip_counts.values().copied().collect();
+        assert_eq!(trips, vec![12]);
+    }
+
+    #[test]
+    fn urem_range() {
+        let src = "unsigned int f(unsigned int x) { return x % 10; }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        run(&mut m.functions[fi], &mut stats);
+        let f = m.function("f").unwrap();
+        assert!(f
+            .annotations
+            .value_ranges
+            .values()
+            .any(|r| r.umax == 9));
+    }
+}

@@ -1,0 +1,378 @@
+//! Runtime check insertion (paper §3, "Runtime checks").
+//!
+//! *"Recent versions of Clang and GCC can emit run-time checks for various
+//! forms of illegal behavior, transforming these various failures into
+//! run-time crashes. This makes verification simpler, as tools now only
+//! need to check for one type of failure (i.e., crashes)."*
+//!
+//! Inserted checks:
+//! * division / remainder by a non-constant divisor → divisor-is-zero trap,
+//! * loads/stores at `alloca`/global + variable offset → bounds trap.
+//!
+//! Checks that the annotation pass already proves safe are *elided* — the
+//! interplay measured by the annotations ablation.
+
+use crate::passes::annotate::compute_ranges;
+use crate::stats::OptStats;
+use crate::util::split_block;
+use overify_ir::{
+    AbortKind, BlockId, CmpPred, Const, Function, InstId, InstKind, Module, Operand,
+    Terminator, Ty, ValueDef, ValueRange,
+};
+use std::collections::HashSet;
+
+/// Options for the check inserter.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Insert divisor-is-zero checks.
+    pub div: bool,
+    /// Insert bounds checks for statically-known base objects.
+    pub bounds: bool,
+    /// Consult value-range annotations to elide provably safe checks.
+    pub use_annotations: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            div: true,
+            bounds: true,
+            use_annotations: true,
+        }
+    }
+}
+
+/// Inserts runtime checks into one function.
+pub fn run(m: &Module, f: &mut Function, opts: &CheckOptions, stats: &mut OptStats) -> bool {
+    let mut processed: HashSet<InstId> = HashSet::new();
+    let mut changed = false;
+
+    loop {
+        let ranges = if opts.use_annotations {
+            Some(compute_ranges(f))
+        } else {
+            None
+        };
+        let mut site = None;
+        'scan: for b in f.block_ids() {
+            for (pos, &id) in f.block(b).insts.iter().enumerate() {
+                if processed.contains(&id) {
+                    continue;
+                }
+                let inst = f.inst(id);
+                match &inst.kind {
+                    InstKind::Bin { op, ty, rhs, .. } if opts.div && op.can_trap() => {
+                        processed.insert(id);
+                        if matches!(rhs, Operand::Const(_)) {
+                            continue; // Constant divisor: nothing to check.
+                        }
+                        // Elide when the range proves the divisor non-zero.
+                        if let (Some(r), Operand::Value(v)) = (&ranges, rhs) {
+                            if let Some(vr) = r.get(v) {
+                                if vr.umin > 0 {
+                                    stats.checks_elided += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                        site = Some(Site::Div {
+                            block: b,
+                            pos,
+                            divisor: *rhs,
+                            ty: *ty,
+                        });
+                        break 'scan;
+                    }
+                    InstKind::Load { ty, addr } | InstKind::Store { ty, addr, .. }
+                        if opts.bounds =>
+                    {
+                        processed.insert(id);
+                        let width = ty.bytes();
+                        let Some((size, base_off, var_off)) = traced_access(f, m, *addr) else {
+                            continue; // Unknown base: the engine still checks.
+                        };
+                        match var_off {
+                            None => {
+                                // Fully constant: either provably fine or
+                                // provably broken; either way no dynamic
+                                // check is needed (constant folding of the
+                                // comparison would decide it).
+                                if base_off + width <= size {
+                                    stats.checks_elided += 1;
+                                    continue;
+                                }
+                                site = Some(Site::ConstOob { block: b, pos });
+                                break 'scan;
+                            }
+                            Some(off_v) => {
+                                let limit = size.saturating_sub(width).saturating_sub(base_off);
+                                // Elide when the annotated range is safe.
+                                if let Some(r) = &ranges {
+                                    if let Some(vr) = r.get(&off_v) {
+                                        let need = ValueRange { umin: 0, umax: limit };
+                                        if vr.umax <= need.umax {
+                                            stats.checks_elided += 1;
+                                            continue;
+                                        }
+                                    }
+                                }
+                                site = Some(Site::Bounds {
+                                    block: b,
+                                    pos,
+                                    off: off_v,
+                                    limit,
+                                });
+                                break 'scan;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let Some(site) = site else { break };
+        insert_check(f, site);
+        stats.checks_inserted += 1;
+        changed = true;
+    }
+    changed
+}
+
+enum Site {
+    Div {
+        block: BlockId,
+        pos: usize,
+        divisor: Operand,
+        ty: Ty,
+    },
+    Bounds {
+        block: BlockId,
+        pos: usize,
+        off: overify_ir::ValueId,
+        limit: u64,
+    },
+    ConstOob {
+        block: BlockId,
+        pos: usize,
+    },
+}
+
+/// Traces `addr` to a known base object: returns (object size, constant
+/// offset, optional single variable offset value).
+fn traced_access(
+    f: &Function,
+    m: &Module,
+    addr: Operand,
+) -> Option<(u64, u64, Option<overify_ir::ValueId>)> {
+    let mut cur = addr;
+    let mut const_off = 0u64;
+    let mut var: Option<overify_ir::ValueId> = None;
+    for _ in 0..16 {
+        let v = cur.as_value()?;
+        let inst = match f.values[v.index()].def {
+            ValueDef::Inst(i) => f.inst(i),
+            ValueDef::Param(_) => return None,
+        };
+        match &inst.kind {
+            InstKind::Alloca { size } => return Some((*size, const_off, var)),
+            InstKind::GlobalAddr { global } => {
+                return Some((m.globals.get(global.index())?.size, const_off, var))
+            }
+            InstKind::PtrAdd { base, offset } => {
+                match offset {
+                    Operand::Const(c) => const_off = const_off.wrapping_add(c.bits),
+                    Operand::Value(ov) => {
+                        if var.is_some() {
+                            return None; // Two variable components.
+                        }
+                        var = Some(*ov);
+                    }
+                }
+                cur = *base;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn insert_check(f: &mut Function, site: Site) {
+    match site {
+        Site::Div {
+            block,
+            pos,
+            divisor,
+            ty,
+        } => {
+            let cont = split_block(f, block, pos, "div.ok");
+            let trap = f.add_block("div.trap");
+            f.set_term(
+                trap,
+                Terminator::Abort {
+                    kind: AbortKind::DivByZero,
+                },
+            );
+            let ok = f
+                .append_inst(
+                    block,
+                    InstKind::Cmp {
+                        pred: CmpPred::Ne,
+                        ty,
+                        lhs: divisor,
+                        rhs: Operand::Const(Const::zero(ty)),
+                    },
+                    Some(Ty::I1),
+                )
+                .unwrap();
+            f.set_term(
+                block,
+                Terminator::CondBr {
+                    cond: Operand::Value(ok),
+                    on_true: cont,
+                    on_false: trap,
+                },
+            );
+        }
+        Site::Bounds {
+            block,
+            pos,
+            off,
+            limit,
+        } => {
+            let cont = split_block(f, block, pos, "bounds.ok");
+            let trap = f.add_block("bounds.trap");
+            f.set_term(
+                trap,
+                Terminator::Abort {
+                    kind: AbortKind::OutOfBounds,
+                },
+            );
+            let ty = f.value_ty(off);
+            let ok = f
+                .append_inst(
+                    block,
+                    InstKind::Cmp {
+                        pred: CmpPred::Ule,
+                        ty,
+                        lhs: Operand::Value(off),
+                        rhs: Operand::Const(Const::new(ty, limit)),
+                    },
+                    Some(Ty::I1),
+                )
+                .unwrap();
+            f.set_term(
+                block,
+                Terminator::CondBr {
+                    cond: Operand::Value(ok),
+                    on_true: cont,
+                    on_false: trap,
+                },
+            );
+        }
+        Site::ConstOob { block, pos } => {
+            // The access is statically out of bounds: trap unconditionally
+            // at this point.
+            let _rest = split_block(f, block, pos, "oob.dead");
+            f.set_term(
+                block,
+                Terminator::Abort {
+                    kind: AbortKind::OutOfBounds,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, ExecConfig, Outcome};
+
+    fn prep(src: &str) -> Module {
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        for f in &mut m.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            super::super::instsimplify::run(f, &mut stats);
+            super::super::simplifycfg::run(f, &mut stats);
+        }
+        m
+    }
+
+    #[test]
+    fn inserts_div_check() {
+        let mut m = prep("int f(int a, int b) { return a / b; }");
+        let mut stats = OptStats::default();
+        let mut f = std::mem::take(&mut m.functions[0]);
+        assert!(run(&m, &mut f, &CheckOptions::default(), &mut stats));
+        m.functions[0] = f;
+        assert_eq!(stats.checks_inserted, 1);
+        overify_ir::verify_module(&m).unwrap();
+        let cfg = ExecConfig::default();
+        assert_eq!(run_module(&m, "f", &[6, 2], &cfg).ret, Some(3));
+        assert_eq!(
+            run_module(&m, "f", &[6, 0], &cfg).outcome,
+            Outcome::Abort(AbortKind::DivByZero)
+        );
+    }
+
+    #[test]
+    fn bounds_check_traps_bad_index() {
+        let mut m = prep(
+            "int f(int i) { char buf[8]; buf[0] = 1; buf[7] = 2; return buf[i]; }",
+        );
+        let mut stats = OptStats::default();
+        let mut f = std::mem::take(&mut m.functions[0]);
+        run(&m, &mut f, &CheckOptions::default(), &mut stats);
+        m.functions[0] = f;
+        assert!(stats.checks_inserted >= 1);
+        // The two constant accesses are elided.
+        assert!(stats.checks_elided >= 2);
+        overify_ir::verify_module(&m).unwrap();
+        let cfg = ExecConfig::default();
+        assert_eq!(run_module(&m, "f", &[7], &cfg).outcome, Outcome::Ok);
+        assert_eq!(
+            run_module(&m, "f", &[8], &cfg).outcome,
+            Outcome::Abort(AbortKind::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn annotations_elide_safe_checks() {
+        // i & 7 is always within an 8-byte buffer.
+        let src = "int f(int i) { char buf[8]; buf[i & 7] = 1; return 0; }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let mut f = std::mem::take(&mut m.functions[0]);
+        run(&m, &mut f, &CheckOptions::default(), &mut stats);
+        m.functions[0] = f;
+        assert_eq!(stats.checks_inserted, 0, "masked index is provably safe");
+        assert!(stats.checks_elided >= 1);
+
+        // Without annotations the same site costs a check.
+        let mut m2 = prep(src);
+        let mut stats2 = OptStats::default();
+        let mut f2 = std::mem::take(&mut m2.functions[0]);
+        let opts = CheckOptions {
+            use_annotations: false,
+            ..Default::default()
+        };
+        run(&m2, &mut f2, &opts, &mut stats2);
+        m2.functions[0] = f2;
+        assert!(stats2.checks_inserted >= 1);
+        overify_ir::verify_module(&m2).unwrap();
+    }
+
+    #[test]
+    fn elides_provably_nonzero_divisor() {
+        let src = "int f(int a, int b) { return a / ((b & 7) + 1); }";
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let mut f = std::mem::take(&mut m.functions[0]);
+        run(&m, &mut f, &CheckOptions::default(), &mut stats);
+        m.functions[0] = f;
+        assert_eq!(stats.checks_inserted, 0);
+        assert!(stats.checks_elided >= 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dead code elimination, including dead stores to non-escaping allocas.
+
+use crate::stats::OptStats;
+use overify_ir::{Function, InstId, InstKind, Operand, Terminator};
+use std::collections::HashMap;
+
+/// Removes instructions whose results are unused and whose execution has no
+/// observable effect.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = dead_store_elim(f, stats);
+
+    // Use counts over live instructions and terminators.
+    let mut uses: Vec<u32> = vec![0; f.values.len()];
+    let mut def_inst: Vec<Option<InstId>> = vec![None; f.values.len()];
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            if let Some(r) = inst.result {
+                def_inst[r.index()] = Some(id);
+            }
+            inst.kind.for_each_operand(|op| {
+                if let Operand::Value(v) = op {
+                    uses[v.index()] += 1;
+                }
+            });
+        }
+        match &f.block(b).term {
+            Terminator::CondBr { cond, .. } => {
+                if let Operand::Value(v) = cond {
+                    uses[v.index()] += 1;
+                }
+            }
+            Terminator::Ret { value: Some(Operand::Value(v)) } => uses[v.index()] += 1,
+            _ => {}
+        }
+    }
+
+    // Worklist: start from every dead-result instruction.
+    let removable = |kind: &InstKind| -> bool {
+        match kind {
+            InstKind::Store { .. } | InstKind::Call { .. } | InstKind::Nop => false,
+            InstKind::Bin { .. } => kind.is_speculatable(),
+            _ => true,
+        }
+    };
+
+    let mut work: Vec<InstId> = Vec::new();
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            if let Some(r) = inst.result {
+                if uses[r.index()] == 0 && removable(&inst.kind) {
+                    work.push(id);
+                }
+            }
+        }
+    }
+
+    while let Some(id) = work.pop() {
+        let inst = f.inst(id);
+        if matches!(inst.kind, InstKind::Nop) {
+            continue;
+        }
+        // Re-check: the result may have gained uses? It cannot — we only
+        // remove uses. But it may already be dead.
+        if let Some(r) = inst.result {
+            if uses[r.index()] != 0 {
+                continue;
+            }
+        }
+        let mut freed: Vec<InstId> = Vec::new();
+        inst.kind.for_each_operand(|op| {
+            if let Operand::Value(v) = op {
+                uses[v.index()] -= 1;
+                if uses[v.index()] == 0 {
+                    if let Some(d) = def_inst[v.index()] {
+                        freed.push(d);
+                    }
+                }
+            }
+        });
+        f.kill_inst(id);
+        changed = true;
+        for d in freed {
+            if removable(&f.inst(d).kind) {
+                work.push(d);
+            }
+        }
+    }
+
+    if changed {
+        f.purge_nops();
+    }
+    changed
+}
+
+/// Removes allocas whose only uses are stores (the stored values are never
+/// observable), together with those stores.
+fn dead_store_elim(f: &mut Function, _stats: &mut OptStats) -> bool {
+    // alloca value -> (only_stored_to, uses_elsewhere)
+    let mut candidates: HashMap<u32, bool> = HashMap::new();
+    for inst in f.insts.iter() {
+        if let (InstKind::Alloca { .. }, Some(r)) = (&inst.kind, inst.result) {
+            candidates.insert(r.0, true);
+        }
+    }
+    if candidates.is_empty() {
+        return false;
+    }
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            match &inst.kind {
+                InstKind::Store { addr, value, .. } => {
+                    // Address position is fine; value position escapes.
+                    if let Operand::Value(v) = value {
+                        candidates.remove(&v.0);
+                    }
+                    let _ = addr;
+                }
+                other => {
+                    other.for_each_operand(|op| {
+                        if let Operand::Value(v) = op {
+                            candidates.remove(&v.0);
+                        }
+                    });
+                }
+            }
+        }
+        match &f.block(b).term {
+            Terminator::CondBr { cond: Operand::Value(v), .. } => {
+                candidates.remove(&v.0);
+            }
+            Terminator::Ret { value: Some(Operand::Value(v)) } => {
+                candidates.remove(&v.0);
+            }
+            _ => {}
+        }
+    }
+    if candidates.is_empty() {
+        return false;
+    }
+    // Kill the stores and the allocas.
+    let mut changed = false;
+    for i in 0..f.insts.len() {
+        let kill = match &f.insts[i].kind {
+            InstKind::Store { addr: Operand::Value(v), .. } => candidates.contains_key(&v.0),
+            InstKind::Alloca { .. } => f.insts[i]
+                .result
+                .is_some_and(|r| candidates.contains_key(&r.0)),
+            _ => false,
+        };
+        if kill {
+            f.kill_inst(InstId(i as u32));
+            changed = true;
+        }
+    }
+    if changed {
+        f.purge_nops();
+    }
+    changed
+}
+
+/// Removes values whose defs are gone — helper for tests and pipelines that
+/// want the value table compacted implicitly. (Values are never reindexed;
+/// dead entries are simply unreferenced.)
+#[allow(dead_code)]
+fn _doc_note() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{BinOp, Cursor, Ty};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Add, Ty::I32, p, c.imm(Ty::I32, 1));
+        let _b = c.bin(BinOp::Mul, Ty::I32, a, c.imm(Ty::I32, 3)); // Dead chain.
+        c.ret(Some(p));
+        let mut stats = OptStats::default();
+        assert!(run(&mut f, &mut stats));
+        assert_eq!(f.live_inst_count(), 0);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let src = "int g(int x) { return x; } int f(int x) { g(x); int dead = x * 2; return x; }";
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        // Promote first so the dead multiply becomes visible.
+        let fi = m.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m.functions[fi], &mut stats);
+        run(&mut m.functions[fi], &mut stats);
+        let f = m.function("f").unwrap();
+        // The call must survive; the multiply must not.
+        assert!(f
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Call { .. })));
+        assert!(!f
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::Bin { op: BinOp::Mul, .. })));
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn removes_write_only_allocas() {
+        let src = "int f(int x) { int unused_buffer = 7; unused_buffer = x; return x; }";
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        run(&mut m.functions[fi], &mut stats);
+        let f = m.function("f").unwrap();
+        // The x-spill alloca remains (it is loaded); the write-only one dies.
+        let stores = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 1, "only the parameter spill store should remain");
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dead_division_by_variable_survives() {
+        // x/y can trap: not removable even if unused.
+        let mut f = Function::new("t", &[Ty::I32, Ty::I32], Ty::I32);
+        let (a, b) = (Operand::Value(f.params[0]), Operand::Value(f.params[1]));
+        let mut c = Cursor::new(&mut f);
+        let _dead = c.bin(BinOp::UDiv, Ty::I32, a, b);
+        c.ret(Some(a));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        assert_eq!(f.live_inst_count(), 1);
+    }
+}

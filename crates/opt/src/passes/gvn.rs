@@ -1,0 +1,374 @@
+//! Global value numbering (a dominator-scoped CSE).
+//!
+//! Redundant computations are redundant solver terms; removing them shrinks
+//! both the instruction count KLEE interprets and the expressions it sends
+//! to the constraint solver.
+
+use crate::stats::OptStats;
+use crate::util::apply_replacements;
+use overify_ir::{
+    BinOp, CastOp, Cfg, CmpPred, DomTree, Function, InstKind, Operand, Ty, ValueId,
+};
+use std::collections::HashMap;
+
+/// One canonical expression key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, Ty, Operand, Operand),
+    Cmp(CmpPred, Ty, Operand, Operand),
+    Cast(CastOp, Ty, Operand),
+    Select(Operand, Operand, Operand),
+    PtrAdd(Operand, Operand),
+    Global(u32),
+}
+
+/// Total order on operands for canonicalizing commutative keys.
+fn op_rank(op: Operand) -> (u8, u64) {
+    match op {
+        Operand::Const(c) => (0, c.bits),
+        Operand::Value(v) => (1, v.0 as u64),
+    }
+}
+
+/// Runs value numbering over the dominator tree.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let n = f.blocks.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in f.block_ids() {
+        if let Some(p) = dom.idom(b) {
+            children[p.index()].push(b.index());
+        }
+    }
+
+    let mut repl: HashMap<ValueId, Operand> = HashMap::new();
+    let mut killed: Vec<overify_ir::InstId> = Vec::new();
+
+    // Scoped table: the undo log records insertions to pop on exit from a
+    // dominator subtree.
+    let mut table: HashMap<Key, Operand> = HashMap::new();
+    enum Ev {
+        Enter(usize),
+        Exit(Vec<Key>),
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Exit(keys) => {
+                for k in keys {
+                    table.remove(&k);
+                }
+            }
+            Ev::Enter(b) => {
+                let mut inserted: Vec<Key> = Vec::new();
+                let inst_ids: Vec<_> = f.blocks[b].insts.clone();
+                for id in inst_ids {
+                    let inst = f.inst(id);
+                    let Some(result) = inst.result else { continue };
+                    // Resolve operands through pending replacements so
+                    // chains number identically.
+                    let resolve = |op: Operand| -> Operand {
+                        let mut cur = op;
+                        for _ in 0..16 {
+                            match cur {
+                                Operand::Value(v) => match repl.get(&v) {
+                                    Some(&n) => cur = n,
+                                    None => break,
+                                },
+                                _ => break,
+                            }
+                        }
+                        cur
+                    };
+                    let key = match &inst.kind {
+                        InstKind::Bin { op, ty, lhs, rhs } => {
+                            let (mut a, mut c) = (resolve(*lhs), resolve(*rhs));
+                            if op.is_commutative() && op_rank(a) > op_rank(c) {
+                                std::mem::swap(&mut a, &mut c);
+                            }
+                            // Trapping ops are not freely replaceable unless
+                            // speculatable (identical non-trapping divisor).
+                            if op.can_trap() && !inst.kind.is_speculatable() {
+                                continue;
+                            }
+                            Key::Bin(*op, *ty, a, c)
+                        }
+                        InstKind::Cmp { pred, ty, lhs, rhs } => {
+                            let (a, c) = (resolve(*lhs), resolve(*rhs));
+                            // Canonicalize via the swapped form when it
+                            // orders lower.
+                            if op_rank(a) > op_rank(c) {
+                                Key::Cmp(pred.swap(), *ty, c, a)
+                            } else {
+                                Key::Cmp(*pred, *ty, a, c)
+                            }
+                        }
+                        InstKind::Cast { op, to, value } => Key::Cast(*op, *to, resolve(*value)),
+                        InstKind::Select {
+                            cond,
+                            on_true,
+                            on_false,
+                            ..
+                        } => Key::Select(resolve(*cond), resolve(*on_true), resolve(*on_false)),
+                        InstKind::PtrAdd { base, offset } => {
+                            Key::PtrAdd(resolve(*base), resolve(*offset))
+                        }
+                        InstKind::GlobalAddr { global } => Key::Global(global.0),
+                        _ => continue,
+                    };
+                    match table.get(&key) {
+                        Some(&existing) => {
+                            repl.insert(result, existing);
+                            killed.push(id);
+                        }
+                        None => {
+                            table.insert(key.clone(), Operand::Value(result));
+                            inserted.push(key);
+                        }
+                    }
+                }
+                stack.push(Ev::Exit(inserted));
+                for &c in &children[b] {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+        }
+    }
+
+    let mut changed = false;
+    if !repl.is_empty() {
+        stats.insts_simplified += repl.len() as u64;
+        apply_replacements(f, &repl);
+        for id in killed {
+            f.kill_inst(id);
+        }
+        f.purge_nops();
+        changed = true;
+    }
+    changed |= load_cse(f, stats);
+    changed
+}
+
+/// Redundant-load elimination: a load whose address was already loaded by a
+/// dominating load, with no possible clobber (store or call) on any path in
+/// between, reuses the earlier value.
+///
+/// This is what lets if-conversion flatten inlined libc code: the inliner
+/// leaves a reload of `*p` per inlined callee, and a reload from a
+/// non-provable pointer blocks speculation.
+fn load_cse(f: &mut Function, stats: &mut OptStats) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let nblocks = f.blocks.len();
+
+    // Which blocks contain a clobber (store or any call), and where.
+    let mut clobber_at: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for b in f.block_ids() {
+        for (pos, &id) in f.block(b).insts.iter().enumerate() {
+            if matches!(
+                f.inst(id).kind,
+                InstKind::Store { .. } | InstKind::Call { .. }
+            ) {
+                clobber_at[b.index()].push(pos);
+            }
+        }
+    }
+    let has_clobber = |b: usize| !clobber_at[b].is_empty();
+
+    // All loads, grouped by (address operand, type).
+    type LoadSite = (overify_ir::BlockId, usize, overify_ir::InstId);
+    let mut groups: HashMap<(Operand, Ty), Vec<LoadSite>> = HashMap::new();
+    for b in f.block_ids() {
+        for (pos, &id) in f.block(b).insts.iter().enumerate() {
+            if let InstKind::Load { ty, addr } = f.inst(id).kind {
+                groups.entry((addr, ty)).or_default().push((b, pos, id));
+            }
+        }
+    }
+
+    // Forward/backward reachability helpers.
+    let succs: Vec<Vec<usize>> = (0..nblocks)
+        .map(|i| {
+            f.block(overify_ir::BlockId(i as u32))
+                .term
+                .successors()
+                .iter()
+                .map(|s| s.index())
+                .collect()
+        })
+        .collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (i, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(i);
+        }
+    }
+    let reach = |from: usize, edges: &[Vec<usize>]| -> Vec<bool> {
+        let mut seen = vec![false; nblocks];
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            for &n in &edges[x] {
+                if !seen[n] {
+                    seen[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        seen
+    };
+
+    let mut repl: HashMap<overify_ir::ValueId, Operand> = HashMap::new();
+    let mut killed: Vec<overify_ir::InstId> = Vec::new();
+    // Deterministic processing order (HashMap iteration order is not).
+    let mut group_list: Vec<Vec<LoadSite>> = groups.into_values().collect();
+    group_list.sort_by_key(|sites| sites.first().map(|s| s.2).unwrap_or(overify_ir::InstId(0)));
+    for sites in group_list {
+        if sites.len() < 2 {
+            continue;
+        }
+        for (i, &(b2, p2, l2)) in sites.iter().enumerate() {
+            if killed.contains(&l2) {
+                continue;
+            }
+            // Find a dominating earlier load.
+            for &(b1, p1, l1) in &sites[..i] {
+                if killed.contains(&l1) {
+                    continue;
+                }
+                let safe = if b1 == b2 {
+                    p1 < p2 && !clobber_at[b1.index()].iter().any(|&c| c > p1 && c < p2)
+                } else if dom.dominates(b1, b2) {
+                    // No clobber after L1 in B1 or before L2 in B2.
+                    let tail_ok = !clobber_at[b1.index()].iter().any(|&c| c > p1);
+                    let head_ok = !clobber_at[b2.index()].iter().any(|&c| c < p2);
+                    if !(tail_ok && head_ok) {
+                        false
+                    } else {
+                        // Every block on a path B1 -> B2 must be clean; if
+                        // the path can revisit B1/B2 (a loop), they must be
+                        // entirely clean too.
+                        let fwd = reach(b1.index(), &succs);
+                        let bwd = reach(b2.index(), &preds);
+                        let mut ok = true;
+                        for x in 0..nblocks {
+                            if x == b1.index() || x == b2.index() {
+                                if fwd[x] && bwd[x] && has_clobber(x) {
+                                    ok = false; // Revisited through a cycle.
+                                }
+                                continue;
+                            }
+                            if fwd[x] && bwd[x] && has_clobber(x) {
+                                ok = false;
+                            }
+                        }
+                        ok
+                    }
+                } else {
+                    false
+                };
+                if safe {
+                    let v1 = f.inst(l1).result.unwrap();
+                    let v2 = f.inst(l2).result.unwrap();
+                    repl.insert(v2, Operand::Value(v1));
+                    killed.push(l2);
+                    break;
+                }
+            }
+        }
+    }
+
+    if repl.is_empty() {
+        return false;
+    }
+    stats.insts_simplified += repl.len() as u64;
+    apply_replacements(f, &repl);
+    for id in killed {
+        f.kill_inst(id);
+    }
+    f.purge_nops();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{Cursor, Module};
+
+    #[test]
+    fn dedupes_identical_computation() {
+        let mut f = Function::new("t", &[Ty::I32, Ty::I32], Ty::I32);
+        let (a, b) = (Operand::Value(f.params[0]), Operand::Value(f.params[1]));
+        let mut c = Cursor::new(&mut f);
+        let x = c.bin(BinOp::Add, Ty::I32, a, b);
+        let y = c.bin(BinOp::Add, Ty::I32, b, a); // Commutative duplicate.
+        let z = c.bin(BinOp::Mul, Ty::I32, x, y);
+        c.ret(Some(z));
+        let mut stats = OptStats::default();
+        assert!(run(&mut f, &mut stats));
+        assert_eq!(f.live_inst_count(), 2); // One add, one mul.
+        let mut m = Module::new();
+        m.functions.push(f);
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn respects_dominance_scope() {
+        // Identical adds on two sides of a diamond must NOT be merged
+        // (neither dominates the other).
+        let mut f = Function::new("t", &[Ty::I32, Ty::I1], Ty::I32);
+        let a = Operand::Value(f.params[0]);
+        let cond = Operand::Value(f.params[1]);
+        let mut c = Cursor::new(&mut f);
+        let l = c.add_block("l");
+        let r = c.add_block("r");
+        let m = c.add_block("m");
+        c.condbr(cond, l, r);
+        c.at(l);
+        let x = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 1));
+        c.br(m);
+        c.at(r);
+        let y = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 1));
+        c.br(m);
+        c.at(m);
+        let phi = c.phi(Ty::I32, vec![(l, x), (r, y)]);
+        c.ret(Some(Operand::Value(phi)));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        assert_eq!(f.live_inst_count(), 3, "cross-branch CSE would be unsound");
+    }
+
+    #[test]
+    fn dominating_value_replaces_dominated_duplicate() {
+        // add in entry, duplicate add in successor -> replaced.
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let a = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let next = c.add_block("next");
+        let x = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 7));
+        c.br(next);
+        c.at(next);
+        let y = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 7));
+        let z = c.bin(BinOp::Mul, Ty::I32, y, x);
+        c.ret(Some(z));
+        let mut stats = OptStats::default();
+        assert!(run(&mut f, &mut stats));
+        assert_eq!(f.live_inst_count(), 2);
+    }
+
+    #[test]
+    fn trapping_division_not_merged_blindly() {
+        let mut f = Function::new("t", &[Ty::I32, Ty::I32], Ty::I32);
+        let (a, b) = (Operand::Value(f.params[0]), Operand::Value(f.params[1]));
+        let mut c = Cursor::new(&mut f);
+        let x = c.bin(BinOp::UDiv, Ty::I32, a, b);
+        let y = c.bin(BinOp::UDiv, Ty::I32, a, b);
+        let z = c.bin(BinOp::Add, Ty::I32, x, y);
+        c.ret(Some(z));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        // Both divisions survive (they can trap; merging is legal but we
+        // are conservative).
+        assert_eq!(f.live_inst_count(), 3);
+    }
+}

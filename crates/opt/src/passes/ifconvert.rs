@@ -1,0 +1,552 @@
+//! If-conversion: turn conditional branches into straight-line `select`
+//! code by speculating side-effect-free blocks.
+//!
+//! This is the pass that produces Listing 2 of the paper — the branch-free
+//! `wc` loop body. A traditional compiler does this only when the hoisted
+//! work is cheaper than a branch (GCC's `if (test) x = 0;` →
+//! `x &= -(test == 0);`); under the verification cost model a branch is
+//! worth ~1000 instructions, so whole nests of diamonds collapse.
+
+use crate::cost::CostModel;
+use crate::stats::OptStats;
+use crate::util::provably_dereferenceable_with;
+use overify_ir::{
+    BinOp, BlockId, Cfg, Function, InstKind, Module, Operand, Terminator, ValueId, ValueRange,
+};
+use std::collections::HashMap;
+
+/// Value-range facts used to prove variable-offset loads in bounds.
+type Ranges = HashMap<ValueId, ValueRange>;
+
+/// Runs if-conversion to a fixpoint on one function.
+pub fn run(m: &Module, f: &mut Function, cost: &CostModel, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for _ in 0..50 {
+        // Range facts let the verification cost model speculate bounded
+        // table lookups (`tab[c & 255]`). Recomputed per round: conversions
+        // only add values, so stale entries stay sound.
+        let ranges = if cost.speculate_loads {
+            Some(crate::passes::annotate::compute_ranges(f))
+        } else {
+            None
+        };
+        if !convert_one(m, f, cost, ranges.as_ref(), stats) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Cost of speculating one instruction (CPU-ish weights).
+fn spec_cost(kind: &InstKind) -> u64 {
+    match kind {
+        InstKind::Bin { op, .. } => match op {
+            BinOp::Mul => 3,
+            BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => 10,
+            _ => 1,
+        },
+        InstKind::Load { .. } => 4,
+        InstKind::Nop => 0,
+        _ => 1,
+    }
+}
+
+/// Whether `b`'s instructions can all be executed unconditionally; returns
+/// the summed speculation cost.
+fn hoistable(
+    m: &Module,
+    f: &Function,
+    b: BlockId,
+    cost: &CostModel,
+    ranges: Option<&Ranges>,
+) -> Option<u64> {
+    let mut total = 0;
+    for &id in &f.block(b).insts {
+        let inst = f.inst(id);
+        match &inst.kind {
+            InstKind::Nop => {}
+            InstKind::Load { ty, addr } => {
+                if !(cost.speculate_loads
+                    && provably_dereferenceable_with(m, f, *addr, ty.bytes(), ranges))
+                {
+                    return None;
+                }
+                total += spec_cost(&inst.kind);
+            }
+            k if k.is_speculatable() => total += spec_cost(k),
+            _ => return None,
+        }
+    }
+    Some(total)
+}
+
+fn convert_one(
+    m: &Module,
+    f: &mut Function,
+    cost: &CostModel,
+    ranges: Option<&Ranges>,
+    stats: &mut OptStats,
+) -> bool {
+    let cfg = Cfg::compute(f);
+    for a in f.block_ids().collect::<Vec<_>>() {
+        let Terminator::CondBr {
+            cond,
+            on_true: t,
+            on_false: fl,
+        } = f.block(a).term
+        else {
+            continue;
+        };
+        if t == fl || t == a || fl == a {
+            continue;
+        }
+
+        // Fold a chained branch into this one when they share a destination
+        // (LLVM's FoldBranchToCommonDest) — this is what dissolves
+        // short-circuit `&&`/`||` chains into boolean arithmetic.
+        if fold_common_dest(m, f, &cfg, a, cond, t, fl, cost, ranges) {
+            stats.branches_converted += 1;
+            return true;
+        }
+
+        // Diamond: A -> {T, F} -> M.
+        if cfg.preds(t) == [a] && cfg.preds(fl) == [a] {
+            let (Terminator::Br { target: mt }, Terminator::Br { target: mf }) =
+                (&f.block(t).term, &f.block(fl).term)
+            else {
+                continue;
+            };
+            let (mt, mf) = (*mt, *mf);
+            if mt == mf && mt != a && mt != t && mt != fl {
+                let (Some(ct), Some(cf)) = (hoistable(m, f, t, cost, ranges), hoistable(m, f, fl, cost, ranges))
+                else {
+                    continue;
+                };
+                if ct + cf > cost.branch_cost {
+                    continue;
+                }
+                convert_diamond(f, a, cond, t, fl, mt);
+                stats.branches_converted += 1;
+                return true;
+            }
+        }
+
+        // Triangle with the true side speculated: A -> T -> M, A -> M.
+        if cfg.preds(t) == [a] {
+            if let Terminator::Br { target: mn } = f.block(t).term {
+                if mn == fl && mn != a && mn != t {
+                    if let Some(c) = hoistable(m, f, t, cost, ranges) {
+                        if c <= cost.branch_cost {
+                            convert_triangle(f, a, cond, t, mn, true);
+                            stats.branches_converted += 1;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        // Mirror triangle: A -> F -> M, A -> M.
+        if cfg.preds(fl) == [a] {
+            if let Terminator::Br { target: mn } = f.block(fl).term {
+                if mn == t && mn != a && mn != fl {
+                    if let Some(c) = hoistable(m, f, fl, cost, ranges) {
+                        if c <= cost.branch_cost {
+                            convert_triangle(f, a, cond, fl, mn, false);
+                            stats.branches_converted += 1;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Folds `B`'s conditional branch into `A` when they share a successor:
+///
+/// ```text
+///   A: condbr c1, SHARED, B        A: condbr (c1 | cb), SHARED, OTHER
+///   B: condbr c2, t2, f2      =>      (B's instructions hoisted into A)
+/// ```
+///
+/// where one of `t2`/`f2` is `SHARED`, and `cb` is `c2` (or its negation)
+/// oriented toward `SHARED`. Phis in `SHARED` merge their `A`/`B` incomings
+/// through a select on `c1`.
+#[allow(clippy::too_many_arguments)]
+fn fold_common_dest(
+    m: &Module,
+    f: &mut Function,
+    cfg: &Cfg,
+    a: BlockId,
+    c1: Operand,
+    on_true: BlockId,
+    on_false: BlockId,
+    cost: &CostModel,
+    ranges: Option<&Ranges>,
+) -> bool {
+    for (b, shared, a_direct_on_true) in [(on_false, on_true, true), (on_true, on_false, false)] {
+        if b == shared || cfg.preds(b) != [a] {
+            continue;
+        }
+        let Terminator::CondBr {
+            cond: c2,
+            on_true: t2,
+            on_false: f2,
+        } = f.block(b).term
+        else {
+            continue;
+        };
+        if t2 == f2 {
+            continue;
+        }
+        let (cb_positive, other) = if t2 == shared {
+            (true, f2)
+        } else if f2 == shared {
+            (false, t2)
+        } else {
+            continue;
+        };
+        if other == a || other == b || other == shared {
+            continue;
+        }
+        let Some(c) = hoistable(m, f, b, cost, ranges) else {
+            continue;
+        };
+        if c > cost.branch_cost {
+            continue;
+        }
+
+        // Hoist B's body, then compute the combined condition in A.
+        hoist_into(f, a, b);
+        let tru = Operand::Const(overify_ir::Const::bool(true));
+        let mk = |f: &mut Function, kind: InstKind| -> Operand {
+            f.append_inst(a, kind, Some(overify_ir::Ty::I1))
+                .map(Operand::Value)
+                .unwrap()
+        };
+        // cb: "B would go to SHARED".
+        let cb = if cb_positive {
+            c2
+        } else {
+            mk(f, InstKind::Bin {
+                op: BinOp::Xor,
+                ty: overify_ir::Ty::I1,
+                lhs: c2,
+                rhs: tru,
+            })
+        };
+        // ca: "A goes to SHARED directly".
+        let ca = if a_direct_on_true {
+            c1
+        } else {
+            mk(f, InstKind::Bin {
+                op: BinOp::Xor,
+                ty: overify_ir::Ty::I1,
+                lhs: c1,
+                rhs: tru,
+            })
+        };
+        let combined = mk(f, InstKind::Bin {
+            op: BinOp::Or,
+            ty: overify_ir::Ty::I1,
+            lhs: ca,
+            rhs: cb,
+        });
+
+        // SHARED's phis: merge the A and B incomings through ca.
+        let ids: Vec<_> = f.block(shared).insts.clone();
+        for id in ids {
+            let InstKind::Phi { ty, incomings } = f.inst(id).kind.clone() else {
+                continue;
+            };
+            let va = incomings.iter().find(|(p, _)| *p == a).map(|(_, v)| *v);
+            let vb = incomings.iter().find(|(p, _)| *p == b).map(|(_, v)| *v);
+            let (Some(va), Some(vb)) = (va, vb) else { continue };
+            let merged = if va == vb {
+                va
+            } else {
+                f.append_inst(
+                    a,
+                    InstKind::Select {
+                        ty,
+                        cond: ca,
+                        on_true: va,
+                        on_false: vb,
+                    },
+                    Some(ty),
+                )
+                .map(Operand::Value)
+                .unwrap()
+            };
+            if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+                incomings.retain(|(p, _)| *p != a && *p != b);
+                incomings.push((a, merged));
+            }
+        }
+        // OTHER's phis: the edge now comes from A.
+        f.retarget_phis(other, b, a);
+
+        f.set_term(
+            a,
+            Terminator::CondBr {
+                cond: combined,
+                on_true: shared,
+                on_false: other,
+            },
+        );
+        f.set_term(b, Terminator::Unreachable);
+        return true;
+    }
+    false
+}
+
+/// Moves a block's instructions into `a` (before its terminator).
+fn hoist_into(f: &mut Function, a: BlockId, from: BlockId) {
+    let moved: Vec<_> = std::mem::take(&mut f.blocks[from.index()].insts);
+    f.blocks[a.index()].insts.extend(moved);
+}
+
+fn convert_diamond(
+    f: &mut Function,
+    a: BlockId,
+    cond: Operand,
+    t: BlockId,
+    fl: BlockId,
+    merge: BlockId,
+) {
+    hoist_into(f, a, t);
+    hoist_into(f, a, fl);
+    // Phi (T: vt, F: vf) pairs become selects in A.
+    let ids: Vec<_> = f.block(merge).insts.clone();
+    for id in ids {
+        let InstKind::Phi { ty, incomings } = f.inst(id).kind.clone() else {
+            continue;
+        };
+        let vt = incomings.iter().find(|(p, _)| *p == t).map(|(_, v)| *v);
+        let vf = incomings.iter().find(|(p, _)| *p == fl).map(|(_, v)| *v);
+        let (Some(vt), Some(vf)) = (vt, vf) else { continue };
+        let sel = if vt == vf {
+            vt
+        } else {
+            f.append_inst(
+                a,
+                InstKind::Select {
+                    ty,
+                    cond,
+                    on_true: vt,
+                    on_false: vf,
+                },
+                Some(ty),
+            )
+            .map(Operand::Value)
+            .unwrap()
+        };
+        if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+            incomings.retain(|(p, _)| *p != t && *p != fl);
+            incomings.push((a, sel));
+        }
+    }
+    f.set_term(a, Terminator::Br { target: merge });
+    f.set_term(t, Terminator::Unreachable);
+    f.set_term(fl, Terminator::Unreachable);
+}
+
+fn convert_triangle(
+    f: &mut Function,
+    a: BlockId,
+    cond: Operand,
+    side: BlockId,
+    merge: BlockId,
+    side_is_true: bool,
+) {
+    hoist_into(f, a, side);
+    let ids: Vec<_> = f.block(merge).insts.clone();
+    for id in ids {
+        let InstKind::Phi { ty, incomings } = f.inst(id).kind.clone() else {
+            continue;
+        };
+        let vs = incomings.iter().find(|(p, _)| *p == side).map(|(_, v)| *v);
+        let va = incomings.iter().find(|(p, _)| *p == a).map(|(_, v)| *v);
+        let (Some(vs), Some(va)) = (vs, va) else { continue };
+        let (on_true, on_false) = if side_is_true { (vs, va) } else { (va, vs) };
+        let sel = if on_true == on_false {
+            on_true
+        } else {
+            f.append_inst(
+                a,
+                InstKind::Select {
+                    ty,
+                    cond,
+                    on_true,
+                    on_false,
+                },
+                Some(ty),
+            )
+            .map(Operand::Value)
+            .unwrap()
+        };
+        if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+            incomings.retain(|(p, _)| *p != side && *p != a);
+            incomings.push((a, sel));
+        }
+    }
+    f.set_term(a, Terminator::Br { target: merge });
+    f.set_term(side, Terminator::Unreachable);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, ExecConfig};
+
+    fn prep(src: &str) -> Module {
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        for f in &mut m.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            super::super::instsimplify::run(f, &mut stats);
+            super::super::simplifycfg::run(f, &mut stats);
+        }
+        m
+    }
+
+    fn opt(m: &mut Module, cost: &CostModel) -> OptStats {
+        let mut stats = OptStats::default();
+        for i in 0..m.functions.len() {
+            let mut f = std::mem::replace(
+                &mut m.functions[i],
+                Function::new("tmp", &[], overify_ir::Ty::Void),
+            );
+            // Alternate until stable so nested diamonds collapse.
+            for _ in 0..10 {
+                let c1 = run(m, &mut f, cost, &mut stats);
+                let c2 = super::super::simplifycfg::run(&mut f, &mut stats);
+                let c3 = super::super::instsimplify::run(&mut f, &mut stats);
+                if !(c1 || c2 || c3) {
+                    break;
+                }
+            }
+            m.functions[i] = f;
+        }
+        stats
+    }
+
+    fn count_condbrs(m: &Module, name: &str) -> usize {
+        m.function(name)
+            .unwrap()
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
+            .count()
+    }
+
+    #[test]
+    fn paper_example_conditional_store() {
+        // Paper §3: GCC converts `if (test) x = 0;` into branch-free code.
+        let src = "int f(int test, int x) { if (test) x = 0; return x; }";
+        let mut m = prep(src);
+        let stats = opt(&mut m, &CostModel::verification());
+        assert!(stats.branches_converted >= 1);
+        assert_eq!(count_condbrs(&m, "f"), 0);
+        overify_ir::verify_module(&m).unwrap();
+        let cfg = ExecConfig::default();
+        for (t, x) in [(0u64, 5u64), (1, 5), (2, 7)] {
+            let r = run_module(&m, "f", &[t, x], &cfg);
+            assert_eq!(r.ret, Some(if t != 0 { 0 } else { x }));
+        }
+    }
+
+    #[test]
+    fn converts_diamond_to_select() {
+        let src = "int maxv(int a, int b) { int m; if (a > b) { m = a; } else { m = b; } return m; }";
+        let mut m = prep(src);
+        let stats = opt(&mut m, &CostModel::verification());
+        assert!(stats.branches_converted >= 1);
+        assert_eq!(count_condbrs(&m, "maxv"), 0);
+        let cfg = ExecConfig::default();
+        for (a, b) in [(3u64, 9u64), (9, 3), (5, 5)] {
+            let r = run_module(&m, "maxv", &[a, b], &cfg);
+            assert_eq!(r.ret, Some(a.max(b)));
+        }
+    }
+
+    #[test]
+    fn nested_conditions_fully_flatten() {
+        // The wc-style condition nest: everything speculatable.
+        let src = r#"
+            int f(int c, int any) {
+                int r;
+                if (c == 32 || (any && c > 64)) { r = 1; } else { r = 2; }
+                return r;
+            }
+        "#;
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        // Jump threading first (the || produces a phi-of-const block).
+        let fi = m.function_index("f").unwrap();
+        super::super::jump_threading::run(&mut m.functions[fi], &mut stats);
+        super::super::simplifycfg::run(&mut m.functions[fi], &mut stats);
+        let st = opt(&mut m, &CostModel::verification());
+        let _ = st;
+        assert_eq!(count_condbrs(&m, "f"), 0, "all branches must convert");
+        overify_ir::verify_module(&m).unwrap();
+        let cfg = ExecConfig::default();
+        for c in [32u64, 65, 10] {
+            for any in [0u64, 1] {
+                let r = run_module(&m, "f", &[c, any], &cfg);
+                let expect = if c == 32 || (any != 0 && c > 64) { 1 } else { 2 };
+                assert_eq!(r.ret, Some(expect), "c={c} any={any}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_model_keeps_expensive_branches() {
+        // A heavy body (multiplies) exceeds the CPU branch budget.
+        let src = r#"
+            int f(int t, int x) {
+                int r = 0;
+                if (t) { r = x * x * x * x * x; }
+                return r;
+            }
+        "#;
+        let mut m = prep(src);
+        let stats = opt(&mut m, &CostModel::cpu());
+        assert_eq!(stats.branches_converted, 0);
+        assert!(count_condbrs(&m, "f") >= 1);
+    }
+
+    #[test]
+    fn does_not_speculate_stores_or_calls() {
+        let src = r#"
+            int g(int x) { return x; }
+            int f(int t, int *p) {
+                if (t) { *p = 1; g(2); }
+                return t;
+            }
+        "#;
+        let mut m = prep(src);
+        let stats = opt(&mut m, &CostModel::verification());
+        assert_eq!(stats.branches_converted, 0);
+    }
+
+    #[test]
+    fn speculates_provable_loads_under_verification_model() {
+        let src = r#"
+            const char tab[4] = {10, 20, 30, 40};
+            int f(int t) {
+                int r = 0;
+                if (t) { r = tab[2]; }
+                return r;
+            }
+        "#;
+        let mut m = prep(src);
+        let stats = opt(&mut m, &CostModel::verification());
+        assert!(stats.branches_converted >= 1);
+        let cfg = ExecConfig::default();
+        assert_eq!(run_module(&m, "f", &[1], &cfg).ret, Some(30));
+        assert_eq!(run_module(&m, "f", &[0], &cfg).ret, Some(0));
+    }
+}

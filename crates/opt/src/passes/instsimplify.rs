@@ -1,0 +1,572 @@
+//! Constant folding and algebraic simplification.
+//!
+//! Paper §3, "Instruction simplification": standard simplifications "are good
+//! for execution speed, but can be even better for verification" — a folded
+//! comparison is a solver query that never happens.
+
+use crate::stats::OptStats;
+use crate::util::apply_replacements;
+use overify_ir::{
+    fold, BinOp, CastOp, CmpPred, Const, Function, InstKind, Operand, Ty, ValueDef, ValueId,
+};
+use std::collections::HashMap;
+
+/// Runs folding/simplification to a local fixpoint on one function.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for _ in 0..10 {
+        if !round(f, stats) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// The definition of `op`, if it is a value defined by an instruction.
+fn def_of<'a>(f: &'a Function, op: Operand) -> Option<&'a InstKind> {
+    let v = op.as_value()?;
+    match f.values[v.index()].def {
+        ValueDef::Inst(i) => Some(&f.inst(i).kind),
+        ValueDef::Param(_) => None,
+    }
+}
+
+fn round(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut repl: HashMap<ValueId, Operand> = HashMap::new();
+    let mut rewrites: Vec<(usize, InstKind)> = Vec::new();
+
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            let Some(result) = inst.result else { continue };
+            let outcome = simplify(f, &inst.kind);
+            match outcome {
+                Simplified::None => {}
+                Simplified::Replace(op) => {
+                    if op != Operand::Value(result) {
+                        repl.insert(result, op);
+                    }
+                }
+                Simplified::Rewrite(kind) => rewrites.push((id.index(), kind)),
+            }
+        }
+    }
+
+    let changed = !repl.is_empty() || !rewrites.is_empty();
+    stats.insts_simplified += repl.len() as u64 + rewrites.len() as u64;
+    for (idx, kind) in rewrites {
+        f.insts[idx].kind = kind;
+    }
+    // Kill the defs of replaced values so they don't linger.
+    let killed: Vec<ValueId> = repl.keys().copied().collect();
+    apply_replacements(f, &repl);
+    for v in killed {
+        if let ValueDef::Inst(i) = f.values[v.index()].def {
+            f.kill_inst(i);
+        }
+    }
+    f.purge_nops();
+    changed
+}
+
+enum Simplified {
+    None,
+    /// The instruction's result equals this operand.
+    Replace(Operand),
+    /// The instruction should be rewritten in place.
+    Rewrite(InstKind),
+}
+
+fn cnst(ty: Ty, bits: u64) -> Operand {
+    Operand::Const(Const::new(ty, bits))
+}
+
+fn simplify(f: &Function, kind: &InstKind) -> Simplified {
+    match kind {
+        InstKind::Bin { op, ty, lhs, rhs } => simplify_bin(f, *op, *ty, *lhs, *rhs),
+        InstKind::Cmp { pred, ty, lhs, rhs } => simplify_cmp(f, *pred, *ty, *lhs, *rhs),
+        InstKind::Cast { op, to, value } => {
+            let from = f.operand_ty(*value);
+            if let Operand::Const(c) = value {
+                return Simplified::Replace(cnst(*to, fold::eval_cast(*op, from, *to, c.bits)));
+            }
+            // trunc/zext/sext of a widening cast collapses to one cast from
+            // the original source.
+            if let Some(InstKind::Cast {
+                op: inner_op,
+                value: inner_val,
+                ..
+            }) = def_of(f, *value)
+            {
+                if matches!(inner_op, CastOp::Zext | CastOp::Sext) && *op == CastOp::Trunc {
+                    let src = f.operand_ty(*inner_val);
+                    if src == *to {
+                        return Simplified::Replace(*inner_val);
+                    }
+                    if src.bits() < to.bits() {
+                        return Simplified::Rewrite(InstKind::Cast {
+                            op: *inner_op,
+                            to: *to,
+                            value: *inner_val,
+                        });
+                    }
+                    if src.bits() > to.bits() {
+                        return Simplified::Rewrite(InstKind::Cast {
+                            op: CastOp::Trunc,
+                            to: *to,
+                            value: *inner_val,
+                        });
+                    }
+                }
+                // zext(zext x) / sext(sext x) -> single cast.
+                if *op == *inner_op && matches!(op, CastOp::Zext | CastOp::Sext) {
+                    return Simplified::Rewrite(InstKind::Cast {
+                        op: *op,
+                        to: *to,
+                        value: *inner_val,
+                    });
+                }
+                // zext(sext x) keeps sign bits of the narrow value: not
+                // collapsible in general; skip.
+            }
+            Simplified::None
+        }
+        InstKind::Select {
+            ty,
+            cond,
+            on_true,
+            on_false,
+        } => {
+            if let Operand::Const(c) = cond {
+                return Simplified::Replace(if c.bits != 0 { *on_true } else { *on_false });
+            }
+            if on_true == on_false {
+                return Simplified::Replace(*on_true);
+            }
+            if *ty == Ty::I1 {
+                // select c, true, false -> c ; select c, false, true -> !c
+                if on_true.is_const_bits(1) && on_false.is_const_bits(0) {
+                    return Simplified::Replace(*cond);
+                }
+                if on_true.is_const_bits(0) && on_false.is_const_bits(1) {
+                    return Simplified::Rewrite(InstKind::Bin {
+                        op: BinOp::Xor,
+                        ty: Ty::I1,
+                        lhs: *cond,
+                        rhs: cnst(Ty::I1, 1),
+                    });
+                }
+            }
+            Simplified::None
+        }
+        InstKind::Phi { incomings, .. } => {
+            // A phi whose incomings are all the same operand (or itself) is
+            // that operand.
+            let mut unique: Option<Operand> = None;
+            for (_, op) in incomings {
+                // Self-references do not count.
+                if let Operand::Value(v) = op {
+                    if let ValueDef::Inst(_) = f.values[v.index()].def {
+                        // (The self-check happens below via equality with the
+                        // phi's own result; cheap approximation: skip exact
+                        // self operands.)
+                    }
+                }
+                match unique {
+                    None => unique = Some(*op),
+                    Some(u) if u == *op => {}
+                    _ => return Simplified::None,
+                }
+            }
+            match unique {
+                Some(u) => Simplified::Replace(u),
+                None => Simplified::None,
+            }
+        }
+        _ => Simplified::None,
+    }
+}
+
+fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Simplified {
+    // Constant folding (division by zero folds to nothing; engines trap it).
+    if let (Operand::Const(a), Operand::Const(b)) = (lhs, rhs) {
+        if let Some(v) = fold::eval_bin(op, ty, a.bits, b.bits) {
+            return Simplified::Replace(cnst(ty, v));
+        }
+        return Simplified::None;
+    }
+    // Canonicalize constants to the right for commutative operations.
+    if op.is_commutative() && matches!(lhs, Operand::Const(_)) {
+        return Simplified::Rewrite(InstKind::Bin {
+            op,
+            ty,
+            lhs: rhs,
+            rhs: lhs,
+        });
+    }
+    let rhs_c = rhs.as_const();
+    match op {
+        BinOp::Add => {
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(lhs);
+            }
+            // add (add x, C1), C2 -> add x, (C1+C2)
+            if let (Some(c2), Some(InstKind::Bin {
+                op: BinOp::Add,
+                lhs: x,
+                rhs: Operand::Const(c1),
+                ..
+            })) = (rhs_c, def_of(f, lhs))
+            {
+                let sum = fold::eval_bin(BinOp::Add, ty, c1.bits, c2.bits).unwrap();
+                return Simplified::Rewrite(InstKind::Bin {
+                    op: BinOp::Add,
+                    ty,
+                    lhs: *x,
+                    rhs: cnst(ty, sum),
+                });
+            }
+        }
+        BinOp::Sub => {
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(lhs);
+            }
+            if lhs == rhs {
+                return Simplified::Replace(cnst(ty, 0));
+            }
+            // Canonicalize sub-by-const to add of the negation.
+            if let Some(c) = rhs_c {
+                return Simplified::Rewrite(InstKind::Bin {
+                    op: BinOp::Add,
+                    ty,
+                    lhs,
+                    rhs: cnst(ty, c.bits.wrapping_neg()),
+                });
+            }
+        }
+        BinOp::Mul => {
+            if rhs.is_const_bits(1) {
+                return Simplified::Replace(lhs);
+            }
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(cnst(ty, 0));
+            }
+        }
+        BinOp::UDiv | BinOp::SDiv => {
+            if rhs.is_const_bits(1) {
+                return Simplified::Replace(lhs);
+            }
+        }
+        BinOp::URem => {
+            if rhs.is_const_bits(1) {
+                return Simplified::Replace(cnst(ty, 0));
+            }
+        }
+        BinOp::And => {
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(cnst(ty, 0));
+            }
+            if rhs.is_const_bits(ty.mask()) || lhs == rhs {
+                return Simplified::Replace(lhs);
+            }
+        }
+        BinOp::Or => {
+            if rhs.is_const_bits(0) || lhs == rhs {
+                return Simplified::Replace(lhs);
+            }
+            if rhs.is_const_bits(ty.mask()) {
+                return Simplified::Replace(cnst(ty, ty.mask()));
+            }
+        }
+        BinOp::Xor => {
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(lhs);
+            }
+            if lhs == rhs {
+                return Simplified::Replace(cnst(ty, 0));
+            }
+            // xor (xor x, C1), C2 -> xor x, C1^C2  (double negation of
+            // booleans collapses this way).
+            if let (Some(c2), Some(InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: x,
+                rhs: Operand::Const(c1),
+                ..
+            })) = (rhs_c, def_of(f, lhs))
+            {
+                let v = c1.bits ^ c2.bits;
+                if v == 0 {
+                    return Simplified::Replace(*x);
+                }
+                return Simplified::Rewrite(InstKind::Bin {
+                    op: BinOp::Xor,
+                    ty,
+                    lhs: *x,
+                    rhs: cnst(ty, v),
+                });
+            }
+        }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+            if rhs.is_const_bits(0) {
+                return Simplified::Replace(lhs);
+            }
+        }
+        _ => {}
+    }
+    Simplified::None
+}
+
+fn simplify_cmp(f: &Function, pred: CmpPred, ty: Ty, lhs: Operand, rhs: Operand) -> Simplified {
+    if let (Operand::Const(a), Operand::Const(b)) = (lhs, rhs) {
+        return Simplified::Replace(cnst(Ty::I1, fold::eval_cmp(pred, ty, a.bits, b.bits) as u64));
+    }
+    // Constants to the right.
+    if matches!(lhs, Operand::Const(_)) {
+        return Simplified::Rewrite(InstKind::Cmp {
+            pred: pred.swap(),
+            ty,
+            lhs: rhs,
+            rhs: lhs,
+        });
+    }
+    if lhs == rhs {
+        let v = matches!(
+            pred,
+            CmpPred::Eq | CmpPred::Ule | CmpPred::Uge | CmpPred::Sle | CmpPred::Sge
+        );
+        return Simplified::Replace(cnst(Ty::I1, v as u64));
+    }
+    // Trivially decided unsigned bounds.
+    if let Some(c) = rhs.as_const() {
+        match pred {
+            CmpPred::Ult if c.bits == 0 => return Simplified::Replace(cnst(Ty::I1, 0)),
+            CmpPred::Uge if c.bits == 0 => return Simplified::Replace(cnst(Ty::I1, 1)),
+            CmpPred::Ugt if c.bits == ty.mask() => return Simplified::Replace(cnst(Ty::I1, 0)),
+            CmpPred::Ule if c.bits == ty.mask() => return Simplified::Replace(cnst(Ty::I1, 1)),
+            _ => {}
+        }
+    }
+    // icmp (zext x), C -> icmp x, C' when C fits in the source, narrowing
+    // the comparison the solver must reason about. `zext` preserves the
+    // unsigned order; for signed predicates the zext result is non-negative
+    // so signed and unsigned agree when C is also in the non-negative range.
+    if let (Some(c), Some(InstKind::Cast {
+        op: CastOp::Zext,
+        value: x,
+        ..
+    })) = (rhs.as_const(), def_of(f, lhs))
+    {
+        let src = f.operand_ty(*x);
+        let fits_unsigned = c.bits <= src.mask();
+        match pred {
+            CmpPred::Eq | CmpPred::Ne => {
+                if fits_unsigned {
+                    return Simplified::Rewrite(InstKind::Cmp {
+                        pred,
+                        ty: src,
+                        lhs: *x,
+                        rhs: cnst(src, c.bits),
+                    });
+                }
+                // Comparison can never hold / always holds.
+                return Simplified::Replace(cnst(Ty::I1, (pred == CmpPred::Ne) as u64));
+            }
+            CmpPred::Ult | CmpPred::Ule | CmpPred::Ugt | CmpPred::Uge => {
+                if fits_unsigned {
+                    return Simplified::Rewrite(InstKind::Cmp {
+                        pred,
+                        ty: src,
+                        lhs: *x,
+                        rhs: cnst(src, c.bits),
+                    });
+                }
+            }
+            CmpPred::Slt | CmpPred::Sle | CmpPred::Sgt | CmpPred::Sge => {
+                // C must be non-negative in `ty` and fit the source width.
+                let signed_c = Const::new(ty, c.bits).as_signed();
+                if signed_c >= 0 && (signed_c as u64) <= src.mask() {
+                    let upred = match pred {
+                        CmpPred::Slt => CmpPred::Ult,
+                        CmpPred::Sle => CmpPred::Ule,
+                        CmpPred::Sgt => CmpPred::Ugt,
+                        CmpPred::Sge => CmpPred::Uge,
+                        _ => unreachable!(),
+                    };
+                    return Simplified::Rewrite(InstKind::Cmp {
+                        pred: upred,
+                        ty: src,
+                        lhs: *x,
+                        rhs: cnst(src, signed_c as u64),
+                    });
+                }
+            }
+        }
+    }
+    // icmp ne (i1 x), 0 -> x ; icmp eq (i1 x), 0 -> !x
+    if ty == Ty::I1 {
+        if let Some(c) = rhs.as_const() {
+            match (pred, c.bits) {
+                (CmpPred::Ne, 0) | (CmpPred::Eq, 1) => return Simplified::Replace(lhs),
+                (CmpPred::Eq, 0) | (CmpPred::Ne, 1) => {
+                    return Simplified::Rewrite(InstKind::Bin {
+                        op: BinOp::Xor,
+                        ty: Ty::I1,
+                        lhs,
+                        rhs: cnst(Ty::I1, 1),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    Simplified::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{Cursor, Module, Terminator};
+
+    fn check_ret_const(f: &Function, expect: u64) {
+        match f.blocks.last().map(|b| &b.term).unwrap() {
+            Terminator::Ret {
+                value: Some(Operand::Const(c)),
+            } => assert_eq!(c.bits, expect),
+            t => panic!("expected constant return, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut f = Function::new("t", &[], Ty::I32);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Add, Ty::I32, c.imm(Ty::I32, 20), c.imm(Ty::I32, 22));
+        let b = c.bin(BinOp::Mul, Ty::I32, a, c.imm(Ty::I32, 2));
+        c.ret(Some(b));
+        let mut stats = OptStats::default();
+        assert!(run(&mut f, &mut stats));
+        check_ret_const(&f, 84);
+        assert_eq!(f.live_inst_count(), 0);
+    }
+
+    #[test]
+    fn identities() {
+        // (x + 0) * 1 - x == 0 after simplification... well, sub x,x -> 0.
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Add, Ty::I32, p, c.imm(Ty::I32, 0));
+        let b = c.bin(BinOp::Mul, Ty::I32, a, c.imm(Ty::I32, 1));
+        let d = c.bin(BinOp::Sub, Ty::I32, b, p);
+        c.ret(Some(d));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        check_ret_const(&f, 0);
+    }
+
+    #[test]
+    fn paper_example_input_minus_copy() {
+        // Paper §3: `x = input(); y = x; x -= y;` becomes `x = 0`.
+        // After mem2reg this is exactly `sub x, x`.
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let x = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let r = c.bin(BinOp::Sub, Ty::I32, x, x);
+        c.ret(Some(r));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        check_ret_const(&f, 0);
+    }
+
+    #[test]
+    fn narrows_zext_comparisons() {
+        // icmp eq (zext i8 x to i32), 65 -> icmp eq i8 x, 65
+        let mut f = Function::new("t", &[Ty::I8], Ty::I1);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let z = c.cast(CastOp::Zext, Ty::I32, p);
+        let e = c.cmp(CmpPred::Eq, Ty::I32, z, c.imm(Ty::I32, 65));
+        c.ret(Some(e));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        let cmp = f
+            .insts
+            .iter()
+            .find_map(|i| match &i.kind {
+                InstKind::Cmp { ty, .. } => Some(*ty),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cmp, Ty::I8);
+    }
+
+    #[test]
+    fn impossible_zext_compare_decides() {
+        // icmp eq (zext i8 x to i32), 300 is always false.
+        let mut f = Function::new("t", &[Ty::I8], Ty::I1);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let z = c.cast(CastOp::Zext, Ty::I32, p);
+        let e = c.cmp(CmpPred::Eq, Ty::I32, z, c.imm(Ty::I32, 300));
+        c.ret(Some(e));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        check_ret_const(&f, 0);
+    }
+
+    #[test]
+    fn collapses_double_negation() {
+        // xor (xor x, 1), 1 -> x on i1.
+        let mut f = Function::new("t", &[Ty::I1], Ty::I1);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Xor, Ty::I1, p, c.imm(Ty::I1, 1));
+        let b = c.bin(BinOp::Xor, Ty::I1, a, c.imm(Ty::I1, 1));
+        c.ret(Some(b));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        match f.blocks[0].term {
+            Terminator::Ret { value: Some(v) } => assert_eq!(v, p),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut f = Function::new("t", &[], Ty::I32);
+        let mut c = Cursor::new(&mut f);
+        let d = c.bin(BinOp::UDiv, Ty::I32, c.imm(Ty::I32, 1), c.imm(Ty::I32, 0));
+        c.ret(Some(d));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        // The trapping division must survive.
+        assert_eq!(f.live_inst_count(), 1);
+    }
+
+    #[test]
+    fn preserves_behaviour_on_minic_program() {
+        let src = r#"
+            int f(int a, unsigned char c) {
+                int t = (a + 0) * 1;
+                int u = t - a;
+                return u + (c == 65 ? 10 : 20);
+            }
+        "#;
+        let m0 = overify_lang::compile(src).unwrap();
+        let mut m1 = m0.clone();
+        let mut stats = OptStats::default();
+        for f in &mut m1.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            run(f, &mut stats);
+        }
+        overify_ir::verify_module(&m1).unwrap();
+        let cfg = overify_interp::ExecConfig::default();
+        for (a, ch) in [(3u64, 65u64), (100, 66), (0, 0)] {
+            let r0 = overify_interp::run_module(&m0, "f", &[a, ch], &cfg);
+            let r1 = overify_interp::run_module(&m1, "f", &[a, ch], &cfg);
+            assert_eq!(r0.ret, r1.ret);
+        }
+        let _ = Module::new();
+    }
+}

@@ -1,0 +1,511 @@
+//! Jump threading.
+//!
+//! Paper §3: *"jump threading checks whether a conditional branch jumps to a
+//! location where another condition is subsumed by the first one; if yes,
+//! the first branch is redirected correspondingly, turning two jumps into
+//! one."* Two forms are implemented:
+//!
+//! 1. **Subsumed condition**: a successor rechecking the same `i1` value is
+//!    folded to the known side.
+//! 2. **Phi-of-constants**: predecessors feeding a constant into a branch
+//!    condition phi jump straight to their decided target.
+
+use crate::stats::OptStats;
+use overify_ir::{
+    Cfg, DomTree, Function, InstKind, Operand, Terminator, ValueDef, ValueId,
+};
+use std::collections::HashMap;
+
+/// Runs jump threading to a fixpoint.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for _ in 0..20 {
+        let mut local = false;
+        local |= thread_subsumed(f, stats);
+        local |= thread_phi_consts(f, stats);
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Form 1: `B: condbr %c, T, F` where `T` (resp. `F`) is exclusively
+/// reached from this edge and re-tests `%c`.
+fn thread_subsumed(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    let cfg = Cfg::compute(f);
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let Terminator::CondBr {
+            cond: cond @ Operand::Value(_),
+            on_true,
+            on_false,
+        } = f.block(b).term
+        else {
+            continue;
+        };
+        for (succ, known) in [(on_true, true), (on_false, false)] {
+            if succ == b || cfg.preds(succ) != [b] {
+                continue;
+            }
+            let Terminator::CondBr {
+                cond: c2,
+                on_true: t2,
+                on_false: f2,
+            } = f.block(succ).term
+            else {
+                continue;
+            };
+            if c2 != cond {
+                continue;
+            }
+            let (taken, dead) = if known { (t2, f2) } else { (f2, t2) };
+            f.set_term(succ, Terminator::Br { target: taken });
+            if dead != taken {
+                f.remove_phi_edge(dead, succ);
+            }
+            stats.jumps_threaded += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Form 2: a block whose branch condition is decided, for some
+/// predecessors, purely by the constants those predecessors feed into the
+/// block's phis. The block may contain pure computations after the phis
+/// (e.g. a loop header's `phi; icmp; condbr`); they are evaluated
+/// per-predecessor. This is also what removes the residual loop left by
+/// full unrolling: the final peeled latch feeds a constant induction value,
+/// the exit test evaluates false, and the edge threads straight to the exit.
+fn thread_phi_consts(f: &mut Function, stats: &mut OptStats) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+
+    // Find a candidate block.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if b == f.entry() || !dom.is_reachable(b) {
+            continue;
+        }
+        // Split the block into leading phis and a pure tail.
+        let mut phis: Vec<overify_ir::InstId> = Vec::new();
+        let mut tail: Vec<overify_ir::InstId> = Vec::new();
+        let mut pure = true;
+        for &i in &f.block(b).insts {
+            match &f.inst(i).kind {
+                InstKind::Phi { .. } => phis.push(i),
+                InstKind::Nop => {}
+                k if k.is_speculatable() => tail.push(i),
+                _ => {
+                    pure = false;
+                    break;
+                }
+            }
+        }
+        if !pure {
+            continue;
+        }
+        // Tail results must not be used outside this block's terminator and
+        // tail (otherwise threading would lose their definitions).
+        if !tail.is_empty() && tail_escapes(f, b, &tail) {
+            continue;
+        }
+        let Terminator::CondBr {
+            cond: Operand::Value(cv),
+            on_true,
+            on_false,
+        } = f.block(b).term
+        else {
+            continue;
+        };
+        if on_true == b || on_false == b {
+            continue;
+        }
+        // The condition must be computed inside this block.
+        let cond_inst = match f.values[cv.index()].def {
+            ValueDef::Inst(i) => i,
+            _ => continue,
+        };
+        if !phis.contains(&cond_inst) && !tail.contains(&cond_inst) {
+            continue;
+        }
+        // Which predecessors decide the condition constantly?
+        let mut incomings: Vec<(overify_ir::BlockId, Operand)> = Vec::new();
+        for &p in cfg.preds(b) {
+            if let Some(c) = eval_for_pred(f, b, &phis, &tail, cv, p) {
+                incomings.push((p, Operand::Const(overify_ir::Const::bool(c))));
+            }
+        }
+        if incomings.is_empty() {
+            continue;
+        }
+
+        // Classify the phis of `b` for operand rewriting.
+        let b_phis: Vec<overify_ir::InstId> = f
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| matches!(f.inst(i).kind, InstKind::Phi { .. }))
+            .collect();
+        let phi_results: HashMap<ValueId, overify_ir::InstId> = b_phis
+            .iter()
+            .map(|&i| (f.inst(i).result.unwrap(), i))
+            .collect();
+
+        let mut threaded_any = false;
+        for (pred, op) in incomings {
+            let Operand::Const(c) = op else { continue };
+            if pred == b {
+                continue;
+            }
+            let target = if c.bits != 0 { on_true } else { on_false };
+            if target == b {
+                continue;
+            }
+            // Skip if the predecessor already reaches the target directly
+            // (avoiding duplicate phi incomings there).
+            if f.block(pred).term.successors().contains(&target) {
+                continue;
+            }
+            // Soundness: threading adds the edge `pred -> target`, which can
+            // strip `b`'s domination from blocks reachable out of `target`.
+            // Any use of a `b`-defined value in that region would dangle.
+            if b_values_used_beyond(f, b, target) {
+                continue;
+            }
+            // Every phi of `target` fed from `b` must have a value we can
+            // re-route from `pred`.
+            let mut reroutes: Vec<(overify_ir::InstId, Operand)> = Vec::new();
+            let mut ok = true;
+            for &tid in &f.block(target).insts {
+                let InstKind::Phi { incomings: tinc, .. } = &f.inst(tid).kind else {
+                    continue;
+                };
+                let Some((_, tval)) = tinc.iter().find(|(p, _)| *p == b) else {
+                    ok = false;
+                    break;
+                };
+                let routed = match tval {
+                    Operand::Const(_) => *tval,
+                    Operand::Value(v) => {
+                        if let Some(&src_phi) = phi_results.get(v) {
+                            // Use the phi's own value on the pred edge.
+                            let InstKind::Phi { incomings: pin, .. } = &f.inst(src_phi).kind
+                            else {
+                                unreachable!()
+                            };
+                            match pin.iter().find(|(p, _)| *p == pred) {
+                                Some((_, pv)) => *pv,
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        } else {
+                            // The value must be available at the end of the
+                            // predecessor being rerouted: its definition
+                            // must dominate `pred`.
+                            let vb = match f.values[v.index()].def {
+                                ValueDef::Param(_) => None, // Params dominate all.
+                                ValueDef::Inst(di) => {
+                                    // Locate the defining block.
+                                    f.block_ids().find(|&bb| f.block(bb).insts.contains(&di))
+                                }
+                            };
+                            match vb {
+                                None => *tval, // Parameter.
+                                Some(db) => {
+                                    if dom.dominates(db, pred) {
+                                        *tval
+                                    } else {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                reroutes.push((tid, routed));
+            }
+            if !ok {
+                continue;
+            }
+
+            // Commit: redirect pred, extend target phis, trim b's phis.
+            f.block_mut(pred).term.retarget(b, target);
+            for (tid, val) in reroutes {
+                if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(tid).kind {
+                    incomings.push((pred, val));
+                }
+            }
+            for &pid in &b_phis {
+                if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(pid).kind {
+                    incomings.retain(|(p, _)| *p != pred);
+                }
+            }
+            stats.jumps_threaded += 1;
+            threaded_any = true;
+        }
+        if threaded_any {
+            return true; // CFG changed; caller reiterates.
+        }
+    }
+    false
+}
+
+/// True if a value defined in `b` is used in the region reachable from
+/// `target` without passing through `b` (in a way that the per-target phi
+/// rerouting does not already repair). Threading an edge to `target` would
+/// break dominance for such uses.
+fn b_values_used_beyond(
+    f: &Function,
+    b: overify_ir::BlockId,
+    target: overify_ir::BlockId,
+) -> bool {
+    use std::collections::HashSet;
+    let defined: HashSet<ValueId> = f
+        .block(b)
+        .insts
+        .iter()
+        .filter_map(|&i| f.inst(i).result)
+        .collect();
+    if defined.is_empty() {
+        return false;
+    }
+    // Region reachable from `target` avoiding `b`.
+    let mut reach: HashSet<overify_ir::BlockId> = HashSet::new();
+    let mut stack = vec![target];
+    while let Some(x) = stack.pop() {
+        if x == b || !reach.insert(x) {
+            continue;
+        }
+        for s in f.block(x).term.successors() {
+            stack.push(s);
+        }
+    }
+    for &ub in &reach {
+        for &id in &f.block(ub).insts {
+            match &f.inst(id).kind {
+                InstKind::Phi { incomings, .. } => {
+                    for (p, v) in incomings {
+                        if let Operand::Value(v) = v {
+                            if defined.contains(v) {
+                                // An incoming from `b` itself survives (the
+                                // residual `b` keeps its defs); an incoming
+                                // from inside the region is at risk.
+                                if *p != b && reach.contains(p) {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                other => {
+                    let mut used = false;
+                    other.for_each_operand(|op| {
+                        if let Operand::Value(v) = op {
+                            used |= defined.contains(v);
+                        }
+                    });
+                    if used {
+                        return true;
+                    }
+                }
+            }
+        }
+        match &f.block(ub).term {
+            Terminator::CondBr { cond: Operand::Value(v), .. }
+            | Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            } if defined.contains(v) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True if any result of `tail` is used outside of block `b`'s own tail
+/// instructions and terminator.
+fn tail_escapes(f: &Function, b: overify_ir::BlockId, tail: &[overify_ir::InstId]) -> bool {
+    let results: Vec<ValueId> = tail
+        .iter()
+        .filter_map(|&i| f.inst(i).result)
+        .collect();
+    let uses_one = |op: &Operand| -> bool {
+        matches!(op, Operand::Value(v) if results.contains(v))
+    };
+    for bb in f.block_ids() {
+        for &id in &f.block(bb).insts {
+            if bb == b && tail.contains(&id) {
+                continue;
+            }
+            let mut used = false;
+            f.inst(id).kind.for_each_operand(|op| used |= uses_one(op));
+            if used {
+                return true;
+            }
+        }
+        if bb == b {
+            continue; // b's own terminator may use the tail.
+        }
+        match &f.block(bb).term {
+            Terminator::CondBr { cond, .. } if uses_one(cond) => return true,
+            Terminator::Ret { value: Some(v) } if uses_one(v) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Evaluates the branch condition `cv` of block `b` for control arriving
+/// from predecessor `p`, when every needed phi incoming is a constant and
+/// the tail is evaluable. Returns the decided truth value.
+fn eval_for_pred(
+    f: &Function,
+    _b: overify_ir::BlockId,
+    phis: &[overify_ir::InstId],
+    tail: &[overify_ir::InstId],
+    cv: ValueId,
+    p: overify_ir::BlockId,
+) -> Option<bool> {
+    use overify_ir::fold;
+    let mut env: HashMap<ValueId, u64> = HashMap::new();
+    for &pid in phis {
+        if let InstKind::Phi { incomings, .. } = &f.inst(pid).kind {
+            if let Some((_, Operand::Const(c))) = incomings.iter().find(|(pp, _)| *pp == p) {
+                env.insert(f.inst(pid).result.unwrap(), c.bits);
+            }
+        }
+    }
+    fn get(env: &HashMap<ValueId, u64>, op: Operand) -> Option<u64> {
+        match op {
+            Operand::Const(c) => Some(c.bits),
+            Operand::Value(v) => env.get(&v).copied(),
+        }
+    }
+    for &tid in tail {
+        let inst = f.inst(tid);
+        let Some(r) = inst.result else { continue };
+        let val = match &inst.kind {
+            InstKind::Bin { op, ty, lhs, rhs } => {
+                fold::eval_bin(*op, *ty, get(&env, *lhs)?, get(&env, *rhs)?)?
+            }
+            InstKind::Cmp { pred, ty, lhs, rhs } => {
+                fold::eval_cmp(*pred, *ty, get(&env, *lhs)?, get(&env, *rhs)?) as u64
+            }
+            InstKind::Cast { op, to, value } => {
+                let from = f.operand_ty(*value);
+                fold::eval_cast(*op, from, *to, get(&env, *value)?)
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                if get(&env, *cond)? != 0 {
+                    get(&env, *on_true)?
+                } else {
+                    get(&env, *on_false)?
+                }
+            }
+            _ => return None, // Pointers and the like: not evaluable.
+        };
+        env.insert(r, val);
+    }
+    Some(get(&env, Operand::Value(cv))? != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, ExecConfig};
+
+    #[test]
+    fn folds_retested_condition() {
+        // if (c) { if (c) A else B }: inner test threads away.
+        let src = r#"
+            int f(int c) {
+                int r = 0;
+                if (c > 5) {
+                    if (c > 5) { r = 1; } else { r = 2; }
+                }
+                return r;
+            }
+        "#;
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m.functions[fi], &mut stats);
+        super::super::gvn::run(&mut m.functions[fi], &mut stats);
+        assert!(run(&mut m.functions[fi], &mut stats));
+        assert!(stats.jumps_threaded >= 1);
+        overify_ir::verify_module(&m).unwrap();
+        for c in [0u64, 6, 10] {
+            let r = run_module(&m, "f", &[c], &ExecConfig::default());
+            assert_eq!(r.ret, Some(if c > 5 { 1 } else { 0 }));
+        }
+    }
+
+    #[test]
+    fn threads_phi_of_constants() {
+        // The short-circuit || lowering produces exactly the
+        // phi-of-constants shape after mem2reg.
+        let src = r#"
+            int f(int a, int b) {
+                if (a == 1 || b == 2) { return 10; }
+                return 20;
+            }
+        "#;
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m.functions[fi], &mut stats);
+        super::super::instsimplify::run(&mut m.functions[fi], &mut stats);
+        super::super::simplifycfg::run(&mut m.functions[fi], &mut stats);
+        run(&mut m.functions[fi], &mut stats);
+        super::super::simplifycfg::run(&mut m.functions[fi], &mut stats);
+        overify_ir::verify_module(&m).unwrap();
+        let cfg = ExecConfig::default();
+        for (a, b) in [(1u64, 0u64), (0, 2), (0, 0), (1, 2)] {
+            let r = run_module(&m, "f", &[a, b], &cfg);
+            let expect = if a == 1 || b == 2 { 10 } else { 20 };
+            assert_eq!(r.ret, Some(expect), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn behaviour_preserved_on_nested_logic() {
+        let src = r#"
+            int f(int a, int b, int c) {
+                int r = 0;
+                if ((a > 0 && b > 0) || c == 7) r += 1;
+                if (a > 0 || (b > 0 && c != 7)) r += 2;
+                return r;
+            }
+        "#;
+        let m0 = overify_lang::compile(src).unwrap();
+        let mut m1 = m0.clone();
+        let mut stats = OptStats::default();
+        let fi = m1.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m1.functions[fi], &mut stats);
+        super::super::instsimplify::run(&mut m1.functions[fi], &mut stats);
+        super::super::simplifycfg::run(&mut m1.functions[fi], &mut stats);
+        run(&mut m1.functions[fi], &mut stats);
+        super::super::simplifycfg::run(&mut m1.functions[fi], &mut stats);
+        overify_ir::verify_module(&m1).unwrap();
+        let cfg = ExecConfig::default();
+        for a in [0u64, 1] {
+            for b in [0u64, 1] {
+                for c in [0u64, 7] {
+                    let r0 = run_module(&m0, "f", &[a, b, c], &cfg);
+                    let r1 = run_module(&m1, "f", &[a, b, c], &cfg);
+                    assert_eq!(r0.ret, r1.ret, "a={a} b={b} c={c}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Loop-invariant code motion.
+
+use crate::stats::OptStats;
+use overify_ir::loops::ensure_preheader;
+use overify_ir::{Cfg, DomTree, Function, InstId, LoopForest, Operand, ValueDef};
+use std::collections::HashSet;
+
+/// Hoists speculatable loop-invariant instructions into loop preheaders.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    // Loop structure changes when preheaders are created; iterate afresh a
+    // few times.
+    for _ in 0..4 {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        if forest.loops.is_empty() {
+            return changed;
+        }
+        let mut local = false;
+        // Innermost first so values bubble outward across iterations.
+        let mut loops = forest.loops.clone();
+        loops.sort_by_key(|l| std::cmp::Reverse(l.depth));
+        for lp in &loops {
+            // Only loops with a single outside predecessor are eligible for
+            // our preheader helper.
+            let outside: Vec<_> = cfg
+                .preds(lp.header)
+                .iter()
+                .filter(|p| !lp.contains(**p))
+                .collect();
+            if outside.len() != 1 {
+                continue;
+            }
+            let pre = ensure_preheader(f, lp);
+
+            // Iterate to a fixpoint so chains of invariants hoist together.
+            let mut hoisted: HashSet<u32> = HashSet::new();
+            loop {
+                let mut moved: Vec<(overify_ir::BlockId, InstId)> = Vec::new();
+                for &b in &lp.blocks {
+                    for &id in &f.block(b).insts {
+                        let inst = f.inst(id);
+                        if !inst.kind.is_speculatable() {
+                            continue;
+                        }
+                        let mut invariant = true;
+                        inst.kind.for_each_operand(|op| {
+                            if let Operand::Value(v) = op {
+                                if hoisted.contains(&v.0) {
+                                    return;
+                                }
+                                match f.values[v.index()].def {
+                                    ValueDef::Param(_) => {}
+                                    ValueDef::Inst(di) => {
+                                        // Defined inside the loop?
+                                        let def_block = lp.blocks.iter().any(|&lb| {
+                                            f.block(lb).insts.contains(&di)
+                                        });
+                                        if def_block {
+                                            invariant = false;
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                        if invariant {
+                            moved.push((b, id));
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    break;
+                }
+                for (b, id) in moved {
+                    let posn = f.blocks[b.index()]
+                        .insts
+                        .iter()
+                        .position(|&x| x == id)
+                        .unwrap();
+                    f.blocks[b.index()].insts.remove(posn);
+                    f.blocks[pre.index()].insts.push(id);
+                    if let Some(r) = f.inst(id).result {
+                        hoisted.insert(r.0);
+                    }
+                    stats.insts_hoisted += 1;
+                    local = true;
+                }
+            }
+        }
+        if !local {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, ExecConfig};
+
+    #[test]
+    fn hoists_invariant_multiply() {
+        let src = r#"
+            int f(int n, int a, int b) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    s += a * b + 7;
+                }
+                return s;
+            }
+        "#;
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m.functions[fi], &mut stats);
+        super::super::instsimplify::run(&mut m.functions[fi], &mut stats);
+        let before = stats.insts_hoisted;
+        assert!(run(&mut m.functions[fi], &mut stats));
+        assert!(stats.insts_hoisted > before);
+        overify_ir::verify_module(&m).unwrap();
+        let r = run_module(&m, "f", &[10, 3, 4], &ExecConfig::default());
+        assert_eq!(r.ret, Some(190));
+    }
+
+    #[test]
+    fn does_not_hoist_variant_values() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s += i * i; }
+                return s;
+            }
+        "#;
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        super::super::mem2reg::run(&mut m.functions[fi], &mut stats);
+        run(&mut m.functions[fi], &mut stats);
+        overify_ir::verify_module(&m).unwrap();
+        let r = run_module(&m, "f", &[5], &ExecConfig::default());
+        assert_eq!(r.ret, Some(30)); // 0+1+4+9+16
+    }
+}

@@ -1,0 +1,348 @@
+//! Promote memory to registers (SSA construction).
+//!
+//! The paper (§3, "Instruction simplification"): *"A compiler can easily help
+//! by converting values that reside in memory to register values"* — memory
+//! accesses are what force a verifier to do alias reasoning, so this pass is
+//! in every optimizing pipeline, and it is the enabler for everything else
+//! (only register values participate in folding, unswitching and
+//! if-conversion).
+
+use crate::stats::OptStats;
+use crate::util::{apply_replacements, compact_blocks};
+use overify_ir::{
+    Cfg, Const, DomTree, Function, InstId, InstKind, Operand, Terminator, Ty, ValueId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Runs mem2reg on one function.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    // Dead blocks would be invisible to the renamer; drop them first.
+    compact_blocks(f);
+
+    let allocas = promotable_allocas(f);
+    if allocas.is_empty() {
+        return false;
+    }
+
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let df = dom.dominance_frontiers(&cfg);
+
+    // Where each alloca is stored.
+    let mut def_blocks: Vec<HashSet<usize>> = vec![HashSet::new(); allocas.len()];
+    let index_of: HashMap<ValueId, usize> = allocas
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.value, i))
+        .collect();
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let InstKind::Store { addr, .. } = &f.inst(id).kind {
+                if let Some(&i) = addr.as_value().and_then(|v| index_of.get(&v)) {
+                    def_blocks[i].insert(b.index());
+                }
+            }
+        }
+    }
+
+    // Phi placement at the iterated dominance frontier of the defs.
+    // `phi_of[inst] = alloca index` identifies inserted phis during renaming.
+    let mut phi_of: HashMap<InstId, usize> = HashMap::new();
+    for (ai, a) in allocas.iter().enumerate() {
+        // Deterministic worklist order (HashSet iteration is not).
+        let mut work: Vec<usize> = def_blocks[ai].iter().copied().collect();
+        work.sort_unstable();
+        let mut placed: HashSet<usize> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &front in &df[b] {
+                if placed.insert(front.index()) {
+                    let (id, _) = f.create_inst(
+                        InstKind::Phi {
+                            ty: a.ty,
+                            incomings: Vec::new(),
+                        },
+                        Some(a.ty),
+                    );
+                    f.blocks[front.index()].insts.insert(0, id);
+                    phi_of.insert(id, ai);
+                    if !def_blocks[ai].contains(&front.index()) {
+                        work.push(front.index());
+                    }
+                }
+            }
+        }
+    }
+
+    // Renaming walk over the dominator tree.
+    let n = f.blocks.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in f.block_ids() {
+        if let Some(p) = dom.idom(b) {
+            children[p.index()].push(b.index());
+        }
+    }
+
+    let zero = |ty: Ty| Operand::Const(Const::zero(ty));
+    let mut replacements: HashMap<ValueId, Operand> = HashMap::new();
+    let mut dead: Vec<InstId> = Vec::new();
+    let mut end_defs: Vec<Option<Vec<Operand>>> = vec![None; n];
+
+    // Iterative DFS carrying the current definition per alloca.
+    let init: Vec<Operand> = allocas.iter().map(|a| zero(a.ty)).collect();
+    let mut stack: Vec<(usize, Vec<Operand>)> = vec![(0, init)];
+    while let Some((b, mut defs)) = stack.pop() {
+        let inst_ids: Vec<InstId> = f.blocks[b].insts.clone();
+        for id in inst_ids {
+            // Inserted phis start a new definition.
+            if let Some(&ai) = phi_of.get(&id) {
+                defs[ai] = Operand::Value(f.inst(id).result.unwrap());
+                continue;
+            }
+            match &f.inst(id).kind {
+                InstKind::Load { addr, .. } => {
+                    if let Some(&ai) = addr.as_value().and_then(|v| index_of.get(&v)) {
+                        let result = f.inst(id).result.unwrap();
+                        replacements.insert(result, defs[ai]);
+                        dead.push(id);
+                    }
+                }
+                InstKind::Store { addr, value, .. } => {
+                    if let Some(&ai) = addr.as_value().and_then(|v| index_of.get(&v)) {
+                        defs[ai] = *value;
+                        dead.push(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        end_defs[b] = Some(defs.clone());
+        for &c in &children[b] {
+            stack.push((c, defs.clone()));
+        }
+    }
+
+    // Fill phi incomings from each predecessor's end-of-block definitions.
+    for b in f.block_ids() {
+        let succs = f.block(b).term.successors();
+        let Some(defs) = end_defs[b.index()].clone() else {
+            continue;
+        };
+        for s in succs {
+            let inst_ids: Vec<InstId> = f.blocks[s.index()].insts.clone();
+            for id in inst_ids {
+                if let Some(&ai) = phi_of.get(&id) {
+                    if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+                        incomings.push((b, defs[ai]));
+                    }
+                }
+            }
+        }
+    }
+
+    // Drop the allocas and rewritten accesses.
+    for a in &allocas {
+        dead.push(a.inst);
+    }
+    for id in dead {
+        f.kill_inst(id);
+    }
+    apply_replacements(f, &replacements);
+    f.purge_nops();
+
+    stats.allocas_promoted += allocas.len() as u64;
+    true
+}
+
+struct PromotableAlloca {
+    inst: InstId,
+    value: ValueId,
+    ty: Ty,
+}
+
+/// Finds allocas used only as the direct address of same-typed loads and
+/// stores (no escapes, no mixed widths).
+fn promotable_allocas(f: &Function) -> Vec<PromotableAlloca> {
+    // alloca value -> (inst, consistent access type or conflict, escaped)
+    let mut info: HashMap<ValueId, (InstId, Option<Ty>, bool)> = HashMap::new();
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            if let InstKind::Alloca { .. } = &f.inst(id).kind {
+                if let Some(r) = f.inst(id).result {
+                    info.insert(r, (id, None, false));
+                }
+            }
+        }
+    }
+    if info.is_empty() {
+        return Vec::new();
+    }
+
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            let inst = f.inst(id);
+            match &inst.kind {
+                InstKind::Load { ty, addr } => {
+                    if let Some(v) = addr.as_value() {
+                        if let Some(e) = info.get_mut(&v) {
+                            match e.1 {
+                                None => e.1 = Some(*ty),
+                                Some(t) if t == *ty => {}
+                                _ => e.2 = true, // Mixed widths: give up.
+                            }
+                        }
+                    }
+                }
+                InstKind::Store { ty, addr, value } => {
+                    // The stored value escaping is what disqualifies.
+                    if let Some(v) = value.as_value() {
+                        if let Some(e) = info.get_mut(&v) {
+                            e.2 = true;
+                        }
+                    }
+                    if let Some(v) = addr.as_value() {
+                        if let Some(e) = info.get_mut(&v) {
+                            match e.1 {
+                                None => e.1 = Some(*ty),
+                                Some(t) if t == *ty => {}
+                                _ => e.2 = true,
+                            }
+                        }
+                    }
+                }
+                other => {
+                    other.for_each_operand(|op| {
+                        if let Some(v) = op.as_value() {
+                            if let Some(e) = info.get_mut(&v) {
+                                e.2 = true;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        // Terminator uses escape too.
+        let term_ops: Vec<Operand> = match &f.block(b).term {
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret { value: Some(v) } => vec![*v],
+            _ => vec![],
+        };
+        for op in term_ops {
+            if let Some(v) = op.as_value() {
+                if let Some(e) = info.get_mut(&v) {
+                    e.2 = true;
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<PromotableAlloca> = info
+        .into_iter()
+        .filter_map(|(value, (inst, ty, escaped))| {
+            let ty = ty?; // Never accessed: DCE's job, not ours.
+            // The access width must fit the allocation.
+            let size = match &f.inst(inst).kind {
+                InstKind::Alloca { size } => *size,
+                _ => return None,
+            };
+            if escaped || ty.bytes() > size {
+                return None;
+            }
+            Some(PromotableAlloca { inst, value, ty })
+        })
+        .collect();
+    out.sort_by_key(|a| a.inst);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::Module;
+
+    fn prep(src: &str) -> Module {
+        overify_lang::compile(src).unwrap()
+    }
+
+    #[test]
+    fn promotes_simple_locals() {
+        let mut m = prep("int f(int a) { int x = a; x = x + 1; return x; }");
+        let mut stats = OptStats::default();
+        let f = m.functions.iter_mut().find(|f| f.name == "f").unwrap();
+        assert!(run(f, &mut stats));
+        assert!(stats.allocas_promoted >= 2); // a's spill and x
+        // No loads or stores remain.
+        let has_mem = f.insts.iter().any(|i| {
+            matches!(i.kind, InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Alloca { .. })
+        });
+        assert!(!has_mem, "memory ops remain after mem2reg");
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn inserts_phis_for_loops() {
+        let mut m = prep(
+            "int sum(int n) { int s = 0; int i = 0; while (i < n) { s += i; i += 1; } return s; }",
+        );
+        let mut stats = OptStats::default();
+        let f = m.functions.iter_mut().find(|f| f.name == "sum").unwrap();
+        assert!(run(f, &mut stats));
+        let phis = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Phi { .. }))
+            .count();
+        assert!(phis >= 2, "expected phis for s and i, got {phis}");
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn behaviour_preserved() {
+        let src =
+            "int f(int a, int b) { int m = a; if (b > a) m = b; int c = 0; while (m > 0) { c += m; m -= 3; } return c; }";
+        let m0 = prep(src);
+        let mut m1 = prep(src);
+        let mut stats = OptStats::default();
+        for f in &mut m1.functions {
+            run(f, &mut stats);
+        }
+        overify_ir::verify_module(&m1).unwrap();
+        for (a, b) in [(5u64, 9u64), (9, 5), (0, 0), (100, 1)] {
+            let cfg = overify_interp::ExecConfig::default();
+            let r0 = overify_interp::run_module(&m0, "f", &[a, b], &cfg);
+            let r1 = overify_interp::run_module(&m1, "f", &[a, b], &cfg);
+            assert_eq!(r0.ret, r1.ret, "mismatch for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn escaped_alloca_not_promoted() {
+        let mut m = prep(
+            "int g(int *p); int f() { int x = 3; return g(&x); } int g(int *p) { return *p; }",
+        );
+        let mut stats = OptStats::default();
+        let f = m.functions.iter_mut().find(|f| f.name == "f").unwrap();
+        run(f, &mut stats);
+        // x escapes via &x so its alloca must survive.
+        let allocas = f
+            .insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Alloca { .. }))
+            .count();
+        assert!(allocas >= 1);
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn uninitialized_reads_become_zero() {
+        let mut m = prep("int f() { int x; return x; }");
+        let mut stats = OptStats::default();
+        let f = m.functions.iter_mut().find(|f| f.name == "f").unwrap();
+        run(f, &mut stats);
+        match f.blocks[0].term {
+            Terminator::Ret {
+                value: Some(Operand::Const(c)),
+            } => assert_eq!(c.bits, 0),
+            ref t => panic!("expected ret 0, got {t:?}"),
+        }
+    }
+}

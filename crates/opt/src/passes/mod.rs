@@ -1,0 +1,20 @@
+//! The optimization passes.
+//!
+//! Every pass is a free function `run(...) -> bool` returning whether it
+//! changed anything; [`crate::pipeline`] composes them per optimization
+//! level and iterates to a fixpoint.
+
+pub mod annotate;
+pub mod checks;
+pub mod dce;
+pub mod gvn;
+pub mod ifconvert;
+pub mod inline;
+pub mod instsimplify;
+pub mod jump_threading;
+pub mod licm;
+pub mod mem2reg;
+pub mod simplifycfg;
+pub mod sroa;
+pub mod unroll;
+pub mod unswitch;

@@ -1,0 +1,254 @@
+//! CFG cleanup: fold constant branches, drop unreachable blocks, merge
+//! straight-line block chains and bypass empty forwarding blocks.
+//!
+//! Runs after every structural pass; it is what turns "the unswitched loop
+//! version where the condition folded to false" into actually smaller code.
+
+use crate::stats::OptStats;
+use crate::util::{apply_replacements, compact_blocks};
+use overify_ir::{Cfg, Function, InstId, InstKind, Operand, Terminator};
+use std::collections::HashMap;
+
+/// Runs CFG simplification to a fixpoint on one function.
+pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    for _ in 0..20 {
+        let mut local = false;
+        local |= fold_const_branches(f);
+        local |= compact_blocks(f);
+        local |= merge_chains(f);
+        local |= skip_forwarders(f);
+        if !local {
+            break;
+        }
+        stats.insts_simplified += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// `condbr const, a, b` -> `br`, and `condbr c, x, x` -> `br x`.
+fn fold_const_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        match f.block(b).term.clone() {
+            Terminator::CondBr {
+                cond: Operand::Const(c),
+                on_true,
+                on_false,
+            } => {
+                let (taken, dead) = if c.bits != 0 {
+                    (on_true, on_false)
+                } else {
+                    (on_false, on_true)
+                };
+                f.set_term(b, Terminator::Br { target: taken });
+                if dead != taken {
+                    f.remove_phi_edge(dead, b);
+                }
+                changed = true;
+            }
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } if on_true == on_false => {
+                f.set_term(b, Terminator::Br { target: on_true });
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Merges `b -> s` when `s` is `b`'s unique successor and `b` is `s`'s
+/// unique predecessor.
+fn merge_chains(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::compute(f);
+        let mut merged = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let Terminator::Br { target: s } = f.block(b).term else {
+                continue;
+            };
+            if s == b || s == f.entry() || cfg.preds(s) != [b] {
+                continue;
+            }
+            // Phis in `s` have one incoming; they become aliases.
+            let mut repl: HashMap<overify_ir::ValueId, Operand> = HashMap::new();
+            let s_insts: Vec<InstId> = f.block(s).insts.clone();
+            let mut keep: Vec<InstId> = Vec::new();
+            for id in s_insts {
+                match &f.inst(id).kind {
+                    InstKind::Phi { incomings, .. } => {
+                        let result = f.inst(id).result.unwrap();
+                        let op = incomings
+                            .first()
+                            .map(|(_, op)| *op)
+                            .unwrap_or(Operand::Const(overify_ir::Const::zero(
+                                f.value_ty(result),
+                            )));
+                        repl.insert(result, op);
+                        f.kill_inst(id);
+                    }
+                    InstKind::Nop => {}
+                    _ => keep.push(id),
+                }
+            }
+            // Splice.
+            let term = f.block(s).term.clone();
+            f.blocks[s.index()].insts.clear();
+            f.set_term(s, Terminator::Unreachable);
+            f.blocks[b.index()].insts.extend(keep);
+            for succ in term.successors() {
+                f.retarget_phis(succ, s, b);
+            }
+            f.set_term(b, term);
+            apply_replacements(f, &repl);
+            merged = true;
+            changed = true;
+            break; // CFG snapshot is stale; recompute.
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Redirects predecessors of an empty block that only branches onward,
+/// when the destination has no phis (so no merge bookkeeping is needed).
+fn skip_forwarders(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if b == f.entry() {
+            continue;
+        }
+        let block = f.block(b);
+        if !block
+            .insts
+            .iter()
+            .all(|&i| matches!(f.inst(i).kind, InstKind::Nop))
+        {
+            continue;
+        }
+        let Terminator::Br { target } = block.term else {
+            continue;
+        };
+        if target == b {
+            continue;
+        }
+        // Destination must be phi-free.
+        let has_phi = f
+            .block(target)
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i).kind, InstKind::Phi { .. }));
+        if has_phi {
+            continue;
+        }
+        let cfg = Cfg::compute(f);
+        let preds: Vec<_> = cfg.preds(b).to_vec();
+        if preds.is_empty() {
+            continue;
+        }
+        for p in preds {
+            f.block_mut(p).term.retarget(b, target);
+            changed = true;
+        }
+        // `b` is now unreachable; compaction removes it.
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{Const, Cursor, Module, Ty};
+
+    #[test]
+    fn folds_constant_condbr_and_removes_dead_arm() {
+        let mut f = Function::new("t", &[], Ty::I32);
+        let mut c = Cursor::new(&mut f);
+        let t = c.add_block("t");
+        let e = c.add_block("e");
+        c.condbr(Operand::Const(Const::bool(true)), t, e);
+        c.at(t);
+        c.ret(Some(c.imm(Ty::I32, 1)));
+        c.at(e);
+        c.ret(Some(c.imm(Ty::I32, 2)));
+        let mut stats = OptStats::default();
+        assert!(run(&mut f, &mut stats));
+        // Everything merges into one block returning 1.
+        assert_eq!(f.blocks.len(), 1);
+        match f.blocks[0].term {
+            Terminator::Ret {
+                value: Some(Operand::Const(c)),
+            } => assert_eq!(c.bits, 1),
+            ref t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn merges_straightline_chains() {
+        let src = "int f(int x) { int y = x + 1; { int z = y * 2; return z; } }";
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        run(&mut m.functions[fi], &mut stats);
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn single_pred_phi_becomes_alias() {
+        // entry -> a -> m with a phi in m having one incoming.
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.add_block("a");
+        let m = c.add_block("m");
+        c.br(a);
+        c.at(a);
+        c.br(m);
+        c.at(m);
+        let phi = c.phi(Ty::I32, vec![(a, p)]);
+        c.ret(Some(Operand::Value(phi)));
+        let mut stats = OptStats::default();
+        run(&mut f, &mut stats);
+        assert_eq!(f.blocks.len(), 1);
+        match f.blocks[0].term {
+            Terminator::Ret { value: Some(v) } => assert_eq!(v, p),
+            ref t => panic!("{t:?}"),
+        }
+        let mut module = Module::new();
+        module.functions.push(f);
+        overify_ir::verify_module(&module).unwrap();
+    }
+
+    #[test]
+    fn behaviour_preserved_on_branchy_program() {
+        let src = r#"
+            int classify(int x) {
+                if (x < 0) { if (x < -100) return -2; return -1; }
+                if (x == 0) return 0;
+                if (x > 100) return 2;
+                return 1;
+            }
+        "#;
+        let m0 = overify_lang::compile(src).unwrap();
+        let mut m1 = m0.clone();
+        let mut stats = OptStats::default();
+        for f in &mut m1.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            super::super::instsimplify::run(f, &mut stats);
+            run(f, &mut stats);
+        }
+        overify_ir::verify_module(&m1).unwrap();
+        let cfg = overify_interp::ExecConfig::default();
+        for x in [-200i64, -50, 0, 1, 50, 101] {
+            let xa = (x as u64) & 0xffff_ffff;
+            let r0 = overify_interp::run_module(&m0, "classify", &[xa], &cfg);
+            let r1 = overify_interp::run_module(&m1, "classify", &[xa], &cfg);
+            assert_eq!(r0.ret, r1.ret, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Full loop unrolling by iterated peeling.
+//!
+//! Paper §4: `-OSYMBEX` "removes loops from the program whenever possible,
+//! even if this increases the program size" — a loop with a known trip count
+//! contributes `trips × paths(body)` paths when explored iteration by
+//! iteration, but a straight-line unrolled body lets the engine fold every
+//! iteration's branches independently.
+//!
+//! Peeling keeps the residual loop's header test in place, so the transform
+//! is a semantic identity even if the trip analysis were wrong; constant
+//! folding later collapses the dead residue.
+
+use crate::cost::CostModel;
+use crate::stats::OptStats;
+use crate::util::{clone_region, make_loop_closed, trip_count};
+use overify_ir::{Cfg, DomTree, Function, InstKind, LoopForest, Operand};
+
+/// Fully unrolls eligible counted loops.
+pub fn run(f: &mut Function, cost: &CostModel, stats: &mut OptStats) -> bool {
+    let mut changed = false;
+    // Unrolling inner loops can expose outer ones; a few rounds suffice.
+    for _ in 0..4 {
+        if !unroll_one(f, cost, stats) {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn unroll_one(f: &mut Function, cost: &CostModel, stats: &mut OptStats) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(&cfg, &dom);
+
+    // Innermost loops first: they are the cheapest and unrolling them may
+    // make outer trip counts computable.
+    let mut loops = forest.loops.clone();
+    loops.sort_by_key(|l| std::cmp::Reverse(l.depth));
+
+    for lp in &loops {
+        let Some(counted) = trip_count(f, lp, cost.unroll_max_trips) else {
+            continue;
+        };
+        let n = counted.trip_count;
+        let body_size: usize = lp.blocks.iter().map(|&b| f.block(b).insts.len()).sum();
+        if n == 0 {
+            continue; // Never runs; constant folding will kill it.
+        }
+        if (n as usize).saturating_mul(body_size) > cost.unroll_total_budget {
+            continue;
+        }
+        if !make_loop_closed(f, lp) {
+            continue;
+        }
+        // Peel the body `n` times; the residual header test then always
+        // exits.
+        for _ in 0..n {
+            if !peel_once(f, lp.header) {
+                return false;
+            }
+        }
+        stats.loops_unrolled += 1;
+        return true;
+    }
+    false
+}
+
+/// Peels one iteration off the loop headed at `header`. The loop must be
+/// closed (see [`make_loop_closed`]). Returns false if the loop vanished.
+fn peel_once(f: &mut Function, header: overify_ir::BlockId) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(&cfg, &dom);
+    let Some(lp) = forest.loop_with_header(header) else {
+        return false;
+    };
+    let lp = lp.clone();
+
+    let mut blocks: Vec<_> = lp.blocks.iter().copied().collect();
+    blocks.sort();
+    let map = clone_region(f, &blocks, "peel");
+    let clone_header = map.block(lp.header);
+
+    // 1. Outside entries now enter the peeled copy.
+    let outside: Vec<_> = cfg
+        .preds(lp.header)
+        .iter()
+        .copied()
+        .filter(|p| !lp.contains(*p))
+        .collect();
+    for o in &outside {
+        f.block_mut(*o).term.retarget(lp.header, clone_header);
+    }
+
+    // 2. The peeled copy's back edges flow into the original loop.
+    for &l in &lp.latches {
+        let cl = map.block(l);
+        f.block_mut(cl).term.retarget(clone_header, lp.header);
+    }
+
+    // 3. Phi surgery.
+    //    Clone header keeps only outside incomings.
+    let clone_phis: Vec<_> = f.block(clone_header).insts.clone();
+    for id in clone_phis {
+        if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+            incomings.retain(|(p, _)| outside.contains(p));
+        }
+    }
+    //    Original header swaps outside incomings for peeled-latch incomings.
+    let latch_map: Vec<(overify_ir::BlockId, overify_ir::BlockId)> = lp
+        .latches
+        .iter()
+        .map(|&l| (l, map.block(l)))
+        .collect();
+    let orig_phis: Vec<_> = f.block(lp.header).insts.clone();
+    for id in orig_phis {
+        let adds: Vec<(overify_ir::BlockId, Operand)> = match &f.inst(id).kind {
+            InstKind::Phi { incomings, .. } => latch_map
+                .iter()
+                .filter_map(|(l, cl)| {
+                    incomings
+                        .iter()
+                        .find(|(p, _)| p == l)
+                        .map(|(_, v)| (*cl, map.operand(*v)))
+                })
+                .collect(),
+            _ => continue,
+        };
+        if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+            incomings.retain(|(p, _)| !outside.contains(p));
+            incomings.extend(adds);
+        }
+    }
+
+    // 4. Exit phis gain the peeled copy's exiting edges.
+    for &exit in &lp.exits {
+        let ids: Vec<_> = f.block(exit).insts.clone();
+        for id in ids {
+            if let InstKind::Phi { incomings, .. } = &f.inst(id).kind {
+                let adds: Vec<(overify_ir::BlockId, Operand)> = incomings
+                    .iter()
+                    .filter(|(p, _)| lp.contains(*p))
+                    .map(|(p, v)| (map.block(*p), map.operand(*v)))
+                    .collect();
+                if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+                    incomings.extend(adds);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_module, ExecConfig};
+    use overify_ir::Terminator;
+
+    fn prep(src: &str) -> overify_ir::Module {
+        let mut m = overify_lang::compile(src).unwrap();
+        let mut stats = OptStats::default();
+        for f in &mut m.functions {
+            super::super::mem2reg::run(f, &mut stats);
+            super::super::instsimplify::run(f, &mut stats);
+            super::super::simplifycfg::run(f, &mut stats);
+        }
+        m
+    }
+
+    fn cleanup(m: &mut overify_ir::Module) {
+        let mut stats = OptStats::default();
+        for f in &mut m.functions {
+            for _ in 0..4 {
+                let mut c = false;
+                c |= super::super::instsimplify::run(f, &mut stats);
+                c |= super::super::dce::run(f, &mut stats);
+                c |= super::super::jump_threading::run(f, &mut stats);
+                c |= super::super::simplifycfg::run(f, &mut stats);
+                if !c {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrolls_constant_loop_to_straight_line() {
+        let src = r#"
+            int f(int x) {
+                int s = x;
+                for (int i = 0; i < 8; i++) { s = s * 2 + 1; }
+                return s;
+            }
+        "#;
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        assert!(run(
+            &mut m.functions[fi],
+            &CostModel::verification(),
+            &mut stats
+        ));
+        assert_eq!(stats.loops_unrolled, 1);
+        overify_ir::verify_module(&m).unwrap();
+        cleanup(&mut m);
+        overify_ir::verify_module(&m).unwrap();
+        // After cleanup: no conditional branches should survive — the loop
+        // is gone entirely.
+        let f = m.function("f").unwrap();
+        let condbrs = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
+            .count();
+        assert_eq!(condbrs, 0, "loop should fold away completely");
+        let r = run_module(&m, "f", &[1], &ExecConfig::default());
+        // s: 1 -> 3 -> 7 -> ... (2s+1 eight times) = 2^8 * 1 + 255 = 511
+        assert_eq!(r.ret, Some(511));
+    }
+
+    #[test]
+    fn respects_budget() {
+        let src = r#"
+            int f(int x) {
+                int s = x;
+                for (int i = 0; i < 1000; i++) { s = s * 2 + 1; }
+                return s;
+            }
+        "#;
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        // CPU model caps trips at 16: the 1000-trip loop is left alone.
+        assert!(!run(&mut m.functions[fi], &CostModel::cpu(), &mut stats));
+        assert_eq!(stats.loops_unrolled, 0);
+    }
+
+    #[test]
+    fn symbolic_bound_is_not_unrolled() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s += i; }
+                return s;
+            }
+        "#;
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        assert!(!run(
+            &mut m.functions[fi],
+            &CostModel::verification(),
+            &mut stats
+        ));
+    }
+
+    #[test]
+    fn behaviour_preserved_with_breaks() {
+        let src = r#"
+            int f(int x) {
+                int s = 0;
+                for (int i = 0; i < 10; i++) {
+                    s += i;
+                    if (s > x) break;
+                }
+                return s;
+            }
+        "#;
+        let m0 = prep(src);
+        let mut m1 = m0.clone();
+        let mut stats = OptStats::default();
+        let fi = m1.function_index("f").unwrap();
+        run(&mut m1.functions[fi], &CostModel::verification(), &mut stats);
+        overify_ir::verify_module(&m1).unwrap();
+        cleanup(&mut m1);
+        overify_ir::verify_module(&m1).unwrap();
+        let cfg = ExecConfig::default();
+        for x in [0u64, 5, 100] {
+            let r0 = run_module(&m0, "f", &[x], &cfg);
+            let r1 = run_module(&m1, "f", &[x], &cfg);
+            assert_eq!(r0.ret, r1.ret, "x={x}");
+        }
+    }
+
+    #[test]
+    fn nested_constant_loops_unroll() {
+        let src = r#"
+            int f() {
+                int s = 0;
+                for (int i = 0; i < 3; i++)
+                    for (int j = 0; j < 4; j++)
+                        s += i * j;
+                return s;
+            }
+        "#;
+        let mut m = prep(src);
+        let mut stats = OptStats::default();
+        let fi = m.function_index("f").unwrap();
+        // Multiple rounds: inner loop then outer.
+        while run(&mut m.functions[fi], &CostModel::verification(), &mut stats) {
+            cleanup(&mut m);
+        }
+        overify_ir::verify_module(&m).unwrap();
+        assert!(stats.loops_unrolled >= 2, "unrolled {}", stats.loops_unrolled);
+        let r = run_module(&m, "f", &[], &ExecConfig::default());
+        assert_eq!(r.ret, Some(18)); // sum i*j, i<3, j<4 = (0+1+2)*(0+1+2+3)
+    }
+}

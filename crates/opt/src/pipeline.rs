@@ -1,0 +1,413 @@
+//! Optimization levels and the pass pipeline.
+//!
+//! | Level | Contents |
+//! |---|---|
+//! | `-O0` | nothing (the honest KLEE-on-unoptimized-code baseline) |
+//! | `-O1` | mem2reg, folding, DCE, CFG cleanup |
+//! | `-O2` | `-O1` + SROA, GVN, LICM, small inlining — *reduces instruction count but leaves the path structure intact* (Table 1: `-O2` explores exactly as many paths as `-O0`) |
+//! | `-O3` | `-O2` + jump threading, unswitching, unrolling, if-conversion under the **CPU** cost model |
+//! | `-OVERIFY` | the `-O3` passes under the **verification** cost model, plus program annotations and runtime checks |
+
+use crate::cost::CostModel;
+use crate::passes;
+use crate::passes::checks::CheckOptions;
+use crate::stats::OptStats;
+use overify_ir::{Function, Module, Ty};
+
+/// The compiler optimization switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    O0,
+    O1,
+    O2,
+    O3,
+    /// The paper's contribution: optimize for fast verification.
+    Overify,
+}
+
+impl OptLevel {
+    /// Command-line style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+            OptLevel::Overify => "-OVERIFY",
+        }
+    }
+
+    /// All levels, for sweeps.
+    pub fn all() -> [OptLevel; 5] {
+        [
+            OptLevel::O0,
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::Overify,
+        ]
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineOptions {
+    pub level: OptLevel,
+    /// Cost model override (defaults to CPU for `-O1..3`, verification for
+    /// `-OVERIFY`).
+    pub cost: Option<CostModel>,
+    /// Insert runtime checks (default: only at `-OVERIFY`).
+    pub runtime_checks: Option<bool>,
+    /// Compute program annotations (default: only at `-OVERIFY`).
+    pub annotations: Option<bool>,
+    /// Re-verify the module after every pass (slow; on in tests).
+    pub verify_each_pass: bool,
+}
+
+impl PipelineOptions {
+    /// Defaults for a level.
+    pub fn level(level: OptLevel) -> PipelineOptions {
+        PipelineOptions {
+            level,
+            cost: None,
+            runtime_checks: None,
+            annotations: None,
+            verify_each_pass: cfg!(debug_assertions),
+        }
+    }
+
+    fn resolved_cost(&self) -> CostModel {
+        self.cost.clone().unwrap_or_else(|| match self.level {
+            OptLevel::Overify => CostModel::verification(),
+            _ => CostModel::cpu(),
+        })
+    }
+}
+
+/// Alternates if-conversion (which needs the module for load
+/// dereferenceability) with folding and CFG cleanup until stable.
+fn ifconvert_fixpoint(
+    m: &mut Module,
+    fi: usize,
+    cost: &CostModel,
+    stats: &mut OptStats,
+) -> bool {
+    let mut changed = false;
+    let mut f = std::mem::replace(&mut m.functions[fi], Function::new("<swap>", &[], Ty::Void));
+    for _ in 0..10 {
+        let c1 = passes::ifconvert::run(m, &mut f, cost, stats);
+        let c2 = passes::instsimplify::run(&mut f, stats);
+        let c3 = passes::simplifycfg::run(&mut f, stats);
+        changed |= c1 || c2 || c3;
+        if !(c1 || c2 || c3) {
+            break;
+        }
+    }
+    m.functions[fi] = f;
+    changed
+}
+
+/// Runs the pipeline for `opts.level` over the module. Returns the
+/// transformation statistics (Table 3's counters).
+pub fn optimize(m: &mut Module, opts: &PipelineOptions) -> OptStats {
+    let mut stats = OptStats::default();
+    if opts.level == OptLevel::O0 {
+        return stats;
+    }
+    let cost = opts.resolved_cost();
+    let level = opts.level;
+    let structural = level >= OptLevel::O3;
+
+    let check = |m: &Module, pass: &str| {
+        if let Err(e) = overify_ir::verify_module(m) {
+            panic!("IR broken after pass `{pass}`: {e}");
+        }
+    };
+
+    let rounds = match level {
+        OptLevel::O1 => 1,
+        OptLevel::O2 => 2,
+        _ => 3,
+    };
+    for _ in 0..rounds {
+        let mut changed = false;
+
+        if level >= OptLevel::O2 {
+            changed |= passes::inline::run(m, &cost, &mut stats);
+            if opts.verify_each_pass {
+                check(m, "inline");
+            }
+        }
+
+        for fi in 0..m.functions.len() {
+            if m.functions[fi].is_declaration {
+                continue;
+            }
+            // Function passes that never need the module.
+            {
+                let f = &mut m.functions[fi];
+                changed |= passes::mem2reg::run(f, &mut stats);
+                changed |= passes::instsimplify::run(f, &mut stats);
+                if level >= OptLevel::O2 {
+                    changed |= passes::sroa::run(f, &mut stats);
+                    changed |= passes::mem2reg::run(f, &mut stats);
+                    changed |= passes::instsimplify::run(f, &mut stats);
+                }
+                if level >= OptLevel::O2 {
+                    changed |= passes::gvn::run(f, &mut stats);
+                }
+                changed |= passes::dce::run(f, &mut stats);
+                changed |= passes::simplifycfg::run(f, &mut stats);
+                if level >= OptLevel::O2 {
+                    changed |= passes::licm::run(f, &mut stats);
+                }
+                if structural {
+                    changed |= passes::jump_threading::run(f, &mut stats);
+                    changed |= passes::simplifycfg::run(f, &mut stats);
+                }
+            }
+            if structural {
+                // If-conversion runs BEFORE unswitching: a branch that
+                // converts to selects (the wc loop body) needs no loop
+                // duplication at all; unswitching then only fires on the
+                // invariant branches speculation could not remove (bodies
+                // with stores, calls, unprovable loads).
+                changed |= ifconvert_fixpoint(m, fi, &cost, &mut stats);
+                {
+                    let f = &mut m.functions[fi];
+                    changed |= passes::unswitch::run(f, &cost, &mut stats);
+                    changed |= passes::simplifycfg::run(f, &mut stats);
+                    changed |= passes::unroll::run(f, &cost, &mut stats);
+                    changed |= passes::instsimplify::run(f, &mut stats);
+                    // Threading kills the residual loop left by peeling.
+                    changed |= passes::jump_threading::run(f, &mut stats);
+                    changed |= passes::simplifycfg::run(f, &mut stats);
+                }
+                // A second round flattens the specialized loop copies.
+                changed |= ifconvert_fixpoint(m, fi, &cost, &mut stats);
+            }
+            {
+                let f = &mut m.functions[fi];
+                changed |= passes::gvn::run(f, &mut stats);
+                changed |= passes::dce::run(f, &mut stats);
+                changed |= passes::simplifycfg::run(f, &mut stats);
+            }
+            if opts.verify_each_pass {
+                check(m, "function-pipeline");
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // -OVERIFY extras: annotations feed check elision, then a final
+    // annotation round covers the check-inserted code too.
+    let want_annotations = opts
+        .annotations
+        .unwrap_or(level == OptLevel::Overify);
+    let want_checks = opts
+        .runtime_checks
+        .unwrap_or(level == OptLevel::Overify);
+    if want_annotations {
+        for f in &mut m.functions {
+            if !f.is_declaration {
+                passes::annotate::run(f, &mut stats);
+            }
+        }
+    }
+    if want_checks {
+        let opts_c = CheckOptions {
+            use_annotations: want_annotations,
+            ..Default::default()
+        };
+        for fi in 0..m.functions.len() {
+            if m.functions[fi].is_declaration {
+                continue;
+            }
+            let mut f = std::mem::replace(
+                &mut m.functions[fi],
+                Function::new("<swap>", &[], Ty::Void),
+            );
+            passes::checks::run(m, &mut f, &opts_c, &mut stats);
+            m.functions[fi] = f;
+        }
+        if opts.verify_each_pass {
+            check(m, "checks");
+        }
+    }
+    if want_annotations {
+        for f in &mut m.functions {
+            if !f.is_declaration {
+                passes::annotate::run(f, &mut stats);
+            }
+        }
+    }
+    if opts.verify_each_pass {
+        check(m, "final");
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_interp::{run_with_buffer, ExecConfig};
+    use overify_ir::Terminator;
+
+    const WC: &str = r#"
+        int isspace2(int c) { return c == ' ' || c == '\t' || c == '\n'; }
+        int isalpha2(int c) {
+            return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+        }
+        int wc(unsigned char *str, int any) {
+            int res = 0;
+            int new_word = 1;
+            for (unsigned char *p = str; *p; ++p) {
+                if (isspace2(*p) || (any && !isalpha2(*p))) {
+                    new_word = 1;
+                } else {
+                    if (new_word) {
+                        ++res;
+                        new_word = 0;
+                    }
+                }
+            }
+            return res;
+        }
+    "#;
+
+    fn compile_at(src: &str, level: OptLevel) -> (overify_ir::Module, OptStats) {
+        let mut m = overify_lang::compile(src).unwrap();
+        let stats = optimize(&mut m, &PipelineOptions::level(level));
+        overify_ir::verify_module(&m).unwrap();
+        (m, stats)
+    }
+
+    fn loop_condbrs(m: &overify_ir::Module, name: &str) -> usize {
+        m.function(name)
+            .unwrap()
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
+            .count()
+    }
+
+    #[test]
+    fn wc_levels_preserve_behaviour() {
+        let texts: [&[u8]; 5] = [
+            b"hello world\0",
+            b"a  b\tc\0",
+            b"...!!!\0",
+            b"\0",
+            b"one, two; three\0",
+        ];
+        let (m0, _) = compile_at(WC, OptLevel::O0);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Overify] {
+            let (m, _) = compile_at(WC, level);
+            let cfg = ExecConfig::default();
+            for any in [0u64, 1] {
+                for t in texts {
+                    let r0 = run_with_buffer(&m0, "wc", t, &[any], &cfg);
+                    let r1 = run_with_buffer(&m, "wc", t, &[any], &cfg);
+                    assert_eq!(r0.ret, r1.ret, "{level} any={any} text={t:?}");
+                    assert_eq!(r0.outcome, r1.outcome, "{level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overify_flattens_wc_loop_to_single_branch() {
+        // The paper's headline structural claim (Listing 2): under
+        // -OVERIFY the only conditional branch left in wc is the loop exit
+        // test.
+        let (m, stats) = compile_at(WC, OptLevel::Overify);
+        assert!(stats.functions_inlined >= 2, "ctype helpers must inline");
+        assert!(stats.branches_converted >= 3);
+        let brs = loop_condbrs(&m, "wc");
+        assert_eq!(brs, 1, "-OVERIFY wc must keep only the loop-exit branch");
+    }
+
+    #[test]
+    fn overify_has_fewest_static_branches() {
+        // Static branch counts: -OVERIFY is far below both baselines. (-O3
+        // can match or exceed -O0's static count because unswitching
+        // *duplicates* loops — it trades code size for fewer dynamic paths,
+        // exactly the paper's Table 1 size column.)
+        let (m0, _) = compile_at(WC, OptLevel::O0);
+        let (m3, _) = compile_at(WC, OptLevel::O3);
+        let (mv, _) = compile_at(WC, OptLevel::Overify);
+        let (b0, b3, bv) = (
+            loop_condbrs(&m0, "wc"),
+            loop_condbrs(&m3, "wc"),
+            loop_condbrs(&mv, "wc"),
+        );
+        assert!(bv < b3, "OVERIFY {bv} vs O3 {b3}");
+        assert!(bv < b0, "OVERIFY {bv} vs O0 {b0}");
+        assert_eq!(bv, 1, "the flattened wc keeps only the loop exit test");
+    }
+
+    #[test]
+    fn o2_reduces_instructions_not_structure() {
+        let (m0, _) = compile_at(WC, OptLevel::O0);
+        let (m2, stats2) = compile_at(WC, OptLevel::O2);
+        assert!(m2.live_inst_count() < m0.live_inst_count());
+        // No structural transformations at O2.
+        assert_eq!(stats2.loops_unswitched, 0);
+        assert_eq!(stats2.loops_unrolled, 0);
+        assert_eq!(stats2.branches_converted, 0);
+        assert_eq!(stats2.jumps_threaded, 0);
+    }
+
+    #[test]
+    fn overify_stats_dominate_o3_stats() {
+        // Table 3's shape on a richer program.
+        // The inner branch's arm is multiply-heavy: cheap enough for the
+        // verification budget, too expensive for a CPU mispredict.
+        let src = r#"
+            int classify(int c) {
+                if (c >= '0' && c <= '9') return 1;
+                if (c >= 'a' && c <= 'z') return 2;
+                return 0;
+            }
+            int process(unsigned char *buf, int flag) {
+                int acc = 0;
+                for (int i = 0; i < 6; i++) {
+                    int c = classify(buf[i]);
+                    if (flag) acc += c * c * c * c;
+                    else acc -= c;
+                }
+                return acc;
+            }
+        "#;
+        let (_, s3) = compile_at(src, OptLevel::O3);
+        let (_, sv) = compile_at(src, OptLevel::Overify);
+        assert!(
+            sv.functions_inlined >= s3.functions_inlined,
+            "inlined: {} vs {}",
+            sv.functions_inlined,
+            s3.functions_inlined
+        );
+        assert!(sv.branches_converted > s3.branches_converted);
+        assert!(sv.loops_unrolled >= s3.loops_unrolled);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let (m1, s1) = compile_at(WC, OptLevel::Overify);
+        let (m2, s2) = compile_at(WC, OptLevel::Overify);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            overify_ir::print::print_module(&m1),
+            overify_ir::print::print_module(&m2)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Optimization statistics: the counters behind Table 3 of the paper.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counts of transformations applied during one compilation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Call sites replaced by the callee body (Table 3, "# functions
+    /// inlined").
+    pub functions_inlined: u64,
+    /// Loops duplicated on a loop-invariant condition (Table 3, "# loops
+    /// unswitched").
+    pub loops_unswitched: u64,
+    /// Loops fully unrolled (Table 3, "# loops unrolled").
+    pub loops_unrolled: u64,
+    /// Conditional branches turned into straight-line `select` code
+    /// (Table 3, "# branches converted").
+    pub branches_converted: u64,
+    /// Jump-threading rewrites.
+    pub jumps_threaded: u64,
+    /// Allocas promoted to SSA registers by mem2reg.
+    pub allocas_promoted: u64,
+    /// Allocas split into scalars by SROA.
+    pub allocas_split: u64,
+    /// Instructions folded or simplified away.
+    pub insts_simplified: u64,
+    /// Loop-invariant instructions hoisted.
+    pub insts_hoisted: u64,
+    /// Runtime checks inserted.
+    pub checks_inserted: u64,
+    /// Runtime checks skipped because annotations proved them safe.
+    pub checks_elided: u64,
+    /// Value-range / trip-count facts recorded as program annotations.
+    pub annotations_added: u64,
+}
+
+impl AddAssign for OptStats {
+    fn add_assign(&mut self, o: OptStats) {
+        self.functions_inlined += o.functions_inlined;
+        self.loops_unswitched += o.loops_unswitched;
+        self.loops_unrolled += o.loops_unrolled;
+        self.branches_converted += o.branches_converted;
+        self.jumps_threaded += o.jumps_threaded;
+        self.allocas_promoted += o.allocas_promoted;
+        self.allocas_split += o.allocas_split;
+        self.insts_simplified += o.insts_simplified;
+        self.insts_hoisted += o.insts_hoisted;
+        self.checks_inserted += o.checks_inserted;
+        self.checks_elided += o.checks_elided;
+        self.annotations_added += o.annotations_added;
+    }
+}
+
+impl fmt::Display for OptStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# functions inlined   {:>8}", self.functions_inlined)?;
+        writeln!(f, "# loops unswitched    {:>8}", self.loops_unswitched)?;
+        writeln!(f, "# loops unrolled      {:>8}", self.loops_unrolled)?;
+        writeln!(f, "# branches converted  {:>8}", self.branches_converted)?;
+        writeln!(f, "# jumps threaded      {:>8}", self.jumps_threaded)?;
+        writeln!(f, "# allocas promoted    {:>8}", self.allocas_promoted)?;
+        writeln!(f, "# insts simplified    {:>8}", self.insts_simplified)?;
+        write!(f, "# checks ins/elided   {:>4}/{}", self.checks_inserted, self.checks_elided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = OptStats::default();
+        let mut b = OptStats::default();
+        b.functions_inlined = 3;
+        b.branches_converted = 5;
+        a += b;
+        a += b;
+        assert_eq!(a.functions_inlined, 6);
+        assert_eq!(a.branches_converted, 10);
+    }
+}

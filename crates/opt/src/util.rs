@@ -1,0 +1,651 @@
+//! Shared pass machinery: batch value replacement, block compaction, region
+//! cloning and block splitting.
+
+use overify_ir::{
+    Cfg, Function, InstKind, Module, Operand, Terminator, Ty, ValueDef, ValueId,
+};
+use overify_ir::{BlockId, InstId};
+use std::collections::HashMap;
+
+/// Applies a set of value replacements in one pass over the function,
+/// resolving chains (`a -> b -> c`) transitively.
+///
+/// Replacement maps are how passes communicate "this value is now that
+/// operand" without quadratic rewriting.
+pub fn apply_replacements(f: &mut Function, map: &HashMap<ValueId, Operand>) {
+    if map.is_empty() {
+        return;
+    }
+    let resolve = |mut op: Operand| -> Operand {
+        // Bounded chase to defend against accidental cycles.
+        for _ in 0..64 {
+            match op {
+                Operand::Value(v) => match map.get(&v) {
+                    Some(&next) => op = next,
+                    None => return op,
+                },
+                c => return c,
+            }
+        }
+        op
+    };
+    for inst in &mut f.insts {
+        inst.kind.for_each_operand_mut(|op| *op = resolve(*op));
+    }
+    for b in &mut f.blocks {
+        match &mut b.term {
+            Terminator::CondBr { cond, .. } => *cond = resolve(*cond),
+            Terminator::Ret { value: Some(v) } => *v = resolve(*v),
+            _ => {}
+        }
+    }
+}
+
+/// Removes unreachable blocks and renumbers the remainder, rewriting all
+/// block references (terminators and phi incomings). Returns true if
+/// anything was removed.
+pub fn compact_blocks(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let reachable = cfg.reachable();
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    // Tombstone instructions of dead blocks.
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !reachable[i] {
+            for &id in &b.insts {
+                // Will be cleared below; mark dead for use counting.
+                let _ = id;
+            }
+        }
+    }
+    let mut remap: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    let mut kept = Vec::new();
+    for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if reachable[i] {
+            remap[i] = Some(BlockId(kept.len() as u32));
+            kept.push(b);
+        } else {
+            for id in b.insts {
+                f.insts[id.index()].kind = InstKind::Nop;
+                f.insts[id.index()].result = None;
+            }
+        }
+    }
+    f.blocks = kept;
+    for b in &mut f.blocks {
+        match &mut b.term {
+            Terminator::Br { target } => *target = remap[target.index()].unwrap(),
+            Terminator::CondBr {
+                on_true, on_false, ..
+            } => {
+                *on_true = remap[on_true.index()].unwrap();
+                *on_false = remap[on_false.index()].unwrap();
+            }
+            _ => {}
+        }
+    }
+    for inst in &mut f.insts {
+        if let InstKind::Phi { incomings, .. } = &mut inst.kind {
+            incomings.retain(|(p, _)| remap[p.index()].is_some());
+            for (p, _) in incomings.iter_mut() {
+                *p = remap[p.index()].unwrap();
+            }
+        }
+    }
+    true
+}
+
+/// Result of [`clone_region`].
+pub struct CloneMap {
+    /// Old region block -> its clone.
+    pub blocks: HashMap<BlockId, BlockId>,
+    /// Old value -> replacement operand, for values defined inside the
+    /// region. Values defined outside map to themselves.
+    pub values: HashMap<ValueId, Operand>,
+}
+
+impl CloneMap {
+    /// Looks up the clone of an operand.
+    pub fn operand(&self, op: Operand) -> Operand {
+        match op {
+            Operand::Value(v) => self.values.get(&v).copied().unwrap_or(op),
+            c => c,
+        }
+    }
+
+    /// Looks up the clone of a block (identity for blocks outside the
+    /// region).
+    pub fn block(&self, b: BlockId) -> BlockId {
+        self.blocks.get(&b).copied().unwrap_or(b)
+    }
+}
+
+/// Clones a set of blocks *within* one function, remapping all internal
+/// references (used by loop unswitching and unrolling/peeling).
+///
+/// Edges leaving the region keep their original targets; phi incomings from
+/// blocks outside the region are preserved as-is.
+pub fn clone_region(f: &mut Function, region: &[BlockId], suffix: &str) -> CloneMap {
+    let mut map = CloneMap {
+        blocks: HashMap::new(),
+        values: HashMap::new(),
+    };
+    // Create the clone blocks.
+    for &b in region {
+        let name = format!("{}.{}", f.block(b).name, suffix);
+        let nb = f.add_block(&name);
+        map.blocks.insert(b, nb);
+    }
+    // Create fresh values for every instruction result in the region.
+    for &b in region {
+        for &id in &f.blocks[b.index()].insts.clone() {
+            if let Some(r) = f.inst(id).result {
+                let ty = f.value_ty(r);
+                let name = f.values[r.index()].name.clone();
+                // Def is fixed when the cloned instruction is materialized.
+                let nv = f.make_value(ty, ValueDef::Param(u32::MAX), name);
+                map.values.insert(r, Operand::Value(nv));
+            }
+        }
+    }
+    // Clone the instructions and terminators.
+    for &b in region {
+        let nb = map.blocks[&b];
+        let inst_ids: Vec<InstId> = f.blocks[b.index()].insts.clone();
+        for id in inst_ids {
+            let mut kind = f.inst(id).kind.clone();
+            kind.for_each_operand_mut(|op| *op = map.operand(*op));
+            if let InstKind::Phi { incomings, .. } = &mut kind {
+                for (p, _) in incomings.iter_mut() {
+                    *p = map.block(*p);
+                }
+            }
+            let result = f.inst(id).result.map(|r| match map.values[&r] {
+                Operand::Value(nv) => nv,
+                _ => unreachable!(),
+            });
+            let nid = InstId(f.insts.len() as u32);
+            f.insts.push(overify_ir::Inst { kind, result });
+            if let Some(r) = result {
+                f.values[r.index()].def = ValueDef::Inst(nid);
+            }
+            f.blocks[nb.index()].insts.push(nid);
+        }
+        let mut term = f.block(b).term.clone();
+        match &mut term {
+            Terminator::Br { target } => *target = map.block(*target),
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                *cond = map.operand(*cond);
+                *on_true = map.block(*on_true);
+                *on_false = map.block(*on_false);
+            }
+            Terminator::Ret { value: Some(v) } => *v = map.operand(*v),
+            _ => {}
+        }
+        f.set_term(nb, term);
+    }
+    map
+}
+
+/// Splits `block` before instruction index `at`: instructions `at..` move to
+/// a new block which inherits the old terminator; `block` branches to it.
+/// Phis in old successors are retargeted. Returns the new block.
+pub fn split_block(f: &mut Function, block: BlockId, at: usize, name: &str) -> BlockId {
+    let nb = f.add_block(name);
+    let tail: Vec<InstId> = f.blocks[block.index()].insts.split_off(at);
+    f.blocks[nb.index()].insts = tail;
+    let term = std::mem::replace(
+        &mut f.blocks[block.index()].term,
+        Terminator::Br { target: nb },
+    );
+    // Successor phis must now name the new block as their predecessor.
+    for succ in term.successors() {
+        f.retarget_phis(succ, block, nb);
+    }
+    f.set_term(nb, term);
+    nb
+}
+
+/// Attempts to prove that `addr` points at least `width` bytes inside a
+/// live allocation (an alloca or a global), for speculation and check
+/// elision. Conservative: returns false when unsure.
+pub fn provably_dereferenceable(m: &Module, f: &Function, addr: Operand, width: u64) -> bool {
+    provably_dereferenceable_with(m, f, addr, width, None)
+}
+
+/// Like [`provably_dereferenceable`], additionally accepting value-range
+/// facts so *variable* offsets with proven bounds qualify — this is what
+/// lets `-OVERIFY` speculate `table[c & 255]`-style lookups.
+pub fn provably_dereferenceable_with(
+    m: &Module,
+    f: &Function,
+    addr: Operand,
+    width: u64,
+    ranges: Option<&HashMap<ValueId, overify_ir::ValueRange>>,
+) -> bool {
+    // Walks the ptradd chain accumulating a constant offset plus the maximum
+    // of any bounded variable offsets. Returns (object size, worst offset).
+    fn trace(
+        m: &Module,
+        f: &Function,
+        op: Operand,
+        depth: u32,
+        ranges: Option<&HashMap<ValueId, overify_ir::ValueRange>>,
+    ) -> Option<(u64, u64)> {
+        if depth > 16 {
+            return None;
+        }
+        let v = op.as_value()?;
+        let inst = match f.values[v.index()].def {
+            ValueDef::Inst(i) => f.inst(i),
+            ValueDef::Param(_) => return None,
+        };
+        match &inst.kind {
+            InstKind::Alloca { size } => Some((*size, 0)),
+            InstKind::GlobalAddr { global } => {
+                Some((m.globals.get(global.index())?.size, 0))
+            }
+            InstKind::PtrAdd { base, offset } => {
+                let worst = match offset {
+                    Operand::Const(c) => {
+                        // Negative offsets wrap to huge values and fail the
+                        // final bound check, as they should.
+                        c.bits
+                    }
+                    Operand::Value(ov) => {
+                        let r = ranges?.get(ov)?;
+                        r.umax
+                    }
+                };
+                let (size, off) = trace(m, f, *base, depth + 1, ranges)?;
+                Some((size, off.checked_add(worst)?))
+            }
+            _ => None,
+        }
+    }
+    match trace(m, f, addr, 0, ranges) {
+        Some((size, off)) => off.checked_add(width).is_some_and(|end| end <= size),
+        None => false,
+    }
+}
+
+/// True if `ty`-typed `op` equals the constant `bits`.
+pub fn is_const(op: Operand, bits: u64, ty: Ty) -> bool {
+    matches!(op, Operand::Const(c) if c.ty == ty && c.bits == bits)
+}
+
+/// Block of each instruction, or `None` for dangling ids.
+pub fn inst_blocks(f: &Function) -> Vec<Option<BlockId>> {
+    let mut out = vec![None; f.insts.len()];
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            out[id.index()] = Some(b);
+        }
+    }
+    out
+}
+
+/// Gives the loop dedicated exit blocks (LLVM's LoopSimplify invariant):
+/// every exit block whose predecessors are not all inside the loop gets a
+/// fresh landing block between the loop and the old exit, with phis split
+/// accordingly. Returns true if the CFG changed.
+pub fn ensure_dedicated_exits(f: &mut Function, lp: &overify_ir::Loop) -> bool {
+    let mut changed = false;
+    for &e in &lp.exits {
+        let cfg = Cfg::compute(f);
+        let preds: Vec<BlockId> = cfg.preds(e).to_vec();
+        let loop_preds: Vec<BlockId> = preds
+            .iter()
+            .copied()
+            .filter(|p| lp.contains(*p))
+            .collect();
+        let has_outside = preds.iter().any(|p| !lp.contains(*p));
+        if !has_outside || loop_preds.is_empty() {
+            continue;
+        }
+        let landing = f.add_block("loopexit");
+        f.set_term(landing, Terminator::Br { target: e });
+        // Split each phi: the loop-side incomings move to a new phi in the
+        // landing block.
+        let ids: Vec<InstId> = f.block(e).insts.clone();
+        for id in ids {
+            let InstKind::Phi { ty, incomings } = f.inst(id).kind.clone() else {
+                continue;
+            };
+            let (from_loop, from_outside): (Vec<_>, Vec<_>) = incomings
+                .into_iter()
+                .partition(|(p, _)| loop_preds.contains(p));
+            if from_loop.is_empty() {
+                continue;
+            }
+            let (lid, lval) = f.create_inst(
+                InstKind::Phi {
+                    ty,
+                    incomings: from_loop,
+                },
+                Some(ty),
+            );
+            f.blocks[landing.index()].insts.insert(0, lid);
+            let mut new_incomings = from_outside;
+            new_incomings.push((landing, Operand::Value(lval.unwrap())));
+            if let InstKind::Phi { incomings, .. } = &mut f.inst_mut(id).kind {
+                *incomings = new_incomings;
+            }
+        }
+        for p in loop_preds {
+            f.block_mut(p).term.retarget(e, landing);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Puts a loop into a closed form: every value defined inside the loop that
+/// is used outside gets a phi in the (unique) exit block, and outside uses
+/// are rewritten to the phi. Required before the loop body can be duplicated
+/// (unswitching, peeling).
+///
+/// Returns `false` — leaving the function untouched — when the loop's shape
+/// is unsupported: multiple exit blocks, an exit with predecessors outside
+/// the loop, or a loop-defined value whose definition does not dominate
+/// every exiting edge.
+pub fn make_loop_closed(f: &mut Function, lp: &overify_ir::Loop) -> bool {
+    if lp.exits.len() > 1 {
+        return false;
+    }
+    let cfg = Cfg::compute(f);
+    let dom = overify_ir::DomTree::compute(&cfg);
+    let Some(&exit) = lp.exits.first() else {
+        return true; // No exit edges (loop leaves only via ret/abort).
+    };
+    let exit_preds: Vec<BlockId> = cfg.preds(exit).to_vec();
+    if exit_preds.iter().any(|p| !lp.contains(*p)) {
+        return false;
+    }
+
+    let _blocks_of = inst_blocks(f);
+    // Values defined inside the loop.
+    let mut inside: HashMap<ValueId, BlockId> = HashMap::new();
+    for &b in &lp.blocks {
+        for &id in &f.block(b).insts {
+            if let Some(r) = f.inst(id).result {
+                inside.insert(r, b);
+            }
+        }
+    }
+
+    // Find outside uses.
+    let mut used_outside: Vec<(ValueId, BlockId)> = Vec::new();
+    for b in f.block_ids() {
+        if lp.contains(b) {
+            continue;
+        }
+        let mut note = |op: &Operand| {
+            if let Operand::Value(v) = op {
+                if let Some(&db) = inside.get(v) {
+                    if !used_outside.iter().any(|(u, _)| u == v) {
+                        used_outside.push((*v, db));
+                    }
+                }
+            }
+        };
+        for &id in &f.block(b).insts {
+            // Phi uses in the exit block that we are about to create would
+            // be fine, but none exist yet; all current uses count.
+            f.inst(id).kind.for_each_operand(&mut note);
+        }
+        match &f.block(b).term {
+            Terminator::CondBr { cond, .. } => note(cond),
+            Terminator::Ret { value: Some(v) } => note(v),
+            _ => {}
+        }
+    }
+    if used_outside.is_empty() {
+        return true;
+    }
+
+    // Each such value must dominate every exiting edge.
+    for (v, db) in &used_outside {
+        let _ = v;
+        for p in &exit_preds {
+            if !dom.dominates(*db, *p) {
+                return false;
+            }
+        }
+    }
+
+    // Insert the exit phis and rewrite outside uses.
+    let mut repl: HashMap<ValueId, Operand> = HashMap::new();
+    let mut new_phis: Vec<InstId> = Vec::new();
+    for (v, _) in used_outside {
+        let ty = f.value_ty(v);
+        let incomings: Vec<(BlockId, Operand)> = exit_preds
+            .iter()
+            .map(|&p| (p, Operand::Value(v)))
+            .collect();
+        let (pid, pv) = f.create_inst(InstKind::Phi { ty, incomings }, Some(ty));
+        f.blocks[exit.index()].insts.insert(0, pid);
+        new_phis.push(pid);
+        repl.insert(v, Operand::Value(pv.unwrap()));
+    }
+    // Rewrite uses outside the loop, except inside the new phis themselves.
+    let resolve = |op: Operand| -> Operand {
+        match op {
+            Operand::Value(v) => repl.get(&v).copied().unwrap_or(op),
+            c => c,
+        }
+    };
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if lp.contains(b) {
+            continue;
+        }
+        let ids: Vec<InstId> = f.block(b).insts.clone();
+        for id in ids {
+            if new_phis.contains(&id) {
+                continue;
+            }
+            f.inst_mut(id)
+                .kind
+                .for_each_operand_mut(|op| *op = resolve(*op));
+        }
+        match &mut f.blocks[b.index()].term {
+            Terminator::CondBr { cond, .. } => *cond = resolve(*cond),
+            Terminator::Ret { value: Some(v) } => *v = resolve(*v),
+            _ => {}
+        }
+    }
+    true
+}
+
+/// A recognized counted loop: `i` starts at a constant, steps by a constant,
+/// and the header exits on a comparison against a constant.
+pub struct CountedLoop {
+    /// Number of times the loop body executes.
+    pub trip_count: u64,
+}
+
+/// Tries to prove a constant trip count by locating the canonical induction
+/// pattern and simulating it. `cap` bounds the simulation.
+pub fn trip_count(f: &Function, lp: &overify_ir::Loop, cap: u64) -> Option<CountedLoop> {
+    use overify_ir::fold;
+
+    let header = lp.header;
+    let Terminator::CondBr {
+        cond: Operand::Value(cv),
+        on_true,
+        on_false,
+    } = f.block(header).term
+    else {
+        return None;
+    };
+    let body_on_true = lp.contains(on_true);
+    if body_on_true == lp.contains(on_false) {
+        return None; // Both or neither inside: not a rotated-exit loop.
+    }
+    let cond_def = match f.values[cv.index()].def {
+        ValueDef::Inst(i) => i,
+        _ => return None,
+    };
+    if !f.block(header).insts.contains(&cond_def) {
+        return None;
+    }
+    let InstKind::Cmp { pred, ty, lhs, rhs } = f.inst(cond_def).kind else {
+        return None;
+    };
+
+    // One side is the induction phi, the other a constant.
+    let (iv, bound, iv_on_lhs) = match (lhs, rhs) {
+        (Operand::Value(v), Operand::Const(c)) => (v, c, true),
+        (Operand::Const(c), Operand::Value(v)) => (v, c, false),
+        _ => return None,
+    };
+    let iv_def = match f.values[iv.index()].def {
+        ValueDef::Inst(i) => i,
+        _ => return None,
+    };
+    if !f.block(header).insts.contains(&iv_def) {
+        return None;
+    }
+    let InstKind::Phi { incomings, .. } = &f.inst(iv_def).kind else {
+        return None;
+    };
+    if incomings.len() != 2 {
+        return None;
+    }
+    let (mut init, mut step_op) = (None, None);
+    for (p, op) in incomings {
+        if lp.contains(*p) {
+            step_op = Some(*op);
+        } else if let Operand::Const(c) = op {
+            init = Some(*c);
+        }
+    }
+    let (init, step_op) = (init?, step_op?);
+    let step_v = step_op.as_value()?;
+    let step_def = match f.values[step_v.index()].def {
+        ValueDef::Inst(i) => i,
+        _ => return None,
+    };
+    let InstKind::Bin {
+        op: overify_ir::BinOp::Add,
+        lhs: sl,
+        rhs: Operand::Const(step),
+        ..
+    } = f.inst(step_def).kind
+    else {
+        return None;
+    };
+    if sl != Operand::Value(iv) || step.bits == 0 {
+        return None;
+    }
+
+    // Simulate the exit test.
+    let mut x = init.bits;
+    let mut trips = 0u64;
+    loop {
+        let (a, b) = if iv_on_lhs {
+            (x, bound.bits)
+        } else {
+            (bound.bits, x)
+        };
+        let taken = fold::eval_cmp(pred, ty, a, b);
+        let enters_body = taken == body_on_true;
+        if !enters_body {
+            return Some(CountedLoop { trip_count: trips });
+        }
+        trips += 1;
+        if trips > cap {
+            return None;
+        }
+        x = fold::eval_bin(overify_ir::BinOp::Add, ty, x, step.bits)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{BinOp, Const, Cursor, Ty};
+
+    #[test]
+    fn replacements_resolve_chains() {
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Add, Ty::I32, p, c.imm(Ty::I32, 0));
+        let b = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 0));
+        c.ret(Some(b));
+        let mut map = HashMap::new();
+        map.insert(b.as_value().unwrap(), a);
+        map.insert(a.as_value().unwrap(), p);
+        apply_replacements(&mut f, &map);
+        match f.blocks[0].term {
+            Terminator::Ret { value: Some(v) } => assert_eq!(v, p),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn split_block_moves_tail() {
+        let mut f = Function::new("t", &[Ty::I32], Ty::I32);
+        let p = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.bin(BinOp::Add, Ty::I32, p, c.imm(Ty::I32, 1));
+        let b = c.bin(BinOp::Add, Ty::I32, a, c.imm(Ty::I32, 2));
+        c.ret(Some(b));
+        let entry = f.entry();
+        let nb = split_block(&mut f, entry, 1, "tail");
+        assert_eq!(f.blocks[entry.index()].insts.len(), 1);
+        assert_eq!(f.blocks[nb.index()].insts.len(), 1);
+        assert!(matches!(f.blocks[entry.index()].term, Terminator::Br { target } if target == nb));
+        assert!(matches!(f.blocks[nb.index()].term, Terminator::Ret { .. }));
+        let mut m = Module::new();
+        m.functions.push(f);
+        overify_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dereferenceability_proofs() {
+        let mut m = Module::new();
+        m.add_global(overify_ir::Global {
+            name: "g".into(),
+            size: 8,
+            init: vec![],
+            is_const: false,
+        });
+        let mut f = Function::new("t", &[Ty::Ptr], Ty::Void);
+        let unknown = Operand::Value(f.params[0]);
+        let mut c = Cursor::new(&mut f);
+        let a = c.alloca(16);
+        let in_bounds = c.ptradd(a, c.imm(Ty::I64, 12));
+        let oob = c.ptradd(a, c.imm(Ty::I64, 13));
+        let g = c.global_addr(overify_ir::GlobalId(0));
+        let neg = c.ptradd(a, Operand::Const(Const::new(Ty::I64, (-1i64) as u64)));
+        c.ret(None);
+        assert!(provably_dereferenceable(&m, &f, a, 16));
+        assert!(!provably_dereferenceable(&m, &f, a, 17));
+        assert!(provably_dereferenceable(&m, &f, in_bounds, 4));
+        assert!(!provably_dereferenceable(&m, &f, oob, 4));
+        assert!(provably_dereferenceable(&m, &f, g, 8));
+        assert!(!provably_dereferenceable(&m, &f, neg, 1));
+        assert!(!provably_dereferenceable(&m, &f, unknown, 1));
+    }
+
+    #[test]
+    fn compact_removes_unreachable() {
+        let mut f = Function::new("t", &[], Ty::Void);
+        let dead = f.add_block("dead");
+        let live = f.add_block("live");
+        f.set_term(f.entry(), Terminator::Br { target: live });
+        f.set_term(dead, Terminator::Ret { value: None });
+        f.set_term(live, Terminator::Ret { value: None });
+        assert!(compact_blocks(&mut f));
+        assert_eq!(f.blocks.len(), 2);
+        // `live` got renumbered to 1 and entry still branches to it.
+        assert!(matches!(f.blocks[0].term, Terminator::Br { target } if target == BlockId(1)));
+    }
+}

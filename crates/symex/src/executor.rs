@@ -1,0 +1,1077 @@
+//! The symbolic execution engine.
+//!
+//! Interprets one module path-by-path, KLEE-style: inputs are symbolic
+//! bytes, states fork at feasible branches, and memory/division/assertion
+//! safety is checked with the layered [`Solver`]. See the crate docs for
+//! the cost model this reproduces.
+
+use crate::expr::{ExprPool, ExprRef};
+use crate::interval::IntervalCache;
+use crate::memory::{SymMemory, OFFSET_BITS};
+use crate::report::{Bug, BugKind, TestCase, VerificationReport};
+use crate::solver::{Model, SatResult, Solver, SolverOptions};
+use overify_ir::{
+    BlockId, Callee, CastOp, CmpPred, InstKind, Intrinsic, Module, Operand,
+    Terminator, Ty, ValueId,
+};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// How an extra entry argument is provided.
+#[derive(Clone, Copy, Debug)]
+pub enum SymArg {
+    /// A fixed concrete value.
+    Concrete(u64),
+    /// A fresh symbolic value of the parameter's width.
+    Symbolic,
+}
+
+/// Path exploration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Depth-first (KLEE's default stack discipline; maximizes
+    /// counterexample-cache hits).
+    Dfs,
+    /// Breadth-first.
+    Bfs,
+    /// Uniform random choice among pending states (deterministic seed).
+    RandomState(u64),
+}
+
+/// Verification configuration.
+#[derive(Clone, Debug)]
+pub struct SymConfig {
+    /// Symbolic input buffer length in bytes (a NUL byte is appended, so a
+    /// C string of *up to* `input_bytes` characters is explored — the
+    /// paper's "N bytes of symbolic input").
+    pub input_bytes: usize,
+    /// Extra arguments after `(buffer_ptr, buffer_len)`.
+    pub extra_args: Vec<SymArg>,
+    /// Pass the buffer length as the second argument (the
+    /// `utility_main(char *in, int len)` convention).
+    pub pass_len_arg: bool,
+    /// Stop after this many completed paths (0 = unlimited).
+    pub max_paths: u64,
+    /// Stop after this many interpreted instructions (0 = unlimited).
+    pub max_instructions: u64,
+    /// Wall-clock budget.
+    pub timeout: Duration,
+    /// Generate a test case per completed path.
+    pub collect_tests: bool,
+    /// Consult compiler annotations (the `-OVERIFY` metadata channel).
+    pub use_annotations: bool,
+    /// Solver feature toggles.
+    pub solver: SolverOptions,
+    pub search: SearchStrategy,
+    /// Maximum if-then-else span for symbolic memory accesses before the
+    /// engine concretizes the address.
+    pub max_ite_span: u64,
+    /// Input-space partition `(index, total)` for parallel exploration: the
+    /// state starts constrained with `input[0] % total == index`.
+    pub partition: Option<(u64, u64)>,
+}
+
+impl Default for SymConfig {
+    fn default() -> SymConfig {
+        SymConfig {
+            input_bytes: 4,
+            extra_args: Vec::new(),
+            pass_len_arg: false,
+            max_paths: 0,
+            max_instructions: 50_000_000,
+            timeout: Duration::from_secs(3600),
+            collect_tests: false,
+            use_annotations: true,
+            solver: SolverOptions::default(),
+            search: SearchStrategy::Dfs,
+            max_ite_span: 1024,
+            partition: None,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Frame {
+    func: usize,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<Option<ExprRef>>,
+    allocas: Vec<u64>,
+    ret_to: Option<ValueId>,
+}
+
+#[derive(Clone)]
+struct State {
+    frames: Vec<Frame>,
+    mem: SymMemory,
+    constraints: Vec<ExprRef>,
+    output: Vec<ExprRef>,
+}
+
+/// Why a state stopped executing.
+enum PathEnd {
+    Completed,
+    Bug,
+    Killed,
+}
+
+/// Runs symbolic execution of `entry` over `m` and returns the report.
+///
+/// The entry function is called as `entry(buf_ptr [, buf_len] [, extras...])`
+/// where `buf` is `input_bytes` fresh symbolic bytes followed by a
+/// terminating NUL.
+pub fn verify(m: &Module, entry: &str, cfg: &SymConfig) -> VerificationReport {
+    Executor::new(m, cfg.clone()).run(entry)
+}
+
+/// The engine object (reusable for parallel exploration).
+pub struct Executor<'m> {
+    m: &'m Module,
+    cfg: SymConfig,
+    pool: ExprPool,
+    solver: Solver,
+    intervals: IntervalCache,
+    report: VerificationReport,
+    input_syms: Vec<u32>,
+    bug_locs: HashSet<(BugKind, String)>,
+    rng: u64,
+}
+
+impl<'m> Executor<'m> {
+    /// Creates an executor.
+    pub fn new(m: &'m Module, cfg: SymConfig) -> Executor<'m> {
+        let solver = Solver::new(cfg.solver);
+        Executor {
+            m,
+            cfg,
+            pool: ExprPool::new(),
+            solver,
+            intervals: IntervalCache::new(),
+            report: VerificationReport::default(),
+            input_syms: Vec::new(),
+            bug_locs: HashSet::new(),
+            rng: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Runs to completion or budget exhaustion.
+    pub fn run(mut self, entry: &str) -> VerificationReport {
+        let start = Instant::now();
+        let Some(fidx) = self.m.function_index(entry) else {
+            self.report.timed_out = false;
+            return self.report;
+        };
+
+        // Set up the initial state: buffer + args.
+        let mut mem = SymMemory::with_globals(&mut self.pool, self.m);
+        let n = self.cfg.input_bytes;
+        let base = mem.allocate(&mut self.pool, (n + 1) as u64, "input");
+        let obj = (base >> OFFSET_BITS) as u32;
+        let mut first_byte: Option<ExprRef> = None;
+        for i in 0..n {
+            let s = self.pool.fresh_sym(8);
+            if i == 0 {
+                first_byte = Some(s);
+            }
+            if let crate::expr::Node::Sym { id, .. } = *self.pool.node(s) {
+                self.input_syms.push(id);
+            }
+            mem.set_byte(obj, i, s);
+        }
+        // Terminating NUL keeps string scans bounded.
+        let zero = self.pool.constant(8, 0);
+        mem.set_byte(obj, n, zero);
+
+        let f = &self.m.functions[fidx];
+        let mut regs = vec![None; f.values.len()];
+        let mut arg_vals: Vec<ExprRef> = Vec::new();
+        arg_vals.push(self.pool.constant(64, base));
+        if self.cfg.pass_len_arg {
+            // Length parameter typed per the signature (usually i32).
+            let ty = f
+                .params
+                .get(1)
+                .map(|&p| f.value_ty(p))
+                .unwrap_or(Ty::I32);
+            arg_vals.push(self.pool.constant(ty.bits(), n as u64));
+        }
+        for a in self.cfg.extra_args.clone() {
+            // Each extra argument takes the next parameter's width.
+            let ty = f
+                .params
+                .get(arg_vals.len())
+                .map(|&p| f.value_ty(p))
+                .unwrap_or(Ty::I32);
+            let e = match a {
+                SymArg::Concrete(v) => self.pool.constant(ty.bits(), v),
+                SymArg::Symbolic => self.pool.fresh_sym(ty.bits()),
+            };
+            arg_vals.push(e);
+        }
+        if arg_vals.len() != f.params.len() {
+            // Signature mismatch is a harness bug; report as zero work.
+            return self.report;
+        }
+        for (i, &p) in f.params.iter().enumerate() {
+            regs[p.index()] = Some(arg_vals[i]);
+        }
+
+        let mut initial_constraints = Vec::new();
+        if let (Some((w, total)), Some(b0)) = (self.cfg.partition, first_byte) {
+            // Partition the input space on the first byte for parallel
+            // workers.
+            let t = self.pool.constant(8, total.min(255));
+            let rem = self.pool.bin(overify_ir::BinOp::URem, b0, t);
+            let wk = self.pool.constant(8, w);
+            let eq = self.pool.cmp(CmpPred::Eq, rem, wk);
+            initial_constraints.push(eq);
+        }
+
+        let initial = State {
+            frames: vec![Frame {
+                func: fidx,
+                block: f.entry(),
+                idx: 0,
+                regs,
+                allocas: vec![base],
+                ret_to: None,
+            }],
+            mem,
+            constraints: initial_constraints,
+            output: Vec::new(),
+        };
+
+        let mut worklist: Vec<State> = vec![initial];
+        let mut exhausted = true;
+        while let Some(mut st) = self.pick(&mut worklist) {
+            if self.over_budget(start) {
+                exhausted = false;
+                break;
+            }
+            // Execute until the state ends or forks.
+            loop {
+                if self.over_budget(start) {
+                    exhausted = false;
+                    break;
+                }
+                match self.step(&mut st) {
+                    Step::Continue => {}
+                    Step::Fork(other) => {
+                        self.report.forks += 1;
+                        worklist.push(other);
+                    }
+                    Step::End(PathEnd::Completed) => {
+                        self.report.paths_completed += 1;
+                        if self.cfg.collect_tests {
+                            self.emit_test(&st);
+                        }
+                        break;
+                    }
+                    Step::End(PathEnd::Bug) => {
+                        self.report.paths_buggy += 1;
+                        break;
+                    }
+                    Step::End(PathEnd::Killed) => {
+                        self.report.paths_killed += 1;
+                        break;
+                    }
+                }
+            }
+            if self.cfg.max_paths > 0 && self.report.total_paths() >= self.cfg.max_paths {
+                exhausted = worklist.is_empty();
+                break;
+            }
+        }
+        self.report.exhausted = exhausted;
+        self.report.timed_out = !exhausted;
+        self.report.solver = self.solver.stats;
+        self.report.time = start.elapsed();
+        self.report
+    }
+
+    fn over_budget(&self, start: Instant) -> bool {
+        (self.cfg.max_instructions > 0 && self.report.instructions >= self.cfg.max_instructions)
+            || start.elapsed() >= self.cfg.timeout
+    }
+
+    fn pick(&mut self, worklist: &mut Vec<State>) -> Option<State> {
+        if worklist.is_empty() {
+            return None;
+        }
+        match self.cfg.search {
+            SearchStrategy::Dfs => worklist.pop(),
+            SearchStrategy::Bfs => Some(worklist.remove(0)),
+            SearchStrategy::RandomState(seed) => {
+                // xorshift* on the running state seeded by config.
+                self.rng ^= seed | 1;
+                self.rng ^= self.rng >> 12;
+                self.rng ^= self.rng << 25;
+                self.rng ^= self.rng >> 27;
+                let i = (self.rng.wrapping_mul(0x2545F4914F6CDD1D) as usize) % worklist.len();
+                Some(worklist.swap_remove(i))
+            }
+        }
+    }
+
+    fn eval_op(&mut self, st: &State, op: Operand) -> ExprRef {
+        match op {
+            Operand::Const(c) => self.pool.constant(c.ty.bits(), c.bits),
+            Operand::Value(v) => st.frames.last().unwrap().regs[v.index()]
+                .expect("use of undefined register"),
+        }
+    }
+
+    fn set_reg(&mut self, st: &mut State, v: Option<ValueId>, e: ExprRef) {
+        if let Some(v) = v {
+            st.frames.last_mut().unwrap().regs[v.index()] = Some(e);
+        }
+    }
+
+    fn cur_loc(&self, st: &State) -> String {
+        let fr = st.frames.last().unwrap();
+        let f = &self.m.functions[fr.func];
+        format!("{}/{}", f.name, f.block(fr.block).name)
+    }
+
+    fn record_bug(&mut self, st: &State, kind: BugKind, extra: Option<ExprRef>) {
+        let loc = self.cur_loc(st);
+        if !self.bug_locs.insert((kind, loc.clone())) {
+            return;
+        }
+        // Find a concrete witness.
+        let mut cs = st.constraints.clone();
+        if let Some(e) = extra {
+            cs.push(e);
+        }
+        let input = match self.solver.check(&self.pool, &cs) {
+            SatResult::Sat(m) => self.input_bytes_of(&m),
+            SatResult::Unsat => Vec::new(),
+        };
+        self.report.bugs.push(Bug { kind, location: loc, input });
+    }
+
+    fn input_bytes_of(&self, m: &Model) -> Vec<u8> {
+        self.input_syms.iter().map(|&id| m.get(id) as u8).collect()
+    }
+
+    fn emit_test(&mut self, st: &State) {
+        let model = match self.solver.check(&self.pool, &st.constraints) {
+            SatResult::Sat(m) => m,
+            SatResult::Unsat => return,
+        };
+        let input = self.input_bytes_of(&model);
+        let output = st
+            .output
+            .iter()
+            .map(|&e| Some(self.pool.eval(e, &|id| model.get(id)) as u8))
+            .collect();
+        self.report.tests.push(TestCase { input, output });
+    }
+
+    /// Transfers control to `target`, evaluating phis in parallel.
+    fn enter_block(&mut self, st: &mut State, target: BlockId) {
+        let fr = st.frames.last().unwrap();
+        let f = &self.m.functions[fr.func];
+        let from = fr.block;
+        let mut updates: Vec<(ValueId, ExprRef)> = Vec::new();
+        let mut skip = 0;
+        for &id in &f.block(target).insts {
+            match &f.inst(id).kind {
+                InstKind::Phi { incomings, .. } => {
+                    skip += 1;
+                    if let Some(r) = f.inst(id).result {
+                        let op = incomings
+                            .iter()
+                            .find(|(p, _)| *p == from)
+                            .map(|(_, o)| *o)
+                            .unwrap_or(Operand::Const(overify_ir::Const::zero(f.value_ty(r))));
+                        let e = self.eval_op(st, op);
+                        updates.push((r, e));
+                    }
+                }
+                InstKind::Nop => skip += 1,
+                _ => break,
+            }
+        }
+        let fr = st.frames.last_mut().unwrap();
+        for (v, e) in updates {
+            fr.regs[v.index()] = Some(e);
+        }
+        fr.block = target;
+        fr.idx = skip;
+    }
+
+    /// One execution step.
+    fn step(&mut self, st: &mut State) -> Step {
+        let fr = st.frames.last().unwrap();
+        let f = &self.m.functions[fr.func];
+        let block = f.block(fr.block);
+        self.report.instructions += 1;
+
+        if fr.idx >= block.insts.len() {
+            let term = block.term.clone();
+            return self.exec_terminator(st, term);
+        }
+        let inst_id = block.insts[fr.idx];
+        let inst = f.inst(inst_id).clone();
+        st.frames.last_mut().unwrap().idx += 1;
+
+        match inst.kind {
+            InstKind::Nop => Step::Continue,
+            InstKind::Bin { op, ty, lhs, rhs } => {
+                let a = self.eval_op(st, lhs);
+                let b = self.eval_op(st, rhs);
+                if op.can_trap() {
+                    if let Some(step) = self.guard_division(st, b, ty) {
+                        return step;
+                    }
+                }
+                let e = self.pool.bin(op, a, b);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Cmp { pred, lhs, rhs, .. } => {
+                // The -OVERIFY annotation fast path: ranges the compiler
+                // proved let us decide the comparison without building
+                // constraints.
+                if self.cfg.use_annotations {
+                    if let Some(v) = self.annotation_decide(st, pred, lhs, rhs) {
+                        self.report.solver.solved_annotation += 1;
+                        let e = self.pool.boolean(v);
+                        self.set_reg(st, inst.result, e);
+                        return Step::Continue;
+                    }
+                }
+                let a = self.eval_op(st, lhs);
+                let b = self.eval_op(st, rhs);
+                let e = self.pool.cmp(pred, a, b);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
+                let c = self.eval_op(st, cond);
+                let t = self.eval_op(st, on_true);
+                let fv = self.eval_op(st, on_false);
+                let e = self.pool.ite(c, t, fv);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Cast { op, to, value } => {
+                let v = self.eval_op(st, value);
+                let e = match op {
+                    CastOp::Zext => self.pool.zext(v, to.bits()),
+                    CastOp::Sext => self.pool.sext(v, to.bits()),
+                    CastOp::Trunc => self.pool.trunc(v, to.bits()),
+                };
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Alloca { size } => {
+                let base = st.mem.allocate(&mut self.pool, size, "alloca");
+                st.frames.last_mut().unwrap().allocas.push(base);
+                let e = self.pool.constant(64, base);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Load { ty, addr } => {
+                let a = self.eval_op(st, addr);
+                match self.access(st, a, ty.bytes(), AccessMode::Read) {
+                    Access::Value(e) => {
+                        let e = if ty == Ty::I1 {
+                            self.pool.trunc(e, 1)
+                        } else {
+                            e
+                        };
+                        self.set_reg(st, inst.result, e);
+                        Step::Continue
+                    }
+                    Access::End(end) => Step::End(end),
+                }
+            }
+            InstKind::Store { ty, value, addr } => {
+                let a = self.eval_op(st, addr);
+                let v = self.eval_op(st, value);
+                let v8 = if ty == Ty::I1 { self.pool.zext(v, 8) } else { v };
+                match self.store_value(st, a, v8, ty.bytes()) {
+                    None => Step::Continue,
+                    Some(end) => Step::End(end),
+                }
+            }
+            InstKind::PtrAdd { base, offset } => {
+                let b = self.eval_op(st, base);
+                let o = self.eval_op(st, offset);
+                let e = self.pool.bin(overify_ir::BinOp::Add, b, o);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::GlobalAddr { global } => {
+                let base = st.mem.global_base(global.0);
+                let e = self.pool.constant(64, base);
+                self.set_reg(st, inst.result, e);
+                Step::Continue
+            }
+            InstKind::Call { callee, args } => {
+                let vals: Vec<ExprRef> = args.iter().map(|&a| self.eval_op(st, a)).collect();
+                match callee {
+                    Callee::Intrinsic(i) => self.exec_intrinsic(st, i, &vals, inst.result),
+                    Callee::Func(name) => {
+                        let Some(ci) = self.m.function_index(&name) else {
+                            return Step::End(PathEnd::Killed);
+                        };
+                        let callee_f = &self.m.functions[ci];
+                        if callee_f.is_declaration {
+                            return Step::End(PathEnd::Killed);
+                        }
+                        let mut regs = vec![None; callee_f.values.len()];
+                        for (i, &p) in callee_f.params.iter().enumerate() {
+                            regs[p.index()] = Some(vals[i]);
+                        }
+                        st.frames.push(Frame {
+                            func: ci,
+                            block: callee_f.entry(),
+                            idx: 0,
+                            regs,
+                            allocas: Vec::new(),
+                            ret_to: inst.result,
+                        });
+                        Step::Continue
+                    }
+                }
+            }
+            InstKind::Phi { .. } => {
+                // Handled by enter_block; stray phi means fall-through.
+                Step::End(PathEnd::Killed)
+            }
+        }
+    }
+
+    /// Decide `pred(lhs, rhs)` purely from compiler annotations.
+    fn annotation_decide(
+        &mut self,
+        st: &State,
+        pred: CmpPred,
+        lhs: Operand,
+        rhs: Operand,
+    ) -> Option<bool> {
+        let fr = st.frames.last().unwrap();
+        let f = &self.m.functions[fr.func];
+        if f.annotations.value_ranges.is_empty() {
+            return None;
+        }
+        let range_of = |op: Operand| -> Option<overify_ir::ValueRange> {
+            match op {
+                Operand::Const(c) => Some(overify_ir::ValueRange::point(c.bits)),
+                Operand::Value(v) => f.annotations.value_ranges.get(&v).copied(),
+            }
+        };
+        let (ra, rb) = (range_of(lhs)?, range_of(rhs)?);
+        // Unsigned reasoning only (the annotation pass emits unsigned
+        // ranges).
+        let decided = match pred {
+            CmpPred::Ult => {
+                if ra.umax < rb.umin {
+                    Some(true)
+                } else if ra.umin >= rb.umax {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpPred::Ule => {
+                if ra.umax <= rb.umin {
+                    Some(true)
+                } else if ra.umin > rb.umax {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpPred::Ugt => {
+                if ra.umin > rb.umax {
+                    Some(true)
+                } else if ra.umax <= rb.umin {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpPred::Uge => {
+                if ra.umin >= rb.umax {
+                    Some(true)
+                } else if ra.umax < rb.umin {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpPred::Eq => {
+                if ra.umax < rb.umin || rb.umax < ra.umin {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpPred::Ne => {
+                if ra.umax < rb.umin || rb.umax < ra.umin {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        decided
+    }
+
+    /// Division guard: forks a div-by-zero bug path when feasible.
+    fn guard_division(&mut self, st: &mut State, divisor: ExprRef, _ty: Ty) -> Option<Step> {
+        if let Some(c) = self.pool.as_const(divisor) {
+            if c == 0 {
+                self.record_bug(st, BugKind::DivByZero, None);
+                return Some(Step::End(PathEnd::Bug));
+            }
+            return None;
+        }
+        let w = self.pool.width(divisor);
+        let zero = self.pool.constant(w, 0);
+        let is_zero = self.pool.cmp(CmpPred::Eq, divisor, zero);
+        // Interval fast path first.
+        if self.intervals.decide(&self.pool, is_zero) == Some(false) {
+            return None;
+        }
+        if self.solver.may_be_true(&self.pool, &st.constraints, is_zero) {
+            self.record_bug(st, BugKind::DivByZero, Some(is_zero));
+            let nz = self.pool.not(is_zero);
+            if self.solver.may_be_true(&self.pool, &st.constraints, nz) {
+                st.constraints.push(nz);
+                return None;
+            }
+            return Some(Step::End(PathEnd::Bug));
+        }
+        None
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        st: &mut State,
+        i: Intrinsic,
+        args: &[ExprRef],
+        result: Option<ValueId>,
+    ) -> Step {
+        match i {
+            Intrinsic::SymInput => {
+                // The harness preloads symbolic input; a program-level
+                // sym_input introduces fresh bytes at a concrete location.
+                let (Some(addr), Some(len)) = (
+                    self.pool.as_const(args[0]),
+                    self.pool.as_const(args[1]),
+                ) else {
+                    return Step::End(PathEnd::Killed);
+                };
+                let obj = (addr >> OFFSET_BITS) as u32;
+                let off = (addr & 0xffff_ffff) as usize;
+                if st.mem.object(obj).is_none() {
+                    self.record_bug(st, BugKind::OutOfBounds, None);
+                    return Step::End(PathEnd::Bug);
+                }
+                for k in 0..len as usize {
+                    if off + k >= st.mem.object(obj).unwrap().bytes.len() {
+                        self.record_bug(st, BugKind::OutOfBounds, None);
+                        return Step::End(PathEnd::Bug);
+                    }
+                    let s = self.pool.fresh_sym(8);
+                    if let crate::expr::Node::Sym { id, .. } = *self.pool.node(s) {
+                        self.input_syms.push(id);
+                    }
+                    st.mem.set_byte(obj, off + k, s);
+                }
+                Step::Continue
+            }
+            Intrinsic::Assume => {
+                let c = args[0];
+                if self.pool.as_const(c) == Some(0) {
+                    return Step::End(PathEnd::Killed);
+                }
+                if !self.solver.may_be_true(&self.pool, &st.constraints, c) {
+                    return Step::End(PathEnd::Killed);
+                }
+                st.constraints.push(c);
+                Step::Continue
+            }
+            Intrinsic::Assert => {
+                let c = args[0];
+                let nc = self.pool.not(c);
+                if self.solver.may_be_true(&self.pool, &st.constraints, nc) {
+                    self.record_bug(st, BugKind::AssertFail, Some(nc));
+                    if self.solver.may_be_true(&self.pool, &st.constraints, c) {
+                        st.constraints.push(c);
+                        return Step::Continue;
+                    }
+                    return Step::End(PathEnd::Bug);
+                }
+                Step::Continue
+            }
+            Intrinsic::PutChar => {
+                let byte = self.pool.trunc(args[0], 8);
+                st.output.push(byte);
+                let r = self.pool.zext(byte, 32);
+                self.set_reg(st, result, r);
+                Step::Continue
+            }
+            Intrinsic::Malloc => {
+                let size = match self.pool.as_const(args[0]) {
+                    Some(s) => s,
+                    None => {
+                        // Concretize the size to a model value.
+                        self.report.solver.concretizations += 1;
+                        match self.solver.check(&self.pool, &st.constraints) {
+                            SatResult::Sat(m) => {
+                                let v = self.pool.eval(args[0], &|id| m.get(id));
+                                let w = self.pool.width(args[0]);
+                                let vc = self.pool.constant(w, v);
+                                let eq = self.pool.cmp(CmpPred::Eq, args[0], vc);
+                                st.constraints.push(eq);
+                                v
+                            }
+                            SatResult::Unsat => return Step::End(PathEnd::Killed),
+                        }
+                    }
+                };
+                let base = st.mem.allocate(&mut self.pool, size.max(1).min(1 << 20), "malloc");
+                let e = self.pool.constant(64, base);
+                self.set_reg(st, result, e);
+                Step::Continue
+            }
+            Intrinsic::Abort => {
+                self.record_bug(st, BugKind::ExplicitAbort, None);
+                Step::End(PathEnd::Bug)
+            }
+        }
+    }
+
+    fn exec_terminator(&mut self, st: &mut State, term: Terminator) -> Step {
+        match term {
+            Terminator::Br { target } => {
+                self.enter_block(st, target);
+                Step::Continue
+            }
+            Terminator::CondBr {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let c = self.eval_op(st, cond);
+                if let Some(v) = self.pool.as_const(c) {
+                    self.enter_block(st, if v != 0 { on_true } else { on_false });
+                    return Step::Continue;
+                }
+                // Feasibility: check true; if infeasible the false side is
+                // implied (the constraint set itself is satisfiable).
+                let may_true = self.solver.may_be_true(&self.pool, &st.constraints, c);
+                if std::env::var("SYMEX_TRACE").is_ok() {
+                    eprintln!(
+                        "condbr at {}: cond={:?} may_true={may_true}",
+                        self.cur_loc(st),
+                        self.pool.node(c)
+                    );
+                }
+                if !may_true {
+                    let nc = self.pool.not(c);
+                    st.constraints.push(nc);
+                    self.enter_block(st, on_false);
+                    return Step::Continue;
+                }
+                let nc = self.pool.not(c);
+                let may_false = self.solver.may_be_true(&self.pool, &st.constraints, nc);
+                if !may_false {
+                    st.constraints.push(c);
+                    self.enter_block(st, on_true);
+                    return Step::Continue;
+                }
+                // Fork: this state takes the true side.
+                let mut other = st.clone();
+                other.constraints.push(nc);
+                self.enter_block(&mut other, on_false);
+                st.constraints.push(c);
+                self.enter_block(st, on_true);
+                Step::Fork(other)
+            }
+            Terminator::Ret { value } => {
+                let v = value.map(|op| self.eval_op(st, op));
+                let frame = st.frames.pop().unwrap();
+                for a in frame.allocas {
+                    st.mem.kill(a);
+                }
+                if st.frames.is_empty() {
+                    return Step::End(PathEnd::Completed);
+                }
+                if let (Some(dest), Some(v)) = (frame.ret_to, v) {
+                    self.set_reg(st, Some(dest), v);
+                }
+                Step::Continue
+            }
+            Terminator::Abort { kind } => {
+                self.record_bug(st, BugKind::from_abort(kind), None);
+                Step::End(PathEnd::Bug)
+            }
+            Terminator::Unreachable => {
+                self.record_bug(st, BugKind::UnreachableReached, None);
+                Step::End(PathEnd::Bug)
+            }
+        }
+    }
+
+    // ---- Memory access machinery ----
+
+    /// Reads `width` bytes at symbolic address `addr`.
+    fn access(&mut self, st: &mut State, addr: ExprRef, width: u64, _mode: AccessMode) -> Access {
+        match self.resolve(st, addr, width) {
+            Resolved::Ok { obj, offset } => {
+                let value = self.read_object(st, obj, offset, width);
+                Access::Value(value)
+            }
+            Resolved::End(e) => Access::End(e),
+        }
+    }
+
+    fn store_value(
+        &mut self,
+        st: &mut State,
+        addr: ExprRef,
+        value: ExprRef,
+        width: u64,
+    ) -> Option<PathEnd> {
+        match self.resolve(st, addr, width) {
+            Resolved::Ok { obj, offset } => {
+                if !st.mem.object(obj).map(|o| o.writable).unwrap_or(false) {
+                    self.record_bug(st, BugKind::OutOfBounds, None);
+                    return Some(PathEnd::Bug);
+                }
+                self.write_object(st, obj, offset, value, width);
+                None
+            }
+            Resolved::End(e) => Some(e),
+        }
+    }
+
+    /// Resolves an address to a single live object and in-bounds offset,
+    /// forking bug paths for infeasible or out-of-bounds accesses.
+    fn resolve(&mut self, st: &mut State, addr: ExprRef, width: u64) -> Resolved {
+        let iv = self.intervals.get(&self.pool, addr);
+        let (obj_lo, obj_hi) = (
+            (iv.lo >> OFFSET_BITS) as u32,
+            (iv.hi >> OFFSET_BITS) as u32,
+        );
+
+        let obj = if obj_lo == obj_hi {
+            obj_lo
+        } else {
+            // Decide which object this access can hit; null and dangling
+            // candidates are bug paths. Try candidates from the interval
+            // bounds.
+            let mut chosen: Option<u32> = None;
+            for cand in [obj_hi, obj_lo] {
+                if cand == 0 || st.mem.object(cand).is_none() {
+                    continue;
+                }
+                let lo = self.pool.constant(64, (cand as u64) << OFFSET_BITS);
+                let hi = self.pool.constant(64, ((cand as u64) + 1) << OFFSET_BITS);
+                let ge = self.pool.cmp(CmpPred::Uge, addr, lo);
+                let lt = self.pool.cmp(CmpPred::Ult, addr, hi);
+                let inside = self.pool.and(ge, lt);
+                if self.solver.may_be_true(&self.pool, &st.constraints, inside) {
+                    // Can the address be *outside* this object (e.g. null)?
+                    let outside = self.pool.not(inside);
+                    if self
+                        .solver
+                        .may_be_true(&self.pool, &st.constraints, outside)
+                    {
+                        self.record_bug(st, BugKind::OutOfBounds, Some(outside));
+                    }
+                    st.constraints.push(inside);
+                    chosen = Some(cand);
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => c,
+                None => {
+                    self.record_bug(st, BugKind::OutOfBounds, None);
+                    return Resolved::End(PathEnd::Bug);
+                }
+            }
+        };
+
+        if obj == 0 || st.mem.object(obj).is_none() {
+            self.record_bug(st, BugKind::OutOfBounds, None);
+            return Resolved::End(PathEnd::Bug);
+        }
+        let size = st.mem.object(obj).unwrap().bytes.len() as u64;
+        if size < width {
+            self.record_bug(st, BugKind::OutOfBounds, None);
+            return Resolved::End(PathEnd::Bug);
+        }
+
+        // Offset within the object.
+        let base = self.pool.constant(64, (obj as u64) << OFFSET_BITS);
+        let offset = self.pool.bin(overify_ir::BinOp::Sub, addr, base);
+        let limit = self.pool.constant(64, size - width);
+        let ok = self.pool.cmp(CmpPred::Ule, offset, limit);
+
+        match self.intervals.decide(&self.pool, ok) {
+            Some(true) => {}
+            Some(false) => {
+                self.record_bug(st, BugKind::OutOfBounds, None);
+                return Resolved::End(PathEnd::Bug);
+            }
+            None => {
+                let bad = self.pool.not(ok);
+                if self.solver.may_be_true(&self.pool, &st.constraints, bad) {
+                    self.record_bug(st, BugKind::OutOfBounds, Some(bad));
+                    if self.solver.may_be_true(&self.pool, &st.constraints, ok) {
+                        st.constraints.push(ok);
+                    } else {
+                        return Resolved::End(PathEnd::Bug);
+                    }
+                }
+            }
+        }
+        Resolved::Ok { obj, offset }
+    }
+
+    /// Reads `width` bytes at `offset` (an in-bounds 64-bit expression)
+    /// from `obj`, composing a little-endian value.
+    fn read_object(&mut self, st: &mut State, obj: u32, offset: ExprRef, width: u64) -> ExprRef {
+        let size = st.mem.object(obj).unwrap().bytes.len() as u64;
+        let offset = self.concretize_if_wide(st, obj, offset, width, size);
+        let out_w = (width * 8) as u32;
+        let mut acc: Option<ExprRef> = None;
+        for i in 0..width {
+            let byte = self.read_byte(st, obj, offset, i, size, width);
+            let wide = self.pool.zext(byte, out_w);
+            let sh = self.pool.constant(out_w, i * 8);
+            let shifted = self.pool.bin(overify_ir::BinOp::Shl, wide, sh);
+            acc = Some(match acc {
+                None => shifted,
+                Some(a) => self.pool.bin(overify_ir::BinOp::Or, a, shifted),
+            });
+        }
+        acc.unwrap()
+    }
+
+    fn read_byte(
+        &mut self,
+        st: &State,
+        obj: u32,
+        offset: ExprRef,
+        delta: u64,
+        size: u64,
+        width: u64,
+    ) -> ExprRef {
+        if let Some(c) = self.pool.as_const(offset) {
+            return st.mem.byte(obj, (c + delta) as usize);
+        }
+        // ITE chain over the feasible offset range.
+        let iv = self.intervals.get(&self.pool, offset);
+        let lo = iv.lo;
+        let hi = iv.hi.min(size - width);
+        let mut acc = self.pool.constant(8, 0);
+        for k in (lo..=hi).rev() {
+            let kc = self.pool.constant(64, k);
+            let eq = self.pool.cmp(CmpPred::Eq, offset, kc);
+            let byte = st.mem.byte(obj, (k + delta) as usize);
+            acc = self.pool.ite(eq, byte, acc);
+        }
+        acc
+    }
+
+    fn write_object(
+        &mut self,
+        st: &mut State,
+        obj: u32,
+        offset: ExprRef,
+        value: ExprRef,
+        width: u64,
+    ) {
+        let size = st.mem.object(obj).unwrap().bytes.len() as u64;
+        let offset = self.concretize_if_wide(st, obj, offset, width, size);
+        let vw = self.pool.width(value);
+        for i in 0..width {
+            let sh = self.pool.constant(vw, i * 8);
+            let shifted = self.pool.bin(overify_ir::BinOp::LShr, value, sh);
+            let byte = self.pool.trunc(shifted, 8);
+            if let Some(c) = self.pool.as_const(offset) {
+                st.mem.set_byte(obj, (c + i) as usize, byte);
+            } else {
+                let iv = self.intervals.get(&self.pool, offset);
+                let lo = iv.lo;
+                let hi = iv.hi.min(size - width);
+                for k in lo..=hi {
+                    let kc = self.pool.constant(64, k);
+                    let eq = self.pool.cmp(CmpPred::Eq, offset, kc);
+                    let old = st.mem.byte(obj, (k + i) as usize);
+                    let nv = self.pool.ite(eq, byte, old);
+                    st.mem.set_byte(obj, (k + i) as usize, nv);
+                }
+            }
+        }
+    }
+
+    /// Concretizes a symbolic offset whose ITE span would exceed the
+    /// configured cap (KLEE-style address concretization).
+    fn concretize_if_wide(
+        &mut self,
+        st: &mut State,
+        _obj: u32,
+        offset: ExprRef,
+        width: u64,
+        size: u64,
+    ) -> ExprRef {
+        if self.pool.as_const(offset).is_some() {
+            return offset;
+        }
+        let iv = self.intervals.get(&self.pool, offset);
+        let hi = iv.hi.min(size - width);
+        let span = hi.saturating_sub(iv.lo) + 1;
+        if span <= self.cfg.max_ite_span {
+            return offset;
+        }
+        self.report.solver.concretizations += 1;
+        match self.solver.check(&self.pool, &st.constraints) {
+            SatResult::Sat(m) => {
+                let v = self.pool.eval(offset, &|id| m.get(id));
+                let vc = self.pool.constant(64, v);
+                let eq = self.pool.cmp(CmpPred::Eq, offset, vc);
+                st.constraints.push(eq);
+                vc
+            }
+            SatResult::Unsat => offset,
+        }
+    }
+}
+
+enum Step {
+    Continue,
+    Fork(State),
+    End(PathEnd),
+}
+
+enum Access {
+    Value(ExprRef),
+    End(PathEnd),
+}
+
+enum Resolved {
+    Ok { obj: u32, offset: ExprRef },
+    End(PathEnd),
+}
+
+#[derive(Clone, Copy)]
+enum AccessMode {
+    Read,
+}

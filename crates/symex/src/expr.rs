@@ -1,0 +1,627 @@
+//! Hash-consed symbolic bit-vector expressions with a canonicalizing
+//! builder.
+//!
+//! Every node lives in an [`ExprPool`]; structurally identical expressions
+//! share one [`ExprRef`]. The builder folds constants (using the *same*
+//! scalar semantics as the optimizer and the concrete interpreter, via
+//! `overify_ir::fold`) and applies the algebraic rewrites that keep solver
+//! queries small — most importantly, distributing comparisons over
+//! if-then-else chains with constant arms, which is what makes symbolic
+//! table lookups (`isspace` via a 257-byte table) tractable.
+
+use overify_ir::fold;
+use overify_ir::{BinOp, CmpPred};
+use std::collections::HashMap;
+
+/// Index of an expression in its pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprRef(pub u32);
+
+impl std::fmt::Debug for ExprRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One expression node. Widths are in bits (1..=64).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Constant with explicit width; bits always truncated to width.
+    Const { width: u32, bits: u64 },
+    /// Atomic symbolic variable (an input byte, or a symbolic argument).
+    Sym { id: u32, width: u32 },
+    /// Binary bit-vector operation; operands share `width`.
+    Bin {
+        op: BinOp,
+        width: u32,
+        a: ExprRef,
+        b: ExprRef,
+    },
+    /// Comparison of two `width`-bit operands; result is 1 bit.
+    Cmp {
+        pred: CmpPred,
+        width: u32,
+        a: ExprRef,
+        b: ExprRef,
+    },
+    /// If-then-else on a 1-bit condition; arms share the result width.
+    Ite {
+        width: u32,
+        c: ExprRef,
+        t: ExprRef,
+        f: ExprRef,
+    },
+    /// Zero-extension to `width`.
+    Zext { width: u32, a: ExprRef },
+    /// Sign-extension to `width`.
+    Sext { width: u32, a: ExprRef },
+    /// Truncation to `width`.
+    Trunc { width: u32, a: ExprRef },
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// The expression arena. One pool lives for a whole verification session;
+/// `ExprRef`s from the same pool are comparable and cacheable.
+pub struct ExprPool {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, ExprRef>,
+    /// Total number of registered symbolic variables.
+    syms: u32,
+    /// `true` / `false` 1-bit constants, pre-interned.
+    pub true_: ExprRef,
+    pub false_: ExprRef,
+}
+
+impl Default for ExprPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExprPool {
+    /// Creates an empty pool.
+    pub fn new() -> ExprPool {
+        let mut p = ExprPool {
+            nodes: Vec::new(),
+            intern: HashMap::new(),
+            syms: 0,
+            true_: ExprRef(0),
+            false_: ExprRef(0),
+        };
+        p.true_ = p.constant(1, 1);
+        p.false_ = p.constant(1, 0);
+        p
+    }
+
+    /// Number of live nodes (for stats).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the pool holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind a reference.
+    pub fn node(&self, e: ExprRef) -> &Node {
+        &self.nodes[e.0 as usize]
+    }
+
+    /// Result width of an expression.
+    pub fn width(&self, e: ExprRef) -> u32 {
+        match self.node(e) {
+            Node::Const { width, .. }
+            | Node::Sym { width, .. }
+            | Node::Bin { width, .. }
+            | Node::Ite { width, .. }
+            | Node::Zext { width, .. }
+            | Node::Sext { width, .. }
+            | Node::Trunc { width, .. } => *width,
+            Node::Cmp { .. } => 1,
+        }
+    }
+
+    /// The constant value, if the expression is a constant.
+    pub fn as_const(&self, e: ExprRef) -> Option<u64> {
+        match self.node(e) {
+            Node::Const { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, n: Node) -> ExprRef {
+        if let Some(&r) = self.intern.get(&n) {
+            return r;
+        }
+        let r = ExprRef(self.nodes.len() as u32);
+        self.nodes.push(n.clone());
+        self.intern.insert(n, r);
+        r
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, width: u32, bits: u64) -> ExprRef {
+        self.intern(Node::Const {
+            width,
+            bits: bits & mask(width),
+        })
+    }
+
+    /// Creates a fresh symbolic variable.
+    pub fn fresh_sym(&mut self, width: u32) -> ExprRef {
+        let id = self.syms;
+        self.syms += 1;
+        self.intern(Node::Sym { id, width })
+    }
+
+    /// Number of symbolic variables created so far.
+    pub fn sym_count(&self) -> u32 {
+        self.syms
+    }
+
+    /// Builds `op(a, b)` with folding and identities.
+    pub fn bin(&mut self, op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
+        let width = self.width(a);
+        debug_assert_eq!(width, self.width(b), "bin width mismatch");
+        let ty = width_ty(width);
+
+        // Constant folding (total semantics: division by zero yields 0 for
+        // udiv/sdiv and the dividend for rem — matching `eval::eval_total`).
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            let v = fold::eval_bin(op, ty, x, y)
+                .unwrap_or_else(|| div_zero_default(op, x) & mask(width));
+            return self.constant(width, v);
+        }
+
+        // Canonicalize commutative constants to the right.
+        let (a, b) = if op.is_commutative() && self.as_const(a).is_some() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let bc = self.as_const(b);
+
+        match op {
+            BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr
+                if bc == Some(0) =>
+            {
+                return a
+            }
+            BinOp::Sub if bc == Some(0) => return a,
+            BinOp::Sub if a == b => return self.constant(width, 0),
+            BinOp::Mul if bc == Some(1) => return a,
+            BinOp::Mul if bc == Some(0) => return self.constant(width, 0),
+            BinOp::UDiv if bc == Some(1) => return a,
+            BinOp::And if bc == Some(0) => return self.constant(width, 0),
+            BinOp::And if bc == Some(mask(width)) || a == b => return a,
+            BinOp::Or if bc == Some(mask(width)) => return self.constant(width, mask(width)),
+            BinOp::Or if a == b => return a,
+            BinOp::Xor if a == b => return self.constant(width, 0),
+            _ => {}
+        }
+
+        // add(add(x, C1), C2) -> add(x, C1+C2); same for xor.
+        if let (Some(c2), Node::Bin {
+            op: inner_op,
+            a: x,
+            b: inner_b,
+            ..
+        }) = (bc, self.node(a).clone())
+        {
+            if inner_op == op && matches!(op, BinOp::Add | BinOp::Xor) {
+                if let Some(c1) = self.as_const(inner_b) {
+                    let c = fold::eval_bin(op, ty, c1, c2).unwrap();
+                    let cc = self.constant(width, c);
+                    if c == 0 {
+                        return x;
+                    }
+                    return self.intern(Node::Bin {
+                        op,
+                        width,
+                        a: x,
+                        b: cc,
+                    });
+                }
+            }
+        }
+
+        // Boolean-width and/or/xor over ITE with constant arms: fold into
+        // the arms (keeps table-lookup chains shallow).
+        self.intern(Node::Bin { op, width, a, b })
+    }
+
+    /// Builds `pred(a, b)` (1-bit result) with folding.
+    pub fn cmp(&mut self, pred: CmpPred, a: ExprRef, b: ExprRef) -> ExprRef {
+        let width = self.width(a);
+        debug_assert_eq!(width, self.width(b), "cmp width mismatch");
+        let ty = width_ty(width);
+
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.boolean(fold::eval_cmp(pred, ty, x, y));
+        }
+        if a == b {
+            let v = matches!(
+                pred,
+                CmpPred::Eq | CmpPred::Ule | CmpPred::Uge | CmpPred::Sle | CmpPred::Sge
+            );
+            return self.boolean(v);
+        }
+        // Constants to the right.
+        let (pred, a, b) = if self.as_const(a).is_some() {
+            (pred.swap(), b, a)
+        } else {
+            (pred, a, b)
+        };
+
+        if let Some(c) = self.as_const(b) {
+            // Distribute the comparison over an ITE whose arms include a
+            // constant: `cmp(ite(c, t, f), K)` -> `ite(c, cmp(t,K), cmp(f,K))`.
+            // With constant table entries this collapses to pure boolean
+            // structure.
+            if let Node::Ite { c: ic, t, f, .. } = *self.node(a) {
+                if self.as_const(t).is_some() || self.as_const(f).is_some() {
+                    let ct = self.cmp(pred, t, b);
+                    let cf = self.cmp(pred, f, b);
+                    return self.ite(ic, ct, cf);
+                }
+            }
+            // Narrow `cmp(zext(x), K)` to the source width when K fits.
+            if let Node::Zext { a: x, .. } = *self.node(a) {
+                let sw = self.width(x);
+                let fits = c <= mask(sw);
+                match pred {
+                    CmpPred::Eq | CmpPred::Ne => {
+                        if fits {
+                            let k = self.constant(sw, c);
+                            return self.cmp(pred, x, k);
+                        }
+                        return self.boolean(pred == CmpPred::Ne);
+                    }
+                    CmpPred::Ult | CmpPred::Ule | CmpPred::Ugt | CmpPred::Uge => {
+                        if fits {
+                            let k = self.constant(sw, c);
+                            return self.cmp(pred, x, k);
+                        }
+                    }
+                    CmpPred::Slt | CmpPred::Sle | CmpPred::Sgt | CmpPred::Sge => {
+                        let signed_c = overify_ir::types::sign_extend(c, width);
+                        if signed_c >= 0 && (signed_c as u64) <= mask(sw) {
+                            let upred = match pred {
+                                CmpPred::Slt => CmpPred::Ult,
+                                CmpPred::Sle => CmpPred::Ule,
+                                CmpPred::Sgt => CmpPred::Ugt,
+                                CmpPred::Sge => CmpPred::Uge,
+                                _ => unreachable!(),
+                            };
+                            let k = self.constant(sw, signed_c as u64);
+                            return self.cmp(upred, x, k);
+                        }
+                    }
+                }
+            }
+            // 1-bit compares reduce to the bit or its negation.
+            if width == 1 {
+                match (pred, c) {
+                    (CmpPred::Ne, 0) | (CmpPred::Eq, 1) => return a,
+                    (CmpPred::Eq, 0) | (CmpPred::Ne, 1) => return self.not(a),
+                    _ => {}
+                }
+            }
+        }
+        self.intern(Node::Cmp { pred, width, a, b })
+    }
+
+    /// Builds `ite(c, t, f)` with folding and boolean lowering.
+    pub fn ite(&mut self, c: ExprRef, t: ExprRef, f: ExprRef) -> ExprRef {
+        debug_assert_eq!(self.width(c), 1);
+        let width = self.width(t);
+        debug_assert_eq!(width, self.width(f), "ite arm width mismatch");
+        if let Some(cc) = self.as_const(c) {
+            return if cc != 0 { t } else { f };
+        }
+        if t == f {
+            return t;
+        }
+        if width == 1 {
+            // Lower boolean ITE to and/or structure the SAT solver likes.
+            let (tc, fc) = (self.as_const(t), self.as_const(f));
+            match (tc, fc) {
+                (Some(1), Some(0)) => return c,
+                (Some(0), Some(1)) => return self.not(c),
+                (Some(1), None) => return self.bin(BinOp::Or, c, f),
+                (Some(0), None) => {
+                    let nc = self.not(c);
+                    return self.bin(BinOp::And, nc, f);
+                }
+                (None, Some(0)) => return self.bin(BinOp::And, c, t),
+                (None, Some(1)) => {
+                    let nc = self.not(c);
+                    return self.bin(BinOp::Or, nc, t);
+                }
+                _ => {}
+            }
+        }
+        self.intern(Node::Ite { width, c, t, f })
+    }
+
+    /// Logical negation of a 1-bit expression.
+    pub fn not(&mut self, e: ExprRef) -> ExprRef {
+        debug_assert_eq!(self.width(e), 1);
+        let one = self.constant(1, 1);
+        self.bin(BinOp::Xor, e, one)
+    }
+
+    /// Conjunction of two 1-bit expressions.
+    pub fn and(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Disjunction of two 1-bit expressions.
+    pub fn or(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// 1-bit constant.
+    pub fn boolean(&mut self, v: bool) -> ExprRef {
+        if v {
+            self.true_
+        } else {
+            self.false_
+        }
+    }
+
+    /// Zero-extends to `width`.
+    pub fn zext(&mut self, e: ExprRef, width: u32) -> ExprRef {
+        let w = self.width(e);
+        debug_assert!(width >= w);
+        if width == w {
+            return e;
+        }
+        if let Some(c) = self.as_const(e) {
+            return self.constant(width, c);
+        }
+        // zext(zext(x)) -> zext(x)
+        if let Node::Zext { a, .. } = *self.node(e) {
+            return self.zext(a, width);
+        }
+        self.intern(Node::Zext { width, a: e })
+    }
+
+    /// Sign-extends to `width`.
+    pub fn sext(&mut self, e: ExprRef, width: u32) -> ExprRef {
+        let w = self.width(e);
+        debug_assert!(width >= w);
+        if width == w {
+            return e;
+        }
+        if let Some(c) = self.as_const(e) {
+            let v = overify_ir::types::sign_extend(c, w) as u64;
+            return self.constant(width, v);
+        }
+        self.intern(Node::Sext { width, a: e })
+    }
+
+    /// Truncates to `width`.
+    pub fn trunc(&mut self, e: ExprRef, width: u32) -> ExprRef {
+        let w = self.width(e);
+        debug_assert!(width <= w);
+        if width == w {
+            return e;
+        }
+        if let Some(c) = self.as_const(e) {
+            return self.constant(width, c);
+        }
+        match *self.node(e) {
+            // trunc(zext(x)) / trunc(sext(x)) to the original width -> x.
+            Node::Zext { a, .. } | Node::Sext { a, .. } => {
+                let sw = self.width(a);
+                if sw == width {
+                    return a;
+                }
+                if sw > width {
+                    return self.trunc(a, width);
+                }
+            }
+            // trunc(ite(c, t, f)) -> ite(c, trunc t, trunc f) when an arm is
+            // constant (keeps byte extraction of table ITEs shallow).
+            Node::Ite { c, t, f, .. } => {
+                if self.as_const(t).is_some() || self.as_const(f).is_some() {
+                    let tt = self.trunc(t, width);
+                    let tf = self.trunc(f, width);
+                    return self.ite(c, tt, tf);
+                }
+            }
+            _ => {}
+        }
+        self.intern(Node::Trunc { width, a: e })
+    }
+
+    /// Evaluates an expression under a symbol assignment (used by the
+    /// counterexample cache and the test-case replayer). Total semantics:
+    /// division by zero yields the `div_zero_default`.
+    pub fn eval(&self, e: ExprRef, sym: &dyn Fn(u32) -> u64) -> u64 {
+        let mut memo: HashMap<ExprRef, u64> = HashMap::new();
+        self.eval_memo(e, sym, &mut memo)
+    }
+
+    fn eval_memo(
+        &self,
+        e: ExprRef,
+        sym: &dyn Fn(u32) -> u64,
+        memo: &mut HashMap<ExprRef, u64>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&e) {
+            return v;
+        }
+        let v = match *self.node(e) {
+            Node::Const { bits, .. } => bits,
+            Node::Sym { id, width } => sym(id) & mask(width),
+            Node::Bin { op, width, a, b } => {
+                let x = self.eval_memo(a, sym, memo);
+                let y = self.eval_memo(b, sym, memo);
+                fold::eval_bin(op, width_ty(width), x, y)
+                    .unwrap_or_else(|| div_zero_default(op, x) & mask(width))
+            }
+            Node::Cmp { pred, width, a, b } => {
+                let x = self.eval_memo(a, sym, memo);
+                let y = self.eval_memo(b, sym, memo);
+                fold::eval_cmp(pred, width_ty(width), x, y) as u64
+            }
+            Node::Ite { c, t, f, .. } => {
+                if self.eval_memo(c, sym, memo) != 0 {
+                    self.eval_memo(t, sym, memo)
+                } else {
+                    self.eval_memo(f, sym, memo)
+                }
+            }
+            Node::Zext { width, a } => self.eval_memo(a, sym, memo) & mask(width),
+            Node::Sext { width, a } => {
+                let w = self.width(a);
+                let v = self.eval_memo(a, sym, memo);
+                (overify_ir::types::sign_extend(v, w) as u64) & mask(width)
+            }
+            Node::Trunc { width, a } => self.eval_memo(a, sym, memo) & mask(width),
+        };
+        memo.insert(e, v);
+        v
+    }
+}
+
+/// Total-function default for division by zero, shared by the builder,
+/// the evaluator and the bit-blaster: `udiv/sdiv x 0 = 0`,
+/// `urem/srem x 0 = x`.
+pub fn div_zero_default(op: BinOp, dividend: u64) -> u64 {
+    match op {
+        BinOp::UDiv | BinOp::SDiv => 0,
+        BinOp::URem | BinOp::SRem => dividend,
+        _ => unreachable!("div_zero_default on non-division"),
+    }
+}
+
+/// Maps a bit width back to an IR type for the shared fold helpers.
+pub fn width_ty(width: u32) -> overify_ir::Ty {
+    match width {
+        1 => overify_ir::Ty::I1,
+        8 => overify_ir::Ty::I8,
+        16 => overify_ir::Ty::I16,
+        32 => overify_ir::Ty::I32,
+        64 => overify_ir::Ty::I64,
+        w => panic!("unsupported expression width {w}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8);
+        let one = p.constant(8, 1);
+        let a = p.bin(BinOp::Add, x, one);
+        let b = p.bin(BinOp::Add, x, one);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = ExprPool::new();
+        let a = p.constant(32, 20);
+        let b = p.constant(32, 22);
+        let s = p.bin(BinOp::Add, a, b);
+        assert_eq!(p.as_const(s), Some(42));
+        let c = p.cmp(CmpPred::Ult, a, b);
+        assert_eq!(c, p.true_);
+    }
+
+    #[test]
+    fn identities() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(32);
+        let zero = p.constant(32, 0);
+        assert_eq!(p.bin(BinOp::Add, x, zero), x);
+        assert_eq!(p.bin(BinOp::Sub, x, x), zero);
+        let m = p.constant(32, u32::MAX as u64);
+        assert_eq!(p.bin(BinOp::And, x, m), x);
+    }
+
+    #[test]
+    fn ite_collapses_under_comparison() {
+        // cmp(ite(c, 7, 9), 7) -> c
+        let mut p = ExprPool::new();
+        let c = p.fresh_sym(1);
+        let t = p.constant(8, 7);
+        let f = p.constant(8, 9);
+        let ite = p.ite(c, t, f);
+        let k = p.constant(8, 7);
+        let out = p.cmp(CmpPred::Eq, ite, k);
+        assert_eq!(out, c);
+        // cmp against a value in neither arm -> false.
+        let k2 = p.constant(8, 1);
+        let out2 = p.cmp(CmpPred::Eq, ite, k2);
+        assert_eq!(out2, p.false_);
+    }
+
+    #[test]
+    fn zext_narrowing() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8);
+        let z = p.zext(x, 32);
+        let k = p.constant(32, 65);
+        let c = p.cmp(CmpPred::Eq, z, k);
+        match p.node(c) {
+            Node::Cmp { width: 8, .. } => {}
+            n => panic!("expected narrowed compare, got {n:?}"),
+        }
+        // Out-of-range equality is decided.
+        let k2 = p.constant(32, 300);
+        assert_eq!(p.cmp(CmpPred::Eq, z, k2), p.false_);
+    }
+
+    #[test]
+    fn trunc_of_zext_returns_source() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8);
+        let z = p.zext(x, 32);
+        assert_eq!(p.trunc(z, 8), x);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8); // id 0
+        let y = p.fresh_sym(8); // id 1
+        let sum = p.bin(BinOp::Add, x, y);
+        let z = p.zext(sum, 32);
+        let k = p.constant(32, 300);
+        let c = p.cmp(CmpPred::Ult, z, k);
+        let v = p.eval(c, &|id| if id == 0 { 200 } else { 99 });
+        // (200 + 99) wraps to 43 in 8 bits; 43 < 300.
+        assert_eq!(v, 1);
+        let s = p.eval(sum, &|id| if id == 0 { 200 } else { 99 });
+        assert_eq!(s, 43);
+    }
+
+    #[test]
+    fn boolean_ite_lowering() {
+        let mut p = ExprPool::new();
+        let c = p.fresh_sym(1);
+        let x = p.fresh_sym(1);
+        // ite(c, true, x) -> or(c, x)
+        let t = p.true_;
+        let e = p.ite(c, t, x);
+        match p.node(e) {
+            Node::Bin { op: BinOp::Or, .. } => {}
+            n => panic!("{n:?}"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `overify-symex`: a symbolic execution engine for overify IR.
+//!
+//! This is the reproduction's stand-in for KLEE (paper §4): it interprets a
+//! module one path at a time, treats designated inputs as symbolic
+//! bit-vectors, forks at every feasible conditional branch, and checks
+//! memory safety, division safety and assertions along the way. Its cost
+//! profile matches the real tool's:
+//!
+//! * every interpreted instruction costs time (`instructions` statistic),
+//! * every symbolic branch costs up to two solver queries (`forks`),
+//! * symbolic memory reads expand into if-then-else chains whose size the
+//!   compiler's memory layout decides (why `-O0` table lookups hurt),
+//! * solver time dominates and is mitigated by KLEE-style caches
+//!   (counterexample cache, query cache) and an interval fast path.
+//!
+//! The constraint solver is built from scratch: canonicalizing expression
+//! pool → unsigned-interval fast path → counterexample/query caches →
+//! Tseitin bit-blasting → CDCL SAT.
+
+pub mod blast;
+pub mod executor;
+pub mod expr;
+pub mod interval;
+pub mod memory;
+pub mod parallel;
+pub mod report;
+pub mod sat;
+pub mod solver;
+
+pub use executor::{verify, Executor, SearchStrategy, SymArg, SymConfig};
+pub use expr::{ExprPool, ExprRef, Node};
+pub use report::{Bug, BugKind, SolverStats, TestCase, VerificationReport};
+pub use solver::{SatResult, Solver};

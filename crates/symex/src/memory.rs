@@ -1,0 +1,155 @@
+//! Symbolic memory: per-object byte arrays of expressions.
+//!
+//! Pointers use the same `(object_id << 32) | offset` encoding as the
+//! concrete interpreter, so pointer arithmetic stays ordinary bit-vector
+//! arithmetic. Objects are shared copy-on-write between forked states.
+
+use crate::expr::{ExprPool, ExprRef};
+use overify_ir::Module;
+use std::sync::Arc;
+
+/// Number of low bits holding the intra-object offset.
+pub const OFFSET_BITS: u32 = 32;
+
+/// One allocation.
+#[derive(Clone, Debug)]
+pub struct SymObject {
+    pub bytes: Vec<ExprRef>,
+    pub writable: bool,
+    pub alive: bool,
+    pub name: String,
+}
+
+/// The object table of one path state. Cloning is cheap (`Arc` per object);
+/// writes copy the touched object only.
+#[derive(Clone, Debug)]
+pub struct SymMemory {
+    objects: Vec<Arc<SymObject>>,
+}
+
+impl SymMemory {
+    /// Builds the initial memory with the module's globals as objects
+    /// `1..=n` (object 0 is reserved so null never resolves).
+    pub fn with_globals(pool: &mut ExprPool, m: &Module) -> SymMemory {
+        let mut objects = vec![Arc::new(SymObject {
+            bytes: Vec::new(),
+            writable: false,
+            alive: false,
+            name: "<null>".into(),
+        })];
+        for g in &m.globals {
+            let mut bytes = Vec::with_capacity(g.size as usize);
+            for i in 0..g.size as usize {
+                let v = g.init.get(i).copied().unwrap_or(0);
+                bytes.push(pool.constant(8, v as u64));
+            }
+            objects.push(Arc::new(SymObject {
+                bytes,
+                writable: !g.is_const,
+                alive: true,
+                name: g.name.clone(),
+            }));
+        }
+        SymMemory { objects }
+    }
+
+    /// Base pointer of global `index`.
+    pub fn global_base(&self, index: u32) -> u64 {
+        ((index as u64) + 1) << OFFSET_BITS
+    }
+
+    /// Allocates a zero-initialized object; returns its base pointer.
+    pub fn allocate(&mut self, pool: &mut ExprPool, size: u64, name: &str) -> u64 {
+        let id = self.objects.len() as u64;
+        let zero = pool.constant(8, 0);
+        self.objects.push(Arc::new(SymObject {
+            bytes: vec![zero; size as usize],
+            writable: true,
+            alive: true,
+            name: name.into(),
+        }));
+        id << OFFSET_BITS
+    }
+
+    /// Marks the object at `base` dead.
+    pub fn kill(&mut self, base: u64) {
+        let id = (base >> OFFSET_BITS) as usize;
+        if let Some(o) = self.objects.get_mut(id) {
+            Arc::make_mut(o).alive = false;
+        }
+    }
+
+    /// The object with id `id`, if it exists and is alive.
+    pub fn object(&self, id: u32) -> Option<&SymObject> {
+        match self.objects.get(id as usize) {
+            Some(o) if o.alive => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Number of objects (for candidate enumeration).
+    pub fn object_count(&self) -> u32 {
+        self.objects.len() as u32
+    }
+
+    /// Overwrites one byte of object `id`.
+    pub fn set_byte(&mut self, id: u32, offset: usize, value: ExprRef) {
+        let o = Arc::make_mut(&mut self.objects[id as usize]);
+        o.bytes[offset] = value;
+    }
+
+    /// Reads one byte of object `id`.
+    pub fn byte(&self, id: u32, offset: usize) -> ExprRef {
+        self.objects[id as usize].bytes[offset]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_materialize_with_zero_fill() {
+        let mut m = Module::new();
+        m.add_global(overify_ir::Global {
+            name: "t".into(),
+            size: 4,
+            init: vec![7],
+            is_const: true,
+        });
+        let mut pool = ExprPool::new();
+        let mem = SymMemory::with_globals(&mut pool, &m);
+        let o = mem.object(1).unwrap();
+        assert_eq!(pool.as_const(o.bytes[0]), Some(7));
+        assert_eq!(pool.as_const(o.bytes[3]), Some(0));
+        assert!(!o.writable);
+        assert!(mem.object(0).is_none(), "null object must not resolve");
+    }
+
+    #[test]
+    fn allocate_and_cow() {
+        let m = Module::new();
+        let mut pool = ExprPool::new();
+        let mut mem = SymMemory::with_globals(&mut pool, &m);
+        let base = mem.allocate(&mut pool, 2, "buf");
+        let id = (base >> OFFSET_BITS) as u32;
+        let fork = mem.clone();
+        let one = pool.constant(8, 1);
+        mem.set_byte(id, 0, one);
+        // The fork still sees the original zero.
+        assert_eq!(pool.as_const(fork.byte(id, 0)), Some(0));
+        assert_eq!(pool.as_const(mem.byte(id, 0)), Some(1));
+    }
+
+    #[test]
+    fn kill_hides_object() {
+        let m = Module::new();
+        let mut pool = ExprPool::new();
+        let mut mem = SymMemory::with_globals(&mut pool, &m);
+        let base = mem.allocate(&mut pool, 2, "buf");
+        let id = (base >> OFFSET_BITS) as u32;
+        assert!(mem.object(id).is_some());
+        mem.kill(base);
+        assert!(mem.object(id).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Verification results: bugs, test cases, statistics.
+
+use std::time::Duration;
+
+/// Category of a discovered bug. Mirrors [`overify_ir::AbortKind`] — the
+/// paper's point that runtime checks funnel all misbehaviour into one
+/// "crash" channel a verifier can look for uniformly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugKind {
+    OutOfBounds,
+    DivByZero,
+    AssertFail,
+    ExplicitAbort,
+    UnreachableReached,
+}
+
+impl BugKind {
+    /// Converts from the IR abort kind.
+    pub fn from_abort(k: overify_ir::AbortKind) -> BugKind {
+        match k {
+            overify_ir::AbortKind::OutOfBounds => BugKind::OutOfBounds,
+            overify_ir::AbortKind::DivByZero => BugKind::DivByZero,
+            overify_ir::AbortKind::AssertFail => BugKind::AssertFail,
+            overify_ir::AbortKind::Explicit => BugKind::ExplicitAbort,
+            overify_ir::AbortKind::UnreachableReached => BugKind::UnreachableReached,
+        }
+    }
+}
+
+impl std::fmt::Display for BugKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugKind::OutOfBounds => "out-of-bounds access",
+            BugKind::DivByZero => "division by zero",
+            BugKind::AssertFail => "assertion failure",
+            BugKind::ExplicitAbort => "explicit abort",
+            BugKind::UnreachableReached => "unreachable executed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One deduplicated bug report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bug {
+    pub kind: BugKind,
+    /// `function/block` where the failure triggers.
+    pub location: String,
+    /// A concrete input reproducing the bug (the symbolic input bytes).
+    pub input: Vec<u8>,
+}
+
+/// A concrete input that drives one complete path (KLEE's `.ktest`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCase {
+    pub input: Vec<u8>,
+    /// Program output bytes along the path, where concrete.
+    pub output: Vec<Option<u8>>,
+}
+
+/// Constraint-solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total satisfiability queries issued by the executor.
+    pub queries: u64,
+    /// Decided by constant structure alone.
+    pub solved_const: u64,
+    /// Decided by the interval fast path.
+    pub solved_interval: u64,
+    /// Answered by the counterexample cache (a cached model satisfied the
+    /// query).
+    pub solved_cex_cache: u64,
+    /// Answered by the query cache (identical constraint set seen before).
+    pub solved_query_cache: u64,
+    /// Decided by compiler-provided annotations (`-OVERIFY` metadata)
+    /// without touching the solver.
+    pub solved_annotation: u64,
+    /// Fell through to bit-blasting + SAT.
+    pub solved_sat: u64,
+    /// Symbolic pointers/sizes concretized to a model value because the
+    /// ITE expansion would have exceeded the configured span.
+    pub concretizations: u64,
+    /// SAT decisions and conflicts, summed.
+    pub sat_decisions: u64,
+    pub sat_conflicts: u64,
+}
+
+/// The overall result of a verification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerificationReport {
+    /// Paths explored to normal completion.
+    pub paths_completed: u64,
+    /// Paths ending in a bug.
+    pub paths_buggy: u64,
+    /// Paths killed as infeasible (e.g. violated assumptions).
+    pub paths_killed: u64,
+    /// State forks performed.
+    pub forks: u64,
+    /// Instructions interpreted across all paths (Table 1's
+    /// "# instructions").
+    pub instructions: u64,
+    /// Deduplicated bugs.
+    pub bugs: Vec<Bug>,
+    /// Generated test cases (one per completed path when enabled).
+    pub tests: Vec<TestCase>,
+    pub solver: SolverStats,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+    /// True if the whole path space was explored within budget.
+    pub exhausted: bool,
+    /// True if a budget (time / paths / instructions) stopped the run.
+    pub timed_out: bool,
+}
+
+impl VerificationReport {
+    /// Total paths observed (completed + buggy + killed).
+    pub fn total_paths(&self) -> u64 {
+        self.paths_completed + self.paths_buggy + self.paths_killed
+    }
+
+    /// Sorted bug kinds, for cross-level comparisons ("all bugs found at
+    /// -O0 are also found at -OSYMBEX").
+    pub fn bug_signature(&self) -> Vec<(BugKind, String)> {
+        let mut sig: Vec<(BugKind, String)> = self
+            .bugs
+            .iter()
+            .map(|b| (b.kind, b.location.clone()))
+            .collect();
+        sig.sort();
+        sig.dedup();
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bug_signature_dedups_and_sorts() {
+        let mut r = VerificationReport::default();
+        r.bugs.push(Bug {
+            kind: BugKind::DivByZero,
+            location: "f/b2".into(),
+            input: vec![1],
+        });
+        r.bugs.push(Bug {
+            kind: BugKind::OutOfBounds,
+            location: "f/b1".into(),
+            input: vec![2],
+        });
+        r.bugs.push(Bug {
+            kind: BugKind::DivByZero,
+            location: "f/b2".into(),
+            input: vec![3],
+        });
+        let sig = r.bug_signature();
+        assert_eq!(sig.len(), 2);
+        assert!(sig[0].0 <= sig[1].0);
+    }
+
+    #[test]
+    fn kind_mapping_is_total() {
+        use overify_ir::AbortKind::*;
+        for k in [OutOfBounds, DivByZero, AssertFail, Explicit, UnreachableReached] {
+            let _ = BugKind::from_abort(k);
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! A CDCL SAT solver.
+//!
+//! Conflict-driven clause learning with two-watched-literal propagation,
+//! first-UIP learning, activity-based (VSIDS-style) decisions, phase saving
+//! and geometric restarts. Small but real: the bit-blasted queries the
+//! symbolic executor produces (table-lookup ITE chains, adder/comparator
+//! networks) are well within its reach.
+
+/// A boolean variable, indexed from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: variable plus sign. Encoded as `2*var + (negated as usize)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Literal of `v` with the given sign (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Val {
+    True,
+    False,
+    Undef,
+}
+
+/// Solver outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatOutcome {
+    Sat,
+    Unsat,
+}
+
+/// The solver. Use one instance per query (cheap to construct).
+pub struct Sat {
+    clauses: Vec<Vec<Lit>>,
+    /// `watches[lit] = clause indices watching lit`.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    /// Saved phases for decision polarity.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    /// Clause that implied the assignment (`u32::MAX` = decision).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Empty-clause flag (trivially unsat input).
+    unsat: bool,
+    /// Decisions made (stats).
+    pub decisions: u64,
+    /// Conflicts found (stats).
+    pub conflicts: u64,
+}
+
+const REASON_DECISION: u32 = u32::MAX;
+
+impl Default for Sat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sat {
+    /// Creates an empty solver.
+    pub fn new() -> Sat {
+        Sat {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            unsat: false,
+            decisions: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(Val::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(REASON_DECISION);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value(&self, l: Lit) -> Val {
+        match self.assign[l.var().0 as usize] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_neg() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+            Val::False => {
+                if l.is_neg() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies are
+    /// dropped. Must be called before `solve`.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        lits.sort_by_key(|l| l.0);
+        lits.dedup();
+        // Tautology?
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return;
+            }
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                // Enqueue at level 0 (may conflict with prior units).
+                match self.value(lits[0]) {
+                    Val::False => self.unsat = true,
+                    Val::True => {}
+                    Val::Undef => self.enqueue(lits[0], REASON_DECISION),
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[lits[0].negate().0 as usize].push(idx);
+                self.watches[lits[1].negate().0 as usize].push(idx);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var().0 as usize;
+        self.assign[v] = if l.is_neg() { Val::False } else { Val::True };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index on conflict.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ¬l need a new watch or become unit/conflict.
+            let mut ws = std::mem::take(&mut self.watches[l.0 as usize]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // Temporarily detach the clause to appease the borrow
+                // checker; it is always reattached below.
+                let mut clause = std::mem::take(&mut self.clauses[ci as usize]);
+                // Normalize: watched literals are positions 0 and 1.
+                let falsified = l.negate();
+                if clause[0] == falsified {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], falsified);
+                // Already satisfied?
+                if self.value(clause[0]) == Val::True {
+                    self.clauses[ci as usize] = clause;
+                    i += 1;
+                    continue;
+                }
+                // Find a replacement watch.
+                let mut found = false;
+                for k in 2..clause.len() {
+                    if self.value(clause[k]) != Val::False {
+                        clause.swap(1, k);
+                        let new_watch = clause[1].negate();
+                        self.watches[new_watch.0 as usize].push(ci);
+                        ws.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    self.clauses[ci as usize] = clause;
+                    continue;
+                }
+                // Unit or conflict.
+                let head = clause[0];
+                self.clauses[ci as usize] = clause;
+                match self.value(head) {
+                    Val::Undef => {
+                        self.enqueue(head, ci);
+                        i += 1;
+                    }
+                    Val::False => {
+                        // Conflict: restore the remaining watches.
+                        self.watches[l.0 as usize] = ws;
+                        return Some(ci);
+                    }
+                    Val::True => unreachable!(),
+                }
+            }
+            self.watches[l.0 as usize] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.act_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backjump level).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // Slot 0 = asserting literal.
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause_idx = confl;
+        let mut trail_pos = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            let clause: Vec<Lit> = self.clauses[clause_idx as usize].clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..clause.len() {
+                let q = clause[k];
+                let v = q.var();
+                if !seen[v.0 as usize] && self.level[v.0 as usize] > 0 {
+                    seen[v.0 as usize] = true;
+                    self.bump(v);
+                    if self.level[v.0 as usize] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var();
+            seen[pv.0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.unwrap().negate();
+                break;
+            }
+            clause_idx = self.reason[pv.0 as usize];
+            debug_assert_ne!(clause_idx, REASON_DECISION);
+            // Reuse the loop with p set: clause[0] is the implied literal.
+            // Normalize so position 0 holds p's literal.
+            let clause = &mut self.clauses[clause_idx as usize];
+            if let Some(pos) = clause.iter().position(|&l| l.var() == pv) {
+                clause.swap(0, pos);
+            }
+        }
+
+        // Backjump level = max level among the other learned literals.
+        let mut bt = 0;
+        for &l in &learned[1..] {
+            bt = bt.max(self.level[l.var().0 as usize]);
+        }
+        // Put a literal of the backjump level in watch position 1.
+        if learned.len() > 1 {
+            let mut max_i = 1;
+            for i in 1..learned.len() {
+                if self.level[learned[i].var().0 as usize]
+                    > self.level[learned[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+        }
+        (learned, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                self.assign[l.var().0 as usize] = Val::Undef;
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = -1.0;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == Val::Undef && self.activity[v] > best_act {
+                best = Some(Var(v as u32));
+                best_act = self.activity[v];
+            }
+        }
+        best.map(|v| Lit::new(v, self.phase[v.0 as usize]))
+    }
+
+    /// Solves the instance. Returns `Sat` (model readable via
+    /// [`Sat::model_value`]) or `Unsat`.
+    pub fn solve(&mut self) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatOutcome::Unsat;
+        }
+        let mut conflicts_until_restart = 100u64;
+        let mut since_restart = 0u64;
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.conflicts += 1;
+                    since_restart += 1;
+                    if self.trail_lim.is_empty() {
+                        return SatOutcome::Unsat;
+                    }
+                    let (learned, bt) = self.analyze(confl);
+                    self.backtrack(bt);
+                    self.act_inc *= 1.0 / 0.95;
+                    if learned.len() == 1 {
+                        self.enqueue(learned[0], REASON_DECISION);
+                    } else {
+                        let idx = self.clauses.len() as u32;
+                        self.watches[learned[0].negate().0 as usize].push(idx);
+                        self.watches[learned[1].negate().0 as usize].push(idx);
+                        let unit = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(unit, idx);
+                    }
+                }
+                None => {
+                    if since_restart >= conflicts_until_restart {
+                        since_restart = 0;
+                        conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                        self.backtrack(0);
+                        continue;
+                    }
+                    match self.decide() {
+                        None => return SatOutcome::Sat,
+                        Some(l) => {
+                            self.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(l, REASON_DECISION);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Model value of a variable after `Sat` (undefined vars read `false`).
+    pub fn model_value(&self, v: Var) -> bool {
+        matches!(self.assign[v.0 as usize], Val::True)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        let v = Var((i.unsigned_abs() - 1) as u32);
+        Lit::new(v, i > 0)
+    }
+
+    fn solver_with(nvars: usize, clauses: &[&[i32]]) -> Sat {
+        let mut s = Sat::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(c.iter().map(|&i| lit(i)).collect());
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.model_value(Var(0)));
+
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn chain_implication() {
+        // x1 & (x1->x2) & (x2->x3) & (x3 -> !x1) is unsat.
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_ij: pigeon i in hole j (i in 0..3, j in 0..2). Var = i*2+j+1.
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![i * 2 + 1, i * 2 + 2]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-(i1 * 2 + j + 1), -(i2 * 2 + j + 1)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn finds_model_of_random_3sat() {
+        // A satisfiable planted instance.
+        let mut s = solver_with(
+            5,
+            &[
+                &[1, 2, 3],
+                &[-1, -2, 4],
+                &[2, -3, 5],
+                &[-4, -5, 1],
+                &[3, 4, -2],
+                &[-1, 5, 2],
+            ],
+        );
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        // Verify the model satisfies every clause.
+        let model: Vec<bool> = (0..5).map(|v| s.model_value(Var(v))).collect();
+        let check = |c: &[i32]| {
+            c.iter().any(|&i| {
+                let val = model[(i.unsigned_abs() - 1) as usize];
+                if i > 0 {
+                    val
+                } else {
+                    !val
+                }
+            })
+        };
+        for c in [
+            vec![1, 2, 3],
+            vec![-1, -2, 4],
+            vec![2, -3, 5],
+            vec![-4, -5, 1],
+            vec![3, 4, -2],
+            vec![-1, 5, 2],
+        ] {
+            assert!(check(&c), "clause {c:?} not satisfied");
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = solver_with(1, &[&[]]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn xor_chain() {
+        // CNF of x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 → unsat (parity).
+        let mut s = solver_with(
+            3,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, 3],
+                &[-1, -3],
+            ],
+        );
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+}

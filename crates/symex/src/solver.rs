@@ -1,0 +1,305 @@
+//! The layered constraint solver.
+//!
+//! Queries go through progressively more expensive layers, mirroring KLEE's
+//! solver chain:
+//!
+//! 1. **Constant structure** — the builder already folded it.
+//! 2. **Intervals** — a per-constraint unsigned-range check.
+//! 3. **Counterexample cache** — recently returned models are re-evaluated
+//!    against the new query; on a DFS the parent path's model usually
+//!    satisfies one child.
+//! 4. **Query cache** — identical constraint sets answer instantly.
+//! 5. **Bit-blasting + CDCL SAT** — the complete decision procedure.
+
+use crate::blast::Blaster;
+use crate::expr::{ExprPool, ExprRef};
+use crate::interval::IntervalCache;
+use crate::report::SolverStats;
+use crate::sat::SatOutcome;
+use std::collections::HashMap;
+
+/// A satisfying assignment: symbolic variable id → value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    pub values: HashMap<u32, u64>,
+}
+
+impl Model {
+    /// Value of symbol `id` (unconstrained symbols read 0).
+    pub fn get(&self, id: u32) -> u64 {
+        self.values.get(&id).copied().unwrap_or(0)
+    }
+}
+
+/// Query result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    Sat(Model),
+    Unsat,
+}
+
+impl SatResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Feature toggles (for the solver-stack ablation).
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    pub use_intervals: bool,
+    pub use_cex_cache: bool,
+    pub use_query_cache: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            use_intervals: true,
+            use_cex_cache: true,
+            use_query_cache: true,
+        }
+    }
+}
+
+/// The solver with its caches and statistics.
+pub struct Solver {
+    pub opts: SolverOptions,
+    pub stats: SolverStats,
+    intervals: IntervalCache,
+    /// Recent models, most recent last.
+    cex_cache: Vec<Model>,
+    /// Canonicalized constraint set → result (Unsat, or index hint).
+    query_cache: HashMap<Vec<ExprRef>, Option<Model>>,
+}
+
+const CEX_CACHE_CAP: usize = 64;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new(SolverOptions::default())
+    }
+}
+
+impl Solver {
+    /// Creates a solver.
+    pub fn new(opts: SolverOptions) -> Solver {
+        Solver {
+            opts,
+            stats: SolverStats::default(),
+            intervals: IntervalCache::new(),
+            cex_cache: Vec::new(),
+            query_cache: HashMap::new(),
+        }
+    }
+
+    /// Decides satisfiability of the conjunction of `constraints`.
+    pub fn check(&mut self, pool: &ExprPool, constraints: &[ExprRef]) -> SatResult {
+        self.stats.queries += 1;
+
+        // Layer 1: constants.
+        let mut live: Vec<ExprRef> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            match pool.as_const(c) {
+                Some(0) => {
+                    self.stats.solved_const += 1;
+                    return SatResult::Unsat;
+                }
+                Some(_) => {}
+                None => live.push(c),
+            }
+        }
+        if live.is_empty() {
+            self.stats.solved_const += 1;
+            return SatResult::Sat(Model::default());
+        }
+
+        // Layer 2: intervals (per-constraint refutation).
+        if self.opts.use_intervals {
+            for &c in &live {
+                if self.intervals.decide(pool, c) == Some(false) {
+                    self.stats.solved_interval += 1;
+                    return SatResult::Unsat;
+                }
+            }
+        }
+
+        // Canonical key.
+        let mut key = live.clone();
+        key.sort();
+        key.dedup();
+
+        // Layer 3: counterexample cache.
+        if self.opts.use_cex_cache {
+            for m in self.cex_cache.iter().rev() {
+                if key.iter().all(|&c| pool.eval(c, &|id| m.get(id)) != 0) {
+                    self.stats.solved_cex_cache += 1;
+                    return SatResult::Sat(m.clone());
+                }
+            }
+        }
+
+        // Layer 4: query cache.
+        if self.opts.use_query_cache {
+            if let Some(hit) = self.query_cache.get(&key) {
+                self.stats.solved_query_cache += 1;
+                return match hit {
+                    None => SatResult::Unsat,
+                    Some(m) => SatResult::Sat(m.clone()),
+                };
+            }
+        }
+
+        // Layer 5: SAT.
+        self.stats.solved_sat += 1;
+        let mut blaster = Blaster::new(pool);
+        for &c in &key {
+            blaster.assert_true(c);
+        }
+        let outcome = blaster.sat.solve();
+        self.stats.sat_decisions += blaster.sat.decisions;
+        self.stats.sat_conflicts += blaster.sat.conflicts;
+        match outcome {
+            SatOutcome::Unsat => {
+                if self.opts.use_query_cache {
+                    self.query_cache.insert(key, None);
+                }
+                SatResult::Unsat
+            }
+            SatOutcome::Sat => {
+                let mut model = Model::default();
+                for id in 0..pool.sym_count() {
+                    if let Some(v) = blaster.model_sym(id) {
+                        model.values.insert(id, v);
+                    }
+                }
+                debug_assert!(
+                    key.iter().all(|&c| pool.eval(c, &|id| model.get(id)) != 0),
+                    "SAT model does not satisfy the query"
+                );
+                if self.opts.use_cex_cache {
+                    if self.cex_cache.len() >= CEX_CACHE_CAP {
+                        self.cex_cache.remove(0);
+                    }
+                    self.cex_cache.push(model.clone());
+                }
+                if self.opts.use_query_cache {
+                    self.query_cache.insert(key, Some(model.clone()));
+                }
+                SatResult::Sat(model)
+            }
+        }
+    }
+
+    /// Convenience: is `cond` possible under `constraints`?
+    pub fn may_be_true(
+        &mut self,
+        pool: &ExprPool,
+        constraints: &[ExprRef],
+        cond: ExprRef,
+    ) -> bool {
+        let mut cs = constraints.to_vec();
+        cs.push(cond);
+        self.check(pool, &cs).is_sat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{BinOp, CmpPred};
+
+    #[test]
+    fn layered_solving() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::default();
+        let x = pool.fresh_sym(8);
+        let k100 = pool.constant(8, 100);
+        let k10 = pool.constant(8, 10);
+        let lt10 = pool.cmp(CmpPred::Ult, x, k10);
+        let gt100 = pool.cmp(CmpPred::Ugt, x, k100);
+
+        // Satisfiable.
+        let r = s.check(&pool, &[lt10]);
+        let SatResult::Sat(m) = r else { panic!("expected sat") };
+        assert!(m.get(0) < 10);
+
+        // Contradiction requires SAT (or cache) to refute.
+        assert_eq!(s.check(&pool, &[lt10, gt100]), SatResult::Unsat);
+
+        // Same query again: query cache.
+        let before = s.stats.solved_query_cache;
+        assert_eq!(s.check(&pool, &[lt10, gt100]), SatResult::Unsat);
+        assert_eq!(s.stats.solved_query_cache, before + 1);
+    }
+
+    #[test]
+    fn interval_layer_short_circuits() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::default();
+        let x = pool.fresh_sym(8);
+        let z = pool.zext(x, 32);
+        let one = pool.constant(32, 1);
+        let zp = pool.bin(BinOp::Add, z, one);
+        let k = pool.constant(32, 1000);
+        // x+1 > 1000 is impossible for a byte: intervals refute it.
+        let c = pool.cmp(CmpPred::Ugt, zp, k);
+        assert_eq!(s.check(&pool, &[c]), SatResult::Unsat);
+        assert_eq!(s.stats.solved_interval, 1);
+        assert_eq!(s.stats.solved_sat, 0);
+    }
+
+    #[test]
+    fn cex_cache_reuses_models() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::default();
+        let x = pool.fresh_sym(8);
+        let k5 = pool.constant(8, 5);
+        let ge5 = pool.cmp(CmpPred::Uge, x, k5);
+        let r = s.check(&pool, &[ge5]);
+        assert!(r.is_sat());
+        // A weaker query: the cached model satisfies it without SAT.
+        let k3 = pool.constant(8, 3);
+        let ge3 = pool.cmp(CmpPred::Uge, x, k3);
+        let sat_before = s.stats.solved_sat;
+        assert!(s.check(&pool, &[ge3]).is_sat());
+        assert_eq!(s.stats.solved_sat, sat_before);
+        assert!(s.stats.solved_cex_cache >= 1);
+    }
+
+    #[test]
+    fn models_respect_all_constraints() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::default();
+        let x = pool.fresh_sym(8);
+        let y = pool.fresh_sym(8);
+        let sum = pool.bin(BinOp::Add, x, y);
+        let k = pool.constant(8, 100);
+        let c1 = pool.cmp(CmpPred::Eq, sum, k);
+        let k40 = pool.constant(8, 40);
+        let c2 = pool.cmp(CmpPred::Ugt, x, k40);
+        let SatResult::Sat(m) = s.check(&pool, &[c1, c2]) else {
+            panic!("expected sat");
+        };
+        assert_eq!((m.get(0).wrapping_add(m.get(1))) & 0xff, 100);
+        assert!(m.get(0) > 40);
+    }
+
+    #[test]
+    fn disabled_caches_still_correct() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::new(SolverOptions {
+            use_intervals: false,
+            use_cex_cache: false,
+            use_query_cache: false,
+        });
+        let x = pool.fresh_sym(8);
+        let k = pool.constant(8, 200);
+        let c = pool.cmp(CmpPred::Ugt, x, k);
+        assert!(s.check(&pool, &[c]).is_sat());
+        let nc = pool.not(c);
+        assert!(s.check(&pool, &[c, nc]) == SatResult::Unsat);
+        assert!(s.stats.solved_sat >= 2);
+    }
+}

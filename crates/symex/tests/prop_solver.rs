@@ -1,0 +1,204 @@
+//! Property tests for the expression builder and the layered solver.
+//!
+//! The key invariants:
+//!
+//! 1. Builder simplifications preserve evaluation: the canonicalized
+//!    expression evaluates to the same value as a reference evaluation of
+//!    the unsimplified term, under every assignment.
+//! 2. The solver is sound and complete on small domains: its SAT/UNSAT
+//!    verdict agrees with brute force over all assignments of two 8-bit
+//!    symbols, and returned models actually satisfy the query.
+//! 3. Interval analysis is a sound over-approximation of evaluation.
+
+use overify_ir::{BinOp, CmpPred};
+use overify_symex::expr::{div_zero_default, width_ty};
+use overify_symex::interval::IntervalCache;
+use overify_symex::{ExprPool, ExprRef, SatResult, Solver};
+use proptest::prelude::*;
+
+/// A tiny expression AST we can evaluate independently of the pool.
+#[derive(Clone, Debug)]
+enum T {
+    X,
+    Y,
+    K(u8),
+    Bin(BinOp, Box<T>, Box<T>),
+    Cmp(CmpPred, Box<T>, Box<T>),
+    Ite(Box<T>, Box<T>, Box<T>),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+        Just(BinOp::AShr),
+        Just(BinOp::UDiv),
+        Just(BinOp::URem),
+        Just(BinOp::SDiv),
+        Just(BinOp::SRem),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = CmpPred> {
+    prop_oneof![
+        Just(CmpPred::Eq),
+        Just(CmpPred::Ne),
+        Just(CmpPred::Ult),
+        Just(CmpPred::Ule),
+        Just(CmpPred::Ugt),
+        Just(CmpPred::Uge),
+        Just(CmpPred::Slt),
+        Just(CmpPred::Sle),
+        Just(CmpPred::Sgt),
+        Just(CmpPred::Sge),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = T> {
+    let leaf = prop_oneof![Just(T::X), Just(T::Y), any::<u8>().prop_map(T::K)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| T::Bin(op, Box::new(a), Box::new(b))),
+            (arb_pred(), inner.clone(), inner.clone()).prop_map(|(p, a, b)| {
+                // Comparisons produce 1-bit values; widen back to 8 via an
+                // ITE so the tree stays uniformly 8-bit.
+                T::Ite(
+                    Box::new(T::Cmp(p, Box::new(a), Box::new(b))),
+                    Box::new(T::K(1)),
+                    Box::new(T::K(0)),
+                )
+            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| T::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Reference evaluation (8-bit domain, total division semantics).
+fn eval_ref(t: &T, x: u8, y: u8) -> u8 {
+    match t {
+        T::X => x,
+        T::Y => y,
+        T::K(k) => *k,
+        T::Bin(op, a, b) => {
+            let (av, bv) = (eval_ref(a, x, y) as u64, eval_ref(b, x, y) as u64);
+            let v = overify_ir::fold::eval_bin(*op, width_ty(8), av, bv)
+                .unwrap_or_else(|| div_zero_default(*op, av));
+            (v & 0xff) as u8
+        }
+        T::Cmp(p, a, b) => {
+            let (av, bv) = (eval_ref(a, x, y) as u64, eval_ref(b, x, y) as u64);
+            overify_ir::fold::eval_cmp(*p, width_ty(8), av, bv) as u8
+        }
+        T::Ite(c, a, b) => {
+            if eval_ref(c, x, y) != 0 {
+                eval_ref(a, x, y)
+            } else {
+                eval_ref(b, x, y)
+            }
+        }
+    }
+}
+
+/// Builds the pool expression for a term (8-bit).
+fn build(pool: &mut ExprPool, t: &T, x: ExprRef, y: ExprRef) -> ExprRef {
+    match t {
+        T::X => x,
+        T::Y => y,
+        T::K(k) => pool.constant(8, *k as u64),
+        T::Bin(op, a, b) => {
+            let av = build(pool, a, x, y);
+            let bv = build(pool, b, x, y);
+            pool.bin(*op, av, bv)
+        }
+        T::Cmp(p, a, b) => {
+            let av = build(pool, a, x, y);
+            let bv = build(pool, b, x, y);
+            let c = pool.cmp(*p, av, bv);
+            pool.zext(c, 8)
+        }
+        T::Ite(c, a, b) => {
+            let cv = build(pool, c, x, y);
+            let zero = pool.constant(8, 0);
+            let cb = pool.cmp(CmpPred::Ne, cv, zero);
+            let av = build(pool, a, x, y);
+            let bv = build(pool, b, x, y);
+            pool.ite(cb, av, bv)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: builder simplifications preserve semantics.
+    #[test]
+    fn builder_preserves_evaluation(t in arb_term(), samples in proptest::collection::vec((any::<u8>(), any::<u8>()), 8)) {
+        let mut pool = ExprPool::new();
+        let x = pool.fresh_sym(8);
+        let y = pool.fresh_sym(8);
+        let e = build(&mut pool, &t, x, y);
+        for (xv, yv) in samples {
+            let expect = eval_ref(&t, xv, yv) as u64;
+            let got = pool.eval(e, &|id| if id == 0 { xv as u64 } else { yv as u64 });
+            prop_assert_eq!(got, expect, "t={:?} x={} y={}", t, xv, yv);
+        }
+    }
+
+    /// Invariant 3: intervals contain the value under every sampled
+    /// assignment.
+    #[test]
+    fn intervals_are_sound(t in arb_term(), samples in proptest::collection::vec((any::<u8>(), any::<u8>()), 8)) {
+        let mut pool = ExprPool::new();
+        let x = pool.fresh_sym(8);
+        let y = pool.fresh_sym(8);
+        let e = build(&mut pool, &t, x, y);
+        let mut cache = IntervalCache::new();
+        let iv = cache.get(&pool, e);
+        for (xv, yv) in samples {
+            let v = pool.eval(e, &|id| if id == 0 { xv as u64 } else { yv as u64 });
+            prop_assert!(iv.lo <= v && v <= iv.hi,
+                "value {v} outside [{}, {}] for t={:?}", iv.lo, iv.hi, t);
+        }
+    }
+}
+
+proptest! {
+    // SAT solving is costlier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 2: solver verdicts agree with brute force over one
+    /// symbolic byte (x); y is fixed concrete to keep brute force cheap.
+    #[test]
+    fn solver_agrees_with_brute_force(t in arb_term(), yv in any::<u8>(), target in any::<u8>()) {
+        let mut pool = ExprPool::new();
+        let x = pool.fresh_sym(8);
+        let yc = pool.constant(8, yv as u64);
+        // Build with y as a constant so only x is free.
+        let e = build(&mut pool, &t, x, yc);
+        let k = pool.constant(8, target as u64);
+        let c = pool.cmp(CmpPred::Eq, e, k);
+
+        let brute_sat = (0u16..=255).any(|xv| eval_ref(&t, xv as u8, yv) == target);
+
+        let mut solver = Solver::default();
+        match solver.check(&pool, &[c]) {
+            SatResult::Sat(m) => {
+                prop_assert!(brute_sat, "solver said SAT, brute force disagrees: t={:?}", t);
+                // The model must be a real witness.
+                let xv = m.get(0) as u8;
+                prop_assert_eq!(eval_ref(&t, xv, yv), target, "bogus model x={}", xv);
+            }
+            SatResult::Unsat => {
+                prop_assert!(!brute_sat, "solver said UNSAT but witness exists: t={:?}", t);
+            }
+        }
+    }
+}

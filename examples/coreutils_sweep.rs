@@ -1,0 +1,74 @@
+//! A miniature Figure 4: verify a handful of Coreutils-style utilities at
+//! `-O0`, `-O3` and `-OVERIFY` and print per-program totals.
+//!
+//! ```sh
+//! cargo run --release --example coreutils_sweep [n_bytes] [utilities...]
+//! ```
+
+use overify::{verify_program, BuildOptions, CompiledProgram, OptLevel, SymConfig};
+use overify_coreutils::{compile_utility, suite, Utility};
+use std::time::Duration;
+
+fn build(u: &Utility, level: OptLevel) -> CompiledProgram {
+    let opts = BuildOptions::level(level);
+    let mut module = compile_utility(u, opts.resolved_libc()).expect("utility compiles");
+    let stats = overify::build::compile_module(&mut module, &opts);
+    CompiledProgram {
+        module,
+        stats,
+        level,
+        libc: Some(opts.resolved_libc()),
+        compile_time: Duration::ZERO,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let selected: Vec<String> = args.collect();
+
+    let utilities: Vec<&Utility> = suite()
+        .iter()
+        .filter(|u| selected.is_empty() || selected.iter().any(|s| s == u.name))
+        .take(if selected.is_empty() { 8 } else { usize::MAX })
+        .collect();
+
+    println!("coreutils sweep: {n} symbolic input bytes\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}   {}",
+        "utility", "-O0", "-O3", "-OVERIFY", "(total analysis time; paths)"
+    );
+
+    for u in utilities {
+        let mut cells = Vec::new();
+        for level in [OptLevel::O0, OptLevel::O3, OptLevel::Overify] {
+            let prog = build(u, level);
+            let report = verify_program(
+                &prog,
+                "umain",
+                &SymConfig {
+                    input_bytes: n,
+                    pass_len_arg: true,
+                    max_instructions: 20_000_000,
+                    timeout: Duration::from_secs(60),
+                    ..Default::default()
+                },
+            );
+            let marker = if report.exhausted { "" } else { "*" };
+            cells.push(format!(
+                "{:>7.2?}/{}{}",
+                report.time,
+                report.total_paths(),
+                marker
+            ));
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            u.name, cells[0], cells[1], cells[2]
+        );
+    }
+    println!("\n(* = budget exhausted before the path space was covered)");
+}

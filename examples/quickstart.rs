@@ -1,0 +1,62 @@
+//! Quickstart: compile one function at every optimization level, verify it
+//! symbolically, and watch what `-OVERIFY` does to the verification cost.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use overify::{compile, verify_program, BuildOptions, OptLevel, SymConfig};
+
+fn main() {
+    // A little parser: accepts strings like "+42" / "-7" and returns the
+    // value. Branchy enough that path counts differ visibly across levels.
+    let src = r#"
+        int umain(unsigned char *in, int n) {
+            int i = 0;
+            int sign = 1;
+            if (in[0] == '+') { i = 1; }
+            else if (in[0] == '-') { sign = -1; i = 1; }
+            int v = 0;
+            while (isdigit(in[i])) {
+                v = v * 10 + (in[i] - '0');
+                i++;
+            }
+            return sign * v;
+        }
+    "#;
+
+    println!("verifying the same source at every optimization level");
+    println!("(4 symbolic input bytes, exhaustive exploration)\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>10} {:>9}",
+        "level", "paths", "forks", "instructions", "queries", "time"
+    );
+
+    for level in OptLevel::all() {
+        let prog = compile(src, &BuildOptions::level(level)).expect("compiles");
+        let report = verify_program(
+            &prog,
+            "umain",
+            &SymConfig {
+                input_bytes: 4,
+                pass_len_arg: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.exhausted, "{level}: exploration must finish");
+        assert!(report.bugs.is_empty(), "{level}: no bugs expected");
+        println!(
+            "{:<10} {:>8} {:>10} {:>12} {:>10} {:>8.1?}",
+            level.name(),
+            report.paths_completed,
+            report.forks,
+            report.instructions,
+            report.solver.queries,
+            report.time
+        );
+    }
+
+    println!("\n-OVERIFY explores the fewest paths: branches became selects,");
+    println!("the ctype table lookup became comparisons, and small helpers");
+    println!("were inlined and folded away.");
+}

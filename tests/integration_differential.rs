@@ -1,0 +1,149 @@
+//! Property-based differential testing: random MiniC-expressible programs,
+//! random inputs — every optimization level must agree with `-O0`
+//! observably. This mechanizes the equivalence argument of paper §2.3
+//! ("end-users get not exactly what was tested and verified" — so we test
+//! that our levels preserve behaviour exactly).
+
+use overify::{compile, BuildOptions, ExecConfig, OptLevel};
+use proptest::prelude::*;
+
+/// A restricted program generator: straight-line statements over three int
+/// variables plus input bytes, wrapped in data-dependent control flow.
+#[derive(Clone, Debug)]
+enum Stmt {
+    AddVar(usize, usize),
+    SubConst(usize, i32),
+    MulConst(usize, i32),
+    XorInput(usize, usize),
+    IfPositive(usize, Box<Stmt>),
+    IfInputEq(usize, u8, Box<Stmt>),
+}
+
+fn emit(s: &Stmt, out: &mut String) {
+    match s {
+        Stmt::AddVar(a, b) => out.push_str(&format!("v{} += v{};\n", a % 3, b % 3)),
+        Stmt::SubConst(a, k) => out.push_str(&format!("v{} -= {};\n", a % 3, k)),
+        Stmt::MulConst(a, k) => out.push_str(&format!("v{} *= {};\n", a % 3, k)),
+        Stmt::XorInput(a, i) => {
+            out.push_str(&format!("v{} ^= in[{}];\n", a % 3, i % 4))
+        }
+        Stmt::IfPositive(a, inner) => {
+            out.push_str(&format!("if (v{} > 0) {{\n", a % 3));
+            emit(inner, out);
+            out.push_str("}\n");
+        }
+        Stmt::IfInputEq(i, k, inner) => {
+            out.push_str(&format!("if (in[{}] == {}) {{\n", i % 4, k));
+            emit(inner, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Stmt::AddVar(a, b)),
+        (any::<usize>(), -50..50i32).prop_map(|(a, k)| Stmt::SubConst(a, k)),
+        (any::<usize>(), -5..5i32).prop_map(|(a, k)| Stmt::MulConst(a, k)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, i)| Stmt::XorInput(a, i)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (any::<usize>(), inner.clone())
+                .prop_map(|(a, s)| Stmt::IfPositive(a, Box::new(s))),
+            (any::<usize>(), any::<u8>(), inner)
+                .prop_map(|(i, k, s)| Stmt::IfInputEq(i, k, Box::new(s))),
+        ]
+    })
+}
+
+fn program_of(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        emit(s, &mut body);
+    }
+    format!(
+        r#"
+        int umain(unsigned char *in, int n) {{
+            int v0 = 1; int v1 = 2; int v2 = 3;
+            int guard = 0;
+            while (in[guard] && guard < 4) {{
+                {body}
+                guard++;
+            }}
+            return v0 ^ v1 ^ v2;
+        }}
+        "#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn levels_agree_on_random_programs(
+        stmts in proptest::collection::vec(arb_stmt(), 1..6),
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 4), 4),
+    ) {
+        let src = program_of(&stmts);
+        let cfg = ExecConfig::default();
+        let reference = compile(&src, &BuildOptions::level(OptLevel::O0))
+            .expect("generated program compiles");
+        let optimized: Vec<_> = [OptLevel::O2, OptLevel::O3, OptLevel::Overify]
+            .into_iter()
+            .map(|l| compile(&src, &BuildOptions::level(l)).unwrap())
+            .collect();
+        for input in &inputs {
+            let mut buf = input.clone();
+            buf.push(0);
+            let r0 = overify::run_with_buffer(&reference.module, "umain", &buf, &[4], &cfg);
+            for p in &optimized {
+                let r = overify::run_with_buffer(&p.module, "umain", &buf, &[4], &cfg);
+                prop_assert_eq!(r0.ret, r.ret,
+                    "level {} diverged on {:?}\nsource:\n{}", p.level, input, src);
+                prop_assert_eq!(&r0.outcome, &r.outcome,
+                    "level {} outcome diverged on {:?}", p.level, input);
+            }
+        }
+    }
+}
+
+/// Symbolic/concrete cross-check on a fixed but branchy program: every test
+/// case the symbolic engine generates must replay to the same return value
+/// the engine could have predicted.
+#[test]
+fn symbolic_tests_replay_across_levels() {
+    let src = r#"
+        int umain(unsigned char *in, int n) {
+            int state = 0;
+            for (int i = 0; in[i]; i++) {
+                if (in[i] == '(') state++;
+                else if (in[i] == ')') { if (state > 0) state--; else state = 99; }
+            }
+            return state;
+        }
+    "#;
+    let p0 = compile(src, &BuildOptions::level(OptLevel::O0)).unwrap();
+    let pv = compile(src, &BuildOptions::level(OptLevel::Overify)).unwrap();
+    let report = overify::verify_program(
+        &pv,
+        "umain",
+        &overify::SymConfig {
+            input_bytes: 3,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        },
+    );
+    assert!(report.exhausted);
+    assert!(!report.tests.is_empty());
+    let cfg = ExecConfig::default();
+    for t in &report.tests {
+        let mut buf = t.input.clone();
+        buf.push(0);
+        let r0 = overify::run_with_buffer(&p0.module, "umain", &buf, &[3], &cfg);
+        let rv = overify::run_with_buffer(&pv.module, "umain", &buf, &[3], &cfg);
+        assert_eq!(r0.ret, rv.ret, "input {:?}", t.input);
+    }
+}

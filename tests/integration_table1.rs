@@ -1,0 +1,148 @@
+//! The Table 1 shape, asserted mechanically: exhaustive symbolic execution
+//! of Listing 1's `wc` across optimization levels.
+//!
+//! | metric        | expected ordering                        |
+//! |---------------|------------------------------------------|
+//! | # paths       | O0 == O2  >  O3  >>  OVERIFY (== n+2)    |
+//! | # interpreted | O0 > O2 > OVERIFY                        |
+//! | t_run cycles  | O3 < OVERIFY (speculation costs cycles)  |
+
+use overify::{
+    compile, run_program, verify_program, BuildOptions, ExecConfig, OptLevel, SymArg, SymConfig,
+};
+
+const WC: &str = r#"
+int wc(unsigned char *str, int any) {
+    int res = 0;
+    int new_word = 1;
+    for (unsigned char *p = str; *p; ++p) {
+        if (isspace(*p) || (any && !isalpha(*p))) {
+            new_word = 1;
+        } else {
+            if (new_word) {
+                ++res;
+                new_word = 0;
+            }
+        }
+    }
+    return res;
+}
+"#;
+
+const SYM_BYTES: usize = 4;
+
+fn verify_at(level: OptLevel) -> overify::VerificationReport {
+    let prog = compile(WC, &BuildOptions::level(level)).expect("wc compiles");
+    let r = verify_program(
+        &prog,
+        "wc",
+        &SymConfig {
+            input_bytes: SYM_BYTES,
+            pass_len_arg: false,
+            extra_args: vec![SymArg::Symbolic], // `any` is a symbolic flag.
+            ..Default::default()
+        },
+    );
+    assert!(r.exhausted, "{level}: must explore the full path space");
+    assert!(r.bugs.is_empty(), "{level}: wc has no bugs");
+    r
+}
+
+#[test]
+fn paths_collapse_in_the_paper_order() {
+    let r0 = verify_at(OptLevel::O0);
+    let r2 = verify_at(OptLevel::O2);
+    let r3 = verify_at(OptLevel::O3);
+    let rv = verify_at(OptLevel::Overify);
+
+    // -O2 does not change the program's path structure (Table 1: identical
+    // path counts at -O0 and -O2).
+    assert_eq!(
+        r0.paths_completed, r2.paths_completed,
+        "O0 and O2 explore the same paths"
+    );
+    // -O3 (unswitching) cuts paths; -OVERIFY cuts them to linear.
+    assert!(
+        r3.paths_completed < r2.paths_completed,
+        "O3 {} must be below O2 {}",
+        r3.paths_completed,
+        r2.paths_completed
+    );
+    assert!(
+        rv.paths_completed < r3.paths_completed,
+        "OVERIFY {} must be below O3 {}",
+        rv.paths_completed,
+        r3.paths_completed
+    );
+    // The flattened loop forks only at the exit test per byte, plus the
+    // initial `any` fork: paths = 2 * (n + 1) at most (and at least n+1).
+    assert!(
+        rv.paths_completed <= 2 * (SYM_BYTES as u64 + 1),
+        "OVERIFY paths {} exceed the linear bound",
+        rv.paths_completed
+    );
+}
+
+#[test]
+fn interpreted_instructions_follow_paths() {
+    let r0 = verify_at(OptLevel::O0);
+    let r2 = verify_at(OptLevel::O2);
+    let rv = verify_at(OptLevel::Overify);
+    assert!(r2.instructions < r0.instructions, "O2 interprets less than O0");
+    assert!(
+        rv.instructions < r2.instructions / 4,
+        "OVERIFY {} should be far below O2 {}",
+        rv.instructions,
+        r2.instructions
+    );
+}
+
+#[test]
+fn concrete_execution_is_slower_under_overify_than_o3() {
+    // Table 1's t_run row: the branch-free version executes *more*
+    // instructions on a CPU. 2.5x in the paper; we assert the direction.
+    let mut text: Vec<u8> = b"alpha beta! gamma,42 delta "
+        .iter()
+        .copied()
+        .cycle()
+        .take(4096)
+        .collect();
+    text.push(0);
+    let cfg = ExecConfig::default();
+
+    let p3 = compile(WC, &BuildOptions::level(OptLevel::O3)).unwrap();
+    let pv = compile(WC, &BuildOptions::level(OptLevel::Overify)).unwrap();
+    let r3 = run_program(&p3, "wc", &text, &[1], &cfg);
+    let rv = run_program(&pv, "wc", &text, &[1], &cfg);
+    assert_eq!(r3.ret, rv.ret, "same word count");
+    assert!(
+        rv.cycles > r3.cycles,
+        "OVERIFY run ({} cycles) must cost more than O3 ({} cycles)",
+        rv.cycles,
+        r3.cycles
+    );
+}
+
+#[test]
+fn all_levels_count_words_identically() {
+    let cfg = ExecConfig::default();
+    let texts: [&[u8]; 4] = [
+        b"hello world\0",
+        b"one, two; three!\0",
+        b"\t\n \0",
+        b"a\0",
+    ];
+    let progs: Vec<_> = OptLevel::all()
+        .into_iter()
+        .map(|l| compile(WC, &BuildOptions::level(l)).unwrap())
+        .collect();
+    for t in texts {
+        for any in [0u64, 1] {
+            let reference = run_program(&progs[0], "wc", t, &[any], &cfg);
+            for p in &progs[1..] {
+                let r = run_program(p, "wc", t, &[any], &cfg);
+                assert_eq!(reference.ret, r.ret, "{} any={any} {:?}", p.level, t);
+            }
+        }
+    }
+}
