@@ -4,7 +4,7 @@
 //! channel a verifier watches. This ablation compiles a buggy and a clean
 //! program with checks on/off and compares bug yield and cost.
 
-use overify::{compile, BuildOptions, BugKind, OptLevel, SymConfig};
+use overify::{compile, BugKind, BuildOptions, OptLevel, SymConfig};
 use overify_bench::env_u64;
 
 const BUGGY: &str = r#"
@@ -62,10 +62,7 @@ fn main() {
             // any tool (or a plain run) would hit.
             assert_eq!(!r.bugs.is_empty(), expect_bug, "{name}/checks={checks}");
             if expect_bug {
-                assert!(r
-                    .bugs
-                    .iter()
-                    .all(|b| b.kind == BugKind::OutOfBounds));
+                assert!(r.bugs.iter().all(|b| b.kind == BugKind::OutOfBounds));
             }
         }
     }

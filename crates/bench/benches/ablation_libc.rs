@@ -31,8 +31,7 @@ fn main() {
             for variant in [LibcVariant::Native, LibcVariant::Verify] {
                 let mut opts = BuildOptions::level(level);
                 opts.libc = Some(variant);
-                let mut module =
-                    overify_coreutils::compile_utility(u, variant).expect("compiles");
+                let mut module = overify_coreutils::compile_utility(u, variant).expect("compiles");
                 let stats = overify::build::compile_module(&mut module, &opts);
                 let prog = overify::CompiledProgram {
                     module,

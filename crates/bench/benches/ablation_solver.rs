@@ -80,7 +80,10 @@ fn main() {
         paths.push(r.total_paths());
     }
     // Every configuration explores the same path space.
-    assert!(paths.windows(2).all(|w| w[0] == w[1]), "paths differ: {paths:?}");
+    assert!(
+        paths.windows(2).all(|w| w[0] == w[1]),
+        "paths differ: {paths:?}"
+    );
     // The full stack sends the fewest queries to SAT.
     assert!(
         sat_counts[0] <= *sat_counts.iter().max().unwrap(),

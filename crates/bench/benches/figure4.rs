@@ -118,9 +118,7 @@ fn main() {
         .filter(|o| o.finished[2] && (!o.finished[0] || !o.finished[1]))
         .count();
     println!("\n# summary");
-    println!(
-        "total time      -O0 {t0:.2}s   -O3 {t3:.2}s   -OSYMBEX {tv:.2}s"
-    );
+    println!("total time      -O0 {t0:.2}s   -O3 {t3:.2}s   -OSYMBEX {tv:.2}s");
     println!(
         "avg reduction   {:.0}% vs -O3, {:.0}% vs -O0 (paper: 58% / 63%)",
         (1.0 - tv / t3) * 100.0,

@@ -23,6 +23,12 @@ use overify_bench::{env_u64, wc_text, WC_SOURCE};
 
 fn main() {
     let n = env_u64("OVERIFY_SYM_BYTES", 6) as usize;
+    assert!(
+        n >= 2,
+        "OVERIFY_SYM_BYTES must be >= 2: with fewer symbolic bytes every \
+         level explores the same handful of paths and the Table 1 shape \
+         checks are meaningless"
+    );
     let text = wc_text(8192);
     let levels = [OptLevel::O0, OptLevel::O2, OptLevel::O3, OptLevel::Overify];
 
@@ -69,17 +75,16 @@ fn main() {
         "{:<16} {:>10} {:>10} {:>10} {:>10}",
         "Optimization", rows[0].level, rows[1].level, rows[2].level, rows[3].level
     );
-    let cell =
-        |f: &dyn Fn(&Row) -> String| -> String {
-            format!(
-                "{:<16} {:>10} {:>10} {:>10} {:>10}",
-                "",
-                f(&rows[0]),
-                f(&rows[1]),
-                f(&rows[2]),
-                f(&rows[3])
-            )
-        };
+    let cell = |f: &dyn Fn(&Row) -> String| -> String {
+        format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10}",
+            "",
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2]),
+            f(&rows[3])
+        )
+    };
     println!(
         "tverify [ms]    {}",
         cell(&|r: &Row| format!("{:.1}", r.tverify)).trim_start()
@@ -109,7 +114,10 @@ fn main() {
     assert_eq!(rows[0].paths, rows[1].paths, "O0 and O2 paths identical");
     assert!(rows[2].paths < rows[1].paths, "O3 cuts paths");
     assert!(rows[3].paths < rows[2].paths, "OVERIFY cuts paths further");
-    assert!(rows[3].paths as usize <= 2 * (n + 1), "OVERIFY paths are linear");
+    assert!(
+        rows[3].paths as usize <= 2 * (n + 1),
+        "OVERIFY paths are linear"
+    );
     assert!(rows[3].tverify < rows[0].tverify, "verification got faster");
     assert!(
         rows[3].trun_cycles > rows[2].trun_cycles,

@@ -31,11 +31,7 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 pub fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
     std::env::var(name)
         .ok()
-        .map(|v| {
-            v.split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect()
-        })
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .unwrap_or_else(|| default.to_vec())
 }
 

@@ -66,11 +66,7 @@ pub use overify_symex::{
 ///
 /// This is the `KLEE` arrow in Figure 3: the verification build is handed
 /// to the symbolic executor unchanged.
-pub fn verify_program(
-    prog: &CompiledProgram,
-    entry: &str,
-    cfg: &SymConfig,
-) -> VerificationReport {
+pub fn verify_program(prog: &CompiledProgram, entry: &str, cfg: &SymConfig) -> VerificationReport {
     overify_symex::verify(&prog.module, entry, cfg)
 }
 

@@ -63,10 +63,8 @@ mod tests {
     fn all_utilities_compile_and_link_under_both_libcs() {
         for u in suite() {
             for v in [LibcVariant::Native, LibcVariant::Verify] {
-                let m = compile_utility(u, v)
-                    .unwrap_or_else(|e| panic!("{} ({v:?}): {e}", u.name));
-                overify_ir::verify_module(&m)
-                    .unwrap_or_else(|e| panic!("{} ({v:?}): {e}", u.name));
+                let m = compile_utility(u, v).unwrap_or_else(|e| panic!("{} ({v:?}): {e}", u.name));
+                overify_ir::verify_module(&m).unwrap_or_else(|e| panic!("{} ({v:?}): {e}", u.name));
                 assert!(m.function("umain").is_some(), "{}", u.name);
                 assert!(m.unresolved().is_empty(), "{}: unresolved externs", u.name);
             }

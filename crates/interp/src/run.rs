@@ -1,10 +1,9 @@
 //! The concrete execution engine.
 
 use crate::cost::CpuCostModel;
-use crate::memory::{Memory, MemFault};
+use crate::memory::{MemFault, Memory};
 use overify_ir::{
-    fold, AbortKind, BlockId, Callee, InstKind, Intrinsic, Module, Operand, Terminator,
-    ValueId,
+    fold, AbortKind, BlockId, Callee, InstKind, Intrinsic, Module, Operand, Terminator, ValueId,
 };
 use std::collections::HashMap;
 
@@ -240,9 +239,7 @@ impl<'a> Interp<'a> {
                             .iter()
                             .find(|(p, _)| *p == from)
                             .map(|(_, op)| *op)
-                            .unwrap_or(Operand::Const(overify_ir::Const::zero(
-                                f.value_ty(result),
-                            )));
+                            .unwrap_or(Operand::Const(overify_ir::Const::zero(f.value_ty(result))));
                         updates.push((result, self.eval(op)));
                     }
                 }
@@ -357,7 +354,7 @@ impl<'a> Interp<'a> {
                         }
                     }
                     Callee::Func(name) => {
-                        self.push_call(&name, &vals, result).map_err(|o| o)?;
+                        self.push_call(&name, &vals, result)?;
                     }
                 }
             }
@@ -380,12 +377,7 @@ impl<'a> Interp<'a> {
             Intrinsic::SymInput => {
                 let (ptr, len) = (args[0], args[1]);
                 for k in 0..len {
-                    let byte = self
-                        .cfg
-                        .sym_input
-                        .get(self.sym_off)
-                        .copied()
-                        .unwrap_or(0);
+                    let byte = self.cfg.sym_input.get(self.sym_off).copied().unwrap_or(0);
                     self.sym_off += 1;
                     if let Err(e) = self.mem.write(ptr + k, 1, byte as u64) {
                         return Ok(Some(self.mem_fault(e)));
@@ -492,9 +484,8 @@ mod tests {
 
     #[test]
     fn loops_and_locals() {
-        let m = compile(
-            "int sum(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
-        );
+        let m =
+            compile("int sum(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
         let r = run_module(&m, "sum", &[100], &ExecConfig::default());
         assert_eq!(r.ret, Some(5050));
         assert!(r.branches >= 100);
@@ -503,7 +494,12 @@ mod tests {
     #[test]
     fn signed_arithmetic_wraps_and_compares() {
         let m = compile("int f(int a) { return a / -2; }");
-        let r = run_module(&m, "f", &[(-10i64 as u64) & 0xffff_ffff], &ExecConfig::default());
+        let r = run_module(
+            &m,
+            "f",
+            &[(-10i64 as u64) & 0xffff_ffff],
+            &ExecConfig::default(),
+        );
         assert_eq!(r.ret, Some(5));
     }
 
@@ -539,9 +535,7 @@ mod tests {
 
     #[test]
     fn putchar_collects_output() {
-        let m = compile(
-            r#"int f() { putchar('h'); putchar('i'); putchar('\n'); return 0; }"#,
-        );
+        let m = compile(r#"int f() { putchar('h'); putchar('i'); putchar('\n'); return 0; }"#);
         let r = run_module(&m, "f", &[], &ExecConfig::default());
         assert_eq!(r.output, b"hi\n");
     }

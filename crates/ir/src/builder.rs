@@ -2,9 +2,7 @@
 //! front-end's lowering and by tests.
 
 use crate::function::Function;
-use crate::inst::{
-    AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator,
-};
+use crate::inst::{AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator};
 use crate::types::Ty;
 use crate::value::{BlockId, GlobalId, Operand, ValueId};
 
@@ -43,7 +41,8 @@ impl<'a> Cursor<'a> {
 
     /// `lhs op rhs`
     pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
-        self.emit(InstKind::Bin { op, ty, lhs, rhs }, Some(ty)).unwrap()
+        self.emit(InstKind::Bin { op, ty, lhs, rhs }, Some(ty))
+            .unwrap()
     }
 
     /// `icmp pred lhs, rhs`
@@ -68,7 +67,8 @@ impl<'a> Cursor<'a> {
 
     /// Width cast.
     pub fn cast(&mut self, op: CastOp, to: Ty, value: Operand) -> Operand {
-        self.emit(InstKind::Cast { op, to, value }, Some(to)).unwrap()
+        self.emit(InstKind::Cast { op, to, value }, Some(to))
+            .unwrap()
     }
 
     /// Stack allocation of `size` bytes.
@@ -176,10 +176,7 @@ mod tests {
     fn build_min_function() {
         // min(a, b) via select.
         let mut f = Function::new("min", &[Ty::I32, Ty::I32], Ty::I32);
-        let (a, b) = (
-            Operand::Value(f.params[0]),
-            Operand::Value(f.params[1]),
-        );
+        let (a, b) = (Operand::Value(f.params[0]), Operand::Value(f.params[1]));
         let mut c = Cursor::new(&mut f);
         let lt = c.cmp(CmpPred::Slt, Ty::I32, a, b);
         let m = c.select(Ty::I32, lt, a, b);

@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn casts() {
         assert_eq!(eval_cast(CastOp::Zext, Ty::I8, Ty::I32, 0xff), 0xff);
-        assert_eq!(
-            eval_cast(CastOp::Sext, Ty::I8, Ty::I32, 0xff),
-            0xffff_ffff
-        );
+        assert_eq!(eval_cast(CastOp::Sext, Ty::I8, Ty::I32, 0xff), 0xffff_ffff);
         assert_eq!(eval_cast(CastOp::Trunc, Ty::I32, Ty::I8, 0x1234), 0x34);
         assert_eq!(eval_cast(CastOp::Sext, Ty::I1, Ty::I8, 1), 0xff);
     }

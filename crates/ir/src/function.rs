@@ -146,7 +146,11 @@ impl Function {
     }
 
     /// Creates an instruction entry (not yet placed in any block).
-    pub fn create_inst(&mut self, kind: InstKind, result_ty: Option<Ty>) -> (InstId, Option<ValueId>) {
+    pub fn create_inst(
+        &mut self,
+        kind: InstKind,
+        result_ty: Option<Ty>,
+    ) -> (InstId, Option<ValueId>) {
         let id = InstId(self.insts.len() as u32);
         let result = result_ty.map(|ty| self.make_value(ty, ValueDef::Inst(id), None));
         self.insts.push(Inst { kind, result });
@@ -363,7 +367,9 @@ mod tests {
     fn replace_uses_rewrites_ret() {
         let mut f = sample();
         let v = match f.blocks[0].term {
-            Terminator::Ret { value: Some(Operand::Value(v)) } => v,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            } => v,
             _ => panic!(),
         };
         f.replace_all_uses(v, Operand::Const(Const::new(Ty::I32, 9)));

@@ -75,10 +75,7 @@ impl BinOp {
 
     /// True if the operation can trap (divide / remainder by zero).
     pub fn can_trap(self) -> bool {
-        matches!(
-            self,
-            BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem
-        )
+        matches!(self, BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem)
     }
 }
 
@@ -562,10 +559,8 @@ impl Terminator {
     /// Replaces every successor equal to `from` with `to`.
     pub fn retarget(&mut self, from: BlockId, to: BlockId) {
         match self {
-            Terminator::Br { target } => {
-                if *target == from {
-                    *target = to;
-                }
+            Terminator::Br { target } if *target == from => {
+                *target = to;
             }
             Terminator::CondBr {
                 on_true, on_false, ..

@@ -54,9 +54,7 @@ pub use builder::Cursor;
 pub use cfg::Cfg;
 pub use dom::DomTree;
 pub use function::{Block, Function};
-pub use inst::{
-    AbortKind, BinOp, Callee, CastOp, CmpPred, Inst, InstKind, Intrinsic, Terminator,
-};
+pub use inst::{AbortKind, BinOp, Callee, CastOp, CmpPred, Inst, InstKind, Intrinsic, Terminator};
 pub use loops::{Loop, LoopForest};
 pub use meta::{Annotations, ValueRange};
 pub use module::{Global, Module};

@@ -255,10 +255,7 @@ mod tests {
         assert_eq!(outer.depth, 1);
         assert_eq!(inner.depth, 2);
         assert!(inner.blocks.is_subset(&outer.blocks));
-        assert_eq!(
-            forest.innermost_containing(b2).unwrap().header,
-            h2
-        );
+        assert_eq!(forest.innermost_containing(b2).unwrap().header, h2);
     }
 
     #[test]

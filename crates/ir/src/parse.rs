@@ -1,9 +1,7 @@
 //! Parser for the textual IR format produced by [`crate::print`].
 
 use crate::function::Function;
-use crate::inst::{
-    AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator,
-};
+use crate::inst::{AbortKind, BinOp, Callee, CastOp, CmpPred, InstKind, Intrinsic, Terminator};
 use crate::module::{Global, Module};
 use crate::types::{Const, Ty};
 use crate::value::{BlockId, GlobalId, Operand, ValueDef, ValueId};
@@ -112,8 +110,11 @@ fn tokenize(line: &str) -> Vec<String> {
     padded.split_whitespace().map(|s| s.to_string()).collect()
 }
 
+/// A parsed `func`/`decl` header: name, `(param name, type)` pairs, return type.
+type Signature = (String, Vec<(Option<String>, Ty)>, Ty);
+
 /// Parses `func|decl @name ( %p : ty , ... ) -> ty [{]`.
-fn parse_signature(ln: usize, toks: &[String]) -> Result<(String, Vec<(Option<String>, Ty)>, Ty)> {
+fn parse_signature(ln: usize, toks: &[String]) -> Result<Signature> {
     let mut c = TokCursor::new(ln, toks);
     c.next()?; // func | decl
     let name = c.at_name()?;
@@ -298,11 +299,7 @@ impl<'a> FuncParser<'a> {
         }
         // Calls may also target functions already linked into the module.
         if let Some(f) = self.module.function(name) {
-            return Ok((
-                Callee::Func(name.to_string()),
-                f.param_tys(),
-                f.ret_ty,
-            ));
+            return Ok((Callee::Func(name.to_string()), f.param_tys(), f.ret_ty));
         }
         Err(err(ln, format!("unknown callee @{name}")))
     }
@@ -330,7 +327,11 @@ fn parse_int(ln: usize, tok: &str) -> Result<u64> {
         body.parse::<u64>()
     }
     .map_err(|_| err(ln, format!("bad integer `{tok}`")))?;
-    Ok(if neg { (v as i64).wrapping_neg() as u64 } else { v })
+    Ok(if neg {
+        (v as i64).wrapping_neg() as u64
+    } else {
+        v
+    })
 }
 
 fn parse_function(
@@ -512,7 +513,14 @@ fn parse_body_line(p: &mut FuncParser, ln: usize, b: BlockId, toks: &[String]) -
         c.expect("to")?;
         let to = c.ty()?;
         let value = p.operand(ln, &v, from)?;
-        (InstKind::Cast { op: cast, to, value }, Some(to))
+        (
+            InstKind::Cast {
+                op: cast,
+                to,
+                value,
+            },
+            Some(to),
+        )
     } else if op == "alloca" {
         let size = c
             .next()?

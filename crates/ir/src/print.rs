@@ -157,7 +157,14 @@ fn print_inst(out: &mut String, f: &Function, result: Option<ValueId>, kind: &In
         }
         InstKind::Cast { op, to, value } => {
             let from = f.operand_ty(*value);
-            let _ = write!(out, "{} {} {} to {}", op.name(), from, operand(f, value), to);
+            let _ = write!(
+                out,
+                "{} {} {} to {}",
+                op.name(),
+                from,
+                operand(f, value),
+                to
+            );
         }
         InstKind::Alloca { size } => {
             let _ = write!(out, "alloca {size}");
@@ -166,7 +173,13 @@ fn print_inst(out: &mut String, f: &Function, result: Option<ValueId>, kind: &In
             let _ = write!(out, "load {}, {}", ty, operand(f, addr));
         }
         InstKind::Store { ty, value, addr } => {
-            let _ = write!(out, "store {} {}, {}", ty, operand(f, value), operand(f, addr));
+            let _ = write!(
+                out,
+                "store {} {}, {}",
+                ty,
+                operand(f, value),
+                operand(f, addr)
+            );
         }
         InstKind::PtrAdd { base, offset } => {
             let _ = write!(out, "ptradd {}, {}", operand(f, base), operand(f, offset));

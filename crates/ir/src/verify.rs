@@ -22,7 +22,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IR verification failed in @{}: {}", self.function, self.msg)
+        write!(
+            f,
+            "IR verification failed in @{}: {}",
+            self.function, self.msg
+        )
     }
 }
 
@@ -51,6 +55,19 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
         return Err(fail("defined function has no blocks".into()));
     }
 
+    // Every branch target must exist before any CFG table is built —
+    // `Cfg::compute` indexes its pred/succ vectors by target block.
+    for b in f.block_ids() {
+        for s in f.block(b).term.successors() {
+            if s.index() >= f.blocks.len() {
+                return Err(fail(format!(
+                    "branch to invalid block in {}",
+                    f.block(b).name
+                )));
+            }
+        }
+    }
+
     let cfg = Cfg::compute(f);
     let dom = DomTree::compute(&cfg);
 
@@ -76,15 +93,8 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<()> {
         }
         // Terminator checks.
         match &block.term {
-            Terminator::Br { target } | Terminator::CondBr { on_true: target, .. }
-                if target.index() >= f.blocks.len() =>
-            {
-                return Err(fail(format!("branch to invalid block in {}", block.name)));
-            }
-            Terminator::CondBr { cond, .. } => {
-                if f.operand_ty(*cond) != Ty::I1 {
-                    return Err(fail(format!("condbr condition not i1 in {}", block.name)));
-                }
+            Terminator::CondBr { cond, .. } if f.operand_ty(*cond) != Ty::I1 => {
+                return Err(fail(format!("condbr condition not i1 in {}", block.name)));
             }
             Terminator::Ret { value } => match (value, f.ret_ty) {
                 (None, Ty::Void) => {}
@@ -216,7 +226,9 @@ fn check_inst(m: &Module, f: &Function, _b: BlockId, id: InstId) -> Result<()> {
                 crate::inst::CastOp::Zext | crate::inst::CastOp::Sext => {
                     from.bits() < to.bits() && from.is_int() && to.is_int()
                 }
-                crate::inst::CastOp::Trunc => from.bits() > to.bits() && from.is_int() && to.is_int(),
+                crate::inst::CastOp::Trunc => {
+                    from.bits() > to.bits() && from.is_int() && to.is_int()
+                }
             };
             if !ok {
                 return Err(fail(format!("invalid cast {} {from} to {to}", op.name())));
@@ -453,6 +465,31 @@ mod tests {
     }
 
     #[test]
+    fn rejects_condbr_to_invalid_block() {
+        // Regression: the verifier used to check only `on_true`, letting a
+        // bad `on_false` through to panic later in `Cfg::compute`.
+        for bad_false in [false, true] {
+            let mut f = Function::new("bad", &[Ty::I1], Ty::Void);
+            let cond = Operand::Value(f.params[0]);
+            let e = f.entry();
+            let out_of_range = BlockId(f.blocks.len() as u32);
+            f.set_term(
+                e,
+                Terminator::CondBr {
+                    cond,
+                    on_true: if bad_false { e } else { out_of_range },
+                    on_false: if bad_false { out_of_range } else { e },
+                },
+            );
+            let err = verify_module(&module_with(f)).unwrap_err();
+            assert!(
+                err.msg.contains("branch to invalid block"),
+                "unexpected error: {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_type_mismatch() {
         let mut f = Function::new("bad", &[Ty::I8], Ty::I32);
         let p = Operand::Value(f.params[0]);
@@ -503,7 +540,12 @@ mod tests {
                 value: Some(Operand::Value(v)),
             },
         );
-        f.set_term(b2, Terminator::Ret { value: Some(Operand::imm(Ty::I32, 0)) });
+        f.set_term(
+            b2,
+            Terminator::Ret {
+                value: Some(Operand::imm(Ty::I32, 0)),
+            },
+        );
         assert!(verify_module(&module_with(f)).is_err());
     }
 

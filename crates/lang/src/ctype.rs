@@ -13,7 +13,10 @@ pub enum CType {
     /// Integer with IR width and signedness. `char` is unsigned 8-bit in
     /// MiniC (like `unsigned char` in C), which matches Listing 1's use of
     /// `unsigned char *`.
-    Int { ty: Ty, signed: bool },
+    Int {
+        ty: Ty,
+        signed: bool,
+    },
     /// Pointer to an element type.
     Ptr(Box<CType>),
     /// Fixed-size array; decays to a pointer in expressions.
@@ -130,16 +133,7 @@ impl CType {
         let a = self.promoted();
         let b = other.promoted();
         match (&a, &b) {
-            (
-                CType::Int {
-                    ty: ta,
-                    signed: sa,
-                },
-                CType::Int {
-                    ty: tb,
-                    signed: sb,
-                },
-            ) => {
+            (CType::Int { ty: ta, signed: sa }, CType::Int { ty: tb, signed: sb }) => {
                 if ta.bits() > tb.bits() {
                     a.clone()
                 } else if tb.bits() > ta.bits() {

@@ -241,7 +241,9 @@ impl<'a> Lexer<'a> {
     /// Decodes one possibly escaped character inside a literal delimited by
     /// `delim`.
     fn escaped_char(&mut self, _delim: u8) -> Result<u8, CompileError> {
-        let c = self.bump().ok_or_else(|| self.err("unterminated literal"))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("unterminated literal"))?;
         if c != b'\\' {
             return Ok(c);
         }

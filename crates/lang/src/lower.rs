@@ -28,7 +28,14 @@ fn err(line: usize, msg: impl Into<String>) -> CompileError {
 }
 
 /// Names reserved for builtins; user functions may not shadow them.
-const BUILTINS: &[&str] = &["__sym_input", "__assume", "__assert", "putchar", "malloc", "abort"];
+const BUILTINS: &[&str] = &[
+    "__sym_input",
+    "__assume",
+    "__assert",
+    "putchar",
+    "malloc",
+    "abort",
+];
 
 /// Lowers a parsed program to an IR module.
 pub fn lower_program(prog: &Program) -> Result<Module> {
@@ -53,7 +60,11 @@ pub fn lower_program(prog: &Program) -> Result<Module> {
             ));
         }
         let sig = (
-            proto.params.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+            proto
+                .params
+                .iter()
+                .map(|(t, _)| t.clone())
+                .collect::<Vec<_>>(),
             proto.ret.clone(),
         );
         if let Some(prev) = lw.sigs.get(&proto.name) {
@@ -191,13 +202,13 @@ impl Lowerer {
             let pv = Operand::Value(fl.f.params[i]);
             let addr = fl.cursor().alloca(pty.size().max(1));
             fl.cursor().store(pty.ir_ty(), pv, addr);
-            fl.scopes
-                .last_mut()
-                .unwrap()
-                .insert(pname.clone(), LV {
+            fl.scopes.last_mut().unwrap().insert(
+                pname.clone(),
+                LV {
                     addr,
                     cty: pty.clone(),
-                });
+                },
+            );
         }
 
         fl.lower_stmts(&def.body)?;
@@ -374,7 +385,7 @@ impl<'a> FnLower<'a> {
                 else_body,
             } => {
                 self.ensure_open();
-                let c = self.to_bool(cond)?;
+                let c = self.lower_to_bool(cond)?;
                 let then_bb = self.f.add_block("if.then");
                 let else_bb = self.f.add_block("if.else");
                 let merge = self.f.add_block("if.end");
@@ -407,7 +418,7 @@ impl<'a> FnLower<'a> {
                 self.cursor().br(cond_bb);
 
                 self.move_to(cond_bb);
-                let c = self.to_bool(cond)?;
+                let c = self.lower_to_bool(cond)?;
                 self.cursor().condbr(c, body_bb, exit_bb);
 
                 self.move_to(body_bb);
@@ -445,7 +456,7 @@ impl<'a> FnLower<'a> {
                 }
 
                 self.move_to(cond_bb);
-                let c = self.to_bool(cond)?;
+                let c = self.lower_to_bool(cond)?;
                 self.cursor().condbr(c, body_bb, exit_bb);
 
                 self.move_to(exit_bb);
@@ -471,7 +482,7 @@ impl<'a> FnLower<'a> {
                 self.move_to(cond_bb);
                 match cond {
                     Some(c) => {
-                        let cv = self.to_bool(c)?;
+                        let cv = self.lower_to_bool(c)?;
                         self.cursor().condbr(cv, body_bb, exit_bb);
                     }
                     None => self.cursor().br(body_bb),
@@ -531,9 +542,7 @@ impl<'a> FnLower<'a> {
                         let ret = ret.clone();
                         let rv = self.lower_expr(e)?;
                         let rv = self.convert(rv, &ret, *line)?;
-                        Terminator::Ret {
-                            value: Some(rv.op),
-                        }
+                        Terminator::Ret { value: Some(rv.op) }
                     }
                 };
                 self.f.set_term(self.block, term);
@@ -608,7 +617,7 @@ impl<'a> FnLower<'a> {
     }
 
     /// Lowers `e` and converts the result to `i1` truthiness.
-    fn to_bool(&mut self, e: &Expr) -> Result<Operand> {
+    fn lower_to_bool(&mut self, e: &Expr) -> Result<Operand> {
         let rv = self.lower_expr(e)?;
         self.rv_to_bool(rv, e.line())
     }
@@ -743,12 +752,9 @@ impl<'a> FnLower<'a> {
         if size == 1 {
             return Ok(idx64.op);
         }
-        Ok(self.cursor().bin(
-            BinOp::Mul,
-            Ty::I64,
-            idx64.op,
-            Operand::imm(Ty::I64, size),
-        ))
+        Ok(self
+            .cursor()
+            .bin(BinOp::Mul, Ty::I64, idx64.op, Operand::imm(Ty::I64, size)))
     }
 
     /// Loads the value stored at `lv` (with array decay).
@@ -810,7 +816,12 @@ impl<'a> FnLower<'a> {
             }
             Expr::Unary { op, expr, line } => self.lower_unary(*op, expr, *line),
             Expr::Binary { op, lhs, rhs, line } => self.lower_binary(*op, lhs, rhs, *line),
-            Expr::Logical { and, lhs, rhs, line } => self.lower_logical(*and, lhs, rhs, *line),
+            Expr::Logical {
+                and,
+                lhs,
+                rhs,
+                line,
+            } => self.lower_logical(*and, lhs, rhs, *line),
             Expr::Conditional {
                 cond,
                 then_expr,
@@ -853,12 +864,9 @@ impl<'a> FnLower<'a> {
                 let rv = self.lower_expr(expr)?;
                 let b = self.rv_to_bool(rv, line)?;
                 // `!x` == (x == 0): invert then widen to int.
-                let inv = self.cursor().bin(
-                    BinOp::Xor,
-                    Ty::I1,
-                    b,
-                    Operand::Const(Const::bool(true)),
-                );
+                let inv =
+                    self.cursor()
+                        .bin(BinOp::Xor, Ty::I1, b, Operand::Const(Const::bool(true)));
                 let op = self.cursor().cast(CastOp::Zext, Ty::I32, inv);
                 Ok(RV {
                     op,
@@ -886,12 +894,10 @@ impl<'a> FnLower<'a> {
                     });
                 }
                 let out = match op {
-                    UnaryOp::Neg => self.cursor().bin(
-                        BinOp::Sub,
-                        ty,
-                        Operand::Const(Const::zero(ty)),
-                        rv.op,
-                    ),
+                    UnaryOp::Neg => {
+                        self.cursor()
+                            .bin(BinOp::Sub, ty, Operand::Const(Const::zero(ty)), rv.op)
+                    }
                     _ => self.cursor().bin(
                         BinOp::Xor,
                         ty,
@@ -919,9 +925,12 @@ impl<'a> FnLower<'a> {
             let elem = lc.pointee().unwrap().clone();
             let mut off = self.scaled_offset(r, elem.size(), line)?;
             if op == BinaryOp::Sub {
-                off = self
-                    .cursor()
-                    .bin(BinOp::Sub, Ty::I64, Operand::Const(Const::zero(Ty::I64)), off);
+                off = self.cursor().bin(
+                    BinOp::Sub,
+                    Ty::I64,
+                    Operand::Const(Const::zero(Ty::I64)),
+                    off,
+                );
             }
             let out = self.cursor().ptradd(l.op, off);
             return Ok(RV { op: out, cty: lc });
@@ -1012,9 +1021,11 @@ impl<'a> FnLower<'a> {
     /// Short-circuit `&&` / `||` through a temporary, exactly like `-O0` C.
     fn lower_logical(&mut self, and: bool, lhs: &Expr, rhs: &Expr, line: usize) -> Result<RV> {
         let tmp = self.cursor().alloca(4);
-        let lb = self.to_bool(lhs)?;
+        let lb = self.lower_to_bool(lhs)?;
         let rhs_bb = self.f.add_block(if and { "land.rhs" } else { "lor.rhs" });
-        let short_bb = self.f.add_block(if and { "land.short" } else { "lor.short" });
+        let short_bb = self
+            .f
+            .add_block(if and { "land.short" } else { "lor.short" });
         let merge = self.f.add_block(if and { "land.end" } else { "lor.end" });
         if and {
             self.cursor().condbr(lb, rhs_bb, short_bb);
@@ -1030,7 +1041,7 @@ impl<'a> FnLower<'a> {
 
         // Evaluate the right-hand side.
         self.move_to(rhs_bb);
-        let rb = self.to_bool(rhs)?;
+        let rb = self.lower_to_bool(rhs)?;
         let _ = line;
         let rz = self.cursor().cast(CastOp::Zext, Ty::I32, rb);
         self.cursor().store(Ty::I32, rz, tmp);
@@ -1051,7 +1062,7 @@ impl<'a> FnLower<'a> {
         else_expr: &Expr,
         line: usize,
     ) -> Result<RV> {
-        let c = self.to_bool(cond)?;
+        let c = self.lower_to_bool(cond)?;
         let then_bb = self.f.add_block("cond.then");
         let else_bb = self.f.add_block("cond.else");
         let merge = self.f.add_block("cond.end");
@@ -1095,7 +1106,10 @@ impl<'a> FnLower<'a> {
 
         self.move_to(merge);
         let out = self.cursor().load(common.ir_ty(), tmp);
-        Ok(RV { op: out, cty: common })
+        Ok(RV {
+            op: out,
+            cty: common,
+        })
     }
 
     fn lower_assign(
@@ -1154,7 +1168,7 @@ impl<'a> FnLower<'a> {
             }
             "__assume" | "__assert" => {
                 let [c] = self.expect_args::<1>(args, line)?;
-                let b = self.to_bool(&c)?;
+                let b = self.lower_to_bool(&c)?;
                 let i = if name == "__assume" {
                     Intrinsic::Assume
                 } else {
@@ -1227,7 +1241,10 @@ impl<'a> FnLower<'a> {
 
     fn expect_args<const N: usize>(&self, args: &[Expr], line: usize) -> Result<[Expr; N]> {
         if args.len() != N {
-            return Err(err(line, format!("expected {N} arguments, got {}", args.len())));
+            return Err(err(
+                line,
+                format!("expected {N} arguments, got {}", args.len()),
+            ));
         }
         Ok(std::array::from_fn(|i| args[i].clone()))
     }

@@ -182,8 +182,10 @@ impl Parser {
             if !self.is_punct(")") {
                 if self.is_ident("void") && {
                     // `(void)` exactly.
-                    matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind),
-                        Some(TokenKind::Punct(")")))
+                    matches!(
+                        self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(TokenKind::Punct(")"))
+                    )
                 } {
                     self.bump();
                 } else {
@@ -877,7 +879,9 @@ mod tests {
         // `a + b * c` must parse as a + (b * c).
         let src = "int f(int a, int b, int c) { return a + b * c; }";
         let prog = parse_program(src).unwrap();
-        let Item::Func(f) = &prog.items[0] else { panic!() };
+        let Item::Func(f) = &prog.items[0] else {
+            panic!()
+        };
         let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
             panic!()
         };
@@ -887,7 +891,13 @@ mod tests {
                 rhs,
                 ..
             } => {
-                assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+                assert!(matches!(
+                    **rhs,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             _ => panic!("bad precedence: {e:?}"),
         }

@@ -35,7 +35,10 @@ fn compiles_listing1_wc() {
         .iter()
         .filter(|b| matches!(b.term, Terminator::CondBr { .. }))
         .count();
-    assert!(condbrs >= 5, "expected branchy -O0 lowering, got {condbrs} condbrs");
+    assert!(
+        condbrs >= 5,
+        "expected branchy -O0 lowering, got {condbrs} condbrs"
+    );
     // isspace/isalpha stay as calls for the linker.
     assert!(m.function("isspace").unwrap().is_declaration);
 }

@@ -48,7 +48,7 @@ proptest! {
     }
 }
 
-/// The IR parser gets the same treatment.
+// The IR parser gets the same treatment.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -196,10 +196,7 @@ mod tests {
         let r = run_with_buffer(&m, "bad", b"\0", &[0], &ExecConfig::default());
         // The precondition check fires as an assertion failure — a crash
         // near the root cause, not a wild pointer fault.
-        assert_eq!(
-            r.outcome,
-            Outcome::Abort(overify_ir::AbortKind::AssertFail)
-        );
+        assert_eq!(r.outcome, Outcome::Abort(overify_ir::AbortKind::AssertFail));
         // The native variant still crashes, but on the raw access.
         let m2 = compile_and_link(src, LibcVariant::Native).unwrap();
         let r2 = run_with_buffer(&m2, "bad", b"\0", &[0], &ExecConfig::default());

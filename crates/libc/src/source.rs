@@ -319,7 +319,7 @@ mod tests {
     fn sources_are_nonempty_and_table_sized() {
         let n = native_source();
         assert!(n.contains("__ctype_tab[256]"));
-        assert_eq!(n.matches(',').count() >= 255, true);
+        assert!(n.matches(',').count() >= 255);
         assert!(verify_source().contains("__assert"));
     }
 }

@@ -15,8 +15,7 @@
 use crate::stats::OptStats;
 use crate::util::trip_count;
 use overify_ir::{
-    BinOp, CastOp, Cfg, DomTree, Function, InstKind, LoopForest, Operand, Ty, ValueId,
-    ValueRange,
+    BinOp, CastOp, Cfg, DomTree, Function, InstKind, LoopForest, Operand, Ty, ValueId, ValueRange,
 };
 use std::collections::HashMap;
 
@@ -264,11 +263,7 @@ mod tests {
         assert!(run(&mut m.functions[fi], &mut stats));
         let f = m.function("f").unwrap();
         // Some value (the zext or the add) must carry a <= 256 range.
-        let tight = f
-            .annotations
-            .value_ranges
-            .values()
-            .any(|r| r.umax <= 256);
+        let tight = f.annotations.value_ranges.values().any(|r| r.umax <= 256);
         assert!(tight, "ranges: {:?}", f.annotations.value_ranges);
     }
 
@@ -280,17 +275,17 @@ mod tests {
         let fi = m.function_index("f").unwrap();
         run(&mut m.functions[fi], &mut stats);
         let f = m.function("f").unwrap();
-        let has_mask_range = f
-            .annotations
-            .value_ranges
-            .values()
-            .any(|r| r.umax == 15);
+        let has_mask_range = f.annotations.value_ranges.values().any(|r| r.umax == 15);
         let has_sum_range = f
             .annotations
             .value_ranges
             .values()
             .any(|r| r.umin == 3 && r.umax == 18);
-        assert!(has_mask_range && has_sum_range, "{:?}", f.annotations.value_ranges);
+        assert!(
+            has_mask_range && has_sum_range,
+            "{:?}",
+            f.annotations.value_ranges
+        );
     }
 
     #[test]
@@ -313,10 +308,6 @@ mod tests {
         let fi = m.function_index("f").unwrap();
         run(&mut m.functions[fi], &mut stats);
         let f = m.function("f").unwrap();
-        assert!(f
-            .annotations
-            .value_ranges
-            .values()
-            .any(|r| r.umax == 9));
+        assert!(f.annotations.value_ranges.values().any(|r| r.umax == 9));
     }
 }

@@ -16,8 +16,8 @@ use crate::passes::annotate::compute_ranges;
 use crate::stats::OptStats;
 use crate::util::split_block;
 use overify_ir::{
-    AbortKind, BlockId, CmpPred, Const, Function, InstId, InstKind, Module, Operand,
-    Terminator, Ty, ValueDef, ValueRange,
+    AbortKind, BlockId, CmpPred, Const, Function, InstId, InstKind, Module, Operand, Terminator,
+    Ty, ValueDef, ValueRange,
 };
 use std::collections::HashSet;
 
@@ -109,7 +109,10 @@ pub fn run(m: &Module, f: &mut Function, opts: &CheckOptions, stats: &mut OptSta
                                 // Elide when the annotated range is safe.
                                 if let Some(r) = &ranges {
                                     if let Some(vr) = r.get(&off_v) {
-                                        let need = ValueRange { umin: 0, umax: limit };
+                                        let need = ValueRange {
+                                            umin: 0,
+                                            umax: limit,
+                                        };
                                         if vr.umax <= need.umax {
                                             stats.checks_elided += 1;
                                             continue;
@@ -319,9 +322,7 @@ mod tests {
 
     #[test]
     fn bounds_check_traps_bad_index() {
-        let mut m = prep(
-            "int f(int i) { char buf[8]; buf[0] = 1; buf[7] = 2; return buf[i]; }",
-        );
+        let mut m = prep("int f(int i) { char buf[8]; buf[0] = 1; buf[7] = 2; return buf[i]; }");
         let mut stats = OptStats::default();
         let mut f = std::mem::take(&mut m.functions[0]);
         run(&m, &mut f, &CheckOptions::default(), &mut stats);

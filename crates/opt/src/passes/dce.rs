@@ -25,12 +25,13 @@ pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
             });
         }
         match &f.block(b).term {
-            Terminator::CondBr { cond, .. } => {
-                if let Operand::Value(v) = cond {
-                    uses[v.index()] += 1;
-                }
-            }
-            Terminator::Ret { value: Some(Operand::Value(v)) } => uses[v.index()] += 1,
+            Terminator::CondBr {
+                cond: Operand::Value(v),
+                ..
+            } => uses[v.index()] += 1,
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            } => uses[v.index()] += 1,
             _ => {}
         }
     }
@@ -128,10 +129,15 @@ fn dead_store_elim(f: &mut Function, _stats: &mut OptStats) -> bool {
             }
         }
         match &f.block(b).term {
-            Terminator::CondBr { cond: Operand::Value(v), .. } => {
+            Terminator::CondBr {
+                cond: Operand::Value(v),
+                ..
+            } => {
                 candidates.remove(&v.0);
             }
-            Terminator::Ret { value: Some(Operand::Value(v)) } => {
+            Terminator::Ret {
+                value: Some(Operand::Value(v)),
+            } => {
                 candidates.remove(&v.0);
             }
             _ => {}
@@ -144,7 +150,10 @@ fn dead_store_elim(f: &mut Function, _stats: &mut OptStats) -> bool {
     let mut changed = false;
     for i in 0..f.insts.len() {
         let kill = match &f.insts[i].kind {
-            InstKind::Store { addr: Operand::Value(v), .. } => candidates.contains_key(&v.0),
+            InstKind::Store {
+                addr: Operand::Value(v),
+                ..
+            } => candidates.contains_key(&v.0),
             InstKind::Alloca { .. } => f.insts[i]
                 .result
                 .is_some_and(|r| candidates.contains_key(&r.0)),

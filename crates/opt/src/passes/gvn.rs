@@ -6,9 +6,7 @@
 
 use crate::stats::OptStats;
 use crate::util::apply_replacements;
-use overify_ir::{
-    BinOp, CastOp, Cfg, CmpPred, DomTree, Function, InstKind, Operand, Ty, ValueId,
-};
+use overify_ir::{BinOp, CastOp, Cfg, CmpPred, DomTree, Function, InstKind, Operand, Ty, ValueId};
 use std::collections::HashMap;
 
 /// One canonical expression key.

@@ -119,8 +119,10 @@ fn convert_one(
             };
             let (mt, mf) = (*mt, *mf);
             if mt == mf && mt != a && mt != t && mt != fl {
-                let (Some(ct), Some(cf)) = (hoistable(m, f, t, cost, ranges), hoistable(m, f, fl, cost, ranges))
-                else {
+                let (Some(ct), Some(cf)) = (
+                    hoistable(m, f, t, cost, ranges),
+                    hoistable(m, f, fl, cost, ranges),
+                ) else {
                     continue;
                 };
                 if ct + cf > cost.branch_cost {
@@ -230,30 +232,39 @@ fn fold_common_dest(
         let cb = if cb_positive {
             c2
         } else {
-            mk(f, InstKind::Bin {
-                op: BinOp::Xor,
-                ty: overify_ir::Ty::I1,
-                lhs: c2,
-                rhs: tru,
-            })
+            mk(
+                f,
+                InstKind::Bin {
+                    op: BinOp::Xor,
+                    ty: overify_ir::Ty::I1,
+                    lhs: c2,
+                    rhs: tru,
+                },
+            )
         };
         // ca: "A goes to SHARED directly".
         let ca = if a_direct_on_true {
             c1
         } else {
-            mk(f, InstKind::Bin {
-                op: BinOp::Xor,
-                ty: overify_ir::Ty::I1,
-                lhs: c1,
-                rhs: tru,
-            })
+            mk(
+                f,
+                InstKind::Bin {
+                    op: BinOp::Xor,
+                    ty: overify_ir::Ty::I1,
+                    lhs: c1,
+                    rhs: tru,
+                },
+            )
         };
-        let combined = mk(f, InstKind::Bin {
-            op: BinOp::Or,
-            ty: overify_ir::Ty::I1,
-            lhs: ca,
-            rhs: cb,
-        });
+        let combined = mk(
+            f,
+            InstKind::Bin {
+                op: BinOp::Or,
+                ty: overify_ir::Ty::I1,
+                lhs: ca,
+                rhs: cb,
+            },
+        );
 
         // SHARED's phis: merge the A and B incomings through ca.
         let ids: Vec<_> = f.block(shared).insts.clone();
@@ -263,7 +274,9 @@ fn fold_common_dest(
             };
             let va = incomings.iter().find(|(p, _)| *p == a).map(|(_, v)| *v);
             let vb = incomings.iter().find(|(p, _)| *p == b).map(|(_, v)| *v);
-            let (Some(va), Some(vb)) = (va, vb) else { continue };
+            let (Some(va), Some(vb)) = (va, vb) else {
+                continue;
+            };
             let merged = if va == vb {
                 va
             } else {
@@ -326,7 +339,9 @@ fn convert_diamond(
         };
         let vt = incomings.iter().find(|(p, _)| *p == t).map(|(_, v)| *v);
         let vf = incomings.iter().find(|(p, _)| *p == fl).map(|(_, v)| *v);
-        let (Some(vt), Some(vf)) = (vt, vf) else { continue };
+        let (Some(vt), Some(vf)) = (vt, vf) else {
+            continue;
+        };
         let sel = if vt == vf {
             vt
         } else {
@@ -369,7 +384,9 @@ fn convert_triangle(
         };
         let vs = incomings.iter().find(|(p, _)| *p == side).map(|(_, v)| *v);
         let va = incomings.iter().find(|(p, _)| *p == a).map(|(_, v)| *v);
-        let (Some(vs), Some(va)) = (vs, va) else { continue };
+        let (Some(vs), Some(va)) = (vs, va) else {
+            continue;
+        };
         let (on_true, on_false) = if side_is_true { (vs, va) } else { (va, vs) };
         let sel = if on_true == on_false {
             on_true
@@ -460,7 +477,8 @@ mod tests {
 
     #[test]
     fn converts_diamond_to_select() {
-        let src = "int maxv(int a, int b) { int m; if (a > b) { m = a; } else { m = b; } return m; }";
+        let src =
+            "int maxv(int a, int b) { int m; if (a > b) { m = a; } else { m = b; } return m; }";
         let mut m = prep(src);
         let stats = opt(&mut m, &CostModel::verification());
         assert!(stats.branches_converted >= 1);
@@ -496,7 +514,11 @@ mod tests {
         for c in [32u64, 65, 10] {
             for any in [0u64, 1] {
                 let r = run_module(&m, "f", &[c, any], &cfg);
-                let expect = if c == 32 || (any != 0 && c > 64) { 1 } else { 2 };
+                let expect = if c == 32 || (any != 0 && c > 64) {
+                    1
+                } else {
+                    2
+                };
                 assert_eq!(r.ret, Some(expect), "c={c} any={any}");
             }
         }

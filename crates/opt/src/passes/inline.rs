@@ -63,13 +63,9 @@ pub fn run(m: &mut Module, cost: &CostModel, stats: &mut OptStats) -> bool {
             if m.functions[fi].live_inst_count() > cost.caller_size_limit {
                 break;
             }
-            let Some((block, pos, callee_idx)) = find_candidate(
-                m,
-                fi,
-                cost,
-                &call_counts,
-                &self_recursive,
-            ) else {
+            let Some((block, pos, callee_idx)) =
+                find_candidate(m, fi, cost, &call_counts, &self_recursive)
+            else {
                 break;
             };
             let callee = m.functions[callee_idx].clone();
@@ -126,12 +122,7 @@ fn find_candidate(
 }
 
 /// Splices `callee`'s body in place of the call at `caller[block].insts[pos]`.
-fn inline_site(
-    caller: &mut Function,
-    block: overify_ir::BlockId,
-    pos: usize,
-    callee: &Function,
-) {
+fn inline_site(caller: &mut Function, block: overify_ir::BlockId, pos: usize, callee: &Function) {
     // 1. Split off the continuation.
     let cont = split_block(caller, block, pos + 1, &format!("{}.cont", callee.name));
     // The call is now the last instruction of `block`.
@@ -309,12 +300,9 @@ mod tests {
     #[test]
     fn respects_cpu_threshold() {
         // A biggish callee under the CPU model stays a call.
-        let body: String = (0..40)
-            .map(|i| format!("x = x * 3 + {i}; "))
-            .collect();
-        let src = format!(
-            "int big(int x) {{ {body} return x; }} int f(int a) {{ return big(a); }}"
-        );
+        let body: String = (0..40).map(|i| format!("x = x * 3 + {i}; ")).collect();
+        let src =
+            format!("int big(int x) {{ {body} return x; }} int f(int a) {{ return big(a); }}");
         let mut m = compile(&src);
         // Promote so live_inst_count reflects real work.
         let mut stats = OptStats::default();

@@ -24,7 +24,7 @@ pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
 }
 
 /// The definition of `op`, if it is a value defined by an instruction.
-fn def_of<'a>(f: &'a Function, op: Operand) -> Option<&'a InstKind> {
+fn def_of(f: &Function, op: Operand) -> Option<&InstKind> {
     let v = op.as_value()?;
     match f.values[v.index()].def {
         ValueDef::Inst(i) => Some(&f.inst(i).kind),
@@ -212,12 +212,15 @@ fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> 
                 return Simplified::Replace(lhs);
             }
             // add (add x, C1), C2 -> add x, (C1+C2)
-            if let (Some(c2), Some(InstKind::Bin {
-                op: BinOp::Add,
-                lhs: x,
-                rhs: Operand::Const(c1),
-                ..
-            })) = (rhs_c, def_of(f, lhs))
+            if let (
+                Some(c2),
+                Some(InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: x,
+                    rhs: Operand::Const(c1),
+                    ..
+                }),
+            ) = (rhs_c, def_of(f, lhs))
             {
                 let sum = fold::eval_bin(BinOp::Add, ty, c1.bits, c2.bits).unwrap();
                 return Simplified::Rewrite(InstKind::Bin {
@@ -253,15 +256,11 @@ fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> 
                 return Simplified::Replace(cnst(ty, 0));
             }
         }
-        BinOp::UDiv | BinOp::SDiv => {
-            if rhs.is_const_bits(1) {
-                return Simplified::Replace(lhs);
-            }
+        BinOp::UDiv | BinOp::SDiv if rhs.is_const_bits(1) => {
+            return Simplified::Replace(lhs);
         }
-        BinOp::URem => {
-            if rhs.is_const_bits(1) {
-                return Simplified::Replace(cnst(ty, 0));
-            }
+        BinOp::URem if rhs.is_const_bits(1) => {
+            return Simplified::Replace(cnst(ty, 0));
         }
         BinOp::And => {
             if rhs.is_const_bits(0) {
@@ -288,12 +287,15 @@ fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> 
             }
             // xor (xor x, C1), C2 -> xor x, C1^C2  (double negation of
             // booleans collapses this way).
-            if let (Some(c2), Some(InstKind::Bin {
-                op: BinOp::Xor,
-                lhs: x,
-                rhs: Operand::Const(c1),
-                ..
-            })) = (rhs_c, def_of(f, lhs))
+            if let (
+                Some(c2),
+                Some(InstKind::Bin {
+                    op: BinOp::Xor,
+                    lhs: x,
+                    rhs: Operand::Const(c1),
+                    ..
+                }),
+            ) = (rhs_c, def_of(f, lhs))
             {
                 let v = c1.bits ^ c2.bits;
                 if v == 0 {
@@ -307,10 +309,8 @@ fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> 
                 });
             }
         }
-        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
-            if rhs.is_const_bits(0) {
-                return Simplified::Replace(lhs);
-            }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr if rhs.is_const_bits(0) => {
+            return Simplified::Replace(lhs);
         }
         _ => {}
     }
@@ -319,7 +319,10 @@ fn simplify_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> 
 
 fn simplify_cmp(f: &Function, pred: CmpPred, ty: Ty, lhs: Operand, rhs: Operand) -> Simplified {
     if let (Operand::Const(a), Operand::Const(b)) = (lhs, rhs) {
-        return Simplified::Replace(cnst(Ty::I1, fold::eval_cmp(pred, ty, a.bits, b.bits) as u64));
+        return Simplified::Replace(cnst(
+            Ty::I1,
+            fold::eval_cmp(pred, ty, a.bits, b.bits) as u64,
+        ));
     }
     // Constants to the right.
     if matches!(lhs, Operand::Const(_)) {
@@ -351,11 +354,14 @@ fn simplify_cmp(f: &Function, pred: CmpPred, ty: Ty, lhs: Operand, rhs: Operand)
     // the comparison the solver must reason about. `zext` preserves the
     // unsigned order; for signed predicates the zext result is non-negative
     // so signed and unsigned agree when C is also in the non-negative range.
-    if let (Some(c), Some(InstKind::Cast {
-        op: CastOp::Zext,
-        value: x,
-        ..
-    })) = (rhs.as_const(), def_of(f, lhs))
+    if let (
+        Some(c),
+        Some(InstKind::Cast {
+            op: CastOp::Zext,
+            value: x,
+            ..
+        }),
+    ) = (rhs.as_const(), def_of(f, lhs))
     {
         let src = f.operand_ty(*x);
         let fits_unsigned = c.bits <= src.mask();

@@ -11,9 +11,7 @@
 //!    condition phi jump straight to their decided target.
 
 use crate::stats::OptStats;
-use overify_ir::{
-    Cfg, DomTree, Function, InstKind, Operand, Terminator, ValueDef, ValueId,
-};
+use overify_ir::{Cfg, DomTree, Function, InstKind, Operand, Terminator, ValueDef, ValueId};
 use std::collections::HashMap;
 
 /// Runs jump threading to a fixpoint.
@@ -180,7 +178,10 @@ fn thread_phi_consts(f: &mut Function, stats: &mut OptStats) -> bool {
             let mut reroutes: Vec<(overify_ir::InstId, Operand)> = Vec::new();
             let mut ok = true;
             for &tid in &f.block(target).insts {
-                let InstKind::Phi { incomings: tinc, .. } = &f.inst(tid).kind else {
+                let InstKind::Phi {
+                    incomings: tinc, ..
+                } = &f.inst(tid).kind
+                else {
                     continue;
                 };
                 let Some((_, tval)) = tinc.iter().find(|(p, _)| *p == b) else {
@@ -192,8 +193,7 @@ fn thread_phi_consts(f: &mut Function, stats: &mut OptStats) -> bool {
                     Operand::Value(v) => {
                         if let Some(&src_phi) = phi_results.get(v) {
                             // Use the phi's own value on the pred edge.
-                            let InstKind::Phi { incomings: pin, .. } = &f.inst(src_phi).kind
-                            else {
+                            let InstKind::Phi { incomings: pin, .. } = &f.inst(src_phi).kind else {
                                 unreachable!()
                             };
                             match pin.iter().find(|(p, _)| *p == pred) {
@@ -260,11 +260,7 @@ fn thread_phi_consts(f: &mut Function, stats: &mut OptStats) -> bool {
 /// `target` without passing through `b` (in a way that the per-target phi
 /// rerouting does not already repair). Threading an edge to `target` would
 /// break dominance for such uses.
-fn b_values_used_beyond(
-    f: &Function,
-    b: overify_ir::BlockId,
-    target: overify_ir::BlockId,
-) -> bool {
+fn b_values_used_beyond(f: &Function, b: overify_ir::BlockId, target: overify_ir::BlockId) -> bool {
     use std::collections::HashSet;
     let defined: HashSet<ValueId> = f
         .block(b)
@@ -317,7 +313,10 @@ fn b_values_used_beyond(
             }
         }
         match &f.block(ub).term {
-            Terminator::CondBr { cond: Operand::Value(v), .. }
+            Terminator::CondBr {
+                cond: Operand::Value(v),
+                ..
+            }
             | Terminator::Ret {
                 value: Some(Operand::Value(v)),
             } if defined.contains(v) => return true,
@@ -330,13 +329,9 @@ fn b_values_used_beyond(
 /// True if any result of `tail` is used outside of block `b`'s own tail
 /// instructions and terminator.
 fn tail_escapes(f: &Function, b: overify_ir::BlockId, tail: &[overify_ir::InstId]) -> bool {
-    let results: Vec<ValueId> = tail
-        .iter()
-        .filter_map(|&i| f.inst(i).result)
-        .collect();
-    let uses_one = |op: &Operand| -> bool {
-        matches!(op, Operand::Value(v) if results.contains(v))
-    };
+    let results: Vec<ValueId> = tail.iter().filter_map(|&i| f.inst(i).result).collect();
+    let uses_one =
+        |op: &Operand| -> bool { matches!(op, Operand::Value(v) if results.contains(v)) };
     for bb in f.block_ids() {
         for &id in &f.block(bb).insts {
             if bb == b && tail.contains(&id) {

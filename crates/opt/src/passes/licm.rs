@@ -54,9 +54,10 @@ pub fn run(f: &mut Function, stats: &mut OptStats) -> bool {
                                     ValueDef::Param(_) => {}
                                     ValueDef::Inst(di) => {
                                         // Defined inside the loop?
-                                        let def_block = lp.blocks.iter().any(|&lb| {
-                                            f.block(lb).insts.contains(&di)
-                                        });
+                                        let def_block = lp
+                                            .blocks
+                                            .iter()
+                                            .any(|&lb| f.block(lb).insts.contains(&di));
                                         if def_block {
                                             invariant = false;
                                         }

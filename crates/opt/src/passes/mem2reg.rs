@@ -239,7 +239,7 @@ fn promotable_allocas(f: &Function) -> Vec<PromotableAlloca> {
         .into_iter()
         .filter_map(|(value, (inst, ty, escaped))| {
             let ty = ty?; // Never accessed: DCE's job, not ours.
-            // The access width must fit the allocation.
+                          // The access width must fit the allocation.
             let size = match &f.inst(inst).kind {
                 InstKind::Alloca { size } => *size,
                 _ => return None,
@@ -270,9 +270,12 @@ mod tests {
         let f = m.functions.iter_mut().find(|f| f.name == "f").unwrap();
         assert!(run(f, &mut stats));
         assert!(stats.allocas_promoted >= 2); // a's spill and x
-        // No loads or stores remain.
+                                              // No loads or stores remain.
         let has_mem = f.insts.iter().any(|i| {
-            matches!(i.kind, InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Alloca { .. })
+            matches!(
+                i.kind,
+                InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Alloca { .. }
+            )
         });
         assert!(!has_mem, "memory ops remain after mem2reg");
         overify_ir::verify_module(&m).unwrap();

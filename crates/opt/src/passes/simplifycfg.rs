@@ -85,9 +85,7 @@ fn merge_chains(f: &mut Function) -> bool {
                         let op = incomings
                             .first()
                             .map(|(_, op)| *op)
-                            .unwrap_or(Operand::Const(overify_ir::Const::zero(
-                                f.value_ty(result),
-                            )));
+                            .unwrap_or(Operand::Const(overify_ir::Const::zero(f.value_ty(result))));
                         repl.insert(result, op);
                         f.kill_inst(id);
                     }

@@ -88,7 +88,10 @@ fn find_candidates(f: &Function) -> Vec<Candidate> {
                 InstKind::Load { ty, addr } => {
                     if let Some(v) = addr.as_value() {
                         if let Some((base, off)) = base_of(&v) {
-                            accesses.entry(base).or_default().push((off, ty.bytes(), id));
+                            accesses
+                                .entry(base)
+                                .or_default()
+                                .push((off, ty.bytes(), id));
                         }
                     }
                 }
@@ -102,7 +105,10 @@ fn find_candidates(f: &Function) -> Vec<Candidate> {
                     }
                     if let Some(v) = addr.as_value() {
                         if let Some((base, off)) = base_of(&v) {
-                            accesses.entry(base).or_default().push((off, ty.bytes(), id));
+                            accesses
+                                .entry(base)
+                                .or_default()
+                                .push((off, ty.bytes(), id));
                         }
                     }
                 }
@@ -162,7 +168,9 @@ fn find_candidates(f: &Function) -> Vec<Candidate> {
         if bad.get(&av).copied().unwrap_or(false) {
             continue;
         }
-        let Some(accs) = accesses.get(&av) else { continue };
+        let Some(accs) = accesses.get(&av) else {
+            continue;
+        };
         // Group by (offset, width); ranges must be identical or disjoint,
         // and at least two distinct fields must exist (otherwise mem2reg
         // alone handles it).

@@ -108,11 +108,8 @@ fn peel_once(f: &mut Function, header: overify_ir::BlockId) -> bool {
         }
     }
     //    Original header swaps outside incomings for peeled-latch incomings.
-    let latch_map: Vec<(overify_ir::BlockId, overify_ir::BlockId)> = lp
-        .latches
-        .iter()
-        .map(|&l| (l, map.block(l)))
-        .collect();
+    let latch_map: Vec<(overify_ir::BlockId, overify_ir::BlockId)> =
+        lp.latches.iter().map(|&l| (l, map.block(l))).collect();
     let orig_phis: Vec<_> = f.block(lp.header).insts.clone();
     for id in orig_phis {
         let adds: Vec<(overify_ir::BlockId, Operand)> = match &f.inst(id).kind {
@@ -272,7 +269,11 @@ mod tests {
         let mut m1 = m0.clone();
         let mut stats = OptStats::default();
         let fi = m1.function_index("f").unwrap();
-        run(&mut m1.functions[fi], &CostModel::verification(), &mut stats);
+        run(
+            &mut m1.functions[fi],
+            &CostModel::verification(),
+            &mut stats,
+        );
         overify_ir::verify_module(&m1).unwrap();
         cleanup(&mut m1);
         overify_ir::verify_module(&m1).unwrap();
@@ -303,7 +304,11 @@ mod tests {
             cleanup(&mut m);
         }
         overify_ir::verify_module(&m).unwrap();
-        assert!(stats.loops_unrolled >= 2, "unrolled {}", stats.loops_unrolled);
+        assert!(
+            stats.loops_unrolled >= 2,
+            "unrolled {}",
+            stats.loops_unrolled
+        );
         let r = run_module(&m, "f", &[], &ExecConfig::default());
         assert_eq!(r.ret, Some(18)); // sum i*j, i<3, j<4 = (0+1+2)*(0+1+2+3)
     }

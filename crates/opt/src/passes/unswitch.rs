@@ -34,11 +34,7 @@ fn unswitch_one(f: &mut Function, cost: &CostModel, stats: &mut OptStats) -> boo
     let blocks_of = inst_blocks(f);
 
     for lp in &forest.loops {
-        let size: usize = lp
-            .blocks
-            .iter()
-            .map(|&b| f.block(b).insts.len())
-            .sum();
+        let size: usize = lp.blocks.iter().map(|&b| f.block(b).insts.len()).sum();
         if size > cost.unswitch_size_limit {
             continue;
         }
@@ -205,9 +201,7 @@ fn invariant_chain(
             ValueDef::Param(_) => continue,
             ValueDef::Inst(i) => i,
         };
-        let Some(db) = blocks_of[id.index()] else {
-            return None;
-        };
+        let db = blocks_of[id.index()]?;
         if !lp.contains(db) {
             continue; // Already outside.
         }
@@ -327,7 +321,11 @@ mod tests {
         let mut m1 = m0.clone();
         let mut stats = OptStats::default();
         let fi = m1.function_index("wcish").unwrap();
-        run(&mut m1.functions[fi], &CostModel::verification(), &mut stats);
+        run(
+            &mut m1.functions[fi],
+            &CostModel::verification(),
+            &mut stats,
+        );
         super::super::simplifycfg::run(&mut m1.functions[fi], &mut stats);
         overify_ir::verify_module(&m1).unwrap();
         assert!(stats.loops_unswitched >= 1);

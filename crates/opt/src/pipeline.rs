@@ -92,12 +92,7 @@ impl PipelineOptions {
 
 /// Alternates if-conversion (which needs the module for load
 /// dereferenceability) with folding and CFG cleanup until stable.
-fn ifconvert_fixpoint(
-    m: &mut Module,
-    fi: usize,
-    cost: &CostModel,
-    stats: &mut OptStats,
-) -> bool {
+fn ifconvert_fixpoint(m: &mut Module, fi: usize, cost: &CostModel, stats: &mut OptStats) -> bool {
     let mut changed = false;
     let mut f = std::mem::replace(&mut m.functions[fi], Function::new("<swap>", &[], Ty::Void));
     for _ in 0..10 {
@@ -210,12 +205,8 @@ pub fn optimize(m: &mut Module, opts: &PipelineOptions) -> OptStats {
 
     // -OVERIFY extras: annotations feed check elision, then a final
     // annotation round covers the check-inserted code too.
-    let want_annotations = opts
-        .annotations
-        .unwrap_or(level == OptLevel::Overify);
-    let want_checks = opts
-        .runtime_checks
-        .unwrap_or(level == OptLevel::Overify);
+    let want_annotations = opts.annotations.unwrap_or(level == OptLevel::Overify);
+    let want_checks = opts.runtime_checks.unwrap_or(level == OptLevel::Overify);
     if want_annotations {
         for f in &mut m.functions {
             if !f.is_declaration {
@@ -232,10 +223,8 @@ pub fn optimize(m: &mut Module, opts: &PipelineOptions) -> OptStats {
             if m.functions[fi].is_declaration {
                 continue;
             }
-            let mut f = std::mem::replace(
-                &mut m.functions[fi],
-                Function::new("<swap>", &[], Ty::Void),
-            );
+            let mut f =
+                std::mem::replace(&mut m.functions[fi], Function::new("<swap>", &[], Ty::Void));
             passes::checks::run(m, &mut f, &opts_c, &mut stats);
             m.functions[fi] = f;
         }

@@ -61,7 +61,11 @@ impl fmt::Display for OptStats {
         writeln!(f, "# jumps threaded      {:>8}", self.jumps_threaded)?;
         writeln!(f, "# allocas promoted    {:>8}", self.allocas_promoted)?;
         writeln!(f, "# insts simplified    {:>8}", self.insts_simplified)?;
-        write!(f, "# checks ins/elided   {:>4}/{}", self.checks_inserted, self.checks_elided)
+        write!(
+            f,
+            "# checks ins/elided   {:>4}/{}",
+            self.checks_inserted, self.checks_elided
+        )
     }
 }
 
@@ -72,9 +76,11 @@ mod tests {
     #[test]
     fn add_assign_accumulates() {
         let mut a = OptStats::default();
-        let mut b = OptStats::default();
-        b.functions_inlined = 3;
-        b.branches_converted = 5;
+        let b = OptStats {
+            functions_inlined: 3,
+            branches_converted: 5,
+            ..Default::default()
+        };
         a += b;
         a += b;
         assert_eq!(a.functions_inlined, 6);

@@ -1,10 +1,8 @@
 //! Shared pass machinery: batch value replacement, block compaction, region
 //! cloning and block splitting.
 
-use overify_ir::{
-    Cfg, Function, InstKind, Module, Operand, Terminator, Ty, ValueDef, ValueId,
-};
 use overify_ir::{BlockId, InstId};
+use overify_ir::{Cfg, Function, InstKind, Module, Operand, Terminator, Ty, ValueDef, ValueId};
 use std::collections::HashMap;
 
 /// Applies a set of value replacements in one pass over the function,
@@ -247,9 +245,7 @@ pub fn provably_dereferenceable_with(
         };
         match &inst.kind {
             InstKind::Alloca { size } => Some((*size, 0)),
-            InstKind::GlobalAddr { global } => {
-                Some((m.globals.get(global.index())?.size, 0))
-            }
+            InstKind::GlobalAddr { global } => Some((m.globals.get(global.index())?.size, 0)),
             InstKind::PtrAdd { base, offset } => {
                 let worst = match offset {
                     Operand::Const(c) => {
@@ -299,11 +295,7 @@ pub fn ensure_dedicated_exits(f: &mut Function, lp: &overify_ir::Loop) -> bool {
     for &e in &lp.exits {
         let cfg = Cfg::compute(f);
         let preds: Vec<BlockId> = cfg.preds(e).to_vec();
-        let loop_preds: Vec<BlockId> = preds
-            .iter()
-            .copied()
-            .filter(|p| lp.contains(*p))
-            .collect();
+        let loop_preds: Vec<BlockId> = preds.iter().copied().filter(|p| lp.contains(*p)).collect();
         let has_outside = preds.iter().any(|p| !lp.contains(*p));
         if !has_outside || loop_preds.is_empty() {
             continue;
@@ -424,10 +416,8 @@ pub fn make_loop_closed(f: &mut Function, lp: &overify_ir::Loop) -> bool {
     let mut new_phis: Vec<InstId> = Vec::new();
     for (v, _) in used_outside {
         let ty = f.value_ty(v);
-        let incomings: Vec<(BlockId, Operand)> = exit_preds
-            .iter()
-            .map(|&p| (p, Operand::Value(v)))
-            .collect();
+        let incomings: Vec<(BlockId, Operand)> =
+            exit_preds.iter().map(|&p| (p, Operand::Value(v))).collect();
         let (pid, pv) = f.create_inst(InstKind::Phi { ty, incomings }, Some(ty));
         f.blocks[exit.index()].insts.insert(0, pid);
         new_phis.push(pid);

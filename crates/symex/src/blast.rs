@@ -123,7 +123,8 @@ impl<'p> Blaster<'p> {
         }
         let o = self.fresh();
         self.sat.add_clause(vec![o.negate(), a, b]);
-        self.sat.add_clause(vec![o.negate(), a.negate(), b.negate()]);
+        self.sat
+            .add_clause(vec![o.negate(), a.negate(), b.negate()]);
         self.sat.add_clause(vec![o, a, b.negate()]);
         self.sat.add_clause(vec![o, a.negate(), b]);
         o
@@ -289,8 +290,8 @@ impl<'p> Blaster<'p> {
         }
         // Any higher shift bit set -> result is all fill.
         let mut high = self.fals();
-        for i in (stages as usize)..b.len() {
-            high = self.gate_or(high, b[i]);
+        for &bit in &b[stages as usize..] {
+            high = self.gate_or(high, bit);
         }
         // Also shifts >= w within the staged range produce fill naturally
         // through the cascade (staged shifts cover up to 2^stages-1 >= w).
@@ -392,11 +393,7 @@ impl<'p> Blaster<'p> {
                 .zip(b)
                 .map(|(&x, &y)| self.gate_and(x, y))
                 .collect(),
-            BinOp::Or => a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| self.gate_or(x, y))
-                .collect(),
+            BinOp::Or => a.iter().zip(b).map(|(&x, &y)| self.gate_or(x, y)).collect(),
             BinOp::Xor => a
                 .iter()
                 .zip(b)

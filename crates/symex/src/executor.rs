@@ -11,8 +11,7 @@ use crate::memory::{SymMemory, OFFSET_BITS};
 use crate::report::{Bug, BugKind, TestCase, VerificationReport};
 use crate::solver::{Model, SatResult, Solver, SolverOptions};
 use overify_ir::{
-    BlockId, Callee, CastOp, CmpPred, InstKind, Intrinsic, Module, Operand,
-    Terminator, Ty, ValueId,
+    BlockId, Callee, CastOp, CmpPred, InstKind, Intrinsic, Module, Operand, Terminator, Ty, ValueId,
 };
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -188,11 +187,7 @@ impl<'m> Executor<'m> {
         arg_vals.push(self.pool.constant(64, base));
         if self.cfg.pass_len_arg {
             // Length parameter typed per the signature (usually i32).
-            let ty = f
-                .params
-                .get(1)
-                .map(|&p| f.value_ty(p))
-                .unwrap_or(Ty::I32);
+            let ty = f.params.get(1).map(|&p| f.value_ty(p)).unwrap_or(Ty::I32);
             arg_vals.push(self.pool.constant(ty.bits(), n as u64));
         }
         for a in self.cfg.extra_args.clone() {
@@ -316,8 +311,9 @@ impl<'m> Executor<'m> {
     fn eval_op(&mut self, st: &State, op: Operand) -> ExprRef {
         match op {
             Operand::Const(c) => self.pool.constant(c.ty.bits(), c.bits),
-            Operand::Value(v) => st.frames.last().unwrap().regs[v.index()]
-                .expect("use of undefined register"),
+            Operand::Value(v) => {
+                st.frames.last().unwrap().regs[v.index()].expect("use of undefined register")
+            }
         }
     }
 
@@ -347,7 +343,11 @@ impl<'m> Executor<'m> {
             SatResult::Sat(m) => self.input_bytes_of(&m),
             SatResult::Unsat => Vec::new(),
         };
-        self.report.bugs.push(Bug { kind, location: loc, input });
+        self.report.bugs.push(Bug {
+            kind,
+            location: loc,
+            input,
+        });
     }
 
     fn input_bytes_of(&self, m: &Model) -> Vec<u8> {
@@ -496,7 +496,11 @@ impl<'m> Executor<'m> {
             InstKind::Store { ty, value, addr } => {
                 let a = self.eval_op(st, addr);
                 let v = self.eval_op(st, value);
-                let v8 = if ty == Ty::I1 { self.pool.zext(v, 8) } else { v };
+                let v8 = if ty == Ty::I1 {
+                    self.pool.zext(v, 8)
+                } else {
+                    v
+                };
                 match self.store_value(st, a, v8, ty.bytes()) {
                     None => Step::Continue,
                     Some(end) => Step::End(end),
@@ -572,7 +576,8 @@ impl<'m> Executor<'m> {
         let (ra, rb) = (range_of(lhs)?, range_of(rhs)?);
         // Unsigned reasoning only (the annotation pass emits unsigned
         // ranges).
-        let decided = match pred {
+
+        match pred {
             CmpPred::Ult => {
                 if ra.umax < rb.umin {
                     Some(true)
@@ -624,8 +629,7 @@ impl<'m> Executor<'m> {
                 }
             }
             _ => None,
-        };
-        decided
+        }
     }
 
     /// Division guard: forks a div-by-zero bug path when feasible.
@@ -644,7 +648,10 @@ impl<'m> Executor<'m> {
         if self.intervals.decide(&self.pool, is_zero) == Some(false) {
             return None;
         }
-        if self.solver.may_be_true(&self.pool, &st.constraints, is_zero) {
+        if self
+            .solver
+            .may_be_true(&self.pool, &st.constraints, is_zero)
+        {
             self.record_bug(st, BugKind::DivByZero, Some(is_zero));
             let nz = self.pool.not(is_zero);
             if self.solver.may_be_true(&self.pool, &st.constraints, nz) {
@@ -667,10 +674,9 @@ impl<'m> Executor<'m> {
             Intrinsic::SymInput => {
                 // The harness preloads symbolic input; a program-level
                 // sym_input introduces fresh bytes at a concrete location.
-                let (Some(addr), Some(len)) = (
-                    self.pool.as_const(args[0]),
-                    self.pool.as_const(args[1]),
-                ) else {
+                let (Some(addr), Some(len)) =
+                    (self.pool.as_const(args[0]), self.pool.as_const(args[1]))
+                else {
                     return Step::End(PathEnd::Killed);
                 };
                 let obj = (addr >> OFFSET_BITS) as u32;
@@ -742,7 +748,9 @@ impl<'m> Executor<'m> {
                         }
                     }
                 };
-                let base = st.mem.allocate(&mut self.pool, size.max(1).min(1 << 20), "malloc");
+                let base = st
+                    .mem
+                    .allocate(&mut self.pool, size.clamp(1, 1 << 20), "malloc");
                 let e = self.pool.constant(64, base);
                 self.set_reg(st, result, e);
                 Step::Continue
@@ -863,10 +871,7 @@ impl<'m> Executor<'m> {
     /// forking bug paths for infeasible or out-of-bounds accesses.
     fn resolve(&mut self, st: &mut State, addr: ExprRef, width: u64) -> Resolved {
         let iv = self.intervals.get(&self.pool, addr);
-        let (obj_lo, obj_hi) = (
-            (iv.lo >> OFFSET_BITS) as u32,
-            (iv.hi >> OFFSET_BITS) as u32,
-        );
+        let (obj_lo, obj_hi) = ((iv.lo >> OFFSET_BITS) as u32, (iv.hi >> OFFSET_BITS) as u32);
 
         let obj = if obj_lo == obj_hi {
             obj_lo

@@ -209,12 +209,15 @@ impl ExprPool {
         }
 
         // add(add(x, C1), C2) -> add(x, C1+C2); same for xor.
-        if let (Some(c2), Node::Bin {
-            op: inner_op,
-            a: x,
-            b: inner_b,
-            ..
-        }) = (bc, self.node(a).clone())
+        if let (
+            Some(c2),
+            Node::Bin {
+                op: inner_op,
+                a: x,
+                b: inner_b,
+                ..
+            },
+        ) = (bc, self.node(a).clone())
         {
             if inner_op == op && matches!(op, BinOp::Add | BinOp::Xor) {
                 if let Some(c1) = self.as_const(inner_b) {
@@ -432,12 +435,12 @@ impl ExprPool {
             }
             // trunc(ite(c, t, f)) -> ite(c, trunc t, trunc f) when an arm is
             // constant (keeps byte extraction of table ITEs shallow).
-            Node::Ite { c, t, f, .. } => {
-                if self.as_const(t).is_some() || self.as_const(f).is_some() {
-                    let tt = self.trunc(t, width);
-                    let tf = self.trunc(f, width);
-                    return self.ite(c, tt, tf);
-                }
+            Node::Ite { c, t, f, .. }
+                if (self.as_const(t).is_some() || self.as_const(f).is_some()) =>
+            {
+                let tt = self.trunc(t, width);
+                let tf = self.trunc(f, width);
+                return self.ite(c, tt, tf);
             }
             _ => {}
         }

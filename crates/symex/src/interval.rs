@@ -277,14 +277,11 @@ fn bin_interval(op: BinOp, width: u32, a: Interval, b: Interval) -> Option<Inter
             (hi <= m).then_some(Interval { lo, hi })
         }
         BinOp::UDiv => {
-            if b.lo == 0 {
-                None
-            } else {
-                Some(Interval {
-                    lo: a.lo / b.hi,
-                    hi: a.hi / b.lo,
-                })
-            }
+            // `b.lo > 0` implies `b.hi > 0`, so both divisions are safe.
+            Some(Interval {
+                lo: a.lo.checked_div(b.hi)?,
+                hi: a.hi.checked_div(b.lo)?,
+            })
         }
         BinOp::URem => {
             if b.lo == 0 {

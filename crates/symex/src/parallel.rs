@@ -28,19 +28,21 @@ pub fn verify_parallel(
         return verify(m, entry, cfg);
     }
 
-    let reports: Vec<VerificationReport> = crossbeam::scope(|scope| {
+    let reports: Vec<VerificationReport> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let cfg = cfg.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut c = cfg;
                 c.partition = Some((w as u64, workers as u64));
                 verify(m, entry, &c)
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     merge(reports)
 }

@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn kind_mapping_is_total() {
         use overify_ir::AbortKind::*;
-        for k in [OutOfBounds, DivByZero, AssertFail, Explicit, UnreachableReached] {
+        for k in [
+            OutOfBounds,
+            DivByZero,
+            AssertFail,
+            Explicit,
+            UnreachableReached,
+        ] {
             let _ = BugKind::from_abort(k);
         }
     }

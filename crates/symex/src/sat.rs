@@ -279,8 +279,7 @@ impl Sat {
         loop {
             let clause: Vec<Lit> = self.clauses[clause_idx as usize].clone();
             let start = if p.is_some() { 1 } else { 0 };
-            for k in start..clause.len() {
-                let q = clause[k];
+            for &q in &clause[start..] {
                 let v = q.var();
                 if !seen[v.0 as usize] && self.level[v.0 as usize] > 0 {
                     seen[v.0 as usize] = true;
@@ -426,7 +425,7 @@ mod tests {
     use super::*;
 
     fn lit(i: i32) -> Lit {
-        let v = Var((i.unsigned_abs() - 1) as u32);
+        let v = Var(i.unsigned_abs() - 1);
         Lit::new(v, i > 0)
     }
 
@@ -527,14 +526,7 @@ mod tests {
         // CNF of x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 → unsat (parity).
         let mut s = solver_with(
             3,
-            &[
-                &[1, 2],
-                &[-1, -2],
-                &[2, 3],
-                &[-2, -3],
-                &[1, 3],
-                &[-1, -3],
-            ],
+            &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]],
         );
         assert_eq!(s.solve(), SatOutcome::Unsat);
     }

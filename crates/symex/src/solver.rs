@@ -193,12 +193,7 @@ impl Solver {
     }
 
     /// Convenience: is `cond` possible under `constraints`?
-    pub fn may_be_true(
-        &mut self,
-        pool: &ExprPool,
-        constraints: &[ExprRef],
-        cond: ExprRef,
-    ) -> bool {
+    pub fn may_be_true(&mut self, pool: &ExprPool, constraints: &[ExprRef], cond: ExprRef) -> bool {
         let mut cs = constraints.to_vec();
         cs.push(cond);
         self.check(pool, &cs).is_sat()
@@ -222,7 +217,9 @@ mod tests {
 
         // Satisfiable.
         let r = s.check(&pool, &[lt10]);
-        let SatResult::Sat(m) = r else { panic!("expected sat") };
+        let SatResult::Sat(m) = r else {
+            panic!("expected sat")
+        };
         assert!(m.get(0) < 10);
 
         // Contradiction requires SAT (or cache) to refute.

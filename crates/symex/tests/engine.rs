@@ -26,9 +26,8 @@ fn straight_line_program_has_one_path() {
 
 #[test]
 fn one_symbolic_branch_two_paths() {
-    let m = compile(
-        "int umain(unsigned char *in, int n) { if (in[0] == 'x') return 1; return 0; }",
-    );
+    let m =
+        compile("int umain(unsigned char *in, int n) { if (in[0] == 'x') return 1; return 0; }");
     let r = verify(&m, "umain", &cfg(1));
     assert_eq!(r.paths_completed, 2);
     assert_eq!(r.forks, 1);

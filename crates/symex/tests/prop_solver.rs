@@ -64,8 +64,11 @@ fn arb_term() -> impl Strategy<Value = T> {
     let leaf = prop_oneof![Just(T::X), Just(T::Y), any::<u8>().prop_map(T::K)];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| T::Bin(op, Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| T::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (arb_pred(), inner.clone(), inner.clone()).prop_map(|(p, a, b)| {
                 // Comparisons produce 1-bit values; widen back to 8 via an
                 // ITE so the tree stays uniformly 8-bit.
@@ -75,8 +78,11 @@ fn arb_term() -> impl Strategy<Value = T> {
                     Box::new(T::K(0)),
                 )
             }),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| T::Ite(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| T::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

@@ -88,12 +88,7 @@ fn main() {
         .find(|s| !s.is_empty())
         .expect("the seeded bug must be found");
     for (i, s) in signatures.iter().enumerate() {
-        assert_eq!(
-            s,
-            reference,
-            "level {:?} missed bugs",
-            OptLevel::all()[i]
-        );
+        assert_eq!(s, reference, "level {:?} missed bugs", OptLevel::all()[i]);
     }
     println!("\nall levels report the same bug kinds — optimization did not");
     println!("hide the overflow, it only changed how fast we got there.");

@@ -24,10 +24,7 @@ fn build(u: &Utility, level: OptLevel) -> CompiledProgram {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let selected: Vec<String> = args.collect();
 
     let utilities: Vec<&Utility> = suite()
@@ -38,8 +35,8 @@ fn main() {
 
     println!("coreutils sweep: {n} symbolic input bytes\n");
     println!(
-        "{:<14} {:>12} {:>12} {:>12}   {}",
-        "utility", "-O0", "-O3", "-OVERIFY", "(total analysis time; paths)"
+        "{:<14} {:>12} {:>12} {:>12}   (total analysis time; paths)",
+        "utility", "-O0", "-O3", "-OVERIFY"
     );
 
     for u in utilities {

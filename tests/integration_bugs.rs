@@ -2,7 +2,7 @@
 //! indeed all bugs discovered by KLEE with -O0 and -O3 are also found with
 //! -OSYMBEX") and §2.3's undefined-behaviour caveat.
 
-use overify::{compile, verify_program, BuildOptions, BugKind, OptLevel, SymConfig};
+use overify::{compile, verify_program, BugKind, BuildOptions, OptLevel, SymConfig};
 
 /// Utilities seeded with distinct input-dependent bugs.
 const SEEDED: &[(&str, BugKind, &str)] = &[

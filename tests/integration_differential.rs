@@ -24,9 +24,7 @@ fn emit(s: &Stmt, out: &mut String) {
         Stmt::AddVar(a, b) => out.push_str(&format!("v{} += v{};\n", a % 3, b % 3)),
         Stmt::SubConst(a, k) => out.push_str(&format!("v{} -= {};\n", a % 3, k)),
         Stmt::MulConst(a, k) => out.push_str(&format!("v{} *= {};\n", a % 3, k)),
-        Stmt::XorInput(a, i) => {
-            out.push_str(&format!("v{} ^= in[{}];\n", a % 3, i % 4))
-        }
+        Stmt::XorInput(a, i) => out.push_str(&format!("v{} ^= in[{}];\n", a % 3, i % 4)),
         Stmt::IfPositive(a, inner) => {
             out.push_str(&format!("if (v{} > 0) {{\n", a % 3));
             emit(inner, out);
@@ -49,10 +47,12 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (any::<usize>(), inner.clone())
-                .prop_map(|(a, s)| Stmt::IfPositive(a, Box::new(s))),
-            (any::<usize>(), any::<u8>(), inner)
-                .prop_map(|(i, k, s)| Stmt::IfInputEq(i, k, Box::new(s))),
+            (any::<usize>(), inner.clone()).prop_map(|(a, s)| Stmt::IfPositive(a, Box::new(s))),
+            (any::<usize>(), any::<u8>(), inner).prop_map(|(i, k, s)| Stmt::IfInputEq(
+                i,
+                k,
+                Box::new(s)
+            )),
         ]
     })
 }

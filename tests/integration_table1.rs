@@ -88,7 +88,10 @@ fn interpreted_instructions_follow_paths() {
     let r0 = verify_at(OptLevel::O0);
     let r2 = verify_at(OptLevel::O2);
     let rv = verify_at(OptLevel::Overify);
-    assert!(r2.instructions < r0.instructions, "O2 interprets less than O0");
+    assert!(
+        r2.instructions < r0.instructions,
+        "O2 interprets less than O0"
+    );
     assert!(
         rv.instructions < r2.instructions / 4,
         "OVERIFY {} should be far below O2 {}",
@@ -126,12 +129,7 @@ fn concrete_execution_is_slower_under_overify_than_o3() {
 #[test]
 fn all_levels_count_words_identically() {
     let cfg = ExecConfig::default();
-    let texts: [&[u8]; 4] = [
-        b"hello world\0",
-        b"one, two; three!\0",
-        b"\t\n \0",
-        b"a\0",
-    ];
+    let texts: [&[u8]; 4] = [b"hello world\0", b"one, two; three!\0", b"\t\n \0", b"a\0"];
     let progs: Vec<_> = OptLevel::all()
         .into_iter()
         .map(|l| compile(WC, &BuildOptions::level(l)).unwrap())

@@ -1,0 +1,157 @@
+//! Minimal offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to a registry, so the
+//! workspace vendors the tiny subset of criterion's API that
+//! `crates/bench/benches/micro.rs` uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Timing methodology is deliberately simple — per benchmark it runs a
+//! short warm-up, then `sample_size` timed samples of an adaptively chosen
+//! iteration count, and reports the median / mean / min per-iteration time.
+//! It is good enough to compare the relative cost of the substrates; it is
+//! not a replacement for real criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's iterations and records per-sample wall time.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters_per_sample` calls of `f` and records the sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration used to calibrate iteration counts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints a per-iteration summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: run single iterations until the warm-up budget is
+        // spent, deriving an iteration count that makes one sample take
+        // roughly warm_up_time / sample_size.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters_per_sample: 1,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_nanos().max(1) / u128::from(calib_iters.max(1));
+        let target_sample_nanos = (self.warm_up_time.as_nanos() / self.sample_size as u128).max(1);
+        let iters_per_sample = ((target_sample_nanos / per_iter.max(1)) as u64).clamp(1, 1 << 20);
+
+        let mut b = Bencher {
+            iters_per_sample,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+
+        let mut per_iter_nanos: Vec<u128> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / u128::from(iters_per_sample))
+            .collect();
+        per_iter_nanos.sort_unstable();
+        let median = per_iter_nanos[per_iter_nanos.len() / 2];
+        let mean = per_iter_nanos.iter().sum::<u128>() / per_iter_nanos.len() as u128;
+        let min = per_iter_nanos[0];
+        println!(
+            "{id:<40} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            fmt_nanos(median),
+            fmt_nanos(mean),
+            fmt_nanos(min),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_nanos(n: u128) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.3} s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.3} ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.3} us", n as f64 / 1e3)
+    } else {
+        format!("{n} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

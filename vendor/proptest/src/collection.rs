@@ -1,0 +1,53 @@
+//! `proptest::collection::vec`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Element-count specification: an exact count or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of values from `elem` with `size` elements.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}

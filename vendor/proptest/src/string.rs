@@ -1,0 +1,157 @@
+//! Random-string generation from a small regex subset.
+//!
+//! Supported syntax — exactly what the workspace's property tests need:
+//!
+//! * character classes `[...]` containing literal characters, ranges
+//!   (`a-z`, ` -~`) and escapes (`\n`, `\t`, `\r`, `\\`, `\]`, `\-`);
+//! * literal characters (with the same escapes) outside classes;
+//! * repetition `{m}` / `{m,n}` applied to the preceding atom.
+//!
+//! Anything else (alternation, groups, `*`/`+`/`?`, anchors, `.`) panics
+//! with a clear message so an unsupported pattern fails loudly instead of
+//! silently generating the wrong distribution.
+
+use crate::rng::TestRng;
+
+enum Atom {
+    /// Candidate characters (a literal is a 1-element class).
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one random string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        let Atom::Class(chars) = &piece.atom;
+        for _ in 0..count {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                let (c, next) = parse_escape(pattern, &chars, i + 1);
+                i = next;
+                Atom::Class(vec![c])
+            }
+            c @ ('*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' | '.') => {
+                panic!(
+                    "proptest stand-in: unsupported regex construct `{c}` in pattern {pattern:?}"
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max, next) = parse_repeat(pattern, &chars, i);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses the body of a `[...]` class starting at `i` (past the `[`).
+/// Returns the candidate set and the index past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        panic!("proptest stand-in: negated classes unsupported in pattern {pattern:?}");
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let (lo, next) = if chars[i] == '\\' {
+            parse_escape(pattern, chars, i + 1)
+        } else {
+            (chars[i], i + 1)
+        };
+        i = next;
+        // Range `lo-hi` (a trailing `-` right before `]` is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            let (hi, next) = if chars[i + 1] == '\\' {
+                parse_escape(pattern, chars, i + 2)
+            } else {
+                (chars[i + 1], i + 2)
+            };
+            i = next;
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated `[` class in pattern {pattern:?}"
+    );
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+fn parse_escape(pattern: &str, chars: &[char], i: usize) -> (char, usize) {
+    let c = *chars
+        .get(i)
+        .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}"));
+    let resolved = match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' | ']' | '[' | '-' | '{' | '}' | '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^'
+        | '$' => c,
+        other => panic!("proptest stand-in: unsupported escape `\\{other}` in pattern {pattern:?}"),
+    };
+    (resolved, i + 1)
+}
+
+/// Parses an optional `{m}` / `{m,n}` at `i`. Returns (min, max, next index).
+fn parse_repeat(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated `{{` in pattern {pattern:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad repeat lower bound"),
+            n.trim().parse().expect("bad repeat upper bound"),
+        ),
+        None => {
+            let exact = body.trim().parse().expect("bad repeat count");
+            (exact, exact)
+        }
+    };
+    assert!(
+        min <= max,
+        "inverted repeat `{{{body}}}` in pattern {pattern:?}"
+    );
+    (min, max, close + 1)
+}

@@ -1,0 +1,82 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Runs a strategy's generated cases against a test closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `config.cases` generated inputs through `test`. On a panic the
+    /// offending input, test name and seed are printed before the panic is
+    /// propagated, so the failure can be committed as a deterministic
+    /// regression test.
+    pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value),
+    {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0x0BAD_5EED_CAFE_F00D);
+        let name_hash = fxhash(name);
+        for case in 0..self.config.cases {
+            let seed = base_seed ^ name_hash ^ (u64::from(case) << 32 | u64::from(case));
+            let mut rng = TestRng::new(seed);
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(()) => {}
+                Err(payload) => {
+                    eprintln!(
+                        "proptest stand-in: test `{name}` failed at case {case}/{} \
+                         (base seed {base_seed:#x})\n  input: {shown}",
+                        self.config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Tiny FNV-1a so different tests in one binary see different streams.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
