@@ -14,8 +14,8 @@ fn main() {
     let prog = compile(WC_SOURCE, &BuildOptions::level(OptLevel::O3)).expect("compiles");
     println!("# Ablation: solver layers while verifying wc at -O3 ({n} bytes)\n");
     println!(
-        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
-        "configuration", "queries", "interval", "cex", "qcache", "sat", "tverify[ms]"
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "configuration", "queries", "interval", "cex", "qcache", "enum", "sat", "tverify[ms]"
     );
 
     let configs = [
@@ -42,11 +42,20 @@ fn main() {
             },
         ),
         (
+            "no enumeration",
+            SolverOptions {
+                use_enumeration: false,
+                ..Default::default()
+            },
+        ),
+        (
             "SAT only",
             SolverOptions {
                 use_intervals: false,
                 use_cex_cache: false,
                 use_query_cache: false,
+                use_shared_cache: false,
+                use_enumeration: false,
             },
         ),
     ];
@@ -67,12 +76,13 @@ fn main() {
         );
         assert!(r.exhausted);
         println!(
-            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12.1}",
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12.1}",
             name,
             r.solver.queries,
             r.solver.solved_interval,
             r.solver.solved_cex_cache,
             r.solver.solved_query_cache,
+            r.solver.solved_enum,
             r.solver.solved_sat,
             r.time.as_secs_f64() * 1e3
         );

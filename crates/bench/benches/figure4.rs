@@ -9,11 +9,18 @@
 //! average total-time reduction vs -O3 and vs -O0, maximum speedup factor,
 //! and the programs that only finish under -OSYMBEX.
 //!
+//! The whole workload matrix runs through the batch suite driver
+//! (`overify::verify_suite`), fanning utility × level jobs across
+//! `OVERIFY_THREADS` workers (default: all cores). Per-job numbers are
+//! measured inside each job, so the table is thread-count-independent;
+//! only the wall clock shrinks.
+//!
 //! Knobs: `OVERIFY_SYM_BYTES_LIST` (default `2,3,4`; the paper uses 2..10),
-//! `OVERIFY_BUDGET`, `OVERIFY_TIMEOUT_SECS`, `OVERIFY_UTILITIES`.
+//! `OVERIFY_BUDGET`, `OVERIFY_TIMEOUT_SECS`, `OVERIFY_UTILITIES`,
+//! `OVERIFY_THREADS`.
 
-use overify::OptLevel;
-use overify_bench::{build_utility, env_list, selected_utilities, suite_config};
+use overify::{default_threads, verify_suite, OptLevel, SuiteJob};
+use overify_bench::{env_list, selected_utilities, suite_config};
 use std::time::Duration;
 
 struct Outcome {
@@ -29,13 +36,22 @@ fn main() {
     let bytes = env_list("OVERIFY_SYM_BYTES_LIST", &[2, 3, 4]);
     let utilities = selected_utilities();
     let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+    let threads = default_threads();
 
     println!(
-        "# Figure 4: {} utilities x {{-O0,-O3,-OSYMBEX}} x {:?} symbolic bytes",
+        "# Figure 4: {} utilities x {{-O0,-O3,-OSYMBEX}} x {:?} symbolic bytes, {} thread(s)",
         utilities.len(),
-        bytes
+        bytes,
+        threads
     );
     println!("# per-run budget: see OVERIFY_BUDGET / OVERIFY_TIMEOUT_SECS\n");
+
+    let cfg = suite_config(bytes[0]);
+    let jobs: Vec<SuiteJob> = utilities
+        .iter()
+        .flat_map(|u| levels.map(|l| SuiteJob::utility(u, l, &bytes, &cfg)))
+        .collect();
+    let report = verify_suite(jobs, threads);
 
     let mut outcomes = Vec::new();
     for u in &utilities {
@@ -43,14 +59,17 @@ fn main() {
         let mut finished = [true; 3];
         let mut bugs = [0usize; 3];
         for (li, level) in levels.into_iter().enumerate() {
-            let start = std::time::Instant::now();
-            let prog = build_utility(u, level);
-            for &n in &bytes {
-                let report = overify::verify_program(&prog, "umain", &suite_config(n));
-                finished[li] &= report.exhausted;
-                bugs[li] = bugs[li].max(report.bug_signature().len());
-            }
-            t[li] = start.elapsed();
+            let job = report.job(u.name, level).expect("job ran");
+            t[li] = job.total_time();
+            finished[li] = job.exhausted();
+            bugs[li] = job.bug_signature().len();
+            // The work-stealing acceptance invariant: no symbolic path is
+            // explored by more than one worker.
+            assert!(
+                job.max_path_multiplicity() <= 1,
+                "{}@{level}: a path was explored twice",
+                u.name
+            );
         }
         println!(
             "{:<14} O0 {:>9.2?}{} O3 {:>9.2?}{} OSYMBEX {:>9.2?}{}",
@@ -128,6 +147,12 @@ fn main() {
     println!(
         "budget-limited runs completing only under -OSYMBEX: {only_osymbex} \
          (paper: 6 vs -O3, 11 vs -O0)"
+    );
+    println!(
+        "batch wall      {:.2}s for {:.2}s of per-job work on {} thread(s)",
+        report.wall.as_secs_f64(),
+        report.total_time().as_secs_f64(),
+        threads
     );
 
     // Bug preservation (paper: all bugs found at -O0/-O3 also found at

@@ -14,6 +14,7 @@
 //! | `OVERIFY_BUDGET` | `10_000_000` | interpreted-instruction budget per run |
 //! | `OVERIFY_TIMEOUT_SECS` | `30` | wall-clock cap per run |
 //! | `OVERIFY_UTILITIES` | all | comma-separated subset of the suite |
+//! | `OVERIFY_THREADS` | all cores | batch-driver threads (`figure4`, `ablation_parallel`) |
 
 use overify::{BuildOptions, CompiledProgram, OptLevel, SymConfig, VerificationReport};
 use overify_coreutils::Utility;

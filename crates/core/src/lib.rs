@@ -13,7 +13,11 @@
 //! * [`run_program`] executes it concretely under a CPU cost model
 //!   (Table 1's `t_run`);
 //! * [`BuildChain`] mirrors Figure 3: one source, three build
-//!   configurations (debug, release, verification).
+//!   configurations (debug, release, verification);
+//! * [`verify_program_parallel`] runs the work-stealing multi-core driver
+//!   over one program, and [`verify_suite`] fans a whole workload matrix
+//!   (utilities × levels × input sizes) across a thread pool — the §4
+//!   "spend hardware on the verifier" direction.
 //!
 //! # Quickstart
 //!
@@ -46,12 +50,17 @@
 
 pub mod build;
 pub mod chain;
+pub mod suite;
 
 pub use build::{compile, compile_module, BuildError, BuildOptions, CompiledProgram};
 pub use chain::BuildChain;
+pub use suite::{
+    coreutils_jobs, verify_suite, verify_suite_with, SuiteJob, SuiteJobResult, SuiteReport,
+};
 
 // Re-export the pieces a downstream user needs, so `overify` is the single
 // dependency.
+pub use overify_coreutils::{suite as coreutils_suite, Utility};
 pub use overify_interp::{
     run_module, run_with_buffer, CpuCostModel, ExecConfig, ExecResult, Outcome,
 };
@@ -59,7 +68,8 @@ pub use overify_ir::Module;
 pub use overify_libc::LibcVariant;
 pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
 pub use overify_symex::{
-    Bug, BugKind, SearchStrategy, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+    default_threads, verify_parallel, verify_parallel_cached, Bug, BugKind, SearchStrategy,
+    SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
 };
 
 /// Symbolically verifies a compiled program's entry function.
@@ -68,6 +78,19 @@ pub use overify_symex::{
 /// to the symbolic executor unchanged.
 pub fn verify_program(prog: &CompiledProgram, entry: &str, cfg: &SymConfig) -> VerificationReport {
     overify_symex::verify(&prog.module, entry, cfg)
+}
+
+/// Symbolically verifies a compiled program with `workers` work-stealing
+/// threads sharing one path frontier and one solver cache. Bug signatures,
+/// canonical test sets and the explored path set are identical to the
+/// serial run for every worker count.
+pub fn verify_program_parallel(
+    prog: &CompiledProgram,
+    entry: &str,
+    cfg: &SymConfig,
+    workers: usize,
+) -> VerificationReport {
+    overify_symex::verify_parallel(&prog.module, entry, cfg, workers)
 }
 
 /// Runs a compiled program concretely on `input`, returning outputs and the

@@ -1,0 +1,304 @@
+//! The batch suite driver: fan whole verification jobs (utility ×
+//! optimization level × input sizes) across a thread pool, each job
+//! optionally running the work-stealing path-level driver internally.
+//!
+//! This is the production face of the paper's §4 outlook: verification
+//! time is the budget that matters, so the harness must keep every core
+//! busy across a whole workload matrix (the Figure 4 sweep, CI suites,
+//! multi-level ablations) — not just within one program.
+
+use crate::build::{compile_module, BuildOptions};
+use overify_opt::OptLevel;
+use overify_symex::{verify_parallel, BugKind, SymConfig, VerificationReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One verification job: build `source` at `level`, then verify `entry`
+/// once per entry of `bytes` (the symbolic-input sweep of Figure 4).
+#[derive(Clone, Debug)]
+pub struct SuiteJob {
+    /// Display name (utility name, test id, ...).
+    pub name: String,
+    /// MiniC source of the whole program.
+    pub source: String,
+    /// Entry function, `umain` by convention.
+    pub entry: String,
+    /// Build configuration (level, libc, cost-model overrides).
+    pub opts: BuildOptions,
+    /// Symbolic input sizes to sweep; `cfg.input_bytes` is overridden per
+    /// run.
+    pub bytes: Vec<usize>,
+    /// Per-run verification configuration (budgets live here).
+    pub cfg: SymConfig,
+    /// Work-stealing workers *inside* each verification run (1 = serial
+    /// paths; parallelism across jobs is the driver's job).
+    pub path_workers: usize,
+}
+
+impl SuiteJob {
+    /// A job for one suite utility at one level.
+    pub fn utility(
+        u: &overify_coreutils::Utility,
+        level: OptLevel,
+        bytes: &[usize],
+        cfg: &SymConfig,
+    ) -> SuiteJob {
+        SuiteJob {
+            name: u.name.to_string(),
+            source: u.source.to_string(),
+            entry: "umain".to_string(),
+            opts: BuildOptions::level(level),
+            bytes: bytes.to_vec(),
+            cfg: cfg.clone(),
+            path_workers: 1,
+        }
+    }
+}
+
+/// The outcome of one [`SuiteJob`].
+#[derive(Clone, Debug)]
+pub struct SuiteJobResult {
+    pub name: String,
+    pub level: OptLevel,
+    /// Front-end + pipeline + link wall time.
+    pub compile_time: Duration,
+    /// One report per swept input size, in `bytes` order.
+    pub runs: Vec<(usize, VerificationReport)>,
+    /// Build failure, if any (then `runs` is empty).
+    pub error: Option<String>,
+}
+
+impl SuiteJobResult {
+    /// Total compile + verification time of the job.
+    pub fn total_time(&self) -> Duration {
+        self.compile_time + self.runs.iter().map(|(_, r)| r.time).sum::<Duration>()
+    }
+
+    /// True if every swept run covered its whole path space in budget.
+    pub fn exhausted(&self) -> bool {
+        self.error.is_none() && self.runs.iter().all(|(_, r)| r.exhausted)
+    }
+
+    /// Union bug signature over the sweep, sorted and deduplicated.
+    pub fn bug_signature(&self) -> Vec<(BugKind, String)> {
+        let mut sig: Vec<(BugKind, String)> = self
+            .runs
+            .iter()
+            .flat_map(|(_, r)| r.bug_signature())
+            .collect();
+        sig.sort();
+        sig.dedup();
+        sig
+    }
+
+    /// The most-explored path's multiplicity across the sweep (1 on any
+    /// correct run).
+    pub fn max_path_multiplicity(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r)| r.max_path_multiplicity())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The merged outcome of a suite run. `jobs` preserves submission order
+/// regardless of which thread finished which job when.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    pub jobs: Vec<SuiteJobResult>,
+    /// Wall-clock of the whole batch.
+    pub wall: Duration,
+    /// Thread count the batch ran with.
+    pub threads: usize,
+}
+
+impl SuiteReport {
+    /// Looks up a job result by name and level.
+    pub fn job(&self, name: &str, level: OptLevel) -> Option<&SuiteJobResult> {
+        self.jobs
+            .iter()
+            .find(|j| j.name == name && j.level == level)
+    }
+
+    /// Sum of per-job compile + verification time (CPU-ish total; compare
+    /// with `wall` for the parallel speedup).
+    pub fn total_time(&self) -> Duration {
+        self.jobs.iter().map(|j| j.total_time()).sum()
+    }
+}
+
+/// Runs a batch of verification jobs on `threads` worker threads and
+/// reports per-job outcomes plus wall time.
+///
+/// Jobs are claimed from a shared counter (they are independent, so an
+/// atomic cursor is contention-free stealing); path-level work stealing
+/// happens inside each job when `path_workers > 1`. Thread interleaving
+/// never changes per-job results — each job is verified by one
+/// deterministic `verify_parallel` call.
+pub fn verify_suite(jobs: Vec<SuiteJob>, threads: usize) -> SuiteReport {
+    verify_suite_with(jobs, threads, |_, _, _| {})
+}
+
+/// [`verify_suite`] with a progress callback, invoked after each finished
+/// job as `progress(result, finished_so_far, total)`.
+pub fn verify_suite_with<F>(jobs: Vec<SuiteJob>, threads: usize, progress: F) -> SuiteReport
+where
+    F: Fn(&SuiteJobResult, usize, usize) + Sync,
+{
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let total = jobs.len();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SuiteJobResult>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                let result = run_one(&jobs[i]);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(&result, finished, total);
+                *results[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    SuiteReport {
+        jobs: results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("job result missing"))
+            .collect(),
+        wall: start.elapsed(),
+        threads,
+    }
+}
+
+fn run_one(job: &SuiteJob) -> SuiteJobResult {
+    let t0 = Instant::now();
+    let built = if job.opts.link_libc {
+        overify_libc::compile_and_link(&job.source, job.opts.resolved_libc())
+            .map_err(|e| e.to_string())
+    } else {
+        overify_lang::compile(&job.source).map_err(|e| e.to_string())
+    };
+    let mut module = match built {
+        Ok(m) => m,
+        Err(e) => {
+            return SuiteJobResult {
+                name: job.name.clone(),
+                level: job.opts.level,
+                compile_time: t0.elapsed(),
+                runs: Vec::new(),
+                error: Some(e),
+            }
+        }
+    };
+    compile_module(&mut module, &job.opts);
+    let compile_time = t0.elapsed();
+
+    let runs = job
+        .bytes
+        .iter()
+        .map(|&n| {
+            let mut cfg = job.cfg.clone();
+            cfg.input_bytes = n;
+            (
+                n,
+                verify_parallel(&module, &job.entry, &cfg, job.path_workers),
+            )
+        })
+        .collect();
+
+    SuiteJobResult {
+        name: job.name.clone(),
+        level: job.opts.level,
+        compile_time,
+        runs,
+        error: None,
+    }
+}
+
+/// Jobs for the whole coreutils-style suite: every utility × every level,
+/// sweeping `bytes` symbolic input sizes — the Figure 4 workload as one
+/// batch.
+pub fn coreutils_jobs(levels: &[OptLevel], bytes: &[usize], cfg: &SymConfig) -> Vec<SuiteJob> {
+    overify_coreutils::suite()
+        .iter()
+        .flat_map(|u| {
+            levels
+                .iter()
+                .map(|&l| SuiteJob::utility(u, l, bytes, cfg))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SymConfig {
+        SymConfig {
+            pass_len_arg: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn suite_runs_jobs_and_preserves_order() {
+        let u0 = overify_coreutils::utility("echo").unwrap();
+        let u1 = overify_coreutils::utility("wc_words").unwrap();
+        let jobs = vec![
+            SuiteJob::utility(u0, OptLevel::Overify, &[2], &small_cfg()),
+            SuiteJob::utility(u1, OptLevel::O0, &[2, 3], &small_cfg()),
+        ];
+        let report = verify_suite(jobs, 4);
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.jobs[0].name, "echo");
+        assert_eq!(report.jobs[1].name, "wc_words");
+        assert_eq!(report.jobs[1].runs.len(), 2);
+        assert!(report.jobs.iter().all(|j| j.exhausted()));
+        assert!(report.jobs.iter().all(|j| j.max_path_multiplicity() <= 1));
+        assert!(report.job("wc_words", OptLevel::O0).is_some());
+        assert!(report.job("wc_words", OptLevel::O3).is_none());
+    }
+
+    #[test]
+    fn suite_reports_build_errors_without_panicking() {
+        let mut job = SuiteJob::utility(
+            overify_coreutils::utility("echo").unwrap(),
+            OptLevel::O0,
+            &[2],
+            &small_cfg(),
+        );
+        job.source = "int umain(unsigned char *in, int n) { syntax error }".into();
+        let report = verify_suite(vec![job], 2);
+        assert!(report.jobs[0].error.is_some());
+        assert!(!report.jobs[0].exhausted());
+        assert!(report.jobs[0].runs.is_empty());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_job() {
+        let u = overify_coreutils::utility("cat_n").unwrap();
+        let jobs: Vec<SuiteJob> = [OptLevel::O0, OptLevel::O3, OptLevel::Overify]
+            .iter()
+            .map(|&l| SuiteJob::utility(u, l, &[2], &small_cfg()))
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let report = verify_suite_with(jobs, 2, |r, done, total| {
+            seen.lock().unwrap().push((r.name.clone(), done, total));
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|(_, _, t)| *t == 3));
+        assert_eq!(report.threads, 2);
+    }
+}

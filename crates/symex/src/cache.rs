@@ -1,0 +1,280 @@
+//! The cross-worker shared solver cache.
+//!
+//! Workers of the parallel driver each own a private [`ExprPool`], so
+//! `ExprRef`s are meaningless across threads. What *is* portable is the
+//! structure of a formula: satisfiability depends only on the expression
+//! tree over symbol ids, never on pool numbering. This module computes a
+//! 128-bit structural fingerprint per constraint set and keeps a sharded
+//! verdict map keyed by it, so one worker's UNSAT core (or model) serves
+//! the whole fleet — the paper's §4 "spend hardware on the verifier"
+//! direction, applied to the solver layer.
+//!
+//! Sharding keeps lock hold times tiny: a fingerprint picks its shard from
+//! its high bits, and each shard is an independent `Mutex<HashMap>`.
+
+use crate::expr::{ExprPool, ExprRef, Node};
+use crate::solver::Model;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached verdict: `None` = UNSAT, `Some(model)` = SAT with a witness.
+pub type CachedVerdict = Option<Model>;
+
+const SHARDS: usize = 32;
+
+/// Sharded, thread-safe map from constraint-set fingerprint to verdict.
+pub struct SharedQueryCache {
+    shards: Vec<Mutex<HashMap<u128, CachedVerdict>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SharedQueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedQueryCache {
+    /// Creates an empty cache with the default shard count.
+    pub fn new() -> SharedQueryCache {
+        SharedQueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: u128) -> &Mutex<HashMap<u128, CachedVerdict>> {
+        &self.shards[((fp >> 96) as usize) % self.shards.len()]
+    }
+
+    /// Looks up a fingerprint. Outer `None` means "never solved".
+    pub fn lookup(&self, fp: u128) -> Option<CachedVerdict> {
+        let hit = self.shard(fp).lock().unwrap().get(&fp).cloned();
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a verdict for a fingerprint.
+    pub fn publish(&self, fp: u128, verdict: CachedVerdict) {
+        self.shard(fp).lock().unwrap().insert(fp, verdict);
+    }
+
+    /// (hits, misses) so far, for reports.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True if nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn mix(h: u128, v: u64) -> u128 {
+    // 128-bit FNV-1a-style absorb followed by a splitmix-like stir; cheap
+    // and well-distributed enough for a cache key.
+    let mut h = (h ^ v as u128).wrapping_mul(0x0000000001000000000000000000013B);
+    h ^= h >> 67;
+    h
+}
+
+/// Structural fingerprint of one expression, memoized per `ExprRef`.
+///
+/// Two expressions with equal fingerprints are (modulo 2^-128 collisions)
+/// structurally identical trees over the same symbol ids — in particular
+/// they are equisatisfiable, which is all the shared cache needs.
+pub fn fingerprint(pool: &ExprPool, root: ExprRef, memo: &mut HashMap<ExprRef, u128>) -> u128 {
+    // Explicit post-order stack: expression DAGs (table-lookup ITE chains)
+    // can be thousands of nodes deep.
+    let mut stack = vec![root];
+    while let Some(&e) = stack.last() {
+        if memo.contains_key(&e) {
+            stack.pop();
+            continue;
+        }
+        let missing: Vec<ExprRef> = pool
+            .node(e)
+            .children()
+            .filter(|c| !memo.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            stack.extend(missing);
+            continue;
+        }
+        let h = match *pool.node(e) {
+            Node::Const { width, bits } => {
+                let h = mix(1, width as u64);
+                mix(h, bits)
+            }
+            Node::Sym { id, width } => {
+                let h = mix(2, width as u64);
+                mix(h, id as u64)
+            }
+            Node::Bin { op, width, a, b } => {
+                let h = mix(3, op as u64);
+                let h = mix(h, width as u64);
+                let h = mix(h, memo[&a] as u64);
+                let h = mix(h, (memo[&a] >> 64) as u64);
+                let h = mix(h, memo[&b] as u64);
+                mix(h, (memo[&b] >> 64) as u64)
+            }
+            Node::Cmp { pred, width, a, b } => {
+                let h = mix(4, pred as u64);
+                let h = mix(h, width as u64);
+                let h = mix(h, memo[&a] as u64);
+                let h = mix(h, (memo[&a] >> 64) as u64);
+                let h = mix(h, memo[&b] as u64);
+                mix(h, (memo[&b] >> 64) as u64)
+            }
+            Node::Ite { width, c, t, f } => {
+                let h = mix(5, width as u64);
+                let h = mix(h, memo[&c] as u64);
+                let h = mix(h, (memo[&c] >> 64) as u64);
+                let h = mix(h, memo[&t] as u64);
+                let h = mix(h, (memo[&t] >> 64) as u64);
+                let h = mix(h, memo[&f] as u64);
+                mix(h, (memo[&f] >> 64) as u64)
+            }
+            Node::Zext { width, a } => {
+                let h = mix(6, width as u64);
+                let h = mix(h, memo[&a] as u64);
+                mix(h, (memo[&a] >> 64) as u64)
+            }
+            Node::Sext { width, a } => {
+                let h = mix(7, width as u64);
+                let h = mix(h, memo[&a] as u64);
+                mix(h, (memo[&a] >> 64) as u64)
+            }
+            Node::Trunc { width, a } => {
+                let h = mix(8, width as u64);
+                let h = mix(h, memo[&a] as u64);
+                mix(h, (memo[&a] >> 64) as u64)
+            }
+        };
+        memo.insert(e, h);
+        stack.pop();
+    }
+    memo[&root]
+}
+
+/// Fingerprint of a whole (canonicalized) constraint set: per-constraint
+/// fingerprints are sorted so the key is order-independent, then folded.
+pub fn set_fingerprint(
+    pool: &ExprPool,
+    constraints: &[ExprRef],
+    memo: &mut HashMap<ExprRef, u128>,
+) -> u128 {
+    let mut fps: Vec<u128> = constraints
+        .iter()
+        .map(|&c| fingerprint(pool, c, memo))
+        .collect();
+    fps.sort_unstable();
+    fps.dedup();
+    let mut h = mix(9, fps.len() as u64);
+    for fp in fps {
+        h = mix(h, fp as u64);
+        h = mix(h, (fp >> 64) as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_ir::{BinOp, CmpPred};
+
+    #[test]
+    fn fingerprints_are_pool_independent() {
+        // Build the same formula in two pools with different construction
+        // histories; fingerprints must agree.
+        let mut p1 = ExprPool::new();
+        let x1 = p1.fresh_sym(8);
+        let k1 = p1.constant(8, 7);
+        let c1 = p1.cmp(CmpPred::Ult, x1, k1);
+
+        let mut p2 = ExprPool::new();
+        let x2 = p2.fresh_sym(8);
+        // Extra garbage shifts ExprRef numbering in pool 2.
+        let g = p2.constant(8, 99);
+        let _ = p2.bin(BinOp::Add, x2, g);
+        let k2 = p2.constant(8, 7);
+        let c2 = p2.cmp(CmpPred::Ult, x2, k2);
+
+        assert_ne!(c1, c2, "test should exercise differing ExprRefs");
+        let mut m1 = HashMap::new();
+        let mut m2 = HashMap::new();
+        assert_eq!(fingerprint(&p1, c1, &mut m1), fingerprint(&p2, c2, &mut m2));
+    }
+
+    #[test]
+    fn distinct_structures_distinct_fingerprints() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8);
+        let y = p.fresh_sym(8);
+        let k = p.constant(8, 7);
+        let a = p.cmp(CmpPred::Ult, x, k);
+        let b = p.cmp(CmpPred::Ult, y, k);
+        let c = p.cmp(CmpPred::Ule, x, k);
+        let mut m = HashMap::new();
+        let fa = fingerprint(&p, a, &mut m);
+        let fb = fingerprint(&p, b, &mut m);
+        let fc = fingerprint(&p, c, &mut m);
+        assert_ne!(fa, fb);
+        assert_ne!(fa, fc);
+        assert_ne!(fb, fc);
+    }
+
+    #[test]
+    fn set_fingerprint_is_order_independent() {
+        let mut p = ExprPool::new();
+        let x = p.fresh_sym(8);
+        let k1 = p.constant(8, 7);
+        let k2 = p.constant(8, 9);
+        let a = p.cmp(CmpPred::Ult, x, k1);
+        let b = p.cmp(CmpPred::Ugt, x, k2);
+        let mut m = HashMap::new();
+        assert_eq!(
+            set_fingerprint(&p, &[a, b], &mut m),
+            set_fingerprint(&p, &[b, a], &mut m)
+        );
+        assert_ne!(
+            set_fingerprint(&p, &[a, b], &mut m),
+            set_fingerprint(&p, &[a], &mut m)
+        );
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let cache = SharedQueryCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(42), None);
+        cache.publish(42, None);
+        assert_eq!(cache.lookup(42), Some(None));
+        let mut model = Model::default();
+        model.values.insert(0, 7);
+        cache.publish(43, Some(model.clone()));
+        assert_eq!(cache.lookup(43), Some(Some(model)));
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+}

@@ -5,16 +5,23 @@
 //! safety is checked with the layered [`Solver`]. See the crate docs for
 //! the cost model this reproduces.
 
+use crate::cache::SharedQueryCache;
 use crate::expr::{ExprPool, ExprRef};
 use crate::interval::IntervalCache;
 use crate::memory::{SymMemory, OFFSET_BITS};
-use crate::report::{Bug, BugKind, TestCase, VerificationReport};
+use crate::parallel::{ExploreHooks, NoHooks, SharedBudget};
+use crate::report::{path_fingerprint, Bug, BugKind, TestCase, VerificationReport};
 use crate::solver::{Model, SatResult, Solver, SolverOptions};
 use overify_ir::{
     BlockId, Callee, CastOp, CmpPred, InstKind, Intrinsic, Module, Operand, Terminator, Ty, ValueId,
 };
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many locally-interpreted instructions accumulate before they are
+/// flushed to a shared budget (amortizes the atomic traffic).
+const BUDGET_FLUSH_INTERVAL: u64 = 4096;
 
 /// How an extra entry argument is provided.
 #[derive(Clone, Copy, Debug)]
@@ -65,9 +72,6 @@ pub struct SymConfig {
     /// Maximum if-then-else span for symbolic memory accesses before the
     /// engine concretizes the address.
     pub max_ite_span: u64,
-    /// Input-space partition `(index, total)` for parallel exploration: the
-    /// state starts constrained with `input[0] % total == index`.
-    pub partition: Option<(u64, u64)>,
 }
 
 impl Default for SymConfig {
@@ -84,7 +88,6 @@ impl Default for SymConfig {
             solver: SolverOptions::default(),
             search: SearchStrategy::Dfs,
             max_ite_span: 1024,
-            partition: None,
         }
     }
 }
@@ -99,12 +102,23 @@ struct Frame {
     ret_to: Option<ValueId>,
 }
 
+/// One pending symbolic state. `trace` records the decision taken at every
+/// symbolic conditional branch since the entry point; it uniquely
+/// identifies the state's position in the execution tree and doubles as a
+/// portable, replayable job description for work stealing (Cloud9-style
+/// job transfer: the receiving worker re-derives the state by replaying
+/// the decisions, no solver queries needed).
 #[derive(Clone)]
-struct State {
+pub struct State {
     frames: Vec<Frame>,
     mem: SymMemory,
     constraints: Vec<ExprRef>,
     output: Vec<ExprRef>,
+    trace: Vec<bool>,
+    /// Input symbols introduced by `__sym_input` *on this path*, as
+    /// (id, expr). Path-local: a sibling path that never executes the
+    /// intrinsic must not see (or emit test bytes for) these.
+    dyn_input: Vec<(u32, ExprRef)>,
 }
 
 /// Why a state stopped executing.
@@ -123,7 +137,9 @@ pub fn verify(m: &Module, entry: &str, cfg: &SymConfig) -> VerificationReport {
     Executor::new(m, cfg.clone()).run(entry)
 }
 
-/// The engine object (reusable for parallel exploration).
+/// The engine object. A parallel worker keeps one executor alive for its
+/// whole lifetime and runs many jobs through it, so the expression pool
+/// and every solver cache stay warm across stolen subtrees.
 pub struct Executor<'m> {
     m: &'m Module,
     cfg: SymConfig,
@@ -132,8 +148,22 @@ pub struct Executor<'m> {
     intervals: IntervalCache,
     report: VerificationReport,
     input_syms: Vec<u32>,
+    input_sym_exprs: Vec<ExprRef>,
+    /// Symbolic extra arguments (`SymArg::Symbolic`), as (id, expr).
+    extra_sym_exprs: Vec<(u32, ExprRef)>,
+    /// Memoized symbol support per expression (for constraint slicing).
+    support_memo: std::collections::HashMap<ExprRef, Arc<Vec<u32>>>,
     bug_locs: HashSet<(BugKind, String)>,
     rng: u64,
+    started: Instant,
+    /// Decision prefix currently being replayed (a stolen job).
+    forced: Vec<bool>,
+    forced_idx: usize,
+    /// Cross-worker budget; when absent the per-config limits apply.
+    budget: Option<Arc<SharedBudget>>,
+    flushed_instructions: u64,
+    /// False once any budget stopped exploration short of exhaustion.
+    complete: bool,
 }
 
 impl<'m> Executor<'m> {
@@ -148,32 +178,59 @@ impl<'m> Executor<'m> {
             intervals: IntervalCache::new(),
             report: VerificationReport::default(),
             input_syms: Vec::new(),
+            input_sym_exprs: Vec::new(),
+            extra_sym_exprs: Vec::new(),
+            support_memo: std::collections::HashMap::new(),
             bug_locs: HashSet::new(),
             rng: 0x9E3779B97F4A7C15,
+            started: Instant::now(),
+            forced: Vec::new(),
+            forced_idx: 0,
+            budget: None,
+            flushed_instructions: 0,
+            complete: true,
         }
+    }
+
+    /// Attaches the cross-worker shared solver cache.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedQueryCache>) {
+        self.solver.attach_shared(cache);
+    }
+
+    /// Attaches a cross-worker budget; per-config instruction/time limits
+    /// then apply globally across the fleet instead of per worker.
+    pub fn attach_budget(&mut self, budget: Arc<SharedBudget>) {
+        self.budget = Some(budget);
     }
 
     /// Runs to completion or budget exhaustion.
     pub fn run(mut self, entry: &str) -> VerificationReport {
-        let start = Instant::now();
-        let Some(fidx) = self.m.function_index(entry) else {
+        let Some(init) = self.initial_state(entry) else {
             self.report.timed_out = false;
             return self.report;
         };
+        self.run_job(init, &[], &NoHooks);
+        self.finish()
+    }
+
+    /// Builds the initial symbolic state (buffer + arguments) for `entry`.
+    /// Returns `None` when the entry is missing or the signature does not
+    /// match the configuration. Deterministic: every worker numbers the
+    /// input symbols identically, which is what makes structural
+    /// fingerprints and decision traces portable across the fleet.
+    pub fn initial_state(&mut self, entry: &str) -> Option<State> {
+        let fidx = self.m.function_index(entry)?;
 
         // Set up the initial state: buffer + args.
         let mut mem = SymMemory::with_globals(&mut self.pool, self.m);
         let n = self.cfg.input_bytes;
         let base = mem.allocate(&mut self.pool, (n + 1) as u64, "input");
         let obj = (base >> OFFSET_BITS) as u32;
-        let mut first_byte: Option<ExprRef> = None;
         for i in 0..n {
             let s = self.pool.fresh_sym(8);
-            if i == 0 {
-                first_byte = Some(s);
-            }
             if let crate::expr::Node::Sym { id, .. } = *self.pool.node(s) {
                 self.input_syms.push(id);
+                self.input_sym_exprs.push(s);
             }
             mem.set_byte(obj, i, s);
         }
@@ -199,30 +256,28 @@ impl<'m> Executor<'m> {
                 .unwrap_or(Ty::I32);
             let e = match a {
                 SymArg::Concrete(v) => self.pool.constant(ty.bits(), v),
-                SymArg::Symbolic => self.pool.fresh_sym(ty.bits()),
+                SymArg::Symbolic => {
+                    let s = self.pool.fresh_sym(ty.bits());
+                    if let crate::expr::Node::Sym { id, .. } = *self.pool.node(s) {
+                        // Tracked so emit_test can pin extra symbols too,
+                        // keeping canonical test cases deterministic even
+                        // with symbolic arguments.
+                        self.extra_sym_exprs.push((id, s));
+                    }
+                    s
+                }
             };
             arg_vals.push(e);
         }
         if arg_vals.len() != f.params.len() {
             // Signature mismatch is a harness bug; report as zero work.
-            return self.report;
+            return None;
         }
         for (i, &p) in f.params.iter().enumerate() {
             regs[p.index()] = Some(arg_vals[i]);
         }
 
-        let mut initial_constraints = Vec::new();
-        if let (Some((w, total)), Some(b0)) = (self.cfg.partition, first_byte) {
-            // Partition the input space on the first byte for parallel
-            // workers.
-            let t = self.pool.constant(8, total.min(255));
-            let rem = self.pool.bin(overify_ir::BinOp::URem, b0, t);
-            let wk = self.pool.constant(8, w);
-            let eq = self.pool.cmp(CmpPred::Eq, rem, wk);
-            initial_constraints.push(eq);
-        }
-
-        let initial = State {
+        Some(State {
             frames: vec![Frame {
                 func: fidx,
                 block: f.entry(),
@@ -232,70 +287,122 @@ impl<'m> Executor<'m> {
                 ret_to: None,
             }],
             mem,
-            constraints: initial_constraints,
+            constraints: Vec::new(),
             output: Vec::new(),
-        };
+            trace: Vec::new(),
+            dyn_input: Vec::new(),
+        })
+    }
 
-        let mut worklist: Vec<State> = vec![initial];
-        let mut exhausted = true;
+    /// Explores one job: the subtree rooted at `init` after replaying the
+    /// branch-decision `prefix`. Between paths, pending frontier states are
+    /// donated through `hooks` when other workers are hungry.
+    pub fn run_job(&mut self, init: State, prefix: &[bool], hooks: &dyn ExploreHooks) {
+        self.forced = prefix.to_vec();
+        self.forced_idx = 0;
+        self.report.steals += 1;
+        let mut worklist: VecDeque<State> = VecDeque::from([init]);
         while let Some(mut st) = self.pick(&mut worklist) {
-            if self.over_budget(start) {
-                exhausted = false;
-                break;
+            if self.over_budget() {
+                self.complete = false;
+                return;
             }
             // Execute until the state ends or forks.
             loop {
-                if self.over_budget(start) {
-                    exhausted = false;
-                    break;
+                if self.over_budget() {
+                    self.complete = false;
+                    return;
                 }
                 match self.step(&mut st) {
                     Step::Continue => {}
                     Step::Fork(other) => {
                         self.report.forks += 1;
-                        worklist.push(other);
+                        worklist.push_back(other);
                     }
-                    Step::End(PathEnd::Completed) => {
-                        self.report.paths_completed += 1;
-                        if self.cfg.collect_tests {
-                            self.emit_test(&st);
+                    Step::End(end) => {
+                        self.report.path_ids.push(path_fingerprint(&st.trace));
+                        match end {
+                            PathEnd::Completed => {
+                                self.report.paths_completed += 1;
+                                if self.cfg.collect_tests {
+                                    self.emit_test(&st);
+                                }
+                            }
+                            PathEnd::Bug => self.report.paths_buggy += 1,
+                            PathEnd::Killed => self.report.paths_killed += 1,
                         }
-                        break;
-                    }
-                    Step::End(PathEnd::Bug) => {
-                        self.report.paths_buggy += 1;
-                        break;
-                    }
-                    Step::End(PathEnd::Killed) => {
-                        self.report.paths_killed += 1;
+                        if let Some(b) = &self.budget {
+                            // The fleet-wide path ceiling (per-worker
+                            // counters would multiply cfg.max_paths by the
+                            // worker count).
+                            b.note_path();
+                        }
                         break;
                     }
                 }
             }
-            if self.cfg.max_paths > 0 && self.report.total_paths() >= self.cfg.max_paths {
-                exhausted = worklist.is_empty();
-                break;
+            if self.budget.is_none()
+                && self.cfg.max_paths > 0
+                && self.report.total_paths() >= self.cfg.max_paths
+            {
+                if !worklist.is_empty() {
+                    self.complete = false;
+                }
+                return;
+            }
+            // Export frontier states (oldest first — nearest the root, so
+            // the biggest subtrees move) while peers are starving.
+            while hooks.hungry() {
+                let Some(s) = worklist.pop_front() else { break };
+                if hooks.donate(s.trace.clone()) {
+                    self.report.donations += 1;
+                } else {
+                    worklist.push_front(s);
+                    break;
+                }
             }
         }
-        self.report.exhausted = exhausted;
-        self.report.timed_out = !exhausted;
+    }
+
+    /// Marks the accumulated report incomplete (a job was abandoned).
+    pub fn mark_incomplete(&mut self) {
+        self.complete = false;
+    }
+
+    /// Seals the accumulated report: statistics, exhaustion, wall time.
+    pub fn finish(mut self) -> VerificationReport {
+        if let Some(b) = &self.budget {
+            b.charge(self.report.instructions - self.flushed_instructions);
+        }
+        self.report.exhausted = self.complete;
+        self.report.timed_out = !self.complete;
         self.report.solver = self.solver.stats;
-        self.report.time = start.elapsed();
+        self.report.time = self.started.elapsed();
         self.report
     }
 
-    fn over_budget(&self, start: Instant) -> bool {
+    fn over_budget(&mut self) -> bool {
+        if let Some(b) = &self.budget {
+            // Shared budget: flush local progress in batches, then obey
+            // the fleet-wide verdict.
+            let delta = self.report.instructions - self.flushed_instructions;
+            if delta >= BUDGET_FLUSH_INTERVAL {
+                self.flushed_instructions = self.report.instructions;
+                b.charge(delta);
+            }
+            return b.cancelled();
+        }
         (self.cfg.max_instructions > 0 && self.report.instructions >= self.cfg.max_instructions)
-            || start.elapsed() >= self.cfg.timeout
+            || self.started.elapsed() >= self.cfg.timeout
     }
 
-    fn pick(&mut self, worklist: &mut Vec<State>) -> Option<State> {
+    fn pick(&mut self, worklist: &mut VecDeque<State>) -> Option<State> {
         if worklist.is_empty() {
             return None;
         }
         match self.cfg.search {
-            SearchStrategy::Dfs => worklist.pop(),
-            SearchStrategy::Bfs => Some(worklist.remove(0)),
+            SearchStrategy::Dfs => worklist.pop_back(),
+            SearchStrategy::Bfs => worklist.pop_front(),
             SearchStrategy::RandomState(seed) => {
                 // xorshift* on the running state seeded by config.
                 self.rng ^= seed | 1;
@@ -303,7 +410,7 @@ impl<'m> Executor<'m> {
                 self.rng ^= self.rng << 25;
                 self.rng ^= self.rng >> 27;
                 let i = (self.rng.wrapping_mul(0x2545F4914F6CDD1D) as usize) % worklist.len();
-                Some(worklist.swap_remove(i))
+                worklist.swap_remove_back(i)
             }
         }
     }
@@ -340,7 +447,7 @@ impl<'m> Executor<'m> {
             cs.push(e);
         }
         let input = match self.solver.check(&self.pool, &cs) {
-            SatResult::Sat(m) => self.input_bytes_of(&m),
+            SatResult::Sat(m) => self.input_bytes_of(st, &m),
             SatResult::Unsat => Vec::new(),
         };
         self.report.bugs.push(Bug {
@@ -350,16 +457,150 @@ impl<'m> Executor<'m> {
         });
     }
 
-    fn input_bytes_of(&self, m: &Model) -> Vec<u8> {
-        self.input_syms.iter().map(|&id| m.get(id) as u8).collect()
+    /// The test-input bytes of a path under a model: the initial buffer
+    /// symbols followed by any `__sym_input` bytes this path introduced.
+    fn input_bytes_of(&self, st: &State, m: &Model) -> Vec<u8> {
+        self.input_syms
+            .iter()
+            .copied()
+            .chain(st.dyn_input.iter().map(|&(id, _)| id))
+            .map(|id| m.get(id) as u8)
+            .collect()
     }
 
-    fn emit_test(&mut self, st: &State) {
-        let model = match self.solver.check(&self.pool, &st.constraints) {
+    /// The smallest value `e` can take under `constraints`.
+    ///
+    /// The search runs against the component of `constraints` connected to
+    /// `e`'s symbols (the rest of a feasible path condition cannot bound
+    /// it), and the minimum is found by binary search on solver *verdicts*
+    /// (which are cache-independent) — so the result is a deterministic
+    /// function of the constraint set, never of cache history or thread
+    /// interleaving. A witness model only *bounds* the search from above,
+    /// which keeps the common case (already-minimal value) query-free
+    /// without affecting the result.
+    fn min_feasible(&mut self, constraints: &[ExprRef], e: ExprRef) -> Option<u64> {
+        let seeds = self.sym_support(e);
+        let slice = self.component(constraints, &seeds);
+        let model = match self.solver.check(&self.pool, &slice) {
             SatResult::Sat(m) => m,
-            SatResult::Unsat => return,
+            SatResult::Unsat => return None,
         };
-        let input = self.input_bytes_of(&model);
+        let witness = self.pool.eval(e, &|id| model.get(id));
+        let iv = self.intervals.get(&self.pool, e);
+        let w = self.pool.width(e);
+        let (mut lo, mut hi) = (iv.lo, witness.min(iv.hi));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mc = self.pool.constant(w, mid);
+            let le = self.pool.cmp(CmpPred::Ule, e, mc);
+            if self.solver.may_be_true(&self.pool, &slice, le) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// The sorted set of symbol ids an expression mentions, memoized.
+    fn sym_support(&mut self, root: ExprRef) -> Arc<Vec<u32>> {
+        crate::expr::sym_support(&self.pool, root, &mut self.support_memo)
+    }
+
+    /// The subset of `cs` transitively connected to the `seeds` symbols
+    /// through shared symbols (KLEE's independent-constraint slicing).
+    /// Since the rest of a satisfiable set is independent of the slice,
+    /// any query about the seeds has the same verdict against the slice as
+    /// against the full set — at a fraction of the solving cost.
+    fn component(&mut self, cs: &[ExprRef], seeds: &[u32]) -> Vec<ExprRef> {
+        let supports: Vec<Arc<Vec<u32>>> = cs.iter().map(|&c| self.sym_support(c)).collect();
+        let mut in_comp = vec![false; cs.len()];
+        let mut syms: HashSet<u32> = seeds.iter().copied().collect();
+        loop {
+            let mut changed = false;
+            for (i, s) in supports.iter().enumerate() {
+                if !in_comp[i] && s.iter().any(|x| syms.contains(x)) {
+                    in_comp[i] = true;
+                    syms.extend(s.iter().copied());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        cs.iter()
+            .zip(in_comp)
+            .filter_map(|(&c, inc)| inc.then_some(c))
+            .collect()
+    }
+
+    /// Emits the canonical test case for a completed path: the
+    /// lexicographically smallest input bytes satisfying the path
+    /// condition. Canonicalization makes merged test sets identical across
+    /// runs and worker counts (models straight from the solver depend on
+    /// cache history; per-byte minima do not). Each byte is minimized
+    /// against its constraint component only, so the probe formulas stay
+    /// small; one full-set solve at the end yields the output model.
+    fn emit_test(&mut self, st: &State) {
+        let mut cs = st.constraints.clone();
+        // Pin input bytes first — initial buffer, then this path's
+        // `__sym_input` bytes (their minima define the canonical test
+        // input) — then symbolic extra arguments, so outputs depending on
+        // any of them are evaluated under a fully deterministic model.
+        let mut syms: Vec<(u32, ExprRef)> = self
+            .input_syms
+            .iter()
+            .copied()
+            .zip(self.input_sym_exprs.iter().copied())
+            .collect();
+        syms.extend_from_slice(&st.dyn_input);
+        syms.extend_from_slice(&self.extra_sym_exprs);
+        let mut pinned = Model::default();
+        for &(id, se) in &syms {
+            let slice = self.component(&cs, &[id]);
+            let w = self.pool.width(se);
+            let single_sym = slice
+                .iter()
+                .all(|&c| self.sym_support(c).as_slice() == [id]);
+            let min = if slice.is_empty() {
+                // Unconstrained byte: 0 is trivially minimal.
+                Some(0)
+            } else if single_sym && w <= 8 {
+                // The component mentions only this symbol: intersect the
+                // memoized satisfying-value bitsets — no solver at all.
+                self.solver.enum_min(&self.pool, &slice, id, w)
+            } else {
+                // Multi-symbol component: witness-bounded binary search on
+                // solver verdicts.
+                self.min_feasible(&slice, se)
+            };
+            let Some(min) = min else { return };
+            let vc = self.pool.constant(w, min);
+            let eq = self.pool.cmp(CmpPred::Eq, se, vc);
+            cs.push(eq);
+            pinned.values.insert(id, min);
+        }
+        // When every constraint and output depends only on pinned symbols
+        // (input bytes and symbolic extra arguments), the pins *are* the
+        // unique model of each constraint component and jointly satisfy
+        // the whole set — no closing solver call is needed. Otherwise
+        // solve once for the residual symbols.
+        let pinned_set: HashSet<u32> = pinned.values.keys().copied().collect();
+        let mut residual = st.output.clone();
+        residual.extend_from_slice(&st.constraints);
+        let pure = residual
+            .into_iter()
+            .all(|e| self.sym_support(e).iter().all(|s| pinned_set.contains(s)));
+        let model = if pure {
+            pinned
+        } else {
+            match self.solver.check(&self.pool, &cs) {
+                SatResult::Sat(m) => m,
+                SatResult::Unsat => return,
+            }
+        };
+        let input = self.input_bytes_of(st, &model);
         let output = st
             .output
             .iter()
@@ -692,7 +933,9 @@ impl<'m> Executor<'m> {
                     }
                     let s = self.pool.fresh_sym(8);
                     if let crate::expr::Node::Sym { id, .. } = *self.pool.node(s) {
-                        self.input_syms.push(id);
+                        // Path-local: only this state (and its forks) own
+                        // the new input bytes.
+                        st.dyn_input.push((id, s));
                     }
                     st.mem.set_byte(obj, off + k, s);
                 }
@@ -733,18 +976,19 @@ impl<'m> Executor<'m> {
                 let size = match self.pool.as_const(args[0]) {
                     Some(s) => s,
                     None => {
-                        // Concretize the size to a model value.
+                        // Concretize to the smallest feasible size; the
+                        // minimum is interleaving-independent, so replayed
+                        // jobs allocate exactly what the donor would have.
                         self.report.solver.concretizations += 1;
-                        match self.solver.check(&self.pool, &st.constraints) {
-                            SatResult::Sat(m) => {
-                                let v = self.pool.eval(args[0], &|id| m.get(id));
+                        match self.min_feasible(&st.constraints, args[0]) {
+                            Some(v) => {
                                 let w = self.pool.width(args[0]);
                                 let vc = self.pool.constant(w, v);
                                 let eq = self.pool.cmp(CmpPred::Eq, args[0], vc);
                                 st.constraints.push(eq);
                                 v
                             }
-                            SatResult::Unsat => return Step::End(PathEnd::Killed),
+                            None => return Step::End(PathEnd::Killed),
                         }
                     }
                 };
@@ -778,6 +1022,24 @@ impl<'m> Executor<'m> {
                     self.enter_block(st, if v != 0 { on_true } else { on_false });
                     return Step::Continue;
                 }
+                // Replaying a stolen job: the branch outcome is recorded in
+                // the prefix, so take it without solver work or forking.
+                // (Only the job's root state can reach here while decisions
+                // remain — replay never forks.)
+                if self.forced_idx < self.forced.len() {
+                    let d = self.forced[self.forced_idx];
+                    self.forced_idx += 1;
+                    st.trace.push(d);
+                    if d {
+                        st.constraints.push(c);
+                        self.enter_block(st, on_true);
+                    } else {
+                        let nc = self.pool.not(c);
+                        st.constraints.push(nc);
+                        self.enter_block(st, on_false);
+                    }
+                    return Step::Continue;
+                }
                 // Feasibility: check true; if infeasible the false side is
                 // implied (the constraint set itself is satisfiable).
                 let may_true = self.solver.may_be_true(&self.pool, &st.constraints, c);
@@ -790,6 +1052,7 @@ impl<'m> Executor<'m> {
                 }
                 if !may_true {
                     let nc = self.pool.not(c);
+                    st.trace.push(false);
                     st.constraints.push(nc);
                     self.enter_block(st, on_false);
                     return Step::Continue;
@@ -797,14 +1060,17 @@ impl<'m> Executor<'m> {
                 let nc = self.pool.not(c);
                 let may_false = self.solver.may_be_true(&self.pool, &st.constraints, nc);
                 if !may_false {
+                    st.trace.push(true);
                     st.constraints.push(c);
                     self.enter_block(st, on_true);
                     return Step::Continue;
                 }
                 // Fork: this state takes the true side.
                 let mut other = st.clone();
+                other.trace.push(false);
                 other.constraints.push(nc);
                 self.enter_block(&mut other, on_false);
+                st.trace.push(true);
                 st.constraints.push(c);
                 self.enter_block(st, on_true);
                 Step::Fork(other)
@@ -1047,15 +1313,16 @@ impl<'m> Executor<'m> {
             return offset;
         }
         self.report.solver.concretizations += 1;
-        match self.solver.check(&self.pool, &st.constraints) {
-            SatResult::Sat(m) => {
-                let v = self.pool.eval(offset, &|id| m.get(id));
+        // Pin to the smallest feasible offset: deterministic regardless of
+        // cache history, so every worker concretizes identically.
+        match self.min_feasible(&st.constraints, offset) {
+            Some(v) => {
                 let vc = self.pool.constant(64, v);
                 let eq = self.pool.cmp(CmpPred::Eq, offset, vc);
                 st.constraints.push(eq);
                 vc
             }
-            SatResult::Unsat => offset,
+            None => offset,
         }
     }
 }

@@ -59,13 +59,32 @@ pub enum Node {
     Trunc { width: u32, a: ExprRef },
 }
 
-fn mask(width: u32) -> u64 {
+impl Node {
+    /// Operand references in evaluation order (empty for leaves). The one
+    /// place that knows each variant's arity — every generic DAG walk
+    /// (supports, fingerprints, batch evaluation) goes through it.
+    /// Allocation-free: a fixed inline array truncated to the arity.
+    pub fn children(&self) -> impl Iterator<Item = ExprRef> {
+        let (arr, n): ([ExprRef; 3], usize) = match *self {
+            Node::Const { .. } | Node::Sym { .. } => ([ExprRef(0); 3], 0),
+            Node::Bin { a, b, .. } | Node::Cmp { a, b, .. } => ([a, b, b], 2),
+            Node::Ite { c, t, f, .. } => ([c, t, f], 3),
+            Node::Zext { a, .. } | Node::Sext { a, .. } | Node::Trunc { a, .. } => ([a, a, a], 1),
+        };
+        arr.into_iter().take(n)
+    }
+}
+
+/// All-ones mask of a bit width (the value domain of a `width`-bit node).
+pub fn width_mask(width: u32) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {
         (1u64 << width) - 1
     }
 }
+
+use width_mask as mask;
 
 /// The expression arena. One pool lives for a whole verification session;
 /// `ExprRef`s from the same pool are comparable and cacheable.
@@ -496,6 +515,125 @@ impl ExprPool {
         memo.insert(e, v);
         v
     }
+}
+
+impl ExprPool {
+    /// Evaluates `e` for every assignment `sym := v`, `v` in
+    /// `0..2^domain_bits` (other symbols read 0), in a single bottom-up
+    /// walk of the DAG. Semantically identical to calling [`Self::eval`]
+    /// per value, but without per-value memo allocation — the workhorse of
+    /// the solver's single-symbol enumeration layer.
+    pub fn eval_all(&self, e: ExprRef, sym: u32, domain_bits: u32) -> Vec<u64> {
+        let d = (width_mask(domain_bits) as usize) + 1;
+        let mut memo: HashMap<ExprRef, Vec<u64>> = HashMap::new();
+        let mut stack = vec![e];
+        while let Some(&x) = stack.last() {
+            if memo.contains_key(&x) {
+                stack.pop();
+                continue;
+            }
+            let missing: Vec<ExprRef> = self
+                .node(x)
+                .children()
+                .filter(|c| !memo.contains_key(c))
+                .collect();
+            if !missing.is_empty() {
+                stack.extend(missing);
+                continue;
+            }
+            let vals: Vec<u64> = match *self.node(x) {
+                Node::Const { bits, .. } => vec![bits; d],
+                Node::Sym { id, width } => {
+                    if id == sym {
+                        (0..d).map(|v| v as u64 & width_mask(width)).collect()
+                    } else {
+                        vec![0; d]
+                    }
+                }
+                Node::Bin { op, width, a, b } => {
+                    let (av, bv) = (&memo[&a], &memo[&b]);
+                    let ty = width_ty(width);
+                    (0..d)
+                        .map(|i| {
+                            fold::eval_bin(op, ty, av[i], bv[i])
+                                .unwrap_or_else(|| div_zero_default(op, av[i]) & width_mask(width))
+                        })
+                        .collect()
+                }
+                Node::Cmp { pred, width, a, b } => {
+                    let (av, bv) = (&memo[&a], &memo[&b]);
+                    let ty = width_ty(width);
+                    (0..d)
+                        .map(|i| fold::eval_cmp(pred, ty, av[i], bv[i]) as u64)
+                        .collect()
+                }
+                Node::Ite { c, t, f, .. } => {
+                    let (cv, tv, fv) = (&memo[&c], &memo[&t], &memo[&f]);
+                    (0..d)
+                        .map(|i| if cv[i] != 0 { tv[i] } else { fv[i] })
+                        .collect()
+                }
+                Node::Zext { width, a } => {
+                    memo[&a].iter().map(|&v| v & width_mask(width)).collect()
+                }
+                Node::Sext { width, a } => {
+                    let w = self.width(a);
+                    memo[&a]
+                        .iter()
+                        .map(|&v| (overify_ir::types::sign_extend(v, w) as u64) & width_mask(width))
+                        .collect()
+                }
+                Node::Trunc { width, a } => {
+                    memo[&a].iter().map(|&v| v & width_mask(width)).collect()
+                }
+            };
+            memo.insert(x, vals);
+            stack.pop();
+        }
+        memo.remove(&e).unwrap()
+    }
+}
+
+/// The sorted set of symbol ids an expression mentions, memoized across
+/// calls through `memo` (callers keep one memo per pool; the pool is
+/// append-only so entries never go stale). Iterative: table-lookup ITE
+/// chains nest hundreds of levels deep.
+pub fn sym_support(
+    pool: &ExprPool,
+    root: ExprRef,
+    memo: &mut HashMap<ExprRef, std::sync::Arc<Vec<u32>>>,
+) -> std::sync::Arc<Vec<u32>> {
+    let mut stack = vec![root];
+    while let Some(&e) = stack.last() {
+        if memo.contains_key(&e) {
+            stack.pop();
+            continue;
+        }
+        let missing: Vec<ExprRef> = pool
+            .node(e)
+            .children()
+            .filter(|c| !memo.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            stack.extend(missing);
+            continue;
+        }
+        let support = if let Node::Sym { id, .. } = *pool.node(e) {
+            std::sync::Arc::new(vec![id])
+        } else {
+            let mut s: Vec<u32> = pool
+                .node(e)
+                .children()
+                .flat_map(|c| memo[&c].iter().copied())
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            std::sync::Arc::new(s)
+        };
+        memo.insert(e, support);
+        stack.pop();
+    }
+    memo[&root].clone()
 }
 
 /// Total-function default for division by zero, shared by the builder,

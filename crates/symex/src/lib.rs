@@ -15,9 +15,14 @@
 //!
 //! The constraint solver is built from scratch: canonicalizing expression
 //! pool → unsigned-interval fast path → counterexample/query caches →
-//! Tseitin bit-blasting → CDCL SAT.
+//! cross-worker shared cache → Tseitin bit-blasting → CDCL SAT.
+//!
+//! Multi-core verification lives in [`parallel`]: a work-stealing driver
+//! whose workers exchange replayable branch-decision prefixes and share a
+//! sharded solver cache, with a deterministic merged report.
 
 pub mod blast;
+pub mod cache;
 pub mod executor;
 pub mod expr;
 pub mod interval;
@@ -27,7 +32,9 @@ pub mod report;
 pub mod sat;
 pub mod solver;
 
+pub use cache::SharedQueryCache;
 pub use executor::{verify, Executor, SearchStrategy, SymArg, SymConfig};
 pub use expr::{ExprPool, ExprRef, Node};
+pub use parallel::{default_threads, verify_parallel, verify_parallel_cached};
 pub use report::{Bug, BugKind, SolverStats, TestCase, VerificationReport};
 pub use solver::{SatResult, Solver};

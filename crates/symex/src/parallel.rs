@@ -1,94 +1,366 @@
-//! Parallel path exploration (a nod to Cloud9, cited in the paper).
+//! The work-stealing parallel verification driver.
 //!
-//! Each worker runs an independent [`Executor`] over a *partition* of the
-//! search space: worker `i` of `n` pins the first `log2(n)` symbolic branch
-//! decisions to the bit pattern of `i` via assumptions on the first input
-//! byte. This is deliberately simple — static input-space partitioning
-//! rather than dynamic work stealing — but it parallelizes embarrassingly
-//! and keeps every worker's solver caches private.
+//! The paper's §4 outlook (echoing Cloud9) is to spend hardware on the
+//! verifier. The first cut of this module statically partitioned the input
+//! space on the first byte, which re-explored every shared path prefix in
+//! all workers and kept solver caches private. This version is a real
+//! parallel subsystem:
+//!
+//! * **Shared frontier, no duplicated paths.** Workers exchange *jobs*: a
+//!   job is the branch-decision trace of an unexplored frontier state.
+//!   The receiving worker replays the decisions against its own expression
+//!   pool — zero solver queries, since the outcomes are recorded — and
+//!   then explores the subtree normally. Each symbolic path therefore ends
+//!   in exactly one worker (asserted via per-path fingerprints in the
+//!   report).
+//! * **Work stealing.** A worker that drains its local worklist blocks on
+//!   the shared frontier; busy workers donate their oldest pending states
+//!   (nearest the root, hence the biggest subtrees) whenever somebody is
+//!   hungry.
+//! * **Shared solver cache.** A sharded verdict map keyed by structural
+//!   formula fingerprints (see [`crate::cache`]) lets one worker's UNSAT
+//!   core or model serve the fleet.
+//! * **Deterministic merge.** Bug signatures, canonical test-case sets and
+//!   the explored path set are functions of the program alone — identical
+//!   for every worker count and thread interleaving. (Aggregate counters
+//!   such as instruction totals include replay overhead and may vary.)
 
-use crate::executor::{verify, SymConfig};
+use crate::cache::SharedQueryCache;
+use crate::executor::{Executor, SymConfig};
 use crate::report::VerificationReport;
 use overify_ir::Module;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-/// Runs `workers` verifications over disjoint slices of the input space and
-/// merges the reports.
+/// Fleet-wide exploration budget: instruction ceiling and wall-clock
+/// deadline shared by all workers of one `verify_parallel` call.
+pub struct SharedBudget {
+    max_instructions: u64,
+    max_paths: u64,
+    deadline: Instant,
+    instructions: AtomicU64,
+    paths: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl SharedBudget {
+    /// Builds the budget for one run of `cfg`.
+    pub fn new(cfg: &SymConfig) -> SharedBudget {
+        SharedBudget {
+            max_instructions: cfg.max_instructions,
+            max_paths: cfg.max_paths,
+            deadline: Instant::now() + cfg.timeout,
+            instructions: AtomicU64::new(0),
+            paths: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Records `delta` interpreted instructions and re-checks the
+    /// instruction ceiling.
+    pub fn charge(&self, delta: u64) {
+        let total = self.instructions.fetch_add(delta, Ordering::Relaxed) + delta;
+        if self.max_instructions > 0 && total >= self.max_instructions {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one ended path and re-checks the fleet-wide path ceiling
+    /// (`cfg.max_paths` caps the whole run, not each worker).
+    pub fn note_path(&self) {
+        if self.max_paths == 0 {
+            return;
+        }
+        let total = self.paths.fetch_add(1, Ordering::Relaxed) + 1;
+        if total >= self.max_paths {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once any worker tripped a limit; everybody stops. Also trips
+    /// the wall-clock deadline, so callers polling this enforce
+    /// `cfg.timeout` exactly like the serial engine's per-step check.
+    pub fn cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= self.deadline {
+            self.cancelled.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+/// Callbacks the executor uses to export work mid-run.
+pub trait ExploreHooks {
+    /// Is any peer starving? Cheap; polled between paths.
+    fn hungry(&self) -> bool;
+    /// Offers a frontier state (as its decision trace) to the fleet.
+    /// Returns false if the offer was not accepted.
+    fn donate(&self, prefix: Vec<bool>) -> bool;
+}
+
+/// The serial no-op hooks: never hungry, never accepts donations.
+pub struct NoHooks;
+
+impl ExploreHooks for NoHooks {
+    fn hungry(&self) -> bool {
+        false
+    }
+    fn donate(&self, _prefix: Vec<bool>) -> bool {
+        false
+    }
+}
+
+/// The shared job frontier: a deque of replayable decision prefixes plus
+/// the bookkeeping for steal/termination coordination.
+struct Frontier {
+    queue: Mutex<FrontierQueue>,
+    cv: Condvar,
+    /// Workers currently blocked waiting for a job.
+    idle: AtomicUsize,
+    /// Jobs currently queued (mirror of `queue.jobs.len()` for lock-free
+    /// hunger checks).
+    queued: AtomicUsize,
+}
+
+struct FrontierQueue {
+    jobs: VecDeque<Vec<bool>>,
+    /// Jobs outstanding: queued plus currently being explored. The run is
+    /// over when this reaches zero.
+    live: usize,
+}
+
+impl Frontier {
+    fn new() -> Frontier {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(Vec::new()); // The root job: empty prefix.
+        Frontier {
+            queue: Mutex::new(FrontierQueue { jobs, live: 1 }),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            queued: AtomicUsize::new(1),
+        }
+    }
+
+    /// Blocks until a job is available or the run is over (`None`).
+    fn next(&self) -> Option<Vec<bool>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if q.live == 0 {
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            q = self.cv.wait(q).unwrap();
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one popped job fully explored (its subtree is done or
+    /// donated onward).
+    fn finish_job(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.live -= 1;
+        if q.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+struct FrontierHooks<'a>(&'a Frontier);
+
+impl ExploreHooks for FrontierHooks<'_> {
+    fn hungry(&self) -> bool {
+        // Donate only while starving workers outnumber queued jobs; keeps
+        // steal traffic (and replay overhead) proportional to imbalance.
+        self.0.idle.load(Ordering::Relaxed) > self.0.queued.load(Ordering::Relaxed)
+    }
+
+    fn donate(&self, prefix: Vec<bool>) -> bool {
+        let mut q = self.0.queue.lock().unwrap();
+        q.jobs.push_back(prefix);
+        q.live += 1;
+        self.0.queued.fetch_add(1, Ordering::Relaxed);
+        self.0.cv.notify_one();
+        true
+    }
+}
+
+/// The number of worker threads to use by default: `OVERIFY_THREADS` if
+/// set and positive, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("OVERIFY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Verifies `entry` with `workers` work-stealing threads and merges the
+/// per-worker reports deterministically.
 ///
-/// Partitioning is by the first symbolic input byte (`byte0 % workers ==
-/// worker_index`), expressed through the initial constraint set. With zero
-/// input bytes the run degenerates to a single worker.
+/// Guarantees, independent of worker count and interleaving (given the
+/// budgets are not hit): the bug signature, the exhaustion status, the
+/// sorted canonical test-case set, and the explored path set — with every
+/// path explored by exactly one worker
+/// ([`VerificationReport::max_path_multiplicity`] is 1).
 pub fn verify_parallel(
     m: &Module,
     entry: &str,
     cfg: &SymConfig,
     workers: usize,
 ) -> VerificationReport {
+    verify_parallel_cached(m, entry, cfg, workers, &Arc::new(SharedQueryCache::new()))
+}
+
+/// [`verify_parallel`] against a caller-owned shared solver cache, so
+/// repeated runs of the *same program* (regression loops, worker-count
+/// sweeps, warm CI) reuse each other's verdicts. Sound because cache
+/// entries are keyed by structural formula fingerprint and the verdict of
+/// a formula does not depend on who asked; results remain bit-identical
+/// to a cold run. Ignored when `cfg.solver.use_shared_cache` is off.
+pub fn verify_parallel_cached(
+    m: &Module,
+    entry: &str,
+    cfg: &SymConfig,
+    workers: usize,
+    cache: &Arc<SharedQueryCache>,
+) -> VerificationReport {
     let workers = workers.max(1);
-    if workers == 1 || cfg.input_bytes == 0 {
-        return verify(m, entry, cfg);
-    }
+    let start = Instant::now();
+    let budget = Arc::new(SharedBudget::new(cfg));
+    let shared_cache = cfg.solver.use_shared_cache.then(|| cache.clone());
+    let frontier = Frontier::new();
 
     let reports: Vec<VerificationReport> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for w in 0..workers {
+        for _ in 0..workers {
             let cfg = cfg.clone();
-            handles.push(scope.spawn(move || {
-                let mut c = cfg;
-                c.partition = Some((w as u64, workers as u64));
-                verify(m, entry, &c)
-            }));
+            let budget = budget.clone();
+            let shared_cache = shared_cache.clone();
+            let frontier = &frontier;
+            handles.push(
+                scope.spawn(move || worker_loop(m, entry, cfg, frontier, budget, shared_cache)),
+            );
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().expect("verification worker panicked"))
             .collect()
     });
 
-    merge(reports)
+    let mut out = merge(reports);
+    out.time = start.elapsed();
+    out
 }
 
+/// One worker: a long-lived executor processing frontier jobs until the
+/// whole execution tree is explored.
+fn worker_loop(
+    m: &Module,
+    entry: &str,
+    cfg: SymConfig,
+    frontier: &Frontier,
+    budget: Arc<SharedBudget>,
+    shared_cache: Option<Arc<SharedQueryCache>>,
+) -> VerificationReport {
+    let mut ex = Executor::new(m, cfg);
+    ex.attach_budget(budget.clone());
+    if let Some(c) = shared_cache {
+        ex.attach_shared_cache(c);
+    }
+    let Some(init) = ex.initial_state(entry) else {
+        // Missing entry / signature mismatch: drain the frontier so peers
+        // terminate, and report zero work like the serial engine does.
+        while frontier.next().is_some() {
+            frontier.finish_job();
+        }
+        let mut r = ex.finish();
+        r.exhausted = false;
+        r.timed_out = false;
+        return r;
+    };
+    let hooks = FrontierHooks(frontier);
+    while let Some(prefix) = frontier.next() {
+        // Balance `live` even if the engine panics mid-job: without this,
+        // a panicking worker would leave its peers blocked on the frontier
+        // forever and the panic would never propagate out of the scope.
+        let _guard = FinishJobGuard(frontier);
+        if budget.cancelled() {
+            ex.mark_incomplete();
+        } else {
+            ex.run_job(init.clone(), &prefix, &hooks);
+        }
+    }
+    ex.finish()
+}
+
+struct FinishJobGuard<'a>(&'a Frontier);
+
+impl Drop for FinishJobGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish_job();
+    }
+}
+
+/// Merges per-worker reports into one deterministic report: counters are
+/// summed; bugs are deduplicated by (kind, location) keeping the smallest
+/// witness and sorted; test cases are deduplicated by input bytes and
+/// sorted; path fingerprints are concatenated and sorted so duplicated
+/// exploration is detectable.
 fn merge(reports: Vec<VerificationReport>) -> VerificationReport {
-    let mut out = VerificationReport::default();
-    let mut max_time = std::time::Duration::ZERO;
-    out.exhausted = true;
+    let mut out = VerificationReport {
+        exhausted: true,
+        ..Default::default()
+    };
     for r in reports {
         out.paths_completed += r.paths_completed;
         out.paths_buggy += r.paths_buggy;
         out.paths_killed += r.paths_killed;
         out.forks += r.forks;
         out.instructions += r.instructions;
-        out.solver.queries += r.solver.queries;
-        out.solver.solved_const += r.solver.solved_const;
-        out.solver.solved_interval += r.solver.solved_interval;
-        out.solver.solved_cex_cache += r.solver.solved_cex_cache;
-        out.solver.solved_query_cache += r.solver.solved_query_cache;
-        out.solver.solved_annotation += r.solver.solved_annotation;
-        out.solver.solved_sat += r.solver.solved_sat;
-        out.solver.sat_decisions += r.solver.sat_decisions;
-        out.solver.sat_conflicts += r.solver.sat_conflicts;
-        out.solver.concretizations += r.solver.concretizations;
+        out.donations += r.donations;
+        out.steals += r.steals;
+        out.solver.absorb(&r.solver);
         out.exhausted &= r.exhausted;
         out.timed_out |= r.timed_out;
-        max_time = max_time.max(r.time);
-        for b in r.bugs {
-            if !out
-                .bugs
-                .iter()
-                .any(|x| x.kind == b.kind && x.location == b.location)
-            {
-                out.bugs.push(b);
-            }
-        }
+        out.bugs.extend(r.bugs);
         out.tests.extend(r.tests);
+        out.path_ids.extend(r.path_ids);
     }
-    out.time = max_time;
+    // Canonical order, then dedup. Bugs: one entry per (kind, location),
+    // keeping the lexicographically smallest witness input.
+    out.bugs
+        .sort_by(|a, b| (a.kind, &a.location, &a.input).cmp(&(b.kind, &b.location, &b.input)));
+    out.bugs
+        .dedup_by(|a, b| a.kind == b.kind && a.location == b.location);
+    // Tests: canonicalization makes duplicated work produce *identical*
+    // entries, so full-struct dedup removes exactly the duplicates.
+    // (Keyed on input AND output: two paths split only by a symbolic
+    // extra argument share canonical input bytes but differ in output.)
+    out.tests
+        .sort_by(|a, b| (&a.input, &a.output).cmp(&(&b.input, &b.output)));
+    out.tests.dedup();
+    out.path_ids.sort_unstable();
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::SymConfig;
+    use crate::executor::{verify, SymConfig};
+    use crate::report::{Bug, BugKind, TestCase};
 
     fn compile(src: &str) -> Module {
         overify_lang::compile(src).unwrap()
@@ -109,17 +381,23 @@ mod tests {
         let cfg = SymConfig {
             input_bytes: 2,
             pass_len_arg: true,
+            collect_tests: true,
             ..Default::default()
         };
         let serial = verify(&m, "umain", &cfg);
         let par = verify_parallel(&m, "umain", &cfg, 4);
         assert_eq!(serial.bug_signature(), par.bug_signature());
         assert!(!par.bugs.is_empty());
-        // Partitioning covers the whole input space: at least as many path
-        // completions as the serial run (a path whose prefix spans several
-        // partitions is re-explored by each).
-        assert!(par.total_paths() >= serial.total_paths());
+        // Work stealing explores every path exactly once — unlike the old
+        // static partitioner, which re-explored shared prefixes.
+        assert_eq!(par.total_paths(), serial.total_paths());
+        assert_eq!(par.max_path_multiplicity(), 1);
         assert!(par.exhausted);
+        // The canonical test sets agree (serial is unsorted/undeduped).
+        let mut st = serial.tests.clone();
+        st.sort_by(|a, b| (&a.input, &a.output).cmp(&(&b.input, &b.output)));
+        st.dedup();
+        assert_eq!(st, par.tests);
     }
 
     #[test]
@@ -132,5 +410,221 @@ mod tests {
         };
         let r = verify_parallel(&m, "umain", &cfg, 1);
         assert_eq!(r.paths_completed, 1);
+        assert_eq!(r.max_path_multiplicity(), 1);
+    }
+
+    #[test]
+    fn missing_entry_terminates_cleanly() {
+        let m = compile("int f(int x) { return x; }");
+        let cfg = SymConfig::default();
+        let r = verify_parallel(&m, "nope", &cfg, 4);
+        assert_eq!(r.total_paths(), 0);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn merge_dedupes_duplicated_test_cases() {
+        // Regression test: merged reports used to `extend` test cases
+        // without dedup, so paths completed by two workers (the old
+        // partitioner's re-explored prefixes) duplicated entries. Tests
+        // that differ only in output (paths split by a symbolic extra
+        // argument) must both survive.
+        let t = |input: &[u8], out: &[u8]| TestCase {
+            input: input.to_vec(),
+            output: out.iter().map(|&b| Some(b)).collect(),
+        };
+        let r1 = VerificationReport {
+            exhausted: true,
+            tests: vec![t(b"zz", b"1"), t(b"aa", b"0")],
+            ..Default::default()
+        };
+        let r2 = VerificationReport {
+            exhausted: true,
+            tests: vec![t(b"aa", b"0"), t(b"mm", b"2"), t(b"aa", b"9")],
+            ..Default::default()
+        };
+        let merged = merge(vec![r1, r2]);
+        let inputs: Vec<&[u8]> = merged.tests.iter().map(|t| t.input.as_slice()).collect();
+        assert_eq!(
+            inputs,
+            vec![&b"aa"[..], b"aa", b"mm", b"zz"],
+            "sorted; exact duplicates removed, distinct outputs kept"
+        );
+    }
+
+    #[test]
+    fn merge_dedupes_bugs_and_keeps_smallest_witness() {
+        let bug = |loc: &str, input: &[u8]| Bug {
+            kind: BugKind::DivByZero,
+            location: loc.into(),
+            input: input.to_vec(),
+        };
+        let r1 = VerificationReport {
+            exhausted: true,
+            bugs: vec![bug("f/b1", b"zz")],
+            ..Default::default()
+        };
+        let r2 = VerificationReport {
+            exhausted: true,
+            bugs: vec![bug("f/b1", b"aa"), bug("f/b0", b"qq")],
+            ..Default::default()
+        };
+        let merged = merge(vec![r1, r2]);
+        assert_eq!(merged.bugs.len(), 2);
+        assert_eq!(merged.bugs[0].location, "f/b0");
+        assert_eq!(merged.bugs[1].location, "f/b1");
+        assert_eq!(merged.bugs[1].input, b"aa");
+    }
+
+    #[test]
+    fn merge_exposes_duplicate_paths() {
+        let r1 = VerificationReport {
+            exhausted: true,
+            path_ids: vec![7, 9],
+            ..Default::default()
+        };
+        let r2 = VerificationReport {
+            exhausted: true,
+            path_ids: vec![9],
+            ..Default::default()
+        };
+        let merged = merge(vec![r1, r2]);
+        assert_eq!(merged.max_path_multiplicity(), 2);
+    }
+
+    #[test]
+    fn sym_input_bytes_are_path_local_and_deterministic() {
+        // `__sym_input` symbols belong to the path that created them: a
+        // sibling path must not grow test bytes for them, and worker
+        // counts must agree bit-for-bit.
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                unsigned char b[2];
+                if (in[0] > 'a') {
+                    __sym_input(b, 2);
+                    if (b[0] > 'x') return 2;
+                    return 1;
+                }
+                return 0;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 2,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+        // The no-intrinsic path has 2 input bytes; the others carry the 2
+        // extra dynamic bytes.
+        assert!(base.tests.iter().any(|t| t.input.len() == 2));
+        assert!(base.tests.iter().any(|t| t.input.len() == 4));
+        for w in [2, 4] {
+            let r = verify_parallel(&m, "umain", &cfg, w);
+            assert_eq!(r.tests, base.tests, "workers={w}");
+            assert_eq!(r.bug_signature(), base.bug_signature(), "workers={w}");
+            assert_eq!(r.path_ids, base.path_ids, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn symbolic_extra_args_keep_tests_canonical() {
+        // Residual (non-input) symbols are pinned to their minima too, so
+        // outputs evaluated from them stay interleaving-independent.
+        let src = r#"
+            int umain(unsigned char *in, int flag) {
+                if (flag > 3 && in[0] > 'm') {
+                    putchar('0' + (flag & 7));
+                    return 1;
+                }
+                return 0;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 2,
+            pass_len_arg: false,
+            extra_args: vec![crate::executor::SymArg::Symbolic],
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+        assert!(!base.tests.is_empty());
+        for w in [2, 4] {
+            let r = verify_parallel(&m, "umain", &cfg, w);
+            assert_eq!(r.tests, base.tests, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn max_paths_caps_the_fleet_not_each_worker() {
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                }
+                return acc;
+            }
+        "#;
+        let m = compile(src);
+        let workers = 4;
+        let cfg = SymConfig {
+            input_bytes: 4,
+            pass_len_arg: true,
+            max_paths: 5,
+            ..Default::default()
+        };
+        let r = verify_parallel(&m, "umain", &cfg, workers);
+        // The ceiling is shared: cancellation lands once the fleet total
+        // reaches max_paths, give or take one in-flight path per worker —
+        // never workers × max_paths.
+        assert!(r.total_paths() >= 5, "stopped early: {}", r.total_paths());
+        assert!(
+            r.total_paths() <= 5 + workers as u64,
+            "per-worker cap leak: {} paths",
+            r.total_paths()
+        );
+        assert!(!r.exhausted);
+        assert_eq!(r.max_path_multiplicity(), 1);
+    }
+
+    #[test]
+    fn deep_program_donates_and_stays_deterministic() {
+        // A branchy program with enough paths that donation actually
+        // happens; every worker count must agree exactly.
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                return acc;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 3,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+        assert_eq!(base.max_path_multiplicity(), 1);
+        for w in [2, 4] {
+            let r = verify_parallel(&m, "umain", &cfg, w);
+            assert_eq!(r.bug_signature(), base.bug_signature(), "workers={w}");
+            assert_eq!(r.exhausted, base.exhausted, "workers={w}");
+            assert_eq!(r.tests, base.tests, "workers={w}");
+            assert_eq!(r.path_ids, base.path_ids, "workers={w}");
+            assert_eq!(r.max_path_multiplicity(), 1, "workers={w}");
+        }
     }
 }

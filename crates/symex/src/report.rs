@@ -77,12 +77,37 @@ pub struct SolverStats {
     pub solved_annotation: u64,
     /// Fell through to bit-blasting + SAT.
     pub solved_sat: u64,
+    /// Answered by the cross-worker shared query cache (another worker
+    /// already solved a structurally identical constraint set).
+    pub solved_shared: u64,
+    /// Decided by exhaustive evaluation of a single narrow symbol (the
+    /// enumeration fast path — cheap where bit-blasting is at its worst,
+    /// e.g. division chains).
+    pub solved_enum: u64,
     /// Symbolic pointers/sizes concretized to a model value because the
     /// ITE expansion would have exceeded the configured span.
     pub concretizations: u64,
     /// SAT decisions and conflicts, summed.
     pub sat_decisions: u64,
     pub sat_conflicts: u64,
+}
+
+impl SolverStats {
+    /// Adds another stats block (used by the parallel merge).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.solved_const += other.solved_const;
+        self.solved_interval += other.solved_interval;
+        self.solved_cex_cache += other.solved_cex_cache;
+        self.solved_query_cache += other.solved_query_cache;
+        self.solved_annotation += other.solved_annotation;
+        self.solved_shared += other.solved_shared;
+        self.solved_enum += other.solved_enum;
+        self.solved_sat += other.solved_sat;
+        self.concretizations += other.concretizations;
+        self.sat_decisions += other.sat_decisions;
+        self.sat_conflicts += other.sat_conflicts;
+    }
 }
 
 /// The overall result of a verification run.
@@ -101,8 +126,23 @@ pub struct VerificationReport {
     pub instructions: u64,
     /// Deduplicated bugs.
     pub bugs: Vec<Bug>,
-    /// Generated test cases (one per completed path when enabled).
+    /// Generated test cases (one per completed path when enabled). Inputs
+    /// are canonical: the lexicographically smallest bytes satisfying the
+    /// path condition, so test sets are reproducible across runs and
+    /// worker counts.
     pub tests: Vec<TestCase>,
+    /// Fingerprint of every path explored to an end (the branch-decision
+    /// trace, hashed). Distinct paths have distinct traces, so duplicate
+    /// entries mean a path was explored more than once — the merged report
+    /// of the work-stealing driver asserts this never happens (see
+    /// [`VerificationReport::max_path_multiplicity`]).
+    pub path_ids: Vec<u64>,
+    /// Frontier states this run exported to other workers (as replayable
+    /// branch-decision prefixes).
+    pub donations: u64,
+    /// Jobs this run imported from the shared frontier (the initial root
+    /// job counts as one).
+    pub steals: u64,
     pub solver: SolverStats,
     /// Wall-clock time of the run.
     pub time: Duration,
@@ -130,6 +170,47 @@ impl VerificationReport {
         sig.dedup();
         sig
     }
+
+    /// How often the most-explored path was explored. 1 on any correct
+    /// run; >1 would mean workers duplicated path work (the failure mode
+    /// of the old static input-space partitioner).
+    pub fn max_path_multiplicity(&self) -> u64 {
+        let mut ids = self.path_ids.clone();
+        ids.sort_unstable();
+        let mut max = 0u64;
+        let mut run = 0u64;
+        let mut prev = None;
+        for id in ids {
+            if Some(id) == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(id);
+            }
+            max = max.max(run);
+        }
+        max
+    }
+}
+
+/// Hashes a branch-decision trace into a compact path identifier (FNV-1a
+/// over the decision bits plus the trace length).
+pub fn path_fingerprint(trace: &[bool]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |byte: u64| {
+        h ^= byte;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(trace.len() as u64);
+    // Pack decisions eight per byte so long traces stay cheap to hash.
+    for chunk in trace.chunks(8) {
+        let mut b = 0u64;
+        for (i, &d) in chunk.iter().enumerate() {
+            b |= (d as u64) << i;
+        }
+        mix(b);
+    }
+    h
 }
 
 #[cfg(test)]

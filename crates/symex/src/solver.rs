@@ -9,14 +9,28 @@
 //!    against the new query; on a DFS the parent path's model usually
 //!    satisfies one child.
 //! 4. **Query cache** — identical constraint sets answer instantly.
-//! 5. **Bit-blasting + CDCL SAT** — the complete decision procedure.
+//! 5. **Single-symbol enumeration** — a query whose whole support is one
+//!    narrow symbol is decided by intersecting per-constraint
+//!    satisfying-value bitsets (cheap exactly where bit-blasting is at its
+//!    worst, e.g. division chains).
+//! 6. **Shared query cache** — a sharded, cross-worker map keyed by
+//!    structural fingerprint, so parallel workers serve each other's
+//!    verdicts (absent unless attached via [`Solver::attach_shared`]).
+//! 7. **Bit-blasting + CDCL SAT** — the complete decision procedure.
+//!
+//! Every layer is sound *and* complete with respect to the final SAT
+//! layer, so the SAT/UNSAT verdict of a query never depends on cache
+//! state — only the returned model may. The parallel driver's determinism
+//! guarantees rest on this invariant.
 
 use crate::blast::Blaster;
+use crate::cache::{set_fingerprint, SharedQueryCache};
 use crate::expr::{ExprPool, ExprRef};
 use crate::interval::IntervalCache;
 use crate::report::SolverStats;
 use crate::sat::SatOutcome;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A satisfying assignment: symbolic variable id → value.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -51,6 +65,12 @@ pub struct SolverOptions {
     pub use_intervals: bool,
     pub use_cex_cache: bool,
     pub use_query_cache: bool,
+    /// Consult/publish the cross-worker shared cache when one is attached
+    /// (no effect on a solver without one).
+    pub use_shared_cache: bool,
+    /// Decide single-narrow-symbol queries by exhaustive evaluation
+    /// instead of bit-blasting.
+    pub use_enumeration: bool,
 }
 
 impl Default for SolverOptions {
@@ -59,6 +79,8 @@ impl Default for SolverOptions {
             use_intervals: true,
             use_cex_cache: true,
             use_query_cache: true,
+            use_shared_cache: true,
+            use_enumeration: true,
         }
     }
 }
@@ -72,6 +94,15 @@ pub struct Solver {
     cex_cache: Vec<Model>,
     /// Canonicalized constraint set → result (Unsat, or index hint).
     query_cache: HashMap<Vec<ExprRef>, Option<Model>>,
+    /// Cross-worker verdict map, keyed by structural fingerprint.
+    shared: Option<Arc<SharedQueryCache>>,
+    /// Memoized per-expression structural fingerprints.
+    fp_memo: HashMap<ExprRef, u128>,
+    /// Memoized per-expression symbol supports (for the enumeration fast
+    /// path).
+    support_memo: HashMap<ExprRef, Arc<Vec<u32>>>,
+    /// Memoized satisfying-value bitsets of single-symbol constraints.
+    enum_memo: HashMap<ExprRef, [u64; 4]>,
 }
 
 const CEX_CACHE_CAP: usize = 64;
@@ -91,7 +122,16 @@ impl Solver {
             intervals: IntervalCache::new(),
             cex_cache: Vec::new(),
             query_cache: HashMap::new(),
+            shared: None,
+            fp_memo: HashMap::new(),
+            support_memo: HashMap::new(),
+            enum_memo: HashMap::new(),
         }
+    }
+
+    /// Attaches a cross-worker shared cache (layer 5).
+    pub fn attach_shared(&mut self, cache: Arc<SharedQueryCache>) {
+        self.shared = Some(cache);
     }
 
     /// Decides satisfiability of the conjunction of `constraints`.
@@ -151,7 +191,62 @@ impl Solver {
             }
         }
 
-        // Layer 5: SAT.
+        // Layer 5: single-symbol enumeration. A query whose whole support
+        // is one narrow symbol is decided by exhaustive evaluation —
+        // orders of magnitude cheaper than bit-blasting (division and
+        // multiplication chains especially), and the returned model is
+        // canonical: the smallest satisfying value.
+        if let Some((id, width)) = self
+            .opts
+            .use_enumeration
+            .then(|| self.single_narrow_support(pool, &key))
+            .flatten()
+        {
+            self.stats.solved_enum += 1;
+            return match self.enum_min(pool, &key, id, width) {
+                Some(v) => {
+                    let mut model = Model::default();
+                    model.values.insert(id, v);
+                    if self.opts.use_cex_cache {
+                        if self.cex_cache.len() >= CEX_CACHE_CAP {
+                            self.cex_cache.remove(0);
+                        }
+                        self.cex_cache.push(model.clone());
+                    }
+                    if self.opts.use_query_cache {
+                        self.query_cache.insert(key, Some(model.clone()));
+                    }
+                    SatResult::Sat(model)
+                }
+                None => {
+                    if self.opts.use_query_cache {
+                        self.query_cache.insert(key, None);
+                    }
+                    SatResult::Unsat
+                }
+            };
+        }
+
+        // Layer 6: cross-worker shared cache (structural fingerprints, so
+        // workers with differently-numbered pools still match).
+        let shared_fp = match (&self.shared, self.opts.use_shared_cache) {
+            (Some(_), true) => Some(set_fingerprint(pool, &key, &mut self.fp_memo)),
+            _ => None,
+        };
+        if let (Some(sc), Some(fp)) = (&self.shared, shared_fp) {
+            if let Some(hit) = sc.lookup(fp) {
+                self.stats.solved_shared += 1;
+                if self.opts.use_query_cache {
+                    self.query_cache.insert(key, hit.clone());
+                }
+                return match hit {
+                    None => SatResult::Unsat,
+                    Some(m) => SatResult::Sat(m),
+                };
+            }
+        }
+
+        // Layer 7: SAT.
         self.stats.solved_sat += 1;
         let mut blaster = Blaster::new(pool);
         for &c in &key {
@@ -164,6 +259,9 @@ impl Solver {
             SatOutcome::Unsat => {
                 if self.opts.use_query_cache {
                     self.query_cache.insert(key, None);
+                }
+                if let (Some(sc), Some(fp)) = (&self.shared, shared_fp) {
+                    sc.publish(fp, None);
                 }
                 SatResult::Unsat
             }
@@ -187,9 +285,85 @@ impl Solver {
                 if self.opts.use_query_cache {
                     self.query_cache.insert(key, Some(model.clone()));
                 }
+                if let (Some(sc), Some(fp)) = (&self.shared, shared_fp) {
+                    sc.publish(fp, Some(model.clone()));
+                }
                 SatResult::Sat(model)
             }
         }
+    }
+
+    /// The smallest value of single symbol `sym` (width ≤ 8) satisfying
+    /// every constraint in `cs` (all single-symbol over `sym`), or `None`
+    /// when unsatisfiable: intersect the per-constraint satisfying-value
+    /// bitsets (each computed once per constraint, ever) and take the
+    /// first surviving value. Shared by the enumeration solver layer and
+    /// the canonical-test minimizer.
+    pub(crate) fn enum_min(
+        &mut self,
+        pool: &ExprPool,
+        cs: &[ExprRef],
+        sym: u32,
+        width: u32,
+    ) -> Option<u64> {
+        let domain = crate::expr::width_mask(width) as usize + 1;
+        let mut acc = [u64::MAX; 4];
+        for bit in domain..256 {
+            acc[bit / 64] &= !(1u64 << (bit % 64));
+        }
+        for &c in cs {
+            let bits = self.enum_bitset(pool, c, sym, width);
+            for (a, b) in acc.iter_mut().zip(bits) {
+                *a &= b;
+            }
+            if acc == [0; 4] {
+                break;
+            }
+        }
+        acc.iter()
+            .enumerate()
+            .find(|(_, &word)| word != 0)
+            .map(|(i, word)| (i * 64 + word.trailing_zeros() as usize) as u64)
+    }
+
+    /// The 256-bit set of domain values satisfying single-symbol
+    /// constraint `c`, computed once per constraint via a vectorized DAG
+    /// walk and memoized for the solver's lifetime.
+    fn enum_bitset(&mut self, pool: &ExprPool, c: ExprRef, sym: u32, width: u32) -> [u64; 4] {
+        if let Some(b) = self.enum_memo.get(&c) {
+            return *b;
+        }
+        let vals = pool.eval_all(c, sym, width);
+        let mut bits = [0u64; 4];
+        for (v, &x) in vals.iter().enumerate() {
+            if x != 0 {
+                bits[v / 64] |= 1 << (v % 64);
+            }
+        }
+        self.enum_memo.insert(c, bits);
+        bits
+    }
+
+    /// If every constraint in `key` mentions exactly one common symbol of
+    /// width ≤ 8 bits, returns it (the enumeration fast-path guard).
+    fn single_narrow_support(&mut self, pool: &ExprPool, key: &[ExprRef]) -> Option<(u32, u32)> {
+        let mut the_sym: Option<u32> = None;
+        for &c in key {
+            let support = crate::expr::sym_support(pool, c, &mut self.support_memo);
+            match (support.as_slice(), the_sym) {
+                ([one], None) => the_sym = Some(*one),
+                ([one], Some(s)) if *one == s => {}
+                _ => return None,
+            }
+        }
+        let id = the_sym?;
+        // All constraints mention exactly this symbol; find its width.
+        for &c in key {
+            if let Some(w) = find_sym_width(pool, c, id) {
+                return (w <= 8).then_some((id, w));
+            }
+        }
+        None
     }
 
     /// Convenience: is `cond` possible under `constraints`?
@@ -198,6 +372,25 @@ impl Solver {
         cs.push(cond);
         self.check(pool, &cs).is_sat()
     }
+}
+
+/// The declared width of symbol `id` inside expression `e`, if present.
+fn find_sym_width(pool: &ExprPool, e: ExprRef, id: u32) -> Option<u32> {
+    use crate::expr::Node;
+    let mut stack = vec![e];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if let Node::Sym { id: sid, width } = *pool.node(x) {
+            if sid == id {
+                return Some(width);
+            }
+        }
+        stack.extend(pool.node(x).children());
+    }
+    None
 }
 
 #[cfg(test)]
@@ -290,6 +483,8 @@ mod tests {
             use_intervals: false,
             use_cex_cache: false,
             use_query_cache: false,
+            use_shared_cache: false,
+            use_enumeration: false,
         });
         let x = pool.fresh_sym(8);
         let k = pool.constant(8, 200);
@@ -298,5 +493,51 @@ mod tests {
         let nc = pool.not(c);
         assert!(s.check(&pool, &[c, nc]) == SatResult::Unsat);
         assert!(s.stats.solved_sat >= 2);
+    }
+
+    #[test]
+    fn shared_cache_serves_a_second_solver() {
+        use std::sync::Arc;
+        let shared = Arc::new(crate::cache::SharedQueryCache::new());
+
+        // Two symbols, so neither enumeration nor intervals decide it and
+        // the query genuinely reaches the SAT / shared layers.
+        // x < 10 && y < 10 && x + y > 50 is UNSAT without 8-bit wrap.
+        let build = |pool: &mut ExprPool, pad: bool| -> Vec<ExprRef> {
+            let x = pool.fresh_sym(8);
+            if pad {
+                // Shift ExprRef numbering so the pools genuinely differ.
+                let k = pool.constant(8, 55);
+                let _ = pool.bin(BinOp::Mul, x, k);
+            }
+            let y = pool.fresh_sym(8);
+            let k10 = pool.constant(8, 10);
+            let k50 = pool.constant(8, 50);
+            let sum = pool.bin(BinOp::Add, x, y);
+            vec![
+                pool.cmp(CmpPred::Ult, x, k10),
+                pool.cmp(CmpPred::Ult, y, k10),
+                pool.cmp(CmpPred::Ugt, sum, k50),
+            ]
+        };
+
+        // Solver A solves the query and publishes the verdict.
+        let mut pool_a = ExprPool::new();
+        let mut a = Solver::default();
+        a.attach_shared(shared.clone());
+        let cs_a = build(&mut pool_a, false);
+        assert_eq!(a.check(&pool_a, &cs_a), SatResult::Unsat);
+        assert!(a.stats.solved_sat > 0, "should have reached SAT");
+
+        // Solver B, over a *different* pool with shifted numbering, asks
+        // the structurally identical query: answered without SAT.
+        let mut pool_b = ExprPool::new();
+        let mut b = Solver::default();
+        b.attach_shared(shared);
+        let mut cs_b = build(&mut pool_b, true);
+        cs_b.reverse(); // Order-independent key.
+        assert_eq!(b.check(&pool_b, &cs_b), SatResult::Unsat);
+        assert_eq!(b.stats.solved_shared, 1);
+        assert_eq!(b.stats.solved_sat, 0);
     }
 }

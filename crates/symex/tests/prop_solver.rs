@@ -13,8 +13,10 @@
 use overify_ir::{BinOp, CmpPred};
 use overify_symex::expr::{div_zero_default, width_ty};
 use overify_symex::interval::IntervalCache;
-use overify_symex::{ExprPool, ExprRef, SatResult, Solver};
+use overify_symex::solver::SolverOptions;
+use overify_symex::{ExprPool, ExprRef, SatResult, SharedQueryCache, Solver};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A tiny expression AST we can evaluate independently of the pool.
 #[derive(Clone, Debug)]
@@ -204,6 +206,70 @@ proptest! {
             }
             SatResult::Unsat => {
                 prop_assert!(!brute_sat, "solver said UNSAT but witness exists: t={:?}", t);
+            }
+        }
+    }
+
+    /// Shared-cache soundness: a sequence of random queries answered with
+    /// every cache layer enabled — including a cross-worker shared cache,
+    /// consulted twice per query so hits actually serve — must agree with
+    /// a cache-free solver on every SAT/UNSAT verdict, and every model
+    /// returned from a cache must satisfy its query.
+    #[test]
+    fn caches_and_shared_cache_preserve_verdicts(
+        terms in proptest::collection::vec((arb_term(), any::<u8>(), any::<u8>()), 1..6)
+    ) {
+        let shared = Arc::new(SharedQueryCache::new());
+        let mut pool = ExprPool::new();
+        let x = pool.fresh_sym(8);
+        let y = pool.fresh_sym(8);
+
+        // `cached` has all layers; `cold` re-attaches the same shared map
+        // (fresh local caches) so cross-solver hits are exercised; `plain`
+        // has nothing.
+        let mut cached = Solver::default();
+        cached.attach_shared(shared.clone());
+        let mut cold = Solver::default();
+        cold.attach_shared(shared);
+        let mut plain = Solver::new(SolverOptions {
+            use_intervals: false,
+            use_cex_cache: false,
+            use_query_cache: false,
+            use_shared_cache: false,
+            use_enumeration: false,
+        });
+
+        // Accumulate constraints so later queries are multi-constraint and
+        // multi-symbol (`y` stays symbolic, pinned by an extra equality,
+        // so queries reach the SAT/shared layers instead of the
+        // single-symbol enumeration fast path).
+        let mut cs: Vec<ExprRef> = Vec::new();
+        for (i, (t, yv, target)) in terms.into_iter().enumerate() {
+            let e = build(&mut pool, &t, x, y);
+            let k = pool.constant(8, target as u64);
+            let c = pool.cmp(CmpPred::Eq, e, k);
+            cs.push(c);
+            if i == 0 {
+                let yk = pool.constant(8, yv as u64);
+                cs.push(pool.cmp(CmpPred::Eq, y, yk));
+            }
+
+            let reference = plain.check(&pool, &cs);
+            for solver in [&mut cached, &mut cold] {
+                match solver.check(&pool, &cs) {
+                    SatResult::Sat(m) => {
+                        prop_assert!(reference.is_sat(),
+                            "cached solver said SAT, cache-free solver disagrees");
+                        for &cc in &cs {
+                            prop_assert_eq!(pool.eval(cc, &|id| m.get(id)), 1,
+                                "cached model violates a constraint");
+                        }
+                    }
+                    SatResult::Unsat => {
+                        prop_assert!(!reference.is_sat(),
+                            "cached solver said UNSAT, cache-free solver disagrees");
+                    }
+                }
             }
         }
     }

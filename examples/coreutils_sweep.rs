@@ -1,26 +1,16 @@
-//! A miniature Figure 4: verify a handful of Coreutils-style utilities at
-//! `-O0`, `-O3` and `-OVERIFY` and print per-program totals.
+//! A miniature Figure 4: verify Coreutils-style utilities at `-O0`, `-O3`
+//! and `-OVERIFY` through the batch suite driver, fanning jobs across
+//! worker threads (and printing a live progress line).
 //!
 //! ```sh
 //! cargo run --release --example coreutils_sweep [n_bytes] [utilities...]
+//! OVERIFY_THREADS=4 cargo run --release --example coreutils_sweep 4
 //! ```
 
-use overify::{verify_program, BuildOptions, CompiledProgram, OptLevel, SymConfig};
-use overify_coreutils::{compile_utility, suite, Utility};
+use overify::{default_threads, verify_suite_with, OptLevel, SuiteJob, SymConfig, Utility};
+use overify_coreutils::suite;
+use std::io::Write;
 use std::time::Duration;
-
-fn build(u: &Utility, level: OptLevel) -> CompiledProgram {
-    let opts = BuildOptions::level(level);
-    let mut module = compile_utility(u, opts.resolved_libc()).expect("utility compiles");
-    let stats = overify::build::compile_module(&mut module, &opts);
-    CompiledProgram {
-        module,
-        stats,
-        level,
-        libc: Some(opts.resolved_libc()),
-        compile_time: Duration::ZERO,
-    }
-}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,40 +22,73 @@ fn main() {
         .filter(|u| selected.is_empty() || selected.iter().any(|s| s == u.name))
         .take(if selected.is_empty() { 8 } else { usize::MAX })
         .collect();
+    let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
 
-    println!("coreutils sweep: {n} symbolic input bytes\n");
+    let cfg = SymConfig {
+        pass_len_arg: true,
+        max_instructions: 20_000_000,
+        timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let jobs: Vec<SuiteJob> = utilities
+        .iter()
+        .flat_map(|u| levels.map(|l| SuiteJob::utility(u, l, &[n], &cfg)))
+        .collect();
+
+    let threads = default_threads();
+    println!(
+        "coreutils sweep: {n} symbolic input bytes, {} jobs on {threads} thread(s)\n",
+        jobs.len()
+    );
+
+    let report = verify_suite_with(jobs, threads, |r, done, total| {
+        eprint!(
+            "\r[{done}/{total}] {:<14} {:<8} ",
+            r.name,
+            r.level.to_string()
+        );
+        let _ = std::io::stderr().flush();
+    });
+    eprintln!();
+
     println!(
         "{:<14} {:>12} {:>12} {:>12}   (total analysis time; paths)",
         "utility", "-O0", "-O3", "-OVERIFY"
     );
-
-    for u in utilities {
+    for u in &utilities {
         let mut cells = Vec::new();
-        for level in [OptLevel::O0, OptLevel::O3, OptLevel::Overify] {
-            let prog = build(u, level);
-            let report = verify_program(
-                &prog,
-                "umain",
-                &SymConfig {
-                    input_bytes: n,
-                    pass_len_arg: true,
-                    max_instructions: 20_000_000,
-                    timeout: Duration::from_secs(60),
-                    ..Default::default()
-                },
-            );
-            let marker = if report.exhausted { "" } else { "*" };
-            cells.push(format!(
-                "{:>7.2?}/{}{}",
-                report.time,
-                report.total_paths(),
-                marker
-            ));
+        for level in levels {
+            let job = report.job(u.name, level).expect("job ran");
+            let cell = match (&job.error, job.runs.first()) {
+                (Some(e), _) => {
+                    eprintln!("{}@{level}: build failed: {e}", u.name);
+                    "build-error".to_string()
+                }
+                (None, None) => "-".to_string(),
+                (None, Some((_, r))) => {
+                    let marker = if job.exhausted() { "" } else { "*" };
+                    // A budget-truncated run may have completed no paths
+                    // (multiplicity 0); more than once is the bug.
+                    assert!(
+                        r.max_path_multiplicity() <= 1,
+                        "{}@{level}: a path was explored twice",
+                        u.name
+                    );
+                    format!("{:>7.2?}/{}{}", r.time, r.total_paths(), marker)
+                }
+            };
+            cells.push(cell);
         }
         println!(
             "{:<14} {:>12} {:>12} {:>12}",
             u.name, cells[0], cells[1], cells[2]
         );
     }
-    println!("\n(* = budget exhausted before the path space was covered)");
+    println!(
+        "\nwall {:.2?} vs per-job total {:.2?} ({}x thread speedup)",
+        report.wall,
+        report.total_time(),
+        (report.total_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9)).round(),
+    );
+    println!("(* = budget exhausted before the path space was covered)");
 }

@@ -1,0 +1,169 @@
+//! Determinism matrix for the work-stealing parallel driver.
+//!
+//! The merged report of `verify_parallel` must be a function of the
+//! program alone, never of worker count or thread interleaving: identical
+//! bug signatures, identical exhaustion status, identical sorted canonical
+//! test-case sets — and every symbolic path explored by exactly one worker
+//! (path multiplicity 1). Sallai et al. (size-reduction evaluation) argue
+//! verifier-side claims need a diverse workload matrix; we run the whole
+//! coreutils-style suite at both ends of the pipeline (`-O0`, `-OVERIFY`).
+
+use overify::{
+    compile_module, default_threads, verify_parallel, verify_parallel_cached, verify_suite,
+    BuildOptions, Module, OptLevel, SharedQueryCache, SuiteJob, SymConfig, Utility,
+};
+use std::sync::Arc;
+
+const WORKER_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+fn build(u: &Utility, level: OptLevel) -> Module {
+    let opts = BuildOptions::level(level);
+    let mut m = overify_coreutils::compile_utility(u, opts.resolved_libc())
+        .unwrap_or_else(|e| panic!("{} fails to build: {e}", u.name));
+    compile_module(&mut m, &opts);
+    m
+}
+
+fn matrix_cfg(input_bytes: usize) -> SymConfig {
+    SymConfig {
+        input_bytes,
+        pass_len_arg: true,
+        collect_tests: true,
+        ..Default::default()
+    }
+}
+
+/// Satellite: every suite utility, at -O0 and -OVERIFY, verified with
+/// 1/2/4/8 workers, must produce identical bug signatures, exhaustion
+/// status and merged (sorted) test-case sets.
+#[test]
+fn determinism_matrix_over_whole_suite() {
+    for u in overify_coreutils::suite() {
+        for level in [OptLevel::O0, OptLevel::Overify] {
+            let t0 = std::time::Instant::now();
+            let m = build(u, level);
+            let cfg = matrix_cfg(2);
+            // One warm cache across the whole worker sweep: verdicts are a
+            // function of the formula, so cached runs must stay
+            // bit-identical to the cold baseline.
+            let cache = Arc::new(SharedQueryCache::new());
+            let base = verify_parallel_cached(&m, "umain", &cfg, WORKER_MATRIX[0], &cache);
+            assert!(
+                base.exhausted,
+                "{}@{level}: 2-byte run should be exhaustive",
+                u.name
+            );
+            for &w in &WORKER_MATRIX[1..] {
+                let r = verify_parallel_cached(&m, "umain", &cfg, w, &cache);
+                let tag = format!("{}@{level} workers={w}", u.name);
+                assert_eq!(r.bug_signature(), base.bug_signature(), "{tag}: bugs");
+                assert_eq!(r.exhausted, base.exhausted, "{tag}: exhaustion");
+                assert_eq!(r.tests, base.tests, "{tag}: canonical test sets");
+                assert_eq!(r.path_ids, base.path_ids, "{tag}: explored path sets");
+            }
+            eprintln!("{:<14} {level:<8} {:?}", u.name, t0.elapsed());
+        }
+    }
+}
+
+/// Acceptance: no symbolic path is ever explored by more than one worker
+/// (the old static partitioner re-explored shared prefixes in every
+/// worker). Checked on path-rich utilities where stealing really happens.
+#[test]
+fn no_path_explored_twice() {
+    for name in ["rot13", "wc_words", "tr_upper"] {
+        let u = overify_coreutils::utility(name).unwrap();
+        for level in [OptLevel::O0, OptLevel::Overify] {
+            let m = build(u, level);
+            // No test collection here: this test only checks exploration
+            // accounting, and 4-byte runs are the expensive ones.
+            let mut cfg = matrix_cfg(4);
+            cfg.collect_tests = false;
+            for &w in &WORKER_MATRIX {
+                let r = verify_parallel(&m, "umain", &cfg, w);
+                assert_eq!(
+                    r.max_path_multiplicity(),
+                    1,
+                    "{name}@{level} workers={w}: a path was explored twice \
+                     (paths={}, donations={})",
+                    r.total_paths(),
+                    r.donations,
+                );
+                assert_eq!(
+                    r.steals,
+                    r.donations + 1,
+                    "{name}@{level} workers={w}: processed jobs must be \
+                     exactly the root job plus every donation",
+                );
+            }
+        }
+    }
+}
+
+/// The batch driver must agree with itself at any thread count — the CI
+/// thread matrix runs this with `OVERIFY_THREADS` ∈ {1, 4, 8}.
+#[test]
+fn suite_driver_deterministic_across_thread_counts() {
+    let cfg = matrix_cfg(2);
+    let jobs = |path_workers: usize| -> Vec<SuiteJob> {
+        ["echo", "cat_n", "wc_words", "rot13", "tr_upper", "wc_bytes"]
+            .iter()
+            .flat_map(|name| {
+                let u = overify_coreutils::utility(name).unwrap();
+                [OptLevel::O0, OptLevel::Overify].map(|l| {
+                    let mut j = SuiteJob::utility(u, l, &[2, 3], &cfg);
+                    j.path_workers = path_workers;
+                    j
+                })
+            })
+            .collect()
+    };
+    let serial = verify_suite(jobs(1), 1);
+    let parallel = verify_suite(jobs(default_threads()), default_threads());
+    assert_eq!(serial.jobs.len(), parallel.jobs.len());
+    for (a, b) in serial.jobs.iter().zip(&parallel.jobs) {
+        let tag = format!("{}@{}", a.name, a.level);
+        assert_eq!(a.bug_signature(), b.bug_signature(), "{tag}: bugs");
+        assert_eq!(a.exhausted(), b.exhausted(), "{tag}: exhaustion");
+        assert!(b.max_path_multiplicity() <= 1, "{tag}: duplicated paths");
+        for ((na, ra), (nb, rb)) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(na, nb);
+            assert_eq!(ra.tests, rb.tests, "{tag}/{na}B: canonical test sets");
+            assert_eq!(ra.path_ids, rb.path_ids, "{tag}/{na}B: path sets");
+        }
+    }
+}
+
+/// Bug-positive determinism: utilities seeded with real bugs must report
+/// the same counterexample locations at every worker count.
+#[test]
+fn buggy_programs_keep_signatures_across_workers() {
+    let src = r#"
+        int umain(unsigned char *in, int n) {
+            int tab[4];
+            tab[0] = 1; tab[1] = 2; tab[2] = 3; tab[3] = 4;
+            if (in[0] == 'd' && in[1] == 'i' && in[2] == 'v') {
+                return 7 / (in[3] - in[3]);
+            }
+            if (in[0] > 'w') {
+                return tab[in[1] & 7];
+            }
+            return tab[in[0] & 3];
+        }
+    "#;
+    let m = overify::compile(src, &BuildOptions::level(OptLevel::Overify))
+        .unwrap()
+        .module;
+    let cfg = matrix_cfg(4);
+    let base = verify_parallel(&m, "umain", &cfg, 1);
+    assert!(
+        !base.bug_signature().is_empty(),
+        "seeded bugs should be found"
+    );
+    for &w in &WORKER_MATRIX[1..] {
+        let r = verify_parallel(&m, "umain", &cfg, w);
+        assert_eq!(r.bug_signature(), base.bug_signature(), "workers={w}");
+        assert_eq!(r.tests, base.tests, "workers={w}");
+        assert_eq!(r.max_path_multiplicity(), 1, "workers={w}");
+    }
+}
