@@ -1,0 +1,94 @@
+//! **Persistent-store ablation** — what warm-starting buys on the
+//! coreutils sweep.
+//!
+//! Three sweeps of the same workload matrix:
+//!
+//! 1. **storeless** — the baseline batch driver;
+//! 2. **cold store** — first run against an empty store (pays the write);
+//! 3. **warm store** — a fresh handle on the populated store: unchanged
+//!    jobs are answered from report artifacts (verification skipped) and
+//!    the solver fleet warm-starts from the persisted verdict log.
+//!
+//! Asserts the warm sweep hits on every job, reproduces byte-identical
+//! reports, and (when the workload is big enough to measure) reduces
+//! wall clock vs the cold run.
+//!
+//! Knobs: `OVERIFY_SYM_BYTES` (default 3), `OVERIFY_UTILITIES`.
+
+use overify::{verify_suite_stored, OptLevel, Store, StoreConfig, SuiteJob};
+use overify_bench::{env_u64, selected_utilities, suite_config};
+use std::time::Duration;
+
+fn main() {
+    let bytes = env_u64("OVERIFY_SYM_BYTES", 3) as usize;
+    let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+    let jobs = || -> Vec<SuiteJob> {
+        selected_utilities()
+            .iter()
+            .flat_map(|u| levels.map(|l| SuiteJob::utility(u, l, &[bytes], &suite_config(bytes))))
+            .collect()
+    };
+    let total = jobs().len();
+    let threads = overify::default_threads();
+    println!("# store ablation: {bytes} symbolic bytes, {total} jobs, {threads} thread(s)\n");
+
+    let root = std::env::temp_dir().join(format!("overify_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Explicitly storeless (`verify_suite` would pick up `OVERIFY_STORE`
+    // from the environment, silently warming the baseline).
+    let storeless = verify_suite_stored(jobs(), threads, None);
+
+    let cold_store = Store::open(StoreConfig::at(&root)).expect("store opens");
+    let cold = verify_suite_stored(jobs(), threads, Some(&cold_store));
+
+    let warm_store = Store::open(StoreConfig::at(&root)).expect("store reopens");
+    let warm = verify_suite_stored(jobs(), threads, Some(&warm_store));
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>16}",
+        "sweep", "wall", "hits", "verdicts-in", "verdicts-out"
+    );
+    for (label, r) in [("storeless", &storeless), ("cold", &cold), ("warm", &warm)] {
+        let (loaded, saved) = r
+            .store
+            .map(|s| (s.solver_entries_loaded, s.solver_entries_saved))
+            .unwrap_or((0, 0));
+        println!(
+            "{label:<10} {:>10.2?} {:>7}/{total:<2} {loaded:>14} {saved:>16}",
+            r.wall,
+            r.store_hits(),
+        );
+    }
+
+    // Determinism: the store must never change *what* is reported.
+    assert_eq!(warm.store_hits(), total, "warm sweep hits every job");
+    for ((a, b), c) in storeless.jobs.iter().zip(&cold.jobs).zip(&warm.jobs) {
+        let tag = format!("{}@{}", a.name, a.level);
+        assert_eq!(a.bug_signature(), b.bug_signature(), "{tag}: cold drifted");
+        assert_eq!(b.bug_signature(), c.bug_signature(), "{tag}: warm drifted");
+        assert_eq!(b.runs, c.runs, "{tag}: stored report not byte-identical");
+        for ((na, ra), (nb, rb)) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(na, nb);
+            assert_eq!(ra.tests, rb.tests, "{tag}/{na}B: canonical tests drifted");
+            assert_eq!(ra.bugs, rb.bugs, "{tag}/{na}B: canonical witnesses drifted");
+        }
+    }
+
+    let ratio = warm.wall.as_secs_f64() / cold.wall.as_secs_f64().max(1e-9);
+    println!("\nwarm/cold wall ratio: {ratio:.3} (report hits skip verification entirely)");
+    if cold.wall >= Duration::from_millis(300) {
+        assert!(
+            ratio < 0.8,
+            "a fully-hit warm sweep must measurably beat the cold sweep \
+             (cold {:?}, warm {:?})",
+            cold.wall,
+            warm.wall
+        );
+        println!("acceptance: warm sweep < 0.8x cold wall clock — OK");
+    } else {
+        println!("(speedup assertion skipped: cold sweep too fast to measure reliably)");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -17,7 +17,12 @@
 //! * [`verify_program_parallel`] runs the work-stealing multi-core driver
 //!   over one program, and [`verify_suite`] fans a whole workload matrix
 //!   (utilities × levels × input sizes) across a thread pool — the §4
-//!   "spend hardware on the verifier" direction.
+//!   "spend hardware on the verifier" direction;
+//! * the persistent verification store (`overify_store`, surfaced as
+//!   [`Store`] / [`StoreConfig`] / `OVERIFY_STORE`) amortizes that work
+//!   *across* runs: suite sweeps warm-start the shared solver cache from
+//!   disk and skip jobs whose program content hash and configuration
+//!   match a stored report.
 //!
 //! # Quickstart
 //!
@@ -55,7 +60,8 @@ pub mod suite;
 pub use build::{compile, compile_module, BuildError, BuildOptions, CompiledProgram};
 pub use chain::BuildChain;
 pub use suite::{
-    coreutils_jobs, verify_suite, verify_suite_with, SuiteJob, SuiteJobResult, SuiteReport,
+    coreutils_jobs, verify_suite, verify_suite_stored, verify_suite_stored_with, verify_suite_with,
+    SuiteJob, SuiteJobResult, SuiteReport,
 };
 
 // Re-export the pieces a downstream user needs, so `overify` is the single
@@ -64,12 +70,13 @@ pub use overify_coreutils::{suite as coreutils_suite, Utility};
 pub use overify_interp::{
     run_module, run_with_buffer, CpuCostModel, ExecConfig, ExecResult, Outcome,
 };
-pub use overify_ir::Module;
+pub use overify_ir::{module_fingerprint, Module};
 pub use overify_libc::LibcVariant;
 pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
+pub use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
 pub use overify_symex::{
-    default_threads, verify_parallel, verify_parallel_cached, Bug, BugKind, SearchStrategy,
-    SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+    default_threads, verify_parallel, verify_parallel_cached, Bug, BugKind, CacheStats,
+    SearchStrategy, SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
 };
 
 /// Symbolically verifies a compiled program's entry function.

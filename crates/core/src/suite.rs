@@ -6,12 +6,25 @@
 //! time is the budget that matters, so the harness must keep every core
 //! busy across a whole workload matrix (the Figure 4 sweep, CI suites,
 //! multi-level ablations) — not just within one program.
+//!
+//! The driver is also where the **persistent verification store**
+//! (`overify_store`) plugs in: point `OVERIFY_STORE` at a directory (or
+//! pass a [`Store`] to [`verify_suite_stored`]) and repeated sweeps
+//! warm-start the shared solver cache from disk *and* skip whole jobs
+//! whose program (canonical printed-IR fingerprint), pipeline level and
+//! budget signature match a stored run — the stored report is returned
+//! verbatim, flagged via [`SuiteJobResult::from_store`] and counted in
+//! [`SuiteReport::store`].
 
 use crate::build::{compile_module, BuildOptions};
 use overify_opt::OptLevel;
-use overify_symex::{verify_parallel, BugKind, SymConfig, VerificationReport};
+use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
+use overify_symex::{
+    verify_parallel, verify_parallel_cached, BugKind, SharedQueryCache, SymConfig,
+    VerificationReport,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One verification job: build `source` at `level`, then verify `entry`
@@ -61,12 +74,16 @@ impl SuiteJob {
 pub struct SuiteJobResult {
     pub name: String,
     pub level: OptLevel,
-    /// Front-end + pipeline + link wall time.
+    /// Front-end + pipeline + link wall time (always fresh: a store hit
+    /// still compiles — it must, to know the module fingerprint).
     pub compile_time: Duration,
     /// One report per swept input size, in `bytes` order.
     pub runs: Vec<(usize, VerificationReport)>,
     /// Build failure, if any (then `runs` is empty).
     pub error: Option<String>,
+    /// True when `runs` was answered verbatim from the persistent report
+    /// store (verification skipped).
+    pub from_store: bool,
 }
 
 impl SuiteJobResult {
@@ -112,6 +129,9 @@ pub struct SuiteReport {
     pub wall: Duration,
     /// Thread count the batch ran with.
     pub threads: usize,
+    /// Persistent-store activity (report hits/misses, solver-cache
+    /// loads/saves); `None` when the batch ran without a store.
+    pub store: Option<StoreStats>,
 }
 
 impl SuiteReport {
@@ -127,6 +147,11 @@ impl SuiteReport {
     pub fn total_time(&self) -> Duration {
         self.jobs.iter().map(|j| j.total_time()).sum()
     }
+
+    /// Number of jobs answered verbatim from the persistent report store.
+    pub fn store_hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.from_store).count()
+    }
 }
 
 /// Runs a batch of verification jobs on `threads` worker threads and
@@ -137,6 +162,11 @@ impl SuiteReport {
 /// happens inside each job when `path_workers > 1`. Thread interleaving
 /// never changes per-job results — each job is verified by one
 /// deterministic `verify_parallel` call.
+///
+/// When the `OVERIFY_STORE` environment variable names a directory, the
+/// batch runs against a persistent store there (see
+/// [`verify_suite_stored`]); an unusable store path is reported to stderr
+/// and ignored.
 pub fn verify_suite(jobs: Vec<SuiteJob>, threads: usize) -> SuiteReport {
     verify_suite_with(jobs, threads, |_, _, _| {})
 }
@@ -147,8 +177,49 @@ pub fn verify_suite_with<F>(jobs: Vec<SuiteJob>, threads: usize, progress: F) ->
 where
     F: Fn(&SuiteJobResult, usize, usize) + Sync,
 {
+    let store = StoreConfig::from_env().and_then(|cfg| match Store::open(cfg) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("overify: OVERIFY_STORE is unusable ({e}); running without a store");
+            None
+        }
+    });
+    verify_suite_stored_with(jobs, threads, store.as_ref(), progress)
+}
+
+/// [`verify_suite`] against a caller-owned persistent [`Store`]: the
+/// fleet-wide solver cache is warm-started from the store's verdict log
+/// (and persisted back after the batch), and jobs whose
+/// `(module fingerprint, level, budget signature)` key matches a stored
+/// artifact skip verification entirely, returning the stored report
+/// verbatim. Pass `None` to run storeless.
+pub fn verify_suite_stored(
+    jobs: Vec<SuiteJob>,
+    threads: usize,
+    store: Option<&Store>,
+) -> SuiteReport {
+    verify_suite_stored_with(jobs, threads, store, |_, _, _| {})
+}
+
+/// [`verify_suite_stored`] with a progress callback.
+pub fn verify_suite_stored_with<F>(
+    jobs: Vec<SuiteJob>,
+    threads: usize,
+    store: Option<&Store>,
+    progress: F,
+) -> SuiteReport
+where
+    F: Fn(&SuiteJobResult, usize, usize) + Sync,
+{
     let threads = threads.max(1);
     let start = Instant::now();
+    // Warm-start one fleet-wide solver cache from the store. Verdicts are
+    // keyed by pool-independent structural fingerprints, so they are
+    // valid across jobs, runs and processes alike; sharing the cache
+    // across the whole batch also lets concurrent jobs of the same
+    // program (different levels sweep identical library formulas) serve
+    // each other within the run.
+    let warm: Option<Arc<SharedQueryCache>> = store.map(|s| s.warm_solver_cache());
     let total = jobs.len();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -162,13 +233,19 @@ where
                 if i >= total {
                     return;
                 }
-                let result = run_one(&jobs[i]);
+                let result = run_one(&jobs[i], store, warm.as_ref());
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 progress(&result, finished, total);
                 *results[i].lock().unwrap() = Some(result);
             });
         }
     });
+
+    if let (Some(s), Some(cache)) = (store, &warm) {
+        if let Err(e) = s.save_solver_cache(cache) {
+            eprintln!("overify: failed to persist the solver cache: {e}");
+        }
+    }
 
     SuiteReport {
         jobs: results
@@ -177,10 +254,15 @@ where
             .collect(),
         wall: start.elapsed(),
         threads,
+        store: store.map(|s| s.stats()),
     }
 }
 
-fn run_one(job: &SuiteJob) -> SuiteJobResult {
+fn run_one(
+    job: &SuiteJob,
+    store: Option<&Store>,
+    warm: Option<&Arc<SharedQueryCache>>,
+) -> SuiteJobResult {
     let t0 = Instant::now();
     let built = if job.opts.link_libc {
         overify_libc::compile_and_link(&job.source, job.opts.resolved_libc())
@@ -197,24 +279,63 @@ fn run_one(job: &SuiteJob) -> SuiteJobResult {
                 compile_time: t0.elapsed(),
                 runs: Vec::new(),
                 error: Some(e),
+                from_store: false,
             }
         }
     };
     compile_module(&mut module, &job.opts);
     let compile_time = t0.elapsed();
 
-    let runs = job
+    // The content address of this job: the canonical printed-IR
+    // fingerprint plus everything else that shapes the run. A stored
+    // artifact under the same key *is* this job's outcome — return it
+    // verbatim and skip verification.
+    let key = store.map(|_| ReportKey {
+        module_fp: overify_ir::module_fingerprint(&module),
+        level: job.opts.level,
+        budget_sig: budget_signature(&job.entry, &job.bytes, job.path_workers, &job.cfg),
+    });
+    if let (Some(s), Some(key)) = (store, &key) {
+        if let Some(stored) = s.load_report(key) {
+            return SuiteJobResult {
+                name: job.name.clone(),
+                level: job.opts.level,
+                compile_time,
+                runs: stored.runs,
+                error: None,
+                from_store: true,
+            };
+        }
+    }
+
+    let runs: Vec<(usize, VerificationReport)> = job
         .bytes
         .iter()
         .map(|&n| {
             let mut cfg = job.cfg.clone();
             cfg.input_bytes = n;
-            (
-                n,
-                verify_parallel(&module, &job.entry, &cfg, job.path_workers),
-            )
+            let report = match warm {
+                Some(cache) => {
+                    verify_parallel_cached(&module, &job.entry, &cfg, job.path_workers, cache)
+                }
+                None => verify_parallel(&module, &job.entry, &cfg, job.path_workers),
+            };
+            (n, report)
         })
         .collect();
+
+    if let (Some(s), Some(key)) = (store, &key) {
+        // Only *complete* runs are pure functions of the content address:
+        // a budget-truncated report depends on wall clock and thread
+        // interleaving (where exactly exploration stopped), so persisting
+        // it would replay a partial answer — and mask its missed bugs —
+        // forever. Truncated jobs stay misses and are recomputed.
+        if runs.iter().all(|(_, r)| !r.timed_out) {
+            if let Err(e) = s.save_report(key, &StoredJob { runs: runs.clone() }) {
+                eprintln!("overify: failed to store report for {}: {e}", job.name);
+            }
+        }
+    }
 
     SuiteJobResult {
         name: job.name.clone(),
@@ -222,6 +343,7 @@ fn run_one(job: &SuiteJob) -> SuiteJobResult {
         compile_time,
         runs,
         error: None,
+        from_store: false,
     }
 }
 
@@ -283,6 +405,99 @@ mod tests {
         assert!(report.jobs[0].error.is_some());
         assert!(!report.jobs[0].exhausted());
         assert!(report.jobs[0].runs.is_empty());
+    }
+
+    #[test]
+    fn store_round_trip_skips_and_reproduces_jobs() {
+        let root = std::env::temp_dir().join(format!("overify_suite_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let jobs = || {
+            vec![
+                SuiteJob::utility(
+                    overify_coreutils::utility("echo").unwrap(),
+                    OptLevel::Overify,
+                    &[2],
+                    &small_cfg(),
+                ),
+                // A two-symbol branch condition cannot be decided by the
+                // single-symbol enumeration layer, so it reaches the SAT
+                // layer and publishes verdicts into the shared cache —
+                // guaranteeing the log has something to persist.
+                SuiteJob {
+                    name: "twosym".into(),
+                    source: "int umain(unsigned char *in, int n) { \
+                             if (in[0] + in[1] == 100) return 1; return 0; }"
+                        .into(),
+                    entry: "umain".into(),
+                    opts: BuildOptions::level(OptLevel::O0),
+                    bytes: vec![2],
+                    cfg: small_cfg(),
+                    path_workers: 1,
+                },
+            ]
+        };
+
+        let cold_store = Store::open(StoreConfig::at(&root)).unwrap();
+        let cold = verify_suite_stored(jobs(), 2, Some(&cold_store));
+        assert_eq!(cold.store_hits(), 0);
+        let stats = cold.store.expect("ran with a store");
+        assert_eq!(stats.report_misses, 2);
+        assert_eq!(stats.reports_saved, 2);
+        assert!(stats.solver_entries_saved > 0, "verdicts persisted");
+
+        // A fresh handle on the same directory: every job skips.
+        let warm_store = Store::open(StoreConfig::at(&root)).unwrap();
+        let warm = verify_suite_stored(jobs(), 2, Some(&warm_store));
+        assert_eq!(warm.store_hits(), 2);
+        assert!(warm.jobs.iter().all(|j| j.from_store));
+        let wstats = warm.store.unwrap();
+        assert_eq!(wstats.report_hits, 2);
+        assert!(wstats.solver_entries_loaded > 0, "warm-started");
+        for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+            assert_eq!(a.runs, b.runs, "{}: stored reports verbatim", a.name);
+        }
+
+        // A different budget is a different content address: no hit.
+        let mut bigger = jobs();
+        bigger.truncate(1);
+        bigger[0].bytes = vec![3];
+        let other_store = Store::open(StoreConfig::at(&root)).unwrap();
+        let other = verify_suite_stored(bigger, 1, Some(&other_store));
+        assert_eq!(other.store_hits(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_runs_are_never_persisted() {
+        let root = std::env::temp_dir().join(format!(
+            "overify_suite_store_truncated_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let job = || {
+            // 5 symbolic bytes push the job past the budget-flush
+            // interval, so the 50-instruction ceiling genuinely trips.
+            let mut j = SuiteJob::utility(
+                overify_coreutils::utility("wc_words").unwrap(),
+                OptLevel::O0,
+                &[5],
+                &small_cfg(),
+            );
+            // An instruction budget far below what the job needs: the run
+            // is truncated, so its report is not a pure function of the
+            // content address and must never be stored.
+            j.cfg.max_instructions = 50;
+            j
+        };
+        let store = Store::open(StoreConfig::at(&root)).unwrap();
+        let first = verify_suite_stored(vec![job()], 1, Some(&store));
+        assert!(first.jobs[0].runs.iter().any(|(_, r)| r.timed_out));
+        assert_eq!(first.store.unwrap().reports_saved, 0);
+
+        let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+        let second = verify_suite_stored(vec![job()], 1, Some(&store2));
+        assert!(!second.jobs[0].from_store, "truncated run must recompute");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub use loops::{Loop, LoopForest};
 pub use meta::{Annotations, ValueRange};
 pub use module::{Global, Module};
 pub use parse::{parse_module, ParseError};
+pub use print::{module_fingerprint, print_function, print_module};
 pub use types::{Const, Ty};
 pub use value::{BlockId, FuncId, GlobalId, InstId, Operand, ValueData, ValueDef, ValueId};
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -10,15 +10,20 @@ use crate::dom::DomTree;
 use crate::function::Function;
 use crate::inst::Terminator;
 use crate::value::BlockId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One natural loop.
 #[derive(Clone, Debug)]
 pub struct Loop {
     /// The single entry block of the loop.
     pub header: BlockId,
-    /// All blocks in the loop, including the header.
-    pub blocks: HashSet<BlockId>,
+    /// All blocks in the loop, including the header. An *ordered* set:
+    /// every pass that walks a loop body (LICM hoisting, unswitch/unroll
+    /// cloning) inherits a deterministic block order, which keeps compiled
+    /// output byte-stable across runs — a requirement of the
+    /// content-addressed verification store, which keys reports by printed
+    /// IR.
+    pub blocks: BTreeSet<BlockId>,
     /// Blocks with a back edge to the header.
     pub latches: Vec<BlockId>,
     /// Blocks *outside* the loop that are targets of an edge leaving it.
@@ -66,7 +71,7 @@ impl LoopForest {
             }
             // Collect the loop body: blocks that can reach a latch without
             // going through the header.
-            let mut blocks: HashSet<BlockId> = HashSet::new();
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
             blocks.insert(header);
             let mut stack: Vec<BlockId> = Vec::new();
             for &l in latches {
@@ -102,7 +107,7 @@ impl LoopForest {
 
         // Compute nesting depth: loop A contains loop B if A's blocks are a
         // superset of B's and A != B.
-        let snapshot: Vec<HashSet<BlockId>> = loops.iter().map(|l| l.blocks.clone()).collect();
+        let snapshot: Vec<BTreeSet<BlockId>> = loops.iter().map(|l| l.blocks.clone()).collect();
         for (i, l) in loops.iter_mut().enumerate() {
             let mut depth = 1;
             for (j, other) in snapshot.iter().enumerate() {

@@ -248,6 +248,58 @@ fn print_term(out: &mut String, f: &Function, t: &Terminator) {
     }
 }
 
+/// Canonical 128-bit content fingerprint of a module: an FNV-1a hash over
+/// the printed IR plus a sorted digest of every function's annotation
+/// tables (annotations steer the symbolic engine but are not part of the
+/// textual format, so they must be folded in separately — two modules
+/// that verify differently must never share a fingerprint).
+///
+/// The printer is a pure function of module structure — names, block
+/// order, instruction order — so equal fingerprints mean byte-identical
+/// programs from the verifier's point of view. This is the content
+/// address the persistent verification store (`overify_store`) keys
+/// report artifacts by.
+pub fn module_fingerprint(m: &Module) -> u128 {
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    absorb(print_module(m).as_bytes());
+    for f in &m.functions {
+        absorb(f.name.as_bytes());
+        let mut ranges: Vec<(u32, u64, u64)> = f
+            .annotations
+            .value_ranges
+            .iter()
+            .map(|(v, r)| (v.0, r.umin, r.umax))
+            .collect();
+        ranges.sort_unstable();
+        absorb(&(ranges.len() as u64).to_le_bytes());
+        for (v, lo, hi) in ranges {
+            absorb(&v.to_le_bytes());
+            absorb(&lo.to_le_bytes());
+            absorb(&hi.to_le_bytes());
+        }
+        let mut trips: Vec<(u32, u64)> = f
+            .annotations
+            .trip_counts
+            .iter()
+            .map(|(b, &n)| (b.0, n))
+            .collect();
+        trips.sort_unstable();
+        absorb(&(trips.len() as u64).to_le_bytes());
+        for (b, n) in trips {
+            absorb(&b.to_le_bytes());
+            absorb(&n.to_le_bytes());
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +340,41 @@ mod tests {
     fn prints_declaration() {
         let f = Function::declare("puts", &[Ty::Ptr], Ty::I32);
         assert_eq!(print_function(&f), "decl @puts(ptr) -> i32\n");
+    }
+
+    #[test]
+    fn module_fingerprint_tracks_content_and_annotations() {
+        use crate::meta::ValueRange;
+        use crate::value::ValueId;
+
+        let build = || {
+            let mut m = Module::new();
+            m.functions
+                .push(Function::declare("ext", &[Ty::I32], Ty::I32));
+            m
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(
+            module_fingerprint(&a),
+            module_fingerprint(&b),
+            "equal modules share a fingerprint"
+        );
+
+        // Structural change: different name.
+        let mut c = Module::new();
+        c.functions
+            .push(Function::declare("ext2", &[Ty::I32], Ty::I32));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&c));
+
+        // Annotations are invisible to the printer but must still change
+        // the fingerprint (they steer the verifier).
+        let mut d = build();
+        d.functions[0]
+            .annotations
+            .value_ranges
+            .insert(ValueId(0), ValueRange::point(3));
+        assert_eq!(print_module(&a), print_module(&d), "printer blind to it");
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&d));
     }
 }

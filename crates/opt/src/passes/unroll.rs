@@ -77,8 +77,9 @@ fn peel_once(f: &mut Function, header: overify_ir::BlockId) -> bool {
     };
     let lp = lp.clone();
 
-    let mut blocks: Vec<_> = lp.blocks.iter().copied().collect();
-    blocks.sort();
+    // `Loop::blocks` is an ordered set, so the clone order is
+    // deterministic.
+    let blocks: Vec<_> = lp.blocks.iter().copied().collect();
     let map = clone_region(f, &blocks, "peel");
     let clone_header = map.block(lp.header);
 

@@ -43,8 +43,8 @@ fn unswitch_one(f: &mut Function, cost: &CostModel, stats: &mut OptStats) -> boo
         // invariant operands (`flag != 0`); such a chain is hoisted to the
         // preheader before duplication.
         let mut candidate = None;
-        let mut blocks: Vec<_> = lp.blocks.iter().copied().collect();
-        blocks.sort();
+        // `Loop::blocks` is an ordered set, so this walk is deterministic.
+        let blocks: Vec<_> = lp.blocks.iter().copied().collect();
         'search: for &b in &blocks {
             if let Terminator::CondBr {
                 cond: Operand::Value(v),

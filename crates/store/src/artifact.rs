@@ -1,0 +1,458 @@
+//! Layer 2: the report artifact store.
+//!
+//! A verification run is a pure function of three things: the program (as
+//! canonical printed IR — [`overify_ir::module_fingerprint`]), the
+//! pipeline level that produced it, and the budget/configuration it ran
+//! under. The artifact store keys a whole [`VerificationReport`] sweep by
+//! exactly that triple, so a suite job whose program and configuration
+//! are byte-identical to a stored run is *skipped* and the stored report
+//! returned verbatim — the -OVERIFY premise (verification is paid on
+//! every build) amortized across builds, the way verified-build
+//! registries key results by program content hash.
+//!
+//! One file per key under `reports/`, written atomically (temp + rename)
+//! and checksummed; an unreadable or damaged artifact is simply a miss.
+
+use crate::codec::{fnv128, fnv64, Reader, Writer};
+use overify_opt::OptLevel;
+use overify_symex::{Bug, BugKind, SolverStats, SymArg, SymConfig, TestCase, VerificationReport};
+use std::time::Duration;
+
+/// Magic prefix of a report artifact file.
+pub const MAGIC: &[u8; 8] = b"OVFYRPT\0";
+/// Current artifact format version.
+pub const VERSION: u32 = 1;
+
+/// The content address of one suite job's outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReportKey {
+    /// Canonical hash of the printed post-pipeline IR.
+    pub module_fp: u128,
+    /// Pipeline level the module was built at (redundant with the
+    /// fingerprint for honest builds, kept explicit so a hit can never
+    /// cross levels).
+    pub level: OptLevel,
+    /// Hash of everything else that shapes the run: entry, swept input
+    /// sizes, budgets, solver toggles, search strategy.
+    pub budget_sig: u128,
+}
+
+impl ReportKey {
+    /// The artifact's file stem: 32 hex digits of the combined key.
+    pub fn file_stem(&self) -> String {
+        let mut w = Writer::default();
+        w.u128(self.module_fp);
+        w.u8(level_tag(self.level));
+        w.u128(self.budget_sig);
+        format!("{:032x}", fnv128(&w.buf))
+    }
+}
+
+/// Hashes every configuration dimension that can change a verification
+/// outcome into one 128-bit signature. Two jobs with equal module
+/// fingerprints, levels and budget signatures are byte-identical runs.
+pub fn budget_signature(
+    entry: &str,
+    bytes: &[usize],
+    path_workers: usize,
+    cfg: &SymConfig,
+) -> u128 {
+    let mut w = Writer::default();
+    w.str(entry);
+    w.u32(bytes.len() as u32);
+    for &b in bytes {
+        w.u64(b as u64);
+    }
+    // Worker count never changes merged results (the driver is
+    // deterministic by construction), but it is part of the run's identity
+    // for timing-bearing artifacts, so it participates in the key.
+    w.u64(path_workers as u64);
+    // The suite driver overrides `cfg.input_bytes` per entry of `bytes`,
+    // but this function is public API: hash the field anyway so direct
+    // callers varying it can never collide onto one key.
+    w.u64(cfg.input_bytes as u64);
+    w.u8(cfg.pass_len_arg as u8);
+    w.u32(cfg.extra_args.len() as u32);
+    for a in &cfg.extra_args {
+        match a {
+            SymArg::Concrete(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            SymArg::Symbolic => w.u8(1),
+        }
+    }
+    w.u64(cfg.max_paths);
+    w.u64(cfg.max_instructions);
+    w.u64(cfg.timeout.as_nanos() as u64);
+    w.u8(cfg.collect_tests as u8);
+    w.u8(cfg.use_annotations as u8);
+    w.u8(cfg.solver.use_intervals as u8);
+    w.u8(cfg.solver.use_cex_cache as u8);
+    w.u8(cfg.solver.use_query_cache as u8);
+    w.u8(cfg.solver.use_shared_cache as u8);
+    w.u8(cfg.solver.use_enumeration as u8);
+    match cfg.search {
+        overify_symex::SearchStrategy::Dfs => w.u8(0),
+        overify_symex::SearchStrategy::Bfs => w.u8(1),
+        overify_symex::SearchStrategy::RandomState(seed) => {
+            w.u8(2);
+            w.u64(seed);
+        }
+    }
+    w.u64(cfg.max_ite_span);
+    fnv128(&w.buf)
+}
+
+/// The stored outcome of one suite job: the full report per swept input
+/// size. Compile time is *not* stored — a hit still compiles (it must, to
+/// know the module fingerprint), so the fresh compile time is the honest
+/// one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredJob {
+    pub runs: Vec<(usize, VerificationReport)>,
+}
+
+fn level_tag(l: OptLevel) -> u8 {
+    match l {
+        OptLevel::O0 => 0,
+        OptLevel::O1 => 1,
+        OptLevel::O2 => 2,
+        OptLevel::O3 => 3,
+        OptLevel::Overify => 4,
+    }
+}
+
+fn level_from_tag(t: u8) -> Option<OptLevel> {
+    Some(match t {
+        0 => OptLevel::O0,
+        1 => OptLevel::O1,
+        2 => OptLevel::O2,
+        3 => OptLevel::O3,
+        4 => OptLevel::Overify,
+        _ => return None,
+    })
+}
+
+fn bug_kind_tag(k: BugKind) -> u8 {
+    match k {
+        BugKind::OutOfBounds => 0,
+        BugKind::DivByZero => 1,
+        BugKind::AssertFail => 2,
+        BugKind::ExplicitAbort => 3,
+        BugKind::UnreachableReached => 4,
+    }
+}
+
+fn bug_kind_from_tag(t: u8) -> Option<BugKind> {
+    Some(match t {
+        0 => BugKind::OutOfBounds,
+        1 => BugKind::DivByZero,
+        2 => BugKind::AssertFail,
+        3 => BugKind::ExplicitAbort,
+        4 => BugKind::UnreachableReached,
+        _ => return None,
+    })
+}
+
+fn encode_report(w: &mut Writer, r: &VerificationReport) {
+    w.u64(r.paths_completed);
+    w.u64(r.paths_buggy);
+    w.u64(r.paths_killed);
+    w.u64(r.forks);
+    w.u64(r.instructions);
+    w.u32(r.bugs.len() as u32);
+    for b in &r.bugs {
+        w.u8(bug_kind_tag(b.kind));
+        w.str(&b.location);
+        w.bytes(&b.input);
+    }
+    w.u32(r.tests.len() as u32);
+    for t in &r.tests {
+        w.bytes(&t.input);
+        w.u32(t.output.len() as u32);
+        for o in &t.output {
+            match o {
+                None => w.u8(0),
+                Some(v) => {
+                    w.u8(1);
+                    w.u8(*v);
+                }
+            }
+        }
+    }
+    w.u32(r.path_ids.len() as u32);
+    for &id in &r.path_ids {
+        w.u64(id);
+    }
+    w.u64(r.donations);
+    w.u64(r.steals);
+    encode_solver_stats(w, &r.solver);
+    w.u64(r.time.as_nanos() as u64);
+    w.u8(r.exhausted as u8);
+    w.u8(r.timed_out as u8);
+}
+
+fn decode_report(r: &mut Reader) -> Option<VerificationReport> {
+    let mut out = VerificationReport {
+        paths_completed: r.u64()?,
+        paths_buggy: r.u64()?,
+        paths_killed: r.u64()?,
+        forks: r.u64()?,
+        instructions: r.u64()?,
+        ..Default::default()
+    };
+    for _ in 0..r.u32()? {
+        out.bugs.push(Bug {
+            kind: bug_kind_from_tag(r.u8()?)?,
+            location: r.str()?,
+            input: r.bytes()?,
+        });
+    }
+    for _ in 0..r.u32()? {
+        let input = r.bytes()?;
+        let n = r.u32()?;
+        let mut output = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            output.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.u8()?),
+                _ => return None,
+            });
+        }
+        out.tests.push(TestCase { input, output });
+    }
+    for _ in 0..r.u32()? {
+        out.path_ids.push(r.u64()?);
+    }
+    out.donations = r.u64()?;
+    out.steals = r.u64()?;
+    out.solver = decode_solver_stats(r)?;
+    out.time = Duration::from_nanos(r.u64()?);
+    out.exhausted = r.u8()? != 0;
+    out.timed_out = r.u8()? != 0;
+    Some(out)
+}
+
+fn encode_solver_stats(w: &mut Writer, s: &SolverStats) {
+    for v in [
+        s.queries,
+        s.solved_const,
+        s.solved_interval,
+        s.solved_cex_cache,
+        s.solved_query_cache,
+        s.solved_annotation,
+        s.solved_sat,
+        s.solved_shared,
+        s.solved_enum,
+        s.slice_dropped,
+        s.concretizations,
+        s.sat_decisions,
+        s.sat_conflicts,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_solver_stats(r: &mut Reader) -> Option<SolverStats> {
+    Some(SolverStats {
+        queries: r.u64()?,
+        solved_const: r.u64()?,
+        solved_interval: r.u64()?,
+        solved_cex_cache: r.u64()?,
+        solved_query_cache: r.u64()?,
+        solved_annotation: r.u64()?,
+        solved_sat: r.u64()?,
+        solved_shared: r.u64()?,
+        solved_enum: r.u64()?,
+        slice_dropped: r.u64()?,
+        concretizations: r.u64()?,
+        sat_decisions: r.u64()?,
+        sat_conflicts: r.u64()?,
+    })
+}
+
+/// Serializes a whole artifact file: header, key echo, checksummed
+/// payload.
+pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
+    let mut payload = Writer::default();
+    payload.u32(job.runs.len() as u32);
+    for (bytes, report) in &job.runs {
+        payload.u64(*bytes as u64);
+        encode_report(&mut payload, report);
+    }
+
+    let mut out = Writer::default();
+    out.buf.extend_from_slice(MAGIC);
+    out.u32(VERSION);
+    out.u128(key.module_fp);
+    out.u8(level_tag(key.level));
+    out.u128(key.budget_sig);
+    out.u32(payload.buf.len() as u32);
+    out.u64(fnv64(&payload.buf));
+    out.buf.extend_from_slice(&payload.buf);
+    out.buf
+}
+
+/// Deserializes an artifact file. `None` on *any* defect — wrong magic or
+/// version, a key echo that does not match `key` (hash-collision guard),
+/// checksum mismatch, truncation — so a damaged artifact degrades to a
+/// cache miss, never to a wrong report.
+pub fn decode_artifact(bytes: &[u8], key: &ReportKey) -> Option<StoredJob> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    if r.u32()? != VERSION {
+        return None;
+    }
+    let echo = ReportKey {
+        module_fp: r.u128()?,
+        level: level_from_tag(r.u8()?)?,
+        budget_sig: r.u128()?,
+    };
+    if echo != *key {
+        return None;
+    }
+    let len = r.u32()? as usize;
+    let check = r.u64()?;
+    let payload = r.bytes_exact(len)?;
+    if fnv64(payload) != check {
+        return None;
+    }
+    let mut p = Reader::new(payload);
+    let mut runs = Vec::new();
+    for _ in 0..p.u32()? {
+        let bytes = p.u64()? as usize;
+        runs.push((bytes, decode_report(&mut p)?));
+    }
+    (p.remaining() == 0).then_some(StoredJob { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> VerificationReport {
+        VerificationReport {
+            paths_completed: 5,
+            paths_buggy: 1,
+            paths_killed: 2,
+            forks: 7,
+            instructions: 12345,
+            bugs: vec![Bug {
+                kind: BugKind::DivByZero,
+                location: "umain/b3".into(),
+                input: vec![0, 255, 7],
+            }],
+            tests: vec![TestCase {
+                input: vec![65, 0],
+                output: vec![Some(65), None, Some(10)],
+            }],
+            path_ids: vec![3, 1, 4, 1],
+            donations: 2,
+            steals: 3,
+            solver: SolverStats {
+                queries: 100,
+                solved_sat: 9,
+                slice_dropped: 44,
+                ..Default::default()
+            },
+            time: Duration::from_micros(98765),
+            exhausted: true,
+            timed_out: false,
+        }
+    }
+
+    fn sample_key() -> ReportKey {
+        ReportKey {
+            module_fp: 0xABCD << 64 | 0x1234,
+            level: OptLevel::Overify,
+            budget_sig: 42,
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_is_byte_identical() {
+        let key = sample_key();
+        let job = StoredJob {
+            runs: vec![(2, sample_report()), (3, VerificationReport::default())],
+        };
+        let bytes = encode_artifact(&key, &job);
+        let back = decode_artifact(&bytes, &key).expect("decodes");
+        assert_eq!(back, job);
+        // Encoding the decoded value reproduces the exact file bytes.
+        assert_eq!(encode_artifact(&key, &back), bytes);
+    }
+
+    #[test]
+    fn any_damage_degrades_to_miss() {
+        let key = sample_key();
+        let job = StoredJob {
+            runs: vec![(2, sample_report())],
+        };
+        let good = encode_artifact(&key, &job);
+        assert!(decode_artifact(&good, &key).is_some());
+        // Truncation anywhere.
+        for cut in [0, 4, MAGIC.len() + 3, good.len() / 2, good.len() - 1] {
+            assert!(decode_artifact(&good[..cut], &key).is_none(), "cut={cut}");
+        }
+        // One flipped payload byte.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(decode_artifact(&bad, &key).is_none());
+        // Version bump.
+        let mut old = good.clone();
+        old[MAGIC.len()] ^= 0xFF;
+        assert!(decode_artifact(&old, &key).is_none());
+        // A different key rejects the echo.
+        let other = ReportKey {
+            budget_sig: 43,
+            ..key
+        };
+        assert!(decode_artifact(&good, &other).is_none());
+    }
+
+    #[test]
+    fn budget_signature_separates_configurations() {
+        let cfg = SymConfig {
+            pass_len_arg: true,
+            ..Default::default()
+        };
+        let base = budget_signature("umain", &[2, 3], 1, &cfg);
+        assert_eq!(base, budget_signature("umain", &[2, 3], 1, &cfg));
+        assert_ne!(base, budget_signature("main", &[2, 3], 1, &cfg));
+        assert_ne!(base, budget_signature("umain", &[2], 1, &cfg));
+        assert_ne!(base, budget_signature("umain", &[2, 3], 4, &cfg));
+        let mut loose = cfg.clone();
+        loose.max_instructions += 1;
+        assert_ne!(base, budget_signature("umain", &[2, 3], 1, &loose));
+        let mut toggled = cfg.clone();
+        toggled.solver.use_enumeration = false;
+        assert_ne!(base, budget_signature("umain", &[2, 3], 1, &toggled));
+        let mut wider = cfg.clone();
+        wider.input_bytes += 1;
+        assert_ne!(base, budget_signature("umain", &[2, 3], 1, &wider));
+        let mut collect = cfg;
+        collect.collect_tests = true;
+        assert_ne!(base, budget_signature("umain", &[2, 3], 1, &collect));
+    }
+
+    #[test]
+    fn keys_name_distinct_files() {
+        let a = sample_key();
+        let b = ReportKey {
+            level: OptLevel::O0,
+            ..a
+        };
+        let c = ReportKey {
+            module_fp: a.module_fp + 1,
+            ..a
+        };
+        assert_ne!(a.file_stem(), b.file_stem());
+        assert_ne!(a.file_stem(), c.file_stem());
+        assert_eq!(a.file_stem().len(), 32);
+        assert!(a.file_stem().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Little-endian binary primitives shared by the store's on-disk formats.
+//!
+//! Both layers (the solver-verdict log and the report artifacts) frame
+//! their payloads the same way: a fixed-size length prefix plus an FNV-1a
+//! checksum, so a reader can always tell a complete record from a torn or
+//! bit-rotted one and stop *before* consuming garbage. Nothing here
+//! allocates beyond the output buffer — the store has no serde dependency
+//! by design (the build environment is offline).
+
+/// Appends values to a byte buffer.
+#[derive(Default)]
+pub struct Writer {
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Reads values back from a byte slice. Every accessor returns `None`
+/// instead of panicking when the input is short — truncation is an
+/// expected condition for the store, not a bug.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        self.take(n).map(|s| s.to_vec())
+    }
+
+    /// Exactly `n` raw bytes with no length prefix (the caller framed
+    /// them).
+    pub fn bytes_exact(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice — the record checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// 128-bit FNV-1a over a byte slice — content-address hashing (store keys
+/// and budget signatures).
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000000001000000000000000000013B);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = Writer::default();
+        w.u8(7);
+        w.u32(0xDEADBEEF);
+        w.u64(u64::MAX - 3);
+        w.u128(0x0123456789ABCDEF_0011223344556677);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let mut r = Reader::new(&w.buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEADBEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 3));
+        assert_eq!(r.u128(), Some(0x0123456789ABCDEF_0011223344556677));
+        assert_eq!(r.str().as_deref(), Some("héllo"));
+        assert_eq!(r.bytes(), Some(vec![1, 2, 3]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None, "reads past the end are None, not panics");
+    }
+
+    #[test]
+    fn truncated_reads_are_none() {
+        let mut w = Writer::default();
+        w.str("long enough string");
+        for cut in 0..w.buf.len() {
+            let mut r = Reader::new(&w.buf[..cut]);
+            assert_eq!(r.str(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_ne!(fnv128(b"a"), fnv128(b"b"));
+        assert_eq!(fnv128(b"xyz"), fnv128(b"xyz"));
+    }
+}

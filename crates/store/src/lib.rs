@@ -1,0 +1,400 @@
+//! `overify_store` — the persistent, content-addressed verification store.
+//!
+//! The -OVERIFY premise is that verification cost is paid *repeatedly* —
+//! every build, every CI run — so anything that amortizes solver work
+//! across runs multiplies the win of verification-friendly compilation.
+//! This crate persists two layers of that work:
+//!
+//! * **Layer 1 — the solver-verdict log** ([`log`]). The cross-worker
+//!   shared solver cache (`overify_symex::SharedQueryCache`) is keyed by
+//!   pool-independent structural formula fingerprints, so its verdicts are
+//!   valid across processes and days. The log is append-only with a
+//!   versioned header, per-record checksums (a torn or bit-rotted tail
+//!   costs only the records at and after the damage) and snapshot
+//!   compaction.
+//! * **Layer 2 — report artifacts** ([`artifact`]). Whole verification
+//!   reports keyed by `(canonical module fingerprint, pipeline level,
+//!   budget signature)`: a suite job whose program and configuration are
+//!   byte-identical to a stored run is skipped entirely and the stored
+//!   report returned verbatim.
+//!
+//! [`Store`] ties both to one directory:
+//!
+//! ```text
+//! $OVERIFY_STORE/
+//!   solver.log           layer 1 (one file, append + compact)
+//!   reports/<key>.bin    layer 2 (one artifact per content address)
+//! ```
+//!
+//! Concurrent *processes* may share a store: artifact writes are atomic
+//! (temp + rename) and idempotent (same key ⇒ same bytes), and log appends
+//! are checksummed so an interleaved tail degrades to a compactable,
+//! partially-recovered log — never to wrong verdicts.
+
+pub mod artifact;
+pub mod codec;
+pub mod log;
+
+pub use artifact::{budget_signature, ReportKey, StoredJob};
+pub use log::{LoadSummary, LogError};
+
+use overify_symex::SharedQueryCache;
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a store lives and which layers are active.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Store directory (created on open).
+    pub root: PathBuf,
+    /// Persist/warm-start the shared solver cache (layer 1).
+    pub solver_cache: bool,
+    /// Persist/skip-by report artifacts (layer 2).
+    pub reports: bool,
+}
+
+impl StoreConfig {
+    /// Both layers at `root`.
+    pub fn at(root: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            root: root.into(),
+            solver_cache: true,
+            reports: true,
+        }
+    }
+
+    /// The `OVERIFY_STORE` environment variable, when set and nonempty.
+    pub fn from_env() -> Option<StoreConfig> {
+        let path = std::env::var("OVERIFY_STORE").ok()?;
+        let path = path.trim();
+        (!path.is_empty()).then(|| StoreConfig::at(path))
+    }
+}
+
+/// Store activity counters, carried into suite reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Suite jobs answered from a stored report (verification skipped).
+    pub report_hits: u64,
+    /// Suite jobs that had no (usable) stored report.
+    pub report_misses: u64,
+    /// Report artifacts written this run.
+    pub reports_saved: u64,
+    /// Solver verdicts warm-started from the log.
+    pub solver_entries_loaded: u64,
+    /// New solver verdicts appended (or compacted) to the log this run.
+    pub solver_entries_saved: u64,
+    /// Bytes of damaged log tail dropped during loading (the next save
+    /// compacts them away).
+    pub log_bytes_dropped: u64,
+}
+
+/// One open store directory. Cheap to share by reference across suite
+/// worker threads; all mutation is internally synchronized.
+pub struct Store {
+    cfg: StoreConfig,
+    /// Fingerprints known to be on disk already (loaded + appended), so
+    /// saves write only the delta.
+    persisted: Mutex<HashSet<u128>>,
+    /// The log needs a compacting rewrite (damage or duplicate bloat seen
+    /// at load, or a stale version).
+    rewrite_log: Mutex<bool>,
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
+    reports_saved: AtomicU64,
+    solver_loaded: AtomicU64,
+    solver_saved: AtomicU64,
+    log_dropped: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating directories as needed) a store.
+    pub fn open(cfg: StoreConfig) -> io::Result<Store> {
+        fs::create_dir_all(&cfg.root)?;
+        if cfg.reports {
+            fs::create_dir_all(cfg.root.join("reports"))?;
+        }
+        Ok(Store {
+            cfg,
+            persisted: Mutex::new(HashSet::new()),
+            rewrite_log: Mutex::new(false),
+            report_hits: AtomicU64::new(0),
+            report_misses: AtomicU64::new(0),
+            reports_saved: AtomicU64::new(0),
+            solver_loaded: AtomicU64::new(0),
+            solver_saved: AtomicU64::new(0),
+            log_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.cfg.root
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            report_hits: self.report_hits.load(Ordering::Relaxed),
+            report_misses: self.report_misses.load(Ordering::Relaxed),
+            reports_saved: self.reports_saved.load(Ordering::Relaxed),
+            solver_entries_loaded: self.solver_loaded.load(Ordering::Relaxed),
+            solver_entries_saved: self.solver_saved.load(Ordering::Relaxed),
+            log_bytes_dropped: self.log_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.cfg.root.join("solver.log")
+    }
+
+    fn report_path(&self, key: &ReportKey) -> PathBuf {
+        self.cfg
+            .root
+            .join("reports")
+            .join(format!("{}.bin", key.file_stem()))
+    }
+
+    /// Builds a solver cache warm-started from the log (empty when layer 1
+    /// is disabled, the log is absent, or the log is unusable — a stale
+    /// version or foreign file is *rejected cleanly*, remembered, and
+    /// rewritten wholesale by the next [`Store::save_solver_cache`]).
+    pub fn warm_solver_cache(&self) -> Arc<SharedQueryCache> {
+        let cache = Arc::new(SharedQueryCache::new());
+        if !self.cfg.solver_cache {
+            return cache;
+        }
+        match log::load(&self.log_path(), &cache) {
+            Ok(summary) => {
+                self.solver_loaded
+                    .fetch_add(summary.entries, Ordering::Relaxed);
+                self.log_dropped
+                    .fetch_add(summary.dropped_bytes, Ordering::Relaxed);
+                // Fingerprints only — no model clones for bookkeeping.
+                self.persisted.lock().unwrap().extend(cache.fingerprints());
+                // Damage or heavy duplication ⇒ compact on save.
+                if summary.dropped_bytes > 0 || summary.records > 2 * summary.entries.max(1) {
+                    *self.rewrite_log.lock().unwrap() = true;
+                }
+            }
+            Err(_) => {
+                // Unusable log (bad magic / version): never partially
+                // applied; schedule a full rewrite.
+                *self.rewrite_log.lock().unwrap() = true;
+            }
+        }
+        cache
+    }
+
+    /// Persists `cache` into the log: appends the verdicts not yet on
+    /// disk, or compacts (rewrites the whole file from the snapshot) when
+    /// the load pass found damage, duplicate bloat or a stale version.
+    pub fn save_solver_cache(&self, cache: &SharedQueryCache) -> io::Result<u64> {
+        if !self.cfg.solver_cache {
+            return Ok(0);
+        }
+        let mut persisted = self.persisted.lock().unwrap();
+        let mut rewrite = self.rewrite_log.lock().unwrap();
+        let saved = if *rewrite {
+            let snapshot = cache.snapshot();
+            log::compact(&self.log_path(), &snapshot)?;
+            *rewrite = false;
+            persisted.clear();
+            persisted.extend(snapshot.iter().map(|&(fp, _)| fp));
+            snapshot.len() as u64
+        } else {
+            // Clone only the not-yet-persisted delta out of the cache.
+            let fresh = cache.snapshot_if(|fp| !persisted.contains(&fp));
+            if fresh.is_empty() {
+                return Ok(0);
+            }
+            log::append(&self.log_path(), &fresh)?;
+            persisted.extend(fresh.iter().map(|&(fp, _)| fp));
+            fresh.len() as u64
+        };
+        self.solver_saved.fetch_add(saved, Ordering::Relaxed);
+        Ok(saved)
+    }
+
+    /// Looks up a stored report. Any defect in the artifact (damage,
+    /// version skew, key-echo mismatch) is a miss.
+    pub fn load_report(&self, key: &ReportKey) -> Option<StoredJob> {
+        if !self.cfg.reports {
+            return None;
+        }
+        let hit = fs::read(self.report_path(key))
+            .ok()
+            .and_then(|bytes| artifact::decode_artifact(&bytes, key));
+        match &hit {
+            Some(_) => self.report_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.report_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores a report artifact atomically (temp file + rename, so a
+    /// concurrent reader sees the old bytes or the new bytes, never a
+    /// torn file).
+    pub fn save_report(&self, key: &ReportKey, job: &StoredJob) -> io::Result<()> {
+        if !self.cfg.reports {
+            return Ok(());
+        }
+        let path = self.report_path(key);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, artifact::encode_artifact(key, job))?;
+        fs::rename(&tmp, &path)?;
+        self.reports_saved.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify_opt::OptLevel;
+    use overify_symex::{Model, VerificationReport};
+
+    fn tmp_store(name: &str) -> Store {
+        let root =
+            std::env::temp_dir().join(format!("overify_store_lib_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        Store::open(StoreConfig::at(root)).unwrap()
+    }
+
+    #[test]
+    fn solver_cache_round_trips_between_handles() {
+        let store = tmp_store("solver_roundtrip");
+        let cache = store.warm_solver_cache();
+        assert!(cache.is_empty());
+        let mut m = Model::default();
+        m.values.insert(2, 7);
+        cache.publish(10, Some(m));
+        cache.publish(11, None);
+        assert_eq!(store.save_solver_cache(&cache).unwrap(), 2);
+        // Nothing new, nothing appended.
+        assert_eq!(store.save_solver_cache(&cache).unwrap(), 0);
+
+        // A second handle on the same directory warm-starts from disk.
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        let warm = store2.warm_solver_cache();
+        assert_eq!(warm.snapshot(), cache.snapshot());
+        assert_eq!(store2.stats().solver_entries_loaded, 2);
+
+        // Only the delta is appended by the second handle.
+        warm.publish(12, None);
+        assert_eq!(store2.save_solver_cache(&warm).unwrap(), 1);
+    }
+
+    #[test]
+    fn stale_log_version_is_rejected_then_rewritten() {
+        let store = tmp_store("stale_version");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(log::MAGIC);
+        bytes.extend_from_slice(&(log::VERSION + 9).to_le_bytes());
+        fs::write(store.root().join("solver.log"), &bytes).unwrap();
+
+        let cache = store.warm_solver_cache();
+        assert!(cache.is_empty(), "stale log contributes nothing");
+        cache.publish(77, None);
+        store.save_solver_cache(&cache).unwrap();
+
+        // The rewrite produced a current-version log.
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        let warm = store2.warm_solver_cache();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.lookup(77), Some(None));
+    }
+
+    #[test]
+    fn damaged_log_recovers_prefix_and_compacts_on_save() {
+        let store = tmp_store("damaged_log");
+        let cache = store.warm_solver_cache();
+        for fp in 0..8u128 {
+            cache.publish(fp, None);
+        }
+        store.save_solver_cache(&cache).unwrap();
+        // Tear the tail.
+        let path = store.root().join("solver.log");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        let warm = store2.warm_solver_cache();
+        assert_eq!(warm.len(), 7, "all but the torn record survive");
+        assert!(store2.stats().log_bytes_dropped > 0);
+        store2.save_solver_cache(&warm).unwrap();
+
+        // The compacted log is clean again.
+        let store3 = Store::open(StoreConfig::at(store.root())).unwrap();
+        let again = store3.warm_solver_cache();
+        assert_eq!(again.len(), 7);
+        assert_eq!(store3.stats().log_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn report_store_hits_misses_and_overwrites() {
+        let store = tmp_store("reports");
+        let key = ReportKey {
+            module_fp: 99,
+            level: OptLevel::Overify,
+            budget_sig: 7,
+        };
+        assert!(store.load_report(&key).is_none());
+        let job = StoredJob {
+            runs: vec![(2, VerificationReport::default())],
+        };
+        store.save_report(&key, &job).unwrap();
+        assert_eq!(store.load_report(&key).as_ref(), Some(&job));
+        // Corrupt the artifact: degrades to a miss, and a save repairs it.
+        let path = store.report_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_report(&key).is_none());
+        store.save_report(&key, &job).unwrap();
+        assert_eq!(store.load_report(&key), Some(job));
+
+        let s = store.stats();
+        assert_eq!(s.report_hits, 2);
+        assert_eq!(s.report_misses, 2);
+        assert_eq!(s.reports_saved, 2);
+    }
+
+    #[test]
+    fn disabled_layers_are_inert() {
+        let root =
+            std::env::temp_dir().join(format!("overify_store_lib_{}_disabled", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let mut cfg = StoreConfig::at(&root);
+        cfg.solver_cache = false;
+        cfg.reports = false;
+        let store = Store::open(cfg).unwrap();
+        let cache = store.warm_solver_cache();
+        cache.publish(1, None);
+        assert_eq!(store.save_solver_cache(&cache).unwrap(), 0);
+        assert!(!store.root().join("solver.log").exists());
+        let key = ReportKey {
+            module_fp: 1,
+            level: OptLevel::O0,
+            budget_sig: 1,
+        };
+        store
+            .save_report(&key, &StoredJob { runs: Vec::new() })
+            .unwrap();
+        assert!(store.load_report(&key).is_none());
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn env_config_requires_nonempty_path() {
+        // (Can't mutate the environment safely in parallel tests; just
+        // check the parsing contract via the public constructor.)
+        let cfg = StoreConfig::at("/some/dir");
+        assert!(cfg.solver_cache && cfg.reports);
+    }
+}

@@ -1,0 +1,355 @@
+//! Layer 1: the persistent solver-verdict log.
+//!
+//! Solver verdicts are keyed by pool-independent *structural fingerprints*
+//! (`overify_symex::cache`), so a verdict computed in one process is valid
+//! in every later one — satisfiability is a property of the formula, not
+//! of who asked. This module persists the sharded shared cache as an
+//! append-only binary log so repeated suite sweeps (CI, regression loops)
+//! warm-start the whole solver fleet.
+//!
+//! On-disk format (all little-endian):
+//!
+//! ```text
+//! header:  magic  b"OVFYSLG\0"   8 bytes
+//!          version u32           (readers reject mismatches cleanly)
+//! record:  len     u32           payload length (bounded sanity check)
+//!          check   u64           FNV-1a of the payload
+//!          payload fp u128, tag u8 (0 = UNSAT, 1 = SAT),
+//!                  [count u32, count × (sym u32, value u64)] when SAT
+//! ```
+//!
+//! Loading is **corruption-tolerant**: a torn tail (power loss mid-append,
+//! interleaved writers), a bad checksum or an absurd length terminates the
+//! scan at the last good record — everything before the damage survives,
+//! and the damaged tail's byte count is reported so the owner can compact
+//! (rewrite) the log from a live snapshot.
+
+use crate::codec::{fnv64, Reader, Writer};
+use overify_symex::{CachedVerdict, Model, SharedQueryCache};
+use std::collections::HashSet;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Magic prefix of a solver log file.
+pub const MAGIC: &[u8; 8] = b"OVFYSLG\0";
+/// Current format version. Bump on any layout change; old files are then
+/// rejected (and rewritten wholesale on the next save).
+pub const VERSION: u32 = 1;
+/// Upper bound on one record's payload (a model entry is 12 bytes; a sane
+/// model holds at most a few thousand symbols).
+const MAX_RECORD: u32 = 1 << 24;
+
+/// Why a log file could not be used at all.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// The file exists but does not start with the magic bytes.
+    BadMagic,
+    /// The file is a solver log of an incompatible version.
+    VersionMismatch { found: u32 },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::BadMagic => write!(f, "not a solver log (bad magic)"),
+            LogError::VersionMismatch { found } => {
+                write!(f, "solver log version {found}, expected {VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// What a load pass recovered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Distinct fingerprints published into the cache.
+    pub entries: u64,
+    /// Records read, including duplicates from concurrent appenders.
+    pub records: u64,
+    /// Bytes of damaged/torn tail the scan refused to consume (0 on a
+    /// clean log). Nonzero means the next save should compact.
+    pub dropped_bytes: u64,
+}
+
+/// Serializes one `(fingerprint, verdict)` record, framed and checksummed.
+fn encode_record(fp: u128, verdict: &CachedVerdict) -> Vec<u8> {
+    let mut payload = Writer::default();
+    payload.u128(fp);
+    match verdict {
+        None => payload.u8(0),
+        Some(m) => {
+            payload.u8(1);
+            // Sorted for byte-stable output across HashMap orders.
+            let mut entries: Vec<(u32, u64)> = m.values.iter().map(|(&k, &v)| (k, v)).collect();
+            entries.sort_unstable();
+            payload.u32(entries.len() as u32);
+            for (id, v) in entries {
+                payload.u32(id);
+                payload.u64(v);
+            }
+        }
+    }
+    let mut rec = Writer::default();
+    rec.u32(payload.buf.len() as u32);
+    rec.u64(fnv64(&payload.buf));
+    rec.buf.extend_from_slice(&payload.buf);
+    rec.buf
+}
+
+/// Parses one payload back into a `(fingerprint, verdict)` pair.
+fn decode_payload(payload: &[u8]) -> Option<(u128, CachedVerdict)> {
+    let mut r = Reader::new(payload);
+    let fp = r.u128()?;
+    let verdict = match r.u8()? {
+        0 => None,
+        1 => {
+            let count = r.u32()?;
+            let mut m = Model::default();
+            for _ in 0..count {
+                let id = r.u32()?;
+                let v = r.u64()?;
+                m.values.insert(id, v);
+            }
+            Some(m)
+        }
+        _ => return None,
+    };
+    // Trailing garbage inside a checksummed frame would mean an encoder
+    // bug, not disk damage; reject the record either way.
+    (r.remaining() == 0).then_some((fp, verdict))
+}
+
+/// Loads a solver log into `cache`, returning what was recovered.
+///
+/// A missing file is an empty log. A file with a foreign magic or version
+/// is rejected with a [`LogError`] — never partially applied. Damage
+/// *inside* a well-versioned log only costs the records at and after the
+/// damage point.
+pub fn load(path: &Path, cache: &SharedQueryCache) -> Result<LoadSummary, LogError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Ok(LoadSummary::default()),
+    };
+    if bytes.is_empty() {
+        return Ok(LoadSummary::default());
+    }
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(LogError::BadMagic);
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    let version = r.u32().ok_or(LogError::BadMagic)?;
+    if version != VERSION {
+        return Err(LogError::VersionMismatch { found: version });
+    }
+
+    let mut summary = LoadSummary::default();
+    let mut seen: HashSet<u128> = HashSet::new();
+    loop {
+        let tail = r.remaining() as u64;
+        if tail == 0 {
+            break;
+        }
+        let rec = (|| {
+            let len = r.u32()?;
+            if len > MAX_RECORD {
+                return None;
+            }
+            let check = r.u64()?;
+            let payload = r.bytes_exact(len as usize)?;
+            if fnv64(payload) != check {
+                return None;
+            }
+            decode_payload(payload)
+        })();
+        match rec {
+            Some((fp, verdict)) => {
+                summary.records += 1;
+                if seen.insert(fp) {
+                    summary.entries += 1;
+                }
+                cache.publish(fp, verdict);
+            }
+            None => {
+                summary.dropped_bytes = tail;
+                break;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Appends `entries` to the log at `path`, creating it (with a header)
+/// when absent. The caller filters out already-persisted fingerprints.
+pub fn append(path: &Path, entries: &[(u128, CachedVerdict)]) -> io::Result<()> {
+    // Zero-length counts as fresh (and gets a header): a crash between
+    // file creation and the first write leaves an empty file, which
+    // `load` accepts as an empty log — appending records to it headerless
+    // would make every later load fail with `BadMagic`.
+    let fresh = fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut buf = Vec::new();
+    if fresh {
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+    }
+    for (fp, verdict) in entries {
+        buf.extend_from_slice(&encode_record(*fp, verdict));
+    }
+    f.write_all(&buf)?;
+    f.flush()
+}
+
+/// Rewrites the log as one clean snapshot (atomically, via a temp file in
+/// the same directory) — compaction. Drops duplicate records from
+/// concurrent appenders, damaged tails, and stale-version files alike.
+pub fn compact(path: &Path, entries: &[(u128, CachedVerdict)]) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    for (fp, verdict) in entries {
+        buf.extend_from_slice(&encode_record(*fp, verdict));
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("overify_store_log_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("solver.log")
+    }
+
+    fn sample_entries() -> Vec<(u128, CachedVerdict)> {
+        let mut m = Model::default();
+        m.values.insert(0, 65);
+        m.values.insert(9, 1);
+        vec![(1, None), (2, Some(m)), (3 << 100, Some(Model::default()))]
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let path = tmp("roundtrip");
+        let entries = sample_entries();
+        append(&path, &entries).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.dropped_bytes, 0);
+        assert_eq!(cache.snapshot(), {
+            let mut e = entries.clone();
+            e.sort_by_key(|&(fp, _)| fp);
+            e
+        });
+
+        // A second append extends the same file without a second header.
+        append(&path, &[(42, None)]).unwrap();
+        let cache2 = SharedQueryCache::new();
+        let s2 = load(&path, &cache2).unwrap();
+        assert_eq!(s2.entries, 4);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_prefix() {
+        let path = tmp("truncate");
+        append(&path, &sample_entries()).unwrap();
+        let full = fs::read(&path).unwrap();
+        // Chop into the last record: everything before it must survive.
+        for cut in [full.len() - 1, full.len() - 7, full.len() - 12] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let cache = SharedQueryCache::new();
+            let s = load(&path, &cache).unwrap();
+            assert_eq!(s.entries, 2, "cut={cut}");
+            assert!(s.dropped_bytes > 0, "cut={cut}");
+            assert_eq!(cache.len(), 2, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_contained() {
+        let path = tmp("bitrot");
+        append(&path, &sample_entries()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the second record: record 1 survives,
+        // the scan stops at the damage instead of propagating it.
+        let rec1_len = encode_record(1, &None).len();
+        let damage = MAGIC.len() + 4 + rec1_len + 13;
+        bytes[damage] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        assert_eq!(s.entries, 1);
+        assert!(s.dropped_bytes > 0);
+        assert_eq!(cache.lookup(1), Some(None));
+    }
+
+    #[test]
+    fn version_mismatch_rejected_cleanly() {
+        let path = tmp("version");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        bytes.extend_from_slice(&encode_record(5, &None));
+        fs::write(&path, &bytes).unwrap();
+        let cache = SharedQueryCache::new();
+        assert_eq!(
+            load(&path, &cache),
+            Err(LogError::VersionMismatch { found: VERSION + 1 })
+        );
+        assert!(cache.is_empty(), "nothing partially applied");
+
+        fs::write(&path, b"definitely not a log").unwrap();
+        assert_eq!(load(&path, &cache), Err(LogError::BadMagic));
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let path = tmp("missing");
+        let cache = SharedQueryCache::new();
+        assert_eq!(load(&path, &cache), Ok(LoadSummary::default()));
+    }
+
+    #[test]
+    fn append_to_empty_file_writes_header() {
+        // A crash between creation and the first write leaves a 0-byte
+        // file; the next append must still start with the header.
+        let path = tmp("empty");
+        fs::write(&path, b"").unwrap();
+        append(&path, &[(5, None)]).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        assert_eq!((s.entries, s.dropped_bytes), (1, 0));
+        assert_eq!(cache.lookup(5), Some(None));
+    }
+
+    #[test]
+    fn compaction_dedups_and_repairs() {
+        let path = tmp("compact");
+        let entries = sample_entries();
+        append(&path, &entries).unwrap();
+        append(&path, &entries).unwrap(); // Duplicates (second process).
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        assert_eq!((s.records, s.entries), (6, 3));
+
+        compact(&path, &cache.snapshot()).unwrap();
+        let cache2 = SharedQueryCache::new();
+        let s2 = load(&path, &cache2).unwrap();
+        assert_eq!((s2.records, s2.entries), (3, 3));
+        assert_eq!(cache2.snapshot(), cache.snapshot());
+    }
+}

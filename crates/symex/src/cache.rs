@@ -21,6 +21,27 @@ use std::sync::Mutex;
 /// A cached verdict: `None` = UNSAT, `Some(model)` = SAT with a witness.
 pub type CachedVerdict = Option<Model>;
 
+/// Hit/miss counters of a [`SharedQueryCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a cached verdict.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 const SHARDS: usize = 32;
 
 /// Sharded, thread-safe map from constraint-set fingerprint to verdict.
@@ -70,12 +91,12 @@ impl SharedQueryCache {
         self.shard(fp).lock().unwrap().insert(fp, verdict);
     }
 
-    /// (hits, misses) so far, for reports.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Hit/miss counters so far, for reports.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Total number of cached verdicts.
@@ -86,6 +107,54 @@ impl SharedQueryCache {
     /// True if nothing has been published yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every cached verdict and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Every cached `(fingerprint, verdict)` pair, sorted by fingerprint —
+    /// a deterministic snapshot, which is what the persistent store writes
+    /// to disk (`overify_store`).
+    pub fn snapshot(&self) -> Vec<(u128, CachedVerdict)> {
+        self.snapshot_if(|_| true)
+    }
+
+    /// [`SharedQueryCache::snapshot`] restricted to fingerprints passing
+    /// `keep` — the persistent store exports only the not-yet-persisted
+    /// delta this way, without cloning every model first.
+    pub fn snapshot_if(&self, keep: impl Fn(u128) -> bool) -> Vec<(u128, CachedVerdict)> {
+        let mut all: Vec<(u128, CachedVerdict)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|(&fp, _)| keep(fp))
+                    .map(|(&fp, v)| (fp, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|&(fp, _)| fp);
+        all
+    }
+
+    /// Every cached fingerprint, sorted — bookkeeping for persistence
+    /// (which entries are already on disk) without cloning any model.
+    pub fn fingerprints(&self) -> Vec<u128> {
+        let mut all: Vec<u128> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        all
     }
 }
 
@@ -274,7 +343,35 @@ mod tests {
         cache.publish(43, Some(model.clone()));
         assert_eq!(cache.lookup(43), Some(Some(model)));
         assert_eq!(cache.len(), 2);
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (2, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_clear_resets() {
+        let cache = SharedQueryCache::new();
+        let mut model = Model::default();
+        model.values.insert(3, 9);
+        // Fingerprints spread across shards (high bits select the shard).
+        for fp in [7u128, 5u128 << 96, 3u128 << 120, 11u128] {
+            cache.publish(fp, if fp == 7 { Some(model.clone()) } else { None });
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted by fp");
+        assert_eq!(snap[0], (7, Some(model)));
+        assert_eq!(
+            cache.fingerprints(),
+            snap.iter().map(|&(fp, _)| fp).collect::<Vec<_>>()
+        );
+        let only_small = cache.snapshot_if(|fp| fp < 100);
+        assert_eq!(only_small.len(), 2);
+        assert!(only_small.iter().all(|&(fp, _)| fp == 7 || fp == 11));
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.lookup(7), None);
     }
 }

@@ -441,14 +441,19 @@ impl<'m> Executor<'m> {
         if !self.bug_locs.insert((kind, loc.clone())) {
             return;
         }
-        // Find a concrete witness.
+        // Canonical witness: the lexicographically smallest input bytes
+        // reaching the bug, computed with the same constraint-slicing
+        // lexmin minimizer as test cases. A model straight from the solver
+        // depends on cache history and thread interleaving; per-component
+        // minima do not — so bug *witnesses* (not just signatures) are
+        // identical across worker counts, reruns and store round-trips.
         let mut cs = st.constraints.clone();
         if let Some(e) = extra {
             cs.push(e);
         }
-        let input = match self.solver.check(&self.pool, &cs) {
-            SatResult::Sat(m) => self.input_bytes_of(st, &m),
-            SatResult::Unsat => Vec::new(),
+        let input = match self.lexmin_inputs(&mut cs, &st.dyn_input) {
+            Some(m) => self.input_bytes_of(st, &m),
+            None => Vec::new(),
         };
         self.report.bugs.push(Bug {
             kind,
@@ -508,57 +513,37 @@ impl<'m> Executor<'m> {
     }
 
     /// The subset of `cs` transitively connected to the `seeds` symbols
-    /// through shared symbols (KLEE's independent-constraint slicing).
-    /// Since the rest of a satisfiable set is independent of the slice,
-    /// any query about the seeds has the same verdict against the slice as
-    /// against the full set — at a fraction of the solving cost.
+    /// (KLEE's independent-constraint slicing, shared with the solver's
+    /// feasibility fast path through [`crate::expr::constraint_component`]).
     fn component(&mut self, cs: &[ExprRef], seeds: &[u32]) -> Vec<ExprRef> {
-        let supports: Vec<Arc<Vec<u32>>> = cs.iter().map(|&c| self.sym_support(c)).collect();
-        let mut in_comp = vec![false; cs.len()];
-        let mut syms: HashSet<u32> = seeds.iter().copied().collect();
-        loop {
-            let mut changed = false;
-            for (i, s) in supports.iter().enumerate() {
-                if !in_comp[i] && s.iter().any(|x| syms.contains(x)) {
-                    in_comp[i] = true;
-                    syms.extend(s.iter().copied());
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        cs.iter()
-            .zip(in_comp)
-            .filter_map(|(&c, inc)| inc.then_some(c))
-            .collect()
+        crate::expr::constraint_component(&self.pool, cs, seeds, &mut self.support_memo)
     }
 
-    /// Emits the canonical test case for a completed path: the
-    /// lexicographically smallest input bytes satisfying the path
-    /// condition. Canonicalization makes merged test sets identical across
-    /// runs and worker counts (models straight from the solver depend on
-    /// cache history; per-byte minima do not). Each byte is minimized
-    /// against its constraint component only, so the probe formulas stay
-    /// small; one full-set solve at the end yields the output model.
-    fn emit_test(&mut self, st: &State) {
-        let mut cs = st.constraints.clone();
-        // Pin input bytes first — initial buffer, then this path's
-        // `__sym_input` bytes (their minima define the canonical test
-        // input) — then symbolic extra arguments, so outputs depending on
-        // any of them are evaluated under a fully deterministic model.
+    /// Pins every tracked input symbol — the initial buffer bytes, then
+    /// the path's `__sym_input` bytes, then symbolic extra arguments — to
+    /// the smallest value feasible under `cs`, appending the pin
+    /// equalities to `cs`, and returns the pinned model: the
+    /// lexicographically smallest input reaching this program point. Each
+    /// symbol is minimized against its constraint component only, so the
+    /// probe formulas stay small; the result is a deterministic function
+    /// of the constraint set, never of cache history or interleaving.
+    /// `None` when some component is unsatisfiable (then `cs` was).
+    fn lexmin_inputs(
+        &mut self,
+        cs: &mut Vec<ExprRef>,
+        dyn_input: &[(u32, ExprRef)],
+    ) -> Option<Model> {
         let mut syms: Vec<(u32, ExprRef)> = self
             .input_syms
             .iter()
             .copied()
             .zip(self.input_sym_exprs.iter().copied())
             .collect();
-        syms.extend_from_slice(&st.dyn_input);
+        syms.extend_from_slice(dyn_input);
         syms.extend_from_slice(&self.extra_sym_exprs);
         let mut pinned = Model::default();
         for &(id, se) in &syms {
-            let slice = self.component(&cs, &[id]);
+            let slice = self.component(cs, &[id]);
             let w = self.pool.width(se);
             let single_sym = slice
                 .iter()
@@ -575,12 +560,31 @@ impl<'m> Executor<'m> {
                 // solver verdicts.
                 self.min_feasible(&slice, se)
             };
-            let Some(min) = min else { return };
+            let min = min?;
             let vc = self.pool.constant(w, min);
             let eq = self.pool.cmp(CmpPred::Eq, se, vc);
             cs.push(eq);
             pinned.values.insert(id, min);
         }
+        Some(pinned)
+    }
+
+    /// Emits the canonical test case for a completed path: the
+    /// lexicographically smallest input bytes satisfying the path
+    /// condition. Canonicalization makes merged test sets identical across
+    /// runs and worker counts (models straight from the solver depend on
+    /// cache history; per-byte minima do not). Each byte is minimized
+    /// against its constraint component only, so the probe formulas stay
+    /// small; one full-set solve at the end yields the output model.
+    fn emit_test(&mut self, st: &State) {
+        let mut cs = st.constraints.clone();
+        // Pin input bytes first — initial buffer, then this path's
+        // `__sym_input` bytes (their minima define the canonical test
+        // input) — then symbolic extra arguments, so outputs depending on
+        // any of them are evaluated under a fully deterministic model.
+        let Some(pinned) = self.lexmin_inputs(&mut cs, &st.dyn_input) else {
+            return;
+        };
         // When every constraint and output depends only on pinned symbols
         // (input bytes and symbolic extra arguments), the pins *are* the
         // unique model of each constraint component and jointly satisfy

@@ -636,6 +636,42 @@ pub fn sym_support(
     memo[&root].clone()
 }
 
+/// The subset of `cs` transitively connected to the `seeds` symbols
+/// through shared symbols — KLEE's independent-constraint slicing, shared
+/// by the solver's feasibility fast path and the executor's canonical
+/// minimizers. Since the rest of a *satisfiable* constraint set shares no
+/// symbols with the slice, any query over the seeds has the same verdict
+/// against the slice as against the full set, at a fraction of the
+/// solving cost.
+pub fn constraint_component(
+    pool: &ExprPool,
+    cs: &[ExprRef],
+    seeds: &[u32],
+    memo: &mut HashMap<ExprRef, std::sync::Arc<Vec<u32>>>,
+) -> Vec<ExprRef> {
+    let supports: Vec<std::sync::Arc<Vec<u32>>> =
+        cs.iter().map(|&c| sym_support(pool, c, memo)).collect();
+    let mut in_comp = vec![false; cs.len()];
+    let mut syms: std::collections::HashSet<u32> = seeds.iter().copied().collect();
+    loop {
+        let mut changed = false;
+        for (i, s) in supports.iter().enumerate() {
+            if !in_comp[i] && s.iter().any(|x| syms.contains(x)) {
+                in_comp[i] = true;
+                syms.extend(s.iter().copied());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cs.iter()
+        .zip(in_comp)
+        .filter_map(|(&c, inc)| inc.then_some(c))
+        .collect()
+}
+
 /// Total-function default for division by zero, shared by the builder,
 /// the evaluator and the bit-blaster: `udiv/sdiv x 0 = 0`,
 /// `urem/srem x 0 = x`.

@@ -32,9 +32,9 @@ pub mod report;
 pub mod sat;
 pub mod solver;
 
-pub use cache::SharedQueryCache;
+pub use cache::{CacheStats, CachedVerdict, SharedQueryCache};
 pub use executor::{verify, Executor, SearchStrategy, SymArg, SymConfig};
 pub use expr::{ExprPool, ExprRef, Node};
 pub use parallel::{default_threads, verify_parallel, verify_parallel_cached};
 pub use report::{Bug, BugKind, SolverStats, TestCase, VerificationReport};
-pub use solver::{SatResult, Solver};
+pub use solver::{Model, SatResult, Solver};

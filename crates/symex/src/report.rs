@@ -84,6 +84,11 @@ pub struct SolverStats {
     /// enumeration fast path — cheap where bit-blasting is at its worst,
     /// e.g. division chains).
     pub solved_enum: u64,
+    /// Constraints dropped from feasibility queries by independent-
+    /// component slicing (KLEE's independent solver, lifted into
+    /// `Solver::may_be_true`): only the constraints sharing transitive
+    /// symbol support with the query are sent downstream.
+    pub slice_dropped: u64,
     /// Symbolic pointers/sizes concretized to a model value because the
     /// ITE expansion would have exceeded the configured span.
     pub concretizations: u64,
@@ -103,6 +108,7 @@ impl SolverStats {
         self.solved_annotation += other.solved_annotation;
         self.solved_shared += other.solved_shared;
         self.solved_enum += other.solved_enum;
+        self.slice_dropped += other.slice_dropped;
         self.solved_sat += other.solved_sat;
         self.concretizations += other.concretizations;
         self.sat_decisions += other.sat_decisions;
@@ -111,7 +117,11 @@ impl SolverStats {
 }
 
 /// The overall result of a verification run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field — the persistent report store
+/// (`overify_store`) uses it to assert that a persisted, reloaded report
+/// is byte-identical to the one the verifier produced.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct VerificationReport {
     /// Paths explored to normal completion.
     pub paths_completed: u64,

@@ -367,8 +367,34 @@ impl Solver {
     }
 
     /// Convenience: is `cond` possible under `constraints`?
+    ///
+    /// Before anything is solved, the constraint set is *sliced* to the
+    /// independent component connected to `cond`'s symbols (KLEE's
+    /// independent solver, lifted from the test-canonicalization path into
+    /// every branch-feasibility query): constraints sharing no transitive
+    /// symbol support with the query cannot change its verdict, so they
+    /// are never bit-blasted, fingerprinted or cached.
+    ///
+    /// Soundness contract: `constraints` must be jointly satisfiable —
+    /// which path conditions are by construction, since every conjunct is
+    /// feasibility-checked before it is pushed. (Any subset of a
+    /// satisfiable set is satisfiable, so the dropped remainder can never
+    /// flip a SAT verdict.)
     pub fn may_be_true(&mut self, pool: &ExprPool, constraints: &[ExprRef], cond: ExprRef) -> bool {
-        let mut cs = constraints.to_vec();
+        let seeds = crate::expr::sym_support(pool, cond, &mut self.support_memo);
+        let mut cs = if seeds.is_empty() {
+            // A constant condition: no symbols, nothing to slice against.
+            constraints.to_vec()
+        } else {
+            let slice = crate::expr::constraint_component(
+                pool,
+                constraints,
+                &seeds,
+                &mut self.support_memo,
+            );
+            self.stats.slice_dropped += (constraints.len() - slice.len()) as u64;
+            slice
+        };
         cs.push(cond);
         self.check(pool, &cs).is_sat()
     }
@@ -493,6 +519,41 @@ mod tests {
         let nc = pool.not(c);
         assert!(s.check(&pool, &[c, nc]) == SatResult::Unsat);
         assert!(s.stats.solved_sat >= 2);
+    }
+
+    #[test]
+    fn may_be_true_slices_independent_constraints() {
+        let mut pool = ExprPool::new();
+        let mut s = Solver::default();
+        let x = pool.fresh_sym(8);
+        let y = pool.fresh_sym(8);
+        let z = pool.fresh_sym(8);
+        let k9 = pool.constant(8, 9);
+        let k3 = pool.constant(8, 3);
+        let k2 = pool.constant(8, 2);
+        // Path condition: y < 9 (independent), y + z == 9 (independent),
+        // x > 3 — jointly satisfiable, as path conditions always are.
+        let sum = pool.bin(BinOp::Add, y, z);
+        let cs = vec![
+            pool.cmp(CmpPred::Ult, y, k9),
+            pool.cmp(CmpPred::Eq, sum, k9),
+            pool.cmp(CmpPred::Ugt, x, k3),
+        ];
+        // Query about x: the two y/z constraints are sliced away, so the
+        // whole query is single-symbol and the enumeration layer decides
+        // it — no SAT, no y/z reasoning.
+        let lt2 = pool.cmp(CmpPred::Ult, x, k2);
+        assert!(!s.may_be_true(&pool, &cs, lt2));
+        assert_eq!(s.stats.slice_dropped, 2);
+        assert_eq!(s.stats.solved_sat, 0);
+        let gt3b = pool.cmp(CmpPred::Ugt, x, k9);
+        assert!(s.may_be_true(&pool, &cs, gt3b));
+        assert_eq!(s.stats.slice_dropped, 4);
+        // A query over y drags in exactly the connected component (y and
+        // y+z==9, transitively z) but still not x.
+        let y0 = pool.cmp(CmpPred::Eq, y, k3);
+        assert!(s.may_be_true(&pool, &cs, y0));
+        assert_eq!(s.stats.slice_dropped, 5);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Cold → warm suite sweeps through the persistent verification store.
+//!
+//! Runs the coreutils workload twice against the same store directory —
+//! once to populate it, once to demonstrate warm-start: the second sweep
+//! answers unchanged jobs from stored report artifacts (verification
+//! skipped entirely) and warm-starts the solver fleet from the persisted
+//! verdict log. The two sweeps use *separate store handles*, so
+//! everything flows through disk, exactly as it would across CI runs.
+//!
+//! ```sh
+//! cargo run --release --example store_sweep [n_bytes]
+//! OVERIFY_STORE=/tmp/ovstore cargo run --release --example store_sweep
+//! # Second invocation against the same path: sweep 1 is already warm.
+//! OVERIFY_STORE=/tmp/ovstore cargo run --release --example store_sweep -- --expect-warm-start
+//! ```
+//!
+//! With `--expect-warm-start` the example asserts that the *first* sweep
+//! of this process already reports store hits — the cross-process
+//! warm-start check the CI `warm-start` job runs.
+
+use overify::{
+    default_threads, verify_suite_stored_with, OptLevel, Store, StoreConfig, SuiteJob, SuiteReport,
+    SymConfig, Utility,
+};
+use overify_coreutils::suite;
+use std::io::Write;
+use std::time::Duration;
+
+fn main() {
+    let mut n: usize = 3;
+    let mut expect_warm_start = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--expect-warm-start" {
+            expect_warm_start = true;
+        } else if let Ok(v) = arg.parse() {
+            n = v;
+        } else {
+            eprintln!("usage: store_sweep [n_bytes] [--expect-warm-start]");
+            std::process::exit(2);
+        }
+    }
+
+    let root = std::env::var("OVERIFY_STORE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::env::temp_dir().join(format!("overify_store_sweep_{}", std::process::id()))
+        });
+    let threads = default_threads();
+
+    let utilities: Vec<&Utility> = suite().iter().take(8).collect();
+    let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+    let cfg = SymConfig {
+        pass_len_arg: true,
+        collect_tests: true,
+        max_instructions: 20_000_000,
+        timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    let jobs = || -> Vec<SuiteJob> {
+        utilities
+            .iter()
+            .flat_map(|u| levels.map(|l| SuiteJob::utility(u, l, &[n], &cfg)))
+            .collect()
+    };
+    let total = jobs().len();
+
+    println!(
+        "store sweep: {n} symbolic input bytes, {total} jobs on {threads} thread(s)\nstore: {}\n",
+        root.display()
+    );
+
+    let run = |label: &str| -> SuiteReport {
+        // A fresh handle per sweep: state flows through disk only.
+        let store = Store::open(StoreConfig::at(&root)).expect("store directory is writable");
+        let report = verify_suite_stored_with(jobs(), threads, Some(&store), |r, done, total| {
+            let mark = if r.from_store { "=" } else { ">" };
+            eprint!(
+                "\r[{label} {done}/{total}] {mark} {:<14} {:<8} ",
+                r.name,
+                r.level.to_string()
+            );
+            let _ = std::io::stderr().flush();
+        });
+        eprintln!();
+        let s = report.store.expect("ran with a store");
+        println!(
+            "{label:<5} wall {:>9.2?}  report hits {:>2}/{total}  solver verdicts: {} loaded, {} saved",
+            report.wall, report.store_hits(), s.solver_entries_loaded, s.solver_entries_saved,
+        );
+        report
+    };
+
+    let first = run("cold");
+    if expect_warm_start {
+        assert!(
+            first.store_hits() > 0,
+            "--expect-warm-start: a previous process populated this store, \
+             so the first sweep must already report hits"
+        );
+        println!(
+            "cross-process warm start confirmed: {} hits",
+            first.store_hits()
+        );
+    }
+
+    let second = run("warm");
+
+    // Acceptance: the populated store skips unchanged jobs and reproduces
+    // byte-identical reports with identical bug signatures.
+    assert!(
+        second.store_hits() > 0,
+        "second sweep must skip at least one unchanged job"
+    );
+    for (a, b) in first.jobs.iter().zip(&second.jobs) {
+        let tag = format!("{}@{}", a.name, a.level);
+        assert_eq!(
+            a.bug_signature(),
+            b.bug_signature(),
+            "{tag}: bug signature drifted"
+        );
+        assert_eq!(a.runs, b.runs, "{tag}: stored report not byte-identical");
+    }
+
+    let speedup = first.wall.as_secs_f64() / second.wall.as_secs_f64().max(1e-9);
+    println!(
+        "\nwarm sweep: {}/{} jobs from the store, {speedup:.1}x wall-clock vs the first sweep",
+        second.store_hits(),
+        total,
+    );
+    println!("(> = verified fresh, = = answered from the store)");
+}

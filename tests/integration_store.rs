@@ -1,0 +1,272 @@
+//! The persistent verification store, end to end.
+//!
+//! Acceptance (ISSUE 3): a second `verify_suite` run against a populated
+//! store skips unchanged jobs via report-level hits and reproduces
+//! byte-identical reports; corrupted/truncated logs load gracefully
+//! (entries before the corruption survive); version-mismatch headers are
+//! rejected cleanly; and bug *witnesses* (not just signatures) are
+//! deterministic across worker counts, cache states and store round
+//! trips.
+
+use overify::{
+    compile, coreutils_jobs, default_threads, verify_parallel, verify_parallel_cached,
+    verify_suite_stored, BuildOptions, OptLevel, SharedQueryCache, Store, StoreConfig, SuiteJob,
+    SymConfig,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("overify_itest_store_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn suite_cfg() -> SymConfig {
+    SymConfig {
+        pass_len_arg: true,
+        collect_tests: true,
+        ..Default::default()
+    }
+}
+
+/// Satellite: persist → reload → re-verify yields byte-identical reports
+/// across the whole coreutils suite × {O0, OVERIFY}.
+#[test]
+fn whole_suite_round_trip_is_byte_identical() {
+    let root = store_dir("roundtrip");
+    let jobs = || coreutils_jobs(&[OptLevel::O0, OptLevel::Overify], &[2], &suite_cfg());
+    let total = jobs().len();
+
+    let cold_store = Store::open(StoreConfig::at(&root)).unwrap();
+    let cold = verify_suite_stored(jobs(), default_threads(), Some(&cold_store));
+    assert_eq!(cold.store_hits(), 0, "first run is all misses");
+    assert!(cold.jobs.iter().all(|j| j.error.is_none()));
+    let cold_stats = cold.store.unwrap();
+    assert_eq!(cold_stats.report_misses as usize, total);
+    assert_eq!(cold_stats.reports_saved as usize, total);
+
+    // A *fresh handle* on the same directory — everything flows through
+    // disk, nothing through shared memory.
+    let warm_store = Store::open(StoreConfig::at(&root)).unwrap();
+    let warm = verify_suite_stored(jobs(), default_threads(), Some(&warm_store));
+    assert_eq!(warm.store_hits(), total, "every unchanged job skips");
+    let warm_stats = warm.store.unwrap();
+    assert_eq!(warm_stats.report_hits as usize, total);
+    assert_eq!(warm_stats.report_misses, 0);
+
+    for (a, b) in cold.jobs.iter().zip(&warm.jobs) {
+        let tag = format!("{}@{}", a.name, a.level);
+        assert!(b.from_store, "{tag}: expected a store hit");
+        assert_eq!(
+            a.runs, b.runs,
+            "{tag}: stored reports must be byte-identical"
+        );
+        assert_eq!(a.bug_signature(), b.bug_signature(), "{tag}: signatures");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Changing the program *or* the configuration changes the content
+/// address: no stale hits.
+#[test]
+fn changed_program_or_budget_misses() {
+    let root = store_dir("invalidation");
+    let job = |src: &str, bytes: usize| SuiteJob {
+        name: "probe".into(),
+        source: src.into(),
+        entry: "umain".into(),
+        opts: BuildOptions::level(OptLevel::Overify),
+        bytes: vec![bytes],
+        cfg: suite_cfg(),
+        path_workers: 1,
+    };
+    let v1 = "int umain(unsigned char *in, int n) { return in[0] == 'a'; }";
+    let v2 = "int umain(unsigned char *in, int n) { return in[0] == 'b'; }";
+
+    let store = Store::open(StoreConfig::at(&root)).unwrap();
+    let first = verify_suite_stored(vec![job(v1, 2)], 1, Some(&store));
+    assert_eq!(first.store_hits(), 0);
+
+    // Same source, same budget: hit. Edited source: miss. Same source,
+    // different sweep: miss.
+    let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+    let again = verify_suite_stored(vec![job(v1, 2), job(v2, 2), job(v1, 3)], 1, Some(&store2));
+    let hits: Vec<bool> = again.jobs.iter().map(|j| j.from_store).collect();
+    assert_eq!(hits, [true, false, false]);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Satellite: corrupted/truncated solver logs load gracefully — entries
+/// before the damage survive, the run completes, and the next save
+/// compacts the log back to health.
+#[test]
+fn damaged_solver_log_degrades_gracefully() {
+    let root = store_dir("damage");
+    let jobs = || {
+        vec![SuiteJob {
+            name: "twosym".into(),
+            // Two-symbol conditions reach the SAT layer, so the shared
+            // cache (and hence the log) is guaranteed to have entries.
+            source: "int umain(unsigned char *in, int n) { \
+                     if (in[0] + in[1] == 9) return 1; \
+                     if (in[0] * 3 == in[1]) return 2; return 0; }"
+                .into(),
+            entry: "umain".into(),
+            opts: BuildOptions::level(OptLevel::O0),
+            bytes: vec![2],
+            cfg: suite_cfg(),
+            path_workers: 1,
+        }]
+    };
+    let store = Store::open(StoreConfig::at(&root)).unwrap();
+    let cold = verify_suite_stored(jobs(), 1, Some(&store));
+    let saved = cold.store.unwrap().solver_entries_saved;
+    assert!(saved > 0, "SAT-layer verdicts must persist");
+
+    // Tear the tail off the log (simulated crash mid-append).
+    let log = root.join("solver.log");
+    let bytes = std::fs::read(&log).unwrap();
+    std::fs::write(&log, &bytes[..bytes.len() - 3]).unwrap();
+
+    let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+    let recovered = verify_suite_stored(jobs(), 1, Some(&store2));
+    let stats = recovered.store.unwrap();
+    assert!(stats.log_bytes_dropped > 0, "damage detected");
+    assert!(
+        stats.solver_entries_loaded >= saved.saturating_sub(1)
+            && stats.solver_entries_loaded < saved,
+        "all but the torn record survive (loaded {} of {saved})",
+        stats.solver_entries_loaded,
+    );
+    // The report layer is independent of the log damage: still a hit,
+    // still byte-identical.
+    assert_eq!(recovered.store_hits(), 1);
+    assert_eq!(cold.jobs[0].runs, recovered.jobs[0].runs);
+
+    // The save pass compacted the log: a third handle loads it cleanly.
+    let store3 = Store::open(StoreConfig::at(&root)).unwrap();
+    let clean = verify_suite_stored(jobs(), 1, Some(&store3));
+    assert_eq!(
+        clean.store.unwrap().log_bytes_dropped,
+        0,
+        "log was compacted"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Satellite: a log with a future (or past) format version is rejected
+/// cleanly — nothing partially applied, the sweep still runs, and the
+/// stale file is rewritten at the current version.
+#[test]
+fn stale_log_version_is_rejected_then_rewritten() {
+    let root = store_dir("version");
+    std::fs::create_dir_all(&root).unwrap();
+    let log = root.join("solver.log");
+    let mut bogus = Vec::new();
+    bogus.extend_from_slice(overify_store::log::MAGIC);
+    bogus.extend_from_slice(&(overify_store::log::VERSION + 7).to_le_bytes());
+    bogus.extend_from_slice(b"whatever follows must never be parsed");
+    std::fs::write(&log, &bogus).unwrap();
+
+    let jobs = || {
+        vec![SuiteJob {
+            name: "twosym".into(),
+            source: "int umain(unsigned char *in, int n) { \
+                     if (in[0] + in[1] == 4) return 1; return 0; }"
+                .into(),
+            entry: "umain".into(),
+            opts: BuildOptions::level(OptLevel::O0),
+            bytes: vec![2],
+            cfg: suite_cfg(),
+            path_workers: 1,
+        }]
+    };
+    let store = Store::open(StoreConfig::at(&root)).unwrap();
+    let r = verify_suite_stored(jobs(), 1, Some(&store));
+    assert!(r.jobs[0].error.is_none());
+    let stats = r.store.unwrap();
+    assert_eq!(
+        stats.solver_entries_loaded, 0,
+        "stale log contributes nothing"
+    );
+    assert!(stats.solver_entries_saved > 0, "rewritten wholesale");
+
+    // The rewrite produced a current-version log a fresh handle can read.
+    let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+    let warm = store2.warm_solver_cache();
+    assert!(!warm.is_empty());
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Content addressing requires byte-stable compilation: recompiling the
+/// same source at the same level must reproduce the exact module
+/// fingerprint (this is the regression test for the `Loop::blocks`
+/// iteration-order nondeterminism the store surfaced — LICM used to hoist
+/// in `HashSet` order).
+#[test]
+fn module_fingerprints_are_stable_across_recompiles() {
+    for u in overify_coreutils::suite() {
+        for level in [OptLevel::O0, OptLevel::O3, OptLevel::Overify] {
+            let opts = BuildOptions::level(level);
+            let build = || {
+                let mut m = overify_coreutils::compile_utility(u, opts.resolved_libc())
+                    .unwrap_or_else(|e| panic!("{} fails to build: {e}", u.name));
+                overify::compile_module(&mut m, &opts);
+                overify::module_fingerprint(&m)
+            };
+            let base = build();
+            for trial in 0..3 {
+                assert_eq!(build(), base, "{}@{level} trial {trial}", u.name);
+            }
+        }
+    }
+}
+
+/// Satellite: merged bug *witness inputs* — not just signatures — are
+/// identical across worker counts and solver-cache states (the lexmin
+/// constraint-slicing minimizer, shared with test-case emission).
+#[test]
+fn bug_witnesses_are_canonical_across_workers_and_caches() {
+    let src = r#"
+        int umain(unsigned char *in, int n) {
+            int tab[4];
+            tab[0] = 1; tab[1] = 2; tab[2] = 3; tab[3] = 4;
+            if (in[0] > 'p' && in[1] > 'x') {
+                return 7 / (in[2] - in[2]);
+            }
+            if (in[0] == 'Z') {
+                return tab[in[1] & 7];
+            }
+            return tab[in[0] & 3];
+        }
+    "#;
+    let m = compile(src, &BuildOptions::level(OptLevel::Overify))
+        .unwrap()
+        .module;
+    let cfg = SymConfig {
+        input_bytes: 3,
+        pass_len_arg: true,
+        ..Default::default()
+    };
+    let base = verify_parallel(&m, "umain", &cfg, 1);
+    assert!(!base.bugs.is_empty(), "seeded bugs should be found");
+    // Witnesses are lexmin: no byte can be anything but the smallest
+    // value reaching the bug ('q', 'y' for the division).
+    for w in [2, 4] {
+        let r = verify_parallel(&m, "umain", &cfg, w);
+        assert_eq!(r.bugs, base.bugs, "workers={w}: witness bytes drifted");
+    }
+    // A warm shared cache changes which models the solver *returns*, but
+    // must not change the canonical witnesses.
+    let cache = Arc::new(SharedQueryCache::new());
+    let first = verify_parallel_cached(&m, "umain", &cfg, 2, &cache);
+    assert_eq!(first.bugs, base.bugs, "cold shared cache");
+    let rewarm = verify_parallel_cached(&m, "umain", &cfg, 2, &cache);
+    assert_eq!(rewarm.bugs, base.bugs, "warm shared cache");
+}
