@@ -8,16 +8,20 @@
 //!    utilities; per-run time, paths, donations, shared-cache hits. The
 //!    bug signature and the explored path set must match the serial run
 //!    exactly, and no path may be explored twice.
-//! 2. Job-level: the Figure 4 workload (`verify_suite`) at 1 vs 4 threads;
+//! 2. Donation-policy ablation: oldest-state (one frontier state per
+//!    steal) vs steal-half (the oldest half of the worklist per steal),
+//!    so the choice is measured, not guessed — both must find identical
+//!    results, the difference is donation counts and wall time.
+//! 3. Job-level: the Figure 4 workload (`verify_suite`) at 1 vs 4 threads;
 //!    reports the wall-clock ratio. On a ≥4-core machine the 4-thread wall
 //!    clock must be ≤ 0.6× the 1-thread wall clock.
-//! 3. Old-vs-new: the retired static first-byte partitioner re-explored
+//! 4. Old-vs-new: the retired static first-byte partitioner re-explored
 //!    shared prefixes; we show the overhead it would have paid as the
 //!    duplicated-path fraction the work-stealing driver eliminates.
 //!
 //! Knobs: `OVERIFY_SYM_BYTES` (default 4), `OVERIFY_UTILITIES`.
 
-use overify::{verify_parallel, verify_suite, OptLevel, SuiteJob, SymConfig};
+use overify::{verify_parallel, verify_suite, DonationPolicy, OptLevel, SuiteJob, SymConfig};
 use overify_bench::{build_utility, env_u64, suite_config};
 use std::time::Instant;
 
@@ -77,7 +81,57 @@ fn main() {
         }
     }
 
-    // ---- 2. Job-level batch scaling (the Figure 4 workload) ----
+    // ---- 2. Donation-policy ablation ----
+    println!("\n## donation policy: oldest-state vs steal-half");
+    println!(
+        "{:<14} {:<14} {:>4} {:>10} {:>9} {:>7}",
+        "utility", "policy", "w", "time", "donated", "steals"
+    );
+    for name in ["wc_words", "tr_upper"] {
+        let Some(u) = overify_coreutils::utility(name) else {
+            continue;
+        };
+        let prog = build_utility(u, OptLevel::O0);
+        let mut baseline = None;
+        for policy in [DonationPolicy::OldestState, DonationPolicy::StealHalf] {
+            let cfg = SymConfig {
+                collect_tests: true,
+                donation: policy,
+                ..suite_config(bytes)
+            };
+            for w in [4usize, 8] {
+                let r = verify_parallel(&prog.module, "umain", &cfg, w);
+                println!(
+                    "{:<14} {:<14} {:>4} {:>10.2?} {:>9} {:>7}",
+                    name,
+                    format!("{policy:?}"),
+                    w,
+                    r.time,
+                    r.donations,
+                    r.steals,
+                );
+                assert_eq!(r.max_path_multiplicity(), 1, "{name} {policy:?} w={w}");
+                match &baseline {
+                    None => baseline = Some(r),
+                    Some(b) => {
+                        assert_eq!(
+                            b.bug_signature(),
+                            r.bug_signature(),
+                            "{name} {policy:?} w={w}: bug signature drifted"
+                        );
+                        assert_eq!(
+                            b.path_ids, r.path_ids,
+                            "{name} {policy:?} w={w}: explored path set drifted"
+                        );
+                        assert_eq!(b.tests, r.tests, "{name} {policy:?} w={w}: tests drifted");
+                    }
+                }
+            }
+        }
+    }
+    println!("(policies must agree exactly on what is found; only steal traffic may differ)");
+
+    // ---- 3. Job-level batch scaling (the Figure 4 workload) ----
     println!("\n## verify_suite thread scaling (figure4 workload)");
     let sweep = [2usize, 3];
     let jobs = || -> Vec<SuiteJob> {
@@ -113,7 +167,7 @@ fn main() {
         println!("(speedup assertion skipped: {cores} core(s) < 4; identical-results checks ran)");
     }
 
-    // ---- 3. What the old static partitioner would have paid ----
+    // ---- 4. What the old static partitioner would have paid ----
     println!("\n## duplicated work eliminated vs static first-byte partitioning");
     println!(
         "(the retired partitioner re-explored every shared path prefix in \

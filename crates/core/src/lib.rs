@@ -60,7 +60,8 @@ pub mod suite;
 pub use build::{compile, compile_module, BuildError, BuildOptions, CompiledProgram};
 pub use chain::BuildChain;
 pub use suite::{
-    coreutils_jobs, verify_suite, verify_suite_stored, verify_suite_stored_with, verify_suite_with,
+    coreutils_jobs, estimated_job_cost, prepare_job, verify_suite, verify_suite_stored,
+    verify_suite_stored_with, verify_suite_with, JobProgress, PreparedJob, ProgressSnapshot,
     SuiteJob, SuiteJobResult, SuiteReport,
 };
 
@@ -73,10 +74,13 @@ pub use overify_interp::{
 pub use overify_ir::{module_fingerprint, Module};
 pub use overify_libc::LibcVariant;
 pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
-pub use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
+pub use overify_store::{
+    budget_signature, GcStats, ReportKey, Store, StoreConfig, StoreStats, StoredJob,
+};
 pub use overify_symex::{
-    default_threads, verify_parallel, verify_parallel_cached, Bug, BugKind, CacheStats,
-    SearchStrategy, SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+    default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached, Bug,
+    BugKind, CacheStats, DonationPolicy, SearchStrategy, SharedBudget, SharedQueryCache,
+    SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
 };
 
 /// Symbolically verifies a compiled program's entry function.

@@ -17,13 +17,14 @@
 //! [`SuiteReport::store`].
 
 use crate::build::{compile_module, BuildOptions};
+use overify_ir::Module;
 use overify_opt::OptLevel;
 use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
 use overify_symex::{
-    verify_parallel, verify_parallel_cached, BugKind, SharedQueryCache, SymConfig,
+    verify_parallel_budgeted, BugKind, SharedBudget, SharedQueryCache, SymConfig,
     VerificationReport,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -263,6 +264,117 @@ fn run_one(
     store: Option<&Store>,
     warm: Option<&Arc<SharedQueryCache>>,
 ) -> SuiteJobResult {
+    let prepared = match prepare_job(job, store.is_some()) {
+        Ok(p) => p,
+        Err(failed) => return failed,
+    };
+    if let Some(s) = store {
+        if let Some(hit) = prepared.load_stored(s) {
+            return hit;
+        }
+    }
+    prepared.execute(store, warm, None)
+}
+
+/// Live, externally-sampleable progress of one executing job: the number
+/// of swept runs finished plus fleet-wide path/bug/instruction counters of
+/// the run in flight. This is the per-job observability hook behind
+/// [`verify_suite_stored_with`]'s per-*job* callback: a long-running
+/// service (or a TUI) holds the handle and samples it on its own clock
+/// while [`PreparedJob::execute`] works — streaming progress without
+/// perturbing the run.
+#[derive(Default)]
+pub struct JobProgress {
+    runs_total: AtomicUsize,
+    runs_done: AtomicUsize,
+    base_paths: AtomicU64,
+    base_bugs: AtomicU64,
+    base_instructions: AtomicU64,
+    current: Mutex<Option<Arc<SharedBudget>>>,
+}
+
+/// One point-in-time sample of a [`JobProgress`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Swept input sizes fully verified so far.
+    pub runs_done: usize,
+    /// Swept input sizes the job verifies in total.
+    pub runs_total: usize,
+    /// Paths ended so far (completed + buggy + killed), including the run
+    /// in flight.
+    pub paths: u64,
+    /// Buggy path ends so far (raw, pre-deduplication).
+    pub bugs: u64,
+    /// Interpreted instructions flushed so far.
+    pub instructions: u64,
+}
+
+impl JobProgress {
+    /// A fresh, all-zero progress handle.
+    pub fn new() -> JobProgress {
+        JobProgress::default()
+    }
+
+    /// Samples the job's progress right now. Snapshots are monotone: the
+    /// lock over the in-flight budget is held across both reads, and
+    /// [`JobProgress::finish_run`] folds the budget into the base under
+    /// the same lock, so a sample sees each counter exactly once.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let current = self.current.lock().unwrap();
+        let (paths, bugs, instructions) = match &*current {
+            Some(b) => (b.paths(), b.bugs(), b.instructions()),
+            None => (0, 0, 0),
+        };
+        ProgressSnapshot {
+            runs_done: self.runs_done.load(Ordering::Relaxed),
+            runs_total: self.runs_total.load(Ordering::Relaxed),
+            paths: self.base_paths.load(Ordering::Relaxed) + paths,
+            bugs: self.base_bugs.load(Ordering::Relaxed) + bugs,
+            instructions: self.base_instructions.load(Ordering::Relaxed) + instructions,
+        }
+    }
+
+    fn begin(&self, total: usize) {
+        self.runs_total.store(total, Ordering::Relaxed);
+    }
+
+    fn start_run(&self, budget: &Arc<SharedBudget>) {
+        *self.current.lock().unwrap() = Some(budget.clone());
+    }
+
+    fn finish_run(&self) {
+        let mut current = self.current.lock().unwrap();
+        if let Some(b) = current.take() {
+            self.base_paths.fetch_add(b.paths(), Ordering::Relaxed);
+            self.base_bugs.fetch_add(b.bugs(), Ordering::Relaxed);
+            self.base_instructions
+                .fetch_add(b.instructions(), Ordering::Relaxed);
+        }
+        self.runs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`SuiteJob`] after its build phase: the optimized module, the fresh
+/// compile time, and (when content addressing is on) the job's store key.
+///
+/// Splitting the job lifecycle into *prepare* (compile + content-address)
+/// → *lookup* ([`PreparedJob::load_stored`]) → *execute* is what lets a
+/// resident service answer store hits immediately on the connection
+/// thread and hand only the misses to its cost-ordered scheduler.
+#[derive(Debug)]
+pub struct PreparedJob {
+    job: SuiteJob,
+    /// The optimized, libc-linked module the job verifies.
+    pub module: Module,
+    /// Front-end + pipeline + link wall time of this preparation.
+    pub compile_time: Duration,
+    /// The job's content address; `None` when prepared without a store.
+    pub key: Option<ReportKey>,
+}
+
+/// Compiles a job and computes its content address (when `with_key`).
+/// A build failure is returned as the job's finished [`SuiteJobResult`].
+pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJobResult> {
     let t0 = Instant::now();
     let built = if job.opts.link_libc {
         overify_libc::compile_and_link(&job.source, job.opts.resolved_libc())
@@ -273,14 +385,14 @@ fn run_one(
     let mut module = match built {
         Ok(m) => m,
         Err(e) => {
-            return SuiteJobResult {
+            return Err(SuiteJobResult {
                 name: job.name.clone(),
                 level: job.opts.level,
                 compile_time: t0.elapsed(),
                 runs: Vec::new(),
                 error: Some(e),
                 from_store: false,
-            }
+            })
         }
     };
     compile_module(&mut module, &job.opts);
@@ -288,70 +400,162 @@ fn run_one(
 
     // The content address of this job: the canonical printed-IR
     // fingerprint plus everything else that shapes the run. A stored
-    // artifact under the same key *is* this job's outcome — return it
-    // verbatim and skip verification.
-    let key = store.map(|_| ReportKey {
+    // artifact under the same key *is* this job's outcome.
+    let key = with_key.then(|| ReportKey {
         module_fp: overify_ir::module_fingerprint(&module),
         level: job.opts.level,
         budget_sig: budget_signature(&job.entry, &job.bytes, job.path_workers, &job.cfg),
     });
-    if let (Some(s), Some(key)) = (store, &key) {
-        if let Some(stored) = s.load_report(key) {
-            return SuiteJobResult {
-                name: job.name.clone(),
-                level: job.opts.level,
-                compile_time,
-                runs: stored.runs,
-                error: None,
-                from_store: true,
-            };
-        }
+    Ok(PreparedJob {
+        job: job.clone(),
+        module,
+        compile_time,
+        key,
+    })
+}
+
+impl PreparedJob {
+    /// The job this preparation came from.
+    pub fn job(&self) -> &SuiteJob {
+        &self.job
     }
 
-    let runs: Vec<(usize, VerificationReport)> = job
-        .bytes
-        .iter()
-        .map(|&n| {
-            let mut cfg = job.cfg.clone();
-            cfg.input_bytes = n;
-            let report = match warm {
-                Some(cache) => {
-                    verify_parallel_cached(&module, &job.entry, &cfg, job.path_workers, cache)
-                }
-                None => verify_parallel(&module, &job.entry, &cfg, job.path_workers),
-            };
-            (n, report)
+    /// Looks the job up in the persistent report store: a stored artifact
+    /// under this job's key is returned verbatim as the finished result
+    /// (verification skipped), flagged [`SuiteJobResult::from_store`].
+    pub fn load_stored(&self, store: &Store) -> Option<SuiteJobResult> {
+        let key = self.key.as_ref()?;
+        let stored = store.load_report(key)?;
+        Some(SuiteJobResult {
+            name: self.job.name.clone(),
+            level: self.job.opts.level,
+            compile_time: self.compile_time,
+            runs: stored.runs,
+            error: None,
+            from_store: true,
         })
-        .collect();
+    }
 
-    if let (Some(s), Some(key)) = (store, &key) {
-        // Only *complete* runs are pure functions of the content address:
-        // a budget-truncated report depends on wall clock and thread
-        // interleaving (where exactly exploration stopped), so persisting
-        // it would replay a partial answer — and mask its missed bugs —
-        // forever. Truncated jobs stay misses and are recomputed.
-        if runs.iter().all(|(_, r)| !r.timed_out) {
-            if let Err(e) = s.save_report(key, &StoredJob { runs: runs.clone() }) {
-                eprintln!("overify: failed to store report for {}: {e}", job.name);
+    /// Verifies the prepared job: one work-stealing run per swept input
+    /// size, against the fleet-wide solver cache `warm` when given.
+    ///
+    /// With a `store`, a *complete* outcome is persisted as a report
+    /// artifact and the observed verification cost is recorded as per-key
+    /// scheduling metadata either way. With a `progress` handle, live
+    /// counters are published throughout for concurrent sampling.
+    pub fn execute(
+        &self,
+        store: Option<&Store>,
+        warm: Option<&Arc<SharedQueryCache>>,
+        progress: Option<&JobProgress>,
+    ) -> SuiteJobResult {
+        let job = &self.job;
+        if let Some(p) = progress {
+            p.begin(job.bytes.len());
+        }
+        let fresh_cache;
+        let cache = match warm {
+            Some(c) => c,
+            None => {
+                fresh_cache = Arc::new(SharedQueryCache::new());
+                &fresh_cache
+            }
+        };
+        let verify_start = Instant::now();
+        let runs: Vec<(usize, VerificationReport)> = job
+            .bytes
+            .iter()
+            .map(|&n| {
+                let mut cfg = job.cfg.clone();
+                cfg.input_bytes = n;
+                let budget = Arc::new(SharedBudget::new(&cfg));
+                if let Some(p) = progress {
+                    p.start_run(&budget);
+                }
+                let report = verify_parallel_budgeted(
+                    &self.module,
+                    &job.entry,
+                    &cfg,
+                    job.path_workers,
+                    cache,
+                    &budget,
+                );
+                if let Some(p) = progress {
+                    p.finish_run();
+                }
+                (n, report)
+            })
+            .collect();
+
+        if let (Some(s), Some(key)) = (store, &self.key) {
+            // Observed-cost feedback for the store-aware scheduler —
+            // recorded for truncated runs too (they return as misses, and
+            // their wall time is the scheduling signal).
+            if let Err(e) = s.record_cost(key, verify_start.elapsed()) {
+                eprintln!("overify: failed to record cost for {}: {e}", job.name);
+            }
+            // Only *complete* runs are pure functions of the content
+            // address: a budget-truncated report depends on wall clock and
+            // thread interleaving (where exactly exploration stopped), so
+            // persisting it would replay a partial answer — and mask its
+            // missed bugs — forever. Truncated jobs stay misses and are
+            // recomputed.
+            if runs.iter().all(|(_, r)| !r.timed_out) {
+                if let Err(e) = s.save_report(key, &StoredJob { runs: runs.clone() }) {
+                    eprintln!("overify: failed to store report for {}: {e}", job.name);
+                }
             }
         }
-    }
 
-    SuiteJobResult {
-        name: job.name.clone(),
-        level: job.opts.level,
-        compile_time,
-        runs,
-        error: None,
-        from_store: false,
+        SuiteJobResult {
+            name: job.name.clone(),
+            level: job.opts.level,
+            compile_time: self.compile_time,
+            runs,
+            error: None,
+            from_store: false,
+        }
     }
+}
+
+/// A deterministic, platform-independent static cost estimate of a job —
+/// the dispatch priority shared by [`coreutils_jobs`] (which emits jobs
+/// cost-descending so long jobs start first) and the verification
+/// service's scheduler (for jobs with no observed-cost history).
+///
+/// The estimate is intentionally coarse: source size stands in for program
+/// size (no compile has happened yet), the swept byte sizes enter
+/// exponentially (path counts grow geometrically with symbolic input),
+/// and lower optimization levels weigh more (the paper's premise:
+/// unoptimized builds verify slowest).
+pub fn estimated_job_cost(job: &SuiteJob) -> u128 {
+    let level_weight: u128 = match job.opts.level {
+        OptLevel::O0 => 8,
+        OptLevel::O1 => 6,
+        OptLevel::O2 => 5,
+        OptLevel::O3 => 4,
+        OptLevel::Overify => 1,
+    };
+    let sweep: u128 = job
+        .bytes
+        .iter()
+        .map(|&b| 1u128 << (2 * b.min(24) as u32))
+        .sum::<u128>()
+        .max(1);
+    (job.source.len() as u128).max(1) * level_weight * sweep
 }
 
 /// Jobs for the whole coreutils-style suite: every utility × every level,
 /// sweeping `bytes` symbolic input sizes — the Figure 4 workload as one
 /// batch.
+///
+/// Jobs are emitted in deterministic cost-descending order (estimate:
+/// [`estimated_job_cost`], ties broken by name then level) so the longest
+/// jobs start first — the classic longest-processing-time heuristic for
+/// batch makespan — and cold sweeps dispatch in the same order on every
+/// platform, matching the service scheduler's cost-first policy.
 pub fn coreutils_jobs(levels: &[OptLevel], bytes: &[usize], cfg: &SymConfig) -> Vec<SuiteJob> {
-    overify_coreutils::suite()
+    let mut jobs: Vec<SuiteJob> = overify_coreutils::suite()
         .iter()
         .flat_map(|u| {
             levels
@@ -359,7 +563,14 @@ pub fn coreutils_jobs(levels: &[OptLevel], bytes: &[usize], cfg: &SymConfig) -> 
                 .map(|&l| SuiteJob::utility(u, l, bytes, cfg))
                 .collect::<Vec<_>>()
         })
-        .collect()
+        .collect();
+    jobs.sort_by(|a, b| {
+        estimated_job_cost(b)
+            .cmp(&estimated_job_cost(a))
+            .then_with(|| a.name.cmp(&b.name))
+            .then_with(|| a.opts.level.cmp(&b.opts.level))
+    });
+    jobs
 }
 
 #[cfg(test)]
@@ -497,6 +708,81 @@ mod tests {
         let store2 = Store::open(StoreConfig::at(&root)).unwrap();
         let second = verify_suite_stored(vec![job()], 1, Some(&store2));
         assert!(!second.jobs[0].from_store, "truncated run must recompute");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn coreutils_jobs_emit_in_deterministic_cost_descending_order() {
+        let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+        let jobs = coreutils_jobs(&levels, &[2, 3], &small_cfg());
+        assert_eq!(jobs.len(), overify_coreutils::suite().len() * levels.len());
+        for pair in jobs.windows(2) {
+            let (a, b) = (estimated_job_cost(&pair[0]), estimated_job_cost(&pair[1]));
+            assert!(a >= b, "jobs out of cost order: {a} then {b}");
+            if a == b {
+                let ka = (&pair[0].name, pair[0].opts.level);
+                let kb = (&pair[1].name, pair[1].opts.level);
+                assert!(ka < kb, "tie not broken deterministically");
+            }
+        }
+        // Same inputs, same order — byte-for-byte.
+        let again = coreutils_jobs(&levels, &[2, 3], &small_cfg());
+        let names = |v: &[SuiteJob]| -> Vec<(String, OptLevel)> {
+            v.iter().map(|j| (j.name.clone(), j.opts.level)).collect()
+        };
+        assert_eq!(names(&jobs), names(&again));
+        // The cost estimate orders levels the right way around: an -O0
+        // build of a utility never sorts after its -OVERIFY build.
+        let pos = |name: &str, l: OptLevel| {
+            jobs.iter()
+                .position(|j| j.name == name && j.opts.level == l)
+                .unwrap()
+        };
+        assert!(pos("wc_words", OptLevel::O0) < pos("wc_words", OptLevel::Overify));
+    }
+
+    #[test]
+    fn prepared_job_splits_lookup_from_execute_with_live_progress() {
+        let root =
+            std::env::temp_dir().join(format!("overify_suite_prepared_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Store::open(StoreConfig::at(&root)).unwrap();
+        let job = SuiteJob::utility(
+            overify_coreutils::utility("wc_words").unwrap(),
+            OptLevel::Overify,
+            &[2, 3],
+            &small_cfg(),
+        );
+
+        let prepared = prepare_job(&job, true).expect("builds");
+        assert!(prepared.key.is_some());
+        assert!(prepared.load_stored(&store).is_none(), "cold store");
+
+        let progress = JobProgress::new();
+        let result = prepared.execute(Some(&store), None, Some(&progress));
+        assert!(!result.from_store);
+        assert!(result.exhausted());
+
+        // The final snapshot accounts for the whole job.
+        let snap = progress.snapshot();
+        assert_eq!(snap.runs_done, 2);
+        assert_eq!(snap.runs_total, 2);
+        let total_paths: u64 = result.runs.iter().map(|(_, r)| r.total_paths()).sum();
+        assert_eq!(snap.paths, total_paths);
+        assert!(snap.instructions > 0);
+
+        // Observed cost was recorded, and the artifact now answers.
+        let key = prepared.key.as_ref().unwrap();
+        assert!(store.lookup_cost(key).is_some());
+        let hit = prepared.load_stored(&store).expect("warm store");
+        assert!(hit.from_store);
+        assert_eq!(hit.runs, result.runs, "stored report verbatim");
+
+        // A build failure comes back as the finished result.
+        let mut broken = job.clone();
+        broken.source = "int umain(unsigned char *in, int n) { nope }".into();
+        let failed = prepare_job(&broken, true).unwrap_err();
+        assert!(failed.error.is_some());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,148 @@
+//! The typed client library.
+//!
+//! A [`Client`] wraps one connection: submissions can be pipelined (many
+//! jobs in flight, events demultiplexed by job id) or run one at a time.
+//! Every event of every job is surfaced to the caller's observer before
+//! the finished [`SuiteJobResult`]s are returned, so a caller can render
+//! progress, count store hits, or assert on the stream shape in tests.
+
+use crate::protocol::{
+    decode_event, encode_request, read_frame, write_frame, Event, JobSpec, Request,
+    ServeStatsSnapshot, VERSION,
+};
+use overify::SuiteJobResult;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One connection to a verification server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and performs the handshake (the server leads with
+    /// [`Event::Hello`]; magic and version must match this build).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        match client.next_event()? {
+            Event::Hello { version } if version == VERSION => Ok(client),
+            Event::Hello { version } => Err(proto_err(format!(
+                "server speaks protocol v{version}, this client v{VERSION}"
+            ))),
+            other => Err(proto_err(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        self.writer.flush()
+    }
+
+    fn next_event(&mut self) -> io::Result<Event> {
+        decode_event(&read_frame(&mut self.reader)?)
+    }
+
+    /// Submits one job and blocks until its report, feeding every event
+    /// (`Queued`, `Scheduled`, `Progress`, …) to `on_event` first.
+    pub fn submit_with<F>(&mut self, spec: &JobSpec, on_event: F) -> io::Result<SuiteJobResult>
+    where
+        F: FnMut(&Event),
+    {
+        let mut results = self.submit_all_with(std::slice::from_ref(spec), on_event)?;
+        Ok(results.remove(0))
+    }
+
+    /// Submits one job and blocks until its report.
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<SuiteJobResult> {
+        self.submit_with(spec, |_| {})
+    }
+
+    /// Submits a batch pipelined — all jobs enter the server's scheduler
+    /// together, so its cost-first policy (not submission order) decides
+    /// execution order. Blocks until every job reported; results come
+    /// back in submission order. Every event is surfaced to `on_event`
+    /// as it arrives, interleaved across jobs.
+    pub fn submit_all_with<F>(
+        &mut self,
+        specs: &[JobSpec],
+        mut on_event: F,
+    ) -> io::Result<Vec<SuiteJobResult>>
+    where
+        F: FnMut(&Event),
+    {
+        for spec in specs {
+            write_frame(
+                &mut self.writer,
+                &encode_request(&Request::Submit(spec.clone())),
+            )?;
+        }
+        self.writer.flush()?;
+        // Job ids are assigned in submission order per connection; map
+        // them to slots as their first events arrive.
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut next_slot = 0usize;
+        let mut results: Vec<Option<SuiteJobResult>> = (0..specs.len()).map(|_| None).collect();
+        let mut done = 0usize;
+        while done < specs.len() {
+            let ev = self.next_event()?;
+            on_event(&ev);
+            let job = match &ev {
+                Event::Queued { job, .. }
+                | Event::Scheduled { job }
+                | Event::Progress { job, .. }
+                | Event::Report { job, .. } => *job,
+                Event::ShuttingDown => {
+                    return Err(proto_err("server shut down mid-batch"));
+                }
+                _ => continue,
+            };
+            let slot = *slot_of.entry(job).or_insert_with(|| {
+                let s = next_slot;
+                next_slot += 1;
+                s
+            });
+            if let Event::Report { outcome, .. } = ev {
+                if slot >= results.len() || results[slot].is_some() {
+                    return Err(proto_err("server reported an unknown job"));
+                }
+                results[slot] = Some(outcome.into_result());
+                done += 1;
+            }
+        }
+        Ok(results.into_iter().map(|r| r.unwrap()).collect())
+    }
+
+    /// Submits a batch pipelined, ignoring intermediate events.
+    pub fn submit_all(&mut self, specs: &[JobSpec]) -> io::Result<Vec<SuiteJobResult>> {
+        self.submit_all_with(specs, |_| {})
+    }
+
+    /// Fetches a server statistics snapshot.
+    pub fn stats(&mut self) -> io::Result<ServeStatsSnapshot> {
+        self.send(&Request::Stats)?;
+        match self.next_event()? {
+            Event::Stats(s) => Ok(s),
+            other => Err(proto_err(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.next_event()? {
+            Event::ShuttingDown => Ok(()),
+            other => Err(proto_err(format!("expected ShuttingDown, got {other:?}"))),
+        }
+    }
+}

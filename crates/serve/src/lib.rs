@@ -1,0 +1,43 @@
+//! `overify_serve` — verification served as infrastructure.
+//!
+//! The -OVERIFY premise is that verification is a build-mode cost paid
+//! over and over; PR 3's content-addressed store made repeated runs cache
+//! hits, and this crate makes the cache *resident*: a long-running server
+//! owns one persistent [`overify::Store`] and one warm solver cache, and
+//! any number of clients submit suite jobs over a localhost TCP socket
+//! speaking a hand-rolled length-prefixed binary protocol (no external
+//! dependencies, same codec discipline as the store's on-disk formats).
+//!
+//! The job lifecycle:
+//!
+//! ```text
+//! Submit ── compile + content-address (connection thread)
+//!    │
+//!    ├─ store hit ──────────────────────────► Report {from_store}
+//!    │                                            (immediate)
+//!    └─ miss ─► Queued ─► cost-first scheduler ─► Scheduled
+//!                         (observed cost from the store, or a static
+//!                          size/byte-budget estimate — unknowns first)
+//!                              │
+//!                              ▼
+//!                    executor pool (work-stealing verification,
+//!                    shared warm solver cache, live counters)
+//!                              │  Progress… Progress…
+//!                              ▼
+//!                           Report
+//!                    (+ report artifact, observed-cost record and
+//!                     solver-cache delta persisted to the store)
+//! ```
+//!
+//! See [`server::start`] / [`client::Client`] for the two ends, and the
+//! `serve_daemon` / `serve_client` examples for runnable binaries.
+
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{Event, JobOutcome, JobSpec, Request, ServeStatsSnapshot};
+pub use scheduler::{Priority, Scheduler};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,677 @@
+//! The wire protocol: length-prefixed binary frames over a local TCP
+//! stream, in the style of `overify_store::codec` — no serde, no external
+//! dependencies, every read tolerant of truncation.
+//!
+//! Framing:
+//!
+//! ```text
+//! frame:  len u32 (LE) | payload (len bytes)
+//! ```
+//!
+//! The first frame on every connection is the server's [`Event::Hello`]
+//! (magic + protocol version), so a client talking to the wrong port or
+//! the wrong build fails the handshake instead of mis-decoding. After
+//! that, the client sends [`Request`] frames and the server streams
+//! [`Event`] frames; submissions are pipelined and events carry the job id
+//! they belong to, so one connection can have many jobs in flight.
+//!
+//! Verification reports travel in the *report-artifact* encoding
+//! ([`overify_store::artifact::encode_report`]): a report round-trips
+//! bit-identically whether it comes from the store or over the wire —
+//! which is what lets the warm-resubmit tests compare them byte for byte.
+
+use overify::{
+    DonationPolicy, OptLevel, SearchStrategy, StoreStats, SuiteJob, SuiteJobResult, SymArg,
+    SymConfig,
+};
+use overify_store::artifact::{decode_report, encode_report, level_from_tag, level_tag};
+use overify_store::codec::{Reader, Writer};
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Handshake magic: the first bytes of every connection's `Hello` frame.
+pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
+/// Protocol version; both sides must match exactly.
+pub const VERSION: u32 = 1;
+/// Upper bound on one frame (a full report sweep with collected tests fits
+/// comfortably; anything bigger is a framing error, not a payload).
+pub const MAX_FRAME: u32 = 1 << 26;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn decode_error(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed {what} frame"),
+    )
+}
+
+/// One verification job as submitted over the wire: a [`SuiteJob`] with
+/// the build reduced to its optimization level (wire jobs always use the
+/// level's default libc and linking — the suite convention).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    pub name: String,
+    pub source: String,
+    pub entry: String,
+    pub level: OptLevel,
+    pub bytes: Vec<usize>,
+    pub path_workers: usize,
+    pub cfg: SymConfig,
+}
+
+impl JobSpec {
+    /// A spec from a suite job (custom build overrides — cost models,
+    /// forced libcs — are not wire-expressible and are dropped).
+    pub fn from_suite_job(job: &SuiteJob) -> JobSpec {
+        JobSpec {
+            name: job.name.clone(),
+            source: job.source.clone(),
+            entry: job.entry.clone(),
+            level: job.opts.level,
+            bytes: job.bytes.clone(),
+            path_workers: job.path_workers,
+            cfg: job.cfg.clone(),
+        }
+    }
+
+    /// The suite job this spec describes.
+    pub fn to_suite_job(&self) -> SuiteJob {
+        SuiteJob {
+            name: self.name.clone(),
+            source: self.source.clone(),
+            entry: self.entry.clone(),
+            opts: overify::BuildOptions::level(self.level),
+            bytes: self.bytes.clone(),
+            cfg: self.cfg.clone(),
+            path_workers: self.path_workers,
+        }
+    }
+}
+
+/// Client → server messages.
+// (The size skew between Submit and the flag variants is fine: requests
+// are built once per submission, never stored in bulk.)
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a job; the server responds with a stream of events for it.
+    Submit(JobSpec),
+    /// Ask for a server statistics snapshot.
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A server statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStatsSnapshot {
+    /// Jobs received over all connections.
+    pub submitted: u64,
+    /// Jobs answered immediately from the report store.
+    pub answered_from_store: u64,
+    /// Jobs handed to the executor pool.
+    pub executed: u64,
+    /// Jobs waiting in the scheduler right now.
+    pub queued: u64,
+    /// Jobs running right now.
+    pub active: u64,
+    /// Persistent-store counters (zeroes when the server runs storeless).
+    pub store: StoreStats,
+}
+
+/// The outcome of one job, as it travels the wire. Field-for-field a
+/// [`SuiteJobResult`] (compile time in nanoseconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    pub name: String,
+    pub level: OptLevel,
+    pub compile_nanos: u64,
+    pub from_store: bool,
+    pub error: Option<String>,
+    pub runs: Vec<(usize, overify::VerificationReport)>,
+}
+
+impl JobOutcome {
+    /// Wraps a finished suite result.
+    pub fn from_result(r: &SuiteJobResult) -> JobOutcome {
+        JobOutcome {
+            name: r.name.clone(),
+            level: r.level,
+            compile_nanos: r.compile_time.as_nanos().min(u64::MAX as u128) as u64,
+            from_store: r.from_store,
+            error: r.error.clone(),
+            runs: r.runs.clone(),
+        }
+    }
+
+    /// Unwraps into the suite result type.
+    pub fn into_result(self) -> SuiteJobResult {
+        SuiteJobResult {
+            name: self.name,
+            level: self.level,
+            compile_time: Duration::from_nanos(self.compile_nanos),
+            runs: self.runs,
+            error: self.error,
+            from_store: self.from_store,
+        }
+    }
+}
+
+/// Server → client messages. Every job-scoped event carries its job id;
+/// ids are assigned by the server and echoed in submission order per
+/// connection, so a pipelining client can demultiplex.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Connection handshake (always the first frame).
+    Hello { version: u32 },
+    /// The job missed the store and entered the scheduler.
+    Queued {
+        job: u64,
+        /// Jobs ahead of it (including running ones) at enqueue time.
+        position: u64,
+        /// The scheduler's cost estimate (observed nanoseconds when the
+        /// store has history for the key, a static estimate otherwise).
+        predicted_cost: u128,
+    },
+    /// An executor picked the job up.
+    Scheduled { job: u64 },
+    /// Live counters of a running job (sampled; monotone per job).
+    Progress {
+        job: u64,
+        runs_done: u32,
+        runs_total: u32,
+        paths: u64,
+        bugs: u64,
+        instructions: u64,
+    },
+    /// The job's final outcome (always the job's last event).
+    Report { job: u64, outcome: JobOutcome },
+    /// Answer to [`Request::Stats`].
+    Stats(ServeStatsSnapshot),
+    /// Answer to [`Request::Shutdown`]: the server is draining.
+    ShuttingDown,
+}
+
+fn encode_sym_config(w: &mut Writer, cfg: &SymConfig) {
+    w.u64(cfg.input_bytes as u64);
+    w.u32(cfg.extra_args.len() as u32);
+    for a in &cfg.extra_args {
+        match a {
+            SymArg::Concrete(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            SymArg::Symbolic => w.u8(1),
+        }
+    }
+    w.u8(cfg.pass_len_arg as u8);
+    w.u64(cfg.max_paths);
+    w.u64(cfg.max_instructions);
+    w.u64(cfg.timeout.as_nanos().min(u64::MAX as u128) as u64);
+    w.u8(cfg.collect_tests as u8);
+    w.u8(cfg.use_annotations as u8);
+    w.u8(cfg.solver.use_intervals as u8);
+    w.u8(cfg.solver.use_cex_cache as u8);
+    w.u8(cfg.solver.use_query_cache as u8);
+    w.u8(cfg.solver.use_shared_cache as u8);
+    w.u8(cfg.solver.use_enumeration as u8);
+    match cfg.search {
+        SearchStrategy::Dfs => w.u8(0),
+        SearchStrategy::Bfs => w.u8(1),
+        SearchStrategy::RandomState(seed) => {
+            w.u8(2);
+            w.u64(seed);
+        }
+    }
+    match cfg.donation {
+        DonationPolicy::OldestState => w.u8(0),
+        DonationPolicy::StealHalf => w.u8(1),
+    }
+    w.u64(cfg.max_ite_span);
+}
+
+fn decode_sym_config(r: &mut Reader) -> Option<SymConfig> {
+    let mut cfg = SymConfig {
+        input_bytes: r.u64()? as usize,
+        ..Default::default()
+    };
+    for _ in 0..r.u32()? {
+        cfg.extra_args.push(match r.u8()? {
+            0 => SymArg::Concrete(r.u64()?),
+            1 => SymArg::Symbolic,
+            _ => return None,
+        });
+    }
+    cfg.pass_len_arg = r.u8()? != 0;
+    cfg.max_paths = r.u64()?;
+    cfg.max_instructions = r.u64()?;
+    cfg.timeout = Duration::from_nanos(r.u64()?);
+    cfg.collect_tests = r.u8()? != 0;
+    cfg.use_annotations = r.u8()? != 0;
+    cfg.solver.use_intervals = r.u8()? != 0;
+    cfg.solver.use_cex_cache = r.u8()? != 0;
+    cfg.solver.use_query_cache = r.u8()? != 0;
+    cfg.solver.use_shared_cache = r.u8()? != 0;
+    cfg.solver.use_enumeration = r.u8()? != 0;
+    cfg.search = match r.u8()? {
+        0 => SearchStrategy::Dfs,
+        1 => SearchStrategy::Bfs,
+        2 => SearchStrategy::RandomState(r.u64()?),
+        _ => return None,
+    };
+    cfg.donation = match r.u8()? {
+        0 => DonationPolicy::OldestState,
+        1 => DonationPolicy::StealHalf,
+        _ => return None,
+    };
+    cfg.max_ite_span = r.u64()?;
+    Some(cfg)
+}
+
+fn encode_spec(w: &mut Writer, spec: &JobSpec) {
+    w.str(&spec.name);
+    w.str(&spec.source);
+    w.str(&spec.entry);
+    w.u8(level_tag(spec.level));
+    w.u32(spec.bytes.len() as u32);
+    for &b in &spec.bytes {
+        w.u64(b as u64);
+    }
+    w.u64(spec.path_workers as u64);
+    encode_sym_config(w, &spec.cfg);
+}
+
+fn decode_spec(r: &mut Reader) -> Option<JobSpec> {
+    let name = r.str()?;
+    let source = r.str()?;
+    let entry = r.str()?;
+    let level = level_from_tag(r.u8()?)?;
+    let n = r.u32()?;
+    let mut bytes = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        bytes.push(r.u64()? as usize);
+    }
+    Some(JobSpec {
+        name,
+        source,
+        entry,
+        level,
+        bytes,
+        path_workers: r.u64()? as usize,
+        cfg: decode_sym_config(r)?,
+    })
+}
+
+/// Serializes a request frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::default();
+    match req {
+        Request::Submit(spec) => {
+            w.u8(0);
+            encode_spec(&mut w, spec);
+        }
+        Request::Stats => w.u8(1),
+        Request::Shutdown => w.u8(2),
+    }
+    w.buf
+}
+
+/// Deserializes a request frame payload.
+pub fn decode_request(bytes: &[u8]) -> io::Result<Request> {
+    let mut r = Reader::new(bytes);
+    let req = match r.u8() {
+        Some(0) => decode_spec(&mut r).map(Request::Submit),
+        Some(1) => Some(Request::Stats),
+        Some(2) => Some(Request::Shutdown),
+        _ => None,
+    };
+    match req {
+        Some(req) if r.remaining() == 0 => Ok(req),
+        _ => Err(decode_error("request")),
+    }
+}
+
+fn encode_outcome(w: &mut Writer, o: &JobOutcome) {
+    w.str(&o.name);
+    w.u8(level_tag(o.level));
+    w.u64(o.compile_nanos);
+    w.u8(o.from_store as u8);
+    match &o.error {
+        None => w.u8(0),
+        Some(e) => {
+            w.u8(1);
+            w.str(e);
+        }
+    }
+    w.u32(o.runs.len() as u32);
+    for (bytes, report) in &o.runs {
+        w.u64(*bytes as u64);
+        encode_report(w, report);
+    }
+}
+
+fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
+    let name = r.str()?;
+    let level = level_from_tag(r.u8()?)?;
+    let compile_nanos = r.u64()?;
+    let from_store = r.u8()? != 0;
+    let error = match r.u8()? {
+        0 => None,
+        1 => Some(r.str()?),
+        _ => return None,
+    };
+    let n = r.u32()?;
+    let mut runs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let bytes = r.u64()? as usize;
+        runs.push((bytes, decode_report(r)?));
+    }
+    Some(JobOutcome {
+        name,
+        level,
+        compile_nanos,
+        from_store,
+        error,
+        runs,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
+    for v in [
+        s.submitted,
+        s.answered_from_store,
+        s.executed,
+        s.queued,
+        s.active,
+        s.store.report_hits,
+        s.store.report_misses,
+        s.store.reports_saved,
+        s.store.solver_entries_loaded,
+        s.store.solver_entries_saved,
+        s.store.log_bytes_dropped,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
+    Some(ServeStatsSnapshot {
+        submitted: r.u64()?,
+        answered_from_store: r.u64()?,
+        executed: r.u64()?,
+        queued: r.u64()?,
+        active: r.u64()?,
+        store: StoreStats {
+            report_hits: r.u64()?,
+            report_misses: r.u64()?,
+            reports_saved: r.u64()?,
+            solver_entries_loaded: r.u64()?,
+            solver_entries_saved: r.u64()?,
+            log_bytes_dropped: r.u64()?,
+        },
+    })
+}
+
+/// Serializes an event frame payload.
+pub fn encode_event(ev: &Event) -> Vec<u8> {
+    let mut w = Writer::default();
+    match ev {
+        Event::Hello { version } => {
+            w.u8(0);
+            w.buf.extend_from_slice(MAGIC);
+            w.u32(*version);
+        }
+        Event::Queued {
+            job,
+            position,
+            predicted_cost,
+        } => {
+            w.u8(1);
+            w.u64(*job);
+            w.u64(*position);
+            w.u128(*predicted_cost);
+        }
+        Event::Scheduled { job } => {
+            w.u8(2);
+            w.u64(*job);
+        }
+        Event::Progress {
+            job,
+            runs_done,
+            runs_total,
+            paths,
+            bugs,
+            instructions,
+        } => {
+            w.u8(3);
+            w.u64(*job);
+            w.u32(*runs_done);
+            w.u32(*runs_total);
+            w.u64(*paths);
+            w.u64(*bugs);
+            w.u64(*instructions);
+        }
+        Event::Report { job, outcome } => {
+            w.u8(4);
+            w.u64(*job);
+            encode_outcome(&mut w, outcome);
+        }
+        Event::Stats(s) => {
+            w.u8(5);
+            encode_stats(&mut w, s);
+        }
+        Event::ShuttingDown => w.u8(6),
+    }
+    w.buf
+}
+
+/// Deserializes an event frame payload.
+pub fn decode_event(bytes: &[u8]) -> io::Result<Event> {
+    let mut r = Reader::new(bytes);
+    let ev = match r.u8() {
+        Some(0) => {
+            let magic = r.bytes_exact(MAGIC.len());
+            if magic != Some(&MAGIC[..]) {
+                None
+            } else {
+                r.u32().map(|version| Event::Hello { version })
+            }
+        }
+        Some(1) => (|| {
+            Some(Event::Queued {
+                job: r.u64()?,
+                position: r.u64()?,
+                predicted_cost: r.u128()?,
+            })
+        })(),
+        Some(2) => r.u64().map(|job| Event::Scheduled { job }),
+        Some(3) => (|| {
+            Some(Event::Progress {
+                job: r.u64()?,
+                runs_done: r.u32()?,
+                runs_total: r.u32()?,
+                paths: r.u64()?,
+                bugs: r.u64()?,
+                instructions: r.u64()?,
+            })
+        })(),
+        Some(4) => (|| {
+            Some(Event::Report {
+                job: r.u64()?,
+                outcome: decode_outcome(&mut r)?,
+            })
+        })(),
+        Some(5) => decode_stats(&mut r).map(Event::Stats),
+        Some(6) => Some(Event::ShuttingDown),
+        _ => None,
+    };
+    match ev {
+        Some(ev) if r.remaining() == 0 => Ok(ev),
+        _ => Err(decode_error("event")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify::{Bug, BugKind, SolverStats, VerificationReport};
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            name: "wc_words".into(),
+            source: "int umain(unsigned char *in, int n) { return in[0]; }".into(),
+            entry: "umain".into(),
+            level: OptLevel::Overify,
+            bytes: vec![2, 3],
+            path_workers: 4,
+            cfg: SymConfig {
+                input_bytes: 3,
+                pass_len_arg: true,
+                collect_tests: true,
+                extra_args: vec![SymArg::Concrete(7), SymArg::Symbolic],
+                search: SearchStrategy::RandomState(42),
+                donation: DonationPolicy::StealHalf,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn sample_outcome() -> JobOutcome {
+        JobOutcome {
+            name: "wc_words".into(),
+            level: OptLevel::O3,
+            compile_nanos: 123_456,
+            from_store: true,
+            error: None,
+            runs: vec![(
+                2,
+                VerificationReport {
+                    paths_completed: 9,
+                    bugs: vec![Bug {
+                        kind: BugKind::OutOfBounds,
+                        location: "umain/b2".into(),
+                        input: vec![1, 2],
+                    }],
+                    solver: SolverStats {
+                        queries: 40,
+                        ..Default::default()
+                    },
+                    exhausted: true,
+                    ..Default::default()
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Submit(sample_spec()),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            Event::Hello { version: VERSION },
+            Event::Queued {
+                job: 3,
+                position: 2,
+                predicted_cost: 1 << 80,
+            },
+            Event::Scheduled { job: 3 },
+            Event::Progress {
+                job: 3,
+                runs_done: 1,
+                runs_total: 2,
+                paths: 100,
+                bugs: 2,
+                instructions: 1 << 40,
+            },
+            Event::Report {
+                job: 3,
+                outcome: sample_outcome(),
+            },
+            Event::Stats(ServeStatsSnapshot {
+                submitted: 10,
+                answered_from_store: 4,
+                executed: 6,
+                queued: 1,
+                active: 2,
+                store: StoreStats {
+                    report_hits: 4,
+                    ..Default::default()
+                },
+            }),
+            Event::ShuttingDown,
+        ];
+        for ev in events {
+            let bytes = encode_event(&ev);
+            assert_eq!(decode_event(&bytes).unwrap(), ev, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_or_trailing_bytes_are_rejected() {
+        let good = encode_event(&Event::Report {
+            job: 1,
+            outcome: sample_outcome(),
+        });
+        for cut in [0, 1, good.len() / 2, good.len() - 1] {
+            assert!(decode_event(&good[..cut]).is_err(), "cut={cut}");
+        }
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_event(&padded).is_err(), "trailing byte");
+        assert!(decode_request(&encode_event(&Event::ShuttingDown)[..0]).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_suite_job() {
+        let spec = sample_spec();
+        let again = JobSpec::from_suite_job(&spec.to_suite_job());
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "EOF");
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut &oversized[..]).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The store-aware, cost-first job scheduler.
+//!
+//! Store *hits* never get here — the connection handler answers them
+//! straight from [`overify::Store::load_report`] — so everything in the
+//! queue is a miss that will cost real solver time. The queue orders that
+//! work cost-first:
+//!
+//! 1. **Unknown cost before known cost.** A key the store has never timed
+//!    is scheduled by its static estimate, which is a deliberate
+//!    overestimate (path counts enter exponentially): never-seen work is
+//!    assumed long and started early, the longest-processing-time-first
+//!    heuristic that minimizes batch makespan when durations are uncertain.
+//! 2. **Within each class, descending cost.** Known costs are the store's
+//!    per-key observed nanoseconds ([`overify::Store::lookup_cost`], fed
+//!    back by every executed job); estimates come from the compiled
+//!    module's size and the job's byte budgets.
+//! 3. **FIFO tie-break** by submission sequence, so dispatch order is
+//!    fully deterministic given the queue contents.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A dispatch priority. `Ord` is *dispatch order*: greater = sooner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Priority {
+    /// False when the cost is an observed per-key measurement, true when
+    /// it is a static estimate (estimates dispatch first).
+    pub estimated: bool,
+    /// Cost value (nanoseconds when observed, unitless when estimated);
+    /// larger dispatches sooner within a class.
+    pub cost: u128,
+}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Priority) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Priority) -> CmpOrdering {
+        self.estimated
+            .cmp(&other.estimated)
+            .then(self.cost.cmp(&other.cost))
+    }
+}
+
+struct Entry<T> {
+    priority: Priority,
+    seq: u64,
+    item: T,
+}
+
+struct Queue<T> {
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking priority queue of verification work. Generic over the
+/// payload so the dispatch policy is testable without building modules.
+pub struct Scheduler<T> {
+    queue: Mutex<Queue<T>>,
+    cv: Condvar,
+}
+
+impl<T> Scheduler<T> {
+    /// An empty, open scheduler.
+    pub fn new() -> Scheduler<T> {
+        Scheduler {
+            queue: Mutex::new(Queue {
+                entries: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item; returns how many items were ahead of it (its
+    /// queue position at enqueue time). Items pushed after close are
+    /// rejected back to the caller.
+    pub fn push(&self, priority: Priority, item: T) -> Result<usize, T> {
+        let mut q = self.queue.lock().unwrap();
+        if q.closed {
+            return Err(item);
+        }
+        let position = q.entries.iter().filter(|e| e.priority >= priority).count();
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.entries.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        self.cv.notify_one();
+        Ok(position)
+    }
+
+    /// Blocks until an item is available (highest priority, FIFO within
+    /// equal priorities) or the scheduler is closed (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(best) = q
+                .entries
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)) // lower seq wins ties
+                })
+                .map(|(i, _)| i)
+            {
+                return Some(q.entries.swap_remove(best).item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Closes the queue and drains everything still waiting: `pop` returns
+    /// `None` once the drained backlog is gone, and future pushes fail.
+    pub fn close(&self) -> VecDeque<T> {
+        let mut q = self.queue.lock().unwrap();
+        q.closed = true;
+        let drained = std::mem::take(&mut q.entries);
+        self.cv.notify_all();
+        drained.into_iter().map(|e| e.item).collect()
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().entries.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Scheduler<T> {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observed(cost: u128) -> Priority {
+        Priority {
+            estimated: false,
+            cost,
+        }
+    }
+
+    fn estimated(cost: u128) -> Priority {
+        Priority {
+            estimated: true,
+            cost,
+        }
+    }
+
+    #[test]
+    fn pops_unknowns_first_then_descending_cost_then_fifo() {
+        let s = Scheduler::new();
+        assert_eq!(s.push(observed(500), "ob-500").unwrap(), 0);
+        assert_eq!(s.push(estimated(10), "est-10").unwrap(), 0);
+        assert_eq!(s.push(observed(900), "ob-900").unwrap(), 1);
+        assert_eq!(s.push(estimated(99), "est-99").unwrap(), 0);
+        // Both estimates, the equal-cost observed entry (FIFO), = 3 ahead.
+        assert_eq!(s.push(observed(900), "ob-900-later").unwrap(), 3);
+        assert_eq!(s.len(), 5);
+        let order: Vec<&str> =
+            std::iter::from_fn(|| if s.is_empty() { None } else { s.pop() }).collect();
+        assert_eq!(
+            order,
+            ["est-99", "est-10", "ob-900", "ob-900-later", "ob-500"],
+            "estimates first (descending), then observed descending, FIFO ties"
+        );
+    }
+
+    #[test]
+    fn close_drains_and_rejects() {
+        let s = Scheduler::new();
+        s.push(observed(1), 'a').unwrap();
+        s.push(observed(2), 'b').unwrap();
+        let drained: Vec<char> = s.close().into_iter().collect();
+        assert_eq!(drained, ['a', 'b'], "backlog handed back on close");
+        assert!(s.pop().is_none());
+        assert_eq!(s.push(observed(3), 'c'), Err('c'));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let s = std::sync::Arc::new(Scheduler::new());
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || s2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.push(estimated(1), 42u32).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

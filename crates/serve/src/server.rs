@@ -1,0 +1,548 @@
+//! The resident verification server.
+//!
+//! One process owns one persistent [`Store`] and one warm solver cache and
+//! serves any number of clients over localhost TCP:
+//!
+//! * the **connection handler** (one thread per client) compiles each
+//!   submitted job and content-addresses it; a store hit is answered
+//!   immediately — no queue, no executor, just `Store::load_report` — and
+//!   only misses enter the scheduler;
+//! * the **executor pool** pops misses cost-first (see [`crate::scheduler`])
+//!   and runs them through the same work-stealing driver the batch API
+//!   uses, publishing live counters through [`overify::JobProgress`];
+//! * the **progress poller** samples every running job on a fixed tick and
+//!   streams changed counters to the owning client;
+//! * after every executed job the observed cost is recorded back into the
+//!   store (scheduling feedback) and the solver-cache delta is persisted,
+//!   so the *next* client — or the next process — starts warmer.
+//!
+//! All writes to one client socket are serialized through a per-connection
+//! writer thread, so pipelined jobs can't interleave frames.
+
+use crate::protocol::{
+    encode_event, read_frame, write_frame, Event, JobOutcome, Request, ServeStatsSnapshot, VERSION,
+};
+use crate::scheduler::{Priority, Scheduler};
+use overify::{
+    default_threads, estimated_job_cost, prepare_job, JobProgress, PreparedJob, ProgressSnapshot,
+    SharedQueryCache, Store, StoreConfig, SuiteJobResult,
+};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a server is brought up.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port; read it back
+    /// from [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Executor pool size (concurrent jobs). Defaults to
+    /// [`overify::default_threads`].
+    pub executors: usize,
+    /// Persistent store backing the service; `None` serves storeless
+    /// (every job verifies, nothing is remembered).
+    pub store: Option<StoreConfig>,
+    /// Progress sampling tick for running jobs.
+    pub progress_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            port: 0,
+            executors: default_threads(),
+            store: StoreConfig::from_env(),
+            progress_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One queued miss: the prepared job plus the event channel of the client
+/// that owns it. `key_hash` is the in-flight coalescing key (`None` when
+/// the server runs storeless — then nothing coalesces).
+struct QueuedJob {
+    id: u64,
+    prepared: PreparedJob,
+    events: Sender<Event>,
+    key_hash: Option<u128>,
+}
+
+/// A job currently executing, visible to the progress poller.
+struct ActiveJob {
+    id: u64,
+    progress: Arc<JobProgress>,
+    events: Sender<Event>,
+    /// The last published snapshot plus the terminal marker. Every
+    /// Progress frame is sent while this lock is held, so frames for one
+    /// job are totally ordered, monotone, and nothing can land after the
+    /// executor's terminal frame (which precedes the Report).
+    last: Mutex<PublishedProgress>,
+}
+
+#[derive(Default)]
+struct PublishedProgress {
+    snap: ProgressSnapshot,
+    finished: bool,
+}
+
+impl ActiveJob {
+    /// Publishes a snapshot unless it duplicates the last one or the job
+    /// already published its terminal frame. `terminal` closes the stream.
+    fn publish(&self, snap: ProgressSnapshot, terminal: bool) {
+        let mut last = self.last.lock().unwrap();
+        if last.finished {
+            return;
+        }
+        if terminal {
+            last.finished = true;
+        }
+        if terminal || snap != last.snap {
+            last.snap = snap;
+            // Sent under the lock on purpose (mpsc send never blocks):
+            // this is what makes the frame order the publish order.
+            self.events
+                .send(Event::Progress {
+                    job: self.id,
+                    runs_done: snap.runs_done as u32,
+                    runs_total: snap.runs_total as u32,
+                    paths: snap.paths,
+                    bugs: snap.bugs,
+                    instructions: snap.instructions,
+                })
+                .ok();
+        }
+    }
+}
+
+/// Followers of one in-flight execution: (job id, owning client's event
+/// channel) pairs, each of which receives the execution's outcome under
+/// its own id.
+type Followers = Vec<(u64, Sender<Event>)>;
+
+struct ServeState {
+    store: Option<Store>,
+    warm: Arc<SharedQueryCache>,
+    sched: Scheduler<QueuedJob>,
+    active: Mutex<Vec<Arc<ActiveJob>>>,
+    /// Single-flight coalescing: content-address hash → followers waiting
+    /// on the execution already queued or running for that key. One
+    /// execution serves every concurrent submitter, so concurrent clients
+    /// get *byte-identical* reports (and the executor does 1× the work).
+    inflight: Mutex<HashMap<u128, Followers>>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    submitted: AtomicU64,
+    answered_from_store: AtomicU64,
+    executed: AtomicU64,
+    next_job_id: AtomicU64,
+}
+
+impl ServeState {
+    fn stats(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            answered_from_store: self.answered_from_store.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            queued: self.sched.len() as u64,
+            active: self.active.lock().unwrap().len() as u64,
+            store: self.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
+        }
+    }
+
+    /// Initiates shutdown: close the queue, report its backlog back to
+    /// the owning clients as aborted (an explicit error beats a hang),
+    /// and poke the accept loop awake so it observes the flag.
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for job in self.sched.close() {
+            let aborted = JobOutcome::from_result(&SuiteJobResult {
+                name: job.prepared.job().name.clone(),
+                level: job.prepared.job().opts.level,
+                compile_time: job.prepared.compile_time,
+                runs: Vec::new(),
+                error: Some("server shutting down before the job ran".into()),
+                from_store: false,
+            });
+            let followers = take_followers(self, job.key_hash);
+            let _ = job.events.send(Event::Report {
+                job: job.id,
+                outcome: aborted.clone(),
+            });
+            report_followers(followers, &aborted);
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: its address plus the join/shutdown handle.
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (always 127.0.0.1; the port is the configured or
+    /// ephemeral one).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A statistics snapshot, identical to what [`Request::Stats`]
+    /// returns over the wire.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.state.stats()
+    }
+
+    /// Blocks until the server exits (a client sent `Shutdown`).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Initiates shutdown locally and waits for the server to drain.
+    pub fn shutdown(self) {
+        self.state.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Binds and starts a server; returns once the listener is accepting.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let store = match cfg.store {
+        Some(sc) => Some(Store::open(sc)?),
+        None => None,
+    };
+    // One fleet-wide solver cache, warm-started from the store once at
+    // boot and shared by every job of every client from then on.
+    let warm = match &store {
+        Some(s) => s.warm_solver_cache(),
+        None => Arc::new(SharedQueryCache::new()),
+    };
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, cfg.port))?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServeState {
+        store,
+        warm,
+        sched: Scheduler::new(),
+        active: Mutex::new(Vec::new()),
+        inflight: Mutex::new(HashMap::new()),
+        shutting_down: AtomicBool::new(false),
+        addr,
+        submitted: AtomicU64::new(0),
+        answered_from_store: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
+        next_job_id: AtomicU64::new(0),
+    });
+
+    let mut threads = Vec::new();
+    for _ in 0..cfg.executors.max(1) {
+        let state = state.clone();
+        threads.push(std::thread::spawn(move || executor_loop(&state)));
+    }
+    {
+        let state = state.clone();
+        let tick = cfg.progress_interval;
+        threads.push(std::thread::spawn(move || poller_loop(&state, tick)));
+    }
+    {
+        let state = state.clone();
+        threads.push(std::thread::spawn(move || accept_loop(&state, listener)));
+    }
+    Ok(ServerHandle { state, threads })
+}
+
+fn accept_loop(state: &Arc<ServeState>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = state.clone();
+        // Connection handlers are detached: they exit when their client
+        // hangs up, and the process-level teardown (daemon exit) reaps
+        // whatever is left.
+        std::thread::spawn(move || {
+            let _ = handle_connection(&state, stream);
+        });
+    }
+}
+
+/// One client connection: a reader loop (this thread) processing requests
+/// and a writer thread serializing events onto the socket.
+fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) -> io::Result<()> {
+    let peer_write = stream.try_clone()?;
+    let (tx, rx) = channel::<Event>();
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(peer_write);
+        // Exits when every sender is gone (connection done, queued jobs
+        // reported) or the socket breaks (client hung up mid-stream).
+        while let Ok(ev) = rx.recv() {
+            if write_frame(&mut w, &encode_event(&ev)).is_err() {
+                break;
+            }
+        }
+    });
+
+    tx.send(Event::Hello { version: VERSION }).ok();
+    let mut r = BufReader::new(stream);
+    // The read loop ends when the client hangs up (or sends garbage
+    // framing) — `read_frame` then errors.
+    while let Ok(frame) = read_frame(&mut r) {
+        match crate::protocol::decode_request(&frame) {
+            Ok(Request::Submit(spec)) => handle_submit(state, &spec, &tx),
+            Ok(Request::Stats) => {
+                tx.send(Event::Stats(state.stats())).ok();
+            }
+            Ok(Request::Shutdown) => {
+                tx.send(Event::ShuttingDown).ok();
+                state.begin_shutdown();
+                break;
+            }
+            Err(_) => break, // malformed request: drop the connection
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Compiles, content-addresses, and routes one submission: store hits are
+/// answered here and now; misses are priced and queued.
+fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &Sender<Event>) {
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let job = spec.to_suite_job();
+
+    let prepared = match prepare_job(&job, state.store.is_some()) {
+        Ok(p) => p,
+        Err(failed) => {
+            // Build failures are finished results, not protocol errors.
+            tx.send(Event::Report {
+                job: id,
+                outcome: JobOutcome::from_result(&failed),
+            })
+            .ok();
+            return;
+        }
+    };
+    if let Some(store) = &state.store {
+        if let Some(hit) = prepared.load_stored(store) {
+            state.answered_from_store.fetch_add(1, Ordering::Relaxed);
+            tx.send(Event::Report {
+                job: id,
+                outcome: JobOutcome::from_result(&hit),
+            })
+            .ok();
+            return;
+        }
+    }
+
+    // A miss: price it (observed per-key cost when the store has history,
+    // the deliberate static overestimate otherwise).
+    let observed = state
+        .store
+        .as_ref()
+        .zip(prepared.key.as_ref())
+        .and_then(|(s, k)| s.lookup_cost(k));
+    let priority = match observed {
+        Some(d) => Priority {
+            estimated: false,
+            cost: d.as_nanos(),
+        },
+        None => Priority {
+            estimated: true,
+            cost: estimated_job_cost(&job),
+        },
+    };
+
+    // Single-flight: if the same content address is already queued or
+    // running, follow that execution instead of queueing a duplicate —
+    // every follower gets the *same* outcome bytes when it reports.
+    let key_hash = prepared.key.as_ref().map(|k| k.key_hash());
+    if let Some(hash) = key_hash {
+        let mut inflight = state.inflight.lock().unwrap();
+        if let Some(followers) = inflight.get_mut(&hash) {
+            followers.push((id, tx.clone()));
+            tx.send(Event::Queued {
+                job: id,
+                position: 0, // riding an execution already in flight
+                predicted_cost: priority.cost,
+            })
+            .ok();
+            return;
+        }
+        inflight.insert(hash, Vec::new());
+    }
+
+    // `Queued` goes on the wire *before* the scheduler can hand the job
+    // to an executor, so a client always sees Queued ≺ Scheduled. The
+    // position is therefore the pre-enqueue queue depth (an executor may
+    // already be draining it).
+    tx.send(Event::Queued {
+        job: id,
+        position: state.sched.len() as u64,
+        predicted_cost: priority.cost,
+    })
+    .ok();
+    let queued = QueuedJob {
+        id,
+        prepared,
+        events: tx.clone(),
+        key_hash,
+    };
+    if let Err(rejected) = state.sched.push(priority, queued) {
+        // Shutdown raced the submission. Report the job — and any
+        // followers that registered on its in-flight entry meanwhile — as
+        // aborted, exactly like `begin_shutdown` does for the backlog.
+        let outcome = JobOutcome::from_result(&SuiteJobResult {
+            name: rejected.prepared.job().name.clone(),
+            level: rejected.prepared.job().opts.level,
+            compile_time: rejected.prepared.compile_time,
+            runs: Vec::new(),
+            error: Some("server shutting down before the job ran".into()),
+            from_store: false,
+        });
+        let followers = take_followers(state, key_hash);
+        tx.send(Event::Report {
+            job: id,
+            outcome: outcome.clone(),
+        })
+        .ok();
+        report_followers(followers, &outcome);
+    }
+}
+
+/// Removes `key_hash`'s in-flight entry, returning its followers.
+///
+/// Must be called *before* the owning job's Report goes on the wire: the
+/// moment a client sees that Report it may resubmit, and a resubmission
+/// must re-check the store / enqueue fresh — never ride an execution that
+/// already finished (a truncated outcome must recompute, not replay).
+fn take_followers(state: &ServeState, key_hash: Option<u128>) -> Followers {
+    match key_hash {
+        Some(hash) => state
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&hash)
+            .unwrap_or_default(),
+        None => Vec::new(),
+    }
+}
+
+/// Hands every follower the given outcome under its own job id.
+fn report_followers(followers: Followers, outcome: &JobOutcome) {
+    for (id, events) in followers {
+        events
+            .send(Event::Report {
+                job: id,
+                outcome: outcome.clone(),
+            })
+            .ok();
+    }
+}
+
+/// One executor: pops misses cost-first and runs them to completion.
+fn executor_loop(state: &Arc<ServeState>) {
+    while let Some(job) = state.sched.pop() {
+        // Re-check the store before spending solver time: between this
+        // job's miss check and now, another executor (or another process
+        // on the same store path) may have persisted the same content
+        // address — then the artifact *is* this job's outcome.
+        if let Some(store) = &state.store {
+            if let Some(hit) = job.prepared.load_stored(store) {
+                state.answered_from_store.fetch_add(1, Ordering::Relaxed);
+                let outcome = JobOutcome::from_result(&hit);
+                let followers = take_followers(state, job.key_hash);
+                job.events
+                    .send(Event::Report {
+                        job: job.id,
+                        outcome: outcome.clone(),
+                    })
+                    .ok();
+                report_followers(followers, &outcome);
+                continue;
+            }
+        }
+
+        state.executed.fetch_add(1, Ordering::Relaxed);
+        job.events.send(Event::Scheduled { job: job.id }).ok();
+
+        let active = Arc::new(ActiveJob {
+            id: job.id,
+            progress: Arc::new(JobProgress::new()),
+            events: job.events.clone(),
+            last: Mutex::new(PublishedProgress::default()),
+        });
+        // The first progress frame is synchronous and precedes poller
+        // registration, so every executed job streams at least one frame
+        // and no poller sample can jump ahead of it. (Built by hand:
+        // execution hasn't started, but the sweep size is already known
+        // from the job itself.)
+        active.publish(
+            ProgressSnapshot {
+                runs_total: job.prepared.job().bytes.len(),
+                ..Default::default()
+            },
+            false,
+        );
+        state.active.lock().unwrap().push(active.clone());
+
+        let result = job.prepared.execute(
+            state.store.as_ref(),
+            Some(&state.warm),
+            Some(&active.progress),
+        );
+
+        state.active.lock().unwrap().retain(|a| a.id != job.id);
+        // Persist the solver-cache delta now, not at exit: the next
+        // process to open the store warm-starts from everything this job
+        // learned even if the daemon dies hard later.
+        if let Some(store) = &state.store {
+            if let Err(e) = store.save_solver_cache(&state.warm) {
+                eprintln!("overify_serve: failed to persist the solver cache: {e}");
+            }
+        }
+        // Terminal frame: closes the job's progress stream (a straggling
+        // poller sample can never land after it), then the report. The
+        // in-flight entry is released *before* the owner's Report so a
+        // client reacting to it resubmits fresh instead of riding a
+        // finished execution.
+        active.publish(active.progress.snapshot(), true);
+        let outcome = JobOutcome::from_result(&result);
+        let followers = take_followers(state, job.key_hash);
+        job.events
+            .send(Event::Report {
+                job: job.id,
+                outcome: outcome.clone(),
+            })
+            .ok();
+        // Every follower gets the exact same outcome bytes under its own
+        // job id.
+        report_followers(followers, &outcome);
+    }
+}
+
+/// Samples every active job on a fixed tick, streaming counters that
+/// moved since the last sample.
+fn poller_loop(state: &Arc<ServeState>, tick: Duration) {
+    while !state.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let active: Vec<Arc<ActiveJob>> = state.active.lock().unwrap().clone();
+        for job in active {
+            // `publish` drops the sample when it is stale, a duplicate, or
+            // the job already published its terminal frame.
+            job.publish(job.progress.snapshot(), false);
+        }
+    }
+}

@@ -38,13 +38,19 @@ pub struct ReportKey {
 }
 
 impl ReportKey {
-    /// The artifact's file stem: 32 hex digits of the combined key.
-    pub fn file_stem(&self) -> String {
+    /// The combined 128-bit hash of the whole key — the store's canonical
+    /// per-key identity (artifact file names, cost-metadata records).
+    pub fn key_hash(&self) -> u128 {
         let mut w = Writer::default();
         w.u128(self.module_fp);
         w.u8(level_tag(self.level));
         w.u128(self.budget_sig);
-        format!("{:032x}", fnv128(&w.buf))
+        fnv128(&w.buf)
+    }
+
+    /// The artifact's file stem: 32 hex digits of the combined key.
+    pub fn file_stem(&self) -> String {
+        format!("{:032x}", self.key_hash())
     }
 }
 
@@ -100,6 +106,13 @@ pub fn budget_signature(
             w.u64(seed);
         }
     }
+    // Like `path_workers`: the donation policy never changes merged
+    // results, but it is part of the run's identity for timing-bearing
+    // artifacts.
+    match cfg.donation {
+        overify_symex::DonationPolicy::OldestState => w.u8(0),
+        overify_symex::DonationPolicy::StealHalf => w.u8(1),
+    }
     w.u64(cfg.max_ite_span);
     fnv128(&w.buf)
 }
@@ -113,7 +126,10 @@ pub struct StoredJob {
     pub runs: Vec<(usize, VerificationReport)>,
 }
 
-fn level_tag(l: OptLevel) -> u8 {
+/// The store's canonical one-byte encoding of an [`OptLevel`]. Public so
+/// every on-disk and on-wire format (artifacts, the serve protocol) uses
+/// the *same* table and can never drift per format.
+pub fn level_tag(l: OptLevel) -> u8 {
     match l {
         OptLevel::O0 => 0,
         OptLevel::O1 => 1,
@@ -123,7 +139,8 @@ fn level_tag(l: OptLevel) -> u8 {
     }
 }
 
-fn level_from_tag(t: u8) -> Option<OptLevel> {
+/// Inverse of [`level_tag`]; `None` on an unknown tag.
+pub fn level_from_tag(t: u8) -> Option<OptLevel> {
     Some(match t {
         0 => OptLevel::O0,
         1 => OptLevel::O1,
@@ -155,7 +172,13 @@ fn bug_kind_from_tag(t: u8) -> Option<BugKind> {
     })
 }
 
-fn encode_report(w: &mut Writer, r: &VerificationReport) {
+/// Serializes one [`VerificationReport`] into `w`.
+///
+/// Public because the store's framing is the workspace's lingua franca for
+/// reports: the verification service's wire protocol reuses exactly this
+/// encoding, so a report round-trips bit-identically whether it travels
+/// through a report artifact on disk or a socket.
+pub fn encode_report(w: &mut Writer, r: &VerificationReport) {
     w.u64(r.paths_completed);
     w.u64(r.paths_buggy);
     w.u64(r.paths_killed);
@@ -193,7 +216,9 @@ fn encode_report(w: &mut Writer, r: &VerificationReport) {
     w.u8(r.timed_out as u8);
 }
 
-fn decode_report(r: &mut Reader) -> Option<VerificationReport> {
+/// Deserializes one [`VerificationReport`]; `None` on truncation or a
+/// malformed tag (see [`encode_report`]).
+pub fn decode_report(r: &mut Reader) -> Option<VerificationReport> {
     let mut out = VerificationReport {
         paths_completed: r.u64()?,
         paths_buggy: r.u64()?,
@@ -292,6 +317,21 @@ pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
     out.u64(fnv64(&payload.buf));
     out.buf.extend_from_slice(&payload.buf);
     out.buf
+}
+
+/// Reads just the module fingerprint out of an artifact file's header
+/// (magic, version, key echo — no payload decode). `None` when the bytes
+/// are not a current-version artifact; garbage collection treats that as
+/// dead weight.
+pub fn peek_module_fp(bytes: &[u8]) -> Option<u128> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    if r.u32()? != VERSION {
+        return None;
+    }
+    r.u128()
 }
 
 /// Deserializes an artifact file. `None` on *any* defect — wrong magic or
@@ -434,9 +474,29 @@ mod tests {
         let mut wider = cfg.clone();
         wider.input_bytes += 1;
         assert_ne!(base, budget_signature("umain", &[2, 3], 1, &wider));
-        let mut collect = cfg;
+        let mut collect = cfg.clone();
         collect.collect_tests = true;
         assert_ne!(base, budget_signature("umain", &[2, 3], 1, &collect));
+        let mut donated = cfg;
+        donated.donation = overify_symex::DonationPolicy::StealHalf;
+        assert_ne!(base, budget_signature("umain", &[2, 3], 1, &donated));
+    }
+
+    #[test]
+    fn header_peek_reads_the_module_fingerprint() {
+        let key = sample_key();
+        let bytes = encode_artifact(
+            &key,
+            &StoredJob {
+                runs: vec![(2, sample_report())],
+            },
+        );
+        assert_eq!(peek_module_fp(&bytes), Some(key.module_fp));
+        assert_eq!(peek_module_fp(&bytes[..10]), None, "truncated header");
+        let mut stale = bytes.clone();
+        stale[MAGIC.len()] ^= 0xFF;
+        assert_eq!(peek_module_fp(&stale), None, "version skew");
+        assert_eq!(peek_module_fp(b"junk"), None);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Per-key observed-cost metadata.
+//!
+//! The store-aware scheduler orders verification work cost-first; its best
+//! cost signal is what the same content address cost *last time*. This
+//! module persists that feedback as a tiny append-only log beside the
+//! report artifacts:
+//!
+//! ```text
+//! header:  magic  b"OVFYCST\0"   8 bytes
+//!          version u32
+//! record:  key     u128          combined report-key hash
+//!          fp      u128          module fingerprint (for GC by liveness)
+//!          nanos   u64           observed verification wall time
+//!          check   u64           FNV-1a over the 40 payload bytes
+//! ```
+//!
+//! Later records for the same key supersede earlier ones (costs drift as
+//! machines and budgets change), so appends never need read-modify-write
+//! and concurrent writers at worst duplicate a record. Loading tolerates a
+//! torn or bit-rotted tail the same way the solver log does: scan stops at
+//! the first bad record and everything before it survives. Unlike report
+//! artifacts, cost records are written for truncated runs too — a
+//! budget-capped job is exactly the kind that returns as a miss, and its
+//! observed wall time is what the scheduler needs to place it.
+
+use crate::codec::{fnv64, Reader, Writer};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Magic prefix of a cost-metadata log file.
+pub const MAGIC: &[u8; 8] = b"OVFYCST\0";
+/// Current format version; mismatches are rejected (and the file is
+/// rewritten wholesale by the next compaction).
+pub const VERSION: u32 = 1;
+
+const PAYLOAD_LEN: usize = 16 + 16 + 8;
+const RECORD_LEN: usize = PAYLOAD_LEN + 8;
+
+/// One observed-cost record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostRecord {
+    /// Combined report-key hash ([`crate::ReportKey::key_hash`]).
+    pub key: u128,
+    /// The key's module fingerprint, kept denormalized so garbage
+    /// collection can evict records whose module no longer occurs.
+    pub module_fp: u128,
+    /// Observed verification wall time, in nanoseconds.
+    pub nanos: u64,
+}
+
+fn encode_record(r: &CostRecord) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u128(r.key);
+    w.u128(r.module_fp);
+    w.u64(r.nanos);
+    let check = fnv64(&w.buf);
+    w.u64(check);
+    w.buf
+}
+
+/// Appends one record, writing the header first when the file is new.
+pub fn append(path: &Path, record: &CostRecord) -> io::Result<()> {
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if file.metadata()?.len() == 0 {
+        let mut h = Writer::default();
+        h.buf.extend_from_slice(MAGIC);
+        h.u32(VERSION);
+        file.write_all(&h.buf)?;
+    }
+    file.write_all(&encode_record(record))?;
+    Ok(())
+}
+
+/// Loads every intact record, in file order (callers keep the last record
+/// per key). An absent file, a foreign file or a stale version loads as
+/// empty; a damaged tail terminates the scan at the last good record.
+pub fn load(path: &Path) -> Vec<CostRecord> {
+    let Ok(bytes) = fs::read(path) else {
+        return Vec::new();
+    };
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Vec::new();
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    if r.u32() != Some(VERSION) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    while r.remaining() >= RECORD_LEN {
+        let Some(payload) = r.bytes_exact(PAYLOAD_LEN) else {
+            break;
+        };
+        let check = fnv64(payload);
+        if r.u64() != Some(check) {
+            break;
+        }
+        let mut p = Reader::new(payload);
+        out.push(CostRecord {
+            key: p.u128().unwrap(),
+            module_fp: p.u128().unwrap(),
+            nanos: p.u64().unwrap(),
+        });
+    }
+    out
+}
+
+/// Rewrites the whole file from `records` (deduplicated by the caller),
+/// atomically. Used by garbage collection to drop dead modules' records.
+pub fn compact(path: &Path, records: &[CostRecord]) -> io::Result<()> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    for r in records {
+        w.buf.extend_from_slice(&encode_record(r));
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    fs::write(&tmp, &w.buf)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("overify_cost_{}_{name}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn rec(key: u128, fp: u128, nanos: u64) -> CostRecord {
+        CostRecord {
+            key,
+            module_fp: fp,
+            nanos,
+        }
+    }
+
+    #[test]
+    fn append_load_roundtrip_in_order() {
+        let p = tmp("roundtrip");
+        assert!(load(&p).is_empty(), "absent file loads empty");
+        append(&p, &rec(1, 10, 100)).unwrap();
+        append(&p, &rec(2, 20, 200)).unwrap();
+        append(&p, &rec(1, 10, 150)).unwrap(); // supersedes in file order
+        assert_eq!(
+            load(&p),
+            vec![rec(1, 10, 100), rec(2, 20, 200), rec(1, 10, 150)]
+        );
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_prefix() {
+        let p = tmp("torn");
+        append(&p, &rec(1, 10, 100)).unwrap();
+        append(&p, &rec(2, 20, 200)).unwrap();
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(load(&p), vec![rec(1, 10, 100)]);
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn foreign_or_stale_file_loads_empty() {
+        let p = tmp("foreign");
+        fs::write(&p, b"not a cost log at all").unwrap();
+        assert!(load(&p).is_empty());
+        let mut h = Writer::default();
+        h.buf.extend_from_slice(MAGIC);
+        h.u32(VERSION + 1);
+        fs::write(&p, &h.buf).unwrap();
+        assert!(load(&p).is_empty());
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn compact_rewrites_exactly() {
+        let p = tmp("compact");
+        append(&p, &rec(1, 10, 100)).unwrap();
+        append(&p, &rec(2, 20, 200)).unwrap();
+        compact(&p, &[rec(2, 20, 200)]).unwrap();
+        assert_eq!(load(&p), vec![rec(2, 20, 200)]);
+        let _ = fs::remove_file(&p);
+    }
+}

@@ -24,6 +24,8 @@
 //! $OVERIFY_STORE/
 //!   solver.log           layer 1 (one file, append + compact)
 //!   reports/<key>.bin    layer 2 (one artifact per content address)
+//!   costs.log            per-key observed verification cost (scheduling
+//!                        metadata — see [`cost`])
 //! ```
 //!
 //! Concurrent *processes* may share a store: artifact writes are atomic
@@ -33,18 +35,21 @@
 
 pub mod artifact;
 pub mod codec;
+pub mod cost;
 pub mod log;
 
 pub use artifact::{budget_signature, ReportKey, StoredJob};
+pub use cost::CostRecord;
 pub use log::{LoadSummary, LogError};
 
 use overify_symex::SharedQueryCache;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Where a store lives and which layers are active.
 #[derive(Clone, Debug)]
@@ -103,6 +108,9 @@ pub struct Store {
     /// The log needs a compacting rewrite (damage or duplicate bloat seen
     /// at load, or a stale version).
     rewrite_log: Mutex<bool>,
+    /// Lazily-loaded per-key observed costs: key hash → (module fp, ns).
+    /// Appends update the map in place, so one handle never rereads.
+    costs: Mutex<Option<HashMap<u128, (u128, u64)>>>,
     report_hits: AtomicU64,
     report_misses: AtomicU64,
     reports_saved: AtomicU64,
@@ -122,6 +130,7 @@ impl Store {
             cfg,
             persisted: Mutex::new(HashSet::new()),
             rewrite_log: Mutex::new(false),
+            costs: Mutex::new(None),
             report_hits: AtomicU64::new(0),
             report_misses: AtomicU64::new(0),
             reports_saved: AtomicU64::new(0),
@@ -150,6 +159,14 @@ impl Store {
 
     fn log_path(&self) -> PathBuf {
         self.cfg.root.join("solver.log")
+    }
+
+    fn cost_path(&self) -> PathBuf {
+        self.cfg.root.join("costs.log")
+    }
+
+    fn reports_dir(&self) -> PathBuf {
+        self.cfg.root.join("reports")
     }
 
     fn report_path(&self, key: &ReportKey) -> PathBuf {
@@ -250,6 +267,137 @@ impl Store {
         self.reports_saved.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    /// How old a non-artifact file under `reports/` must be before
+    /// [`Store::gc`] treats it as abandoned litter rather than a
+    /// concurrent writer's in-flight temp file.
+    pub const GC_TEMP_GRACE: Duration = Duration::from_secs(600);
+
+    fn with_costs<R>(&self, f: impl FnOnce(&mut HashMap<u128, (u128, u64)>) -> R) -> R {
+        let mut guard = self.costs.lock().unwrap();
+        let map = guard.get_or_insert_with(|| {
+            let mut m = HashMap::new();
+            // File order: later records supersede earlier ones.
+            for r in cost::load(&self.cost_path()) {
+                m.insert(r.key, (r.module_fp, r.nanos));
+            }
+            m
+        });
+        f(map)
+    }
+
+    /// Records the observed verification cost of `key` (appended to the
+    /// cost log and visible to [`Store::lookup_cost`] immediately).
+    ///
+    /// Cost metadata is a *scheduling hint*, not a result: it is recorded
+    /// for truncated runs too (a budget-capped job is exactly the kind
+    /// that comes back as a miss, and its observed wall time is what the
+    /// scheduler needs to place it), and a bogus record can only reorder
+    /// work, never change an answer.
+    pub fn record_cost(&self, key: &ReportKey, cost: Duration) -> io::Result<()> {
+        let nanos = cost.as_nanos().min(u64::MAX as u128) as u64;
+        let record = cost::CostRecord {
+            key: key.key_hash(),
+            module_fp: key.module_fp,
+            nanos,
+        };
+        self.with_costs(|m| m.insert(record.key, (record.module_fp, record.nanos)));
+        cost::append(&self.cost_path(), &record)
+    }
+
+    /// The most recently observed verification cost of `key`, if any.
+    pub fn lookup_cost(&self, key: &ReportKey) -> Option<Duration> {
+        let hash = key.key_hash();
+        self.with_costs(|m| m.get(&hash).map(|&(_, ns)| Duration::from_nanos(ns)))
+    }
+
+    /// Garbage-collects module-addressed state: report artifacts and cost
+    /// records whose module fingerprint does not occur in `live`, plus
+    /// *stale* temp files from interrupted atomic writes (a temp file
+    /// younger than [`Store::GC_TEMP_GRACE`] may be a concurrent writer's
+    /// in-flight `save_report` — deleting it would break the rename and
+    /// lose that result, so young temps are left alone).
+    ///
+    /// The solver-verdict log is *not* module-addressed (formula
+    /// fingerprints are shared across programs — a libc query serves every
+    /// utility), so it is never collected here; its own compaction handles
+    /// damage and duplicate bloat.
+    pub fn gc(&self, live: &HashSet<u128>) -> io::Result<GcStats> {
+        let mut stats = GcStats::default();
+        if self.cfg.reports {
+            for entry in fs::read_dir(self.reports_dir())? {
+                let path = entry?.path();
+                if !path.is_file() {
+                    continue;
+                }
+                let is_artifact = path.extension().is_some_and(|e| e == "bin");
+                if !is_artifact {
+                    // Non-artifact litter (temp files): reclaim only when
+                    // provably stale. An unreadable mtime is treated as
+                    // fresh — losing a concurrent write is worse than
+                    // keeping a few bytes until the next pass.
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age >= Self::GC_TEMP_GRACE);
+                    if stale {
+                        stats.reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                        fs::remove_file(&path)?;
+                        stats.reports_removed += 1;
+                    }
+                    continue;
+                }
+                let fp = fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| artifact::peek_module_fp(&bytes));
+                match fp {
+                    Some(fp) if live.contains(&fp) => stats.reports_kept += 1,
+                    // Dead module or an unreadable/foreign artifact:
+                    // reclaim it.
+                    _ => {
+                        stats.reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                        fs::remove_file(&path)?;
+                        stats.reports_removed += 1;
+                    }
+                }
+            }
+        }
+        // Rewrite the cost log keeping only live modules' records (last
+        // record per key wins, preserving the in-memory view).
+        self.with_costs(|m| {
+            let before = m.len() as u64;
+            m.retain(|_, &mut (fp, _)| live.contains(&fp));
+            stats.cost_records_kept = m.len() as u64;
+            stats.cost_records_removed = before - stats.cost_records_kept;
+            let mut records: Vec<cost::CostRecord> = m
+                .iter()
+                .map(|(&key, &(module_fp, nanos))| cost::CostRecord {
+                    key,
+                    module_fp,
+                    nanos,
+                })
+                .collect();
+            records.sort_by_key(|r| r.key);
+            cost::compact(&self.cost_path(), &records)
+        })?;
+        Ok(stats)
+    }
+}
+
+/// What one [`Store::gc`] pass reclaimed and retained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Report artifacts (and stale temp files) deleted.
+    pub reports_removed: u64,
+    /// Report artifacts whose module is still live.
+    pub reports_kept: u64,
+    /// Cost records dropped from the cost log.
+    pub cost_records_removed: u64,
+    /// Cost records retained.
+    pub cost_records_kept: u64,
+    /// Bytes of deleted files.
+    pub reclaimed_bytes: u64,
 }
 
 #[cfg(test)]
@@ -388,6 +536,80 @@ mod tests {
             .unwrap();
         assert!(store.load_report(&key).is_none());
         assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn cost_metadata_round_trips_and_supersedes() {
+        let store = tmp_store("costs");
+        let key = ReportKey {
+            module_fp: 5,
+            level: OptLevel::O0,
+            budget_sig: 9,
+        };
+        assert_eq!(store.lookup_cost(&key), None);
+        store.record_cost(&key, Duration::from_millis(40)).unwrap();
+        assert_eq!(store.lookup_cost(&key), Some(Duration::from_millis(40)));
+        // A later observation supersedes, in memory and on disk.
+        store.record_cost(&key, Duration::from_millis(25)).unwrap();
+        assert_eq!(store.lookup_cost(&key), Some(Duration::from_millis(25)));
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        assert_eq!(store2.lookup_cost(&key), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn gc_evicts_dead_modules_and_keeps_survivors_intact() {
+        let store = tmp_store("gc");
+        let key = |fp: u128| ReportKey {
+            module_fp: fp,
+            level: OptLevel::Overify,
+            budget_sig: 3,
+        };
+        let job = |n: usize| StoredJob {
+            runs: vec![(n, VerificationReport::default())],
+        };
+        store.save_report(&key(1), &job(2)).unwrap();
+        store.save_report(&key(2), &job(3)).unwrap();
+        store.save_report(&key(3), &job(4)).unwrap();
+        store
+            .record_cost(&key(1), Duration::from_millis(1))
+            .unwrap();
+        store
+            .record_cost(&key(2), Duration::from_millis(2))
+            .unwrap();
+        // An *old* temp file from an interrupted atomic write is litter; a
+        // *fresh* one may be a concurrent writer's in-flight rename source
+        // and must survive.
+        let stale_tmp = store.root().join("reports/zzz.tmp999");
+        fs::write(&stale_tmp, b"partial").unwrap();
+        fs::File::options()
+            .write(true)
+            .open(&stale_tmp)
+            .unwrap()
+            .set_modified(std::time::SystemTime::now() - 2 * Store::GC_TEMP_GRACE)
+            .unwrap();
+        let fresh_tmp = store.root().join("reports/yyy.tmp123");
+        fs::write(&fresh_tmp, b"in flight").unwrap();
+
+        let live: HashSet<u128> = [1, 3].into_iter().collect();
+        let gc = store.gc(&live).unwrap();
+        assert_eq!(gc.reports_removed, 2, "dead artifact + stale temp litter");
+        assert_eq!(gc.reports_kept, 2);
+        assert!(!stale_tmp.exists(), "stale temp reclaimed");
+        assert!(fresh_tmp.exists(), "in-flight temp untouched");
+        assert_eq!(gc.cost_records_removed, 1);
+        assert_eq!(gc.cost_records_kept, 1);
+        assert!(gc.reclaimed_bytes > 0);
+
+        // Survivors answer byte-identically; the dead key is a miss.
+        assert_eq!(store.load_report(&key(1)), Some(job(2)));
+        assert_eq!(store.load_report(&key(3)), Some(job(4)));
+        assert!(store.load_report(&key(2)).is_none());
+        assert_eq!(store.lookup_cost(&key(1)), Some(Duration::from_millis(1)));
+        assert_eq!(store.lookup_cost(&key(2)), None);
+        // A fresh handle sees the compacted cost log.
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        assert_eq!(store2.lookup_cost(&key(1)), Some(Duration::from_millis(1)));
+        assert_eq!(store2.lookup_cost(&key(2)), None);
     }
 
     #[test]

@@ -24,12 +24,30 @@ use std::time::{Duration, Instant};
 const BUDGET_FLUSH_INTERVAL: u64 = 4096;
 
 /// How an extra entry argument is provided.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SymArg {
     /// A fixed concrete value.
     Concrete(u64),
     /// A fresh symbolic value of the parameter's width.
     Symbolic,
+}
+
+/// How a busy worker exports frontier states when a peer is starving.
+///
+/// Neither policy changes *what* is found — the merged report is
+/// deterministic by construction — only how much state moves per steal,
+/// hence replay overhead and load balance (measured by
+/// `ablation_parallel`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DonationPolicy {
+    /// Donate pending states one at a time, oldest first (nearest the
+    /// root, hence the biggest subtrees), while peers are hungry.
+    #[default]
+    OldestState,
+    /// Donate the oldest *half* of the pending worklist in one burst when
+    /// a peer is hungry (the classic steal-half policy: fewer, larger
+    /// transfers).
+    StealHalf,
 }
 
 /// Path exploration order.
@@ -45,7 +63,7 @@ pub enum SearchStrategy {
 }
 
 /// Verification configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SymConfig {
     /// Symbolic input buffer length in bytes (a NUL byte is appended, so a
     /// C string of *up to* `input_bytes` characters is explored — the
@@ -69,6 +87,8 @@ pub struct SymConfig {
     /// Solver feature toggles.
     pub solver: SolverOptions,
     pub search: SearchStrategy,
+    /// Work-stealing donation policy (parallel runs only).
+    pub donation: DonationPolicy,
     /// Maximum if-then-else span for symbolic memory accesses before the
     /// engine concretizes the address.
     pub max_ite_span: u64,
@@ -87,6 +107,7 @@ impl Default for SymConfig {
             use_annotations: true,
             solver: SolverOptions::default(),
             search: SearchStrategy::Dfs,
+            donation: DonationPolicy::default(),
             max_ite_span: 1024,
         }
     }
@@ -328,7 +349,12 @@ impl<'m> Executor<'m> {
                                     self.emit_test(&st);
                                 }
                             }
-                            PathEnd::Bug => self.report.paths_buggy += 1,
+                            PathEnd::Bug => {
+                                self.report.paths_buggy += 1;
+                                if let Some(b) = &self.budget {
+                                    b.note_bug();
+                                }
+                            }
                             PathEnd::Killed => self.report.paths_killed += 1,
                         }
                         if let Some(b) = &self.budget {
@@ -352,13 +378,31 @@ impl<'m> Executor<'m> {
             }
             // Export frontier states (oldest first — nearest the root, so
             // the biggest subtrees move) while peers are starving.
-            while hooks.hungry() {
-                let Some(s) = worklist.pop_front() else { break };
-                if hooks.donate(s.trace.clone()) {
-                    self.report.donations += 1;
-                } else {
-                    worklist.push_front(s);
-                    break;
+            match self.cfg.donation {
+                DonationPolicy::OldestState => {
+                    while hooks.hungry() {
+                        let Some(s) = worklist.pop_front() else { break };
+                        if hooks.donate(s.trace.clone()) {
+                            self.report.donations += 1;
+                        } else {
+                            worklist.push_front(s);
+                            break;
+                        }
+                    }
+                }
+                DonationPolicy::StealHalf => {
+                    if hooks.hungry() {
+                        let half = worklist.len().div_ceil(2);
+                        for _ in 0..half {
+                            let Some(s) = worklist.pop_front() else { break };
+                            if hooks.donate(s.trace.clone()) {
+                                self.report.donations += 1;
+                            } else {
+                                worklist.push_front(s);
+                                break;
+                            }
+                        }
+                    }
                 }
             }
         }

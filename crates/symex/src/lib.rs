@@ -33,8 +33,11 @@ pub mod sat;
 pub mod solver;
 
 pub use cache::{CacheStats, CachedVerdict, SharedQueryCache};
-pub use executor::{verify, Executor, SearchStrategy, SymArg, SymConfig};
+pub use executor::{verify, DonationPolicy, Executor, SearchStrategy, SymArg, SymConfig};
 pub use expr::{ExprPool, ExprRef, Node};
-pub use parallel::{default_threads, verify_parallel, verify_parallel_cached};
+pub use parallel::{
+    default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached,
+    SharedBudget,
+};
 pub use report::{Bug, BugKind, SolverStats, TestCase, VerificationReport};
 pub use solver::{Model, SatResult, Solver};

@@ -36,12 +36,19 @@ use std::time::Instant;
 
 /// Fleet-wide exploration budget: instruction ceiling and wall-clock
 /// deadline shared by all workers of one `verify_parallel` call.
+///
+/// The budget doubles as the run's **live progress probe**: its counters
+/// are updated by every worker as exploration proceeds, so an external
+/// observer holding the same `Arc` (a service streaming progress events, a
+/// TUI) can sample [`SharedBudget::paths`] / [`SharedBudget::bugs`] /
+/// [`SharedBudget::instructions`] mid-flight without perturbing the run.
 pub struct SharedBudget {
     max_instructions: u64,
     max_paths: u64,
     deadline: Instant,
     instructions: AtomicU64,
     paths: AtomicU64,
+    bugs: AtomicU64,
     cancelled: AtomicBool,
 }
 
@@ -54,6 +61,7 @@ impl SharedBudget {
             deadline: Instant::now() + cfg.timeout,
             instructions: AtomicU64::new(0),
             paths: AtomicU64::new(0),
+            bugs: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
         }
     }
@@ -70,13 +78,33 @@ impl SharedBudget {
     /// Records one ended path and re-checks the fleet-wide path ceiling
     /// (`cfg.max_paths` caps the whole run, not each worker).
     pub fn note_path(&self) {
-        if self.max_paths == 0 {
-            return;
-        }
         let total = self.paths.fetch_add(1, Ordering::Relaxed) + 1;
-        if total >= self.max_paths {
+        if self.max_paths > 0 && total >= self.max_paths {
             self.cancelled.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// Records one path that ended in a bug (raw per-path count, before
+    /// the merge deduplicates by location).
+    pub fn note_bug(&self) {
+        self.bugs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Paths ended so far (completed + buggy + killed), fleet-wide.
+    pub fn paths(&self) -> u64 {
+        self.paths.load(Ordering::Relaxed)
+    }
+
+    /// Buggy path ends so far, fleet-wide (pre-deduplication).
+    pub fn bugs(&self) -> u64 {
+        self.bugs.load(Ordering::Relaxed)
+    }
+
+    /// Instructions flushed to the budget so far. Workers flush in batches
+    /// (plus a final flush at `finish`), so this trails the exact total by
+    /// at most one flush interval per worker mid-run.
+    pub fn instructions(&self) -> u64 {
+        self.instructions.load(Ordering::Relaxed)
     }
 
     /// True once any worker tripped a limit; everybody stops. Also trips
@@ -237,9 +265,35 @@ pub fn verify_parallel_cached(
     workers: usize,
     cache: &Arc<SharedQueryCache>,
 ) -> VerificationReport {
+    verify_parallel_budgeted(
+        m,
+        entry,
+        cfg,
+        workers,
+        cache,
+        &Arc::new(SharedBudget::new(cfg)),
+    )
+}
+
+/// [`verify_parallel_cached`] against a caller-owned [`SharedBudget`].
+///
+/// The budget is both control and telemetry: the caller decides when the
+/// fleet stops (it may share one budget across several runs, or cancel it
+/// from outside), and can sample the budget's live counters concurrently
+/// to stream progress — the verification service's mid-flight path/bug
+/// counters come from exactly this. The budget must be fresh (or at least
+/// not already cancelled) or the run reports `timed_out` immediately.
+pub fn verify_parallel_budgeted(
+    m: &Module,
+    entry: &str,
+    cfg: &SymConfig,
+    workers: usize,
+    cache: &Arc<SharedQueryCache>,
+    budget: &Arc<SharedBudget>,
+) -> VerificationReport {
     let workers = workers.max(1);
     let start = Instant::now();
-    let budget = Arc::new(SharedBudget::new(cfg));
+    let budget = budget.clone();
     let shared_cache = cfg.solver.use_shared_cache.then(|| cache.clone());
     let frontier = Frontier::new();
 
@@ -591,6 +645,84 @@ mod tests {
         );
         assert!(!r.exhausted);
         assert_eq!(r.max_path_multiplicity(), 1);
+    }
+
+    #[test]
+    fn budget_counters_track_progress_live() {
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                if (in[0] == 'K' && in[1] == '!') {
+                    int x = 0;
+                    return 10 / x;
+                }
+                return 0;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 2,
+            pass_len_arg: true,
+            ..Default::default()
+        };
+        let budget = Arc::new(SharedBudget::new(&cfg));
+        let cache = Arc::new(SharedQueryCache::new());
+        let r = verify_parallel_budgeted(&m, "umain", &cfg, 2, &cache, &budget);
+        assert!(r.exhausted);
+        assert_eq!(budget.paths(), r.total_paths(), "every path end counted");
+        assert_eq!(budget.bugs(), r.paths_buggy, "buggy path ends counted");
+        assert!(
+            budget.instructions() >= r.instructions,
+            "final flush covers the whole run (replay overhead included)"
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_stops_a_fresh_run_immediately() {
+        let m = compile("int umain(unsigned char *in, int n) { return in[0]; }");
+        let cfg = SymConfig {
+            input_bytes: 1,
+            pass_len_arg: true,
+            max_instructions: 1,
+            ..Default::default()
+        };
+        let budget = Arc::new(SharedBudget::new(&cfg));
+        budget.charge(5); // trips the ceiling before the run starts
+        let cache = Arc::new(SharedQueryCache::new());
+        let r = verify_parallel_budgeted(&m, "umain", &cfg, 2, &cache, &budget);
+        assert!(r.timed_out);
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn steal_half_policy_agrees_with_oldest_state() {
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                return acc;
+            }
+        "#;
+        let m = compile(src);
+        let mut cfg = SymConfig {
+            input_bytes: 3,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+        cfg.donation = crate::executor::DonationPolicy::StealHalf;
+        for w in [1, 2, 4] {
+            let r = verify_parallel(&m, "umain", &cfg, w);
+            assert_eq!(r.bug_signature(), base.bug_signature(), "workers={w}");
+            assert_eq!(r.tests, base.tests, "workers={w}");
+            assert_eq!(r.path_ids, base.path_ids, "workers={w}");
+            assert_eq!(r.max_path_multiplicity(), 1, "workers={w}");
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl SatResult {
 }
 
 /// Feature toggles (for the solver-stack ablation).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SolverOptions {
     pub use_intervals: bool,
     pub use_cex_cache: bool,

@@ -1,0 +1,168 @@
+//! A verification client: submits the coreutils workload to a running
+//! `serve_daemon` and streams its progress.
+//!
+//! ```sh
+//! cargo run --release --example serve_client -- --port 7979                  # cold sweep
+//! cargo run --release --example serve_client -- --port 7979 --expect-all-hits # warm sweep
+//! cargo run --release --example serve_client -- --port 7979 --shutdown       # stop the daemon
+//! ```
+//!
+//! The job set is a deterministic slice of the suite (first `--utilities`
+//! utilities × three levels, cost-descending), pipelined so the daemon's
+//! cost-first scheduler — not submission order — decides execution order.
+//!
+//! Exit is nonzero when `--expect-all-hits` sees a miss (the daemon had to
+//! verify something that should have been stored) or `--expect-progress`
+//! sees no mid-flight progress event for any miss (nothing streamed).
+
+use overify::{coreutils_jobs, OptLevel, SymConfig};
+use overify_serve::{Client, Event, JobSpec};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn main() {
+    let mut port: u16 = 7979;
+    let mut utilities: usize = 8;
+    let mut bytes: usize = 3;
+    let mut expect_all_hits = false;
+    let mut expect_progress = false;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = num(&mut args, "--port") as u16,
+            "--utilities" => utilities = num(&mut args, "--utilities") as usize,
+            "--bytes" => bytes = num(&mut args, "--bytes") as usize,
+            "--expect-all-hits" => expect_all_hits = true,
+            "--expect-progress" => expect_progress = true,
+            "--shutdown" => shutdown = true,
+            _ => usage(&format!("unknown argument {arg}")),
+        }
+    }
+
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_client: cannot reach a daemon at {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if shutdown {
+        client.shutdown().expect("shutdown acknowledged");
+        println!("serve_client: daemon is shutting down");
+        return;
+    }
+
+    let cfg = SymConfig {
+        pass_len_arg: true,
+        collect_tests: true,
+        max_instructions: 20_000_000,
+        timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    // coreutils_jobs is cost-descending and deterministic; keep the first
+    // `utilities` distinct utilities (all their levels) so cold runs
+    // exercise the scheduler on the most expensive slice of the suite.
+    let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
+    let mut names_in_order: Vec<String> = Vec::new();
+    let specs: Vec<JobSpec> = coreutils_jobs(&levels, &[bytes], &cfg)
+        .into_iter()
+        .filter(|j| {
+            if names_in_order.contains(&j.name) {
+                true
+            } else if names_in_order.len() < utilities {
+                names_in_order.push(j.name.clone());
+                true
+            } else {
+                false
+            }
+        })
+        .map(|j| JobSpec::from_suite_job(&j))
+        .collect();
+
+    println!(
+        "serve_client: submitting {} jobs ({} utilities × {} levels, {} symbolic bytes) to {addr}",
+        specs.len(),
+        names_in_order.len(),
+        levels.len(),
+        bytes
+    );
+
+    let mut progress_frames = 0u64;
+    let results = client
+        .submit_all_with(&specs, |ev| match ev {
+            Event::Queued {
+                job,
+                position,
+                predicted_cost,
+            } => println!("  job {job}: queued at position {position} (cost ~{predicted_cost})"),
+            Event::Scheduled { job } => println!("  job {job}: scheduled"),
+            Event::Progress {
+                job,
+                runs_done,
+                runs_total,
+                paths,
+                bugs,
+                ..
+            } => {
+                progress_frames += 1;
+                println!("  job {job}: run {runs_done}/{runs_total}, {paths} paths, {bugs} buggy");
+            }
+            Event::Report { job, outcome } => println!(
+                "  job {job}: {} {:?} — {}",
+                outcome.name,
+                outcome.level,
+                if outcome.from_store {
+                    "from store".to_string()
+                } else if let Some(e) = &outcome.error {
+                    format!("build error: {e}")
+                } else {
+                    "verified".to_string()
+                }
+            ),
+            _ => {}
+        })
+        .expect("batch completes");
+
+    let hits = results.iter().filter(|r| r.from_store).count();
+    let misses = results.len() - hits;
+    let errors = results.iter().filter(|r| r.error.is_some()).count();
+    let exhausted = results
+        .iter()
+        .filter(|r| r.error.is_none() && r.exhausted())
+        .count();
+    println!(
+        "\nserve_client: {} jobs — {hits} store hit(s), {misses} miss(es), \
+         {exhausted} exhausted, {errors} error(s), {progress_frames} progress frame(s)",
+        results.len()
+    );
+
+    if expect_all_hits && misses > 0 {
+        eprintln!("serve_client: FAIL — expected every job from the store, {misses} missed");
+        std::process::exit(1);
+    }
+    if expect_progress && misses > 0 && progress_frames == 0 {
+        eprintln!("serve_client: FAIL — misses ran but nothing streamed progress");
+        std::process::exit(1);
+    }
+    if errors > 0 {
+        eprintln!("serve_client: FAIL — {errors} job(s) failed to build");
+        std::process::exit(1);
+    }
+}
+
+fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "serve_client: {msg}\nusage: serve_client [--port P] [--utilities N] [--bytes N] \
+         [--expect-all-hits] [--expect-progress] [--shutdown]"
+    );
+    std::process::exit(2);
+}

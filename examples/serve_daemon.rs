@@ -1,0 +1,79 @@
+//! The verification daemon: a resident `overify_serve` server.
+//!
+//! ```sh
+//! OVERIFY_STORE=/tmp/ovstore cargo run --release --example serve_daemon -- --port 7979
+//! ```
+//!
+//! The daemon binds 127.0.0.1, opens the store named by `--store` (or
+//! `OVERIFY_STORE`, or a temp directory), prints the bound address, and
+//! serves until a client sends a shutdown request (`serve_client --
+//! --shutdown`). All clients share the daemon's store and warm solver
+//! cache: the second client to submit an unchanged job gets it answered
+//! from the report store without touching the executor.
+
+use overify::StoreConfig;
+use overify_serve::{start, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        progress_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                cfg.port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--port needs a number"))
+            }
+            "--threads" => {
+                cfg.executors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--store" => {
+                cfg.store = Some(StoreConfig::at(
+                    args.next().unwrap_or_else(|| usage("--store needs a path")),
+                ))
+            }
+            _ => usage(&format!("unknown argument {arg}")),
+        }
+    }
+    if cfg.store.is_none() {
+        let tmp = std::env::temp_dir().join(format!("overify_serve_{}", std::process::id()));
+        eprintln!(
+            "serve_daemon: no --store/OVERIFY_STORE; using {}",
+            tmp.display()
+        );
+        cfg.store = Some(StoreConfig::at(tmp));
+    }
+
+    let store_root = cfg.store.as_ref().map(|s| s.root.clone());
+    let executors = cfg.executors;
+    let handle = match start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_daemon: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serve_daemon: listening on {} ({} executor(s), store {})",
+        handle.addr(),
+        executors,
+        store_root
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<none>".into()),
+    );
+    handle.join();
+    println!("serve_daemon: shut down cleanly");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("serve_daemon: {msg}\nusage: serve_daemon [--port P] [--threads N] [--store DIR]");
+    std::process::exit(2);
+}
