@@ -60,9 +60,9 @@ pub mod suite;
 pub use build::{compile, compile_module, BuildError, BuildOptions, CompiledProgram};
 pub use chain::BuildChain;
 pub use suite::{
-    coreutils_jobs, estimated_job_cost, prepare_job, verify_suite, verify_suite_stored,
-    verify_suite_stored_with, verify_suite_with, JobProgress, PreparedJob, ProgressSnapshot,
-    SuiteJob, SuiteJobResult, SuiteReport,
+    coreutils_jobs, estimated_job_cost, estimated_module_cost, prepare_job, verify_suite,
+    verify_suite_stored, verify_suite_stored_with, verify_suite_with, JobProgress, PreparedJob,
+    ProgressSnapshot, SuiteJob, SuiteJobResult, SuiteReport,
 };
 
 // Re-export the pieces a downstream user needs, so `overify` is the single
@@ -78,9 +78,10 @@ pub use overify_store::{
     budget_signature, GcStats, ReportKey, Store, StoreConfig, StoreStats, StoredJob,
 };
 pub use overify_symex::{
-    default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached, Bug,
-    BugKind, CacheStats, DonationPolicy, SearchStrategy, SharedBudget, SharedQueryCache,
-    SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+    default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached,
+    verify_parallel_frontier, Bug, BugKind, CacheStats, DonationPolicy, Frontier, FrontierProvider,
+    FrontierSignal, FrontierStats, LocalFrontier, SearchStrategy, SharedBudget, SharedFrontier,
+    SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
 };
 
 /// Symbolically verifies a compiled program's entry function.

@@ -17,12 +17,12 @@
 //! [`SuiteReport::store`].
 
 use crate::build::{compile_module, BuildOptions};
-use overify_ir::Module;
+use overify_ir::{Cfg, DomTree, LoopForest, Module};
 use overify_opt::OptLevel;
 use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
 use overify_symex::{
-    verify_parallel_budgeted, BugKind, SharedBudget, SharedQueryCache, SymConfig,
-    VerificationReport,
+    verify_parallel_budgeted, verify_parallel_frontier, BugKind, FrontierProvider, SharedBudget,
+    SharedQueryCache, SymConfig, VerificationReport,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -370,19 +370,30 @@ pub struct PreparedJob {
     pub compile_time: Duration,
     /// The job's content address; `None` when prepared without a store.
     pub key: Option<ReportKey>,
+    /// The module-feature static cost estimate ([`estimated_module_cost`])
+    /// — free at prepare time, used by schedulers to price never-seen
+    /// work.
+    pub static_cost: u128,
 }
 
-/// Compiles a job and computes its content address (when `with_key`).
-/// A build failure is returned as the job's finished [`SuiteJobResult`].
-pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJobResult> {
-    let t0 = Instant::now();
+/// Builds a job's module: front end, optional libc link, pipeline.
+fn build_job_module(job: &SuiteJob) -> Result<Module, String> {
     let built = if job.opts.link_libc {
         overify_libc::compile_and_link(&job.source, job.opts.resolved_libc())
             .map_err(|e| e.to_string())
     } else {
         overify_lang::compile(&job.source).map_err(|e| e.to_string())
     };
-    let mut module = match built {
+    let mut module = built?;
+    compile_module(&mut module, &job.opts);
+    Ok(module)
+}
+
+/// Compiles a job and computes its content address (when `with_key`).
+/// A build failure is returned as the job's finished [`SuiteJobResult`].
+pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJobResult> {
+    let t0 = Instant::now();
+    let module = match build_job_module(job) {
         Ok(m) => m,
         Err(e) => {
             return Err(SuiteJobResult {
@@ -395,7 +406,6 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
             })
         }
     };
-    compile_module(&mut module, &job.opts);
     let compile_time = t0.elapsed();
 
     // The content address of this job: the canonical printed-IR
@@ -406,11 +416,13 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
         level: job.opts.level,
         budget_sig: budget_signature(&job.entry, &job.bytes, job.path_workers, &job.cfg),
     });
+    let static_cost = estimated_module_cost(&module, job);
     Ok(PreparedJob {
         job: job.clone(),
         module,
         compile_time,
         key,
+        static_cost,
     })
 }
 
@@ -449,6 +461,23 @@ impl PreparedJob {
         warm: Option<&Arc<SharedQueryCache>>,
         progress: Option<&JobProgress>,
     ) -> SuiteJobResult {
+        self.execute_with(store, warm, progress, None)
+    }
+
+    /// [`PreparedJob::execute`] with a [`FrontierProvider`]: each swept
+    /// run is driven through the frontier the provider hands back, so a
+    /// dispatcher (the verification daemon) can substitute a
+    /// [`overify_symex::SharedFrontier`] and lease subtree jobs to remote
+    /// worker processes mid-run. Results are bit-identical in their
+    /// deterministic projection regardless of how the frontier was
+    /// shared.
+    pub fn execute_with(
+        &self,
+        store: Option<&Store>,
+        warm: Option<&Arc<SharedQueryCache>>,
+        progress: Option<&JobProgress>,
+        frontiers: Option<&dyn FrontierProvider>,
+    ) -> SuiteJobResult {
         let job = &self.job;
         if let Some(p) = progress {
             p.begin(job.bytes.len());
@@ -472,14 +501,30 @@ impl PreparedJob {
                 if let Some(p) = progress {
                     p.start_run(&budget);
                 }
-                let report = verify_parallel_budgeted(
-                    &self.module,
-                    &job.entry,
-                    &cfg,
-                    job.path_workers,
-                    cache,
-                    &budget,
-                );
+                let report = match frontiers {
+                    Some(provider) => {
+                        let frontier = provider.begin_run(&cfg, &budget);
+                        let report = verify_parallel_frontier(
+                            &self.module,
+                            &job.entry,
+                            &cfg,
+                            job.path_workers,
+                            cache,
+                            &budget,
+                            &*frontier,
+                        );
+                        provider.end_run(frontier);
+                        report
+                    }
+                    None => verify_parallel_budgeted(
+                        &self.module,
+                        &job.entry,
+                        &cfg,
+                        job.path_workers,
+                        cache,
+                        &budget,
+                    ),
+                };
                 if let Some(p) = progress {
                     p.finish_run();
                 }
@@ -518,16 +563,76 @@ impl PreparedJob {
     }
 }
 
-/// A deterministic, platform-independent static cost estimate of a job —
-/// the dispatch priority shared by [`coreutils_jobs`] (which emits jobs
-/// cost-descending so long jobs start first) and the verification
-/// service's scheduler (for jobs with no observed-cost history).
+/// The exponential weight of a job's symbolic-input sweep: path counts
+/// grow geometrically with symbolic input bytes.
+fn sweep_weight(bytes: &[usize]) -> u128 {
+    bytes
+        .iter()
+        .map(|&b| 1u128 << (2 * b.min(24) as u32))
+        .sum::<u128>()
+        .max(1)
+}
+
+/// A deterministic, platform-independent static cost estimate of a
+/// *compiled* job — the price a scheduler gives never-seen work.
 ///
-/// The estimate is intentionally coarse: source size stands in for program
-/// size (no compile has happened yet), the swept byte sizes enter
-/// exponentially (path counts grow geometrically with symbolic input),
-/// and lower optimization levels weigh more (the paper's premise:
-/// unoptimized builds verify slowest).
+/// Earlier revisions priced jobs by source size × byte budget; the
+/// compiled module is available at [`prepare_job`] time and predicts
+/// verification cost far better, so the estimate now reads the features
+/// that actually drive symbolic execution:
+///
+/// * **instruction count** — every interpreted instruction costs time,
+///   and unoptimized builds carry more of them (the paper's premise);
+/// * **loop count** — each natural loop multiplies the explored path
+///   count, so loops dominate the exponent;
+/// * **annotation density** — `-OVERIFY` metadata (value ranges, trip
+///   counts) prunes solver queries and bounds loops, discounting the
+///   estimate the more facts the compiler proved per instruction.
+///
+/// The swept input sizes still enter exponentially. Deterministic because
+/// compilation is (canonical printed IR is content-addressed on exactly
+/// that property).
+pub fn estimated_module_cost(m: &Module, job: &SuiteJob) -> u128 {
+    let mut instructions: u128 = 0;
+    let mut loops: u128 = 0;
+    let mut facts: u128 = 0;
+    for f in &m.functions {
+        if f.is_declaration {
+            continue;
+        }
+        // Block instruction lists exclude tombstones; +1 per terminator.
+        instructions += f
+            .blocks
+            .iter()
+            .map(|b| b.insts.len() as u128 + 1)
+            .sum::<u128>();
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        loops += LoopForest::compute(&cfg, &dom).loops.len() as u128;
+        facts += f.annotations.fact_count() as u128;
+    }
+    let instructions = instructions.max(1);
+    // Loops multiply path counts; annotation facts prune them. The
+    // density discount saturates at 8× so a heavily-annotated build can
+    // never be priced at zero.
+    let weight = instructions * (1 + 4 * loops);
+    let density = (16 * facts / instructions).min(7);
+    (weight * sweep_weight(&job.bytes)) / (1 + density)
+}
+
+/// A deterministic static cost estimate of an *uncompiled* job — the
+/// enumeration-ordering estimate [`coreutils_jobs`] uses to emit jobs
+/// cost-descending so long jobs start first.
+///
+/// Deliberately compile-free: enumerating a workload (a thin client
+/// building specs to submit, a bench listing jobs) must not build every
+/// module just to order them. Source size stands in for program size,
+/// the swept byte sizes enter exponentially, and lower optimization
+/// levels weigh more (the paper's premise: unoptimized builds verify
+/// slowest). Once a job *is* compiled, [`estimated_module_cost`] — free
+/// at [`prepare_job`] time as [`PreparedJob`]'s `static_cost` — prices it
+/// far better, and that is what the verification service's scheduler
+/// uses for never-seen work.
 pub fn estimated_job_cost(job: &SuiteJob) -> u128 {
     let level_weight: u128 = match job.opts.level {
         OptLevel::O0 => 8,
@@ -536,13 +641,7 @@ pub fn estimated_job_cost(job: &SuiteJob) -> u128 {
         OptLevel::O3 => 4,
         OptLevel::Overify => 1,
     };
-    let sweep: u128 = job
-        .bytes
-        .iter()
-        .map(|&b| 1u128 << (2 * b.min(24) as u32))
-        .sum::<u128>()
-        .max(1);
-    (job.source.len() as u128).max(1) * level_weight * sweep
+    (job.source.len() as u128).max(1) * level_weight * sweep_weight(&job.bytes)
 }
 
 /// Jobs for the whole coreutils-style suite: every utility × every level,
@@ -555,7 +654,9 @@ pub fn estimated_job_cost(job: &SuiteJob) -> u128 {
 /// batch makespan — and cold sweeps dispatch in the same order on every
 /// platform, matching the service scheduler's cost-first policy.
 pub fn coreutils_jobs(levels: &[OptLevel], bytes: &[usize], cfg: &SymConfig) -> Vec<SuiteJob> {
-    let mut jobs: Vec<SuiteJob> = overify_coreutils::suite()
+    // Decorate with the estimate once per job so the sort never
+    // re-derives it per comparison.
+    let mut jobs: Vec<(u128, SuiteJob)> = overify_coreutils::suite()
         .iter()
         .flat_map(|u| {
             levels
@@ -563,14 +664,14 @@ pub fn coreutils_jobs(levels: &[OptLevel], bytes: &[usize], cfg: &SymConfig) -> 
                 .map(|&l| SuiteJob::utility(u, l, bytes, cfg))
                 .collect::<Vec<_>>()
         })
+        .map(|j| (estimated_job_cost(&j), j))
         .collect();
-    jobs.sort_by(|a, b| {
-        estimated_job_cost(b)
-            .cmp(&estimated_job_cost(a))
+    jobs.sort_by(|(ca, a), (cb, b)| {
+        cb.cmp(ca)
             .then_with(|| a.name.cmp(&b.name))
             .then_with(|| a.opts.level.cmp(&b.opts.level))
     });
-    jobs
+    jobs.into_iter().map(|(_, j)| j).collect()
 }
 
 #[cfg(test)]
@@ -739,6 +840,42 @@ mod tests {
                 .unwrap()
         };
         assert!(pos("wc_words", OptLevel::O0) < pos("wc_words", OptLevel::Overify));
+    }
+
+    #[test]
+    fn module_feature_estimate_prices_builds_sensibly() {
+        // A loopy utility: the -O0 build carries more instructions, more
+        // (un-unrolled) loops and zero annotations, so the module-feature
+        // estimate must price it above the -OVERIFY build of the same
+        // source — and the prepared job carries the estimate for free.
+        let u = overify_coreutils::utility("wc_words").unwrap();
+        let o0 = SuiteJob::utility(u, OptLevel::O0, &[3], &small_cfg());
+        let ov = SuiteJob::utility(u, OptLevel::Overify, &[3], &small_cfg());
+        let p0 = prepare_job(&o0, false).expect("builds");
+        let pv = prepare_job(&ov, false).expect("builds");
+        assert!(
+            p0.static_cost > pv.static_cost,
+            "O0 ({}) must be priced above OVERIFY ({})",
+            p0.static_cost,
+            pv.static_cost
+        );
+        assert_eq!(
+            pv.static_cost,
+            estimated_module_cost(&pv.module, &ov),
+            "static_cost is the module-feature estimate"
+        );
+        // Deterministic: recompiling prices identically.
+        assert_eq!(prepare_job(&o0, false).unwrap().static_cost, p0.static_cost);
+
+        // Sweeping more symbolic bytes raises the price exponentially —
+        // for both estimate classes.
+        let wider = SuiteJob::utility(u, OptLevel::Overify, &[5], &small_cfg());
+        assert!(prepare_job(&wider, false).unwrap().static_cost > pv.static_cost);
+        assert!(estimated_job_cost(&wider) > estimated_job_cost(&ov));
+
+        // The compile-free enumeration estimate orders levels the same
+        // way without building anything.
+        assert!(estimated_job_cost(&o0) > estimated_job_cost(&ov));
     }
 
     #[test]

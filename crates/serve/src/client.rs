@@ -7,7 +7,7 @@
 //! progress, count store hits, or assert on the stream shape in tests.
 
 use crate::protocol::{
-    decode_event, encode_request, read_frame, write_frame, Event, JobSpec, Request,
+    decode_event, encode_request, read_frame, write_frame, Event, JobSpec, ProtocolError, Request,
     ServeStatsSnapshot, VERSION,
 };
 use overify::SuiteJobResult;
@@ -37,9 +37,11 @@ impl Client {
         };
         match client.next_event()? {
             Event::Hello { version } if version == VERSION => Ok(client),
-            Event::Hello { version } => Err(proto_err(format!(
-                "server speaks protocol v{version}, this client v{VERSION}"
-            ))),
+            Event::Hello { version } => Err(ProtocolError::VersionSkew {
+                peer: version,
+                ours: VERSION,
+            }
+            .into()),
             other => Err(proto_err(format!("expected Hello, got {other:?}"))),
         }
     }
@@ -50,7 +52,7 @@ impl Client {
     }
 
     fn next_event(&mut self) -> io::Result<Event> {
-        decode_event(&read_frame(&mut self.reader)?)
+        Ok(decode_event(&read_frame(&mut self.reader)?)?)
     }
 
     /// Submits one job and blocks until its report, feeding every event

@@ -1,0 +1,455 @@
+//! The frontier hub: the daemon's dispatcher for cross-process frontier
+//! sharding.
+//!
+//! Every verification run the executor pool starts is *published* here as
+//! a [`SharedFrontier`] plus the [`JobSpec`] a remote worker needs to
+//! reproduce the exact module and configuration. Attached worker
+//! connections long-poll [`FrontierHub::steal`]; a pending steal registers
+//! as *hunger* on every published frontier, which makes busy in-process
+//! path workers donate frontier states — the same mechanism that feeds
+//! idle local threads, now feeding other machines.
+//!
+//! Leases are tracked in a table keyed by the owning **connection id**:
+//! when a worker connection dies (crash, network partition, kill -9), the
+//! connection handler calls [`FrontierHub::disconnect`] and every job the
+//! dead worker still held is restored to its frontier, where local
+//! workers or surviving remote workers re-explore it. Shed states are
+//! **transactional** — buffered with their lease and released only when
+//! it completes — so a crashed worker's restored prefix never overlaps
+//! states it had shed (which would double-explore those subtrees). A
+//! lost worker therefore costs duplicate-free re-exploration of at most
+//! its in-flight subtrees — never a hung or incomplete report.
+
+use crate::protocol::{JobSpec, LeasedJob};
+use overify::{Frontier, FrontierSignal, SharedBudget, SharedFrontier, VerificationReport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long one `StealJobs` request waits server-side before answering
+/// with an empty lease set (the worker simply asks again).
+pub(crate) const STEAL_WAIT: Duration = Duration::from_millis(100);
+
+struct PublishedRun {
+    /// Shared, not cloned, per steal poll — specs carry whole source
+    /// strings.
+    spec: Arc<JobSpec>,
+    budget: Arc<SharedBudget>,
+    frontier: Arc<SharedFrontier>,
+}
+
+struct Lease {
+    owner: u64,
+    prefix: Vec<bool>,
+    frontier: Arc<SharedFrontier>,
+    /// States the worker shed back from this subtree, buffered until the
+    /// lease completes. Shedding is *transactional*: released into the
+    /// frontier only on [`FrontierHub::complete`], discarded when the
+    /// worker vanishes — because a vanished worker's prefix is restored
+    /// *whole*, and releasing its shed descendants too would explore
+    /// those subtrees twice, breaking the bit-identical-report invariant.
+    shed: Vec<Vec<bool>>,
+}
+
+/// Aggregate hub counters for stats snapshots.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct HubStats {
+    pub workers: u64,
+    pub remote_leases: u64,
+    pub remote_states: u64,
+    pub leases_recovered: u64,
+}
+
+pub(crate) struct FrontierHub {
+    runs: Mutex<Vec<PublishedRun>>,
+    leases: Mutex<HashMap<u64, Lease>>,
+    /// Steal requests currently waiting; shared with every published
+    /// frontier so local path workers donate for remote hunger.
+    hunger: Arc<AtomicUsize>,
+    /// Bumped by every event that makes new work stealable (donations,
+    /// restored leases, published runs); long-polling stealers block on
+    /// it instead of spinning.
+    signal: Arc<FrontierSignal>,
+    closed: AtomicBool,
+    next_lease: AtomicU64,
+    workers: AtomicU64,
+    granted: AtomicU64,
+    states_returned: AtomicU64,
+    recovered: AtomicU64,
+}
+
+impl FrontierHub {
+    pub fn new() -> FrontierHub {
+        FrontierHub {
+            runs: Mutex::new(Vec::new()),
+            leases: Mutex::new(HashMap::new()),
+            hunger: Arc::new(AtomicUsize::new(0)),
+            signal: Arc::new(FrontierSignal::new()),
+            closed: AtomicBool::new(false),
+            next_lease: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            granted: AtomicU64::new(0),
+            states_returned: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        }
+    }
+
+    pub fn stats(&self) -> HubStats {
+        HubStats {
+            workers: self.workers.load(Ordering::Relaxed),
+            remote_leases: self.granted.load(Ordering::Relaxed),
+            remote_states: self.states_returned.load(Ordering::Relaxed),
+            leases_recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A worker connection attached / detached.
+    pub fn attach_worker(&self) {
+        self.workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn detach_worker(&self) {
+        self.workers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Stops granting leases (daemon shutdown): pending and future steals
+    /// answer empty, so workers drain away while running jobs finish with
+    /// their local path workers.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Wake waiting stealers so they observe the flag promptly.
+        self.signal.bump();
+    }
+
+    /// Publishes one verification run: its frontier becomes stealable by
+    /// remote workers until [`FrontierHub::retire`].
+    pub fn publish(&self, spec: JobSpec, budget: Arc<SharedBudget>) -> Arc<SharedFrontier> {
+        let frontier = Arc::new(SharedFrontier::for_run(
+            Some(budget.clone()),
+            self.hunger.clone(),
+            Some(self.signal.clone()),
+        ));
+        self.runs.lock().unwrap().push(PublishedRun {
+            spec: Arc::new(spec),
+            budget,
+            frontier: frontier.clone(),
+        });
+        // The fresh run's root job is stealable right away.
+        self.signal.bump();
+        frontier
+    }
+
+    /// Unpublishes a run once its merged report exists. By then its live
+    /// count hit zero, so no lease can still point at it; the frontier is
+    /// sealed anyway as a belt-and-braces guard.
+    pub fn retire(&self, frontier: &Arc<SharedFrontier>) {
+        let target = Arc::as_ptr(frontier);
+        self.runs
+            .lock()
+            .unwrap()
+            .retain(|r| !std::ptr::eq(Arc::as_ptr(&r.frontier), target));
+        frontier.seal();
+        self.leases
+            .lock()
+            .unwrap()
+            .retain(|_, l| !std::ptr::eq(Arc::as_ptr(&l.frontier), target));
+    }
+
+    /// Long-polls for up to `max` subtree leases on behalf of worker
+    /// connection `owner`. While nothing is stealable the request counts
+    /// as hunger, so busy path workers donate; gives up after
+    /// [`STEAL_WAIT`] and answers empty (the worker retries).
+    pub fn steal(&self, owner: u64, max: u32) -> Vec<LeasedJob> {
+        let max = max.clamp(1, 64) as usize;
+        let deadline = Instant::now() + STEAL_WAIT;
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Vec::new();
+            }
+            // Capture the signal epoch *before* scanning so a donation
+            // racing the scan wakes the wait immediately.
+            let seen = self.signal.epoch();
+            let leases = self.try_steal(owner, max);
+            if !leases.is_empty() {
+                return leases;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            // Wait registered as hunger: local workers see it through the
+            // shared gauge, donate frontier states, and the donation
+            // bumps the signal — no polling.
+            self.hunger.fetch_add(1, Ordering::Relaxed);
+            self.signal.wait_past(seen, deadline - now);
+            self.hunger.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_steal(&self, owner: u64, max: usize) -> Vec<LeasedJob> {
+        // Snapshot the published runs (Arc clones only) so no frontier
+        // lock is held while the lease table lock is taken (and vice
+        // versa).
+        let runs: Vec<(Arc<JobSpec>, Arc<SharedBudget>, Arc<SharedFrontier>)> = self
+            .runs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| (r.spec.clone(), r.budget.clone(), r.frontier.clone()))
+            .collect();
+        // Shed more aggressively when more mouths are waiting.
+        let shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
+        let mut out = Vec::new();
+        for (spec, budget, frontier) in runs {
+            while out.len() < max {
+                let Some(prefix) = frontier.try_steal() else {
+                    break;
+                };
+                let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
+                self.leases.lock().unwrap().insert(
+                    lease,
+                    Lease {
+                        owner,
+                        prefix: prefix.clone(),
+                        frontier: frontier.clone(),
+                        shed: Vec::new(),
+                    },
+                );
+                // Clamp the lease to the run's *remaining* deadline: a
+                // remote executor restarts its wall clock per lease, and
+                // without the clamp every steal would extend the run's
+                // timeout by a whole fresh budget.
+                let mut leased_spec = (*spec).clone();
+                leased_spec.cfg.timeout = leased_spec.cfg.timeout.min(budget.remaining_time());
+                out.push(LeasedJob {
+                    lease,
+                    spec: leased_spec,
+                    prefix,
+                    shed,
+                });
+            }
+            if out.len() >= max {
+                break;
+            }
+        }
+        self.granted.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Accepts frontier states a worker shed back from a live lease.
+    /// Returns how many were accepted (0 for an unknown or retired
+    /// lease — the worker keeps exploring what it holds).
+    ///
+    /// The states are *buffered with the lease* and only released into
+    /// the frontier when the lease completes: if they went live now and
+    /// the worker then crashed, [`FrontierHub::disconnect`] would restore
+    /// the original prefix whole and the shed subtrees would be explored
+    /// twice. The worker excludes accepted states from its exploration
+    /// either way, so completion is the moment they become someone
+    /// else's work.
+    pub fn offer_states(&self, lease: u64, prefixes: Vec<Vec<bool>>) -> usize {
+        let mut leases = self.leases.lock().unwrap();
+        let Some(l) = leases.get_mut(&lease) else {
+            return 0;
+        };
+        let n = prefixes.len();
+        l.shed.extend(prefixes);
+        drop(leases);
+        self.states_returned.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Completes a lease with the worker's partial report: the states it
+    /// shed go live for the rest of the fleet, then the leased subtree is
+    /// retired. Unknown leases are ignored (idempotent against races with
+    /// disconnect recovery).
+    pub fn complete(&self, lease: u64, report: VerificationReport) -> bool {
+        let Some(l) = self.leases.lock().unwrap().remove(&lease) else {
+            return false;
+        };
+        // Shed states first, completion second: live count must never
+        // touch zero while the subtree's remainder is still being
+        // accounted.
+        if !l.shed.is_empty() {
+            l.frontier.offer_remote(l.shed);
+        }
+        l.frontier.complete_remote(report);
+        true
+    }
+
+    /// A worker connection died: every job it still held goes back to its
+    /// frontier — *whole*, with any states the worker had shed from it
+    /// discarded (the restored prefix covers their subtrees) — to be
+    /// re-explored by whoever pops it next. Returns the number of
+    /// recovered leases.
+    pub fn disconnect(&self, owner: u64) -> usize {
+        let orphaned: Vec<Lease> = {
+            let mut leases = self.leases.lock().unwrap();
+            let ids: Vec<u64> = leases
+                .iter()
+                .filter(|(_, l)| l.owner == owner)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| leases.remove(&id))
+                .collect()
+        };
+        let n = orphaned.len();
+        for lease in orphaned {
+            lease.frontier.restore(lease.prefix);
+        }
+        self.recovered.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+}
+
+/// The [`overify::FrontierProvider`] one executed job hands the driver:
+/// each swept run is published to the hub (with `cfg.input_bytes` pinned
+/// into the leased spec) for remote workers to steal from, and retired
+/// once merged.
+pub(crate) struct RunPublisher<'a> {
+    pub hub: &'a FrontierHub,
+    pub base: JobSpec,
+}
+
+impl overify::FrontierProvider for RunPublisher<'_> {
+    fn begin_run(
+        &self,
+        cfg: &overify::SymConfig,
+        budget: &Arc<SharedBudget>,
+    ) -> Arc<dyn overify::Frontier> {
+        let mut spec = self.base.clone();
+        spec.cfg = cfg.clone();
+        spec.bytes = vec![cfg.input_bytes];
+        self.hub.publish(spec, budget.clone())
+    }
+
+    fn end_run(&self, frontier: Arc<dyn overify::Frontier>) {
+        // Downcast by address: the hub only ever publishes SharedFrontier.
+        let target = Arc::as_ptr(&frontier) as *const ();
+        let published: Option<Arc<SharedFrontier>> = self
+            .hub
+            .runs
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|r| Arc::as_ptr(&r.frontier) as *const () == target)
+            .map(|r| r.frontier.clone());
+        if let Some(f) = published {
+            self.hub.retire(&f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overify::Frontier;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "t".into(),
+            source: "int umain(unsigned char *in, int n) { return 0; }".into(),
+            entry: "umain".into(),
+            level: overify::OptLevel::O0,
+            bytes: vec![1],
+            path_workers: 1,
+            cfg: overify::SymConfig::default(),
+        }
+    }
+
+    #[test]
+    fn steal_leases_and_complete_retires() {
+        let hub = FrontierHub::new();
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        let leases = hub.steal(7, 4);
+        assert_eq!(leases.len(), 1, "the root job");
+        assert!(leases[0].prefix.is_empty());
+        assert!(hub.complete(leases[0].lease, VerificationReport::default()));
+        assert!(!hub.complete(leases[0].lease, VerificationReport::default()));
+        assert_eq!(f.next(), None, "run over once the lease completed");
+        assert_eq!(hub.stats().remote_leases, 1);
+    }
+
+    #[test]
+    fn disconnect_restores_orphaned_leases() {
+        let hub = FrontierHub::new();
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        let leases = hub.steal(7, 1);
+        assert_eq!(leases.len(), 1);
+        assert_eq!(hub.disconnect(7), 1);
+        assert_eq!(hub.stats().leases_recovered, 1);
+        // The job is back; a local worker can finish the run.
+        assert_eq!(f.next(), Some(Vec::new()));
+        f.finish();
+        assert_eq!(f.next(), None);
+        // Completing the recovered lease later is a no-op.
+        assert!(!hub.complete(leases[0].lease, VerificationReport::default()));
+    }
+
+    #[test]
+    fn closed_hub_stops_granting() {
+        let hub = FrontierHub::new();
+        let _f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        hub.close();
+        assert!(hub.steal(1, 1).is_empty());
+    }
+
+    #[test]
+    fn shed_states_release_only_on_completion() {
+        let hub = FrontierHub::new();
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        let leases = hub.steal(7, 1);
+        assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
+        // Buffered, not live: nothing stealable yet.
+        assert!(f.try_steal().is_none());
+        assert!(hub.complete(leases[0].lease, VerificationReport::default()));
+        // Completion released it.
+        assert_eq!(f.try_steal(), Some(vec![true]));
+    }
+
+    #[test]
+    fn crashed_lease_discards_its_shed_states() {
+        // The worker shed a state, then died: the restored prefix covers
+        // that subtree, so the shed state must be dropped — releasing it
+        // too would explore its subtree twice.
+        let hub = FrontierHub::new();
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        let leases = hub.steal(7, 1);
+        assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
+        assert_eq!(hub.disconnect(7), 1);
+        // Exactly one job comes back: the original (root) prefix, whole.
+        assert_eq!(f.next(), Some(Vec::new()));
+        f.finish();
+        assert_eq!(f.next(), None, "the shed state was not also released");
+    }
+
+    #[test]
+    fn offers_on_dead_leases_are_rejected() {
+        let hub = FrontierHub::new();
+        let _f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+        );
+        assert_eq!(hub.offer_states(999, vec![vec![true]]), 0);
+        let leases = hub.steal(1, 1);
+        assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
+        assert_eq!(hub.stats().remote_states, 1);
+    }
+}

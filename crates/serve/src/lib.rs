@@ -29,15 +29,30 @@
 //!                     solver-cache delta persisted to the store)
 //! ```
 //!
+//! Since protocol v2 the daemon is also a **dispatcher**: the path-level
+//! frontier of every executing run is published (see [`hub`]) and remote
+//! worker processes ([`worker::run_worker`], the `overify_worker` binary)
+//! attach over the same socket, steal serialized decision-trace subtree
+//! jobs, shed frontier states back, and return partial reports that merge
+//! bit-identically with the local workers' — one verification run spread
+//! across as many machines as care to help, with the store as the common
+//! cache plane.
+//!
 //! See [`server::start`] / [`client::Client`] for the two ends, and the
-//! `serve_daemon` / `serve_client` examples for runnable binaries.
+//! `serve_daemon` / `serve_client` / `overify_worker` examples for
+//! runnable binaries.
 
 pub mod client;
+pub(crate) mod hub;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod worker;
 
 pub use client::Client;
-pub use protocol::{Event, JobOutcome, JobSpec, Request, ServeStatsSnapshot};
+pub use protocol::{
+    Event, JobOutcome, JobSpec, LeasedJob, ProtocolError, Request, ServeStatsSnapshot,
+};
 pub use scheduler::{Priority, Scheduler};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use worker::{run_worker, WorkerConfig, WorkerStats};

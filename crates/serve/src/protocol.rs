@@ -15,6 +15,19 @@
 //! [`Event`] frames; submissions are pipelined and events carry the job id
 //! they belong to, so one connection can have many jobs in flight.
 //!
+//! **Version 2** adds the worker side of the protocol: a remote worker
+//! process attaches with [`Request::AttachWorker`], long-polls
+//! [`Request::StealJobs`] for leases of path-level subtree jobs (a
+//! [`JobSpec`] plus a replayable branch-decision trace), sheds frontier
+//! states back mid-subtree with [`Request::OfferStates`], and completes a
+//! lease with [`Request::JobDone`] carrying its partial
+//! [`overify::VerificationReport`]. Decision traces are bit-packed by
+//! [`encode_trace`] / [`decode_trace`].
+//!
+//! Every decode failure is a typed [`ProtocolError`] — oversized frames,
+//! unknown tags, truncated payloads and trailing garbage are distinct,
+//! diagnosable conditions, never a blind read.
+//!
 //! Verification reports travel in the *report-artifact* encoding
 //! ([`overify_store::artifact::encode_report`]): a report round-trips
 //! bit-identically whether it comes from the store or over the wire —
@@ -22,7 +35,7 @@
 
 use overify::{
     DonationPolicy, OptLevel, SearchStrategy, StoreStats, SuiteJob, SuiteJobResult, SymArg,
-    SymConfig,
+    SymConfig, VerificationReport,
 };
 use overify_store::artifact::{decode_report, encode_report, level_from_tag, level_tag};
 use overify_store::codec::{Reader, Writer};
@@ -31,41 +44,151 @@ use std::time::Duration;
 
 /// Handshake magic: the first bytes of every connection's `Hello` frame.
 pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
-/// Protocol version; both sides must match exactly.
-pub const VERSION: u32 = 1;
+/// Protocol version; both sides must match exactly. v2 added the
+/// worker-attachment frames (frontier sharding across processes).
+pub const VERSION: u32 = 2;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
 
-/// Writes one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME as usize);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+/// Everything that can go wrong turning wire bytes into protocol values.
+/// Typed so peers (and tests) can tell an oversized frame from a
+/// truncated payload from an unknown tag instead of pattern-matching
+/// error strings.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed (includes EOF mid-frame).
+    Io(io::Error),
+    /// A frame length prefix exceeded [`MAX_FRAME`].
+    Oversized { len: u32 },
+    /// A payload ended before its frame was fully decoded, or carried a
+    /// structurally invalid value.
+    Malformed { what: &'static str },
+    /// A frame led with a tag this build does not know.
+    UnknownTag { what: &'static str, tag: u8 },
+    /// A frame decoded completely but left unconsumed bytes.
+    TrailingBytes {
+        what: &'static str,
+        remaining: usize,
+    },
+    /// A `Hello` frame without the handshake magic: not an overify-serve
+    /// peer at all.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    VersionSkew { peer: u32, ours: u32 },
 }
 
-/// Reads one length-prefixed frame.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            ProtocolError::Malformed { what } => write!(f, "malformed {what} frame"),
+            ProtocolError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag}")
+            }
+            ProtocolError::TrailingBytes { what, remaining } => {
+                write!(f, "{what} frame has {remaining} trailing byte(s)")
+            }
+            ProtocolError::BadMagic => write!(f, "handshake magic mismatch"),
+            ProtocolError::VersionSkew { peer, ours } => {
+                write!(f, "peer speaks protocol v{peer}, this build v{ours}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> ProtocolError {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> io::Error {
+        match e {
+            ProtocolError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame. An oversized payload is rejected
+/// before anything touches the wire (a half-written frame would desync
+/// the stream).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(ProtocolError::Oversized {
+            len: payload.len().min(u32::MAX as usize) as u32,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, rejecting oversized lengths before
+/// allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
-        ));
+        return Err(ProtocolError::Oversized { len });
     }
     let mut buf = vec![0u8; len as usize];
     r.read_exact(&mut buf)?;
     Ok(buf)
 }
 
-fn decode_error(what: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed {what} frame"),
-    )
+/// Bit-packs a branch-decision trace: u32 length followed by the
+/// decisions eight per byte, LSB first. The canonical wire form of a
+/// path-level subtree job.
+pub fn encode_trace(w: &mut Writer, trace: &[bool]) {
+    w.u32(trace.len() as u32);
+    for chunk in trace.chunks(8) {
+        let mut b = 0u8;
+        for (i, &d) in chunk.iter().enumerate() {
+            b |= (d as u8) << i;
+        }
+        w.u8(b);
+    }
+}
+
+/// Inverse of [`encode_trace`]. Strict: padding bits in the final byte
+/// must be zero, so every trace has exactly one encoding (`None`
+/// otherwise, or on truncation).
+pub fn decode_trace(r: &mut Reader) -> Option<Vec<bool>> {
+    let n = r.u32()? as usize;
+    // A hostile length prefix must not allocate ahead of the bytes that
+    // are actually present.
+    if n.div_ceil(8) > r.remaining() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for chunk_start in (0..n).step_by(8) {
+        let byte = r.u8()?;
+        let bits = (n - chunk_start).min(8);
+        if bits < 8 && byte >> bits != 0 {
+            return None; // nonzero padding: not a canonical encoding
+        }
+        for i in 0..bits {
+            out.push((byte >> i) & 1 == 1);
+        }
+    }
+    Some(out)
 }
 
 /// One verification job as submitted over the wire: a [`SuiteJob`] with
@@ -123,6 +246,47 @@ pub enum Request {
     Stats,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Switch this connection into worker mode: the peer is a remote
+    /// verification worker offering its cores to the dispatcher. Answered
+    /// with [`Event::WorkerAttached`].
+    AttachWorker {
+        /// Display name for logs/diagnostics (hostname, pid, …).
+        name: String,
+    },
+    /// Ask for up to `max` subtree-job leases. The server long-polls —
+    /// the request registers as *hunger*, making busy path workers donate
+    /// frontier states — and answers [`Event::Leases`] (possibly empty
+    /// after a bounded wait; the worker simply asks again).
+    StealJobs { max: u32 },
+    /// Shed frontier states from a leased subtree back to the dispatcher,
+    /// as decision traces. Each accepted state becomes a fresh live job
+    /// other workers (local or remote) can pick up. Answered with
+    /// [`Event::StatesAccepted`].
+    OfferStates {
+        lease: u64,
+        prefixes: Vec<Vec<bool>>,
+    },
+    /// Complete a lease: the partial report of the explored subtree
+    /// (minus anything shed back) enters the run's deterministic merge.
+    /// Answered with [`Event::JobAck`].
+    JobDone {
+        lease: u64,
+        report: VerificationReport,
+    },
+}
+
+/// One subtree job leased to a remote worker: everything needed to
+/// reproduce the exact run — the spec (source, level, entry, per-run
+/// config with `input_bytes` already set) plus the branch-decision prefix
+/// to replay. `shed` is the dispatcher's hint for how many frontier
+/// states the worker should offer back while exploring, so one stolen
+/// subtree cannot serialize the fleet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeasedJob {
+    pub lease: u64,
+    pub spec: JobSpec,
+    pub prefix: Vec<bool>,
+    pub shed: u32,
 }
 
 /// A server statistics snapshot.
@@ -138,6 +302,14 @@ pub struct ServeStatsSnapshot {
     pub queued: u64,
     /// Jobs running right now.
     pub active: u64,
+    /// Remote worker connections currently attached.
+    pub workers: u64,
+    /// Subtree jobs leased to remote workers over the server's lifetime.
+    pub remote_leases: u64,
+    /// Frontier states remote workers shed back mid-subtree.
+    pub remote_states: u64,
+    /// Leases restored to their frontier after a worker vanished.
+    pub leases_recovered: u64,
     /// Persistent-store counters (zeroes when the server runs storeless).
     pub store: StoreStats,
 }
@@ -213,6 +385,17 @@ pub enum Event {
     Stats(ServeStatsSnapshot),
     /// Answer to [`Request::Shutdown`]: the server is draining.
     ShuttingDown,
+    /// Answer to [`Request::AttachWorker`]: the connection is now a
+    /// worker, identified by `worker` in the dispatcher's lease table.
+    WorkerAttached { worker: u64 },
+    /// Answer to [`Request::StealJobs`]: zero or more subtree-job leases.
+    Leases { leases: Vec<LeasedJob> },
+    /// Answer to [`Request::OfferStates`]: how many of the shed states
+    /// the dispatcher accepted (0 when the lease is gone — the worker
+    /// keeps exploring what it still holds).
+    StatesAccepted { accepted: u32 },
+    /// Answer to [`Request::JobDone`]: the lease is retired.
+    JobAck { lease: u64 },
 }
 
 fn encode_sym_config(w: &mut Writer, cfg: &SymConfig) {
@@ -335,23 +518,81 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.u8(1),
         Request::Shutdown => w.u8(2),
+        Request::AttachWorker { name } => {
+            w.u8(3);
+            w.str(name);
+        }
+        Request::StealJobs { max } => {
+            w.u8(4);
+            w.u32(*max);
+        }
+        Request::OfferStates { lease, prefixes } => {
+            w.u8(5);
+            w.u64(*lease);
+            w.u32(prefixes.len() as u32);
+            for p in prefixes {
+                encode_trace(&mut w, p);
+            }
+        }
+        Request::JobDone { lease, report } => {
+            w.u8(6);
+            w.u64(*lease);
+            encode_report(&mut w, report);
+        }
     }
     w.buf
 }
 
-/// Deserializes a request frame payload.
-pub fn decode_request(bytes: &[u8]) -> io::Result<Request> {
-    let mut r = Reader::new(bytes);
-    let req = match r.u8() {
-        Some(0) => decode_spec(&mut r).map(Request::Submit),
-        Some(1) => Some(Request::Stats),
-        Some(2) => Some(Request::Shutdown),
-        _ => None,
-    };
-    match req {
-        Some(req) if r.remaining() == 0 => Ok(req),
-        _ => Err(decode_error("request")),
+/// Finishes a frame decode: the value must exist and consume every byte.
+fn seal_decode<T>(what: &'static str, value: Option<T>, r: &Reader) -> Result<T, ProtocolError> {
+    match value {
+        Some(v) if r.remaining() == 0 => Ok(v),
+        Some(_) => Err(ProtocolError::TrailingBytes {
+            what,
+            remaining: r.remaining(),
+        }),
+        None => Err(ProtocolError::Malformed { what }),
     }
+}
+
+/// Deserializes a request frame payload.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
+    let mut r = Reader::new(bytes);
+    let Some(tag) = r.u8() else {
+        return Err(ProtocolError::Malformed { what: "request" });
+    };
+    let req = match tag {
+        0 => decode_spec(&mut r).map(Request::Submit),
+        1 => Some(Request::Stats),
+        2 => Some(Request::Shutdown),
+        3 => r.str().map(|name| Request::AttachWorker { name }),
+        4 => r.u32().map(|max| Request::StealJobs { max }),
+        5 => (|| {
+            let lease = r.u64()?;
+            let n = r.u32()? as usize;
+            if n * 4 > r.remaining() {
+                return None; // each trace is at least a length prefix
+            }
+            let mut prefixes = Vec::with_capacity(n);
+            for _ in 0..n {
+                prefixes.push(decode_trace(&mut r)?);
+            }
+            Some(Request::OfferStates { lease, prefixes })
+        })(),
+        6 => (|| {
+            Some(Request::JobDone {
+                lease: r.u64()?,
+                report: decode_report(&mut r)?,
+            })
+        })(),
+        tag => {
+            return Err(ProtocolError::UnknownTag {
+                what: "request",
+                tag,
+            })
+        }
+    };
+    seal_decode("request", req, &r)
 }
 
 fn encode_outcome(w: &mut Writer, o: &JobOutcome) {
@@ -406,6 +647,10 @@ fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
         s.executed,
         s.queued,
         s.active,
+        s.workers,
+        s.remote_leases,
+        s.remote_states,
+        s.leases_recovered,
         s.store.report_hits,
         s.store.report_misses,
         s.store.reports_saved,
@@ -424,6 +669,10 @@ fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
         executed: r.u64()?,
         queued: r.u64()?,
         active: r.u64()?,
+        workers: r.u64()?,
+        remote_leases: r.u64()?,
+        remote_states: r.u64()?,
+        leases_recovered: r.u64()?,
         store: StoreStats {
             report_hits: r.u64()?,
             report_misses: r.u64()?,
@@ -484,31 +733,56 @@ pub fn encode_event(ev: &Event) -> Vec<u8> {
             encode_stats(&mut w, s);
         }
         Event::ShuttingDown => w.u8(6),
+        Event::WorkerAttached { worker } => {
+            w.u8(7);
+            w.u64(*worker);
+        }
+        Event::Leases { leases } => {
+            w.u8(8);
+            w.u32(leases.len() as u32);
+            for l in leases {
+                w.u64(l.lease);
+                encode_spec(&mut w, &l.spec);
+                encode_trace(&mut w, &l.prefix);
+                w.u32(l.shed);
+            }
+        }
+        Event::StatesAccepted { accepted } => {
+            w.u8(9);
+            w.u32(*accepted);
+        }
+        Event::JobAck { lease } => {
+            w.u8(10);
+            w.u64(*lease);
+        }
     }
     w.buf
 }
 
 /// Deserializes an event frame payload.
-pub fn decode_event(bytes: &[u8]) -> io::Result<Event> {
+pub fn decode_event(bytes: &[u8]) -> Result<Event, ProtocolError> {
     let mut r = Reader::new(bytes);
-    let ev = match r.u8() {
-        Some(0) => {
+    let Some(tag) = r.u8() else {
+        return Err(ProtocolError::Malformed { what: "event" });
+    };
+    let ev = match tag {
+        0 => {
             let magic = r.bytes_exact(MAGIC.len());
-            if magic != Some(&MAGIC[..]) {
-                None
-            } else {
-                r.u32().map(|version| Event::Hello { version })
+            match magic {
+                Some(m) if m == &MAGIC[..] => r.u32().map(|version| Event::Hello { version }),
+                Some(_) => return Err(ProtocolError::BadMagic),
+                None => None,
             }
         }
-        Some(1) => (|| {
+        1 => (|| {
             Some(Event::Queued {
                 job: r.u64()?,
                 position: r.u64()?,
                 predicted_cost: r.u128()?,
             })
         })(),
-        Some(2) => r.u64().map(|job| Event::Scheduled { job }),
-        Some(3) => (|| {
+        2 => r.u64().map(|job| Event::Scheduled { job }),
+        3 => (|| {
             Some(Event::Progress {
                 job: r.u64()?,
                 runs_done: r.u32()?,
@@ -518,20 +792,36 @@ pub fn decode_event(bytes: &[u8]) -> io::Result<Event> {
                 instructions: r.u64()?,
             })
         })(),
-        Some(4) => (|| {
+        4 => (|| {
             Some(Event::Report {
                 job: r.u64()?,
                 outcome: decode_outcome(&mut r)?,
             })
         })(),
-        Some(5) => decode_stats(&mut r).map(Event::Stats),
-        Some(6) => Some(Event::ShuttingDown),
-        _ => None,
+        5 => decode_stats(&mut r).map(Event::Stats),
+        6 => Some(Event::ShuttingDown),
+        7 => r.u64().map(|worker| Event::WorkerAttached { worker }),
+        8 => (|| {
+            let n = r.u32()? as usize;
+            if n * 8 > r.remaining() {
+                return None; // each lease is far bigger than its id alone
+            }
+            let mut leases = Vec::with_capacity(n);
+            for _ in 0..n {
+                leases.push(LeasedJob {
+                    lease: r.u64()?,
+                    spec: decode_spec(&mut r)?,
+                    prefix: decode_trace(&mut r)?,
+                    shed: r.u32()?,
+                });
+            }
+            Some(Event::Leases { leases })
+        })(),
+        9 => r.u32().map(|accepted| Event::StatesAccepted { accepted }),
+        10 => r.u64().map(|lease| Event::JobAck { lease }),
+        tag => return Err(ProtocolError::UnknownTag { what: "event", tag }),
     };
-    match ev {
-        Some(ev) if r.remaining() == 0 => Ok(ev),
-        _ => Err(decode_error("event")),
-    }
+    seal_decode("event", ev, &r)
 }
 
 #[cfg(test)]
@@ -592,9 +882,25 @@ mod tests {
             Request::Submit(sample_spec()),
             Request::Stats,
             Request::Shutdown,
+            Request::AttachWorker {
+                name: "worker-7".into(),
+            },
+            Request::StealJobs { max: 4 },
+            Request::OfferStates {
+                lease: 9,
+                prefixes: vec![vec![], vec![true], vec![true, false, true, true]],
+            },
+            Request::JobDone {
+                lease: 9,
+                report: VerificationReport {
+                    paths_completed: 17,
+                    exhausted: true,
+                    ..Default::default()
+                },
+            },
         ] {
             let bytes = encode_request(&req);
-            assert_eq!(decode_request(&bytes).unwrap(), req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
         }
     }
 
@@ -626,12 +932,28 @@ mod tests {
                 executed: 6,
                 queued: 1,
                 active: 2,
+                workers: 3,
+                remote_leases: 12,
+                remote_states: 5,
+                leases_recovered: 1,
                 store: StoreStats {
                     report_hits: 4,
                     ..Default::default()
                 },
             }),
             Event::ShuttingDown,
+            Event::WorkerAttached { worker: 3 },
+            Event::Leases {
+                leases: vec![LeasedJob {
+                    lease: 11,
+                    spec: sample_spec(),
+                    prefix: vec![true, true, false, true, false, false, true, true, true],
+                    shed: 4,
+                }],
+            },
+            Event::Leases { leases: Vec::new() },
+            Event::StatesAccepted { accepted: 2 },
+            Event::JobAck { lease: 11 },
         ];
         for ev in events {
             let bytes = encode_event(&ev);
@@ -640,18 +962,140 @@ mod tests {
     }
 
     #[test]
-    fn truncated_or_trailing_bytes_are_rejected() {
+    fn truncated_or_trailing_bytes_are_rejected_with_typed_errors() {
         let good = encode_event(&Event::Report {
             job: 1,
             outcome: sample_outcome(),
         });
-        for cut in [0, 1, good.len() / 2, good.len() - 1] {
-            assert!(decode_event(&good[..cut]).is_err(), "cut={cut}");
+        for cut in [1, good.len() / 2, good.len() - 1] {
+            assert!(
+                matches!(
+                    decode_event(&good[..cut]),
+                    Err(ProtocolError::Malformed { what: "event" })
+                ),
+                "cut={cut}"
+            );
         }
+        assert!(
+            matches!(
+                decode_event(&good[..0]),
+                Err(ProtocolError::Malformed { what: "event" })
+            ),
+            "empty payload"
+        );
         let mut padded = good.clone();
         padded.push(0);
-        assert!(decode_event(&padded).is_err(), "trailing byte");
+        assert!(
+            matches!(
+                decode_event(&padded),
+                Err(ProtocolError::TrailingBytes {
+                    what: "event",
+                    remaining: 1
+                })
+            ),
+            "trailing byte"
+        );
         assert!(decode_request(&encode_event(&Event::ShuttingDown)[..0]).is_err());
+    }
+
+    #[test]
+    fn garbage_frames_get_typed_errors() {
+        // Unknown tags.
+        assert!(matches!(
+            decode_request(&[0xEE]),
+            Err(ProtocolError::UnknownTag {
+                what: "request",
+                tag: 0xEE
+            })
+        ));
+        assert!(matches!(
+            decode_event(&[0xEE]),
+            Err(ProtocolError::UnknownTag {
+                what: "event",
+                tag: 0xEE
+            })
+        ));
+        // A Hello frame with the wrong magic is a different condition
+        // than a truncated one.
+        let mut hello = encode_event(&Event::Hello { version: VERSION });
+        hello[1] ^= 0xFF;
+        assert!(matches!(decode_event(&hello), Err(ProtocolError::BadMagic)));
+        // Pure line noise after a known tag is malformed, not a panic.
+        let noise: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        let mut framed = vec![0u8]; // Submit tag
+        framed.extend_from_slice(&noise);
+        assert!(matches!(
+            decode_request(&framed),
+            Err(ProtocolError::Malformed { what: "request" })
+        ));
+        // A non-canonical trace (nonzero padding bits) is rejected.
+        let mut w = Writer::default();
+        w.u8(5); // OfferStates
+        w.u64(1);
+        w.u32(1);
+        w.u32(3); // 3-bit trace...
+        w.u8(0b1111_1000); // ...with padding bits set
+        assert!(matches!(
+            decode_request(&w.buf),
+            Err(ProtocolError::Malformed { what: "request" })
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_both_ends() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &oversized[..]),
+            Err(ProtocolError::Oversized { len }) if len == MAX_FRAME + 1
+        ));
+        let huge = vec![0u8; MAX_FRAME as usize + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        assert!(sink.is_empty(), "nothing hit the wire");
+    }
+
+    #[test]
+    fn traces_round_trip_bit_packed() {
+        for trace in [
+            vec![],
+            vec![true],
+            vec![false; 8],
+            vec![true; 9],
+            vec![
+                true, false, true, true, false, false, false, true, true, false,
+            ],
+        ] {
+            let mut w = Writer::default();
+            encode_trace(&mut w, &trace);
+            let mut r = Reader::new(&w.buf);
+            assert_eq!(decode_trace(&mut r).as_ref(), Some(&trace), "{trace:?}");
+            assert_eq!(r.remaining(), 0);
+            // Packing: 4 bytes length + one byte per 8 decisions.
+            assert_eq!(w.buf.len(), 4 + trace.len().div_ceil(8));
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+        #[test]
+        fn trace_roundtrip_property(
+            bits in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 0..200)
+        ) {
+            let mut w = Writer::default();
+            encode_trace(&mut w, &bits);
+            let mut r = Reader::new(&w.buf);
+            proptest::prop_assert_eq!(decode_trace(&mut r), Some(bits));
+            proptest::prop_assert_eq!(r.remaining(), 0);
+            // Truncating anywhere must fail cleanly, never panic.
+            for cut in 0..w.buf.len() {
+                let mut r = Reader::new(&w.buf[..cut]);
+                proptest::prop_assert_eq!(decode_trace(&mut r), None);
+            }
+        }
     }
 
     #[test]

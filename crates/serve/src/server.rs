@@ -19,13 +19,15 @@
 //! All writes to one client socket are serialized through a per-connection
 //! writer thread, so pipelined jobs can't interleave frames.
 
+use crate::hub::{FrontierHub, RunPublisher};
 use crate::protocol::{
-    encode_event, read_frame, write_frame, Event, JobOutcome, Request, ServeStatsSnapshot, VERSION,
+    encode_event, read_frame, write_frame, Event, JobOutcome, JobSpec, Request, ServeStatsSnapshot,
+    VERSION,
 };
 use crate::scheduler::{Priority, Scheduler};
 use overify::{
-    default_threads, estimated_job_cost, prepare_job, JobProgress, PreparedJob, ProgressSnapshot,
-    SharedQueryCache, Store, StoreConfig, SuiteJobResult,
+    default_threads, prepare_job, JobProgress, PreparedJob, ProgressSnapshot, SharedQueryCache,
+    Store, StoreConfig, SuiteJobResult,
 };
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -129,6 +131,9 @@ struct ServeState {
     store: Option<Store>,
     warm: Arc<SharedQueryCache>,
     sched: Scheduler<QueuedJob>,
+    /// The cross-process frontier dispatcher: every executing run is
+    /// published here so attached remote workers can steal subtree jobs.
+    hub: FrontierHub,
     active: Mutex<Vec<Arc<ActiveJob>>>,
     /// Single-flight coalescing: content-address hash → followers waiting
     /// on the execution already queued or running for that key. One
@@ -141,16 +146,22 @@ struct ServeState {
     answered_from_store: AtomicU64,
     executed: AtomicU64,
     next_job_id: AtomicU64,
+    next_conn_id: AtomicU64,
 }
 
 impl ServeState {
     fn stats(&self) -> ServeStatsSnapshot {
+        let hub = self.hub.stats();
         ServeStatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             answered_from_store: self.answered_from_store.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             queued: self.sched.len() as u64,
             active: self.active.lock().unwrap().len() as u64,
+            workers: hub.workers,
+            remote_leases: hub.remote_leases,
+            remote_states: hub.remote_states,
+            leases_recovered: hub.leases_recovered,
             store: self.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
         }
     }
@@ -162,6 +173,10 @@ impl ServeState {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Stop granting leases; attached workers drain away while any
+        // still-running jobs finish (their outstanding leases complete
+        // normally — a half-merged run must never be reported).
+        self.hub.close();
         for job in self.sched.close() {
             let aborted = JobOutcome::from_result(&SuiteJobResult {
                 name: job.prepared.job().name.clone(),
@@ -234,6 +249,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         store,
         warm,
         sched: Scheduler::new(),
+        hub: FrontierHub::new(),
         active: Mutex::new(Vec::new()),
         inflight: Mutex::new(HashMap::new()),
         shutting_down: AtomicBool::new(false),
@@ -242,6 +258,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         answered_from_store: AtomicU64::new(0),
         executed: AtomicU64::new(0),
         next_job_id: AtomicU64::new(0),
+        next_conn_id: AtomicU64::new(0),
     });
 
     let mut threads = Vec::new();
@@ -268,32 +285,46 @@ fn accept_loop(state: &Arc<ServeState>, listener: TcpListener) {
         }
         let Ok(stream) = conn else { continue };
         let state = state.clone();
+        let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
         // Connection handlers are detached: they exit when their client
         // hangs up, and the process-level teardown (daemon exit) reaps
         // whatever is left.
         std::thread::spawn(move || {
-            let _ = handle_connection(&state, stream);
+            let _ = handle_connection(&state, stream, conn_id);
         });
     }
 }
 
 /// One client connection: a reader loop (this thread) processing requests
-/// and a writer thread serializing events onto the socket.
-fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) -> io::Result<()> {
+/// and a writer thread serializing events onto the socket. A connection
+/// that sends [`Request::AttachWorker`] becomes a remote verification
+/// worker; if it dies holding leases, [`FrontierHub::disconnect`] puts
+/// the leased subtree jobs back on their frontiers.
+fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -> io::Result<()> {
     let peer_write = stream.try_clone()?;
     let (tx, rx) = channel::<Event>();
+    // The writer signals here after a ShuttingDown frame hits the wire,
+    // so the reader can tear the server down knowing the ack was sent
+    // without waiting for the channel's other senders (queued jobs hold
+    // clones) to drain.
+    let (flushed_tx, flushed_rx) = channel::<()>();
     let writer = std::thread::spawn(move || {
         let mut w = BufWriter::new(peer_write);
         // Exits when every sender is gone (connection done, queued jobs
         // reported) or the socket breaks (client hung up mid-stream).
         while let Ok(ev) = rx.recv() {
+            let is_shutdown_ack = matches!(ev, Event::ShuttingDown);
             if write_frame(&mut w, &encode_event(&ev)).is_err() {
                 break;
+            }
+            if is_shutdown_ack {
+                flushed_tx.send(()).ok();
             }
         }
     });
 
     tx.send(Event::Hello { version: VERSION }).ok();
+    let mut attached = false;
     let mut r = BufReader::new(stream);
     // The read loop ends when the client hangs up (or sends garbage
     // framing) — `read_frame` then errors.
@@ -305,11 +336,58 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) -> io::Result<(
             }
             Ok(Request::Shutdown) => {
                 tx.send(Event::ShuttingDown).ok();
+                // Tear down only once the ack is on the wire (bounded
+                // wait — a dead socket must not stall the shutdown), so
+                // the requesting client always reads it even though the
+                // process may exit right after the server drains.
+                let _ = flushed_rx.recv_timeout(Duration::from_secs(5));
                 state.begin_shutdown();
                 break;
             }
+            Ok(Request::AttachWorker { name: _ }) => {
+                if !attached {
+                    attached = true;
+                    state.hub.attach_worker();
+                }
+                tx.send(Event::WorkerAttached { worker: conn_id }).ok();
+            }
+            Ok(Request::StealJobs { max }) => {
+                // Worker-only verb: an unattached peer speaking it has a
+                // broken implementation — drop it rather than guess.
+                if !attached {
+                    break;
+                }
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    // Tell the worker to go home instead of letting it
+                    // poll a draining daemon until the socket dies.
+                    tx.send(Event::ShuttingDown).ok();
+                    break;
+                }
+                let leases = state.hub.steal(conn_id, max);
+                tx.send(Event::Leases { leases }).ok();
+            }
+            Ok(Request::OfferStates { lease, prefixes }) => {
+                if !attached {
+                    break;
+                }
+                let accepted = state.hub.offer_states(lease, prefixes) as u32;
+                tx.send(Event::StatesAccepted { accepted }).ok();
+            }
+            Ok(Request::JobDone { lease, report }) => {
+                if !attached {
+                    break;
+                }
+                state.hub.complete(lease, report);
+                tx.send(Event::JobAck { lease }).ok();
+            }
             Err(_) => break, // malformed request: drop the connection
         }
+    }
+    if attached {
+        // Crash recovery: jobs the worker still held go back to their
+        // frontiers and are re-explored by whoever pops them next.
+        state.hub.disconnect(conn_id);
+        state.hub.detach_worker();
     }
     drop(tx);
     let _ = writer.join();
@@ -348,7 +426,10 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
     }
 
     // A miss: price it (observed per-key cost when the store has history,
-    // the deliberate static overestimate otherwise).
+    // the compiled-module static estimate otherwise — instruction count,
+    // loop structure and annotation density are all known by now, so
+    // never-seen work is priced off the module itself, not its source
+    // size).
     let observed = state
         .store
         .as_ref()
@@ -361,7 +442,7 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
         },
         None => Priority {
             estimated: true,
-            cost: estimated_job_cost(&job),
+            cost: prepared.static_cost,
         },
     };
 
@@ -498,10 +579,19 @@ fn executor_loop(state: &Arc<ServeState>) {
         );
         state.active.lock().unwrap().push(active.clone());
 
-        let result = job.prepared.execute(
+        // Every swept run is published to the frontier hub while it
+        // executes, so attached remote worker processes can steal subtree
+        // jobs from it; the merge stays bit-identical however the work
+        // was split.
+        let publisher = RunPublisher {
+            hub: &state.hub,
+            base: JobSpec::from_suite_job(job.prepared.job()),
+        };
+        let result = job.prepared.execute_with(
             state.store.as_ref(),
             Some(&state.warm),
             Some(&active.progress),
+            Some(&publisher),
         );
 
         state.active.lock().unwrap().retain(|a| a.id != job.id);

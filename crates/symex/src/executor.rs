@@ -482,15 +482,16 @@ impl<'m> Executor<'m> {
 
     fn record_bug(&mut self, st: &State, kind: BugKind, extra: Option<ExprRef>) {
         let loc = self.cur_loc(st);
-        if !self.bug_locs.insert((kind, loc.clone())) {
-            return;
-        }
         // Canonical witness: the lexicographically smallest input bytes
         // reaching the bug, computed with the same constraint-slicing
         // lexmin minimizer as test cases. A model straight from the solver
         // depends on cache history and thread interleaving; per-component
-        // minima do not — so bug *witnesses* (not just signatures) are
-        // identical across worker counts, reruns and store round-trips.
+        // minima do not. The witness is computed on *every* buggy path,
+        // keeping the per-location minimum: only the global minimum over
+        // all buggy paths is independent of which executor (thread or
+        // process) explored which path first, so bug witnesses stay
+        // identical across worker counts, process counts, reruns and
+        // store round-trips.
         let mut cs = st.constraints.clone();
         if let Some(e) = extra {
             cs.push(e);
@@ -499,6 +500,19 @@ impl<'m> Executor<'m> {
             Some(m) => self.input_bytes_of(st, &m),
             None => Vec::new(),
         };
+        if !self.bug_locs.insert((kind, loc.clone())) {
+            if let Some(known) = self
+                .report
+                .bugs
+                .iter_mut()
+                .find(|b| b.kind == kind && b.location == loc)
+            {
+                if input < known.input {
+                    known.input = input;
+                }
+            }
+            return;
+        }
         self.report.bugs.push(Bug {
             kind,
             location: loc,

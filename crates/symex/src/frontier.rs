@@ -1,0 +1,610 @@
+//! The path-level job frontier as a first-class, transport-agnostic API.
+//!
+//! PR 2 buried the work-stealing frontier inside `verify_parallel` as a
+//! private `Mutex<VecDeque>`; that capped one verification run at a single
+//! address space. This module promotes the frontier to a trait —
+//! [`Frontier`] — with two implementations:
+//!
+//! * [`LocalFrontier`]: the in-process deque the work-stealing driver has
+//!   always used, behaviourally unchanged.
+//! * [`SharedFrontier`]: the same queue plus a *bridge* for jobs that
+//!   leave the process. A dispatcher (the `overify_serve` daemon) leases
+//!   queued jobs to remote worker processes over its wire protocol,
+//!   accepts frontier states they shed back mid-subtree, restores the
+//!   jobs of workers that vanish, and folds their partial reports into
+//!   the same deterministic merge. A job is a branch-decision trace —
+//!   already serializable by construction — so the transport needs
+//!   nothing beyond a byte codec.
+//!
+//! Determinism is preserved by construction: a job explores the same
+//! subtree no matter which process replays its decision prefix, and the
+//! merge is order-insensitive (sorted + deduplicated), so the merged
+//! report's bugs, canonical tests and path set are bit-identical at any
+//! worker-process count (see [`crate::report::VerificationReport::canonical_bytes`]).
+
+use crate::executor::SymConfig;
+use crate::parallel::SharedBudget;
+use crate::report::VerificationReport;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Steal accounting of one frontier, sampled at any time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// States offered into the frontier (donations; the root seed is not
+    /// counted).
+    pub offered: u64,
+    /// Jobs handed to in-process workers.
+    pub taken: u64,
+    /// Jobs leased to remote workers.
+    pub remote_leases: u64,
+    /// States shed back by remote workers mid-subtree.
+    pub remote_offers: u64,
+    /// Partial reports merged back from remote workers.
+    pub remote_reports: u64,
+    /// Leased jobs restored to the queue after their worker vanished.
+    pub recovered: u64,
+}
+
+/// The path-level job frontier: the exchange through which workers trade
+/// unexplored subtrees, as replayable branch-decision prefixes.
+///
+/// The contract mirrors the in-process deque the work-stealing driver
+/// always had, now transport-agnostic:
+///
+/// * a *job* is the decision trace of an unexplored frontier state; the
+///   taker replays it (zero solver queries) and explores the subtree;
+/// * every popped job must be balanced by exactly one [`Frontier::finish`]
+///   once its subtree is explored or re-donated;
+/// * the run is over when the live count (queued + popped-but-unfinished)
+///   reaches zero — [`Frontier::next`] then returns `None` to everyone.
+pub trait Frontier: Send + Sync {
+    /// Blocks until a job is available (its decision prefix is returned)
+    /// or the execution tree is fully explored / the frontier was sealed
+    /// (`None`).
+    fn next(&self) -> Option<Vec<bool>>;
+
+    /// Marks one previously popped job fully explored (its subtree is done
+    /// or was donated onward). Must be called exactly once per successful
+    /// [`Frontier::next`].
+    fn finish(&self);
+
+    /// Offers a frontier state to the fleet. `false` means the offer was
+    /// not accepted and the state stays with the offering worker.
+    fn offer(&self, prefix: Vec<bool>) -> bool;
+
+    /// Is anyone starving? Cheap; polled by busy workers between paths to
+    /// decide whether to donate.
+    fn hungry(&self) -> bool;
+
+    /// Permanently closes the frontier: [`Frontier::next`] returns `None`
+    /// and [`Frontier::offer`] rejects from now on. Used by a dispatcher
+    /// tearing a run down.
+    fn seal(&self);
+
+    /// Steal accounting so far.
+    fn stats(&self) -> FrontierStats;
+
+    /// Partial reports contributed by workers outside this process,
+    /// drained once after the run. The in-process frontier has none.
+    fn drain_remote_reports(&self) -> Vec<VerificationReport> {
+        Vec::new()
+    }
+}
+
+/// Hands a driver the frontier to run each swept verification on — the
+/// hook through which a dispatcher (the serve daemon) substitutes a
+/// [`SharedFrontier`] it can bridge to remote worker processes.
+pub trait FrontierProvider: Sync {
+    /// Called at the start of one verification run (`cfg.input_bytes` is
+    /// already set for the run); returns the frontier to drive it with.
+    /// The budget is the run's live fleet budget, so remote work can be
+    /// folded into ceilings and progress counters.
+    fn begin_run(&self, cfg: &SymConfig, budget: &Arc<SharedBudget>) -> Arc<dyn Frontier>;
+
+    /// Called once the run's merged report exists; the dispatcher
+    /// unpublishes the frontier.
+    fn end_run(&self, frontier: Arc<dyn Frontier>);
+}
+
+/// A wakeup channel a dispatcher shares with its frontiers: everything
+/// that makes new work stealable (a donation, a restored lease, a freshly
+/// published run) bumps the epoch and wakes waiters, so a long-polling
+/// steal request blocks on a condvar instead of spinning.
+pub struct FrontierSignal {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl FrontierSignal {
+    pub fn new() -> FrontierSignal {
+        FrontierSignal {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The current epoch; capture it *before* scanning for work so a bump
+    /// racing the scan is never missed.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap()
+    }
+
+    /// Signals that new work may be stealable; wakes every waiter.
+    pub fn bump(&self) {
+        let mut e = self.epoch.lock().unwrap();
+        *e += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the epoch moves past `seen` or `timeout` elapses.
+    pub fn wait_past(&self, seen: u64, timeout: std::time::Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut e = self.epoch.lock().unwrap();
+        while *e <= seen {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let (guard, _) = self.cv.wait_timeout(e, left).unwrap();
+            e = guard;
+        }
+    }
+}
+
+impl Default for FrontierSignal {
+    fn default() -> FrontierSignal {
+        FrontierSignal::new()
+    }
+}
+
+struct Counters {
+    offered: AtomicU64,
+    taken: AtomicU64,
+    remote_leases: AtomicU64,
+    remote_offers: AtomicU64,
+    remote_reports: AtomicU64,
+    recovered: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            offered: AtomicU64::new(0),
+            taken: AtomicU64::new(0),
+            remote_leases: AtomicU64::new(0),
+            remote_offers: AtomicU64::new(0),
+            remote_reports: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> FrontierStats {
+        FrontierStats {
+            offered: self.offered.load(Ordering::Relaxed),
+            taken: self.taken.load(Ordering::Relaxed),
+            remote_leases: self.remote_leases.load(Ordering::Relaxed),
+            remote_offers: self.remote_offers.load(Ordering::Relaxed),
+            remote_reports: self.remote_reports.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct LocalQueue {
+    jobs: VecDeque<Vec<bool>>,
+    /// Jobs outstanding: queued plus currently being explored. The run is
+    /// over when this reaches zero.
+    live: usize,
+    sealed: bool,
+}
+
+/// The in-process frontier: a deque of replayable decision prefixes plus
+/// the bookkeeping for steal/termination coordination. One verification
+/// run seeds it with the root job (the empty prefix).
+pub struct LocalFrontier {
+    queue: Mutex<LocalQueue>,
+    cv: Condvar,
+    /// Workers currently blocked waiting for a job.
+    idle: AtomicUsize,
+    /// Jobs currently queued (mirror of `queue.jobs.len()` for lock-free
+    /// hunger checks).
+    queued: AtomicUsize,
+    stats: Counters,
+}
+
+impl LocalFrontier {
+    /// A frontier seeded with the root job.
+    pub fn new() -> LocalFrontier {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(Vec::new()); // The root job: empty prefix.
+        LocalFrontier {
+            queue: Mutex::new(LocalQueue {
+                jobs,
+                live: 1,
+                sealed: false,
+            }),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            queued: AtomicUsize::new(1),
+            stats: Counters::new(),
+        }
+    }
+}
+
+impl Default for LocalFrontier {
+    fn default() -> LocalFrontier {
+        LocalFrontier::new()
+    }
+}
+
+impl Frontier for LocalFrontier {
+    fn next(&self) -> Option<Vec<bool>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if q.sealed {
+                return None;
+            }
+            if let Some(job) = q.jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.stats.taken.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if q.live == 0 {
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            q = self.cv.wait(q).unwrap();
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn finish(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.live = q.live.saturating_sub(1);
+        if q.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn offer(&self, prefix: Vec<bool>) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        if q.sealed {
+            return false;
+        }
+        q.jobs.push_back(prefix);
+        q.live += 1;
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.stats.offered.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        true
+    }
+
+    fn hungry(&self) -> bool {
+        // Donate only while starving workers outnumber queued jobs; keeps
+        // steal traffic (and replay overhead) proportional to imbalance.
+        self.idle.load(Ordering::Relaxed) > self.queued.load(Ordering::Relaxed)
+    }
+
+    fn seal(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.sealed = true;
+        self.cv.notify_all();
+    }
+
+    fn stats(&self) -> FrontierStats {
+        self.stats.snapshot()
+    }
+}
+
+struct SharedQueue {
+    jobs: VecDeque<Vec<bool>>,
+    live: usize,
+    sealed: bool,
+    remote_reports: Vec<VerificationReport>,
+}
+
+/// A frontier a dispatcher can bridge over a wire protocol: in-process
+/// workers use it exactly like [`LocalFrontier`], and the dispatcher
+/// additionally *leases* queued jobs to remote worker processes:
+///
+/// * [`SharedFrontier::try_steal`] pops a job without finishing it — the
+///   subtree stays live until the lease completes;
+/// * [`SharedFrontier::offer_remote`] accepts frontier states a remote
+///   worker sheds back mid-subtree (new live jobs);
+/// * [`SharedFrontier::complete_remote`] merges the lease's partial report
+///   and retires the live count;
+/// * [`SharedFrontier::restore`] puts a leased job back on the queue when
+///   its worker vanished — the subtree is re-explored by whoever pops it
+///   next, so a worker crash costs duplicate-free re-exploration of at
+///   most its in-flight subtrees, never correctness.
+pub struct SharedFrontier {
+    queue: Mutex<SharedQueue>,
+    cv: Condvar,
+    idle: AtomicUsize,
+    queued: AtomicUsize,
+    /// Remote steal requests currently waiting anywhere on the dispatcher;
+    /// shared so local workers donate for remote hunger too.
+    remote_hunger: Arc<AtomicUsize>,
+    /// The run's fleet budget; remote partial reports are folded into it
+    /// so ceilings and progress counters observe remote work.
+    budget: Option<Arc<SharedBudget>>,
+    /// Bumped whenever new work becomes stealable, so a dispatcher's
+    /// long-polling stealers block on a condvar instead of spinning.
+    signal: Option<Arc<FrontierSignal>>,
+    stats: Counters,
+}
+
+impl SharedFrontier {
+    /// A standalone shared frontier (its own hunger gauge, no budget, no
+    /// steal signal).
+    pub fn new() -> SharedFrontier {
+        SharedFrontier::for_run(None, Arc::new(AtomicUsize::new(0)), None)
+    }
+
+    /// A frontier for one dispatched run: remote hunger is read from the
+    /// dispatcher-wide gauge, completed leases are folded into `budget`,
+    /// and newly stealable work bumps `signal`.
+    pub fn for_run(
+        budget: Option<Arc<SharedBudget>>,
+        remote_hunger: Arc<AtomicUsize>,
+        signal: Option<Arc<FrontierSignal>>,
+    ) -> SharedFrontier {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(Vec::new());
+        SharedFrontier {
+            queue: Mutex::new(SharedQueue {
+                jobs,
+                live: 1,
+                sealed: false,
+                remote_reports: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            queued: AtomicUsize::new(1),
+            remote_hunger,
+            budget,
+            signal,
+            stats: Counters::new(),
+        }
+    }
+
+    fn signal_stealers(&self) {
+        if let Some(s) = &self.signal {
+            s.bump();
+        }
+    }
+
+    /// Leases one queued job to a remote worker: the job leaves the queue
+    /// but stays live until [`SharedFrontier::complete_remote`] (or
+    /// [`SharedFrontier::restore`]) balances it. `None` when nothing is
+    /// queued or the frontier is sealed.
+    pub fn try_steal(&self) -> Option<Vec<bool>> {
+        let mut q = self.queue.lock().unwrap();
+        if q.sealed {
+            return None;
+        }
+        let job = q.jobs.pop_front()?;
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.stats.remote_leases.fetch_add(1, Ordering::Relaxed);
+        Some(job)
+    }
+
+    /// Accepts frontier states a remote worker shed back from a leased
+    /// subtree; each is a fresh live job. Returns how many were accepted
+    /// (0 when sealed).
+    pub fn offer_remote(&self, prefixes: Vec<Vec<bool>>) -> usize {
+        let mut q = self.queue.lock().unwrap();
+        if q.sealed {
+            return 0;
+        }
+        let n = prefixes.len();
+        for p in prefixes {
+            q.jobs.push_back(p);
+            q.live += 1;
+        }
+        self.queued.fetch_add(n, Ordering::Relaxed);
+        self.stats
+            .remote_offers
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.cv.notify_all();
+        drop(q);
+        self.signal_stealers();
+        n
+    }
+
+    /// Completes a lease: the partial report is queued for the merge and
+    /// the leased job's live count retired. Also folds the report's
+    /// counters into the run budget, so fleet ceilings and streamed
+    /// progress include remote work.
+    pub fn complete_remote(&self, report: VerificationReport) {
+        if let Some(b) = &self.budget {
+            b.absorb_remote(
+                report.total_paths(),
+                report.paths_buggy,
+                report.instructions,
+            );
+        }
+        let mut q = self.queue.lock().unwrap();
+        q.remote_reports.push(report);
+        q.live = q.live.saturating_sub(1);
+        self.stats.remote_reports.fetch_add(1, Ordering::Relaxed);
+        if q.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Restores a leased job whose worker vanished: the prefix goes back
+    /// on the queue (still live) and will be explored by whoever pops it
+    /// next.
+    pub fn restore(&self, prefix: Vec<bool>) {
+        let mut q = self.queue.lock().unwrap();
+        q.jobs.push_back(prefix);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        drop(q);
+        self.signal_stealers();
+    }
+}
+
+impl Default for SharedFrontier {
+    fn default() -> SharedFrontier {
+        SharedFrontier::new()
+    }
+}
+
+impl Frontier for SharedFrontier {
+    fn next(&self) -> Option<Vec<bool>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if q.sealed {
+                return None;
+            }
+            if let Some(job) = q.jobs.pop_front() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.stats.taken.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if q.live == 0 {
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            q = self.cv.wait(q).unwrap();
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn finish(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.live = q.live.saturating_sub(1);
+        if q.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn offer(&self, prefix: Vec<bool>) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        if q.sealed {
+            return false;
+        }
+        q.jobs.push_back(prefix);
+        q.live += 1;
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.stats.offered.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        drop(q);
+        self.signal_stealers();
+        true
+    }
+
+    fn hungry(&self) -> bool {
+        // Local idle workers plus remote steal requests pending on the
+        // dispatcher: both are mouths to feed.
+        self.idle.load(Ordering::Relaxed) + self.remote_hunger.load(Ordering::Relaxed)
+            > self.queued.load(Ordering::Relaxed)
+    }
+
+    fn seal(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.sealed = true;
+        self.cv.notify_all();
+    }
+
+    fn stats(&self) -> FrontierStats {
+        self.stats.snapshot()
+    }
+
+    fn drain_remote_reports(&self) -> Vec<VerificationReport> {
+        std::mem::take(&mut self.queue.lock().unwrap().remote_reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_frontier_balances_live_and_terminates() {
+        let f = LocalFrontier::new();
+        let root = f.next().expect("root job");
+        assert!(root.is_empty());
+        assert!(f.offer(vec![true]));
+        assert!(f.offer(vec![false, true]));
+        f.finish(); // root done
+        assert_eq!(f.next().unwrap(), vec![true]);
+        f.finish();
+        assert_eq!(f.next().unwrap(), vec![false, true]);
+        f.finish();
+        assert_eq!(f.next(), None, "live hit zero");
+        let s = f.stats();
+        assert_eq!(s.taken, 3);
+        assert_eq!(s.offered, 2);
+    }
+
+    #[test]
+    fn sealed_frontier_rejects_offers_and_unblocks() {
+        let f = LocalFrontier::new();
+        f.seal();
+        assert_eq!(f.next(), None);
+        assert!(!f.offer(vec![true]));
+    }
+
+    #[test]
+    fn shared_frontier_leases_keep_the_run_live() {
+        let f = SharedFrontier::new();
+        let leased = f.try_steal().expect("root leased");
+        assert!(leased.is_empty());
+        // The queue is empty but the lease is live: a local worker must
+        // block, not terminate. Complete the lease from another thread.
+        let f = Arc::new(f);
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || f2.next());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.complete_remote(VerificationReport {
+            exhausted: true,
+            ..Default::default()
+        });
+        assert_eq!(t.join().unwrap(), None, "lease completion ended the run");
+        assert_eq!(f.drain_remote_reports().len(), 1);
+        let s = f.stats();
+        assert_eq!(s.remote_leases, 1);
+        assert_eq!(s.remote_reports, 1);
+    }
+
+    #[test]
+    fn restored_lease_is_re_explorable() {
+        let f = SharedFrontier::new();
+        let leased = f.try_steal().expect("root leased");
+        f.restore(leased.clone());
+        assert_eq!(f.next().unwrap(), leased, "job back on the queue");
+        f.finish();
+        assert_eq!(f.next(), None);
+        assert_eq!(f.stats().recovered, 1);
+    }
+
+    #[test]
+    fn remote_offers_are_new_live_jobs() {
+        let f = SharedFrontier::new();
+        let _root = f.try_steal().unwrap();
+        assert_eq!(f.offer_remote(vec![vec![true], vec![false]]), 2);
+        assert_eq!(f.next().unwrap(), vec![true]);
+        f.finish();
+        assert_eq!(f.next().unwrap(), vec![false]);
+        f.finish();
+        f.complete_remote(VerificationReport::default());
+        assert_eq!(f.next(), None);
+        assert_eq!(f.stats().remote_offers, 2);
+    }
+
+    #[test]
+    fn remote_hunger_makes_the_frontier_hungry() {
+        let hunger = Arc::new(AtomicUsize::new(0));
+        let f = SharedFrontier::for_run(None, hunger.clone(), None);
+        let _root = f.try_steal().unwrap();
+        assert!(!f.hungry(), "nobody waiting");
+        hunger.fetch_add(1, Ordering::Relaxed);
+        assert!(f.hungry(), "a remote steal request is pending");
+    }
+}

@@ -19,12 +19,17 @@
 //!
 //! Multi-core verification lives in [`parallel`]: a work-stealing driver
 //! whose workers exchange replayable branch-decision prefixes and share a
-//! sharded solver cache, with a deterministic merged report.
+//! sharded solver cache, with a deterministic merged report. The exchange
+//! itself is the first-class [`frontier::Frontier`] API: the in-process
+//! deque is one implementation, and [`frontier::SharedFrontier`] lets a
+//! dispatcher lease subtree jobs to remote worker processes over any
+//! transport while preserving the bit-identical merge.
 
 pub mod blast;
 pub mod cache;
 pub mod executor;
 pub mod expr;
+pub mod frontier;
 pub mod interval;
 pub mod memory;
 pub mod parallel;
@@ -35,9 +40,12 @@ pub mod solver;
 pub use cache::{CacheStats, CachedVerdict, SharedQueryCache};
 pub use executor::{verify, DonationPolicy, Executor, SearchStrategy, SymArg, SymConfig};
 pub use expr::{ExprPool, ExprRef, Node};
+pub use frontier::{
+    Frontier, FrontierProvider, FrontierSignal, FrontierStats, LocalFrontier, SharedFrontier,
+};
 pub use parallel::{
     default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached,
-    SharedBudget,
+    verify_parallel_frontier, ExploreHooks, NoHooks, SharedBudget,
 };
 pub use report::{Bug, BugKind, SolverStats, TestCase, VerificationReport};
 pub use solver::{Model, SatResult, Solver};

@@ -27,11 +27,11 @@
 
 use crate::cache::SharedQueryCache;
 use crate::executor::{Executor, SymConfig};
+use crate::frontier::{Frontier, LocalFrontier};
 use crate::report::VerificationReport;
 use overify_ir::Module;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Fleet-wide exploration budget: instruction ceiling and wall-clock
@@ -107,6 +107,28 @@ impl SharedBudget {
         self.instructions.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock budget left before this run's deadline (zero once the
+    /// deadline passed). A dispatcher leasing subtree jobs to other
+    /// processes clamps each lease's timeout to this, so remote work
+    /// cannot outlive the run it belongs to.
+    pub fn remaining_time(&self) -> std::time::Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    /// Folds a remote worker's partial-report counters into the fleet
+    /// budget, so ceilings and streamed progress observe work done in
+    /// other processes too.
+    pub fn absorb_remote(&self, paths: u64, bugs: u64, instructions: u64) {
+        if instructions > 0 {
+            self.charge(instructions);
+        }
+        self.bugs.fetch_add(bugs, Ordering::Relaxed);
+        let total = self.paths.fetch_add(paths, Ordering::Relaxed) + paths;
+        if self.max_paths > 0 && total >= self.max_paths {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
     /// True once any worker tripped a limit; everybody stops. Also trips
     /// the wall-clock deadline, so callers polling this enforce
     /// `cfg.timeout` exactly like the serial engine's per-step check.
@@ -143,81 +165,16 @@ impl ExploreHooks for NoHooks {
     }
 }
 
-/// The shared job frontier: a deque of replayable decision prefixes plus
-/// the bookkeeping for steal/termination coordination.
-struct Frontier {
-    queue: Mutex<FrontierQueue>,
-    cv: Condvar,
-    /// Workers currently blocked waiting for a job.
-    idle: AtomicUsize,
-    /// Jobs currently queued (mirror of `queue.jobs.len()` for lock-free
-    /// hunger checks).
-    queued: AtomicUsize,
-}
-
-struct FrontierQueue {
-    jobs: VecDeque<Vec<bool>>,
-    /// Jobs outstanding: queued plus currently being explored. The run is
-    /// over when this reaches zero.
-    live: usize,
-}
-
-impl Frontier {
-    fn new() -> Frontier {
-        let mut jobs = VecDeque::new();
-        jobs.push_back(Vec::new()); // The root job: empty prefix.
-        Frontier {
-            queue: Mutex::new(FrontierQueue { jobs, live: 1 }),
-            cv: Condvar::new(),
-            idle: AtomicUsize::new(0),
-            queued: AtomicUsize::new(1),
-        }
-    }
-
-    /// Blocks until a job is available or the run is over (`None`).
-    fn next(&self) -> Option<Vec<bool>> {
-        let mut q = self.queue.lock().unwrap();
-        loop {
-            if let Some(job) = q.jobs.pop_front() {
-                self.queued.fetch_sub(1, Ordering::Relaxed);
-                return Some(job);
-            }
-            if q.live == 0 {
-                return None;
-            }
-            self.idle.fetch_add(1, Ordering::Relaxed);
-            q = self.cv.wait(q).unwrap();
-            self.idle.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Marks one popped job fully explored (its subtree is done or
-    /// donated onward).
-    fn finish_job(&self) {
-        let mut q = self.queue.lock().unwrap();
-        q.live -= 1;
-        if q.live == 0 {
-            self.cv.notify_all();
-        }
-    }
-}
-
-struct FrontierHooks<'a>(&'a Frontier);
+/// Adapts any [`Frontier`] into the executor's donation callbacks.
+struct FrontierHooks<'a>(&'a dyn Frontier);
 
 impl ExploreHooks for FrontierHooks<'_> {
     fn hungry(&self) -> bool {
-        // Donate only while starving workers outnumber queued jobs; keeps
-        // steal traffic (and replay overhead) proportional to imbalance.
-        self.0.idle.load(Ordering::Relaxed) > self.0.queued.load(Ordering::Relaxed)
+        self.0.hungry()
     }
 
     fn donate(&self, prefix: Vec<bool>) -> bool {
-        let mut q = self.0.queue.lock().unwrap();
-        q.jobs.push_back(prefix);
-        q.live += 1;
-        self.0.queued.fetch_add(1, Ordering::Relaxed);
-        self.0.cv.notify_one();
-        true
+        self.0.offer(prefix)
     }
 }
 
@@ -291,19 +248,40 @@ pub fn verify_parallel_budgeted(
     cache: &Arc<SharedQueryCache>,
     budget: &Arc<SharedBudget>,
 ) -> VerificationReport {
+    verify_parallel_frontier(m, entry, cfg, workers, cache, budget, &LocalFrontier::new())
+}
+
+/// [`verify_parallel_budgeted`] against a caller-owned [`Frontier`] — the
+/// transport-agnostic face of the driver.
+///
+/// The in-process workers pop, explore and donate through `frontier`
+/// exactly as they always have; a dispatcher substituting a
+/// [`crate::frontier::SharedFrontier`] can additionally lease queued jobs
+/// to remote worker processes, and their partial reports (drained via
+/// [`Frontier::drain_remote_reports`] once the local workers terminate)
+/// enter the same deterministic merge. The merged report's bugs,
+/// canonical tests and path set are bit-identical regardless of how many
+/// processes shared the frontier.
+pub fn verify_parallel_frontier(
+    m: &Module,
+    entry: &str,
+    cfg: &SymConfig,
+    workers: usize,
+    cache: &Arc<SharedQueryCache>,
+    budget: &Arc<SharedBudget>,
+    frontier: &dyn Frontier,
+) -> VerificationReport {
     let workers = workers.max(1);
     let start = Instant::now();
     let budget = budget.clone();
     let shared_cache = cfg.solver.use_shared_cache.then(|| cache.clone());
-    let frontier = Frontier::new();
 
-    let reports: Vec<VerificationReport> = std::thread::scope(|scope| {
+    let mut reports: Vec<VerificationReport> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
             let cfg = cfg.clone();
             let budget = budget.clone();
             let shared_cache = shared_cache.clone();
-            let frontier = &frontier;
             handles.push(
                 scope.spawn(move || worker_loop(m, entry, cfg, frontier, budget, shared_cache)),
             );
@@ -313,6 +291,9 @@ pub fn verify_parallel_budgeted(
             .map(|h| h.join().expect("verification worker panicked"))
             .collect()
     });
+    // Local workers only terminate once every leased subtree completed,
+    // so the remote partial reports are all in by now.
+    reports.extend(frontier.drain_remote_reports());
 
     let mut out = merge(reports);
     out.time = start.elapsed();
@@ -325,7 +306,7 @@ fn worker_loop(
     m: &Module,
     entry: &str,
     cfg: SymConfig,
-    frontier: &Frontier,
+    frontier: &dyn Frontier,
     budget: Arc<SharedBudget>,
     shared_cache: Option<Arc<SharedQueryCache>>,
 ) -> VerificationReport {
@@ -338,7 +319,7 @@ fn worker_loop(
         // Missing entry / signature mismatch: drain the frontier so peers
         // terminate, and report zero work like the serial engine does.
         while frontier.next().is_some() {
-            frontier.finish_job();
+            frontier.finish();
         }
         let mut r = ex.finish();
         r.exhausted = false;
@@ -360,11 +341,11 @@ fn worker_loop(
     ex.finish()
 }
 
-struct FinishJobGuard<'a>(&'a Frontier);
+struct FinishJobGuard<'a>(&'a dyn Frontier);
 
 impl Drop for FinishJobGuard<'_> {
     fn drop(&mut self) {
-        self.0.finish_job();
+        self.0.finish();
     }
 }
 
@@ -723,6 +704,128 @@ mod tests {
             assert_eq!(r.path_ids, base.path_ids, "workers={w}");
             assert_eq!(r.max_path_multiplicity(), 1, "workers={w}");
         }
+    }
+
+    #[test]
+    fn remote_lease_of_the_root_job_merges_bit_identically() {
+        // Simulate a remote worker process deterministically: lease the
+        // root job off a SharedFrontier before the local workers start,
+        // explore it in a completely separate executor (its own pool, its
+        // own caches — exactly what another process would have), and
+        // complete the lease with the partial report. The merged report
+        // must be bit-identical in its deterministic projection, and the
+        // budget must have absorbed the remote counters.
+        use crate::frontier::SharedFrontier;
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                }
+                if (in[0] == 'z') { int x = 0; return 10 / x; }
+                return acc;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 2,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+
+        let cache = Arc::new(SharedQueryCache::new());
+        let budget = Arc::new(SharedBudget::new(&cfg));
+        let frontier = SharedFrontier::for_run(
+            Some(budget.clone()),
+            Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            None,
+        );
+        let root = frontier.try_steal().expect("root leased");
+        let partial = {
+            let mut ex = Executor::new(&m, cfg.clone());
+            let init = ex.initial_state("umain").expect("entry exists");
+            ex.run_job(init, &root, &NoHooks);
+            ex.finish()
+        };
+        frontier.complete_remote(partial);
+        let merged = verify_parallel_frontier(&m, "umain", &cfg, 2, &cache, &budget, &frontier);
+
+        assert_eq!(merged.canonical_bytes(), base.canonical_bytes());
+        assert_eq!(merged.bugs, base.bugs);
+        assert_eq!(merged.tests, base.tests);
+        assert_eq!(merged.path_ids, base.path_ids);
+        assert_eq!(merged.max_path_multiplicity(), 1);
+        assert!(merged.exhausted);
+        assert_eq!(frontier.stats().remote_leases, 1);
+        assert_eq!(
+            budget.paths(),
+            merged.total_paths(),
+            "remote paths absorbed into the fleet budget"
+        );
+    }
+
+    #[test]
+    fn concurrent_remote_stealing_stays_deterministic() {
+        // The opportunistic flavour: a thief thread races the local
+        // workers, stealing and shedding states like a live remote worker
+        // connection. However the race resolves, the merged report's
+        // deterministic projection must match the serial run exactly.
+        use crate::frontier::SharedFrontier;
+        use std::sync::atomic::AtomicBool;
+        let src = r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                return acc;
+            }
+        "#;
+        let m = compile(src);
+        let cfg = SymConfig {
+            input_bytes: 3,
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        };
+        let base = verify_parallel(&m, "umain", &cfg, 1);
+        assert!(base.exhausted);
+
+        let hunger = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let budget = Arc::new(SharedBudget::new(&cfg));
+        let frontier = SharedFrontier::for_run(Some(budget.clone()), hunger.clone(), None);
+        let done = AtomicBool::new(false);
+        let merged = std::thread::scope(|scope| {
+            let thief = scope.spawn(|| {
+                // A steal request is permanently pending, like a worker
+                // process long-polling the dispatcher.
+                hunger.fetch_add(1, Ordering::Relaxed);
+                while !done.load(Ordering::Relaxed) {
+                    let Some(prefix) = frontier.try_steal() else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let mut ex = Executor::new(&m, cfg.clone());
+                    let init = ex.initial_state("umain").expect("entry exists");
+                    ex.run_job(init, &prefix, &NoHooks);
+                    frontier.complete_remote(ex.finish());
+                }
+                hunger.fetch_sub(1, Ordering::Relaxed);
+            });
+            let cache = Arc::new(SharedQueryCache::new());
+            let merged = verify_parallel_frontier(&m, "umain", &cfg, 2, &cache, &budget, &frontier);
+            done.store(true, Ordering::Relaxed);
+            thief.join().unwrap();
+            merged
+        });
+        assert_eq!(merged.canonical_bytes(), base.canonical_bytes());
+        assert_eq!(merged.max_path_multiplicity(), 1);
     }
 
     #[test]

@@ -181,6 +181,48 @@ impl VerificationReport {
         sig
     }
 
+    /// Encodes the report's *deterministic projection*: exhaustion plus
+    /// the bugs, canonical test cases and path fingerprints, in their
+    /// merged canonical order. Two runs of the same program and
+    /// configuration must produce identical bytes at any worker-thread or
+    /// worker-process count — that is the distribution invariant the
+    /// cross-process tests assert. Aggregate counters (instructions,
+    /// steal traffic, solver statistics, wall time) legitimately vary
+    /// with interleaving and are excluded.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let u32_of = |out: &mut Vec<u8>, v: usize| out.extend_from_slice(&(v as u32).to_le_bytes());
+        out.push(self.exhausted as u8);
+        u32_of(&mut out, self.bugs.len());
+        for b in &self.bugs {
+            out.push(b.kind as u8);
+            u32_of(&mut out, b.location.len());
+            out.extend_from_slice(b.location.as_bytes());
+            u32_of(&mut out, b.input.len());
+            out.extend_from_slice(&b.input);
+        }
+        u32_of(&mut out, self.tests.len());
+        for t in &self.tests {
+            u32_of(&mut out, t.input.len());
+            out.extend_from_slice(&t.input);
+            u32_of(&mut out, t.output.len());
+            for o in &t.output {
+                match o {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        out.push(*v);
+                    }
+                }
+            }
+        }
+        u32_of(&mut out, self.path_ids.len());
+        for &id in &self.path_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+
     /// How often the most-explored path was explored. 1 on any correct
     /// run; >1 would mean workers duplicated path work (the failure mode
     /// of the old static input-space partitioner).

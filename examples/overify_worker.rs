@@ -1,0 +1,81 @@
+//! A remote verification worker: attaches to a running `serve_daemon`
+//! and lends this machine's cores to its path-level frontier.
+//!
+//! ```sh
+//! cargo run --release --example serve_daemon  -- --port 7979 &
+//! cargo run --release --example overify_worker -- --port 7979 --threads 4
+//! ```
+//!
+//! The worker steals serialized decision-trace subtree jobs, explores
+//! them locally (sharing one process-wide solver cache across leases),
+//! sheds its biggest pending subtrees back when the fleet is hungry, and
+//! returns partial reports the daemon merges bit-identically with its own
+//! workers'. It exits when the daemon goes away, or after `--idle-exit-ms`
+//! without work; `--expect-steals N` makes the exit code assert that at
+//! least N subtree jobs were actually stolen (CI's distributed-smoke
+//! canary).
+
+use overify_serve::{run_worker, WorkerConfig};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn main() {
+    let mut port: u16 = 7979;
+    let mut threads: usize = 1;
+    let mut idle_exit_ms: Option<u64> = None;
+    let mut expect_steals: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = num(&mut args, "--port") as u16,
+            "--threads" => threads = num(&mut args, "--threads") as usize,
+            "--idle-exit-ms" => idle_exit_ms = Some(num(&mut args, "--idle-exit-ms")),
+            "--expect-steals" => expect_steals = num(&mut args, "--expect-steals"),
+            _ => usage(&format!("unknown argument {arg}")),
+        }
+    }
+
+    let cfg = WorkerConfig {
+        addr: SocketAddr::from((Ipv4Addr::LOCALHOST, port)),
+        threads: threads.max(1),
+        steal_batch: 1,
+        idle_exit: idle_exit_ms.map(Duration::from_millis),
+        name: format!("overify-worker:{}", std::process::id()),
+    };
+    println!(
+        "overify_worker: attaching {} connection(s) to {}",
+        cfg.threads, cfg.addr
+    );
+    let stats = match run_worker(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("overify_worker: cannot serve {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "overify_worker: done — {} subtree job(s) stolen, {} state(s) shed back, {} bounced",
+        stats.stolen, stats.states_returned, stats.bounced
+    );
+    if stats.stolen < expect_steals {
+        eprintln!(
+            "overify_worker: FAIL — expected ≥{expect_steals} steals, got {}",
+            stats.stolen
+        );
+        std::process::exit(1);
+    }
+}
+
+fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "overify_worker: {msg}\nusage: overify_worker [--port P] [--threads N] \
+         [--idle-exit-ms M] [--expect-steals K]"
+    );
+    std::process::exit(2);
+}

@@ -12,10 +12,15 @@
 //! cost-first scheduler — not submission order — decides execution order.
 //!
 //! Exit is nonzero when `--expect-all-hits` sees a miss (the daemon had to
-//! verify something that should have been stored) or `--expect-progress`
-//! sees no mid-flight progress event for any miss (nothing streamed).
+//! verify something that should have been stored), `--expect-progress`
+//! sees no mid-flight progress event for any miss (nothing streamed), or
+//! `--baseline-check` finds any daemon-produced report whose deterministic
+//! projection differs from a plain in-process run of the same job — the
+//! distributed-verification canary: however the daemon split the work
+//! (local path workers, remote worker processes), the report must be
+//! byte-identical to single-process verification.
 
-use overify::{coreutils_jobs, OptLevel, SymConfig};
+use overify::{coreutils_jobs, prepare_job, OptLevel, SuiteJob, SymConfig};
 use overify_serve::{Client, Event, JobSpec};
 use std::net::{Ipv4Addr, SocketAddr};
 use std::time::Duration;
@@ -26,6 +31,7 @@ fn main() {
     let mut bytes: usize = 3;
     let mut expect_all_hits = false;
     let mut expect_progress = false;
+    let mut baseline_check = false;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,6 +41,7 @@ fn main() {
             "--bytes" => bytes = num(&mut args, "--bytes") as usize,
             "--expect-all-hits" => expect_all_hits = true,
             "--expect-progress" => expect_progress = true,
+            "--baseline-check" => baseline_check = true,
             "--shutdown" => shutdown = true,
             _ => usage(&format!("unknown argument {arg}")),
         }
@@ -67,7 +74,7 @@ fn main() {
     // exercise the scheduler on the most expensive slice of the suite.
     let levels = [OptLevel::O0, OptLevel::O3, OptLevel::Overify];
     let mut names_in_order: Vec<String> = Vec::new();
-    let specs: Vec<JobSpec> = coreutils_jobs(&levels, &[bytes], &cfg)
+    let jobs: Vec<SuiteJob> = coreutils_jobs(&levels, &[bytes], &cfg)
         .into_iter()
         .filter(|j| {
             if names_in_order.contains(&j.name) {
@@ -79,8 +86,8 @@ fn main() {
                 false
             }
         })
-        .map(|j| JobSpec::from_suite_job(&j))
         .collect();
+    let specs: Vec<JobSpec> = jobs.iter().map(JobSpec::from_suite_job).collect();
 
     println!(
         "serve_client: submitting {} jobs ({} utilities × {} levels, {} symbolic bytes) to {addr}",
@@ -139,6 +146,48 @@ fn main() {
         results.len()
     );
 
+    if baseline_check {
+        // Recompute every job in this process (single-machine, no daemon,
+        // no remote workers) and demand the deterministic projection of
+        // each report — exhaustion, bugs, canonical tests, path set — is
+        // byte-identical to what the daemon returned.
+        let mut mismatches = 0usize;
+        for (job, served) in jobs.iter().zip(&results) {
+            if served.error.is_some() {
+                continue;
+            }
+            let local = match prepare_job(job, false) {
+                Ok(p) => p.execute(None, None, None),
+                Err(_) => continue,
+            };
+            let agree = local.runs.len() == served.runs.len()
+                && local
+                    .runs
+                    .iter()
+                    .zip(&served.runs)
+                    .all(|((bn, br), (sn, sr))| {
+                        bn == sn && br.canonical_bytes() == sr.canonical_bytes()
+                    });
+            if !agree {
+                mismatches += 1;
+                eprintln!(
+                    "serve_client: BASELINE MISMATCH for {} {:?}",
+                    job.name, job.opts.level
+                );
+            }
+        }
+        if mismatches > 0 {
+            eprintln!(
+                "serve_client: FAIL — {mismatches} report(s) differ from the \
+                 single-process baseline"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "serve_client: baseline check passed — every report byte-identical \
+             to single-process verification"
+        );
+    }
     if expect_all_hits && misses > 0 {
         eprintln!("serve_client: FAIL — expected every job from the store, {misses} missed");
         std::process::exit(1);
@@ -162,7 +211,7 @@ fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "serve_client: {msg}\nusage: serve_client [--port P] [--utilities N] [--bytes N] \
-         [--expect-all-hits] [--expect-progress] [--shutdown]"
+         [--expect-all-hits] [--expect-progress] [--baseline-check] [--shutdown]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,252 @@
+//! End-to-end tests of cross-process frontier sharding: a daemon
+//! dispatching path-level subtree jobs to remote workers over real
+//! localhost sockets, with the merged report's deterministic projection
+//! asserted bit-identical to a plain in-process run.
+//!
+//! The "remote worker processes" here are `run_worker` fleets in their
+//! own threads speaking the real TCP protocol — the same code path the
+//! `overify_worker` binary runs; CI's `distributed-smoke` job repeats the
+//! exercise with genuinely separate OS processes.
+
+use overify::{prepare_job, OptLevel, SuiteJob, SuiteJobResult, SymConfig};
+use overify_serve::{
+    protocol, run_worker, start, Client, Event, JobSpec, Request, ServerConfig, ServerHandle,
+    WorkerConfig,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn start_storeless(executors: usize) -> ServerHandle {
+    start(ServerConfig {
+        port: 0,
+        executors,
+        store: None,
+        progress_interval: Duration::from_millis(10),
+    })
+    .expect("server binds an ephemeral port")
+}
+
+fn small_cfg() -> SymConfig {
+    SymConfig {
+        pass_len_arg: true,
+        collect_tests: true,
+        ..Default::default()
+    }
+}
+
+/// A branchy job with enough paths (~4 decision points per input byte)
+/// that the run lasts long enough for remote workers to attach, register
+/// hunger, and be fed donated frontier states.
+fn branchy_job(bytes: Vec<usize>, path_workers: usize) -> SuiteJob {
+    SuiteJob {
+        name: "branchy".into(),
+        source: r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                if (in[0] == 'z' && n > 1 && in[1] == '!') {
+                    int x = 0;
+                    return 10 / x;
+                }
+                return acc;
+            }
+        "#
+        .into(),
+        entry: "umain".into(),
+        opts: overify::BuildOptions::level(OptLevel::O0),
+        bytes,
+        cfg: small_cfg(),
+        path_workers,
+    }
+}
+
+/// Asserts two results agree on everything deterministic: per-run
+/// canonical bytes (exhaustion, bugs, canonical tests, path set).
+fn assert_canonically_equal(base: &SuiteJobResult, distributed: &SuiteJobResult) {
+    assert_eq!(base.error, distributed.error);
+    assert_eq!(base.runs.len(), distributed.runs.len());
+    for ((bn, br), (dn, dr)) in base.runs.iter().zip(&distributed.runs) {
+        assert_eq!(bn, dn, "swept sizes align");
+        assert_eq!(
+            br.canonical_bytes(),
+            dr.canonical_bytes(),
+            "deterministic projection must be byte-identical at {bn} input bytes"
+        );
+        assert_eq!(br.bugs, dr.bugs);
+        assert_eq!(br.tests, dr.tests);
+        assert_eq!(br.path_ids, dr.path_ids);
+        assert_eq!(br.exhausted, dr.exhausted);
+        assert_eq!(dr.max_path_multiplicity(), 1, "no duplicated paths");
+    }
+}
+
+#[test]
+fn daemon_with_two_remote_workers_is_byte_identical_to_in_process() {
+    // Baseline: plain in-process run with 4 path workers.
+    let baseline = prepare_job(&branchy_job(vec![5], 4), false)
+        .expect("builds")
+        .execute(None, None, None);
+    assert!(baseline.exhausted(), "baseline covers the whole path space");
+    assert!(
+        !baseline.runs[0].1.bugs.is_empty(),
+        "the planted bug exists"
+    );
+
+    // Daemon with one executor and two local path workers per run; two
+    // remote worker fleets attach over TCP before the job is submitted.
+    let server = start_storeless(1);
+    let addr = server.addr();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                run_worker(&WorkerConfig {
+                    idle_exit: Some(Duration::from_millis(600)),
+                    ..WorkerConfig::at(addr)
+                })
+            })
+        })
+        .collect();
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let spec = JobSpec::from_suite_job(&branchy_job(vec![5], 2));
+    let result = client.submit(&spec).expect("job completes");
+    assert_canonically_equal(&baseline, &result);
+
+    // The remote workers genuinely participated.
+    let stats = server.stats();
+    assert!(
+        stats.remote_leases >= 1,
+        "no subtree job was ever leased remotely: {stats:?}"
+    );
+    let mut stolen = 0;
+    for w in workers {
+        stolen += w
+            .join()
+            .unwrap()
+            .expect("worker fleet exits cleanly")
+            .stolen;
+    }
+    assert!(stolen >= 1, "workers report zero steals");
+    server.shutdown();
+}
+
+#[test]
+fn worker_that_dies_mid_lease_does_not_lose_the_subtree() {
+    let server = start_storeless(1);
+    let addr = server.addr();
+
+    // A protocol-level "evil" worker: attach, poll until granted a
+    // lease, then vanish without JobDone — simulating a crashed worker
+    // process holding a leased subtree.
+    let evil = std::thread::spawn(move || -> bool {
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        match protocol::decode_event(&protocol::read_frame(&mut reader).expect("hello")) {
+            Ok(Event::Hello { version }) => assert_eq!(version, protocol::VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        let mut request = |req: &Request| -> Event {
+            protocol::write_frame(&mut writer, &protocol::encode_request(req)).expect("send");
+            protocol::decode_event(&protocol::read_frame(&mut reader).expect("recv"))
+                .expect("decode")
+        };
+        assert!(matches!(
+            request(&Request::AttachWorker {
+                name: "evil".into()
+            }),
+            Event::WorkerAttached { .. }
+        ));
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while Instant::now() < deadline {
+            match request(&Request::StealJobs { max: 1 }) {
+                Event::Leases { leases } if !leases.is_empty() => return true,
+                Event::Leases { .. } => continue,
+                other => panic!("expected Leases, got {other:?}"),
+            }
+        }
+        false
+        // Dropping reader/writer here closes the socket with the lease
+        // still held.
+    });
+
+    // One local path worker: donations flow the moment the evil worker's
+    // pending steal registers hunger, so the lease is taken early in a
+    // multi-second run.
+    let job = branchy_job(vec![5], 1);
+    let baseline = prepare_job(&job, false)
+        .expect("builds")
+        .execute(None, None, None);
+    let mut client = Client::connect(addr).expect("client connects");
+    let result = client
+        .submit(&JobSpec::from_suite_job(&job))
+        .expect("job completes despite the dead worker");
+
+    assert!(evil.join().unwrap(), "the evil worker was granted a lease");
+    assert_canonically_equal(&baseline, &result);
+    let stats = server.stats();
+    assert!(
+        stats.leases_recovered >= 1,
+        "the orphaned lease was never recovered: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn worker_against_idle_daemon_attaches_and_exits_on_idle() {
+    let server = start_storeless(1);
+    let addr = server.addr();
+    let stats = run_worker(&WorkerConfig {
+        idle_exit: Some(Duration::from_millis(120)),
+        ..WorkerConfig::at(addr)
+    })
+    .expect("attach + idle exit");
+    assert_eq!(stats.stolen, 0);
+    server.shutdown();
+}
+
+#[test]
+fn workers_share_store_hits_with_clients() {
+    // A daemon with a store: the first distributed run persists its
+    // report; a resubmission is answered from the store without
+    // publishing any frontier (remote workers see nothing new to steal).
+    let root = std::env::temp_dir().join(format!("overify_dist_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = start(ServerConfig {
+        port: 0,
+        executors: 1,
+        store: Some(overify::StoreConfig::at(&root)),
+        progress_interval: Duration::from_millis(10),
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let worker = std::thread::spawn(move || {
+        run_worker(&WorkerConfig {
+            idle_exit: Some(Duration::from_millis(600)),
+            ..WorkerConfig::at(addr)
+        })
+    });
+
+    let job = branchy_job(vec![4], 1);
+    let spec = JobSpec::from_suite_job(&job);
+    let mut client = Client::connect(addr).expect("connects");
+    let cold = client.submit(&spec).expect("cold run");
+    assert!(!cold.from_store);
+    let warm = client.submit(&spec).expect("warm run");
+    assert!(warm.from_store, "second submission is a store hit");
+    assert_eq!(cold.runs, warm.runs, "stored report verbatim");
+    worker.join().unwrap().expect("worker exits");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// SocketAddr helper kept local so the test file stays self-contained.
+#[allow(dead_code)]
+fn localhost(port: u16) -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], port))
+}
