@@ -22,7 +22,11 @@
 //!   [`Store`] / [`StoreConfig`] / `OVERIFY_STORE`) amortizes that work
 //!   *across* runs: suite sweeps warm-start the shared solver cache from
 //!   disk and skip jobs whose program content hash and configuration
-//!   match a stored report.
+//!   match a stored report — at whole-module grain when the program is
+//!   byte-identical, and at **function-slice** grain
+//!   ([`slice_fingerprint`]) when only code outside the entry's
+//!   dependency slice changed, so editing one function re-verifies one
+//!   slice.
 //!
 //! # Quickstart
 //!
@@ -71,17 +75,20 @@ pub use overify_coreutils::{suite as coreutils_suite, Utility};
 pub use overify_interp::{
     run_module, run_with_buffer, CpuCostModel, ExecConfig, ExecResult, Outcome,
 };
-pub use overify_ir::{module_fingerprint, Module};
+pub use overify_ir::{
+    module_fingerprint, slice_fingerprint, slice_fingerprints, CallGraph, Module,
+};
 pub use overify_libc::LibcVariant;
 pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
 pub use overify_store::{
-    budget_signature, GcStats, ReportKey, Store, StoreConfig, StoreStats, StoredJob,
+    budget_signature, GcStats, ReportKey, SliceKey, Store, StoreConfig, StoreStats, StoredJob,
 };
 pub use overify_symex::{
-    default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached,
-    verify_parallel_frontier, Bug, BugKind, CacheStats, DonationPolicy, Frontier, FrontierProvider,
-    FrontierSignal, FrontierStats, LocalFrontier, SearchStrategy, SharedBudget, SharedFrontier,
-    SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase, VerificationReport,
+    default_threads, estimated_subtree_forks, verify_parallel, verify_parallel_budgeted,
+    verify_parallel_cached, verify_parallel_frontier, Bug, BugKind, CacheStats, DonationPolicy,
+    Frontier, FrontierProvider, FrontierSignal, FrontierStats, LocalFrontier, SearchStrategy,
+    SharedBudget, SharedFrontier, SharedQueryCache, SolverStats, SymArg, SymConfig, TestCase,
+    VerificationReport,
 };
 
 /// Symbolically verifies a compiled program's entry function.

@@ -15,11 +15,26 @@
 //! budget signature match a stored run — the stored report is returned
 //! verbatim, flagged via [`SuiteJobResult::from_store`] and counted in
 //! [`SuiteReport::store`].
+//!
+//! Content addressing works at **two grains**. The module key is the fast
+//! path: identical whole program, identical outcome. When it misses, the
+//! job falls back to its **function slice** key — the entry function's
+//! dependency-sliced fingerprint (`overify_ir::slice_fingerprint`), which
+//! covers exactly the code verification can observe: the entry, its
+//! transitive callees, the globals they reference and their annotations.
+//! An edit *outside* that slice changes the module fingerprint but not the
+//! slice fingerprint, so the stored verdict is **spliced** in verbatim
+//! (flagged [`SuiteJobResult::from_slice`]) and only genuinely changed
+//! slices re-execute. Splicing is sound because a verification run is a
+//! pure function of the slice: byte-for-byte, the spliced report equals
+//! what a cold full run would produce.
 
 use crate::build::{compile_module, BuildOptions};
 use overify_ir::{Cfg, DomTree, LoopForest, Module};
 use overify_opt::OptLevel;
-use overify_store::{budget_signature, ReportKey, Store, StoreConfig, StoreStats, StoredJob};
+use overify_store::{
+    budget_signature, ReportKey, SliceKey, Store, StoreConfig, StoreStats, StoredJob,
+};
 use overify_symex::{
     verify_parallel_budgeted, verify_parallel_frontier, BugKind, FrontierProvider, SharedBudget,
     SharedQueryCache, SymConfig, VerificationReport,
@@ -85,6 +100,11 @@ pub struct SuiteJobResult {
     /// True when `runs` was answered verbatim from the persistent report
     /// store (verification skipped).
     pub from_store: bool,
+    /// True when the store answer came from the **function-slice** grain:
+    /// the whole-module key missed (something in the module changed) but
+    /// the entry function's dependency slice was untouched, so its stored
+    /// verdict was spliced in verbatim. Implies `from_store`.
+    pub from_slice: bool,
 }
 
 impl SuiteJobResult {
@@ -149,9 +169,17 @@ impl SuiteReport {
         self.jobs.iter().map(|j| j.total_time()).sum()
     }
 
-    /// Number of jobs answered verbatim from the persistent report store.
+    /// Number of jobs answered verbatim from the persistent report store
+    /// (at either grain: whole-module hits and slice splices alike).
     pub fn store_hits(&self) -> usize {
         self.jobs.iter().filter(|j| j.from_store).count()
+    }
+
+    /// Number of jobs answered by **splicing** a stored function-slice
+    /// verdict: the module key missed but the entry's dependency slice was
+    /// unchanged. A subset of [`SuiteReport::store_hits`].
+    pub fn splice_hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.from_slice).count()
     }
 }
 
@@ -368,8 +396,15 @@ pub struct PreparedJob {
     pub module: Module,
     /// Front-end + pipeline + link wall time of this preparation.
     pub compile_time: Duration,
-    /// The job's content address; `None` when prepared without a store.
+    /// The job's whole-module content address; `None` when prepared
+    /// without a store.
     pub key: Option<ReportKey>,
+    /// The job's **function-slice** content address: the entry function's
+    /// dependency-sliced fingerprint plus the same level and budget
+    /// signature. `None` when prepared without a store or when the entry
+    /// function is absent from the built module (the run would fail
+    /// anyway). This is the key that survives edits outside the slice.
+    pub slice_key: Option<SliceKey>,
     /// The module-feature static cost estimate ([`estimated_module_cost`])
     /// — free at prepare time, used by schedulers to price never-seen
     /// work.
@@ -403,6 +438,7 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
                 runs: Vec::new(),
                 error: Some(e),
                 from_store: false,
+                from_slice: false,
             })
         }
     };
@@ -411,10 +447,23 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
     // The content address of this job: the canonical printed-IR
     // fingerprint plus everything else that shapes the run. A stored
     // artifact under the same key *is* this job's outcome.
-    let key = with_key.then(|| ReportKey {
+    let budget_sig =
+        with_key.then(|| budget_signature(&job.entry, &job.bytes, job.path_workers, &job.cfg));
+    let key = budget_sig.map(|budget_sig| ReportKey {
         module_fp: overify_ir::module_fingerprint(&module),
         level: job.opts.level,
-        budget_sig: budget_signature(&job.entry, &job.bytes, job.path_workers, &job.cfg),
+        budget_sig,
+    });
+    // The finer grain: the entry function's dependency-sliced fingerprint.
+    // It hashes exactly the code a verification run can observe, so a
+    // stored verdict under it stays valid across edits elsewhere in the
+    // module.
+    let slice_key = budget_sig.and_then(|budget_sig| {
+        Some(SliceKey {
+            slice_fp: overify_ir::slice_fingerprint(&module, &job.entry)?,
+            level: job.opts.level,
+            budget_sig,
+        })
     });
     let static_cost = estimated_module_cost(&module, job);
     Ok(PreparedJob {
@@ -422,6 +471,7 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
         module,
         compile_time,
         key,
+        slice_key,
         static_cost,
     })
 }
@@ -432,12 +482,27 @@ impl PreparedJob {
         &self.job
     }
 
-    /// Looks the job up in the persistent report store: a stored artifact
-    /// under this job's key is returned verbatim as the finished result
-    /// (verification skipped), flagged [`SuiteJobResult::from_store`].
+    /// Looks the job up in the persistent report store, finest-sufficient
+    /// grain first in cost, coarsest first in order:
+    ///
+    /// 1. the **whole-module** key — identical program, identical outcome
+    ///    (flagged [`SuiteJobResult::from_store`]);
+    /// 2. the **function-slice** key — the module changed but the entry's
+    ///    dependency slice did not, so its stored verdict is spliced in
+    ///    verbatim (flagged `from_store` *and*
+    ///    [`SuiteJobResult::from_slice`]).
+    ///
+    /// Either hit skips verification entirely; the spliced report is
+    /// byte-identical to what a cold full run of this job would produce,
+    /// because a run is a pure function of the entry's slice.
     pub fn load_stored(&self, store: &Store) -> Option<SuiteJobResult> {
-        let key = self.key.as_ref()?;
-        let stored = store.load_report(key)?;
+        let (stored, from_slice) = match self.key.as_ref().and_then(|k| store.load_report(k)) {
+            Some(stored) => (stored, false),
+            None => {
+                let key = self.slice_key.as_ref()?;
+                (store.load_slice(key)?, true)
+            }
+        };
         Some(SuiteJobResult {
             name: self.job.name.clone(),
             level: self.job.opts.level,
@@ -445,6 +510,7 @@ impl PreparedJob {
             runs: stored.runs,
             error: None,
             from_store: true,
+            from_slice,
         })
     }
 
@@ -532,22 +598,41 @@ impl PreparedJob {
             })
             .collect();
 
-        if let (Some(s), Some(key)) = (store, &self.key) {
+        if let Some(s) = store {
+            let elapsed = verify_start.elapsed();
             // Observed-cost feedback for the store-aware scheduler —
             // recorded for truncated runs too (they return as misses, and
-            // their wall time is the scheduling signal).
-            if let Err(e) = s.record_cost(key, verify_start.elapsed()) {
-                eprintln!("overify: failed to record cost for {}: {e}", job.name);
+            // their wall time is the scheduling signal). Both grains are
+            // priced: the module record covers an exact resubmission, the
+            // slice record survives edits elsewhere in the module so the
+            // scheduler can price a changed-slice remainder.
+            if let Some(key) = &self.key {
+                if let Err(e) = s.record_cost(key, elapsed) {
+                    eprintln!("overify: failed to record cost for {}: {e}", job.name);
+                }
+            }
+            if let Some(slice_key) = &self.slice_key {
+                if let Err(e) = s.record_slice_cost(slice_key, elapsed) {
+                    eprintln!("overify: failed to record slice cost for {}: {e}", job.name);
+                }
             }
             // Only *complete* runs are pure functions of the content
             // address: a budget-truncated report depends on wall clock and
             // thread interleaving (where exactly exploration stopped), so
             // persisting it would replay a partial answer — and mask its
             // missed bugs — forever. Truncated jobs stay misses and are
-            // recomputed.
+            // recomputed. Complete outcomes are persisted at both grains.
             if runs.iter().all(|(_, r)| !r.timed_out) {
-                if let Err(e) = s.save_report(key, &StoredJob { runs: runs.clone() }) {
-                    eprintln!("overify: failed to store report for {}: {e}", job.name);
+                let stored = StoredJob { runs: runs.clone() };
+                if let Some(key) = &self.key {
+                    if let Err(e) = s.save_report(key, &stored) {
+                        eprintln!("overify: failed to store report for {}: {e}", job.name);
+                    }
+                }
+                if let Some(slice_key) = &self.slice_key {
+                    if let Err(e) = s.save_slice(slice_key, &stored) {
+                        eprintln!("overify: failed to store slice for {}: {e}", job.name);
+                    }
                 }
             }
         }
@@ -559,6 +644,7 @@ impl PreparedJob {
             runs,
             error: None,
             from_store: false,
+            from_slice: false,
         }
     }
 }
@@ -776,6 +862,67 @@ mod tests {
         let other_store = Store::open(StoreConfig::at(&root)).unwrap();
         let other = verify_suite_stored(bigger, 1, Some(&other_store));
         assert_eq!(other.store_hits(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn slice_splice_answers_edits_outside_the_entry_slice() {
+        let root =
+            std::env::temp_dir().join(format!("overify_suite_splice_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let job_with = |tail: &str| SuiteJob {
+            name: "spliced".into(),
+            source: format!(
+                "int umain(unsigned char *in, int n) {{ \
+                 if (in[0] == 'x') return 1; return 0; }}\n{tail}"
+            ),
+            entry: "umain".into(),
+            opts: BuildOptions::level(OptLevel::O0),
+            bytes: vec![2],
+            cfg: small_cfg(),
+            path_workers: 1,
+        };
+        let before = job_with("int helper(unsigned char *in, int n) { return 7; }");
+        let after = job_with("int helper(unsigned char *in, int n) { return 8; }");
+
+        let store = Store::open(StoreConfig::at(&root)).unwrap();
+        let cold = verify_suite_stored(vec![before.clone()], 1, Some(&store));
+        assert!(!cold.jobs[0].from_store);
+        assert_eq!(cold.store.as_ref().unwrap().slices_saved, 1);
+
+        // The edit touched only the (uncalled) helper: the module
+        // fingerprint moves, the entry's slice fingerprint does not.
+        let pb = prepare_job(&before, true).unwrap();
+        let pa = prepare_job(&after, true).unwrap();
+        assert_ne!(pb.key.as_ref().unwrap(), pa.key.as_ref().unwrap());
+        assert_eq!(
+            pb.slice_key.as_ref().unwrap(),
+            pa.slice_key.as_ref().unwrap()
+        );
+
+        // Warm sweep of the edited program: the module key misses, the
+        // slice key splices, and the spliced report is byte-identical to
+        // a cold full run of the edited program.
+        let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+        let warm = verify_suite_stored(vec![after.clone()], 1, Some(&store2));
+        assert!(warm.jobs[0].from_store);
+        assert!(warm.jobs[0].from_slice);
+        assert_eq!(warm.store_hits(), 1);
+        assert_eq!(warm.splice_hits(), 1);
+        let wstats = warm.store.as_ref().unwrap();
+        assert_eq!(wstats.report_misses, 1);
+        assert_eq!(wstats.splice_hits, 1);
+
+        let fresh = verify_suite_stored(vec![after], 1, None);
+        assert!(!fresh.jobs[0].from_store);
+        for ((n_a, r_a), (n_b, r_b)) in warm.jobs[0].runs.iter().zip(&fresh.jobs[0].runs) {
+            assert_eq!(n_a, n_b);
+            assert_eq!(
+                r_a.canonical_bytes(),
+                r_b.canonical_bytes(),
+                "spliced report must equal a cold full run byte-for-byte"
+            );
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -46,6 +46,7 @@ pub mod meta;
 pub mod module;
 pub mod parse;
 pub mod print;
+pub mod slice;
 pub mod types;
 pub mod value;
 pub mod verify;
@@ -60,6 +61,7 @@ pub use meta::{Annotations, ValueRange};
 pub use module::{Global, Module};
 pub use parse::{parse_module, ParseError};
 pub use print::{module_fingerprint, print_function, print_module};
+pub use slice::{slice_fingerprint, slice_fingerprints, CallGraph};
 pub use types::{Const, Ty};
 pub use value::{BlockId, FuncId, GlobalId, InstId, Operand, ValueData, ValueDef, ValueId};
 pub use verify::{verify_function, verify_module, VerifyError};

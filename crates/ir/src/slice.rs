@@ -1,0 +1,391 @@
+//! Function-grained dependency slices and slice fingerprints.
+//!
+//! The persistent verification store originally keyed artifacts by the
+//! fingerprint of the *whole module* ([`crate::module_fingerprint`]):
+//! touch one function and every entry point's verdict is invalidated,
+//! so the dominant production workload — edit, compile, re-verify —
+//! pays full price. This module refactors the content-addressing unit
+//! down to the **function slice**: a function plus the transitive
+//! closure of everything that can affect its verification —
+//!
+//! * the canonical printed IR of the function itself,
+//! * every function reachable through direct calls (declarations and
+//!   unresolved externals included),
+//! * the contents of every global any function in the closure takes the
+//!   address of, and
+//! * the verification annotations (value ranges, trip counts) of every
+//!   function in the closure.
+//!
+//! A function's [`slice_fingerprint`] therefore changes **iff** its
+//! slice changes: editing a helper outside an entry point's call graph
+//! leaves the entry's fingerprint bit-identical even though the module
+//! fingerprint moved, which is exactly the invariant the store's splice
+//! fast path keys on.
+//!
+//! Everything here is deterministic: the call graph iterates functions
+//! in module order with callee sets deduplicated into sorted order, and
+//! closures absorb members sorted by name, so fingerprints are stable
+//! across recompiles and across processes (asserted by the
+//! slice-stability fuzz in the integration suite).
+
+use crate::function::Function;
+use crate::inst::{Callee, InstKind};
+use crate::module::Module;
+use crate::print::print_function;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PRIME: u128 = 0x0000000001000000000000000000013B;
+const BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+
+/// The module's direct-call graph, keyed by function name.
+///
+/// Edges are the `Callee::Func` targets of live call instructions;
+/// intrinsics are engine-internal and carry no IR of their own, so they
+/// are folded into the caller's printed body rather than the graph.
+/// Callees without a definition *or* declaration in the module still
+/// appear as edge targets — an unresolved external is part of the
+/// slice's identity.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m` deterministically (module order,
+    /// sorted callee sets).
+    pub fn of(m: &Module) -> CallGraph {
+        let mut edges = BTreeMap::new();
+        for f in &m.functions {
+            edges.insert(f.name.clone(), direct_callees(f));
+        }
+        CallGraph { edges }
+    }
+
+    /// The sorted direct callees of `name` (empty for unknown names and
+    /// leaf functions).
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.edges
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// The transitive call closure of `root` (including `root` itself),
+    /// sorted by name. Names without a module entry — unresolved
+    /// externals — are retained in the closure.
+    pub fn closure(&self, root: &str) -> Vec<String> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name) {
+                continue;
+            }
+            if let Some(callees) = self.edges.get(name) {
+                stack.extend(callees.iter().map(String::as_str));
+            }
+        }
+        seen.into_iter().map(str::to_owned).collect()
+    }
+}
+
+/// Sorted names of functions `f` calls directly (via live instructions).
+fn direct_callees(f: &Function) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for b in &f.blocks {
+        for &i in &b.insts {
+            if let InstKind::Call {
+                callee: Callee::Func(name),
+                ..
+            } = &f.inst(i).kind
+            {
+                out.insert(name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a-128 digest of one function's *local* verification-relevant
+/// content: its printed IR, its annotation tables (sorted, as in
+/// [`crate::module_fingerprint`]), and the contents of every global it
+/// takes the address of. Globals are absorbed by content — name, size,
+/// constness, initializer — not by numeric id, so re-linking that shifts
+/// ids without changing bytes cannot silently alias two slices.
+fn local_digest(m: &Module, f: &Function) -> u128 {
+    let mut h = BASIS;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    absorb(print_function(f).as_bytes());
+
+    let mut ranges: Vec<(u32, u64, u64)> = f
+        .annotations
+        .value_ranges
+        .iter()
+        .map(|(v, r)| (v.0, r.umin, r.umax))
+        .collect();
+    ranges.sort_unstable();
+    absorb(&(ranges.len() as u64).to_le_bytes());
+    for (v, lo, hi) in ranges {
+        absorb(&v.to_le_bytes());
+        absorb(&lo.to_le_bytes());
+        absorb(&hi.to_le_bytes());
+    }
+    let mut trips: Vec<(u32, u64)> = f
+        .annotations
+        .trip_counts
+        .iter()
+        .map(|(b, &n)| (b.0, n))
+        .collect();
+    trips.sort_unstable();
+    absorb(&(trips.len() as u64).to_le_bytes());
+    for (b, n) in trips {
+        absorb(&b.to_le_bytes());
+        absorb(&n.to_le_bytes());
+    }
+
+    let mut global_names: BTreeSet<&str> = BTreeSet::new();
+    for b in &f.blocks {
+        for &i in &b.insts {
+            if let InstKind::GlobalAddr { global } = &f.inst(i).kind {
+                if let Some(g) = m.globals.get(global.index()) {
+                    global_names.insert(&g.name);
+                }
+            }
+        }
+    }
+    absorb(&(global_names.len() as u64).to_le_bytes());
+    for name in global_names {
+        let (_, g) = m.global(name).expect("name collected from module");
+        absorb(&(name.len() as u64).to_le_bytes());
+        absorb(name.as_bytes());
+        absorb(&g.size.to_le_bytes());
+        absorb(&[g.is_const as u8]);
+        absorb(&(g.init.len() as u64).to_le_bytes());
+        absorb(&g.init);
+    }
+    h
+}
+
+/// Canonical 128-bit fingerprint of `entry`'s dependency slice, or
+/// `None` when the module has no function of that name.
+///
+/// The fingerprint absorbs, for every closure member in sorted name
+/// order, the member's name and its [`local_digest`]; unresolved
+/// externals (called but absent from the module) are absorbed as a
+/// name plus a marker byte. Two modules assign a function the same
+/// slice fingerprint exactly when everything that can affect that
+/// function's verification — its own body, its callees' bodies, the
+/// globals and annotations any of them use — is identical.
+pub fn slice_fingerprint(m: &Module, entry: &str) -> Option<u128> {
+    m.function(entry)?;
+    let graph = CallGraph::of(m);
+    Some(closure_fingerprint(m, &graph, entry))
+}
+
+/// Slice fingerprints for every function in the module, in module
+/// order. Shares one call graph and memoizes local digests, so a full
+/// sweep costs one digest per function plus closure walks.
+pub fn slice_fingerprints(m: &Module) -> Vec<(String, u128)> {
+    let graph = CallGraph::of(m);
+    let digests: BTreeMap<&str, u128> = m
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), local_digest(m, f)))
+        .collect();
+    m.functions
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                closure_fingerprint_memo(&graph, f.name.as_str(), &digests),
+            )
+        })
+        .collect()
+}
+
+fn closure_fingerprint(m: &Module, graph: &CallGraph, entry: &str) -> u128 {
+    let digests: BTreeMap<&str, u128> = m
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), local_digest(m, f)))
+        .collect();
+    closure_fingerprint_memo(graph, entry, &digests)
+}
+
+fn closure_fingerprint_memo(
+    graph: &CallGraph,
+    entry: &str,
+    digests: &BTreeMap<&str, u128>,
+) -> u128 {
+    let closure = graph.closure(entry);
+    let mut h = BASIS;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    absorb(&(closure.len() as u64).to_le_bytes());
+    for name in &closure {
+        absorb(&(name.len() as u64).to_le_bytes());
+        absorb(name.as_bytes());
+        match digests.get(name.as_str()) {
+            Some(d) => {
+                absorb(&[1u8]);
+                absorb(&d.to_le_bytes());
+            }
+            // Unresolved external: identity is the name alone.
+            None => absorb(&[0u8]),
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn module(src: &str) -> Module {
+        parse_module(src).unwrap()
+    }
+
+    const BASE: &str = r#"
+        func @leaf(%a: i32) -> i32 {
+        entry:
+          %r = add i32 %a, 1
+          ret i32 %r
+        }
+
+        func @mid(%a: i32) -> i32 {
+        entry:
+          %r = call @leaf(%a)
+          ret i32 %r
+        }
+
+        func @main(%a: i32) -> i32 {
+        entry:
+          %r = call @mid(%a)
+          ret i32 %r
+        }
+
+        func @other(%a: i32) -> i32 {
+        entry:
+          %r = mul i32 %a, 2
+          ret i32 %r
+        }
+    "#;
+
+    #[test]
+    fn call_graph_is_deterministic_and_transitive() {
+        let m = module(BASE);
+        let g = CallGraph::of(&m);
+        assert_eq!(g.callees("main").collect::<Vec<_>>(), ["mid"]);
+        assert_eq!(g.closure("main"), ["leaf", "main", "mid"]);
+        assert_eq!(g.closure("other"), ["other"]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_functions_outside_the_slice() {
+        let m1 = module(BASE);
+        let m2 = module(&BASE.replace("mul i32 %a, 2", "mul i32 %a, 3"));
+        // @other changed, so the module fingerprints differ...
+        assert_ne!(
+            crate::print::module_fingerprint(&m1),
+            crate::print::module_fingerprint(&m2)
+        );
+        // ...but @main's slice does not include @other.
+        assert_eq!(
+            slice_fingerprint(&m1, "main"),
+            slice_fingerprint(&m2, "main")
+        );
+        assert_ne!(
+            slice_fingerprint(&m1, "other"),
+            slice_fingerprint(&m2, "other")
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_transitive_callee_changes() {
+        let m1 = module(BASE);
+        let m2 = module(&BASE.replace("add i32 %a, 1", "add i32 %a, 7"));
+        // @leaf changed: every function that can reach it re-fingerprints.
+        for entry in ["leaf", "mid", "main"] {
+            assert_ne!(
+                slice_fingerprint(&m1, entry),
+                slice_fingerprint(&m2, entry),
+                "{entry}"
+            );
+        }
+        assert_eq!(
+            slice_fingerprint(&m1, "other"),
+            slice_fingerprint(&m2, "other")
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_global_content_and_annotations() {
+        let with_global = r#"
+            global @tab 4 const x"01020304"
+
+            func @user(%a: i32) -> i32 {
+            entry:
+              %p = globaladdr 0
+              %v = load i32, %p
+              ret i32 %v
+            }
+        "#;
+        let m1 = module(with_global);
+        let m2 = module(&with_global.replace("01020304", "01020305"));
+        assert_ne!(
+            slice_fingerprint(&m1, "user"),
+            slice_fingerprint(&m2, "user"),
+            "global initializer is part of the slice"
+        );
+
+        // Annotations are invisible to the printer but steer the
+        // verifier, so they are part of slice identity too.
+        let mut m3 = module(BASE);
+        m3.function_mut("leaf")
+            .unwrap()
+            .annotations
+            .value_ranges
+            .insert(crate::value::ValueId(0), crate::meta::ValueRange::point(3));
+        let m1 = module(BASE);
+        assert_ne!(
+            slice_fingerprint(&m1, "main"),
+            slice_fingerprint(&m3, "main"),
+            "annotation on a transitive callee invalidates the slice"
+        );
+    }
+
+    #[test]
+    fn unresolved_externals_are_part_of_identity() {
+        let a = module(
+            r#"
+            decl @ext(i32) -> i32
+            func @f(%a: i32) -> i32 {
+            entry:
+              %r = call @ext(%a)
+              ret i32 %r
+            }
+        "#,
+        );
+        let fp = slice_fingerprint(&a, "f").unwrap();
+        // Recomputation is stable.
+        assert_eq!(Some(fp), slice_fingerprint(&a, "f"));
+        assert_eq!(slice_fingerprint(&a, "missing"), None);
+    }
+
+    #[test]
+    fn bulk_fingerprints_match_singletons() {
+        let m = module(BASE);
+        for (name, fp) in slice_fingerprints(&m) {
+            assert_eq!(Some(fp), slice_fingerprint(&m, &name), "{name}");
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //! its in-flight subtrees — never a hung or incomplete report.
 
 use crate::protocol::{JobSpec, LeasedJob};
-use overify::{Frontier, FrontierSignal, SharedBudget, SharedFrontier, VerificationReport};
+use overify::{
+    estimated_subtree_forks, Frontier, FrontierSignal, SharedBudget, SharedFrontier,
+    VerificationReport,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -198,14 +201,22 @@ impl FrontierHub {
             .iter()
             .map(|r| (r.spec.clone(), r.budget.clone(), r.frontier.clone()))
             .collect();
-        // Shed more aggressively when more mouths are waiting.
-        let shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
+        // Shed more aggressively when more mouths are waiting...
+        let hunger_shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
         let mut out = Vec::new();
         for (spec, budget, frontier) in runs {
             while out.len() < max {
                 let Some(prefix) = frontier.try_steal() else {
                     break;
                 };
+                // ...and more still the bigger the leased subtree: the
+                // same fork-count estimate that picks donations sizes the
+                // return flow, so the workers holding the biggest
+                // subtrees offer the most states back and one fat lease
+                // cannot serialize the fleet. log2 of the estimate maps
+                // its exponential range onto a +0..=+4 bump.
+                let subtree = estimated_subtree_forks(&prefix);
+                let shed = hunger_shed + (64 - subtree.leading_zeros()) / 16;
                 let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
                 self.leases.lock().unwrap().insert(
                     lease,

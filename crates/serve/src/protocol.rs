@@ -24,6 +24,12 @@
 //! [`overify::VerificationReport`]. Decision traces are bit-packed by
 //! [`encode_trace`] / [`decode_trace`].
 //!
+//! **Version 3** makes content addressing function-grained: outcomes
+//! carry [`JobOutcome::from_slice`] (the answer was spliced from a stored
+//! function-slice verdict after the whole-module key missed), and stats
+//! snapshots carry the daemon's splice counter plus the store's
+//! slice-grain counters.
+//!
 //! Every decode failure is a typed [`ProtocolError`] — oversized frames,
 //! unknown tags, truncated payloads and trailing garbage are distinct,
 //! diagnosable conditions, never a blind read.
@@ -45,8 +51,9 @@ use std::time::Duration;
 /// Handshake magic: the first bytes of every connection's `Hello` frame.
 pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
 /// Protocol version; both sides must match exactly. v2 added the
-/// worker-attachment frames (frontier sharding across processes).
-pub const VERSION: u32 = 2;
+/// worker-attachment frames (frontier sharding across processes); v3 the
+/// function-slice splice fields in outcomes and stats.
+pub const VERSION: u32 = 3;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
@@ -294,8 +301,12 @@ pub struct LeasedJob {
 pub struct ServeStatsSnapshot {
     /// Jobs received over all connections.
     pub submitted: u64,
-    /// Jobs answered immediately from the report store.
+    /// Jobs answered immediately from the report store (either grain).
     pub answered_from_store: u64,
+    /// The subset of `answered_from_store` answered by splicing a stored
+    /// **function-slice** verdict: the whole-module key missed but the
+    /// entry's dependency slice was unchanged.
+    pub answered_spliced: u64,
     /// Jobs handed to the executor pool.
     pub executed: u64,
     /// Jobs waiting in the scheduler right now.
@@ -322,6 +333,7 @@ pub struct JobOutcome {
     pub level: OptLevel,
     pub compile_nanos: u64,
     pub from_store: bool,
+    pub from_slice: bool,
     pub error: Option<String>,
     pub runs: Vec<(usize, overify::VerificationReport)>,
 }
@@ -334,6 +346,7 @@ impl JobOutcome {
             level: r.level,
             compile_nanos: r.compile_time.as_nanos().min(u64::MAX as u128) as u64,
             from_store: r.from_store,
+            from_slice: r.from_slice,
             error: r.error.clone(),
             runs: r.runs.clone(),
         }
@@ -348,6 +361,7 @@ impl JobOutcome {
             runs: self.runs,
             error: self.error,
             from_store: self.from_store,
+            from_slice: self.from_slice,
         }
     }
 }
@@ -600,6 +614,7 @@ fn encode_outcome(w: &mut Writer, o: &JobOutcome) {
     w.u8(level_tag(o.level));
     w.u64(o.compile_nanos);
     w.u8(o.from_store as u8);
+    w.u8(o.from_slice as u8);
     match &o.error {
         None => w.u8(0),
         Some(e) => {
@@ -619,6 +634,7 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
     let level = level_from_tag(r.u8()?)?;
     let compile_nanos = r.u64()?;
     let from_store = r.u8()? != 0;
+    let from_slice = r.u8()? != 0;
     let error = match r.u8()? {
         0 => None,
         1 => Some(r.str()?),
@@ -635,6 +651,7 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
         level,
         compile_nanos,
         from_store,
+        from_slice,
         error,
         runs,
     })
@@ -644,6 +661,7 @@ fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
     for v in [
         s.submitted,
         s.answered_from_store,
+        s.answered_spliced,
         s.executed,
         s.queued,
         s.active,
@@ -654,6 +672,9 @@ fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
         s.store.report_hits,
         s.store.report_misses,
         s.store.reports_saved,
+        s.store.splice_hits,
+        s.store.splice_misses,
+        s.store.slices_saved,
         s.store.solver_entries_loaded,
         s.store.solver_entries_saved,
         s.store.log_bytes_dropped,
@@ -666,6 +687,7 @@ fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
     Some(ServeStatsSnapshot {
         submitted: r.u64()?,
         answered_from_store: r.u64()?,
+        answered_spliced: r.u64()?,
         executed: r.u64()?,
         queued: r.u64()?,
         active: r.u64()?,
@@ -677,6 +699,9 @@ fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
             report_hits: r.u64()?,
             report_misses: r.u64()?,
             reports_saved: r.u64()?,
+            splice_hits: r.u64()?,
+            splice_misses: r.u64()?,
+            slices_saved: r.u64()?,
             solver_entries_loaded: r.u64()?,
             solver_entries_saved: r.u64()?,
             log_bytes_dropped: r.u64()?,
@@ -855,6 +880,7 @@ mod tests {
             level: OptLevel::O3,
             compile_nanos: 123_456,
             from_store: true,
+            from_slice: true,
             error: None,
             runs: vec![(
                 2,
@@ -929,6 +955,7 @@ mod tests {
             Event::Stats(ServeStatsSnapshot {
                 submitted: 10,
                 answered_from_store: 4,
+                answered_spliced: 2,
                 executed: 6,
                 queued: 1,
                 active: 2,

@@ -144,6 +144,9 @@ struct ServeState {
     addr: SocketAddr,
     submitted: AtomicU64,
     answered_from_store: AtomicU64,
+    /// The subset of `answered_from_store` answered by splicing a stored
+    /// function-slice verdict (module key missed, slice key hit).
+    answered_spliced: AtomicU64,
     executed: AtomicU64,
     next_job_id: AtomicU64,
     next_conn_id: AtomicU64,
@@ -155,6 +158,7 @@ impl ServeState {
         ServeStatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             answered_from_store: self.answered_from_store.load(Ordering::Relaxed),
+            answered_spliced: self.answered_spliced.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             queued: self.sched.len() as u64,
             active: self.active.lock().unwrap().len() as u64,
@@ -185,6 +189,7 @@ impl ServeState {
                 runs: Vec::new(),
                 error: Some("server shutting down before the job ran".into()),
                 from_store: false,
+                from_slice: false,
             });
             let followers = take_followers(self, job.key_hash);
             let _ = job.events.send(Event::Report {
@@ -256,6 +261,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         addr,
         submitted: AtomicU64::new(0),
         answered_from_store: AtomicU64::new(0),
+        answered_spliced: AtomicU64::new(0),
         executed: AtomicU64::new(0),
         next_job_id: AtomicU64::new(0),
         next_conn_id: AtomicU64::new(0),
@@ -416,6 +422,9 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
     if let Some(store) = &state.store {
         if let Some(hit) = prepared.load_stored(store) {
             state.answered_from_store.fetch_add(1, Ordering::Relaxed);
+            if hit.from_slice {
+                state.answered_spliced.fetch_add(1, Ordering::Relaxed);
+            }
             tx.send(Event::Report {
                 job: id,
                 outcome: JobOutcome::from_result(&hit),
@@ -429,12 +438,23 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
     // the compiled-module static estimate otherwise — instruction count,
     // loop structure and annotation density are all known by now, so
     // never-seen work is priced off the module itself, not its source
-    // size).
-    let observed = state
-        .store
-        .as_ref()
-        .zip(prepared.key.as_ref())
-        .and_then(|(s, k)| s.lookup_cost(k));
+    // size). The observed lookup is two-grain like the artifact lookup:
+    // when the exact module was never run but its entry slice was (the
+    // submission is a changed-module resubmission), the slice-keyed cost
+    // prices the remainder instead of falling back to the static
+    // overestimate for the whole thing.
+    let observed = state.store.as_ref().and_then(|s| {
+        prepared
+            .key
+            .as_ref()
+            .and_then(|k| s.lookup_cost(k))
+            .or_else(|| {
+                prepared
+                    .slice_key
+                    .as_ref()
+                    .and_then(|k| s.lookup_slice_cost(k))
+            })
+    });
     let priority = match observed {
         Some(d) => Priority {
             estimated: false,
@@ -492,6 +512,7 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
             runs: Vec::new(),
             error: Some("server shutting down before the job ran".into()),
             from_store: false,
+            from_slice: false,
         });
         let followers = take_followers(state, key_hash);
         tx.send(Event::Report {
@@ -543,6 +564,9 @@ fn executor_loop(state: &Arc<ServeState>) {
         if let Some(store) = &state.store {
             if let Some(hit) = job.prepared.load_stored(store) {
                 state.answered_from_store.fetch_add(1, Ordering::Relaxed);
+                if hit.from_slice {
+                    state.answered_spliced.fetch_add(1, Ordering::Relaxed);
+                }
                 let outcome = JobOutcome::from_result(&hit);
                 let followers = take_followers(state, job.key_hash);
                 job.events

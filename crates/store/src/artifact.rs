@@ -18,10 +18,14 @@ use overify_opt::OptLevel;
 use overify_symex::{Bug, BugKind, SolverStats, SymArg, SymConfig, TestCase, VerificationReport};
 use std::time::Duration;
 
-/// Magic prefix of a report artifact file.
+/// Magic prefix of a module-keyed report artifact file.
 pub const MAGIC: &[u8; 8] = b"OVFYRPT\0";
-/// Current artifact format version.
-pub const VERSION: u32 = 1;
+/// Magic prefix of a function-slice-keyed report artifact file.
+pub const SLICE_MAGIC: &[u8; 8] = b"OVFYSLC\0";
+/// Current artifact format version. v2 introduced function-grained
+/// content addressing (slice artifacts beside module artifacts); v1
+/// files decode as misses and are re-derived on the next sweep.
+pub const VERSION: u32 = 2;
 
 /// The content address of one suite job's outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -49,6 +53,48 @@ impl ReportKey {
     }
 
     /// The artifact's file stem: 32 hex digits of the combined key.
+    pub fn file_stem(&self) -> String {
+        format!("{:032x}", self.key_hash())
+    }
+}
+
+/// The function-grained content address of one suite job's outcome.
+///
+/// Identical to [`ReportKey`] except the program dimension: instead of
+/// the whole module's fingerprint it uses the *entry function's slice
+/// fingerprint* ([`overify_ir::slice_fingerprint`]) — the function plus
+/// the transitive closure of callees, referenced globals and
+/// annotations. A verification run only ever observes the entry's
+/// dependency slice, so two modules that agree on that slice produce
+/// byte-identical reports even when the rest of the module differs.
+/// That is the splice fast path: edit one function and every entry
+/// whose slice excludes it still hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SliceKey {
+    /// Slice fingerprint of the entry function.
+    pub slice_fp: u128,
+    /// Pipeline level the module was built at.
+    pub level: OptLevel,
+    /// Same budget signature as [`ReportKey::budget_sig`] (it already
+    /// covers the entry name).
+    pub budget_sig: u128,
+}
+
+impl SliceKey {
+    /// Combined 128-bit hash of the key. Domain-separated from
+    /// [`ReportKey::key_hash`] with a leading discriminator byte so a
+    /// slice key can never alias a module key's file stem or cost
+    /// record.
+    pub fn key_hash(&self) -> u128 {
+        let mut w = Writer::default();
+        w.u8(1);
+        w.u128(self.slice_fp);
+        w.u8(level_tag(self.level));
+        w.u128(self.budget_sig);
+        fnv128(&w.buf)
+    }
+
+    /// The slice artifact's file stem: 32 hex digits of the combined key.
     pub fn file_stem(&self) -> String {
         format!("{:032x}", self.key_hash())
     }
@@ -297,9 +343,9 @@ fn decode_solver_stats(r: &mut Reader) -> Option<SolverStats> {
     })
 }
 
-/// Serializes a whole artifact file: header, key echo, checksummed
-/// payload.
-pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
+/// Serializes a whole artifact file with the given magic: header, key
+/// echo (fingerprint, level, budget signature), checksummed payload.
+fn encode_keyed(magic: &[u8; 8], fp: u128, level: OptLevel, sig: u128, job: &StoredJob) -> Vec<u8> {
     let mut payload = Writer::default();
     payload.u32(job.runs.len() as u32);
     for (bytes, report) in &job.runs {
@@ -308,50 +354,34 @@ pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
     }
 
     let mut out = Writer::default();
-    out.buf.extend_from_slice(MAGIC);
+    out.buf.extend_from_slice(magic);
     out.u32(VERSION);
-    out.u128(key.module_fp);
-    out.u8(level_tag(key.level));
-    out.u128(key.budget_sig);
+    out.u128(fp);
+    out.u8(level_tag(level));
+    out.u128(sig);
     out.u32(payload.buf.len() as u32);
     out.u64(fnv64(&payload.buf));
     out.buf.extend_from_slice(&payload.buf);
     out.buf
 }
 
-/// Reads just the module fingerprint out of an artifact file's header
-/// (magic, version, key echo — no payload decode). `None` when the bytes
-/// are not a current-version artifact; garbage collection treats that as
-/// dead weight.
-pub fn peek_module_fp(bytes: &[u8]) -> Option<u128> {
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+/// Deserializes an artifact with the given magic, checking the full key
+/// echo. `None` on *any* defect.
+fn decode_keyed(
+    bytes: &[u8],
+    magic: &[u8; 8],
+    fp: u128,
+    level: OptLevel,
+    sig: u128,
+) -> Option<StoredJob> {
+    if bytes.len() < magic.len() || &bytes[..magic.len()] != magic {
         return None;
     }
-    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    let mut r = Reader::new(&bytes[magic.len()..]);
     if r.u32()? != VERSION {
         return None;
     }
-    r.u128()
-}
-
-/// Deserializes an artifact file. `None` on *any* defect — wrong magic or
-/// version, a key echo that does not match `key` (hash-collision guard),
-/// checksum mismatch, truncation — so a damaged artifact degrades to a
-/// cache miss, never to a wrong report.
-pub fn decode_artifact(bytes: &[u8], key: &ReportKey) -> Option<StoredJob> {
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return None;
-    }
-    let mut r = Reader::new(&bytes[MAGIC.len()..]);
-    if r.u32()? != VERSION {
-        return None;
-    }
-    let echo = ReportKey {
-        module_fp: r.u128()?,
-        level: level_from_tag(r.u8()?)?,
-        budget_sig: r.u128()?,
-    };
-    if echo != *key {
+    if r.u128()? != fp || level_from_tag(r.u8()?)? != level || r.u128()? != sig {
         return None;
     }
     let len = r.u32()? as usize;
@@ -367,6 +397,62 @@ pub fn decode_artifact(bytes: &[u8], key: &ReportKey) -> Option<StoredJob> {
         runs.push((bytes, decode_report(&mut p)?));
     }
     (p.remaining() == 0).then_some(StoredJob { runs })
+}
+
+/// Reads just the leading fingerprint out of an artifact header (magic,
+/// version, first key field — no payload decode). `None` when the bytes
+/// are not a current-version artifact of that magic.
+fn peek_fp(bytes: &[u8], magic: &[u8; 8]) -> Option<u128> {
+    if bytes.len() < magic.len() || &bytes[..magic.len()] != magic {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[magic.len()..]);
+    if r.u32()? != VERSION {
+        return None;
+    }
+    r.u128()
+}
+
+/// Serializes a whole module-keyed artifact file: header, key echo,
+/// checksummed payload.
+pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
+    encode_keyed(MAGIC, key.module_fp, key.level, key.budget_sig, job)
+}
+
+/// Reads just the module fingerprint out of an artifact file's header
+/// (magic, version, key echo — no payload decode). `None` when the bytes
+/// are not a current-version artifact; garbage collection treats that as
+/// dead weight.
+pub fn peek_module_fp(bytes: &[u8]) -> Option<u128> {
+    peek_fp(bytes, MAGIC)
+}
+
+/// Deserializes an artifact file. `None` on *any* defect — wrong magic or
+/// version, a key echo that does not match `key` (hash-collision guard),
+/// checksum mismatch, truncation — so a damaged artifact degrades to a
+/// cache miss, never to a wrong report.
+pub fn decode_artifact(bytes: &[u8], key: &ReportKey) -> Option<StoredJob> {
+    decode_keyed(bytes, MAGIC, key.module_fp, key.level, key.budget_sig)
+}
+
+/// Serializes a slice-keyed artifact file (same layout as
+/// [`encode_artifact`], slice magic and slice fingerprint in the
+/// header).
+pub fn encode_slice_artifact(key: &SliceKey, job: &StoredJob) -> Vec<u8> {
+    encode_keyed(SLICE_MAGIC, key.slice_fp, key.level, key.budget_sig, job)
+}
+
+/// Reads just the slice fingerprint out of a slice artifact's header —
+/// garbage collection's liveness probe for the slice artifact class.
+pub fn peek_slice_fp(bytes: &[u8]) -> Option<u128> {
+    peek_fp(bytes, SLICE_MAGIC)
+}
+
+/// Deserializes a slice artifact. `None` on any defect, exactly like
+/// [`decode_artifact`] — a damaged or garbage-collected slice verdict
+/// degrades to a miss, never to a corrupt splice.
+pub fn decode_slice_artifact(bytes: &[u8], key: &SliceKey) -> Option<StoredJob> {
+    decode_keyed(bytes, SLICE_MAGIC, key.slice_fp, key.level, key.budget_sig)
 }
 
 #[cfg(test)]
@@ -497,6 +583,50 @@ mod tests {
         stale[MAGIC.len()] ^= 0xFF;
         assert_eq!(peek_module_fp(&stale), None, "version skew");
         assert_eq!(peek_module_fp(b"junk"), None);
+    }
+
+    #[test]
+    fn slice_artifact_roundtrip_and_damage() {
+        let key = SliceKey {
+            slice_fp: 0xFEED << 64 | 0xBEEF,
+            level: OptLevel::Overify,
+            budget_sig: 42,
+        };
+        let job = StoredJob {
+            runs: vec![(2, sample_report())],
+        };
+        let bytes = encode_slice_artifact(&key, &job);
+        assert_eq!(decode_slice_artifact(&bytes, &key), Some(job.clone()));
+        assert_eq!(peek_slice_fp(&bytes), Some(key.slice_fp));
+        // Module-keyed accessors reject the slice magic and vice versa.
+        assert_eq!(peek_module_fp(&bytes), None);
+        let module_bytes = encode_artifact(&sample_key(), &job);
+        assert_eq!(peek_slice_fp(&module_bytes), None);
+        // Damage degrades to a miss.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(decode_slice_artifact(&bad, &key).is_none());
+        let other = SliceKey {
+            budget_sig: 43,
+            ..key
+        };
+        assert!(decode_slice_artifact(&bytes, &other).is_none());
+    }
+
+    #[test]
+    fn slice_and_module_keys_never_share_a_stem() {
+        // Same raw fields, different key type: the domain tag separates
+        // the hash inputs.
+        let m = sample_key();
+        let s = SliceKey {
+            slice_fp: m.module_fp,
+            level: m.level,
+            budget_sig: m.budget_sig,
+        };
+        assert_ne!(m.key_hash(), s.key_hash());
+        assert_ne!(m.file_stem(), s.file_stem());
+        assert_eq!(s.file_stem().len(), 32);
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //! ```text
 //! header:  magic  b"OVFYCST\0"   8 bytes
 //!          version u32
-//! record:  key     u128          combined report-key hash
-//!          fp      u128          module fingerprint (for GC by liveness)
+//! record:  kind    u8            0 = module-keyed, 1 = slice-keyed
+//!          key     u128          combined report- or slice-key hash
+//!          fp      u128          module or slice fingerprint (GC liveness)
 //!          nanos   u64           observed verification wall time
-//!          check   u64           FNV-1a over the 40 payload bytes
+//!          check   u64           FNV-1a over the 41 payload bytes
 //! ```
+//!
+//! Costs are recorded at *both* grains: the module-keyed record prices
+//! an exact resubmission, and the slice-keyed record survives edits
+//! elsewhere in the module, so the serve scheduler can price the
+//! changed-slice remainder of a warm submission instead of falling back
+//! to the static overestimate for the whole thing.
 //!
 //! Later records for the same key supersede earlier ones (costs drift as
 //! machines and budgets change), so appends never need read-modify-write
@@ -31,28 +38,47 @@ use std::path::Path;
 /// Magic prefix of a cost-metadata log file.
 pub const MAGIC: &[u8; 8] = b"OVFYCST\0";
 /// Current format version; mismatches are rejected (and the file is
-/// rewritten wholesale by the next compaction).
-pub const VERSION: u32 = 1;
+/// rewritten wholesale by the next compaction). v2 added the record
+/// kind byte for slice-keyed costs.
+pub const VERSION: u32 = 2;
 
-const PAYLOAD_LEN: usize = 16 + 16 + 8;
+const PAYLOAD_LEN: usize = 1 + 16 + 16 + 8;
 const RECORD_LEN: usize = PAYLOAD_LEN + 8;
+
+/// Which content-addressing grain a cost record prices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostKind {
+    /// Keyed by [`crate::ReportKey::key_hash`]; `fp` is the module
+    /// fingerprint.
+    Module,
+    /// Keyed by [`crate::SliceKey::key_hash`]; `fp` is the entry
+    /// function's slice fingerprint.
+    Slice,
+}
 
 /// One observed-cost record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostRecord {
-    /// Combined report-key hash ([`crate::ReportKey::key_hash`]).
+    /// The addressing grain of this record.
+    pub kind: CostKind,
+    /// Combined key hash at that grain.
     pub key: u128,
-    /// The key's module fingerprint, kept denormalized so garbage
-    /// collection can evict records whose module no longer occurs.
-    pub module_fp: u128,
+    /// The key's module or slice fingerprint, kept denormalized so
+    /// garbage collection can evict records whose program content no
+    /// longer occurs.
+    pub fp: u128,
     /// Observed verification wall time, in nanoseconds.
     pub nanos: u64,
 }
 
 fn encode_record(r: &CostRecord) -> Vec<u8> {
     let mut w = Writer::default();
+    w.u8(match r.kind {
+        CostKind::Module => 0,
+        CostKind::Slice => 1,
+    });
     w.u128(r.key);
-    w.u128(r.module_fp);
+    w.u128(r.fp);
     w.u64(r.nanos);
     let check = fnv64(&w.buf);
     w.u64(check);
@@ -99,9 +125,15 @@ pub fn load(path: &Path) -> Vec<CostRecord> {
             break;
         }
         let mut p = Reader::new(payload);
+        let kind = match p.u8().unwrap() {
+            0 => CostKind::Module,
+            1 => CostKind::Slice,
+            _ => break, // Unknown grain: stop at the last good record.
+        };
         out.push(CostRecord {
+            kind,
             key: p.u128().unwrap(),
-            module_fp: p.u128().unwrap(),
+            fp: p.u128().unwrap(),
             nanos: p.u64().unwrap(),
         });
     }
@@ -135,8 +167,9 @@ mod tests {
 
     fn rec(key: u128, fp: u128, nanos: u64) -> CostRecord {
         CostRecord {
+            kind: CostKind::Module,
             key,
-            module_fp: fp,
+            fp,
             nanos,
         }
     }
@@ -176,6 +209,21 @@ mod tests {
         h.u32(VERSION + 1);
         fs::write(&p, &h.buf).unwrap();
         assert!(load(&p).is_empty());
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn slice_records_roundtrip_beside_module_records() {
+        let p = tmp("slice_kind");
+        let slice = CostRecord {
+            kind: CostKind::Slice,
+            key: 7,
+            fp: 70,
+            nanos: 700,
+        };
+        append(&p, &rec(1, 10, 100)).unwrap();
+        append(&p, &slice).unwrap();
+        assert_eq!(load(&p), vec![rec(1, 10, 100), slice]);
         let _ = fs::remove_file(&p);
     }
 

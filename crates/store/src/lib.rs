@@ -23,9 +23,13 @@
 //! ```text
 //! $OVERIFY_STORE/
 //!   solver.log           layer 1 (one file, append + compact)
-//!   reports/<key>.bin    layer 2 (one artifact per content address)
-//!   costs.log            per-key observed verification cost (scheduling
-//!                        metadata — see [`cost`])
+//!   reports/<key>.bin    layer 2, module grain (one artifact per
+//!                        whole-module content address)
+//!   slices/<key>.bin     layer 2, function grain (one artifact per
+//!                        entry-function slice fingerprint — survives
+//!                        edits elsewhere in the module)
+//!   costs.log            per-key observed verification cost at both
+//!                        grains (scheduling metadata — see [`cost`])
 //! ```
 //!
 //! Concurrent *processes* may share a store: artifact writes are atomic
@@ -38,8 +42,8 @@ pub mod codec;
 pub mod cost;
 pub mod log;
 
-pub use artifact::{budget_signature, ReportKey, StoredJob};
-pub use cost::CostRecord;
+pub use artifact::{budget_signature, ReportKey, SliceKey, StoredJob};
+pub use cost::{CostKind, CostRecord};
 pub use log::{LoadSummary, LogError};
 
 use overify_symex::SharedQueryCache;
@@ -50,6 +54,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// In-memory observed-cost index: key hash → (grain, fingerprint, ns).
+type CostMap = HashMap<u128, (cost::CostKind, u128, u64)>;
 
 /// Where a store lives and which layers are active.
 #[derive(Clone, Debug)]
@@ -83,12 +90,22 @@ impl StoreConfig {
 /// Store activity counters, carried into suite reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Suite jobs answered from a stored report (verification skipped).
+    /// Suite jobs answered from a stored module-keyed report
+    /// (verification skipped).
     pub report_hits: u64,
-    /// Suite jobs that had no (usable) stored report.
+    /// Suite jobs that had no (usable) stored module-keyed report.
     pub report_misses: u64,
     /// Report artifacts written this run.
     pub reports_saved: u64,
+    /// Suite jobs answered by splicing a stored *slice* verdict after
+    /// the module-keyed lookup missed (the module changed, but not the
+    /// entry function's dependency slice).
+    pub splice_hits: u64,
+    /// Slice-keyed lookups that missed (the changed-slice remainder
+    /// that actually executes).
+    pub splice_misses: u64,
+    /// Slice artifacts written this run.
+    pub slices_saved: u64,
     /// Solver verdicts warm-started from the log.
     pub solver_entries_loaded: u64,
     /// New solver verdicts appended (or compacted) to the log this run.
@@ -108,12 +125,17 @@ pub struct Store {
     /// The log needs a compacting rewrite (damage or duplicate bloat seen
     /// at load, or a stale version).
     rewrite_log: Mutex<bool>,
-    /// Lazily-loaded per-key observed costs: key hash → (module fp, ns).
-    /// Appends update the map in place, so one handle never rereads.
-    costs: Mutex<Option<HashMap<u128, (u128, u64)>>>,
+    /// Lazily-loaded per-key observed costs at both grains: key hash →
+    /// (kind, fingerprint, ns). Module and slice key hashes are
+    /// domain-separated, so one map serves both. Appends update the map
+    /// in place, so one handle never rereads.
+    costs: Mutex<Option<CostMap>>,
     report_hits: AtomicU64,
     report_misses: AtomicU64,
     reports_saved: AtomicU64,
+    splice_hits: AtomicU64,
+    splice_misses: AtomicU64,
+    slices_saved: AtomicU64,
     solver_loaded: AtomicU64,
     solver_saved: AtomicU64,
     log_dropped: AtomicU64,
@@ -125,6 +147,7 @@ impl Store {
         fs::create_dir_all(&cfg.root)?;
         if cfg.reports {
             fs::create_dir_all(cfg.root.join("reports"))?;
+            fs::create_dir_all(cfg.root.join("slices"))?;
         }
         Ok(Store {
             cfg,
@@ -134,6 +157,9 @@ impl Store {
             report_hits: AtomicU64::new(0),
             report_misses: AtomicU64::new(0),
             reports_saved: AtomicU64::new(0),
+            splice_hits: AtomicU64::new(0),
+            splice_misses: AtomicU64::new(0),
+            slices_saved: AtomicU64::new(0),
             solver_loaded: AtomicU64::new(0),
             solver_saved: AtomicU64::new(0),
             log_dropped: AtomicU64::new(0),
@@ -151,6 +177,9 @@ impl Store {
             report_hits: self.report_hits.load(Ordering::Relaxed),
             report_misses: self.report_misses.load(Ordering::Relaxed),
             reports_saved: self.reports_saved.load(Ordering::Relaxed),
+            splice_hits: self.splice_hits.load(Ordering::Relaxed),
+            splice_misses: self.splice_misses.load(Ordering::Relaxed),
+            slices_saved: self.slices_saved.load(Ordering::Relaxed),
             solver_entries_loaded: self.solver_loaded.load(Ordering::Relaxed),
             solver_entries_saved: self.solver_saved.load(Ordering::Relaxed),
             log_bytes_dropped: self.log_dropped.load(Ordering::Relaxed),
@@ -173,6 +202,17 @@ impl Store {
         self.cfg
             .root
             .join("reports")
+            .join(format!("{}.bin", key.file_stem()))
+    }
+
+    fn slices_dir(&self) -> PathBuf {
+        self.cfg.root.join("slices")
+    }
+
+    fn slice_path(&self, key: &SliceKey) -> PathBuf {
+        self.cfg
+            .root
+            .join("slices")
             .join(format!("{}.bin", key.file_stem()))
     }
 
@@ -268,22 +308,64 @@ impl Store {
         Ok(())
     }
 
+    /// Looks up a stored slice verdict — the function-grained fallback
+    /// consulted after [`Store::load_report`] misses. Any defect in the
+    /// artifact (damage, version skew, key-echo mismatch) is a miss:
+    /// a garbage-collected or corrupted slice verdict degrades to a
+    /// re-execution, never to a corrupt splice.
+    pub fn load_slice(&self, key: &SliceKey) -> Option<StoredJob> {
+        if !self.cfg.reports {
+            return None;
+        }
+        let hit = fs::read(self.slice_path(key))
+            .ok()
+            .and_then(|bytes| artifact::decode_slice_artifact(&bytes, key));
+        match &hit {
+            Some(_) => self.splice_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.splice_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores a slice verdict atomically (same temp + rename discipline
+    /// as [`Store::save_report`]).
+    pub fn save_slice(&self, key: &SliceKey, job: &StoredJob) -> io::Result<()> {
+        if !self.cfg.reports {
+            return Ok(());
+        }
+        let path = self.slice_path(key);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        fs::write(&tmp, artifact::encode_slice_artifact(key, job))?;
+        fs::rename(&tmp, &path)?;
+        self.slices_saved.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// How old a non-artifact file under `reports/` must be before
     /// [`Store::gc`] treats it as abandoned litter rather than a
     /// concurrent writer's in-flight temp file.
     pub const GC_TEMP_GRACE: Duration = Duration::from_secs(600);
 
-    fn with_costs<R>(&self, f: impl FnOnce(&mut HashMap<u128, (u128, u64)>) -> R) -> R {
+    fn with_costs<R>(&self, f: impl FnOnce(&mut CostMap) -> R) -> R {
         let mut guard = self.costs.lock().unwrap();
         let map = guard.get_or_insert_with(|| {
             let mut m = HashMap::new();
             // File order: later records supersede earlier ones.
             for r in cost::load(&self.cost_path()) {
-                m.insert(r.key, (r.module_fp, r.nanos));
+                m.insert(r.key, (r.kind, r.fp, r.nanos));
             }
             m
         });
         f(map)
+    }
+
+    fn record_cost_record(&self, record: cost::CostRecord) -> io::Result<()> {
+        self.with_costs(|m| m.insert(record.key, (record.kind, record.fp, record.nanos)));
+        cost::append(&self.cost_path(), &record)
+    }
+
+    fn lookup_cost_hash(&self, hash: u128) -> Option<Duration> {
+        self.with_costs(|m| m.get(&hash).map(|&(_, _, ns)| Duration::from_nanos(ns)))
     }
 
     /// Records the observed verification cost of `key` (appended to the
@@ -296,85 +378,95 @@ impl Store {
     /// work, never change an answer.
     pub fn record_cost(&self, key: &ReportKey, cost: Duration) -> io::Result<()> {
         let nanos = cost.as_nanos().min(u64::MAX as u128) as u64;
-        let record = cost::CostRecord {
+        self.record_cost_record(cost::CostRecord {
+            kind: cost::CostKind::Module,
             key: key.key_hash(),
-            module_fp: key.module_fp,
+            fp: key.module_fp,
             nanos,
-        };
-        self.with_costs(|m| m.insert(record.key, (record.module_fp, record.nanos)));
-        cost::append(&self.cost_path(), &record)
+        })
     }
 
     /// The most recently observed verification cost of `key`, if any.
     pub fn lookup_cost(&self, key: &ReportKey) -> Option<Duration> {
-        let hash = key.key_hash();
-        self.with_costs(|m| m.get(&hash).map(|&(_, ns)| Duration::from_nanos(ns)))
+        self.lookup_cost_hash(key.key_hash())
     }
 
-    /// Garbage-collects module-addressed state: report artifacts and cost
-    /// records whose module fingerprint does not occur in `live`, plus
-    /// *stale* temp files from interrupted atomic writes (a temp file
-    /// younger than [`Store::GC_TEMP_GRACE`] may be a concurrent writer's
-    /// in-flight `save_report` — deleting it would break the rename and
-    /// lose that result, so young temps are left alone).
+    /// Records the observed verification cost at the *slice* grain. A
+    /// slice-keyed cost survives edits elsewhere in the module, so the
+    /// serve scheduler can price the changed-slice remainder of a warm
+    /// submission from history instead of the static overestimate.
+    pub fn record_slice_cost(&self, key: &SliceKey, cost: Duration) -> io::Result<()> {
+        let nanos = cost.as_nanos().min(u64::MAX as u128) as u64;
+        self.record_cost_record(cost::CostRecord {
+            kind: cost::CostKind::Slice,
+            key: key.key_hash(),
+            fp: key.slice_fp,
+            nanos,
+        })
+    }
+
+    /// The most recently observed verification cost of a slice key.
+    pub fn lookup_slice_cost(&self, key: &SliceKey) -> Option<Duration> {
+        self.lookup_cost_hash(key.key_hash())
+    }
+
+    /// Garbage-collects content-addressed state at both grains: module
+    /// artifacts whose module fingerprint does not occur in
+    /// `live_modules`, slice artifacts whose slice fingerprint does not
+    /// occur in `live_slices`, cost records at either grain by the same
+    /// liveness, plus *stale* temp files from interrupted atomic writes
+    /// (a temp file younger than [`Store::GC_TEMP_GRACE`] may be a
+    /// concurrent writer's in-flight save — deleting it would break the
+    /// rename and lose that result, so young temps are left alone).
     ///
-    /// The solver-verdict log is *not* module-addressed (formula
-    /// fingerprints are shared across programs — a libc query serves every
-    /// utility), so it is never collected here; its own compaction handles
-    /// damage and duplicate bloat.
-    pub fn gc(&self, live: &HashSet<u128>) -> io::Result<GcStats> {
+    /// A collected slice verdict leaves nothing behind but its absence:
+    /// the next lookup is a checksummed decode of a missing file — a
+    /// miss, never a corrupt splice.
+    ///
+    /// The solver-verdict log is *not* content-addressed by program
+    /// (formula fingerprints are shared across programs — a libc query
+    /// serves every utility), so it is never collected here; its own
+    /// compaction handles damage and duplicate bloat.
+    pub fn gc(
+        &self,
+        live_modules: &HashSet<u128>,
+        live_slices: &HashSet<u128>,
+    ) -> io::Result<GcStats> {
         let mut stats = GcStats::default();
         if self.cfg.reports {
-            for entry in fs::read_dir(self.reports_dir())? {
-                let path = entry?.path();
-                if !path.is_file() {
-                    continue;
-                }
-                let is_artifact = path.extension().is_some_and(|e| e == "bin");
-                if !is_artifact {
-                    // Non-artifact litter (temp files): reclaim only when
-                    // provably stale. An unreadable mtime is treated as
-                    // fresh — losing a concurrent write is worse than
-                    // keeping a few bytes until the next pass.
-                    let stale = fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|t| t.elapsed().ok())
-                        .is_some_and(|age| age >= Self::GC_TEMP_GRACE);
-                    if stale {
-                        stats.reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                        fs::remove_file(&path)?;
-                        stats.reports_removed += 1;
-                    }
-                    continue;
-                }
-                let fp = fs::read(&path)
-                    .ok()
-                    .and_then(|bytes| artifact::peek_module_fp(&bytes));
-                match fp {
-                    Some(fp) if live.contains(&fp) => stats.reports_kept += 1,
-                    // Dead module or an unreadable/foreign artifact:
-                    // reclaim it.
-                    _ => {
-                        stats.reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                        fs::remove_file(&path)?;
-                        stats.reports_removed += 1;
-                    }
-                }
-            }
+            let (kept, removed) = self.gc_dir(
+                &self.reports_dir(),
+                artifact::peek_module_fp,
+                live_modules,
+                &mut stats.reclaimed_bytes,
+            )?;
+            stats.reports_kept = kept;
+            stats.reports_removed = removed;
+            let (kept, removed) = self.gc_dir(
+                &self.slices_dir(),
+                artifact::peek_slice_fp,
+                live_slices,
+                &mut stats.reclaimed_bytes,
+            )?;
+            stats.slices_kept = kept;
+            stats.slices_removed = removed;
         }
-        // Rewrite the cost log keeping only live modules' records (last
-        // record per key wins, preserving the in-memory view).
+        // Rewrite the cost log keeping only live records at each grain
+        // (last record per key wins, preserving the in-memory view).
         self.with_costs(|m| {
             let before = m.len() as u64;
-            m.retain(|_, &mut (fp, _)| live.contains(&fp));
+            m.retain(|_, &mut (kind, fp, _)| match kind {
+                cost::CostKind::Module => live_modules.contains(&fp),
+                cost::CostKind::Slice => live_slices.contains(&fp),
+            });
             stats.cost_records_kept = m.len() as u64;
             stats.cost_records_removed = before - stats.cost_records_kept;
             let mut records: Vec<cost::CostRecord> = m
                 .iter()
-                .map(|(&key, &(module_fp, nanos))| cost::CostRecord {
+                .map(|(&key, &(kind, fp, nanos))| cost::CostRecord {
+                    kind,
                     key,
-                    module_fp,
+                    fp,
                     nanos,
                 })
                 .collect();
@@ -383,15 +475,68 @@ impl Store {
         })?;
         Ok(stats)
     }
+
+    /// Sweeps one artifact directory, keeping files whose peeked
+    /// fingerprint is in `live` and reclaiming everything else (plus
+    /// provably stale temp litter). Returns `(kept, removed)`.
+    fn gc_dir(
+        &self,
+        dir: &Path,
+        peek: fn(&[u8]) -> Option<u128>,
+        live: &HashSet<u128>,
+        reclaimed_bytes: &mut u64,
+    ) -> io::Result<(u64, u64)> {
+        let (mut kept, mut removed) = (0u64, 0u64);
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            let is_artifact = path.extension().is_some_and(|e| e == "bin");
+            if !is_artifact {
+                // Non-artifact litter (temp files): reclaim only when
+                // provably stale. An unreadable mtime is treated as
+                // fresh — losing a concurrent write is worse than
+                // keeping a few bytes until the next pass.
+                let stale = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= Self::GC_TEMP_GRACE);
+                if stale {
+                    *reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    fs::remove_file(&path)?;
+                    removed += 1;
+                }
+                continue;
+            }
+            let fp = fs::read(&path).ok().and_then(|bytes| peek(&bytes));
+            match fp {
+                Some(fp) if live.contains(&fp) => kept += 1,
+                // Dead content or an unreadable/foreign artifact:
+                // reclaim it.
+                _ => {
+                    *reclaimed_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    fs::remove_file(&path)?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok((kept, removed))
+    }
 }
 
 /// What one [`Store::gc`] pass reclaimed and retained.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcStats {
-    /// Report artifacts (and stale temp files) deleted.
+    /// Module-keyed report artifacts (and stale temp files) deleted.
     pub reports_removed: u64,
-    /// Report artifacts whose module is still live.
+    /// Module-keyed report artifacts whose module is still live.
     pub reports_kept: u64,
+    /// Slice artifacts (and stale temp files under `slices/`) deleted.
+    pub slices_removed: u64,
+    /// Slice artifacts whose slice fingerprint is still live.
+    pub slices_kept: u64,
     /// Cost records dropped from the cost log.
     pub cost_records_removed: u64,
     /// Cost records retained.
@@ -591,7 +736,7 @@ mod tests {
         fs::write(&fresh_tmp, b"in flight").unwrap();
 
         let live: HashSet<u128> = [1, 3].into_iter().collect();
-        let gc = store.gc(&live).unwrap();
+        let gc = store.gc(&live, &HashSet::new()).unwrap();
         assert_eq!(gc.reports_removed, 2, "dead artifact + stale temp litter");
         assert_eq!(gc.reports_kept, 2);
         assert!(!stale_tmp.exists(), "stale temp reclaimed");
@@ -610,6 +755,68 @@ mod tests {
         let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
         assert_eq!(store2.lookup_cost(&key(1)), Some(Duration::from_millis(1)));
         assert_eq!(store2.lookup_cost(&key(2)), None);
+    }
+
+    #[test]
+    fn slice_verdicts_round_trip_and_count_splices() {
+        let store = tmp_store("slices");
+        let key = SliceKey {
+            slice_fp: 77,
+            level: OptLevel::Overify,
+            budget_sig: 9,
+        };
+        assert!(store.load_slice(&key).is_none());
+        let job = StoredJob {
+            runs: vec![(2, VerificationReport::default())],
+        };
+        store.save_slice(&key, &job).unwrap();
+        assert_eq!(store.load_slice(&key), Some(job));
+        let s = store.stats();
+        assert_eq!((s.splice_hits, s.splice_misses, s.slices_saved), (1, 1, 1));
+        // Slice traffic never perturbs module-grain counters.
+        assert_eq!((s.report_hits, s.report_misses, s.reports_saved), (0, 0, 0));
+    }
+
+    #[test]
+    fn gc_evicts_dead_slices_which_degrade_to_misses() {
+        let store = tmp_store("gc_slices");
+        let skey = |fp: u128| SliceKey {
+            slice_fp: fp,
+            level: OptLevel::Overify,
+            budget_sig: 3,
+        };
+        let job = |n: usize| StoredJob {
+            runs: vec![(n, VerificationReport::default())],
+        };
+        store.save_slice(&skey(10), &job(2)).unwrap();
+        store.save_slice(&skey(20), &job(3)).unwrap();
+        store
+            .record_slice_cost(&skey(10), Duration::from_millis(4))
+            .unwrap();
+        store
+            .record_slice_cost(&skey(20), Duration::from_millis(5))
+            .unwrap();
+
+        let live_slices: HashSet<u128> = [10].into_iter().collect();
+        let gc = store.gc(&HashSet::new(), &live_slices).unwrap();
+        assert_eq!(gc.slices_kept, 1);
+        assert_eq!(gc.slices_removed, 1);
+        assert_eq!(gc.cost_records_kept, 1);
+        assert_eq!(gc.cost_records_removed, 1);
+
+        // The survivor still splices byte-identically; the evicted
+        // verdict is a clean miss — never a corrupt splice.
+        assert_eq!(store.load_slice(&skey(10)), Some(job(2)));
+        assert!(store.load_slice(&skey(20)).is_none());
+        assert_eq!(
+            store.lookup_slice_cost(&skey(10)),
+            Some(Duration::from_millis(4))
+        );
+        assert_eq!(store.lookup_slice_cost(&skey(20)), None);
+        // A fresh handle agrees (everything flowed through disk).
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        assert_eq!(store2.load_slice(&skey(10)), Some(job(2)));
+        assert!(store2.load_slice(&skey(20)).is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::cache::SharedQueryCache;
 use crate::expr::{ExprPool, ExprRef};
+use crate::frontier::estimated_subtree_forks;
 use crate::interval::IntervalCache;
 use crate::memory::{SymMemory, OFFSET_BITS};
 use crate::parallel::{ExploreHooks, NoHooks, SharedBudget};
@@ -34,19 +35,26 @@ pub enum SymArg {
 
 /// How a busy worker exports frontier states when a peer is starving.
 ///
+/// Both policies pick *which* states to ship by estimated subtree fork
+/// count ([`crate::frontier::estimated_subtree_forks`]): the biggest
+/// pending subtree moves first, because it is the one that keeps a
+/// starving peer busy longest per transfer. (Earlier revisions donated by
+/// queue position — oldest first — which only approximates subtree size
+/// under DFS and inverts it under other search strategies.)
+///
 /// Neither policy changes *what* is found — the merged report is
 /// deterministic by construction — only how much state moves per steal,
 /// hence replay overhead and load balance (measured by
 /// `ablation_parallel`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DonationPolicy {
-    /// Donate pending states one at a time, oldest first (nearest the
-    /// root, hence the biggest subtrees), while peers are hungry.
+    /// Donate pending states one at a time, biggest estimated subtree
+    /// first, while peers are hungry.
     #[default]
     OldestState,
-    /// Donate the oldest *half* of the pending worklist in one burst when
-    /// a peer is hungry (the classic steal-half policy: fewer, larger
-    /// transfers).
+    /// Donate the biggest-estimate *half* of the pending worklist in one
+    /// burst when a peer is hungry (the classic steal-half policy: fewer,
+    /// larger transfers).
     StealHalf,
 }
 
@@ -376,16 +384,22 @@ impl<'m> Executor<'m> {
                 }
                 return;
             }
-            // Export frontier states (oldest first — nearest the root, so
-            // the biggest subtrees move) while peers are starving.
+            // Export frontier states while peers are starving, biggest
+            // estimated subtree first — the state whose fork-count
+            // estimate says it has the most unexplored work beneath it is
+            // the one worth the transfer (ties go to the oldest state, so
+            // the choice is deterministic for a given worklist).
             match self.cfg.donation {
                 DonationPolicy::OldestState => {
                     while hooks.hungry() {
-                        let Some(s) = worklist.pop_front() else { break };
+                        let Some(i) = best_donation(&worklist) else {
+                            break;
+                        };
+                        let s = worklist.remove(i).expect("index from best_donation");
                         if hooks.donate(s.trace.clone()) {
                             self.report.donations += 1;
                         } else {
-                            worklist.push_front(s);
+                            worklist.insert(i, s);
                             break;
                         }
                     }
@@ -394,11 +408,14 @@ impl<'m> Executor<'m> {
                     if hooks.hungry() {
                         let half = worklist.len().div_ceil(2);
                         for _ in 0..half {
-                            let Some(s) = worklist.pop_front() else { break };
+                            let Some(i) = best_donation(&worklist) else {
+                                break;
+                            };
+                            let s = worklist.remove(i).expect("index from best_donation");
                             if hooks.donate(s.trace.clone()) {
                                 self.report.donations += 1;
                             } else {
-                                worklist.push_front(s);
+                                worklist.insert(i, s);
                                 break;
                             }
                         }
@@ -1387,6 +1404,21 @@ impl<'m> Executor<'m> {
             None => offset,
         }
     }
+}
+
+/// Index of the best pending state to donate: the one whose
+/// [`estimated_subtree_forks`] estimate is largest, oldest first on ties
+/// (strictly-greater comparison keeps the scan deterministic). `None` on
+/// an empty worklist.
+fn best_donation(worklist: &VecDeque<State>) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, s) in worklist.iter().enumerate() {
+        let est = estimated_subtree_forks(&s.trace);
+        if best.is_none_or(|(b, _)| est > b) {
+            best = Some((est, i));
+        }
+    }
+    best.map(|(_, i)| i)
 }
 
 enum Step {

@@ -29,6 +29,25 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Estimated fork count of the subtree hanging beneath a frontier state,
+/// from the only transport-agnostic evidence a branch-decision trace
+/// carries: its length. Path counts grow geometrically in the decisions
+/// still open, and every decision already taken roughly halves the
+/// remaining space, so the estimate decays exponentially with trace depth
+/// (saturating at 63 decisions — deeper states all price alike at the
+/// bottom of the range).
+///
+/// Both sides of the work-stealing economy rank subtrees with this one
+/// estimate: the executor donates its biggest-estimate pending state
+/// (shipping the subtree that keeps a starving peer busy longest), and
+/// the dispatcher's lease `shed` hint scales with the estimate of the
+/// leased prefix so remote workers return the most states from the
+/// biggest subtrees. Purely a scheduling signal: the merged report is
+/// deterministic regardless (see the module docs).
+pub fn estimated_subtree_forks(trace: &[bool]) -> u64 {
+    u64::MAX >> trace.len().min(63)
+}
+
 /// Steal accounting of one frontier, sampled at any time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FrontierStats {

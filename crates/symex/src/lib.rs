@@ -41,7 +41,8 @@ pub use cache::{CacheStats, CachedVerdict, SharedQueryCache};
 pub use executor::{verify, DonationPolicy, Executor, SearchStrategy, SymArg, SymConfig};
 pub use expr::{ExprPool, ExprRef, Node};
 pub use frontier::{
-    Frontier, FrontierProvider, FrontierSignal, FrontierStats, LocalFrontier, SharedFrontier,
+    estimated_subtree_forks, Frontier, FrontierProvider, FrontierSignal, FrontierStats,
+    LocalFrontier, SharedFrontier,
 };
 pub use parallel::{
     default_threads, verify_parallel, verify_parallel_budgeted, verify_parallel_cached,

@@ -17,6 +17,20 @@
 //! With `--expect-warm-start` the example asserts that the *first* sweep
 //! of this process already reports store hits — the cross-process
 //! warm-start check the CI `warm-start` job runs.
+//!
+//! The incremental flags drive the **function-slice** grain (the CI
+//! `incremental-smoke` job):
+//!
+//! * `--append-dead-code` appends an uncalled helper to every utility
+//!   source — every *module* fingerprint moves, no *slice* fingerprint
+//!   does, so against a warm store every job splices its stored
+//!   function-slice verdict instead of re-verifying;
+//! * `--touch <utility>` additionally edits that utility's `umain` slice
+//!   (wrapping it in a fresh entry), so exactly its jobs re-execute;
+//! * `--expect-splice N` asserts the first sweep answered ≥ N jobs by
+//!   slice splicing, and `--expect-executed N` asserts exactly N jobs
+//!   re-executed — together they pin "edit one function, re-verify one
+//!   slice" from the command line.
 
 use overify::{
     default_threads, verify_suite_stored_with, OptLevel, Store, StoreConfig, SuiteJob, SuiteReport,
@@ -29,14 +43,33 @@ use std::time::Duration;
 fn main() {
     let mut n: usize = 3;
     let mut expect_warm_start = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--expect-warm-start" {
-            expect_warm_start = true;
-        } else if let Ok(v) = arg.parse() {
-            n = v;
-        } else {
-            eprintln!("usage: store_sweep [n_bytes] [--expect-warm-start]");
-            std::process::exit(2);
+    let mut append_dead_code = false;
+    let mut touch: Option<String> = None;
+    let mut expect_splice: Option<usize> = None;
+    let mut expect_executed: Option<usize> = None;
+    fn usage() -> ! {
+        eprintln!(
+            "usage: store_sweep [n_bytes] [--expect-warm-start] [--append-dead-code] \
+             [--touch <utility>] [--expect-splice <n>] [--expect-executed <n>]"
+        );
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect-warm-start" => expect_warm_start = true,
+            "--append-dead-code" => append_dead_code = true,
+            "--touch" => touch = Some(args.next().unwrap_or_else(|| usage())),
+            "--expect-splice" => {
+                expect_splice = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--expect-executed" => {
+                expect_executed = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            other => match other.parse() {
+                Ok(v) => n = v,
+                Err(_) => usage(),
+            },
         }
     }
 
@@ -56,10 +89,35 @@ fn main() {
         timeout: Duration::from_secs(60),
         ..Default::default()
     };
+    if let Some(name) = &touch {
+        if !utilities.iter().any(|u| u.name == name) {
+            eprintln!("--touch {name}: no such utility in the sweep");
+            std::process::exit(2);
+        }
+    }
     let jobs = || -> Vec<SuiteJob> {
         utilities
             .iter()
             .flat_map(|u| levels.map(|l| SuiteJob::utility(u, l, &[n], &cfg)))
+            .map(|mut j| {
+                // An *uncalled* helper moves every module fingerprint while
+                // leaving every entry slice untouched: against a warm store
+                // this turns whole-module hits into function-slice splices.
+                if append_dead_code {
+                    j.source
+                        .push_str("\nint unused_probe(unsigned char *in, int n) { return 42; }\n");
+                }
+                // Touching a utility edits its *entry slice* (the original
+                // umain survives as a callee of a fresh wrapper), so its
+                // jobs — and only its jobs — re-execute.
+                if touch.as_deref() == Some(j.name.as_str()) {
+                    j.source = j.source.replace("int umain(", "int umain_inner(");
+                    j.source.push_str(
+                        "\nint umain(unsigned char *in, int n) { return umain_inner(in, n); }\n",
+                    );
+                }
+                j
+            })
             .collect()
     };
     let total = jobs().len();
@@ -73,7 +131,13 @@ fn main() {
         // A fresh handle per sweep: state flows through disk only.
         let store = Store::open(StoreConfig::at(&root)).expect("store directory is writable");
         let report = verify_suite_stored_with(jobs(), threads, Some(&store), |r, done, total| {
-            let mark = if r.from_store { "=" } else { ">" };
+            let mark = if r.from_slice {
+                "~"
+            } else if r.from_store {
+                "="
+            } else {
+                ">"
+            };
             eprint!(
                 "\r[{label} {done}/{total}] {mark} {:<14} {:<8} ",
                 r.name,
@@ -84,13 +148,44 @@ fn main() {
         eprintln!();
         let s = report.store.expect("ran with a store");
         println!(
-            "{label:<5} wall {:>9.2?}  report hits {:>2}/{total}  solver verdicts: {} loaded, {} saved",
-            report.wall, report.store_hits(), s.solver_entries_loaded, s.solver_entries_saved,
+            "{label:<5} wall {:>9.2?}  report hits {:>2}/{total} ({} spliced)  \
+             solver verdicts: {} loaded, {} saved",
+            report.wall,
+            report.store_hits(),
+            report.splice_hits(),
+            s.solver_entries_loaded,
+            s.solver_entries_saved,
         );
         report
     };
 
     let first = run("cold");
+    if let Some(min) = expect_splice {
+        assert!(
+            first.splice_hits() >= min,
+            "--expect-splice {min}: only {} of {total} jobs answered by \
+             function-slice splicing (a previous process must have warmed \
+             this store and the edit must stay outside the entry slices)",
+            first.splice_hits()
+        );
+        println!(
+            "slice splices confirmed: {}/{total} jobs answered from stored slice verdicts",
+            first.splice_hits()
+        );
+    }
+    if let Some(want) = expect_executed {
+        let executed = first
+            .jobs
+            .iter()
+            .filter(|j| !j.from_store && j.error.is_none())
+            .count();
+        assert_eq!(
+            executed, want,
+            "--expect-executed {want}: {executed} of {total} jobs re-executed — \
+             an incremental re-sweep must re-verify exactly the touched slices"
+        );
+        println!("incremental re-verification confirmed: exactly {executed} job(s) re-executed");
+    }
     if expect_warm_start {
         assert!(
             first.store_hits() > 0,
@@ -127,5 +222,5 @@ fn main() {
         second.store_hits(),
         total,
     );
-    println!("(> = verified fresh, = = answered from the store)");
+    println!("(> = verified fresh, = = whole-module store hit, ~ = function-slice splice)");
 }

@@ -1,0 +1,196 @@
+//! Function-grained incremental re-verification, end to end.
+//!
+//! Acceptance (ISSUE 6): the function slice is the unit of verification
+//! identity. Slice fingerprints must be bit-identical across recompiles,
+//! optimization levels and *processes* (they content-address persistent
+//! artifacts shared between machines); editing one function in a
+//! warm-store suite must re-execute exactly that function's slice while
+//! every untouched slice splices in from the store; and the spliced
+//! report must equal a cold full run byte-for-byte at any worker count
+//! (the CI thread matrix runs this with `OVERIFY_THREADS` ∈ {1, 4, 8}).
+
+use overify::{
+    compile, default_threads, slice_fingerprints, verify_suite_stored, BuildOptions, OptLevel,
+    Store, StoreConfig, SuiteJob, SymConfig,
+};
+use std::path::PathBuf;
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("overify_itest_slice_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn suite_cfg() -> SymConfig {
+    SymConfig {
+        pass_len_arg: true,
+        collect_tests: true,
+        ..Default::default()
+    }
+}
+
+/// Every function's slice fingerprint of every suite utility at every
+/// level, as stable text lines — the comparison currency of the
+/// in-process and cross-process stability checks below.
+fn fingerprint_table() -> Vec<String> {
+    let mut lines = Vec::new();
+    for u in overify::coreutils_suite() {
+        for level in OptLevel::all() {
+            let prog = compile(u.source, &BuildOptions::level(level)).expect(u.name);
+            for (func, fp) in slice_fingerprints(&prog.module) {
+                lines.push(format!("SLICEFP {} {} {} {:032x}", u.name, level, func, fp));
+            }
+        }
+    }
+    lines
+}
+
+/// Recompiling the whole suite matrix must reproduce every slice
+/// fingerprint bit-for-bit — the fingerprint is a pure function of the
+/// slice, never of allocation order, hash-map iteration or wall clock.
+#[test]
+fn slice_fingerprints_stable_across_recompiles() {
+    let first = fingerprint_table();
+    assert!(!first.is_empty());
+    let second = fingerprint_table();
+    assert_eq!(first, second, "recompile changed a slice fingerprint");
+}
+
+/// Child half of the cross-process check: when the parent re-runs this
+/// test binary with `OVERIFY_SLICE_FP_CHILD=1`, dump the table and exit.
+/// (Without the variable this test is an instant no-op.)
+#[test]
+fn child_dump_slice_fingerprints() {
+    if std::env::var("OVERIFY_SLICE_FP_CHILD").is_err() {
+        return;
+    }
+    for line in fingerprint_table() {
+        println!("{line}");
+    }
+}
+
+/// Slice fingerprints content-address artifacts shared across machines
+/// and daemon restarts, so two *processes* compiling the same suite must
+/// agree on every single one. The second process is this same test
+/// binary re-run against the child dump test above.
+#[test]
+fn slice_fingerprints_stable_across_processes() {
+    let ours = fingerprint_table();
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["--exact", "child_dump_slice_fingerprints", "--nocapture"])
+        .env("OVERIFY_SLICE_FP_CHILD", "1")
+        .output()
+        .expect("spawn child process");
+    assert!(out.status.success(), "child process failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 child output");
+    // The libtest harness glues its own "test ... " prefix onto the first
+    // printed line, so slice each line from the marker instead of
+    // requiring it at column zero.
+    let theirs: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| l.find("SLICEFP ").map(|i| &l[i..]))
+        .collect();
+    assert_eq!(
+        ours.len(),
+        theirs.len(),
+        "child computed a different number of fingerprints"
+    );
+    for (a, b) in ours.iter().zip(&theirs) {
+        assert_eq!(a, b, "slice fingerprint differs across processes");
+    }
+}
+
+/// A four-function program verified through two entries, so one source
+/// edit can land inside exactly one entry's dependency slice.
+fn two_entry_jobs(other_body: &str, path_workers: usize) -> Vec<SuiteJob> {
+    let source = format!(
+        "int work(unsigned char *in, int n) {{ if (in[0] == 'a') return 1; return 0; }}\n\
+         int other(unsigned char *in, int n) {{ {other_body} }}\n\
+         int umain(unsigned char *in, int n) {{ return work(in, n); }}\n\
+         int umain2(unsigned char *in, int n) {{ return other(in, n); }}\n"
+    );
+    ["umain", "umain2"]
+        .iter()
+        .map(|entry| SuiteJob {
+            name: format!("touch_{entry}"),
+            source: source.clone(),
+            entry: entry.to_string(),
+            opts: BuildOptions::level(OptLevel::O0),
+            bytes: vec![2],
+            cfg: suite_cfg(),
+            path_workers,
+        })
+        .collect()
+}
+
+/// The acceptance scenario: warm a store, edit **one** function, re-sweep.
+/// Exactly the changed function's slice re-executes (store counters prove
+/// it); every untouched slice splices in from the store; and the spliced
+/// report is byte-identical to a cold full run — at the ambient worker
+/// count, so the CI thread matrix pins splice-vs-full determinism too.
+#[test]
+fn touching_one_function_reexecutes_exactly_that_slice() {
+    let root = store_dir("touch_one");
+    let workers = default_threads();
+    let v1 = "if (in[0] == 'b') return 1; return 0;";
+    let v2 = "if (in[0] == 'c') return 2; return 0;";
+
+    // Cold sweep of v1: both entries execute and persist both grains.
+    let store = Store::open(StoreConfig::at(&root)).unwrap();
+    let cold = verify_suite_stored(two_entry_jobs(v1, workers), 2, Some(&store));
+    assert_eq!(cold.store_hits(), 0);
+    let stats = cold.store.as_ref().unwrap();
+    assert_eq!(stats.reports_saved, 2);
+    assert_eq!(stats.slices_saved, 2);
+
+    // Edit one function (`other`, reachable only from umain2) and
+    // re-sweep: the module fingerprint moves for *both* jobs, but only
+    // umain2's slice fingerprint does.
+    let store2 = Store::open(StoreConfig::at(&root)).unwrap();
+    let warm = verify_suite_stored(two_entry_jobs(v2, workers), 2, Some(&store2));
+    let by_name = |name: &str| {
+        warm.jobs
+            .iter()
+            .find(|j| j.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    let untouched = by_name("touch_umain");
+    let touched = by_name("touch_umain2");
+    assert!(
+        untouched.from_store && untouched.from_slice,
+        "the untouched entry must splice from the slice store"
+    );
+    assert!(
+        !touched.from_store,
+        "the touched entry must re-execute, not replay a stale verdict"
+    );
+    assert_eq!(warm.store_hits(), 1);
+    assert_eq!(warm.splice_hits(), 1);
+    let wstats = warm.store.as_ref().unwrap();
+    assert_eq!(wstats.report_hits, 0, "the whole module changed");
+    assert_eq!(wstats.report_misses, 2);
+    assert_eq!(wstats.splice_hits, 1, "exactly one slice answered");
+    assert_eq!(wstats.splice_misses, 1, "exactly one slice re-executed");
+    assert_eq!(wstats.reports_saved, 1);
+    assert_eq!(wstats.slices_saved, 1);
+
+    // Byte-identity: the warm (spliced + one executed) sweep must equal a
+    // cold full run of the edited program, report for report.
+    let fresh = verify_suite_stored(two_entry_jobs(v2, workers), 2, None);
+    for (a, b) in warm.jobs.iter().zip(&fresh.jobs) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.runs.len(), b.runs.len());
+        for ((na, ra), (nb, rb)) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(na, nb);
+            assert_eq!(
+                ra.canonical_bytes(),
+                rb.canonical_bytes(),
+                "{}: spliced sweep must match a cold full run byte-for-byte",
+                a.name
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
