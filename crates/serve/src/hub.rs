@@ -34,18 +34,55 @@ use std::time::{Duration, Instant};
 /// with an empty lease set (the worker simply asks again).
 pub(crate) const STEAL_WAIT: Duration = Duration::from_millis(100);
 
+/// Runs whose remaining budget is below this are not leased out at all:
+/// the clamped timeout would be (near) zero, so the worker's executor
+/// would give up instantly and the round trip is pure waste. The
+/// long-poll waits instead; local path workers finish the stub.
+pub(crate) const MIN_LEASE_TIME: Duration = Duration::from_millis(10);
+
+/// Deadline slack multiplier over a lease's priced cost. The price is the
+/// *whole run's* last observed wall time — already an overestimate for
+/// one subtree — so a worker this far past it is wedged, not slow.
+const DEADLINE_COST_FACTOR: u32 = 8;
+/// Deadline floor: never reap below this much priced work time (remote
+/// workers compile the module before exploring).
+const MIN_PRICED_DEADLINE: Duration = Duration::from_millis(200);
+/// Flat grace added to every deadline for transport and scheduling slop.
+const DEADLINE_GRACE: Duration = Duration::from_millis(800);
+
+/// The reaping deadline for a lease clamped to `leased_timeout`, given
+/// the run's priced cost (None = never priced: fall back to the leased
+/// timeout itself, which is the executor budget — a worker past *that* is
+/// not coming back with anything the budget would accept).
+fn lease_deadline(leased_timeout: Duration, priced: Option<Duration>) -> Duration {
+    let base = match priced {
+        Some(cost) => (cost * DEADLINE_COST_FACTOR)
+            .max(MIN_PRICED_DEADLINE)
+            .min(leased_timeout),
+        None => leased_timeout,
+    };
+    base + DEADLINE_GRACE
+}
+
 struct PublishedRun {
     /// Shared, not cloned, per steal poll — specs carry whole source
     /// strings.
     spec: Arc<JobSpec>,
     budget: Arc<SharedBudget>,
     frontier: Arc<SharedFrontier>,
+    /// The run's priced cost (observed wall time of the same content
+    /// address last time), when the scheduler had one. Drives per-lease
+    /// deadlines.
+    priced: Option<Duration>,
 }
 
 struct Lease {
     owner: u64,
     prefix: Vec<bool>,
     frontier: Arc<SharedFrontier>,
+    /// When a reaper pass may conclude the holder is wedged and restore
+    /// the prefix to the frontier.
+    deadline: Instant,
     /// States the worker shed back from this subtree, buffered until the
     /// lease completes. Shedding is *transactional*: released into the
     /// frontier only on [`FrontierHub::complete`], discarded when the
@@ -62,6 +99,8 @@ pub(crate) struct HubStats {
     pub remote_leases: u64,
     pub remote_states: u64,
     pub leases_recovered: u64,
+    pub leases_reaped: u64,
+    pub stale_frames: u64,
 }
 
 pub(crate) struct FrontierHub {
@@ -80,6 +119,8 @@ pub(crate) struct FrontierHub {
     granted: AtomicU64,
     states_returned: AtomicU64,
     recovered: AtomicU64,
+    reaped: AtomicU64,
+    stale_frames: AtomicU64,
 }
 
 impl FrontierHub {
@@ -95,6 +136,8 @@ impl FrontierHub {
             granted: AtomicU64::new(0),
             states_returned: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            stale_frames: AtomicU64::new(0),
         }
     }
 
@@ -104,6 +147,8 @@ impl FrontierHub {
             remote_leases: self.granted.load(Ordering::Relaxed),
             remote_states: self.states_returned.load(Ordering::Relaxed),
             leases_recovered: self.recovered.load(Ordering::Relaxed),
+            leases_reaped: self.reaped.load(Ordering::Relaxed),
+            stale_frames: self.stale_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -126,8 +171,15 @@ impl FrontierHub {
     }
 
     /// Publishes one verification run: its frontier becomes stealable by
-    /// remote workers until [`FrontierHub::retire`].
-    pub fn publish(&self, spec: JobSpec, budget: Arc<SharedBudget>) -> Arc<SharedFrontier> {
+    /// remote workers until [`FrontierHub::retire`]. `priced` is the
+    /// run's cost from observed history, when the scheduler had one; it
+    /// sizes every lease's reaping deadline.
+    pub fn publish(
+        &self,
+        spec: JobSpec,
+        budget: Arc<SharedBudget>,
+        priced: Option<Duration>,
+    ) -> Arc<SharedFrontier> {
         let frontier = Arc::new(SharedFrontier::for_run(
             Some(budget.clone()),
             self.hunger.clone(),
@@ -137,6 +189,7 @@ impl FrontierHub {
             spec: Arc::new(spec),
             budget,
             frontier: frontier.clone(),
+            priced,
         });
         // The fresh run's root job is stealable right away.
         self.signal.bump();
@@ -194,17 +247,38 @@ impl FrontierHub {
         // Snapshot the published runs (Arc clones only) so no frontier
         // lock is held while the lease table lock is taken (and vice
         // versa).
-        let runs: Vec<(Arc<JobSpec>, Arc<SharedBudget>, Arc<SharedFrontier>)> = self
+        type RunSnap = (
+            Arc<JobSpec>,
+            Arc<SharedBudget>,
+            Arc<SharedFrontier>,
+            Option<Duration>,
+        );
+        let runs: Vec<RunSnap> = self
             .runs
             .lock()
             .unwrap()
             .iter()
-            .map(|r| (r.spec.clone(), r.budget.clone(), r.frontier.clone()))
+            .map(|r| {
+                (
+                    r.spec.clone(),
+                    r.budget.clone(),
+                    r.frontier.clone(),
+                    r.priced,
+                )
+            })
             .collect();
         // Shed more aggressively when more mouths are waiting...
         let hunger_shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
         let mut out = Vec::new();
-        for (spec, budget, frontier) in runs {
+        for (spec, budget, frontier, priced) in runs {
+            // Refuse to lease from a run that is nearly out of budget —
+            // the clamped timeout would be (near) zero and the worker's
+            // round trip pure waste. Checked *before* popping a prefix so
+            // nothing leaks out of the frontier. The long-poll waits;
+            // local path workers finish the stub.
+            if budget.remaining_time() < MIN_LEASE_TIME {
+                continue;
+            }
             while out.len() < max {
                 let Some(prefix) = frontier.try_steal() else {
                     break;
@@ -217,6 +291,12 @@ impl FrontierHub {
                 // its exponential range onto a +0..=+4 bump.
                 let subtree = estimated_subtree_forks(&prefix);
                 let shed = hunger_shed + (64 - subtree.leading_zeros()) / 16;
+                // Clamp the lease to the run's *remaining* deadline: a
+                // remote executor restarts its wall clock per lease, and
+                // without the clamp every steal would extend the run's
+                // timeout by a whole fresh budget.
+                let mut leased_spec = (*spec).clone();
+                leased_spec.cfg.timeout = leased_spec.cfg.timeout.min(budget.remaining_time());
                 let lease = self.next_lease.fetch_add(1, Ordering::Relaxed);
                 self.leases.lock().unwrap().insert(
                     lease,
@@ -224,15 +304,10 @@ impl FrontierHub {
                         owner,
                         prefix: prefix.clone(),
                         frontier: frontier.clone(),
+                        deadline: Instant::now() + lease_deadline(leased_spec.cfg.timeout, priced),
                         shed: Vec::new(),
                     },
                 );
-                // Clamp the lease to the run's *remaining* deadline: a
-                // remote executor restarts its wall clock per lease, and
-                // without the clamp every steal would extend the run's
-                // timeout by a whole fresh budget.
-                let mut leased_spec = (*spec).clone();
-                leased_spec.cfg.timeout = leased_spec.cfg.timeout.min(budget.remaining_time());
                 out.push(LeasedJob {
                     lease,
                     spec: leased_spec,
@@ -262,6 +337,7 @@ impl FrontierHub {
     pub fn offer_states(&self, lease: u64, prefixes: Vec<Vec<bool>>) -> usize {
         let mut leases = self.leases.lock().unwrap();
         let Some(l) = leases.get_mut(&lease) else {
+            self.stale_frames.fetch_add(1, Ordering::Relaxed);
             return 0;
         };
         let n = prefixes.len();
@@ -273,10 +349,14 @@ impl FrontierHub {
 
     /// Completes a lease with the worker's partial report: the states it
     /// shed go live for the rest of the fleet, then the leased subtree is
-    /// retired. Unknown leases are ignored (idempotent against races with
-    /// disconnect recovery).
+    /// retired. Unknown leases — completed runs, disconnect-recovered or
+    /// reaped leases — are ignored idempotently and counted as stale
+    /// frames: a reaped worker's subtree was already restored and will be
+    /// (or was) re-explored exactly once, so folding its late report in
+    /// would double-count the subtree and break byte-identical merges.
     pub fn complete(&self, lease: u64, report: VerificationReport) -> bool {
         let Some(l) = self.leases.lock().unwrap().remove(&lease) else {
+            self.stale_frames.fetch_add(1, Ordering::Relaxed);
             return false;
         };
         // Shed states first, completion second: live count must never
@@ -313,6 +393,42 @@ impl FrontierHub {
         self.recovered.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
+
+    /// Reaps leases whose deadline passed: a wedged-but-alive worker
+    /// (stuck solver, paused VM, half-dead network) holds its connection
+    /// open, so [`FrontierHub::disconnect`] never fires — this is the
+    /// liveness backstop. The subtree is restored to the frontier whole
+    /// (shed states discarded, exactly like a disconnect) and the holder's
+    /// eventual late `JobDone`/`OfferStates` is ignored as a stale frame.
+    /// Reaping a merely *slow* worker is safe for the same reason: its
+    /// late report is dropped, the subtree is re-explored exactly once,
+    /// and the merged report stays byte-identical. Returns the number of
+    /// reaped leases.
+    pub fn reap_expired(&self) -> usize {
+        self.reap_expired_at(Instant::now())
+    }
+
+    /// [`FrontierHub::reap_expired`] with an explicit clock, for tests.
+    fn reap_expired_at(&self, now: Instant) -> usize {
+        let expired: Vec<Lease> = {
+            let mut leases = self.leases.lock().unwrap();
+            let ids: Vec<u64> = leases
+                .iter()
+                .filter(|(_, l)| l.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| leases.remove(&id))
+                .collect()
+        };
+        let n = expired.len();
+        for lease in expired {
+            // `restore` wakes local workers and remote stealers itself.
+            lease.frontier.restore(lease.prefix);
+        }
+        self.reaped.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
 }
 
 /// The [`overify::FrontierProvider`] one executed job hands the driver:
@@ -322,6 +438,9 @@ impl FrontierHub {
 pub(crate) struct RunPublisher<'a> {
     pub hub: &'a FrontierHub,
     pub base: JobSpec,
+    /// The submission's priced cost (from observed history), carried onto
+    /// every published run so leases get meaningful deadlines.
+    pub priced: Option<Duration>,
 }
 
 impl overify::FrontierProvider for RunPublisher<'_> {
@@ -333,7 +452,7 @@ impl overify::FrontierProvider for RunPublisher<'_> {
         let mut spec = self.base.clone();
         spec.cfg = cfg.clone();
         spec.bytes = vec![cfg.input_bytes];
-        self.hub.publish(spec, budget.clone())
+        self.hub.publish(spec, budget.clone(), self.priced)
     }
 
     fn end_run(&self, frontier: Arc<dyn overify::Frontier>) {
@@ -376,6 +495,7 @@ mod tests {
         let f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         let leases = hub.steal(7, 4);
         assert_eq!(leases.len(), 1, "the root job");
@@ -392,6 +512,7 @@ mod tests {
         let f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(leases.len(), 1);
@@ -411,6 +532,7 @@ mod tests {
         let _f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         hub.close();
         assert!(hub.steal(1, 1).is_empty());
@@ -422,6 +544,7 @@ mod tests {
         let f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -441,6 +564,7 @@ mod tests {
         let f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -452,11 +576,88 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_budget_refuses_to_lease_without_leaking_the_prefix() {
+        // Near-zero remaining budget: granting a lease would hand the
+        // worker a clamped timeout of (near) zero — a wasted round trip
+        // that still inflates `remote_leases`.
+        let hub = FrontierHub::new();
+        let cfg = overify::SymConfig {
+            timeout: Duration::ZERO,
+            ..Default::default()
+        };
+        let f = hub.publish(spec(), Arc::new(SharedBudget::new(&cfg)), None);
+        assert!(
+            hub.try_steal(7, 4).is_empty(),
+            "no zero-timeout leases granted"
+        );
+        assert_eq!(hub.stats().remote_leases, 0);
+        // The root job was not popped and lost: a local worker still
+        // finds it.
+        assert_eq!(f.try_steal(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn reaper_restores_wedged_lease_and_ignores_its_late_frames() {
+        let hub = FrontierHub::new();
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            Some(Duration::from_millis(1)), // priced ⇒ tight deadline
+        );
+        let leases = hub.steal(7, 1);
+        assert_eq!(leases.len(), 1);
+        // The worker shed a state, then wedged (connection alive, no
+        // progress). Before the deadline nothing is reaped...
+        assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
+        assert_eq!(hub.reap_expired_at(Instant::now()), 0);
+        // ...after it, the subtree is restored whole (shed discarded).
+        let far_future = Instant::now() + Duration::from_secs(3600);
+        assert_eq!(hub.reap_expired_at(far_future), 1);
+        assert_eq!(hub.stats().leases_reaped, 1);
+        assert_eq!(f.next(), Some(Vec::new()), "prefix restored whole");
+        f.finish();
+        assert_eq!(f.next(), None, "shed state was discarded");
+        // The wedged worker finally answers: both frame kinds are
+        // ignored idempotently and counted.
+        assert!(!hub.complete(leases[0].lease, VerificationReport::default()));
+        assert_eq!(hub.offer_states(leases[0].lease, vec![vec![false]]), 0);
+        assert_eq!(hub.stats().stale_frames, 2);
+        // Reaping is idempotent too.
+        assert_eq!(hub.reap_expired_at(far_future), 0);
+    }
+
+    #[test]
+    fn unpriced_leases_get_the_executor_budget_as_deadline() {
+        // Without a priced cost the deadline degenerates to the leased
+        // timeout plus grace — effectively inert at the default 3600s
+        // budget, so healthy long runs are never reaped spuriously.
+        assert_eq!(
+            lease_deadline(Duration::from_secs(3600), None),
+            Duration::from_secs(3600) + DEADLINE_GRACE
+        );
+        // Priced deadlines scale with cost, floored and clamped.
+        assert_eq!(
+            lease_deadline(Duration::from_secs(3600), Some(Duration::from_secs(1))),
+            Duration::from_secs(8) + DEADLINE_GRACE
+        );
+        assert_eq!(
+            lease_deadline(Duration::from_secs(3600), Some(Duration::from_millis(1))),
+            MIN_PRICED_DEADLINE + DEADLINE_GRACE
+        );
+        assert_eq!(
+            lease_deadline(Duration::from_secs(2), Some(Duration::from_secs(100))),
+            Duration::from_secs(2) + DEADLINE_GRACE,
+            "clamped to the leased timeout"
+        );
+    }
+
+    #[test]
     fn offers_on_dead_leases_are_rejected() {
         let hub = FrontierHub::new();
         let _f = hub.publish(
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
         );
         assert_eq!(hub.offer_states(999, vec![vec![true]]), 0);
         let leases = hub.steal(1, 1);

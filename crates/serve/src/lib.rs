@@ -38,6 +38,14 @@
 //! across as many machines as care to help, with the store as the common
 //! cache plane.
 //!
+//! Since protocol v4 that cache plane is **live**: workers piggyback their
+//! solver-cache deltas on lease completion, the daemon tails the shared
+//! solver log for what *other* processes learned, and every remote lease
+//! carries a deadline priced from the job's observed cost — a wedged
+//! worker's subtree is reaped back to its frontier instead of stalling
+//! the sweep (its late frames are ignored; the merged report is the same
+//! bytes either way).
+//!
 //! See [`server::start`] / [`client::Client`] for the two ends, and the
 //! `serve_daemon` / `serve_client` / `overify_worker` examples for
 //! runnable binaries.

@@ -30,6 +30,14 @@
 //! snapshots carry the daemon's splice counter plus the store's
 //! slice-grain counters.
 //!
+//! **Version 4** turns the fleet into a cache-learning fabric:
+//! [`Request::JobDone`] piggybacks the worker's solver-cache delta (the
+//! verdicts it derived while exploring its subtree), so a daemon folds
+//! remote SAT work into its warm cache and persists it for every future
+//! run. Stats snapshots grow the fabric counters — reaped leases, stale
+//! frames from reaped leases, upstreamed verdicts, and the store's
+//! live-tailed entry count.
+//!
 //! Every decode failure is a typed [`ProtocolError`] — oversized frames,
 //! unknown tags, truncated payloads and trailing garbage are distinct,
 //! diagnosable conditions, never a blind read.
@@ -45,6 +53,7 @@ use overify::{
 };
 use overify_store::artifact::{decode_report, encode_report, level_from_tag, level_tag};
 use overify_store::codec::{Reader, Writer};
+use overify_symex::{CachedVerdict, Model};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -52,8 +61,9 @@ use std::time::Duration;
 pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
 /// Protocol version; both sides must match exactly. v2 added the
 /// worker-attachment frames (frontier sharding across processes); v3 the
-/// function-slice splice fields in outcomes and stats.
-pub const VERSION: u32 = 3;
+/// function-slice splice fields in outcomes and stats; v4 the solver-cache
+/// delta on `JobDone` and the fabric stats fields.
+pub const VERSION: u32 = 4;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
@@ -275,10 +285,16 @@ pub enum Request {
     },
     /// Complete a lease: the partial report of the explored subtree
     /// (minus anything shed back) enters the run's deterministic merge.
-    /// Answered with [`Event::JobAck`].
+    /// `cache_delta` piggybacks the solver verdicts the worker derived
+    /// while exploring — the daemon folds them into its warm cache and
+    /// persists them, so one worker's SAT work warms the whole fleet.
+    /// Deltas are absorbed even when the lease itself is stale (a verdict
+    /// is sound regardless of lease bookkeeping). Answered with
+    /// [`Event::JobAck`].
     JobDone {
         lease: u64,
         report: VerificationReport,
+        cache_delta: Vec<(u128, CachedVerdict)>,
     },
 }
 
@@ -321,6 +337,15 @@ pub struct ServeStatsSnapshot {
     pub remote_states: u64,
     /// Leases restored to their frontier after a worker vanished.
     pub leases_recovered: u64,
+    /// Leases whose deadline expired and whose subtree was restored to
+    /// the frontier while the worker was still (nominally) connected.
+    pub leases_reaped: u64,
+    /// Frames that arrived for a lease already reaped or completed and
+    /// were ignored.
+    pub stale_frames: u64,
+    /// Solver verdicts workers piggybacked on `JobDone` that were new to
+    /// the daemon's warm cache.
+    pub verdicts_upstreamed: u64,
     /// Persistent-store counters (zeroes when the server runs storeless).
     pub store: StoreStats,
 }
@@ -488,6 +513,62 @@ fn decode_sym_config(r: &mut Reader) -> Option<SymConfig> {
     Some(cfg)
 }
 
+/// Serializes a solver-cache delta: the same `(fingerprint, verdict)`
+/// shape the store's solver log persists, with SAT models sorted so a
+/// delta has exactly one wire form across `HashMap` iteration orders.
+fn encode_verdicts(w: &mut Writer, entries: &[(u128, CachedVerdict)]) {
+    w.u32(entries.len() as u32);
+    for (fp, verdict) in entries {
+        w.u128(*fp);
+        match verdict {
+            None => w.u8(0),
+            Some(m) => {
+                w.u8(1);
+                let mut values: Vec<(u32, u64)> = m.values.iter().map(|(&k, &v)| (k, v)).collect();
+                values.sort_unstable();
+                w.u32(values.len() as u32);
+                for (id, v) in values {
+                    w.u32(id);
+                    w.u64(v);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`encode_verdicts`].
+fn decode_verdicts(r: &mut Reader) -> Option<Vec<(u128, CachedVerdict)>> {
+    let n = r.u32()? as usize;
+    // Each entry is at least fp + tag; a hostile count must not allocate
+    // ahead of the bytes actually present.
+    if n * 17 > r.remaining() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fp = r.u128()?;
+        let verdict = match r.u8()? {
+            0 => None,
+            1 => {
+                let count = r.u32()? as usize;
+                if count * 12 > r.remaining() {
+                    return None;
+                }
+                let mut m = Model::default();
+                for _ in 0..count {
+                    let id = r.u32()?;
+                    let v = r.u64()?;
+                    m.values.insert(id, v);
+                }
+                Some(m)
+            }
+            _ => return None,
+        };
+        out.push((fp, verdict));
+    }
+    Some(out)
+}
+
 fn encode_spec(w: &mut Writer, spec: &JobSpec) {
     w.str(&spec.name);
     w.str(&spec.source);
@@ -548,10 +629,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 encode_trace(&mut w, p);
             }
         }
-        Request::JobDone { lease, report } => {
+        Request::JobDone {
+            lease,
+            report,
+            cache_delta,
+        } => {
             w.u8(6);
             w.u64(*lease);
             encode_report(&mut w, report);
+            encode_verdicts(&mut w, cache_delta);
         }
     }
     w.buf
@@ -597,6 +683,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
             Some(Request::JobDone {
                 lease: r.u64()?,
                 report: decode_report(&mut r)?,
+                cache_delta: decode_verdicts(&mut r)?,
             })
         })(),
         tag => {
@@ -669,6 +756,9 @@ fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
         s.remote_leases,
         s.remote_states,
         s.leases_recovered,
+        s.leases_reaped,
+        s.stale_frames,
+        s.verdicts_upstreamed,
         s.store.report_hits,
         s.store.report_misses,
         s.store.reports_saved,
@@ -677,6 +767,7 @@ fn encode_stats(w: &mut Writer, s: &ServeStatsSnapshot) {
         s.store.slices_saved,
         s.store.solver_entries_loaded,
         s.store.solver_entries_saved,
+        s.store.solver_entries_tailed,
         s.store.log_bytes_dropped,
     ] {
         w.u64(v);
@@ -695,6 +786,9 @@ fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
         remote_leases: r.u64()?,
         remote_states: r.u64()?,
         leases_recovered: r.u64()?,
+        leases_reaped: r.u64()?,
+        stale_frames: r.u64()?,
+        verdicts_upstreamed: r.u64()?,
         store: StoreStats {
             report_hits: r.u64()?,
             report_misses: r.u64()?,
@@ -704,6 +798,7 @@ fn decode_stats(r: &mut Reader) -> Option<ServeStatsSnapshot> {
             slices_saved: r.u64()?,
             solver_entries_loaded: r.u64()?,
             solver_entries_saved: r.u64()?,
+            solver_entries_tailed: r.u64()?,
             log_bytes_dropped: r.u64()?,
         },
     })
@@ -923,6 +1018,20 @@ mod tests {
                     exhausted: true,
                     ..Default::default()
                 },
+                cache_delta: vec![
+                    (7, None),
+                    (9 << 100, {
+                        let mut m = Model::default();
+                        m.values.insert(3, 0xDEAD);
+                        m.values.insert(1, 42);
+                        Some(m)
+                    }),
+                ],
+            },
+            Request::JobDone {
+                lease: 10,
+                report: VerificationReport::default(),
+                cache_delta: Vec::new(),
             },
         ] {
             let bytes = encode_request(&req);
@@ -963,8 +1072,12 @@ mod tests {
                 remote_leases: 12,
                 remote_states: 5,
                 leases_recovered: 1,
+                leases_reaped: 2,
+                stale_frames: 3,
+                verdicts_upstreamed: 40,
                 store: StoreStats {
                     report_hits: 4,
+                    solver_entries_tailed: 6,
                     ..Default::default()
                 },
             }),

@@ -10,8 +10,13 @@
 //! * the **executor pool** pops misses cost-first (see [`crate::scheduler`])
 //!   and runs them through the same work-stealing driver the batch API
 //!   uses, publishing live counters through [`overify::JobProgress`];
-//! * the **progress poller** samples every running job on a fixed tick and
-//!   streams changed counters to the owning client;
+//! * the **progress poller** samples every running job on a fixed tick,
+//!   streams changed counters to the owning client, and reaps remote
+//!   leases that blew their deadline (the subtree goes back to its
+//!   frontier; the worker's late frames are ignored);
+//! * the **log tailer** folds solver verdicts that *other* processes
+//!   appended to the shared store into this daemon's warm cache, so a
+//!   fleet of daemons on one store path converges without restarts;
 //! * after every executed job the observed cost is recorded back into the
 //!   store (scheduling feedback) and the solver-cache delta is persisted,
 //!   so the *next* client — or the next process — starts warmer.
@@ -52,6 +57,10 @@ pub struct ServerConfig {
     pub store: Option<StoreConfig>,
     /// Progress sampling tick for running jobs.
     pub progress_interval: Duration,
+    /// Solver-log tailing tick: how often the daemon folds entries that
+    /// *other* processes appended to the shared store into its warm
+    /// cache. Ignored when serving storeless.
+    pub tail_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +70,7 @@ impl Default for ServerConfig {
             executors: default_threads(),
             store: StoreConfig::from_env(),
             progress_interval: Duration::from_millis(25),
+            tail_interval: Duration::from_millis(200),
         }
     }
 }
@@ -73,6 +83,10 @@ struct QueuedJob {
     prepared: PreparedJob,
     events: Sender<Event>,
     key_hash: Option<u128>,
+    /// The scheduler priority the job entered the queue with; an observed
+    /// (non-estimated) cost also prices the deadlines of the run's remote
+    /// leases.
+    priority: Priority,
 }
 
 /// A job currently executing, visible to the progress poller.
@@ -148,6 +162,9 @@ struct ServeState {
     /// function-slice verdict (module key missed, slice key hit).
     answered_spliced: AtomicU64,
     executed: AtomicU64,
+    /// Verdicts piggybacked on worker `JobDone` frames that were new to
+    /// the warm cache.
+    verdicts_upstreamed: AtomicU64,
     next_job_id: AtomicU64,
     next_conn_id: AtomicU64,
 }
@@ -166,6 +183,9 @@ impl ServeState {
             remote_leases: hub.remote_leases,
             remote_states: hub.remote_states,
             leases_recovered: hub.leases_recovered,
+            leases_reaped: hub.leases_reaped,
+            stale_frames: hub.stale_frames,
+            verdicts_upstreamed: self.verdicts_upstreamed.load(Ordering::Relaxed),
             store: self.store.as_ref().map(|s| s.stats()).unwrap_or_default(),
         }
     }
@@ -263,6 +283,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         answered_from_store: AtomicU64::new(0),
         answered_spliced: AtomicU64::new(0),
         executed: AtomicU64::new(0),
+        verdicts_upstreamed: AtomicU64::new(0),
         next_job_id: AtomicU64::new(0),
         next_conn_id: AtomicU64::new(0),
     });
@@ -276,6 +297,11 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let state = state.clone();
         let tick = cfg.progress_interval;
         threads.push(std::thread::spawn(move || poller_loop(&state, tick)));
+    }
+    if state.store.is_some() {
+        let state = state.clone();
+        let tick = cfg.tail_interval;
+        threads.push(std::thread::spawn(move || tailer_loop(&state, tick)));
     }
     {
         let state = state.clone();
@@ -379,9 +405,29 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
                 let accepted = state.hub.offer_states(lease, prefixes) as u32;
                 tx.send(Event::StatesAccepted { accepted }).ok();
             }
-            Ok(Request::JobDone { lease, report }) => {
+            Ok(Request::JobDone {
+                lease,
+                report,
+                cache_delta,
+            }) => {
                 if !attached {
                     break;
+                }
+                // Fold the worker's verdicts in *before* lease
+                // bookkeeping: a verdict is sound even when the lease was
+                // reaped or completed meanwhile, and persisting it now
+                // means the next process warm-starts from it even if this
+                // daemon dies hard later.
+                if !cache_delta.is_empty() {
+                    let added = state.warm.absorb(&cache_delta);
+                    state
+                        .verdicts_upstreamed
+                        .fetch_add(added, Ordering::Relaxed);
+                    if let Some(store) = &state.store {
+                        if let Err(e) = store.save_solver_cache(&state.warm) {
+                            eprintln!("overify_serve: failed to persist upstreamed verdicts: {e}");
+                        }
+                    }
                 }
                 state.hub.complete(lease, report);
                 tx.send(Event::JobAck { lease }).ok();
@@ -500,6 +546,7 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
         prepared,
         events: tx.clone(),
         key_hash,
+        priority,
     };
     if let Err(rejected) = state.sched.push(priority, queued) {
         // Shutdown raced the submission. Report the job — and any
@@ -610,6 +657,10 @@ fn executor_loop(state: &Arc<ServeState>) {
         let publisher = RunPublisher {
             hub: &state.hub,
             base: JobSpec::from_suite_job(job.prepared.job()),
+            // An observed cost prices the run's remote-lease deadlines;
+            // a static estimate is too loose to reap against.
+            priced: (!job.priority.estimated)
+                .then(|| Duration::from_nanos(job.priority.cost.min(u64::MAX as u128) as u64)),
         };
         let result = job.prepared.execute_with(
             state.store.as_ref(),
@@ -626,6 +677,9 @@ fn executor_loop(state: &Arc<ServeState>) {
             if let Err(e) = store.save_solver_cache(&state.warm) {
                 eprintln!("overify_serve: failed to persist the solver cache: {e}");
             }
+            // Opportunistic tail on the same touch: anything another
+            // process appended meanwhile is warm before the next job.
+            store.tail_solver_log(&state.warm);
         }
         // Terminal frame: closes the job's progress stream (a straggling
         // poller sample can never land after it), then the report. The
@@ -652,11 +706,30 @@ fn executor_loop(state: &Arc<ServeState>) {
 fn poller_loop(state: &Arc<ServeState>, tick: Duration) {
     while !state.shutting_down.load(Ordering::SeqCst) {
         std::thread::sleep(tick);
+        // The poller doubles as the lease reaper: a wedged worker's
+        // subtree goes back to its frontier on the same cadence progress
+        // is sampled, so a sweep never stalls longer than a tick past a
+        // blown deadline.
+        state.hub.reap_expired();
         let active: Vec<Arc<ActiveJob>> = state.active.lock().unwrap().clone();
         for job in active {
             // `publish` drops the sample when it is stale, a duplicate, or
             // the job already published its terminal frame.
             job.publish(job.progress.snapshot(), false);
+        }
+    }
+}
+
+/// Tails the shared solver log on a fixed tick: entries appended by
+/// *other* daemons or workers on the same store path are folded into this
+/// process's warm cache, so the fleet converges on one body of solver
+/// knowledge without restarts. Compactions are survived by re-reading
+/// (the log header's generation changes), never by double-counting.
+fn tailer_loop(state: &Arc<ServeState>, tick: Duration) {
+    while !state.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        if let Some(store) = &state.store {
+            store.tail_solver_log(&state.warm);
         }
     }
 }

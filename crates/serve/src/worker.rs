@@ -14,6 +14,13 @@
 //! dispatcher — up to the lease's `shed` hint — so one stolen subtree
 //! never serializes the fleet.
 //!
+//! Completion also piggybacks the worker's **solver-cache delta**: every
+//! verdict this process derived since its last upload rides the
+//! [`crate::protocol::Request::JobDone`] frame, so the daemon (and through
+//! its store, the whole fleet) learns what this worker's SAT calls paid
+//! for. The delta is tracked per process, not per lease — a fingerprint is
+//! uploaded once, however many leases touch it.
+//!
 //! Failure semantics are the dispatcher's: if this process dies
 //! mid-lease, the daemon's lease table restores the job to its frontier
 //! and someone else re-explores it. Nothing a worker does (or fails to
@@ -33,7 +40,7 @@ use crate::protocol::{
 use overify::{prepare_job, Module, SharedQueryCache, VerificationReport};
 use overify_symex::{Executor, ExploreHooks};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -80,11 +87,16 @@ pub struct WorkerStats {
     /// Leases that could not run (module failed to build here) and were
     /// returned whole.
     pub bounced: u64,
+    /// Solver verdicts uploaded to the dispatcher on `JobDone` frames.
+    pub verdicts_uploaded: u64,
 }
 
 /// One module per (source, level): compilation is deterministic, so a
 /// cached module is bit-identical to a fresh one — and to the daemon's.
 type ModuleCache = Mutex<HashMap<(String, u8), Arc<Module>>>;
+
+/// Fingerprints this process already uploaded on a `JobDone` frame.
+type Uploaded = Mutex<HashSet<u128>>;
 
 /// Runs a worker fleet against the daemon at `cfg.addr`; blocks until
 /// every connection exits (daemon gone, or `idle_exit` elapsed) and
@@ -94,13 +106,16 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerStats> {
     // One process-wide solver cache: verdicts are keyed by structural
     // formula fingerprints, valid across every lease this process takes.
     let solver_cache = Arc::new(SharedQueryCache::new());
+    // Fingerprints already upstreamed to the dispatcher — process-wide,
+    // so concurrent connections never upload the same verdict twice.
+    let uploaded: Uploaded = Mutex::new(HashSet::new());
     let mut total = WorkerStats::default();
     if cfg.threads <= 1 {
-        return worker_connection(cfg, &modules, &solver_cache);
+        return worker_connection(cfg, &modules, &solver_cache, &uploaded);
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
-            .map(|_| scope.spawn(|| worker_connection(cfg, &modules, &solver_cache)))
+            .map(|_| scope.spawn(|| worker_connection(cfg, &modules, &solver_cache, &uploaded)))
             .collect();
         let mut first_err = None;
         for h in handles {
@@ -109,6 +124,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerStats> {
                     total.stolen += s.stolen;
                     total.states_returned += s.states_returned;
                     total.bounced += s.bounced;
+                    total.verdicts_uploaded += s.verdicts_uploaded;
                 }
                 Err(e) => first_err = Some(e),
             }
@@ -174,6 +190,7 @@ fn worker_connection(
     cfg: &WorkerConfig,
     modules: &ModuleCache,
     solver_cache: &Arc<SharedQueryCache>,
+    uploaded: &Uploaded,
 ) -> io::Result<WorkerStats> {
     let conn = RefCell::new(Conn::connect(cfg.addr, &cfg.name)?);
     let mut stats = WorkerStats::default();
@@ -197,7 +214,7 @@ fn worker_connection(
         }
         last_lease = Instant::now();
         for lease in leases {
-            if process_lease(&conn, &lease, modules, solver_cache, &mut stats).is_err() {
+            if process_lease(&conn, &lease, modules, solver_cache, uploaded, &mut stats).is_err() {
                 return Ok(stats);
             }
         }
@@ -209,6 +226,7 @@ fn process_lease(
     lease: &LeasedJob,
     modules: &ModuleCache,
     solver_cache: &Arc<SharedQueryCache>,
+    uploaded: &Uploaded,
     stats: &mut WorkerStats,
 ) -> io::Result<()> {
     let report = match cached_module(modules, lease) {
@@ -233,9 +251,21 @@ fn process_lease(
             }
         }
     };
+    // Piggyback every verdict this process derived since its last upload.
+    // (The set is marked before the round-trip: if the frame is lost the
+    // connection is dead anyway, and a duplicate upload would merely be
+    // ignored by the daemon's insert-if-absent fold.)
+    let cache_delta = {
+        let mut seen = uploaded.lock().unwrap();
+        let delta = solver_cache.snapshot_if(|fp| !seen.contains(&fp));
+        seen.extend(delta.iter().map(|&(fp, _)| fp));
+        delta
+    };
+    stats.verdicts_uploaded += cache_delta.len() as u64;
     match conn.borrow_mut().request(&Request::JobDone {
         lease: lease.lease,
         report,
+        cache_delta,
     })? {
         Event::JobAck { .. } => Ok(()),
         other => Err(unexpected("JobAck", &other)),

@@ -128,7 +128,11 @@ pub fn load(path: &Path) -> Vec<CostRecord> {
         let kind = match p.u8().unwrap() {
             0 => CostKind::Module,
             1 => CostKind::Slice,
-            _ => break, // Unknown grain: stop at the last good record.
+            // Unknown grain: a *newer* writer's record kind, not damage —
+            // the frame is fixed-size and its checksum verified, so skip
+            // just this record and keep scanning. Breaking here would
+            // silently discard every valid record after it.
+            _ => continue,
         };
         out.push(CostRecord {
             kind,
@@ -224,6 +228,39 @@ mod tests {
         append(&p, &rec(1, 10, 100)).unwrap();
         append(&p, &slice).unwrap();
         assert_eq!(load(&p), vec![rec(1, 10, 100), slice]);
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn unknown_grain_record_is_skipped_not_fatal() {
+        // A newer writer interleaves a record with grain tag 7; a v2
+        // reader must skip it and still see every valid record after it.
+        use std::io::Write as _;
+        let p = tmp("unknown_grain");
+        append(&p, &rec(1, 10, 100)).unwrap();
+        let mut w = Writer::default();
+        w.u8(7); // future grain kind
+        w.u128(99);
+        w.u128(990);
+        w.u64(9900);
+        let check = fnv64(&w.buf);
+        w.u64(check);
+        assert_eq!(w.buf.len(), RECORD_LEN, "future records keep the frame");
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&p)
+            .unwrap()
+            .write_all(&w.buf)
+            .unwrap();
+        append(&p, &rec(2, 20, 200)).unwrap();
+        let slice = CostRecord {
+            kind: CostKind::Slice,
+            key: 3,
+            fp: 30,
+            nanos: 300,
+        };
+        append(&p, &slice).unwrap();
+        assert_eq!(load(&p), vec![rec(1, 10, 100), rec(2, 20, 200), slice]);
         let _ = fs::remove_file(&p);
     }
 

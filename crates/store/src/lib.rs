@@ -40,11 +40,12 @@
 pub mod artifact;
 pub mod codec;
 pub mod cost;
+pub mod lock;
 pub mod log;
 
 pub use artifact::{budget_signature, ReportKey, SliceKey, StoredJob};
 pub use cost::{CostKind, CostRecord};
-pub use log::{LoadSummary, LogError};
+pub use log::{LoadSummary, LogError, TailSummary};
 
 use overify_symex::SharedQueryCache;
 use std::collections::{HashMap, HashSet};
@@ -113,6 +114,34 @@ pub struct StoreStats {
     /// Bytes of damaged log tail dropped during loading (the next save
     /// compacts them away).
     pub log_bytes_dropped: u64,
+    /// Solver verdicts learned *live* from other processes by tailing the
+    /// log after boot ([`Store::tail_solver_log`]).
+    pub solver_entries_tailed: u64,
+}
+
+/// What one [`Store::tail_solver_log`] pass absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Verdicts new to the local cache this pass.
+    pub absorbed: u64,
+    /// Log records scanned past the cursor (absorbed + already known).
+    pub records: u64,
+    /// The log was compacted since the last pass; the scan restarted
+    /// from zero.
+    pub reread: bool,
+    /// Bytes of another process's still-in-flight append at the tail;
+    /// retried on the next pass.
+    pub pending_bytes: u64,
+}
+
+/// A tailing reader's position in the solver log.
+#[derive(Clone, Copy, Debug, Default)]
+struct TailCursor {
+    /// Byte offset just past the last record consumed.
+    offset: u64,
+    /// Header generation those bytes belong to; a mismatch on the next
+    /// pass means the log was compacted and the offset is meaningless.
+    generation: u64,
 }
 
 /// One open store directory. Cheap to share by reference across suite
@@ -125,6 +154,11 @@ pub struct Store {
     /// The log needs a compacting rewrite (damage or duplicate bloat seen
     /// at load, or a stale version).
     rewrite_log: Mutex<bool>,
+    /// This handle's live-tailing position in the solver log.
+    ///
+    /// Lock order: `tail` before `persisted` before `rewrite_log`,
+    /// everywhere.
+    tail: Mutex<TailCursor>,
     /// Lazily-loaded per-key observed costs at both grains: key hash →
     /// (kind, fingerprint, ns). Module and slice key hashes are
     /// domain-separated, so one map serves both. Appends update the map
@@ -139,6 +173,7 @@ pub struct Store {
     solver_loaded: AtomicU64,
     solver_saved: AtomicU64,
     log_dropped: AtomicU64,
+    solver_tailed: AtomicU64,
 }
 
 impl Store {
@@ -153,6 +188,7 @@ impl Store {
             cfg,
             persisted: Mutex::new(HashSet::new()),
             rewrite_log: Mutex::new(false),
+            tail: Mutex::new(TailCursor::default()),
             costs: Mutex::new(None),
             report_hits: AtomicU64::new(0),
             report_misses: AtomicU64::new(0),
@@ -163,6 +199,7 @@ impl Store {
             solver_loaded: AtomicU64::new(0),
             solver_saved: AtomicU64::new(0),
             log_dropped: AtomicU64::new(0),
+            solver_tailed: AtomicU64::new(0),
         })
     }
 
@@ -183,11 +220,16 @@ impl Store {
             solver_entries_loaded: self.solver_loaded.load(Ordering::Relaxed),
             solver_entries_saved: self.solver_saved.load(Ordering::Relaxed),
             log_bytes_dropped: self.log_dropped.load(Ordering::Relaxed),
+            solver_entries_tailed: self.solver_tailed.load(Ordering::Relaxed),
         }
     }
 
     fn log_path(&self) -> PathBuf {
         self.cfg.root.join("solver.log")
+    }
+
+    fn lock_path(&self) -> PathBuf {
+        self.cfg.root.join("solver.lock")
     }
 
     fn cost_path(&self) -> PathBuf {
@@ -231,6 +273,11 @@ impl Store {
                     .fetch_add(summary.entries, Ordering::Relaxed);
                 self.log_dropped
                     .fetch_add(summary.dropped_bytes, Ordering::Relaxed);
+                // Tailing resumes just past the last intact record.
+                *self.tail.lock().unwrap() = TailCursor {
+                    offset: summary.clean_len,
+                    generation: summary.generation,
+                };
                 // Fingerprints only — no model clones for bookkeeping.
                 self.persisted.lock().unwrap().extend(cache.fingerprints());
                 // Damage or heavy duplication ⇒ compact on save.
@@ -247,21 +294,87 @@ impl Store {
         cache
     }
 
+    /// Absorbs into `cache` every solver verdict other processes appended
+    /// to the log since this handle's last load/tail/save — the live
+    /// multi-daemon coherence path. Pre-existing cache entries are never
+    /// overwritten, hit/miss counters are untouched, and a compaction by
+    /// another process (generation bump) triggers a safe re-read from
+    /// zero. I/O errors and in-flight appends degrade to "nothing new
+    /// this tick"; an unusable log schedules a rewrite exactly like
+    /// [`Store::warm_solver_cache`] does.
+    pub fn tail_solver_log(&self, cache: &SharedQueryCache) -> TailStats {
+        if !self.cfg.solver_cache {
+            return TailStats::default();
+        }
+        let mut cursor = self.tail.lock().unwrap();
+        match log::load_tail(&self.log_path(), cursor.offset, cursor.generation) {
+            Ok((summary, entries)) => {
+                let absorbed = cache.absorb(&entries);
+                if !entries.is_empty() {
+                    // Tailed verdicts are on disk by definition — never
+                    // re-append them.
+                    self.persisted
+                        .lock()
+                        .unwrap()
+                        .extend(entries.iter().map(|&(fp, _)| fp));
+                }
+                cursor.offset = summary.offset;
+                cursor.generation = summary.generation;
+                self.solver_tailed.fetch_add(absorbed, Ordering::Relaxed);
+                TailStats {
+                    absorbed,
+                    records: summary.records,
+                    reread: summary.reread,
+                    pending_bytes: summary.pending_bytes,
+                }
+            }
+            Err(_) => {
+                *self.rewrite_log.lock().unwrap() = true;
+                TailStats::default()
+            }
+        }
+    }
+
     /// Persists `cache` into the log: appends the verdicts not yet on
-    /// disk, or compacts (rewrites the whole file from the snapshot) when
-    /// the load pass found damage, duplicate bloat or a stale version.
+    /// disk, or compacts (rewrites the whole file) when the load pass
+    /// found damage, duplicate bloat or a stale version.
+    ///
+    /// Both paths hold the store's advisory file lock. Compaction is a
+    /// read-merge-rewrite: the current on-disk log is re-read *under the
+    /// lock* and merged with this handle's snapshot, so records another
+    /// process appended since our load are carried into the rewrite
+    /// rather than renamed away — and the new header's bumped generation
+    /// tells every tailing reader to restart its scan.
     pub fn save_solver_cache(&self, cache: &SharedQueryCache) -> io::Result<u64> {
         if !self.cfg.solver_cache {
             return Ok(0);
         }
+        let mut cursor = self.tail.lock().unwrap();
         let mut persisted = self.persisted.lock().unwrap();
         let mut rewrite = self.rewrite_log.lock().unwrap();
         let saved = if *rewrite {
-            let snapshot = cache.snapshot();
-            log::compact(&self.log_path(), &snapshot)?;
+            let _lock = lock::DirLock::acquire(&self.lock_path(), lock::STALE_AFTER)?;
+            let merged = SharedQueryCache::new();
+            // An unreadable current log (that is usually why we are
+            // rewriting) contributes nothing; generation restarts at 1.
+            let disk_generation = log::load(&self.log_path(), &merged)
+                .map(|s| s.generation)
+                .unwrap_or(0);
+            // What the disk knew that we did not is learning too — keep
+            // it in the rewrite *and* absorb it locally, because the tail
+            // cursor will point past the new file.
+            merged.absorb(&cache.snapshot());
+            let snapshot = merged.snapshot();
+            let tailed = cache.absorb(&snapshot);
+            self.solver_tailed.fetch_add(tailed, Ordering::Relaxed);
+            let new_len = log::compact(&self.log_path(), &snapshot, disk_generation + 1)?;
             *rewrite = false;
             persisted.clear();
             persisted.extend(snapshot.iter().map(|&(fp, _)| fp));
+            *cursor = TailCursor {
+                offset: new_len,
+                generation: disk_generation + 1,
+            };
             snapshot.len() as u64
         } else {
             // Clone only the not-yet-persisted delta out of the cache.
@@ -269,6 +382,7 @@ impl Store {
             if fresh.is_empty() {
                 return Ok(0);
             }
+            let _lock = lock::DirLock::acquire(&self.lock_path(), lock::STALE_AFTER)?;
             log::append(&self.log_path(), &fresh)?;
             persisted.extend(fresh.iter().map(|&(fp, _)| fp));
             fresh.len() as u64
@@ -580,6 +694,150 @@ mod tests {
         // Only the delta is appended by the second handle.
         warm.publish(12, None);
         assert_eq!(store2.save_solver_cache(&warm).unwrap(), 1);
+    }
+
+    #[test]
+    fn two_handles_converge_by_tailing_without_reopen() {
+        let store_a = tmp_store("tail_converge");
+        let store_b = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let cache_a = store_a.warm_solver_cache();
+        let cache_b = store_b.warm_solver_cache();
+
+        // A learns and persists; B tails it live — no restart.
+        let mut m = Model::default();
+        m.values.insert(0, 3);
+        cache_a.publish(100, Some(m.clone()));
+        cache_a.publish(101, None);
+        store_a.save_solver_cache(&cache_a).unwrap();
+        let t = store_b.tail_solver_log(&cache_b);
+        assert_eq!(t.absorbed, 2);
+        assert_eq!(cache_b.lookup(100), Some(Some(m)));
+        assert_eq!(cache_b.lookup(101), Some(None));
+        assert_eq!(store_b.stats().solver_entries_tailed, 2);
+
+        // Nothing new: the cursor holds.
+        assert_eq!(store_b.tail_solver_log(&cache_b), TailStats::default());
+
+        // B's own learning then saves only its delta (tailed entries are
+        // marked persisted, never re-appended).
+        cache_b.publish(102, None);
+        assert_eq!(store_b.save_solver_cache(&cache_b).unwrap(), 1);
+
+        // ...and A tails B's delta back.
+        let t2 = store_a.tail_solver_log(&cache_a);
+        assert_eq!(t2.absorbed, 1);
+        assert_eq!(cache_a.lookup(102), Some(None));
+    }
+
+    #[test]
+    fn tailing_survives_a_concurrent_compaction() {
+        let store_a = tmp_store("tail_compaction");
+        let cache_a = store_a.warm_solver_cache();
+        for fp in 0..4u128 {
+            cache_a.publish(fp, None);
+        }
+        store_a.save_solver_cache(&cache_a).unwrap();
+
+        let store_b = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let cache_b = store_b.warm_solver_cache();
+        assert_eq!(cache_b.len(), 4);
+
+        // A third handle compacts (generation bump); B's cursor predates
+        // the rewrite.
+        let store_d = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let cache_d = store_d.warm_solver_cache();
+        cache_d.publish(50, None);
+        *store_d.rewrite_log.lock().unwrap() = true;
+        store_d.save_solver_cache(&cache_d).unwrap();
+
+        let t = store_b.tail_solver_log(&cache_b);
+        assert!(t.reread, "generation bump detected");
+        assert_eq!(t.absorbed, 1, "only the genuinely new verdict is new");
+        assert_eq!(cache_b.lookup(50), Some(None));
+    }
+
+    #[test]
+    fn compaction_merges_concurrent_appends_instead_of_losing_them() {
+        // Handle A saves one verdict. A rewriter handle loads it and is
+        // due a compaction; before that runs, an appender handle (a
+        // second process) cleanly appends verdict 2. The rewrite must
+        // carry the concurrent append into the new file.
+        let store_a = tmp_store("compact_race");
+        let cache_a = store_a.warm_solver_cache();
+        cache_a.publish(1, None);
+        store_a.save_solver_cache(&cache_a).unwrap();
+
+        let rewriter = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let rewriter_cache = rewriter.warm_solver_cache();
+        *rewriter.rewrite_log.lock().unwrap() = true;
+
+        let appender = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let appender_cache = appender.warm_solver_cache();
+        appender_cache.publish(2, None);
+        appender.save_solver_cache(&appender_cache).unwrap();
+
+        // The rewriter never saw fp 2 in memory; its compaction must
+        // still keep it (read-merge-rewrite under the lock).
+        rewriter_cache.publish(3, None);
+        rewriter.save_solver_cache(&rewriter_cache).unwrap();
+        assert_eq!(
+            rewriter_cache.lookup(2),
+            Some(None),
+            "merge-back absorbs the concurrent append locally too"
+        );
+
+        let fresh = Store::open(StoreConfig::at(store_a.root())).unwrap();
+        let warm = fresh.warm_solver_cache();
+        assert_eq!(
+            warm.fingerprints(),
+            vec![1, 2, 3],
+            "nothing learned is lost by compaction"
+        );
+        assert_eq!(fresh.stats().log_bytes_dropped, 0, "clean log");
+    }
+
+    #[test]
+    fn concurrent_appends_and_compactions_lose_nothing() {
+        let store = tmp_store("two_handle_race");
+        let seed = store.warm_solver_cache();
+        seed.publish(u128::MAX, None);
+        store.save_solver_cache(&seed).unwrap();
+        let root = store.root().to_path_buf();
+
+        let appender = std::thread::spawn({
+            let root = root.clone();
+            move || {
+                for i in 0..10u128 {
+                    let h = Store::open(StoreConfig::at(&root)).unwrap();
+                    let c = h.warm_solver_cache();
+                    c.publish(i, None);
+                    h.save_solver_cache(&c).unwrap();
+                }
+            }
+        });
+        let compactor = std::thread::spawn({
+            let root = root.clone();
+            move || {
+                for i in 0..10u128 {
+                    let h = Store::open(StoreConfig::at(&root)).unwrap();
+                    let c = h.warm_solver_cache();
+                    c.publish(1000 + i, None);
+                    *h.rewrite_log.lock().unwrap() = true; // force compaction
+                    h.save_solver_cache(&c).unwrap();
+                }
+            }
+        });
+        appender.join().unwrap();
+        compactor.join().unwrap();
+
+        let fresh = Store::open(StoreConfig::at(&root)).unwrap();
+        let warm = fresh.warm_solver_cache();
+        let fps: HashSet<u128> = warm.fingerprints().into_iter().collect();
+        for i in 0..10u128 {
+            assert!(fps.contains(&i), "append {i} lost");
+            assert!(fps.contains(&(1000 + i)), "compactor entry {i} lost");
+        }
+        assert!(fps.contains(&u128::MAX));
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! On-disk format (all little-endian):
 //!
 //! ```text
-//! header:  magic  b"OVFYSLG\0"   8 bytes
-//!          version u32           (readers reject mismatches cleanly)
+//! header:  magic      b"OVFYSLG\0"   8 bytes
+//!          version    u32            (readers reject mismatches cleanly)
+//!          generation u64            bumped by every compaction, so a
+//!                                    tailing reader detects the rewrite
+//!                                    and restarts its scan from zero
 //! record:  len     u32           payload length (bounded sanity check)
 //!          check   u64           FNV-1a of the payload
 //!          payload fp u128, tag u8 (0 = UNSAT, 1 = SAT),
@@ -23,6 +26,14 @@
 //! scan at the last good record — everything before the damage survives,
 //! and the damaged tail's byte count is reported so the owner can compact
 //! (rewrite) the log from a live snapshot.
+//!
+//! Besides the boot-time full [`load`], long-lived processes *tail* the
+//! log ([`load_tail`]): re-scan from a remembered byte offset, absorbing
+//! only records appended since — that is how N daemons on one store path
+//! converge on each other's verdicts without restart. A torn tail during
+//! tailing is reported as *pending* (it may be another process's append
+//! still in flight) and re-read on the next tick rather than treated as
+//! damage.
 
 use crate::codec::{fnv64, Reader, Writer};
 use overify_symex::{CachedVerdict, Model, SharedQueryCache};
@@ -34,8 +45,11 @@ use std::path::Path;
 /// Magic prefix of a solver log file.
 pub const MAGIC: &[u8; 8] = b"OVFYSLG\0";
 /// Current format version. Bump on any layout change; old files are then
-/// rejected (and rewritten wholesale on the next save).
-pub const VERSION: u32 = 1;
+/// rejected (and rewritten wholesale on the next save). v2 added the
+/// header generation stamp for rewrite-safe tailing.
+pub const VERSION: u32 = 2;
+/// Total header length: magic + version + generation.
+pub const HEADER_LEN: usize = 8 + 4 + 8;
 /// Upper bound on one record's payload (a model entry is 12 bytes; a sane
 /// model holds at most a few thousand symbols).
 const MAX_RECORD: u32 = 1 << 24;
@@ -72,6 +86,30 @@ pub struct LoadSummary {
     /// Bytes of damaged/torn tail the scan refused to consume (0 on a
     /// clean log). Nonzero means the next save should compact.
     pub dropped_bytes: u64,
+    /// The header's compaction generation (0 for a missing/empty log).
+    pub generation: u64,
+    /// Byte offset just past the last intact record — the starting
+    /// cursor for a subsequent [`load_tail`].
+    pub clean_len: u64,
+}
+
+/// What one tailing pass over the log found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailSummary {
+    /// Intact records decoded this pass.
+    pub records: u64,
+    /// Header generation observed (becomes the cursor's new generation).
+    pub generation: u64,
+    /// Byte offset just past the last intact record (the new cursor).
+    pub offset: u64,
+    /// The log was compacted (or shrank) since the cursor was taken, so
+    /// this pass re-read from the start of the records.
+    pub reread: bool,
+    /// Bytes at the tail that did not parse as a whole record. During
+    /// tailing that usually means another process's append is still in
+    /// flight, so the cursor stays put and the bytes are retried on the
+    /// next tick — never skipped.
+    pub pending_bytes: u64,
 }
 
 /// Serializes one `(fingerprint, verdict)` record, framed and checksummed.
@@ -144,8 +182,15 @@ pub fn load(path: &Path, cache: &SharedQueryCache) -> Result<LoadSummary, LogErr
     if version != VERSION {
         return Err(LogError::VersionMismatch { found: version });
     }
-
     let mut summary = LoadSummary::default();
+    let Some(generation) = r.u64() else {
+        // Header torn mid-write: nothing usable yet, compact on save.
+        summary.dropped_bytes = r.remaining() as u64;
+        summary.clean_len = (MAGIC.len() + 4) as u64;
+        return Ok(summary);
+    };
+    summary.generation = generation;
+    summary.clean_len = HEADER_LEN as u64;
     let mut seen: HashSet<u128> = HashSet::new();
     loop {
         let tail = r.remaining() as u64;
@@ -170,6 +215,7 @@ pub fn load(path: &Path, cache: &SharedQueryCache) -> Result<LoadSummary, LogErr
                 if seen.insert(fp) {
                     summary.entries += 1;
                 }
+                summary.clean_len = (bytes.len() - r.remaining()) as u64;
                 cache.publish(fp, verdict);
             }
             None => {
@@ -179,6 +225,94 @@ pub fn load(path: &Path, cache: &SharedQueryCache) -> Result<LoadSummary, LogErr
         }
     }
     Ok(summary)
+}
+
+/// Re-scans the log from byte `offset`, returning only the records
+/// appended since — the live-coherence path for long-lived daemons.
+///
+/// `generation` is the header generation observed when the cursor was
+/// taken; a mismatch means the log was compacted in between, so the scan
+/// restarts just past the header (`reread` is set). A torn tail is
+/// reported as `pending_bytes` and the returned offset stays at the last
+/// intact record, so an in-flight concurrent append is simply retried on
+/// the next tick.
+pub fn load_tail(
+    path: &Path,
+    offset: u64,
+    generation: u64,
+) -> Result<(TailSummary, Vec<(u128, CachedVerdict)>), LogError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(_) => {
+            // Missing (or vanished) log: an empty cursor.
+            let summary = TailSummary {
+                reread: offset > 0,
+                ..TailSummary::default()
+            };
+            return Ok((summary, Vec::new()));
+        }
+    };
+    if bytes.is_empty() {
+        let summary = TailSummary {
+            reread: offset > 0,
+            ..TailSummary::default()
+        };
+        return Ok((summary, Vec::new()));
+    }
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(LogError::BadMagic);
+    }
+    let mut h = Reader::new(&bytes[MAGIC.len()..]);
+    let version = h.u32().ok_or(LogError::BadMagic)?;
+    if version != VERSION {
+        return Err(LogError::VersionMismatch { found: version });
+    }
+    let found_generation = h.u64().ok_or(LogError::BadMagic)?;
+
+    // Restart past the header when the cursor predates a compaction (the
+    // generation moved) or points beyond the file (it shrank).
+    let restart =
+        found_generation != generation || offset < HEADER_LEN as u64 || offset > bytes.len() as u64;
+    let start = if restart { HEADER_LEN as u64 } else { offset };
+    let mut summary = TailSummary {
+        generation: found_generation,
+        offset: start,
+        reread: restart && offset > HEADER_LEN as u64,
+        ..TailSummary::default()
+    };
+
+    let mut out = Vec::new();
+    let mut r = Reader::new(&bytes[start as usize..]);
+    loop {
+        let tail = r.remaining() as u64;
+        if tail == 0 {
+            break;
+        }
+        let rec = (|| {
+            let len = r.u32()?;
+            if len > MAX_RECORD {
+                return None;
+            }
+            let check = r.u64()?;
+            let payload = r.bytes_exact(len as usize)?;
+            if fnv64(payload) != check {
+                return None;
+            }
+            decode_payload(payload)
+        })();
+        match rec {
+            Some((fp, verdict)) => {
+                summary.records += 1;
+                summary.offset = (bytes.len() - r.remaining()) as u64;
+                out.push((fp, verdict));
+            }
+            None => {
+                summary.pending_bytes = tail;
+                break;
+            }
+        }
+    }
+    Ok((summary, out))
 }
 
 /// Appends `entries` to the log at `path`, creating it (with a header)
@@ -197,6 +331,7 @@ pub fn append(path: &Path, entries: &[(u128, CachedVerdict)]) -> io::Result<()> 
     if fresh {
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // first generation
     }
     for (fp, verdict) in entries {
         buf.extend_from_slice(&encode_record(*fp, verdict));
@@ -208,16 +343,22 @@ pub fn append(path: &Path, entries: &[(u128, CachedVerdict)]) -> io::Result<()> 
 /// Rewrites the log as one clean snapshot (atomically, via a temp file in
 /// the same directory) — compaction. Drops duplicate records from
 /// concurrent appenders, damaged tails, and stale-version files alike.
-pub fn compact(path: &Path, entries: &[(u128, CachedVerdict)]) -> io::Result<()> {
+/// `generation` must exceed the replaced file's generation so tailing
+/// readers notice the rewrite; returns the new file's byte length (a
+/// caught-up tail cursor). Callers coordinating with concurrent appenders
+/// hold the store's advisory lock across read-merge-compact.
+pub fn compact(path: &Path, entries: &[(u128, CachedVerdict)], generation: u64) -> io::Result<u64> {
     let mut buf = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
     for (fp, verdict) in entries {
         buf.extend_from_slice(&encode_record(*fp, verdict));
     }
-    let tmp = path.with_extension("tmp");
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
     fs::write(&tmp, &buf)?;
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    Ok(buf.len() as u64)
 }
 
 #[cfg(test)]
@@ -287,7 +428,7 @@ mod tests {
         // Flip one payload byte of the second record: record 1 survives,
         // the scan stops at the damage instead of propagating it.
         let rec1_len = encode_record(1, &None).len();
-        let damage = MAGIC.len() + 4 + rec1_len + 13;
+        let damage = HEADER_LEN + rec1_len + 13;
         bytes[damage] ^= 0x40;
         fs::write(&path, &bytes).unwrap();
         let cache = SharedQueryCache::new();
@@ -345,11 +486,113 @@ mod tests {
         let cache = SharedQueryCache::new();
         let s = load(&path, &cache).unwrap();
         assert_eq!((s.records, s.entries), (6, 3));
+        assert_eq!(s.generation, 1);
 
-        compact(&path, &cache.snapshot()).unwrap();
+        let len = compact(&path, &cache.snapshot(), s.generation + 1).unwrap();
+        assert_eq!(len, fs::metadata(&path).unwrap().len());
         let cache2 = SharedQueryCache::new();
         let s2 = load(&path, &cache2).unwrap();
         assert_eq!((s2.records, s2.entries), (3, 3));
+        assert_eq!(s2.generation, 2, "compaction bumps the generation");
+        assert_eq!(s2.clean_len, len);
         assert_eq!(cache2.snapshot(), cache.snapshot());
+    }
+
+    #[test]
+    fn tail_sees_only_records_appended_after_the_cursor() {
+        let path = tmp("tail");
+        append(&path, &sample_entries()).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        assert_eq!(s.clean_len, fs::metadata(&path).unwrap().len());
+
+        // Nothing new yet.
+        let (t, got) = load_tail(&path, s.clean_len, s.generation).unwrap();
+        assert_eq!((t.records, got.len()), (0, 0));
+        assert!(!t.reread);
+        assert_eq!(t.offset, s.clean_len);
+
+        // Another process appends; the tail picks up exactly the delta.
+        append(&path, &[(42, None), (43, None)]).unwrap();
+        let (t2, got2) = load_tail(&path, t.offset, t.generation).unwrap();
+        assert_eq!(t2.records, 2);
+        assert_eq!(
+            got2.iter().map(|&(fp, _)| fp).collect::<Vec<_>>(),
+            vec![42, 43]
+        );
+        assert_eq!(t2.offset, fs::metadata(&path).unwrap().len());
+        assert_eq!(t2.pending_bytes, 0);
+
+        // A cursor from before boot (offset 0) scans from the header.
+        let (t3, got3) = load_tail(&path, 0, 0).unwrap();
+        assert_eq!(t3.records, 5);
+        assert_eq!(got3.len(), 5);
+        assert!(!t3.reread, "nothing was consumed yet, not a re-read");
+    }
+
+    #[test]
+    fn tail_detects_compaction_and_rereads_from_zero() {
+        let path = tmp("tail_compact");
+        append(&path, &sample_entries()).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+
+        // Compact (generation bump) while a tailing reader holds a cursor.
+        compact(&path, &cache.snapshot(), s.generation + 1).unwrap();
+        let (t, got) = load_tail(&path, s.clean_len, s.generation).unwrap();
+        assert!(t.reread, "generation moved: cursor invalidated");
+        assert_eq!(t.generation, s.generation + 1);
+        assert_eq!(t.records, 3, "full re-read of the compacted log");
+        assert_eq!(got.len(), 3);
+        assert_eq!(t.offset, fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_is_pending_not_consumed() {
+        let path = tmp("tail_torn");
+        append(&path, &[(1, None)]).unwrap();
+        let cache = SharedQueryCache::new();
+        let s = load(&path, &cache).unwrap();
+        let cursor = s.clean_len;
+
+        // Half an in-flight append lands after the cursor.
+        let rec = encode_record(2, &None);
+        let full = fs::read(&path).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&rec[..rec.len() - 3]);
+        fs::write(&path, &torn).unwrap();
+        let (t, got) = load_tail(&path, cursor, s.generation).unwrap();
+        assert_eq!(t.records, 0);
+        assert!(got.is_empty());
+        assert!(t.pending_bytes > 0);
+        assert_eq!(t.offset, cursor, "cursor stays at the last whole record");
+
+        // The append completes; the next tick reads the whole record.
+        let mut done = full;
+        done.extend_from_slice(&rec);
+        fs::write(&path, &done).unwrap();
+        let (t2, got2) = load_tail(&path, t.offset, t.generation).unwrap();
+        assert_eq!(t2.records, 1);
+        assert_eq!(got2, vec![(2, None)]);
+        assert_eq!(t2.pending_bytes, 0);
+    }
+
+    #[test]
+    fn tail_of_missing_or_stale_log_is_safe() {
+        let path = tmp("tail_missing");
+        let (t, got) = load_tail(&path, 0, 0).unwrap();
+        assert_eq!(t, TailSummary::default());
+        assert!(got.is_empty());
+
+        // A stale-version file is rejected cleanly, never partially read.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            load_tail(&path, 0, 0),
+            Err(LogError::VersionMismatch { found: VERSION + 1 })
+        );
     }
 }

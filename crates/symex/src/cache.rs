@@ -145,6 +145,24 @@ impl SharedQueryCache {
         all
     }
 
+    /// Merges externally-learned verdicts (a tailed log segment, a remote
+    /// worker's `JobDone` delta) into the cache, returning how many were
+    /// actually new. Existing entries win — a fingerprint already present
+    /// was derived from the same formula, so overwriting could only churn
+    /// model bytes, never change a verdict — and the hit/miss counters are
+    /// untouched (absorption is replication, not solving).
+    pub fn absorb(&self, entries: &[(u128, CachedVerdict)]) -> u64 {
+        let mut added = 0;
+        for (fp, verdict) in entries {
+            let mut shard = self.shard(*fp).lock().unwrap();
+            if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(*fp) {
+                e.insert(verdict.clone());
+                added += 1;
+            }
+        }
+        added
+    }
+
     /// Every cached fingerprint, sorted — bookkeeping for persistence
     /// (which entries are already on disk) without cloning any model.
     pub fn fingerprints(&self) -> Vec<u128> {
@@ -346,6 +364,29 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_inserts_only_new_entries_and_skips_counters() {
+        let cache = SharedQueryCache::new();
+        let mut model = Model::default();
+        model.values.insert(1, 4);
+        cache.publish(10, Some(model.clone()));
+
+        let mut other = Model::default();
+        other.values.insert(1, 9);
+        // 10 already present (existing verdict wins), 20/21 are new.
+        let added = cache.absorb(&[(10, Some(other)), (20, None), (21, Some(model.clone()))]);
+        assert_eq!(added, 2);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(10), Some(Some(model.clone())), "not clobbered");
+        assert_eq!(cache.lookup(20), Some(None));
+        assert_eq!(cache.lookup(21), Some(Some(model)));
+        // Only the three lookups above touched the counters.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 0));
+        // Absorbing the same delta again is a no-op.
+        assert_eq!(cache.absorb(&[(20, None)]), 0);
     }
 
     #[test]

@@ -236,6 +236,18 @@ impl Solver {
         if let (Some(sc), Some(fp)) = (&self.shared, shared_fp) {
             if let Some(hit) = sc.lookup(fp) {
                 self.stats.solved_shared += 1;
+                // Feed the local caches exactly as a SAT resolution would
+                // have: a warm run then replays a cold run's layer
+                // decisions (models included), keeping reports
+                // byte-identical while `solved_sat` drops to zero.
+                if let Some(m) = &hit {
+                    if self.opts.use_cex_cache {
+                        if self.cex_cache.len() >= CEX_CACHE_CAP {
+                            self.cex_cache.remove(0);
+                        }
+                        self.cex_cache.push(m.clone());
+                    }
+                }
                 if self.opts.use_query_cache {
                     self.query_cache.insert(key, hit.clone());
                 }

@@ -1,0 +1,283 @@
+//! Seeded chaos sweep over the store fabric: random worker kills plus a
+//! daemon restart mid-sweep, all over one shared store. Whatever the
+//! failure schedule, the surviving fabric must converge on the exact
+//! same bytes a quiet in-process run produces — and the second daemon
+//! must answer from what the first one persisted instead of re-deriving
+//! it.
+//!
+//! The kill schedule derives from `OVERIFY_CHAOS_SEED` (default 1), so a
+//! failure reproduces by exporting the seed CI printed. CI's
+//! `chaos-smoke` job runs a small fixed seed matrix.
+
+use overify::{prepare_job, OptLevel, StoreConfig, SuiteJob, SuiteJobResult, SymConfig};
+use overify_serve::{
+    protocol, run_worker, start, Client, Event, JobSpec, Request, ServerConfig, ServerHandle,
+    WorkerConfig,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn seed() -> u64 {
+    std::env::var("OVERIFY_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// xorshift64*: tiny, deterministic, and plenty for a kill schedule.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+fn start_daemon(root: &std::path::Path) -> ServerHandle {
+    start(ServerConfig {
+        port: 0,
+        executors: 2,
+        store: Some(StoreConfig::at(root)),
+        progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(25),
+    })
+    .expect("server binds an ephemeral port")
+}
+
+fn chaos_job(name: &str, bytes: Vec<usize>) -> SuiteJob {
+    SuiteJob {
+        name: name.into(),
+        // Single-byte comparisons for branchiness (donatable subtrees)
+        // plus ONE two-byte coupling the enumeration fast path cannot
+        // decide, so completed runs leave real SAT verdicts in the
+        // store's solver log. One coupling only: chaining every adjacent
+        // pair couples the whole input into a single constraint
+        // component and blows the debug-build runtime through the roof.
+        source: r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                if (n > 1 && (unsigned char)(in[0] + in[1]) > 200) acc += 5;
+                if (in[0] == 'z' && n > 1 && in[1] == '!') {
+                    int x = 0;
+                    return 10 / x;
+                }
+                return acc;
+            }
+        "#
+        .into(),
+        entry: "umain".into(),
+        opts: overify::BuildOptions::level(OptLevel::O0),
+        bytes,
+        cfg: SymConfig {
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        },
+        path_workers: 2,
+    }
+}
+
+fn assert_canonically_equal(base: &SuiteJobResult, other: &SuiteJobResult) {
+    assert_eq!(base.error, other.error, "{}", base.name);
+    assert_eq!(base.runs.len(), other.runs.len(), "{}", base.name);
+    for ((bn, br), (on, or)) in base.runs.iter().zip(&other.runs) {
+        assert_eq!(bn, on);
+        assert_eq!(
+            br.canonical_bytes(),
+            or.canonical_bytes(),
+            "{}: deterministic projection must be byte-identical at {bn} input bytes",
+            base.name
+        );
+    }
+}
+
+/// One "doomed" worker: attaches over the real protocol, polls until it
+/// is granted a lease, holds it for an rng-chosen beat, then vanishes
+/// without completing — a worker crash with a subtree in hand. Returns
+/// whether it ever held a lease.
+fn doomed_worker(addr: SocketAddr, hold: Duration, give_up: Instant) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    match protocol::decode_event(&protocol::read_frame(&mut reader).expect("hello")) {
+        Ok(Event::Hello { version }) => assert_eq!(version, protocol::VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    let mut request = |req: &Request| -> Option<Event> {
+        protocol::write_frame(&mut writer, &protocol::encode_request(req)).ok()?;
+        protocol::decode_event(&protocol::read_frame(&mut reader).ok()?).ok()
+    };
+    match request(&Request::AttachWorker {
+        name: "doomed".into(),
+    }) {
+        Some(Event::WorkerAttached { .. }) => {}
+        other => panic!("expected WorkerAttached, got {other:?}"),
+    }
+    while Instant::now() < give_up {
+        match request(&Request::StealJobs { max: 1 }) {
+            Some(Event::Leases { leases }) if !leases.is_empty() => {
+                std::thread::sleep(hold);
+                return true; // drop the socket with the lease held
+            }
+            Some(Event::Leases { .. }) => continue,
+            _ => return false, // daemon shut down first
+        }
+    }
+    false
+}
+
+#[test]
+fn fabric_survives_worker_kills_and_a_daemon_restart_mid_sweep() {
+    let seed = seed();
+    println!("chaos seed: {seed} (reproduce with OVERIFY_CHAOS_SEED={seed})");
+    let mut rng = Rng::new(seed);
+    let root = std::env::temp_dir().join(format!("overify_chaos_{}_{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Quiet baselines, fully in-process: the bytes everything below must
+    // reproduce regardless of the failure schedule.
+    let jobs = [
+        chaos_job("chaos_a", vec![4]),
+        chaos_job("chaos_b", vec![5]),
+        chaos_job("chaos_c", vec![3, 4]),
+    ];
+    let baselines: Vec<SuiteJobResult> = jobs
+        .iter()
+        .map(|j| {
+            prepare_job(j, false)
+                .expect("builds")
+                .execute(None, None, None)
+        })
+        .collect();
+
+    // Phase 1: daemon A with chaos around it — two doomed workers that
+    // steal and vanish on an rng schedule, one legitimate worker fleet,
+    // and a shutdown fired mid-sweep from another thread.
+    let daemon_a = start_daemon(&root);
+    let addr_a = daemon_a.addr();
+    let give_up = Instant::now() + Duration::from_secs(60);
+    let doomed: Vec<_> = (0..2)
+        .map(|_| {
+            let hold = Duration::from_millis(rng.below(30));
+            std::thread::spawn(move || doomed_worker(addr_a, hold, give_up))
+        })
+        .collect();
+    let legit = std::thread::spawn(move || {
+        run_worker(&WorkerConfig {
+            idle_exit: Some(Duration::from_millis(800)),
+            ..WorkerConfig::at(addr_a)
+        })
+    });
+
+    // First job synchronously (guarantees the store learns something),
+    // the rest racing the shutdown below.
+    let mut client_a = Client::connect(addr_a).expect("connects to A");
+    let first = client_a
+        .submit(&JobSpec::from_suite_job(&jobs[0]))
+        .expect("first job completes on A");
+    assert!(first.error.is_none(), "{:?}", first.error);
+    assert_canonically_equal(&baselines[0], &first);
+
+    let racers: Vec<_> = jobs[1..]
+        .iter()
+        .map(|job| {
+            let spec = JobSpec::from_suite_job(job);
+            std::thread::spawn(move || {
+                Client::connect(addr_a)
+                    .and_then(|mut c| c.submit(&spec))
+                    .ok()
+            })
+        })
+        .collect();
+
+    // Let the racers get partway in, then yank the daemon mid-sweep.
+    std::thread::sleep(Duration::from_millis(rng.below(400)));
+    for d in doomed {
+        assert!(
+            d.join().unwrap(),
+            "a doomed worker never got a lease to abandon (seed {seed})"
+        );
+    }
+    let stats_a = daemon_a.stats();
+    assert!(
+        stats_a.leases_recovered >= 1,
+        "no abandoned lease was recovered (seed {seed}): {stats_a:?}"
+    );
+    daemon_a.shutdown();
+    let _ = legit.join().unwrap();
+
+    // Jobs the shutdown caught in the queue come back with an explicit
+    // abort error (never a hang, never wrong bytes); completed ones must
+    // already be byte-identical.
+    let mut survived = vec![true];
+    for (job_ix, racer) in racers.into_iter().enumerate() {
+        let ix = job_ix + 1;
+        match racer.join().unwrap() {
+            Some(result) if result.error.is_none() => {
+                assert_canonically_equal(&baselines[ix], &result);
+                survived.push(true);
+            }
+            Some(result) => {
+                let msg = result.error.unwrap();
+                assert!(
+                    msg.contains("shutting down"),
+                    "unexpected abort error: {msg}"
+                );
+                survived.push(false);
+            }
+            None => survived.push(false), // connection died with the daemon
+        }
+    }
+
+    // Phase 2: daemon B over the same store. Everything daemon A
+    // completed must be answered from the store — zero re-derivation —
+    // and everything it dropped must complete now, byte-identical.
+    let daemon_b = start_daemon(&root);
+    let mut client_b = Client::connect(daemon_b.addr()).expect("connects to B");
+    for (ix, job) in jobs.iter().enumerate() {
+        let result = client_b
+            .submit(&JobSpec::from_suite_job(job))
+            .expect("completes on B");
+        assert!(result.error.is_none(), "{:?}", result.error);
+        assert_canonically_equal(&baselines[ix], &result);
+        if survived[ix] {
+            assert!(
+                result.from_store,
+                "{}: daemon B re-derived a report daemon A already persisted (seed {seed})",
+                job.name
+            );
+        }
+    }
+    let stats_b = daemon_b.stats();
+    assert!(
+        stats_b.answered_from_store >= survived.iter().filter(|&&s| s).count() as u64,
+        "warm counters disprove store reuse (seed {seed}): {stats_b:?}"
+    );
+    assert!(
+        stats_b.store.solver_entries_loaded >= 1,
+        "daemon B booted cold off a store daemon A wrote (seed {seed}): {stats_b:?}"
+    );
+    daemon_b.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -23,6 +23,7 @@ fn start_storeless(executors: usize) -> ServerHandle {
         executors,
         store: None,
         progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(50),
     })
     .expect("server binds an ephemeral port")
 }
@@ -222,6 +223,7 @@ fn workers_share_store_hits_with_clients() {
         executors: 1,
         store: Some(overify::StoreConfig::at(&root)),
         progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(50),
     })
     .expect("server starts");
     let addr = server.addr();

@@ -1,0 +1,308 @@
+//! End-to-end tests of the live store fabric: multiple daemons on one
+//! store path converging through solver-log tailing, and per-lease
+//! deadlines reaping wedged workers without perturbing the merged
+//! report's deterministic projection.
+
+use overify::{prepare_job, OptLevel, StoreConfig, SuiteJob, SuiteJobResult, SymConfig};
+use overify_serve::{protocol, start, Client, Event, JobSpec, Request, ServerConfig, ServerHandle};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A daemon over `root` that executes everything itself: report artifacts
+/// are disabled so a resubmission re-runs (and is priced from the cost
+/// log) instead of being answered from storage — which is exactly what
+/// the fabric tests need to observe solver-layer behavior.
+fn start_reportless(root: &Path, executors: usize) -> ServerHandle {
+    start(ServerConfig {
+        port: 0,
+        executors,
+        store: Some(StoreConfig {
+            root: root.into(),
+            solver_cache: true,
+            reports: false,
+        }),
+        progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(25),
+    })
+    .expect("server binds an ephemeral port")
+}
+
+/// Same branchy shape the distributed tests use: ~4 decision points per
+/// input byte plus one guarded planted bug, deep enough to donate subtree
+/// states while hunger is registered.
+fn branchy_job(bytes: Vec<usize>, path_workers: usize) -> SuiteJob {
+    SuiteJob {
+        name: "fabric".into(),
+        source: r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                if (in[0] == 'z' && n > 1 && in[1] == '!') {
+                    int x = 0;
+                    return 10 / x;
+                }
+                return acc;
+            }
+        "#
+        .into(),
+        entry: "umain".into(),
+        opts: overify::BuildOptions::level(OptLevel::O0),
+        bytes,
+        cfg: SymConfig {
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        },
+        path_workers,
+    }
+}
+
+fn assert_canonically_equal(base: &SuiteJobResult, other: &SuiteJobResult) {
+    assert_eq!(base.error, other.error);
+    assert_eq!(base.runs.len(), other.runs.len());
+    for ((bn, br), (on, or)) in base.runs.iter().zip(&other.runs) {
+        assert_eq!(bn, on, "swept sizes align");
+        assert_eq!(
+            br.canonical_bytes(),
+            or.canonical_bytes(),
+            "deterministic projection must be byte-identical at {bn} input bytes"
+        );
+        assert_eq!(br.bugs, or.bugs);
+        assert_eq!(br.exhausted, or.exhausted);
+    }
+}
+
+fn tmp_root(name: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("overify_fabric_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// A job whose branch conditions couple *pairs* of input bytes: the
+/// enumeration fast path (single narrow symbol) cannot decide them, so
+/// the cold run genuinely bit-blasts — which is what makes "zero SAT
+/// calls on the warm daemon" a meaningful assertion.
+fn sat_heavy_job(bytes: Vec<usize>, path_workers: usize) -> SuiteJob {
+    SuiteJob {
+        name: "sat_heavy".into(),
+        source: r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i + 1 < n; i++) {
+                    unsigned char mix = (unsigned char)(in[i] + in[i + 1]);
+                    if (mix > 200) acc += 2;
+                    if ((unsigned char)(in[i] ^ in[i + 1]) == 0x21) acc += 3;
+                }
+                if (n > 1 && (unsigned char)(in[0] * 3) == (unsigned char)(in[1] + 7)) {
+                    int x = 0;
+                    return acc / x;
+                }
+                return acc;
+            }
+        "#
+        .into(),
+        entry: "umain".into(),
+        opts: overify::BuildOptions::level(OptLevel::O0),
+        bytes,
+        cfg: SymConfig {
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        },
+        path_workers,
+    }
+}
+
+/// The tentpole's coherence claim, end to end: daemon B boots against an
+/// empty store, daemon A then learns verdicts by running a job, and B —
+/// **without any restart** — absorbs them by tailing the shared solver
+/// log, so B's own execution of the same key issues zero SAT calls.
+#[test]
+fn daemon_b_learns_daemon_a_verdicts_by_tailing_post_boot() {
+    let root = tmp_root("two_daemons");
+    // B first: its boot-time warm load sees an empty store, so anything
+    // it knows later was learned live.
+    let server_b = start_reportless(&root, 1);
+    let server_a = start_reportless(&root, 1);
+
+    let job = sat_heavy_job(vec![4], 1);
+    let spec = JobSpec::from_suite_job(&job);
+    let mut client_a = Client::connect(server_a.addr()).expect("connects to A");
+    let result_a = client_a.submit(&spec).expect("cold run on A");
+    assert!(result_a.error.is_none());
+    let cold = &result_a.runs[0].1.solver;
+    assert!(
+        cold.solved_sat > 0,
+        "the cold run must exercise the SAT layer: {cold:?}"
+    );
+
+    // B's tailer folds A's appended verdicts in on its own clock; no
+    // submission, no restart, no explicit poke.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let tailed = server_b.stats().store.solver_entries_tailed;
+        if tailed >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon B never tailed daemon A's verdicts"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // B executes the same key itself (reports are off, so this cannot be
+    // a stored-artifact answer): every query the cold run sent to SAT is
+    // answered by the tailed shared cache, and the replay is
+    // byte-identical.
+    let mut client_b = Client::connect(server_b.addr()).expect("connects to B");
+    let result_b = client_b.submit(&spec).expect("warm run on B");
+    assert!(result_b.error.is_none());
+    let warm = &result_b.runs[0].1.solver;
+    assert_eq!(
+        warm.solved_sat, 0,
+        "daemon B re-derived verdicts it should have tailed: {warm:?}"
+    );
+    assert!(
+        warm.solved_shared > 0,
+        "daemon B never touched the shared cache: {warm:?}"
+    );
+    assert_canonically_equal(&result_a, &result_b);
+
+    server_a.shutdown();
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A worker that takes a lease and wedges (alive, but never completing)
+/// is reaped at its priced deadline: the subtree is restored and
+/// re-explored, the sweep completes byte-identically, and the wedged
+/// worker's late frames are ignored as stale instead of corrupting the
+/// merge.
+#[test]
+fn wedged_worker_is_reaped_and_its_late_frames_are_ignored() {
+    let root = tmp_root("wedged");
+    let server = start_reportless(&root, 1);
+    let addr = server.addr();
+
+    let job = branchy_job(vec![4], 1);
+    let spec = JobSpec::from_suite_job(&job);
+    let baseline = prepare_job(&job, false)
+        .expect("builds")
+        .execute(None, None, None);
+
+    // Cold run with no worker attached: records the observed cost, so
+    // the resubmission below is *priced* and its leases carry real
+    // deadlines.
+    let mut client = Client::connect(addr).expect("connects");
+    let cold = client.submit(&spec).expect("cold run");
+    assert_canonically_equal(&baseline, &cold);
+
+    // The wedged worker: attach, poll until granted a lease, then hold
+    // the connection open without completing. When the test says so, it
+    // fires its late frames and reports what came back.
+    let (lease_tx, lease_rx) = std::sync::mpsc::channel::<u64>();
+    let (fire_tx, fire_rx) = std::sync::mpsc::channel::<()>();
+    let wedged = std::thread::spawn(move || -> (Event, Event) {
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        match protocol::decode_event(&protocol::read_frame(&mut reader).expect("hello")) {
+            Ok(Event::Hello { version }) => assert_eq!(version, protocol::VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        let mut request = |req: &Request| -> Event {
+            protocol::write_frame(&mut writer, &protocol::encode_request(req)).expect("send");
+            protocol::decode_event(&protocol::read_frame(&mut reader).expect("recv"))
+                .expect("decode")
+        };
+        assert!(matches!(
+            request(&Request::AttachWorker {
+                name: "wedged".into()
+            }),
+            Event::WorkerAttached { .. }
+        ));
+        let lease = loop {
+            match request(&Request::StealJobs { max: 1 }) {
+                Event::Leases { leases } if !leases.is_empty() => break leases[0].lease,
+                Event::Leases { .. } => continue,
+                other => panic!("expected Leases, got {other:?}"),
+            }
+        };
+        lease_tx.send(lease).unwrap();
+        fire_rx.recv().unwrap();
+        // Late frames for a reaped lease. The report is poisoned on
+        // purpose: if the daemon merged it anyway, the final report
+        // could not be byte-identical to the baseline.
+        let done = request(&Request::JobDone {
+            lease,
+            report: overify::VerificationReport {
+                paths_completed: 9999,
+                exhausted: true,
+                ..Default::default()
+            },
+            cache_delta: Vec::new(),
+        });
+        let offer = request(&Request::OfferStates {
+            lease,
+            prefixes: vec![vec![true]],
+        });
+        (done, offer)
+    });
+
+    // The priced resubmission: its remote lease goes to the wedged
+    // worker, which sits on it until the reaper restores the subtree.
+    let submit = std::thread::spawn({
+        let spec = spec.clone();
+        move || {
+            let mut client = Client::connect(addr).expect("connects");
+            client.submit(&spec).expect("completes despite the wedge")
+        }
+    });
+
+    let _lease = lease_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("the wedged worker was granted a lease");
+
+    // Wait for the reap, then fire the late frames — while the run is
+    // (possibly) still re-exploring the restored subtree, which is
+    // exactly when a merged stale report would do the most damage.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while server.stats().leases_reaped == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the wedged lease was never reaped: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    fire_tx.send(()).unwrap();
+
+    let (done, offer) = wedged.join().unwrap();
+    assert!(
+        matches!(done, Event::JobAck { .. }),
+        "a late JobDone is acked (idempotent), got {done:?}"
+    );
+    assert!(
+        matches!(offer, Event::StatesAccepted { accepted: 0 }),
+        "late shed states are refused, got {offer:?}"
+    );
+
+    let warm = submit.join().unwrap();
+    assert_canonically_equal(&baseline, &warm);
+
+    let stats = server.stats();
+    assert!(stats.leases_reaped >= 1, "reap counter: {stats:?}");
+    assert!(
+        stats.stale_frames >= 2,
+        "both late frames count as stale: {stats:?}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -19,6 +19,7 @@ fn start_server(root: &PathBuf, executors: usize) -> ServerHandle {
         executors,
         store: Some(StoreConfig::at(root)),
         progress_interval: Duration::from_millis(5),
+        tail_interval: Duration::from_millis(50),
     })
     .expect("server binds an ephemeral port")
 }
