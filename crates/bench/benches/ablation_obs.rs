@@ -1,0 +1,119 @@
+//! **Observability ablation** — what the flight recorder costs.
+//!
+//! The instrumentation contract is that *disabled* observability is a few
+//! relaxed atomic loads on the hot path: a span or log call that is off
+//! must cost nanoseconds, and a whole suite sweep must run within noise
+//! of one with no tracing at all. Two sections:
+//!
+//! 1. Micro: ns/op for the disabled span constructor, a disabled log
+//!    macro (the format arguments must not be evaluated), a metrics
+//!    counter add, and a histogram observe — measured over a tight loop.
+//! 2. Suite wall clock: the same utility sweep with observability
+//!    disabled (the shipping default) and with the flight recorder plus
+//!    debug logging enabled, reporting the enabled/disabled ratio. There
+//!    is no uninstrumented build to race (the counters are compiled in);
+//!    the disabled run *is* the baseline the ≤2% overhead budget is
+//!    measured against, and the counters' own cost is what section 1
+//!    prices.
+//!
+//! Numbers are printed, never asserted — CI runs this with `--no-run`;
+//! timing assertions on shared runners flake.
+//!
+//! Knobs: `OVERIFY_SYM_BYTES` (default 3), `OVERIFY_UTILITIES`.
+
+use overify::{verify_suite_with, OptLevel, SuiteJob, SymConfig};
+use overify_bench::{env_u64, suite_config};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn ns_per_op<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn sweep_jobs(bytes: usize) -> Vec<SuiteJob> {
+    let cfg = SymConfig {
+        collect_tests: true,
+        ..suite_config(bytes)
+    };
+    ["rot13", "tr_upper", "wc_words"]
+        .iter()
+        .filter_map(|name| overify_coreutils::utility(name))
+        .flat_map(|u| {
+            [OptLevel::O0, OptLevel::Overify]
+                .into_iter()
+                .map(|level| SuiteJob::utility(u, level, &[bytes], &cfg))
+        })
+        .collect()
+}
+
+fn sweep_wall(jobs: Vec<SuiteJob>) -> Duration {
+    let start = Instant::now();
+    let report = verify_suite_with(jobs, 2, |_, _, _| {});
+    black_box(report.jobs.len());
+    start.elapsed()
+}
+
+/// Best of `n` sweeps: minimum wall clock is the standard noise filter
+/// for short benchmarks (everything above the floor is interference).
+fn best_sweep(bytes: usize, n: usize) -> Duration {
+    (0..n).map(|_| sweep_wall(sweep_jobs(bytes))).min().unwrap()
+}
+
+fn main() {
+    let bytes = env_u64("OVERIFY_SYM_BYTES", 3) as usize;
+    println!("# observability ablation: {bytes} symbolic bytes\n");
+
+    // ---- 1. Micro: the disabled path ----
+    println!("## disabled-path micro costs (ns/op)");
+    overify_obs::trace::disable();
+    overify_obs::log::set_max_level(overify_obs::log::Level::Off);
+    const ITERS: u64 = 10_000_000;
+    let span_ns = ns_per_op(ITERS, || {
+        black_box(overify_obs::trace::span(black_box("bench")));
+    });
+    let log_ns = ns_per_op(ITERS, || {
+        overify_obs::debug!("bench", "value {}", black_box(42));
+    });
+    let counter_ns = {
+        use overify_obs::metrics::LazyCounter;
+        static C: LazyCounter = LazyCounter::new("overify_bench_obs_counter_total");
+        ns_per_op(ITERS, || C.get().add(black_box(1)))
+    };
+    let histogram_ns = {
+        use overify_obs::metrics::LazyHistogram;
+        static H: LazyHistogram = LazyHistogram::new("overify_bench_obs_histogram_ns");
+        ns_per_op(ITERS, || H.observe(black_box(1234)))
+    };
+    println!("{:<28} {:>8.2}", "span (tracing off)", span_ns);
+    println!("{:<28} {:>8.2}", "debug! (logging off)", log_ns);
+    println!("{:<28} {:>8.2}", "counter add (always on)", counter_ns);
+    println!("{:<28} {:>8.2}", "histogram observe (on)", histogram_ns);
+
+    // ---- 2. Suite wall clock: disabled vs enabled ----
+    println!("\n## suite sweep wall clock");
+    // Warm-up pass: compilation caches and allocator state settle so the
+    // timed passes see the same world.
+    sweep_wall(sweep_jobs(bytes));
+
+    let disabled = best_sweep(bytes, 5);
+
+    overify_obs::trace::enable();
+    overify_obs::log::set_max_level(overify_obs::log::Level::Debug);
+    let enabled = best_sweep(bytes, 5);
+    overify_obs::trace::disable();
+    overify_obs::log::set_max_level(overify_obs::log::Level::Off);
+
+    let ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-9);
+    println!("{:<28} {:>10.2?}", "observability off", disabled);
+    println!("{:<28} {:>10.2?}", "recorder + debug log on", enabled);
+    println!("{:<28} {:>9.3}x", "enabled / disabled", ratio);
+    println!(
+        "\nrecorder buffered {} event(s), dropped {}",
+        overify_obs::trace::buffered(),
+        overify_obs::trace::dropped()
+    );
+}

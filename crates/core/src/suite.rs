@@ -209,7 +209,10 @@ where
     let store = StoreConfig::from_env().and_then(|cfg| match Store::open(cfg) {
         Ok(s) => Some(s),
         Err(e) => {
-            eprintln!("overify: OVERIFY_STORE is unusable ({e}); running without a store");
+            overify_obs::warn!(
+                "suite",
+                "OVERIFY_STORE is unusable ({e}); running without a store"
+            );
             None
         }
     });
@@ -240,6 +243,7 @@ pub fn verify_suite_stored_with<F>(
 where
     F: Fn(&SuiteJobResult, usize, usize) + Sync,
 {
+    overify_obs::init();
     let threads = threads.max(1);
     let start = Instant::now();
     // Warm-start one fleet-wide solver cache from the store. Verdicts are
@@ -272,7 +276,7 @@ where
 
     if let (Some(s), Some(cache)) = (store, &warm) {
         if let Err(e) = s.save_solver_cache(cache) {
-            eprintln!("overify: failed to persist the solver cache: {e}");
+            overify_obs::error!("suite", "failed to persist the solver cache: {e}");
         }
     }
 
@@ -608,12 +612,16 @@ impl PreparedJob {
             // scheduler can price a changed-slice remainder.
             if let Some(key) = &self.key {
                 if let Err(e) = s.record_cost(key, elapsed) {
-                    eprintln!("overify: failed to record cost for {}: {e}", job.name);
+                    overify_obs::warn!("suite", "failed to record cost for {}: {e}", job.name);
                 }
             }
             if let Some(slice_key) = &self.slice_key {
                 if let Err(e) = s.record_slice_cost(slice_key, elapsed) {
-                    eprintln!("overify: failed to record slice cost for {}: {e}", job.name);
+                    overify_obs::warn!(
+                        "suite",
+                        "failed to record slice cost for {}: {e}",
+                        job.name
+                    );
                 }
             }
             // Only *complete* runs are pure functions of the content
@@ -626,12 +634,16 @@ impl PreparedJob {
                 let stored = StoredJob { runs: runs.clone() };
                 if let Some(key) = &self.key {
                     if let Err(e) = s.save_report(key, &stored) {
-                        eprintln!("overify: failed to store report for {}: {e}", job.name);
+                        overify_obs::error!(
+                            "suite",
+                            "failed to store report for {}: {e}",
+                            job.name
+                        );
                     }
                 }
                 if let Some(slice_key) = &self.slice_key {
                     if let Err(e) = s.save_slice(slice_key, &stored) {
-                        eprintln!("overify: failed to store slice for {}: {e}", job.name);
+                        overify_obs::error!("suite", "failed to store slice for {}: {e}", job.name);
                     }
                 }
             }

@@ -1,0 +1,78 @@
+//! Process-wide observability for the -OVERIFY stack, with zero external
+//! dependencies (the build environment is offline).
+//!
+//! Three pieces, each usable alone:
+//!
+//! - [`metrics`] — a global registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and fixed-log-bucket latency
+//!   [`metrics::Histogram`]s. Handles are obtained once (usually through
+//!   the `static`-friendly [`metrics::LazyCounter`] family) and updated
+//!   with relaxed atomics; a snapshot renders in a stable, line-oriented
+//!   text exposition format that the serve protocol's `Metrics` request
+//!   returns verbatim.
+//! - [`trace`] — a span/event tracing layer backed by a per-process
+//!   ring-buffer *flight recorder*. Spans carry correlation ids (run
+//!   fingerprint, job key, lease id) as string args; the daemon and every
+//!   worker process each keep their own ring, and because timestamps are
+//!   wall-clock microseconds the per-process dumps stitch into one
+//!   timeline. Dumps are Chrome trace-event JSON, written on demand or
+//!   from a panic hook. When disabled (the default), starting a span is
+//!   one relaxed atomic load.
+//! - [`log`] — leveled structured logging to stderr, off by default so
+//!   test output stays clean. The level is parsed once from `OVERIFY_LOG`
+//!   and cached in an atomic; a disabled call is one relaxed load.
+//!
+//! # Environment variables
+//!
+//! - `OVERIFY_LOG` — `error` | `warn` | `info` | `debug` | `trace`
+//!   (or `0`–`5`). Unset/`off` disables logging entirely.
+//! - `OVERIFY_TRACE` — `1`/`true`/`on` enables the flight recorder; any
+//!   other non-empty value enables it *and* names the default dump path
+//!   (written by [`trace::dump_default`] and by the panic hook).
+//!
+//! Call [`init`] once near process start (the serve daemon, the remote
+//! worker, and the suite driver all do); it is idempotent and cheap.
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+/// Parses `OVERIFY_LOG` / `OVERIFY_TRACE` and installs the panic-dump
+/// hook when tracing is enabled. Idempotent; safe to call from every
+/// entry point that might be first.
+pub fn init() {
+    INIT.call_once(|| {
+        log::init_from_env();
+        trace::init_from_env();
+    });
+}
+
+/// Wall-clock microseconds since the UNIX epoch — the shared timebase
+/// that lets separately-dumped process traces merge into one timeline.
+pub(crate) fn wall_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Minimal JSON string escaping for trace dump values.
+pub(crate) fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}

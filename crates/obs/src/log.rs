@@ -1,0 +1,193 @@
+//! Leveled structured logging, off by default.
+//!
+//! The level is parsed once from `OVERIFY_LOG` and cached in an atomic;
+//! every disabled call site is one relaxed load and an integer compare.
+//! Enabled records go to stderr as `[overify::<target>] <level>: <msg>`
+//! and — when the flight recorder is live — double as instant trace
+//! events, so log lines land on the same timeline as spans.
+//!
+//! Use the crate-root macros:
+//!
+//! ```
+//! overify_obs::warn!("store", "failed to persist the solver cache: {}", 7);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered. `Off` disables everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled.
+    Off = 0,
+    /// Unrecoverable or dropped-work conditions.
+    Error = 1,
+    /// Degraded-but-continuing conditions (store write failures, reaps).
+    Warn = 2,
+    /// Lifecycle milestones (daemon up, worker attached).
+    Info = 3,
+    /// Per-job diagnostics.
+    Debug = 4,
+    /// Per-branch firehose (the old `SYMEX_TRACE`).
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Parses `OVERIFY_LOG` (`error`..`trace` or `0`..`5`) into the cached
+/// level. Unset or unrecognized means [`Level::Off`].
+pub fn init_from_env() {
+    let level = match std::env::var("OVERIFY_LOG").as_deref() {
+        Ok("error") | Ok("1") => Level::Error,
+        Ok("warn") | Ok("2") => Level::Warn,
+        Ok("info") | Ok("3") => Level::Info,
+        Ok("debug") | Ok("4") => Level::Debug,
+        Ok("trace") | Ok("5") => Level::Trace,
+        _ => Level::Off,
+    };
+    set_max_level(level);
+}
+
+/// Overrides the cached level programmatically (tests, embedders).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The currently cached level.
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether records at `level` are emitted. One relaxed atomic load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one record. Call through the macros, which gate on
+/// [`enabled`] *before* formatting.
+pub fn emit(level: Level, target: &'static str, args: std::fmt::Arguments<'_>) {
+    let msg = args.to_string();
+    eprintln!("[overify::{target}] {}: {msg}", level.name());
+    if crate::trace::enabled() {
+        crate::trace::event(
+            "log",
+            &[("target", &target), ("level", &level.name()), ("msg", &msg)],
+        );
+    }
+}
+
+/// Logs at error level: `error!("target", "fmt", ...)`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Logs at warn level: `warn!("target", "fmt", ...)`.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Logs at info level: `info!("target", "fmt", ...)`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Logs at debug level: `debug!("target", "fmt", ...)`.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Logs at trace level: `log_trace!("target", "fmt", ...)`. (Named to
+/// avoid colliding with [`crate::trace::span`]'s module.)
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::emit($crate::log::Level::Trace, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The level is process-global; tests mutating it serialize here.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn levels_order_and_gate() {
+        let _g = test_lock();
+        set_max_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(Level::Trace);
+        assert!(enabled(Level::Debug));
+        assert!(enabled(Level::Trace));
+        set_max_level(Level::Off);
+    }
+
+    #[test]
+    fn macros_compile_and_gate() {
+        let _g = test_lock();
+        set_max_level(Level::Off);
+        // Must not panic or print; the format arm must not even evaluate.
+        let mut evaluated = false;
+        crate::warn!("test", "{}", {
+            evaluated = true;
+            1
+        });
+        assert!(!evaluated);
+        set_max_level(Level::Off);
+    }
+}

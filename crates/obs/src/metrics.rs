@@ -1,0 +1,476 @@
+//! The process-wide metrics registry.
+//!
+//! Metrics are created on first use and live for the life of the process
+//! (handles are `&'static`, leaked once at registration). Updates are
+//! relaxed atomics — counters are sharded across cache lines so that
+//! worker threads incrementing the same metric never contend.
+//!
+//! The registry renders to a stable, line-oriented text exposition
+//! format: `# TYPE` comment lines followed by `name value` samples, with
+//! histogram buckets as `name_bucket{le="<edge>"} <cumulative>` plus
+//! `name_sum` / `name_count`. Names sort lexicographically, so two
+//! snapshots of the same process differ only in sample values — the
+//! serve protocol's `Metrics` reply and the `--metrics-dump` files are
+//! exactly this text.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of independent cache-line-padded shards per counter.
+const SHARDS: usize = 8;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    /// A small per-thread id used to pick a counter shard; threads spread
+    /// round-robin so concurrent increments of one counter land on
+    /// different cache lines.
+    static SHARD: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+    };
+}
+
+/// A monotonically-increasing counter, sharded across cache lines.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        SHARD.with(|&s| self.shards[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The sum over all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A gauge: a value that goes up and down (queue depths, live leases).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A latency histogram with fixed logarithmic (power-of-two) buckets.
+///
+/// Bucket `0` holds exactly the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]`, i.e. its inclusive upper edge is `2^i - 1`.
+/// Observing is two relaxed atomic adds — no locks, no allocation.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper edge of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_edge(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos() as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The process-wide registry mapping names to metric handles.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<&'static str, Metric>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+macro_rules! lookup_or_register {
+    ($name:expr, $variant:ident, $ty:ty) => {{
+        let reg = registry();
+        if let Some(Metric::$variant(m)) = reg.metrics.read().unwrap().get($name) {
+            return m;
+        }
+        let mut map = reg.metrics.write().unwrap();
+        match map
+            .entry($name)
+            .or_insert_with(|| Metric::$variant(Box::leak(Box::<$ty>::default())))
+        {
+            Metric::$variant(m) => m,
+            _ => panic!("metric {:?} registered with a different type", $name),
+        }
+    }};
+}
+
+/// The counter named `name`, creating it on first use.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lookup_or_register!(name, Counter, Counter)
+}
+
+/// The gauge named `name`, creating it on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lookup_or_register!(name, Gauge, Gauge)
+}
+
+/// The histogram named `name`, creating it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    lookup_or_register!(name, Histogram, Histogram)
+}
+
+macro_rules! lazy_handle {
+    ($lazy:ident, $ty:ident, $get:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Resolves its registry entry on first touch and caches the
+        /// `&'static` handle, so steady-state access is one atomic load.
+        pub struct $lazy {
+            name: &'static str,
+            cell: OnceLock<&'static $ty>,
+        }
+
+        impl $lazy {
+            /// A handle for the metric named `name` (not yet registered).
+            pub const fn new(name: &'static str) -> Self {
+                Self {
+                    name,
+                    cell: OnceLock::new(),
+                }
+            }
+
+            /// The resolved registry handle.
+            #[inline]
+            pub fn get(&self) -> &'static $ty {
+                self.cell.get_or_init(|| $get(self.name))
+            }
+        }
+
+        impl std::ops::Deref for $lazy {
+            type Target = $ty;
+            #[inline]
+            fn deref(&self) -> &$ty {
+                self.get()
+            }
+        }
+    };
+}
+
+lazy_handle!(
+    LazyCounter,
+    Counter,
+    counter,
+    "A `static`-friendly handle to a named [`Counter`]."
+);
+lazy_handle!(
+    LazyGauge,
+    Gauge,
+    gauge,
+    "A `static`-friendly handle to a named [`Gauge`]."
+);
+lazy_handle!(
+    LazyHistogram,
+    Histogram,
+    histogram,
+    "A `static`-friendly handle to a named [`Histogram`]."
+);
+
+/// One metric's value in a [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sample {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// Histogram per-bucket counts and value sum.
+    Histogram {
+        /// Non-cumulative per-bucket counts.
+        buckets: Vec<(u64, u64)>,
+        /// Sum of observed values.
+        sum: u64,
+        /// Total observations.
+        count: u64,
+    },
+}
+
+/// A consistent-as-of-read copy of every registered metric, sorted by
+/// name. Counter reads sum their shards, so a snapshot taken while other
+/// threads increment may lag, but it never tears a single 64-bit sample
+/// and post-join totals are exact.
+pub fn snapshot() -> Vec<(&'static str, Sample)> {
+    let map = registry().metrics.read().unwrap();
+    map.iter()
+        .map(|(&name, metric)| {
+            let sample = match metric {
+                Metric::Counter(c) => Sample::Counter(c.value()),
+                Metric::Gauge(g) => Sample::Gauge(g.value()),
+                Metric::Histogram(h) => {
+                    let buckets = h.buckets();
+                    Sample::Histogram {
+                        buckets: buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &n)| n > 0)
+                            .map(|(i, &n)| (bucket_edge(i), n))
+                            .collect(),
+                        sum: h.sum(),
+                        count: buckets.iter().sum(),
+                    }
+                }
+            };
+            (name, sample)
+        })
+        .collect()
+}
+
+/// Renders the registry in the text exposition format (see module docs).
+pub fn render() -> String {
+    let mut out = String::new();
+    for (name, sample) in snapshot() {
+        match sample {
+            Sample::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            Sample::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+            Sample::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (edge, n) in buckets {
+                    cumulative += n;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{name}_sum {sum}\n{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_sum() {
+        let c = counter("test_metrics_counter_shards");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        // Same name resolves to the same handle.
+        assert_eq!(counter("test_metrics_counter_shards").value(), 42);
+    }
+
+    #[test]
+    fn gauge_up_down() {
+        let g = gauge("test_metrics_gauge");
+        g.set(5);
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.value(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly zero; bucket i>0 spans [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            // At the lower edge, at the upper edge, and (when the bucket
+            // is wider than one value) strictly inside.
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+            if hi > lo {
+                assert_eq!(bucket_index(lo + 1), i, "interior of bucket {i}");
+            }
+            // Just below the lower edge lands one bucket down; just above
+            // the upper edge lands one bucket up.
+            assert_eq!(bucket_index(lo - 1), i - 1, "below bucket {i}");
+            if i < 63 {
+                assert_eq!(bucket_index(hi + 1), i + 1, "above bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_edge(0), 0);
+        assert_eq!(bucket_edge(1), 1);
+        assert_eq!(bucket_edge(10), 1023);
+        assert_eq!(bucket_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_observe_and_edges() {
+        let h = histogram("test_metrics_hist_edges");
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(1 + 2 + 3 + 4 + 1023 + 1024)
+                .wrapping_add(u64::MAX)
+        );
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[3], 1); // 4
+        assert_eq!(b[10], 1); // 1023
+        assert_eq!(b[11], 1); // 1024
+        assert_eq!(b[64], 1); // u64::MAX
+    }
+
+    #[test]
+    fn render_is_stable_and_parseable() {
+        counter("test_render_counter").add(7);
+        gauge("test_render_gauge").set(-3);
+        let h = histogram("test_render_hist");
+        h.observe(0);
+        h.observe(100);
+        let text = render();
+        assert!(text.contains("# TYPE test_render_counter counter"));
+        assert!(text.contains("test_render_counter 7"));
+        assert!(text.contains("test_render_gauge -3"));
+        assert!(text.contains("test_render_hist_bucket{le=\"0\"} 1"));
+        assert!(text.contains("test_render_hist_bucket{le=\"127\"} 2"));
+        assert!(text.contains("test_render_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("test_render_hist_sum 100"));
+        assert!(text.contains("test_render_hist_count 2"));
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.split_whitespace().count() == 2,
+                "unparseable line: {line:?}"
+            );
+        }
+        // Names appear in sorted order (stable exposition).
+        let names: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn lazy_handles_resolve_once() {
+        static C: LazyCounter = LazyCounter::new("test_lazy_counter");
+        static H: LazyHistogram = LazyHistogram::new("test_lazy_hist");
+        C.inc();
+        C.add(2);
+        H.observe(9);
+        assert_eq!(counter("test_lazy_counter").value(), 3);
+        assert_eq!(histogram("test_lazy_hist").count(), 1);
+        assert!(std::ptr::eq(C.get(), counter("test_lazy_counter")));
+    }
+}

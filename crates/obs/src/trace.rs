@@ -1,0 +1,369 @@
+//! Span/event tracing into a per-process ring-buffer flight recorder.
+//!
+//! When disabled (the default) every entry point is one relaxed atomic
+//! load returning a no-op guard — no clock reads, no formatting, no
+//! allocation. When `OVERIFY_TRACE` enables it, completed spans and
+//! instant events are pushed into a fixed-capacity ring (oldest events
+//! drop first) and can be dumped at any time as Chrome trace-event JSON
+//! (`chrome://tracing` / Perfetto load it directly).
+//!
+//! Timestamps are wall-clock microseconds since the UNIX epoch, so the
+//! daemon's dump and each worker's dump share a timebase: concatenating
+//! their `traceEvents` arrays yields one coherent distributed timeline.
+//! Correlation ids — run fingerprint, job key, lease id — travel as span
+//! args (and over the wire via protocol v5), which is how a worker's
+//! `execute` span lines up under the daemon's `lease` span for the same
+//! lease.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity (events); oldest events are dropped beyond it.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Small dense per-thread id for the `tid` field of dumped events.
+    static TID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// One recorded event (a completed span or an instant marker).
+struct Event {
+    name: &'static str,
+    /// Chrome phase: `'X'` = complete span, `'i'` = instant.
+    ph: char,
+    /// Wall-clock microseconds since the UNIX epoch.
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+    args: Vec<(&'static str, String)>,
+}
+
+struct Recorder {
+    ring: std::collections::VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Recorder {
+    fn push(&mut self, ev: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+}
+
+fn recorder() -> &'static Mutex<Recorder> {
+    static RECORDER: OnceLock<Mutex<Recorder>> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        Mutex::new(Recorder {
+            ring: std::collections::VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+/// The default dump path from `OVERIFY_TRACE=<path>`, if one was given.
+fn default_path() -> &'static Mutex<Option<PathBuf>> {
+    static PATH: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether the flight recorder is on. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder on programmatically (tests, embedders).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the recorder off (already-recorded events stay in the ring).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Parses `OVERIFY_TRACE` and, when it enables tracing, installs a panic
+/// hook that dumps the flight recorder before unwinding — the crash
+/// timeline survives the crash.
+pub fn init_from_env() {
+    let Ok(v) = std::env::var("OVERIFY_TRACE") else {
+        return;
+    };
+    match v.as_str() {
+        "" | "0" | "off" | "false" => return,
+        "1" | "true" | "on" => {}
+        path => *default_path().lock().unwrap() = Some(PathBuf::from(path)),
+    }
+    enable();
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let path = default_path()
+            .lock()
+            .map(|p| p.clone())
+            .unwrap_or_default()
+            .unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("overify-trace-panic-{}.json", std::process::id()))
+            });
+        if dump_to(&path).is_ok() {
+            eprintln!("overify_obs: flight recorder dumped to {}", path.display());
+        }
+        previous(info);
+    }));
+}
+
+/// A live span guard. Dropping it records a complete (`ph:"X"`) event
+/// covering its lifetime. When tracing is disabled the guard is inert
+/// and carries no clock reads or allocations.
+pub struct Span(Option<SpanInner>);
+
+struct SpanInner {
+    name: &'static str,
+    ts_us: u64,
+    start: Instant,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Starts a span named `name`. `name` should be a short stable verb
+/// (`"lease"`, `"execute"`, `"submit"`); correlation ids go in
+/// [`Span::arg`].
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    Span(Some(SpanInner {
+        name,
+        ts_us: crate::wall_us(),
+        start: Instant::now(),
+        args: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Attaches a correlation arg (formatted only when tracing is live).
+    pub fn arg(mut self, key: &'static str, value: impl Display) -> Span {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        let dur_us = inner.start.elapsed().as_micros() as u64;
+        record(Event {
+            name: inner.name,
+            ph: 'X',
+            ts_us: inner.ts_us,
+            dur_us,
+            tid: TID.with(|&t| t),
+            args: inner.args,
+        });
+    }
+}
+
+/// Records an instant (`ph:"i"`) event with the given args.
+pub fn event(name: &'static str, args: &[(&'static str, &dyn Display)]) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name,
+        ph: 'i',
+        ts_us: crate::wall_us(),
+        dur_us: 0,
+        tid: TID.with(|&t| t),
+        args: args.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+    });
+}
+
+/// Records a complete span after the fact, from a start timestamp taken
+/// earlier with [`now_us`] — for spans whose start and end live in
+/// different call frames (a lease granted in one request and completed
+/// in another).
+pub fn complete_span(name: &'static str, start_us: u64, args: &[(&'static str, &dyn Display)]) {
+    if !enabled() {
+        return;
+    }
+    let now = crate::wall_us();
+    record(Event {
+        name,
+        ph: 'X',
+        ts_us: start_us,
+        dur_us: now.saturating_sub(start_us),
+        tid: TID.with(|&t| t),
+        args: args.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+    });
+}
+
+/// Wall-clock microseconds since the UNIX epoch (the trace timebase).
+pub fn now_us() -> u64 {
+    crate::wall_us()
+}
+
+fn record(ev: Event) {
+    if let Ok(mut rec) = recorder().lock() {
+        rec.push(ev);
+    }
+}
+
+/// Number of events currently buffered (tests, introspection).
+pub fn buffered() -> usize {
+    recorder().lock().map(|r| r.ring.len()).unwrap_or(0)
+}
+
+/// Serializes the ring as Chrome trace-event JSON. The ring is *not*
+/// cleared; repeated dumps are supersets.
+pub fn dump_json() -> String {
+    let rec = recorder().lock().unwrap();
+    let pid = std::process::id();
+    let mut out = String::with_capacity(64 + rec.ring.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in rec.ring.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        crate::json_escape(ev.name, &mut out);
+        out.push_str("\",\"cat\":\"overify\",\"ph\":\"");
+        out.push(ev.ph);
+        out.push_str(&format!(
+            "\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+            ev.ts_us, ev.dur_us, pid, ev.tid
+        ));
+        if ev.ph == 'i' {
+            // Chrome requires a scope on instant events.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        for (j, (k, v)) in ev.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::json_escape(k, &mut out);
+            out.push_str("\":\"");
+            crate::json_escape(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`dump_json`] to `path`.
+pub fn dump_to(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, dump_json())
+}
+
+/// Writes the dump to the `OVERIFY_TRACE=<path>` default, if one was
+/// configured. Returns the path written. Service binaries call this on
+/// clean shutdown so every process leaves a timeline behind.
+pub fn dump_default() -> Option<PathBuf> {
+    let path = default_path().lock().ok()?.clone()?;
+    dump_to(&path).ok()?;
+    Some(path)
+}
+
+/// Events dropped because the ring was full.
+pub fn dropped() -> u64 {
+    recorder().lock().map(|r| r.dropped).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; tests touching enable/disable or
+    /// capacity serialize on this.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn shrink_capacity(cap: usize) {
+        let mut rec = recorder().lock().unwrap();
+        rec.capacity = cap;
+        while rec.ring.len() > cap {
+            rec.ring.pop_front();
+            rec.dropped += 1;
+        }
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = test_lock();
+        disable();
+        let before = buffered();
+        {
+            let _s = span("noop").arg("k", 1);
+        }
+        event("noop", &[("k", &2)]);
+        assert_eq!(buffered(), before);
+    }
+
+    #[test]
+    fn enabled_span_records_complete_event() {
+        let _g = test_lock();
+        enable();
+        {
+            let _s = span("unit_test_span").arg("lease", 7).arg("job", "echo@2");
+        }
+        event("unit_test_event", &[("n", &3)]);
+        complete_span(
+            "unit_test_late",
+            now_us().saturating_sub(50),
+            &[("lease", &7)],
+        );
+        disable();
+        let json = dump_json();
+        assert!(json.contains("\"name\":\"unit_test_span\""));
+        assert!(json.contains("\"lease\":\"7\""));
+        assert!(json.contains("\"job\":\"echo@2\""));
+        assert!(json.contains("\"name\":\"unit_test_event\""));
+        assert!(json.contains("\"name\":\"unit_test_late\""));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let _g = test_lock();
+        shrink_capacity(8);
+        enable();
+        for _ in 0..20 {
+            event("ring_fill", &[]);
+        }
+        disable();
+        assert!(buffered() <= 8);
+        assert!(dropped() >= 12);
+        shrink_capacity(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn json_escapes_values() {
+        let _g = test_lock();
+        enable();
+        event("esc", &[("v", &"a\"b\\c\nd")]);
+        disable();
+        let json = dump_json();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests hammering the metrics registry from concurrent
+//! threads.
+//!
+//! Invariants:
+//!
+//! 1. Counter totals are exact: after every thread joins, the registry
+//!    value equals the sum of everything the threads added — sharding
+//!    loses nothing.
+//! 2. Snapshots taken *while* threads hammer are torn-free: every
+//!    rendered line parses, per-counter values never move backwards
+//!    between consecutive snapshots, and histogram bucket sums never
+//!    exceed a later-read count by more than what is still in flight.
+
+use overify_obs::metrics::{self, Sample};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn counter_value(name: &str) -> u64 {
+    metrics::snapshot()
+        .into_iter()
+        .find(|&(n, _)| n == name)
+        .and_then(|(_, s)| match s {
+            Sample::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_counter_totals_are_exact(
+        threads in 2usize..8,
+        per_thread in proptest::collection::vec(1u64..2_000, 2..8),
+    ) {
+        let counter = metrics::counter("prop_registry_hammer_total");
+        let before = counter.value();
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let amounts = per_thread.clone();
+                std::thread::spawn(move || {
+                    let c = metrics::counter("prop_registry_hammer_total");
+                    for &n in &amounts {
+                        c.add(n);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: u64 = per_thread.iter().sum::<u64>() * threads as u64;
+        prop_assert_eq!(counter.value() - before, expected);
+        // The snapshot agrees with the handle.
+        prop_assert_eq!(counter_value("prop_registry_hammer_total"), counter.value());
+    }
+
+    #[test]
+    fn snapshots_under_fire_are_torn_free(
+        threads in 2usize..6,
+        rounds in 50usize..400,
+    ) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let c = metrics::counter("prop_registry_torn_counter");
+                    let h = metrics::histogram("prop_registry_torn_hist");
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        c.inc();
+                        h.observe(i.wrapping_mul(t as u64 + 1) % 10_000);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+
+        let mut last_counter = 0u64;
+        for _ in 0..rounds {
+            let text = metrics::render();
+            for line in text.lines() {
+                prop_assert!(
+                    line.starts_with("# TYPE ") || line.split_whitespace().count() == 2,
+                    "torn exposition line: {:?}", line
+                );
+            }
+            // Counters only move forward between consecutive snapshots.
+            let v = counter_value("prop_registry_torn_counter");
+            prop_assert!(v >= last_counter, "counter went backwards: {} < {}", v, last_counter);
+            last_counter = v;
+            // The histogram's cumulative +Inf bucket equals its _count
+            // line within the same snapshot (one consistent read).
+            let inf = text.lines()
+                .find(|l| l.starts_with("prop_registry_torn_hist_bucket{le=\"+Inf\"}"))
+                .map(|l| l.split_whitespace().nth(1).unwrap().parse::<u64>().unwrap());
+            let count = text.lines()
+                .find(|l| l.starts_with("prop_registry_torn_hist_count"))
+                .map(|l| l.split_whitespace().nth(1).unwrap().parse::<u64>().unwrap());
+            prop_assert_eq!(inf, count);
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}

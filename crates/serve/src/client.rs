@@ -19,6 +19,26 @@ fn proto_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// A fresh correlation id for one submission. The id rides the wire onto
+/// every lease the run spawns, so spans dumped by the daemon and by any
+/// worker process can be stitched into one timeline. Uniqueness only has
+/// to hold per trace dump, so pid × wall clock × per-process counter is
+/// plenty; zero is reserved as "untraced".
+fn fresh_trace(spec: &JobSpec) -> u64 {
+    use std::hash::{Hash, Hasher};
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        .hash(&mut h);
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        d.subsec_nanos().hash(&mut h);
+        d.as_secs().hash(&mut h);
+    }
+    spec.name.hash(&mut h);
+    h.finish().max(1)
+}
+
 /// One connection to a verification server.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -86,7 +106,10 @@ impl Client {
         for spec in specs {
             write_frame(
                 &mut self.writer,
-                &encode_request(&Request::Submit(spec.clone())),
+                &encode_request(&Request::Submit {
+                    spec: spec.clone(),
+                    trace: fresh_trace(spec),
+                }),
             )?;
         }
         self.writer.flush()?;
@@ -136,6 +159,17 @@ impl Client {
         match self.next_event()? {
             Event::Stats(s) => Ok(s),
             other => Err(proto_err(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics in the text exposition format:
+    /// service-level counters first, then every registry metric the
+    /// daemon process has touched.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(&Request::Metrics)?;
+        match self.next_event()? {
+            Event::Metrics { text } => Ok(text),
+            other => Err(proto_err(format!("expected Metrics, got {other:?}"))),
         }
     }
 

@@ -25,6 +25,8 @@ use overify::{
     estimated_subtree_forks, Frontier, FrontierSignal, SharedBudget, SharedFrontier,
     VerificationReport,
 };
+use overify_obs::metrics::{LazyCounter, LazyHistogram};
+use overify_obs::trace as obs_trace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -74,12 +76,21 @@ struct PublishedRun {
     /// address last time), when the scheduler had one. Drives per-lease
     /// deadlines.
     priced: Option<Duration>,
+    /// The originating submission's correlation id, stamped on every
+    /// lease cut from this run (protocol v5).
+    trace: u64,
 }
 
 struct Lease {
     owner: u64,
     prefix: Vec<bool>,
     frontier: Arc<SharedFrontier>,
+    /// The run correlation id the lease carries on the wire.
+    trace: u64,
+    /// Wall-clock grant time (trace timebase): the daemon's `lease` span
+    /// is recorded retroactively from here when the lease leaves the
+    /// table (completed, recovered, or reaped).
+    granted_us: u64,
     /// When a reaper pass may conclude the holder is wedged and restore
     /// the prefix to the frontier.
     deadline: Instant,
@@ -179,6 +190,7 @@ impl FrontierHub {
         spec: JobSpec,
         budget: Arc<SharedBudget>,
         priced: Option<Duration>,
+        trace: u64,
     ) -> Arc<SharedFrontier> {
         let frontier = Arc::new(SharedFrontier::for_run(
             Some(budget.clone()),
@@ -190,6 +202,7 @@ impl FrontierHub {
             budget,
             frontier: frontier.clone(),
             priced,
+            trace,
         });
         // The fresh run's root job is stealable right away.
         self.signal.bump();
@@ -217,8 +230,11 @@ impl FrontierHub {
     /// as hunger, so busy path workers donate; gives up after
     /// [`STEAL_WAIT`] and answers empty (the worker retries).
     pub fn steal(&self, owner: u64, max: u32) -> Vec<LeasedJob> {
+        static STEAL_WAIT_NS: LazyHistogram = LazyHistogram::new("overify_hub_steal_wait_ns");
+        static STEALS_EMPTY: LazyCounter = LazyCounter::new("overify_hub_steals_empty_total");
         let max = max.clamp(1, 64) as usize;
-        let deadline = Instant::now() + STEAL_WAIT;
+        let started = Instant::now();
+        let deadline = started + STEAL_WAIT;
         loop {
             if self.closed.load(Ordering::SeqCst) {
                 return Vec::new();
@@ -228,10 +244,12 @@ impl FrontierHub {
             let seen = self.signal.epoch();
             let leases = self.try_steal(owner, max);
             if !leases.is_empty() {
+                STEAL_WAIT_NS.observe_ns(started.elapsed());
                 return leases;
             }
             let now = Instant::now();
             if now >= deadline {
+                STEALS_EMPTY.inc();
                 return Vec::new();
             }
             // Wait registered as hunger: local workers see it through the
@@ -252,6 +270,7 @@ impl FrontierHub {
             Arc<SharedBudget>,
             Arc<SharedFrontier>,
             Option<Duration>,
+            u64,
         );
         let runs: Vec<RunSnap> = self
             .runs
@@ -264,13 +283,14 @@ impl FrontierHub {
                     r.budget.clone(),
                     r.frontier.clone(),
                     r.priced,
+                    r.trace,
                 )
             })
             .collect();
         // Shed more aggressively when more mouths are waiting...
         let hunger_shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
         let mut out = Vec::new();
-        for (spec, budget, frontier, priced) in runs {
+        for (spec, budget, frontier, priced, trace) in runs {
             // Refuse to lease from a run that is nearly out of budget —
             // the clamped timeout would be (near) zero and the worker's
             // round trip pure waste. Checked *before* popping a prefix so
@@ -304,12 +324,15 @@ impl FrontierHub {
                         owner,
                         prefix: prefix.clone(),
                         frontier: frontier.clone(),
+                        trace,
+                        granted_us: obs_trace::now_us(),
                         deadline: Instant::now() + lease_deadline(leased_spec.cfg.timeout, priced),
                         shed: Vec::new(),
                     },
                 );
                 out.push(LeasedJob {
                     lease,
+                    trace,
                     spec: leased_spec,
                     prefix,
                     shed,
@@ -319,6 +342,8 @@ impl FrontierHub {
                 break;
             }
         }
+        static ISSUED: LazyCounter = LazyCounter::new("overify_hub_leases_issued_total");
+        ISSUED.get().add(out.len() as u64);
         self.granted.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
     }
@@ -335,14 +360,17 @@ impl FrontierHub {
     /// either way, so completion is the moment they become someone
     /// else's work.
     pub fn offer_states(&self, lease: u64, prefixes: Vec<Vec<bool>>) -> usize {
+        static SHED: LazyCounter = LazyCounter::new("overify_hub_states_shed_total");
         let mut leases = self.leases.lock().unwrap();
         let Some(l) = leases.get_mut(&lease) else {
             self.stale_frames.fetch_add(1, Ordering::Relaxed);
+            stale_frame_counter().inc();
             return 0;
         };
         let n = prefixes.len();
         l.shed.extend(prefixes);
         drop(leases);
+        SHED.get().add(n as u64);
         self.states_returned.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
@@ -355,10 +383,14 @@ impl FrontierHub {
     /// (or was) re-explored exactly once, so folding its late report in
     /// would double-count the subtree and break byte-identical merges.
     pub fn complete(&self, lease: u64, report: VerificationReport) -> bool {
+        static COMPLETED: LazyCounter = LazyCounter::new("overify_hub_leases_completed_total");
         let Some(l) = self.leases.lock().unwrap().remove(&lease) else {
             self.stale_frames.fetch_add(1, Ordering::Relaxed);
+            stale_frame_counter().inc();
             return false;
         };
+        COMPLETED.inc();
+        record_lease_span(lease, &l, "completed");
         // Shed states first, completion second: live count must never
         // touch zero while the subtree's remainder is still being
         // accounted.
@@ -375,7 +407,7 @@ impl FrontierHub {
     /// re-explored by whoever pops it next. Returns the number of
     /// recovered leases.
     pub fn disconnect(&self, owner: u64) -> usize {
-        let orphaned: Vec<Lease> = {
+        let orphaned: Vec<(u64, Lease)> = {
             let mut leases = self.leases.lock().unwrap();
             let ids: Vec<u64> = leases
                 .iter()
@@ -383,13 +415,16 @@ impl FrontierHub {
                 .map(|(&id, _)| id)
                 .collect();
             ids.into_iter()
-                .filter_map(|id| leases.remove(&id))
+                .filter_map(|id| leases.remove(&id).map(|l| (id, l)))
                 .collect()
         };
         let n = orphaned.len();
-        for lease in orphaned {
+        for (id, lease) in orphaned {
+            record_lease_span(id, &lease, "recovered");
             lease.frontier.restore(lease.prefix);
         }
+        static RECOVERED: LazyCounter = LazyCounter::new("overify_hub_leases_recovered_total");
+        RECOVERED.get().add(n as u64);
         self.recovered.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
@@ -410,7 +445,7 @@ impl FrontierHub {
 
     /// [`FrontierHub::reap_expired`] with an explicit clock, for tests.
     fn reap_expired_at(&self, now: Instant) -> usize {
-        let expired: Vec<Lease> = {
+        let expired: Vec<(u64, Lease)> = {
             let mut leases = self.leases.lock().unwrap();
             let ids: Vec<u64> = leases
                 .iter()
@@ -418,17 +453,47 @@ impl FrontierHub {
                 .map(|(&id, _)| id)
                 .collect();
             ids.into_iter()
-                .filter_map(|id| leases.remove(&id))
+                .filter_map(|id| leases.remove(&id).map(|l| (id, l)))
                 .collect()
         };
         let n = expired.len();
-        for lease in expired {
+        for (id, lease) in expired {
+            record_lease_span(id, &lease, "reaped");
+            overify_obs::warn!(
+                "hub",
+                "reaped lease {id} (owner {}): deadline passed",
+                lease.owner
+            );
             // `restore` wakes local workers and remote stealers itself.
             lease.frontier.restore(lease.prefix);
         }
+        static REAPED: LazyCounter = LazyCounter::new("overify_hub_leases_reaped_total");
+        REAPED.get().add(n as u64);
         self.reaped.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
+}
+
+fn stale_frame_counter() -> &'static overify_obs::metrics::Counter {
+    static STALE: LazyCounter = LazyCounter::new("overify_hub_stale_frames_total");
+    STALE.get()
+}
+
+/// Records the daemon-side `lease` span for a lease leaving the table:
+/// grant time → now, tagged with the lease id, the run's wire-propagated
+/// correlation id, and how the lease ended. The worker's `execute` span
+/// carries the same `lease`/`trace` args, which is what lets a merged
+/// dump line the two processes up.
+fn record_lease_span(id: u64, lease: &Lease, outcome: &'static str) {
+    obs_trace::complete_span(
+        "lease",
+        lease.granted_us,
+        &[
+            ("lease", &id),
+            ("trace", &format_args!("{:x}", lease.trace)),
+            ("outcome", &outcome),
+        ],
+    );
 }
 
 /// The [`overify::FrontierProvider`] one executed job hands the driver:
@@ -441,6 +506,9 @@ pub(crate) struct RunPublisher<'a> {
     /// The submission's priced cost (from observed history), carried onto
     /// every published run so leases get meaningful deadlines.
     pub priced: Option<Duration>,
+    /// The submission's correlation id, stamped onto every published run
+    /// so leases (and the worker spans they produce) trace back to it.
+    pub trace: u64,
 }
 
 impl overify::FrontierProvider for RunPublisher<'_> {
@@ -452,7 +520,8 @@ impl overify::FrontierProvider for RunPublisher<'_> {
         let mut spec = self.base.clone();
         spec.cfg = cfg.clone();
         spec.bytes = vec![cfg.input_bytes];
-        self.hub.publish(spec, budget.clone(), self.priced)
+        self.hub
+            .publish(spec, budget.clone(), self.priced, self.trace)
     }
 
     fn end_run(&self, frontier: Arc<dyn overify::Frontier>) {
@@ -496,6 +565,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         let leases = hub.steal(7, 4);
         assert_eq!(leases.len(), 1, "the root job");
@@ -513,6 +583,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(leases.len(), 1);
@@ -533,6 +604,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         hub.close();
         assert!(hub.steal(1, 1).is_empty());
@@ -545,6 +617,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -565,6 +638,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -585,7 +659,7 @@ mod tests {
             timeout: Duration::ZERO,
             ..Default::default()
         };
-        let f = hub.publish(spec(), Arc::new(SharedBudget::new(&cfg)), None);
+        let f = hub.publish(spec(), Arc::new(SharedBudget::new(&cfg)), None, 0);
         assert!(
             hub.try_steal(7, 4).is_empty(),
             "no zero-timeout leases granted"
@@ -603,6 +677,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             Some(Duration::from_millis(1)), // priced ⇒ tight deadline
+            0,
         );
         let leases = hub.steal(7, 1);
         assert_eq!(leases.len(), 1);
@@ -658,6 +733,7 @@ mod tests {
             spec(),
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
+            0,
         );
         assert_eq!(hub.offer_states(999, vec![vec![true]]), 0);
         let leases = hub.steal(1, 1);

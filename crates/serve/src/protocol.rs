@@ -62,8 +62,11 @@ pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
 /// Protocol version; both sides must match exactly. v2 added the
 /// worker-attachment frames (frontier sharding across processes); v3 the
 /// function-slice splice fields in outcomes and stats; v4 the solver-cache
-/// delta on `JobDone` and the fabric stats fields.
-pub const VERSION: u32 = 4;
+/// delta on `JobDone` and the fabric stats fields; v5 the `Metrics`
+/// introspection frames and the trace correlation ids on
+/// `Submit`/`LeasedJob`/`JobDone`, so daemon and worker flight-recorder
+/// spans stitch into one distributed timeline.
+pub const VERSION: u32 = 5;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
@@ -258,9 +261,15 @@ impl JobSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Submit a job; the server responds with a stream of events for it.
-    Submit(JobSpec),
+    /// `trace` is the client's correlation id for the whole run (its run
+    /// fingerprint); the daemon tags the job's spans with it and forwards
+    /// it on every lease cut from the job.
+    Submit { spec: JobSpec, trace: u64 },
     /// Ask for a server statistics snapshot.
     Stats,
+    /// Ask for the server's full metrics-registry snapshot in the text
+    /// exposition format. Answered with [`Event::Metrics`].
+    Metrics,
     /// Ask the server to drain and exit.
     Shutdown,
     /// Switch this connection into worker mode: the peer is a remote
@@ -293,6 +302,10 @@ pub enum Request {
     /// [`Event::JobAck`].
     JobDone {
         lease: u64,
+        /// The correlation id the lease carried ([`LeasedJob::trace`]),
+        /// echoed back so the daemon's completion span joins the same
+        /// timeline as the worker's `execute` span.
+        trace: u64,
         report: VerificationReport,
         cache_delta: Vec<(u128, CachedVerdict)>,
     },
@@ -307,6 +320,10 @@ pub enum Request {
 #[derive(Clone, Debug, PartialEq)]
 pub struct LeasedJob {
     pub lease: u64,
+    /// Correlation id propagated from the originating submission
+    /// ([`Request::Submit`]'s `trace`): the worker tags its `execute`
+    /// span with it, so one run's spans line up across processes.
+    pub trace: u64,
     pub spec: JobSpec,
     pub prefix: Vec<bool>,
     pub shed: u32,
@@ -348,6 +365,68 @@ pub struct ServeStatsSnapshot {
     pub verdicts_upstreamed: u64,
     /// Persistent-store counters (zeroes when the server runs storeless).
     pub store: StoreStats,
+}
+
+impl std::fmt::Display for ServeStatsSnapshot {
+    /// Renders in the same text exposition format as the metrics
+    /// endpoint: `# TYPE` lines plus `name value` samples, stable order.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let samples: [(&str, u64); 23] = [
+            ("overify_serve_active", self.active),
+            (
+                "overify_serve_answered_from_store",
+                self.answered_from_store,
+            ),
+            ("overify_serve_answered_spliced", self.answered_spliced),
+            ("overify_serve_executed", self.executed),
+            ("overify_serve_leases_reaped", self.leases_reaped),
+            ("overify_serve_leases_recovered", self.leases_recovered),
+            ("overify_serve_queued", self.queued),
+            ("overify_serve_remote_leases", self.remote_leases),
+            ("overify_serve_remote_states", self.remote_states),
+            ("overify_serve_stale_frames", self.stale_frames),
+            ("overify_serve_submitted", self.submitted),
+            (
+                "overify_serve_verdicts_upstreamed",
+                self.verdicts_upstreamed,
+            ),
+            ("overify_serve_workers", self.workers),
+            (
+                "overify_store_log_bytes_dropped",
+                self.store.log_bytes_dropped,
+            ),
+            ("overify_store_report_hits", self.store.report_hits),
+            ("overify_store_report_misses", self.store.report_misses),
+            ("overify_store_reports_saved", self.store.reports_saved),
+            ("overify_store_slices_saved", self.store.slices_saved),
+            (
+                "overify_store_solver_entries_loaded",
+                self.store.solver_entries_loaded,
+            ),
+            (
+                "overify_store_solver_entries_saved",
+                self.store.solver_entries_saved,
+            ),
+            (
+                "overify_store_solver_entries_tailed",
+                self.store.solver_entries_tailed,
+            ),
+            ("overify_store_splice_hits", self.store.splice_hits),
+            ("overify_store_splice_misses", self.store.splice_misses),
+        ];
+        for (name, value) in samples {
+            // Live levels are gauges; lifetime totals are counters.
+            let kind = match name {
+                "overify_serve_active" | "overify_serve_queued" | "overify_serve_workers" => {
+                    "gauge"
+                }
+                _ => "counter",
+            };
+            writeln!(f, "# TYPE {name} {kind}")?;
+            writeln!(f, "{name} {value}")?;
+        }
+        Ok(())
+    }
 }
 
 /// The outcome of one job, as it travels the wire. Field-for-field a
@@ -435,6 +514,9 @@ pub enum Event {
     StatesAccepted { accepted: u32 },
     /// Answer to [`Request::JobDone`]: the lease is retired.
     JobAck { lease: u64 },
+    /// Answer to [`Request::Metrics`]: the daemon's full metrics-registry
+    /// snapshot in the text exposition format (`overify_obs::metrics`).
+    Metrics { text: String },
 }
 
 fn encode_sym_config(w: &mut Writer, cfg: &SymConfig) {
@@ -607,8 +689,9 @@ fn decode_spec(r: &mut Reader) -> Option<JobSpec> {
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = Writer::default();
     match req {
-        Request::Submit(spec) => {
+        Request::Submit { spec, trace } => {
             w.u8(0);
+            w.u64(*trace);
             encode_spec(&mut w, spec);
         }
         Request::Stats => w.u8(1),
@@ -631,14 +714,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::JobDone {
             lease,
+            trace,
             report,
             cache_delta,
         } => {
             w.u8(6);
             w.u64(*lease);
+            w.u64(*trace);
             encode_report(&mut w, report);
             encode_verdicts(&mut w, cache_delta);
         }
+        Request::Metrics => w.u8(7),
     }
     w.buf
 }
@@ -662,7 +748,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
         return Err(ProtocolError::Malformed { what: "request" });
     };
     let req = match tag {
-        0 => decode_spec(&mut r).map(Request::Submit),
+        0 => (|| {
+            let trace = r.u64()?;
+            Some(Request::Submit {
+                spec: decode_spec(&mut r)?,
+                trace,
+            })
+        })(),
         1 => Some(Request::Stats),
         2 => Some(Request::Shutdown),
         3 => r.str().map(|name| Request::AttachWorker { name }),
@@ -682,10 +774,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
         6 => (|| {
             Some(Request::JobDone {
                 lease: r.u64()?,
+                trace: r.u64()?,
                 report: decode_report(&mut r)?,
                 cache_delta: decode_verdicts(&mut r)?,
             })
         })(),
+        7 => Some(Request::Metrics),
         tag => {
             return Err(ProtocolError::UnknownTag {
                 what: "request",
@@ -862,6 +956,7 @@ pub fn encode_event(ev: &Event) -> Vec<u8> {
             w.u32(leases.len() as u32);
             for l in leases {
                 w.u64(l.lease);
+                w.u64(l.trace);
                 encode_spec(&mut w, &l.spec);
                 encode_trace(&mut w, &l.prefix);
                 w.u32(l.shed);
@@ -874,6 +969,10 @@ pub fn encode_event(ev: &Event) -> Vec<u8> {
         Event::JobAck { lease } => {
             w.u8(10);
             w.u64(*lease);
+        }
+        Event::Metrics { text } => {
+            w.u8(11);
+            w.str(text);
         }
     }
     w.buf
@@ -930,6 +1029,7 @@ pub fn decode_event(bytes: &[u8]) -> Result<Event, ProtocolError> {
             for _ in 0..n {
                 leases.push(LeasedJob {
                     lease: r.u64()?,
+                    trace: r.u64()?,
                     spec: decode_spec(&mut r)?,
                     prefix: decode_trace(&mut r)?,
                     shed: r.u32()?,
@@ -939,6 +1039,7 @@ pub fn decode_event(bytes: &[u8]) -> Result<Event, ProtocolError> {
         })(),
         9 => r.u32().map(|accepted| Event::StatesAccepted { accepted }),
         10 => r.u64().map(|lease| Event::JobAck { lease }),
+        11 => r.str().map(|text| Event::Metrics { text }),
         tag => return Err(ProtocolError::UnknownTag { what: "event", tag }),
     };
     seal_decode("event", ev, &r)
@@ -1000,8 +1101,12 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         for req in [
-            Request::Submit(sample_spec()),
+            Request::Submit {
+                spec: sample_spec(),
+                trace: 0xFEED_F00D,
+            },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::AttachWorker {
                 name: "worker-7".into(),
@@ -1013,6 +1118,7 @@ mod tests {
             },
             Request::JobDone {
                 lease: 9,
+                trace: 0xFEED_F00D,
                 report: VerificationReport {
                     paths_completed: 17,
                     exhausted: true,
@@ -1030,6 +1136,7 @@ mod tests {
             },
             Request::JobDone {
                 lease: 10,
+                trace: 0,
                 report: VerificationReport::default(),
                 cache_delta: Vec::new(),
             },
@@ -1086,6 +1193,7 @@ mod tests {
             Event::Leases {
                 leases: vec![LeasedJob {
                     lease: 11,
+                    trace: 0xFEED_F00D,
                     spec: sample_spec(),
                     prefix: vec![true, true, false, true, false, false, true, true, true],
                     shed: 4,
@@ -1094,11 +1202,54 @@ mod tests {
             Event::Leases { leases: Vec::new() },
             Event::StatesAccepted { accepted: 2 },
             Event::JobAck { lease: 11 },
+            Event::Metrics {
+                text: "# TYPE overify_solver_queries_total counter\n\
+                       overify_solver_queries_total 7\n"
+                    .into(),
+            },
         ];
         for ev in events {
             let bytes = encode_event(&ev);
             assert_eq!(decode_event(&bytes).unwrap(), ev, "{ev:?}");
         }
+    }
+
+    #[test]
+    fn stats_snapshot_displays_in_exposition_format() {
+        let snap = ServeStatsSnapshot {
+            submitted: 10,
+            answered_from_store: 4,
+            queued: 1,
+            store: StoreStats {
+                report_hits: 4,
+                splice_misses: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let text = snap.to_string();
+        assert!(
+            text.contains("# TYPE overify_serve_submitted counter\noverify_serve_submitted 10\n")
+        );
+        assert!(text.contains("# TYPE overify_serve_queued gauge\noverify_serve_queued 1\n"));
+        assert!(text.contains("overify_store_report_hits 4"));
+        assert!(text.contains("overify_store_splice_misses 2"));
+        // Every line parses like the metrics endpoint's exposition text.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.split_whitespace().count() == 2,
+                "unparseable line: {line:?}"
+            );
+        }
+        // Stable order: names sorted within each family.
+        let names: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -17,9 +17,14 @@
 //! 3. **FIFO tie-break** by submission sequence, so dispatch order is
 //!    fully deterministic given the queue contents.
 
+use overify_obs::metrics::{LazyGauge, LazyHistogram};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("overify_sched_queue_depth");
+static TIME_TO_SCHEDULE_NS: LazyHistogram = LazyHistogram::new("overify_sched_time_to_schedule_ns");
 
 /// A dispatch priority. `Ord` is *dispatch order*: greater = sooner.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +54,7 @@ impl Ord for Priority {
 struct Entry<T> {
     priority: Priority,
     seq: u64,
+    enqueued: Instant,
     item: T,
 }
 
@@ -92,8 +98,10 @@ impl<T> Scheduler<T> {
         q.entries.push(Entry {
             priority,
             seq,
+            enqueued: Instant::now(),
             item,
         });
+        QUEUE_DEPTH.set(q.entries.len() as i64);
         self.cv.notify_one();
         Ok(position)
     }
@@ -112,7 +120,10 @@ impl<T> Scheduler<T> {
                 })
                 .map(|(i, _)| i)
             {
-                return Some(q.entries.swap_remove(best).item);
+                let entry = q.entries.swap_remove(best);
+                QUEUE_DEPTH.set(q.entries.len() as i64);
+                TIME_TO_SCHEDULE_NS.observe_ns(entry.enqueued.elapsed());
+                return Some(entry.item);
             }
             if q.closed {
                 return None;
@@ -127,6 +138,7 @@ impl<T> Scheduler<T> {
         let mut q = self.queue.lock().unwrap();
         q.closed = true;
         let drained = std::mem::take(&mut q.entries);
+        QUEUE_DEPTH.set(0);
         self.cv.notify_all();
         drained.into_iter().map(|e| e.item).collect()
     }

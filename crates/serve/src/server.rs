@@ -87,6 +87,9 @@ struct QueuedJob {
     /// (non-estimated) cost also prices the deadlines of the run's remote
     /// leases.
     priority: Priority,
+    /// The client-supplied correlation id, carried through the hub onto
+    /// every lease so daemon and worker trace spans stitch together.
+    trace: u64,
 }
 
 /// A job currently executing, visible to the progress poller.
@@ -258,6 +261,7 @@ impl ServerHandle {
 
 /// Binds and starts a server; returns once the listener is accepting.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    overify_obs::init();
     let store = match cfg.store {
         Some(sc) => Some(Store::open(sc)?),
         None => None,
@@ -362,9 +366,15 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
     // framing) — `read_frame` then errors.
     while let Ok(frame) = read_frame(&mut r) {
         match crate::protocol::decode_request(&frame) {
-            Ok(Request::Submit(spec)) => handle_submit(state, &spec, &tx),
+            Ok(Request::Submit { spec, trace }) => handle_submit(state, &spec, trace, &tx),
             Ok(Request::Stats) => {
                 tx.send(Event::Stats(state.stats())).ok();
+            }
+            Ok(Request::Metrics) => {
+                // Service-level counters first (same names `Stats` uses),
+                // then every registry metric the process has touched.
+                let text = format!("{}{}", state.stats(), overify_obs::metrics::render());
+                tx.send(Event::Metrics { text }).ok();
             }
             Ok(Request::Shutdown) => {
                 tx.send(Event::ShuttingDown).ok();
@@ -407,12 +417,21 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
             }
             Ok(Request::JobDone {
                 lease,
+                trace,
                 report,
                 cache_delta,
             }) => {
                 if !attached {
                     break;
                 }
+                overify_obs::trace::event(
+                    "job_done",
+                    &[
+                        ("lease", &lease),
+                        ("trace", &format_args!("{trace:x}")),
+                        ("worker", &conn_id),
+                    ],
+                );
                 // Fold the worker's verdicts in *before* lease
                 // bookkeeping: a verdict is sound even when the lease was
                 // reaped or completed meanwhile, and persisting it now
@@ -425,7 +444,10 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
                         .fetch_add(added, Ordering::Relaxed);
                     if let Some(store) = &state.store {
                         if let Err(e) = store.save_solver_cache(&state.warm) {
-                            eprintln!("overify_serve: failed to persist upstreamed verdicts: {e}");
+                            overify_obs::error!(
+                                "serve",
+                                "failed to persist upstreamed verdicts: {e}"
+                            );
                         }
                     }
                 }
@@ -448,9 +470,18 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
 
 /// Compiles, content-addresses, and routes one submission: store hits are
 /// answered here and now; misses are priced and queued.
-fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &Sender<Event>) {
+fn handle_submit(
+    state: &Arc<ServeState>,
+    spec: &crate::protocol::JobSpec,
+    trace: u64,
+    tx: &Sender<Event>,
+) {
     state.submitted.fetch_add(1, Ordering::Relaxed);
     let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let _span = overify_obs::trace::span("submit")
+        .arg("job", id)
+        .arg("name", &spec.name)
+        .arg("trace", format_args!("{trace:x}"));
     let job = spec.to_suite_job();
 
     let prepared = match prepare_job(&job, state.store.is_some()) {
@@ -547,6 +578,7 @@ fn handle_submit(state: &Arc<ServeState>, spec: &crate::protocol::JobSpec, tx: &
         events: tx.clone(),
         key_hash,
         priority,
+        trace,
     };
     if let Err(rejected) = state.sched.push(priority, queued) {
         // Shutdown raced the submission. Report the job — and any
@@ -661,13 +693,19 @@ fn executor_loop(state: &Arc<ServeState>) {
             // a static estimate is too loose to reap against.
             priced: (!job.priority.estimated)
                 .then(|| Duration::from_nanos(job.priority.cost.min(u64::MAX as u128) as u64)),
+            trace: job.trace,
         };
+        let span = overify_obs::trace::span("execute")
+            .arg("job", job.id)
+            .arg("name", &job.prepared.job().name)
+            .arg("trace", format_args!("{:x}", job.trace));
         let result = job.prepared.execute_with(
             state.store.as_ref(),
             Some(&state.warm),
             Some(&active.progress),
             Some(&publisher),
         );
+        drop(span);
 
         state.active.lock().unwrap().retain(|a| a.id != job.id);
         // Persist the solver-cache delta now, not at exit: the next
@@ -675,7 +713,7 @@ fn executor_loop(state: &Arc<ServeState>) {
         // learned even if the daemon dies hard later.
         if let Some(store) = &state.store {
             if let Err(e) = store.save_solver_cache(&state.warm) {
-                eprintln!("overify_serve: failed to persist the solver cache: {e}");
+                overify_obs::error!("serve", "failed to persist the solver cache: {e}");
             }
             // Opportunistic tail on the same touch: anything another
             // process appended meanwhile is warm before the next job.

@@ -38,6 +38,7 @@ use crate::protocol::{
     decode_event, encode_request, read_frame, write_frame, Event, LeasedJob, Request, VERSION,
 };
 use overify::{prepare_job, Module, SharedQueryCache, VerificationReport};
+use overify_obs::metrics::LazyCounter;
 use overify_symex::{Executor, ExploreHooks};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
@@ -91,6 +92,25 @@ pub struct WorkerStats {
     pub verdicts_uploaded: u64,
 }
 
+impl std::fmt::Display for WorkerStats {
+    /// Renders the same text exposition format the metrics registry (and
+    /// [`crate::protocol::ServeStatsSnapshot`]) uses, so worker output is
+    /// machine-scrapable alongside daemon output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let samples: [(&str, u64); 4] = [
+            ("overify_worker_bounced", self.bounced),
+            ("overify_worker_states_returned", self.states_returned),
+            ("overify_worker_stolen", self.stolen),
+            ("overify_worker_verdicts_uploaded", self.verdicts_uploaded),
+        ];
+        for (name, value) in samples {
+            writeln!(f, "# TYPE {name} counter")?;
+            writeln!(f, "{name} {value}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One module per (source, level): compilation is deterministic, so a
 /// cached module is bit-identical to a fresh one — and to the daemon's.
 type ModuleCache = Mutex<HashMap<(String, u8), Arc<Module>>>;
@@ -102,6 +122,7 @@ type Uploaded = Mutex<HashSet<u128>>;
 /// every connection exits (daemon gone, or `idle_exit` elapsed) and
 /// returns the summed stats.
 pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerStats> {
+    overify_obs::init();
     let modules: Arc<ModuleCache> = Arc::new(Mutex::new(HashMap::new()));
     // One process-wide solver cache: verdicts are keyed by structural
     // formula fingerprints, valid across every lease this process takes.
@@ -229,6 +250,13 @@ fn process_lease(
     uploaded: &Uploaded,
     stats: &mut WorkerStats,
 ) -> io::Result<()> {
+    // The worker-side half of the lease timeline: this span carries the
+    // same `lease`/`trace` args as the daemon's retroactive `lease` span,
+    // so a merged dump shows who held the subtree and for how long.
+    let span = overify_obs::trace::span("execute")
+        .arg("lease", lease.lease)
+        .arg("name", &lease.spec.name)
+        .arg("trace", format_args!("{:x}", lease.trace));
     let report = match cached_module(modules, lease) {
         Some(module) => {
             let report = explore(conn, lease, &module, solver_cache, stats)?;
@@ -236,6 +264,8 @@ fn process_lease(
             // canary's --expect-steals must not be satisfiable by a
             // worker that bounces everything.
             stats.stolen += 1;
+            static STOLEN: LazyCounter = LazyCounter::new("overify_worker_stolen_total");
+            STOLEN.inc();
             report
         }
         None => {
@@ -244,6 +274,13 @@ fn process_lease(
             // worker must not eat the subtree): return the job whole and
             // complete with the merge identity.
             stats.bounced += 1;
+            static BOUNCED: LazyCounter = LazyCounter::new("overify_worker_bounced_total");
+            BOUNCED.inc();
+            overify_obs::warn!(
+                "worker",
+                "lease {}: module failed to build here, returned whole",
+                lease.lease
+            );
             offer(conn, lease.lease, lease.prefix.clone())?;
             VerificationReport {
                 exhausted: true,
@@ -251,6 +288,7 @@ fn process_lease(
             }
         }
     };
+    drop(span);
     // Piggyback every verdict this process derived since its last upload.
     // (The set is marked before the round-trip: if the frame is lost the
     // connection is dead anyway, and a duplicate upload would merely be
@@ -264,6 +302,7 @@ fn process_lease(
     stats.verdicts_uploaded += cache_delta.len() as u64;
     match conn.borrow_mut().request(&Request::JobDone {
         lease: lease.lease,
+        trace: lease.trace,
         report,
         cache_delta,
     })? {

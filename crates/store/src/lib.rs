@@ -47,6 +47,7 @@ pub use artifact::{budget_signature, ReportKey, SliceKey, StoredJob};
 pub use cost::{CostKind, CostRecord};
 pub use log::{LoadSummary, LogError, TailSummary};
 
+use overify_obs::metrics::{LazyCounter, LazyHistogram};
 use overify_symex::SharedQueryCache;
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -306,6 +307,9 @@ impl Store {
         if !self.cfg.solver_cache {
             return TailStats::default();
         }
+        static TAIL_NS: LazyHistogram = LazyHistogram::new("overify_store_tail_latency_ns");
+        static TAILED: LazyCounter = LazyCounter::new("overify_store_tailed_verdicts_total");
+        let started = std::time::Instant::now();
         let mut cursor = self.tail.lock().unwrap();
         match log::load_tail(&self.log_path(), cursor.offset, cursor.generation) {
             Ok((summary, entries)) => {
@@ -321,6 +325,8 @@ impl Store {
                 cursor.offset = summary.offset;
                 cursor.generation = summary.generation;
                 self.solver_tailed.fetch_add(absorbed, Ordering::Relaxed);
+                TAILED.get().add(absorbed);
+                TAIL_NS.observe_ns(started.elapsed());
                 TailStats {
                     absorbed,
                     records: summary.records,
@@ -330,6 +336,7 @@ impl Store {
             }
             Err(_) => {
                 *self.rewrite_log.lock().unwrap() = true;
+                TAIL_NS.observe_ns(started.elapsed());
                 TailStats::default()
             }
         }
@@ -349,9 +356,15 @@ impl Store {
         if !self.cfg.solver_cache {
             return Ok(0);
         }
+        static COMPACT_NS: LazyHistogram =
+            LazyHistogram::new("overify_store_compaction_latency_ns");
+        static COMPACTIONS: LazyCounter = LazyCounter::new("overify_store_compactions_total");
+        static SAVE_NS: LazyHistogram = LazyHistogram::new("overify_store_save_latency_ns");
+        let started = std::time::Instant::now();
         let mut cursor = self.tail.lock().unwrap();
         let mut persisted = self.persisted.lock().unwrap();
         let mut rewrite = self.rewrite_log.lock().unwrap();
+        let compacting = *rewrite;
         let saved = if *rewrite {
             let _lock = lock::DirLock::acquire(&self.lock_path(), lock::STALE_AFTER)?;
             let merged = SharedQueryCache::new();
@@ -388,6 +401,12 @@ impl Store {
             fresh.len() as u64
         };
         self.solver_saved.fetch_add(saved, Ordering::Relaxed);
+        if compacting {
+            COMPACTIONS.inc();
+            COMPACT_NS.observe_ns(started.elapsed());
+        } else {
+            SAVE_NS.observe_ns(started.elapsed());
+        }
         Ok(saved)
     }
 
@@ -400,9 +419,17 @@ impl Store {
         let hit = fs::read(self.report_path(key))
             .ok()
             .and_then(|bytes| artifact::decode_artifact(&bytes, key));
+        static HITS: LazyCounter = LazyCounter::new("overify_store_report_hits_total");
+        static MISSES: LazyCounter = LazyCounter::new("overify_store_report_misses_total");
         match &hit {
-            Some(_) => self.report_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.report_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                HITS.inc();
+                self.report_hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                MISSES.inc();
+                self.report_misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         hit
     }
@@ -434,9 +461,17 @@ impl Store {
         let hit = fs::read(self.slice_path(key))
             .ok()
             .and_then(|bytes| artifact::decode_slice_artifact(&bytes, key));
+        static HITS: LazyCounter = LazyCounter::new("overify_store_slice_hits_total");
+        static MISSES: LazyCounter = LazyCounter::new("overify_store_slice_misses_total");
         match &hit {
-            Some(_) => self.splice_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.splice_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                HITS.inc();
+                self.splice_hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                MISSES.inc();
+                self.splice_misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         hit
     }

@@ -16,6 +16,7 @@ use crate::solver::{Model, SatResult, Solver, SolverOptions};
 use overify_ir::{
     BlockId, Callee, CastOp, CmpPred, InstKind, Intrinsic, Module, Operand, Terminator, Ty, ValueId,
 };
+use overify_obs::metrics::LazyCounter;
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -345,10 +346,16 @@ impl<'m> Executor<'m> {
                 match self.step(&mut st) {
                     Step::Continue => {}
                     Step::Fork(other) => {
+                        static FORKS: LazyCounter =
+                            LazyCounter::new("overify_executor_forks_total");
+                        FORKS.inc();
                         self.report.forks += 1;
                         worklist.push_back(other);
                     }
                     Step::End(end) => {
+                        static PATHS: LazyCounter =
+                            LazyCounter::new("overify_executor_paths_total");
+                        PATHS.inc();
                         self.report.path_ids.push(path_fingerprint(&st.trace));
                         match end {
                             PathEnd::Completed => {
@@ -1122,13 +1129,12 @@ impl<'m> Executor<'m> {
                 // Feasibility: check true; if infeasible the false side is
                 // implied (the constraint set itself is satisfiable).
                 let may_true = self.solver.may_be_true(&self.pool, &st.constraints, c);
-                if std::env::var("SYMEX_TRACE").is_ok() {
-                    eprintln!(
-                        "condbr at {}: cond={:?} may_true={may_true}",
-                        self.cur_loc(st),
-                        self.pool.node(c)
-                    );
-                }
+                overify_obs::log_trace!(
+                    "symex",
+                    "condbr at {}: cond={:?} may_true={may_true}",
+                    self.cur_loc(st),
+                    self.pool.node(c)
+                );
                 if !may_true {
                     let nc = self.pool.not(c);
                     st.trace.push(false);

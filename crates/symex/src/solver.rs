@@ -29,6 +29,7 @@ use crate::expr::{ExprPool, ExprRef};
 use crate::interval::IntervalCache;
 use crate::report::SolverStats;
 use crate::sat::SatOutcome;
+use overify_obs::metrics::{LazyCounter, LazyHistogram};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -136,6 +137,16 @@ impl Solver {
 
     /// Decides satisfiability of the conjunction of `constraints`.
     pub fn check(&mut self, pool: &ExprPool, constraints: &[ExprRef]) -> SatResult {
+        static QUERIES: LazyCounter = LazyCounter::new("overify_solver_queries_total");
+        static LATENCY: LazyHistogram = LazyHistogram::new("overify_solver_query_latency_ns");
+        QUERIES.inc();
+        let started = std::time::Instant::now();
+        let result = self.check_layers(pool, constraints);
+        LATENCY.observe_ns(started.elapsed());
+        result
+    }
+
+    fn check_layers(&mut self, pool: &ExprPool, constraints: &[ExprRef]) -> SatResult {
         self.stats.queries += 1;
 
         // Layer 1: constants.
@@ -183,6 +194,9 @@ impl Solver {
         // Layer 4: query cache.
         if self.opts.use_query_cache {
             if let Some(hit) = self.query_cache.get(&key) {
+                static HITS: LazyCounter =
+                    LazyCounter::new("overify_solver_query_cache_hits_total");
+                HITS.inc();
                 self.stats.solved_query_cache += 1;
                 return match hit {
                     None => SatResult::Unsat,
@@ -235,6 +249,9 @@ impl Solver {
         };
         if let (Some(sc), Some(fp)) = (&self.shared, shared_fp) {
             if let Some(hit) = sc.lookup(fp) {
+                static HITS: LazyCounter =
+                    LazyCounter::new("overify_solver_shared_cache_hits_total");
+                HITS.inc();
                 self.stats.solved_shared += 1;
                 // Feed the local caches exactly as a SAT resolution would
                 // have: a warm run then replays a cold run's layer
@@ -258,7 +275,9 @@ impl Solver {
             }
         }
 
-        // Layer 7: SAT.
+        // Layer 7: SAT — every cache above missed.
+        static SAT_SOLVES: LazyCounter = LazyCounter::new("overify_solver_sat_solves_total");
+        SAT_SOLVES.inc();
         self.stats.solved_sat += 1;
         let mut blaster = Blaster::new(pool);
         for &c in &key {
@@ -404,6 +423,11 @@ impl Solver {
                 &seeds,
                 &mut self.support_memo,
             );
+            static SLICE_DROPPED: LazyCounter =
+                LazyCounter::new("overify_solver_slice_dropped_total");
+            SLICE_DROPPED
+                .get()
+                .add((constraints.len() - slice.len()) as u64);
             self.stats.slice_dropped += (constraints.len() - slice.len()) as u64;
             slice
         };

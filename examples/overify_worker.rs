@@ -24,6 +24,7 @@ fn main() {
     let mut threads: usize = 1;
     let mut idle_exit_ms: Option<u64> = None;
     let mut expect_steals: u64 = 0;
+    let mut metrics_dump: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,6 +32,12 @@ fn main() {
             "--threads" => threads = num(&mut args, "--threads") as usize,
             "--idle-exit-ms" => idle_exit_ms = Some(num(&mut args, "--idle-exit-ms")),
             "--expect-steals" => expect_steals = num(&mut args, "--expect-steals"),
+            "--metrics-dump" => {
+                metrics_dump = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-dump needs a path")),
+                )
+            }
             _ => usage(&format!("unknown argument {arg}")),
         }
     }
@@ -53,10 +60,19 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!(
-        "overify_worker: done — {} subtree job(s) stolen, {} state(s) shed back, {} bounced",
-        stats.stolen, stats.states_returned, stats.bounced
-    );
+    // `WorkerStats` renders the text exposition format itself; no
+    // hand-rolled summary line to drift out of sync with the fields.
+    println!("overify_worker: done");
+    print!("{stats}");
+    if let Some(path) = &metrics_dump {
+        let _ = std::fs::write(path, format!("{stats}{}", overify_obs::metrics::render()));
+    }
+    if let Some(path) = overify_obs::trace::dump_default() {
+        println!(
+            "overify_worker: flight recorder dumped to {}",
+            path.display()
+        );
+    }
     if stats.stolen < expect_steals {
         eprintln!(
             "overify_worker: FAIL — expected ≥{expect_steals} steals, got {}",
@@ -75,7 +91,7 @@ fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "overify_worker: {msg}\nusage: overify_worker [--port P] [--threads N] \
-         [--idle-exit-ms M] [--expect-steals K]"
+         [--idle-exit-ms M] [--expect-steals K] [--metrics-dump FILE]"
     );
     std::process::exit(2);
 }

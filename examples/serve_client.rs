@@ -33,6 +33,7 @@ fn main() {
     let mut expect_progress = false;
     let mut baseline_check = false;
     let mut shutdown = false;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +44,7 @@ fn main() {
             "--expect-progress" => expect_progress = true,
             "--baseline-check" => baseline_check = true,
             "--shutdown" => shutdown = true,
+            "--metrics" => metrics = true,
             _ => usage(&format!("unknown argument {arg}")),
         }
     }
@@ -56,6 +58,17 @@ fn main() {
         }
     };
 
+    if metrics {
+        // Scrape and print the daemon's metrics (text exposition format:
+        // service-level counters, then the daemon's metrics registry).
+        let text = client.metrics().expect("metrics snapshot");
+        print!("{text}");
+        if shutdown {
+            client.shutdown().expect("shutdown acknowledged");
+            println!("serve_client: daemon is shutting down");
+        }
+        return;
+    }
     if shutdown {
         client.shutdown().expect("shutdown acknowledged");
         println!("serve_client: daemon is shutting down");
@@ -211,7 +224,7 @@ fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "serve_client: {msg}\nusage: serve_client [--port P] [--utilities N] [--bytes N] \
-         [--expect-all-hits] [--expect-progress] [--baseline-check] [--shutdown]"
+         [--expect-all-hits] [--expect-progress] [--baseline-check] [--metrics] [--shutdown]"
     );
     std::process::exit(2);
 }

@@ -13,6 +13,7 @@
 
 use overify::StoreConfig;
 use overify_serve::{start, ServerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
@@ -20,6 +21,7 @@ fn main() {
         progress_interval: Duration::from_millis(10),
         ..ServerConfig::default()
     };
+    let mut metrics_dump: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +40,12 @@ fn main() {
             "--store" => {
                 cfg.store = Some(StoreConfig::at(
                     args.next().unwrap_or_else(|| usage("--store needs a path")),
+                ))
+            }
+            "--metrics-dump" => {
+                metrics_dump = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-dump needs a path")),
                 ))
             }
             _ => usage(&format!("unknown argument {arg}")),
@@ -69,11 +77,25 @@ fn main() {
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "<none>".into()),
     );
+    // The stats snapshot must be taken before `join` consumes the handle;
+    // the registry is process-global, so it renders after the drain.
+    let final_stats = metrics_dump.as_ref().map(|_| handle.stats());
     handle.join();
+    if let (Some(path), Some(stats)) = (&metrics_dump, final_stats) {
+        // Same shape `serve_client --metrics` scrapes live: service-level
+        // counters first, then every registry metric this process touched.
+        let _ = std::fs::write(path, format!("{}{}", stats, overify_obs::metrics::render()));
+    }
+    if let Some(path) = overify_obs::trace::dump_default() {
+        println!("serve_daemon: flight recorder dumped to {}", path.display());
+    }
     println!("serve_daemon: shut down cleanly");
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("serve_daemon: {msg}\nusage: serve_daemon [--port P] [--threads N] [--store DIR]");
+    eprintln!(
+        "serve_daemon: {msg}\nusage: serve_daemon [--port P] [--threads N] [--store DIR] \
+         [--metrics-dump FILE]"
+    );
     std::process::exit(2);
 }

@@ -242,6 +242,7 @@ fn wedged_worker_is_reaped_and_its_late_frames_are_ignored() {
         // could not be byte-identical to the baseline.
         let done = request(&Request::JobDone {
             lease,
+            trace: 0,
             report: overify::VerificationReport {
                 paths_completed: 9999,
                 exhausted: true,
