@@ -93,6 +93,28 @@ fn main() {
     println!("{:<28} {:>8.2}", "counter add (always on)", counter_ns);
     println!("{:<28} {:>8.2}", "histogram observe (on)", histogram_ns);
 
+    // ---- 1b. Telemetry plane: ring ticks and push deltas ----
+    // The fleet telemetry plane adds two recurring costs on top of the
+    // always-on counters: the daemon's ring sampler (one registry walk
+    // per resolution window) and the worker's delta snapshot (one walk
+    // plus diffing per MetricsPush). Both are off the verification hot
+    // path — they run on the poller / steal loop — so what matters is
+    // that a single tick is microseconds, not milliseconds.
+    println!("\n## telemetry-plane costs (ns/op, registry-size dependent)");
+    let rings = overify_obs::rings::Rings::new(Duration::from_millis(1), 64);
+    let ring_ns = ns_per_op(10_000, || rings.sample());
+    let mut tracker = overify_obs::metrics::DeltaTracker::new();
+    black_box(tracker.delta()); // baseline established; steady-state diffs
+    let delta_ns = ns_per_op(10_000, || {
+        black_box(tracker.delta().len());
+    });
+    let render_ns = ns_per_op(10_000, || {
+        black_box(overify_obs::metrics::render().len());
+    });
+    println!("{:<28} {:>8.0}", "ring sample tick", ring_ns);
+    println!("{:<28} {:>8.0}", "push delta snapshot", delta_ns);
+    println!("{:<28} {:>8.0}", "full render (scrape)", render_ns);
+
     // ---- 2. Suite wall clock: disabled vs enabled ----
     println!("\n## suite sweep wall clock");
     // Warm-up pass: compilation caches and allocator state settle so the
@@ -101,6 +123,25 @@ fn main() {
 
     let disabled = best_sweep(bytes, 5);
 
+    // Same sweep with a daemon-style ring sampler ticking in the
+    // background at 1ms — far hotter than the shipping 1s default, to
+    // make any interference visible.
+    let sampler_rings =
+        std::sync::Arc::new(overify_obs::rings::Rings::new(Duration::from_millis(1), 64));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let (rings, stop) = (sampler_rings.clone(), stop.clone());
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                rings.sample();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let sampled = best_sweep(bytes, 5);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().unwrap();
+
     overify_obs::trace::enable();
     overify_obs::log::set_max_level(overify_obs::log::Level::Debug);
     let enabled = best_sweep(bytes, 5);
@@ -108,8 +149,11 @@ fn main() {
     overify_obs::log::set_max_level(overify_obs::log::Level::Off);
 
     let ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-9);
+    let sampled_ratio = sampled.as_secs_f64() / disabled.as_secs_f64().max(1e-9);
     println!("{:<28} {:>10.2?}", "observability off", disabled);
+    println!("{:<28} {:>10.2?}", "ring sampler @1ms", sampled);
     println!("{:<28} {:>10.2?}", "recorder + debug log on", enabled);
+    println!("{:<28} {:>9.3}x", "sampler / disabled", sampled_ratio);
     println!("{:<28} {:>9.3}x", "enabled / disabled", ratio);
     println!(
         "\nrecorder buffered {} event(s), dropped {}",

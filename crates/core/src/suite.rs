@@ -31,9 +31,10 @@
 
 use crate::build::{compile_module, BuildOptions};
 use overify_ir::{Cfg, DomTree, LoopForest, Module};
+use overify_obs::metrics::LazyCounter;
 use overify_opt::OptLevel;
 use overify_store::{
-    budget_signature, ReportKey, SliceKey, Store, StoreConfig, StoreStats, StoredJob,
+    budget_signature, ReportKey, RunLedger, SliceKey, Store, StoreConfig, StoreStats, StoredJob,
 };
 use overify_symex::{
     verify_parallel_budgeted, verify_parallel_frontier, BugKind, FrontierProvider, SharedBudget,
@@ -105,6 +106,11 @@ pub struct SuiteJobResult {
     /// the entry function's dependency slice was untouched, so its stored
     /// verdict was spliced in verbatim. Implies `from_store`.
     pub from_slice: bool,
+    /// The job's resource ledger: where its verification effort went
+    /// (solver time, SAT solves, paths, bytes moved, contributing
+    /// workers). `None` only on build failure. Persisted to the store's
+    /// `ledgers.log` when a store is attached.
+    pub ledger: Option<RunLedger>,
 }
 
 impl SuiteJobResult {
@@ -430,6 +436,9 @@ fn build_job_module(job: &SuiteJob) -> Result<Module, String> {
 
 /// Compiles a job and computes its content address (when `with_key`).
 /// A build failure is returned as the job's finished [`SuiteJobResult`].
+// The Err IS the deliverable (a finished result), not an error detour,
+// and call sites consume it by value — boxing would only move the copy.
+#[allow(clippy::result_large_err)]
 pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJobResult> {
     let t0 = Instant::now();
     let module = match build_job_module(job) {
@@ -443,6 +452,7 @@ pub fn prepare_job(job: &SuiteJob, with_key: bool) -> Result<PreparedJob, SuiteJ
                 error: Some(e),
                 from_store: false,
                 from_slice: false,
+                ledger: None,
             })
         }
     };
@@ -507,6 +517,21 @@ impl PreparedJob {
                 (store.load_slice(key)?, true)
             }
         };
+        // A store hit's ledger records what the answer *cost*: nothing
+        // executed, so the solver and path columns stay zero; the report
+        // bytes pulled from the store are the run's data movement.
+        let ledger = RunLedger {
+            name: self.job.name.clone(),
+            runs: stored.runs.len() as u64,
+            bytes_moved: stored
+                .runs
+                .iter()
+                .map(|(_, r)| r.canonical_bytes().len() as u64)
+                .sum(),
+            from_store: true,
+            from_slice,
+            ..RunLedger::default()
+        };
         Some(SuiteJobResult {
             name: self.job.name.clone(),
             level: self.job.opts.level,
@@ -515,6 +540,7 @@ impl PreparedJob {
             error: None,
             from_store: true,
             from_slice,
+            ledger: Some(ledger),
         })
     }
 
@@ -602,8 +628,50 @@ impl PreparedJob {
             })
             .collect();
 
+        let elapsed = verify_start.elapsed();
+
+        // The run's resource ledger: where the verification effort went.
+        // Contributing remote workers come from the frontier provider (the
+        // daemon's run publisher tracks which workers completed leases).
+        let mut workers: Vec<String> = frontiers.map(|p| p.contributors()).unwrap_or_default();
+        workers.sort();
+        workers.dedup();
+        let ledger = RunLedger {
+            name: job.name.clone(),
+            verify_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            solver_ns: runs.iter().map(|(_, r)| r.solver.solver_ns).sum(),
+            solver_queries: runs.iter().map(|(_, r)| r.solver.queries).sum(),
+            sat_solves: runs.iter().map(|(_, r)| r.solver.solved_sat).sum(),
+            paths: runs.iter().map(|(_, r)| r.total_paths()).sum(),
+            instructions: runs.iter().map(|(_, r)| r.instructions).sum(),
+            runs: runs.len() as u64,
+            bytes_moved: runs
+                .iter()
+                .map(|(_, r)| r.canonical_bytes().len() as u64)
+                .sum(),
+            from_store: false,
+            from_slice: false,
+            workers,
+        };
+        // Fleet reconciliation counters: everything a fresh run charges to
+        // its ledger is also charged here, at this single site, so a
+        // scrape's `overify_ledger_*` totals must equal the sum of the
+        // persisted ledgers — the telemetry plane's audit invariant.
+        static LEDGER_RUNS: LazyCounter = LazyCounter::new("overify_ledger_runs_total");
+        static LEDGER_PATHS: LazyCounter = LazyCounter::new("overify_ledger_paths_total");
+        static LEDGER_SOLVER_NS: LazyCounter = LazyCounter::new("overify_ledger_solver_ns_total");
+        static LEDGER_SAT: LazyCounter = LazyCounter::new("overify_ledger_sat_solves_total");
+        static LEDGER_BYTES: LazyCounter = LazyCounter::new("overify_ledger_bytes_moved_total");
+        LEDGER_RUNS.add(ledger.runs);
+        LEDGER_PATHS.add(ledger.paths);
+        LEDGER_SOLVER_NS.add(ledger.solver_ns);
+        LEDGER_SAT.add(ledger.sat_solves);
+        LEDGER_BYTES.add(ledger.bytes_moved);
+
         if let Some(s) = store {
-            let elapsed = verify_start.elapsed();
+            if let Err(e) = s.record_ledger(&ledger) {
+                overify_obs::warn!("suite", "failed to record ledger for {}: {e}", job.name);
+            }
             // Observed-cost feedback for the store-aware scheduler —
             // recorded for truncated runs too (they return as misses, and
             // their wall time is the scheduling signal). Both grains are
@@ -657,6 +725,7 @@ impl PreparedJob {
             error: None,
             from_store: false,
             from_slice: false,
+            ledger: Some(ledger),
         }
     }
 }

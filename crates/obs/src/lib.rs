@@ -21,6 +21,11 @@
 //! - [`log`] — leveled structured logging to stderr, off by default so
 //!   test output stays clean. The level is parsed once from `OVERIFY_LOG`
 //!   and cached in an atomic; a disabled call is one relaxed load.
+//! - [`rings`] — fixed-size time-series rings sampled from the registry
+//!   on a timer, for in-process rate() and windowed-quantile queries
+//!   (no allocation in steady-state sampling).
+//! - [`slow`] — a bounded top-K slow-query log keyed by solver query
+//!   fingerprints, merged fleet-wide by the serve daemon.
 //!
 //! # Environment variables
 //!
@@ -35,6 +40,8 @@
 
 pub mod log;
 pub mod metrics;
+pub mod rings;
+pub mod slow;
 pub mod trace;
 
 use std::sync::Once;

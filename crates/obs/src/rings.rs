@@ -1,0 +1,306 @@
+//! Fixed-size time-series rings over the metrics registry.
+//!
+//! A [`Rings`] periodically snapshots every registered metric into a
+//! preallocated circular buffer of cumulative values — `slots` windows of
+//! `resolution` each — so rates and windowed quantiles over the last N
+//! windows are computable in-process, with no external scraper and no
+//! history database. The sampler is driven by whoever owns the `Rings`
+//! (the serve daemon ticks it from its poller thread); sampling takes one
+//! mutex and, in steady state, allocates nothing — storage is created
+//! once per metric, the first time the sampler sees it.
+//!
+//! Counters and histograms store cumulative totals per slot, so any pair
+//! of slots yields the exact delta over the windows between them;
+//! quantiles over a span come from the bucket-count difference run
+//! through [`crate::metrics::quantile_from_buckets`]. Gauges store the
+//! sampled level.
+//!
+//! Environment knobs (read by [`Rings::from_env`]):
+//!
+//! - `OVERIFY_RING_MS` — window resolution in milliseconds (default
+//!   1000).
+//! - `OVERIFY_RING_SLOTS` — number of windows retained (default 64,
+//!   minimum 2).
+
+use crate::metrics::{self, MetricView, BUCKETS};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-metric ring storage: cumulative samples, one per slot.
+enum Series {
+    Counter(Box<[u64]>),
+    Gauge(Box<[i64]>),
+    /// Flattened `slots × BUCKETS` cumulative bucket counts plus the
+    /// cumulative value sum per slot.
+    Histogram {
+        buckets: Box<[u64]>,
+        sums: Box<[u64]>,
+    },
+}
+
+struct Inner {
+    /// Total samples taken since construction (monotone; `tick % slots`
+    /// is the slot the *next* sample writes).
+    tick: u64,
+    last: Option<Instant>,
+    series: HashMap<&'static str, Series>,
+}
+
+/// A set of per-metric time-series rings (see module docs).
+pub struct Rings {
+    resolution: Duration,
+    slots: usize,
+    inner: Mutex<Inner>,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Rings {
+    /// Rings with `slots` windows of `resolution` each (`slots` is
+    /// clamped to at least 2 — one delta needs two samples).
+    pub fn new(resolution: Duration, slots: usize) -> Rings {
+        Rings {
+            resolution: resolution.max(Duration::from_millis(1)),
+            slots: slots.max(2),
+            inner: Mutex::new(Inner {
+                tick: 0,
+                last: None,
+                series: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Rings configured from `OVERIFY_RING_MS` / `OVERIFY_RING_SLOTS`.
+    pub fn from_env() -> Rings {
+        Rings::new(
+            Duration::from_millis(env_usize("OVERIFY_RING_MS", 1000) as u64),
+            env_usize("OVERIFY_RING_SLOTS", 64),
+        )
+    }
+
+    /// The configured window resolution.
+    pub fn resolution(&self) -> Duration {
+        self.resolution
+    }
+
+    /// Samples every registered metric into the next slot now,
+    /// unconditionally.
+    pub fn sample(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        self.sample_locked(&mut inner);
+    }
+
+    /// Samples iff at least one resolution window elapsed since the last
+    /// sample (first call always samples). Returns whether it sampled —
+    /// callers on a faster housekeeping timer can tick this every pass.
+    pub fn maybe_sample(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let due = match inner.last {
+            None => true,
+            Some(t) => t.elapsed() >= self.resolution,
+        };
+        if due {
+            self.sample_locked(&mut inner);
+        }
+        due
+    }
+
+    fn sample_locked(&self, inner: &mut Inner) {
+        let slot = (inner.tick % self.slots as u64) as usize;
+        let slots = self.slots;
+        let series = &mut inner.series;
+        metrics::for_each(|name, view| {
+            let entry = series.entry(name).or_insert_with(|| match view {
+                MetricView::Counter(_) => Series::Counter(vec![0u64; slots].into_boxed_slice()),
+                MetricView::Gauge(_) => Series::Gauge(vec![0i64; slots].into_boxed_slice()),
+                MetricView::Histogram(_) => Series::Histogram {
+                    buckets: vec![0u64; slots * BUCKETS].into_boxed_slice(),
+                    sums: vec![0u64; slots].into_boxed_slice(),
+                },
+            });
+            match (entry, view) {
+                (Series::Counter(ring), MetricView::Counter(c)) => ring[slot] = c.value(),
+                (Series::Gauge(ring), MetricView::Gauge(g)) => ring[slot] = g.value(),
+                (Series::Histogram { buckets, sums }, MetricView::Histogram(h)) => {
+                    buckets[slot * BUCKETS..][..BUCKETS].copy_from_slice(&h.buckets());
+                    sums[slot] = h.sum();
+                }
+                _ => {}
+            }
+        });
+        inner.tick += 1;
+        inner.last = Some(Instant::now());
+    }
+
+    /// `(newest slot, oldest slot, actual windows spanned)` for a query
+    /// over up to `windows` windows, or `None` with fewer than 2 samples.
+    fn span(&self, inner: &Inner, windows: usize) -> Option<(usize, usize, usize)> {
+        let taken = inner.tick.min(self.slots as u64) as usize;
+        if taken < 2 {
+            return None;
+        }
+        let w = windows.clamp(1, taken - 1);
+        let newest = ((inner.tick - 1) % self.slots as u64) as usize;
+        let oldest = ((inner.tick - 1 - w as u64) % self.slots as u64) as usize;
+        Some((newest, oldest, w))
+    }
+
+    /// The increase of counter (or histogram observation count) `name`
+    /// over the last `windows` windows (clamped to what the ring holds).
+    pub fn delta(&self, name: &str, windows: usize) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        let (new, old, _) = self.span(&inner, windows)?;
+        match inner.series.get(name)? {
+            Series::Counter(ring) => Some(ring[new].saturating_sub(ring[old])),
+            Series::Histogram { buckets, .. } => {
+                let count = |s: usize| buckets[s * BUCKETS..][..BUCKETS].iter().sum::<u64>();
+                Some(count(new).saturating_sub(count(old)))
+            }
+            Series::Gauge(_) => None,
+        }
+    }
+
+    /// The per-second rate of counter (or histogram count) `name` over
+    /// the last `windows` windows.
+    pub fn rate(&self, name: &str, windows: usize) -> Option<f64> {
+        let inner = self.inner.lock().unwrap();
+        let (new, old, w) = self.span(&inner, windows)?;
+        let d = match inner.series.get(name)? {
+            Series::Counter(ring) => ring[new].saturating_sub(ring[old]),
+            Series::Histogram { buckets, .. } => {
+                let count = |s: usize| buckets[s * BUCKETS..][..BUCKETS].iter().sum::<u64>();
+                count(new).saturating_sub(count(old))
+            }
+            Series::Gauge(_) => return None,
+        };
+        Some(d as f64 / (w as f64 * self.resolution.as_secs_f64()))
+    }
+
+    /// The sampled level of gauge `name` at the newest sample.
+    pub fn gauge_level(&self, name: &str) -> Option<i64> {
+        let inner = self.inner.lock().unwrap();
+        let (new, _, _) = self.span(&inner, 1)?;
+        match inner.series.get(name)? {
+            Series::Gauge(ring) => Some(ring[new]),
+            _ => None,
+        }
+    }
+
+    /// The estimated `p`-quantile of histogram `name` over observations
+    /// made in the last `windows` windows. `None` when the metric is
+    /// unknown, not a histogram, or saw nothing in the span.
+    pub fn quantile_over(&self, name: &str, windows: usize, p: f64) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        let (new, old, _) = self.span(&inner, windows)?;
+        let Series::Histogram { buckets, .. } = inner.series.get(name)? else {
+            return None;
+        };
+        let mut pairs = [(0u64, 0u64); BUCKETS];
+        let mut total = 0u64;
+        for (i, pair) in pairs.iter_mut().enumerate() {
+            let d = buckets[new * BUCKETS + i].saturating_sub(buckets[old * BUCKETS + i]);
+            total += d;
+            *pair = (metrics::bucket_edge(i), d);
+        }
+        (total > 0).then(|| metrics::quantile_from_buckets(&pairs, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, gauge, histogram};
+
+    #[test]
+    fn counter_delta_and_rate_over_windows() {
+        let c = counter("test_rings_counter");
+        let rings = Rings::new(Duration::from_millis(100), 8);
+        assert_eq!(rings.delta("test_rings_counter", 1), None, "one sample");
+        rings.sample();
+        for _ in 0..4 {
+            c.add(10);
+            rings.sample();
+        }
+        // 4 deltas of 10 each, newest-first spans.
+        assert_eq!(rings.delta("test_rings_counter", 1), Some(10));
+        assert_eq!(rings.delta("test_rings_counter", 4), Some(40));
+        // Clamped to what the ring has seen.
+        assert_eq!(rings.delta("test_rings_counter", 100), Some(40));
+        let r = rings.rate("test_rings_counter", 4).unwrap();
+        assert!(
+            (r - 100.0).abs() < 1e-6,
+            "10 per 100ms window = 100/s, got {r}"
+        );
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_recent_windows() {
+        let c = counter("test_rings_wrap");
+        let rings = Rings::new(Duration::from_millis(50), 4);
+        for _ in 0..10 {
+            c.add(1);
+            rings.sample();
+        }
+        // Only slots-1 = 3 windows survive the wrap.
+        assert_eq!(rings.delta("test_rings_wrap", 1), Some(1));
+        assert_eq!(rings.delta("test_rings_wrap", 3), Some(3));
+        assert_eq!(rings.delta("test_rings_wrap", 50), Some(3));
+    }
+
+    #[test]
+    fn histogram_quantile_over_recent_windows_ignores_old_mass() {
+        let h = histogram("test_rings_hist");
+        let rings = Rings::new(Duration::from_millis(50), 8);
+        for _ in 0..1000 {
+            h.observe(10); // old, small observations
+        }
+        rings.sample();
+        for _ in 0..100 {
+            h.observe(100_000); // recent, large observations
+        }
+        rings.sample();
+        // Over the whole histogram the small mass dominates the median...
+        assert!(h.quantile(0.5) <= 15);
+        // ...but the last window saw only the large ones.
+        let p50 = rings.quantile_over("test_rings_hist", 1, 0.5).unwrap();
+        assert!((65536..=131071).contains(&p50), "window median {p50}");
+        assert_eq!(rings.quantile_over("test_rings_hist", 1, 0.0), Some(65536));
+        // A quiet span has no observations to estimate from.
+        rings.sample();
+        assert_eq!(rings.quantile_over("test_rings_hist", 1, 0.5), None);
+        // Gauges have no quantiles; unknown names have nothing.
+        gauge("test_rings_gauge_kind").set(5);
+        rings.sample();
+        assert_eq!(rings.quantile_over("test_rings_gauge_kind", 1, 0.5), None);
+        assert_eq!(rings.quantile_over("test_rings_nosuch", 1, 0.5), None);
+    }
+
+    #[test]
+    fn gauge_level_tracks_newest_sample() {
+        let g = gauge("test_rings_gauge");
+        let rings = Rings::new(Duration::from_millis(50), 4);
+        g.set(3);
+        rings.sample();
+        g.set(9);
+        rings.sample();
+        assert_eq!(rings.gauge_level("test_rings_gauge"), Some(9));
+        assert_eq!(rings.delta("test_rings_gauge", 1), None, "not a counter");
+    }
+
+    #[test]
+    fn maybe_sample_respects_resolution() {
+        let rings = Rings::new(Duration::from_secs(3600), 4);
+        assert!(rings.maybe_sample(), "first tick always samples");
+        assert!(!rings.maybe_sample(), "window has not elapsed");
+        let quick = Rings::new(Duration::from_millis(1), 4);
+        assert!(quick.maybe_sample());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(quick.maybe_sample());
+    }
+}

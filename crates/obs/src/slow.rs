@@ -1,0 +1,134 @@
+//! A bounded slow-query log: the top-K most expensive solver queries a
+//! process has seen, identified by their structural fingerprints.
+//!
+//! The solver records `(fingerprint, nanoseconds)` pairs after expensive
+//! checks; the log keeps only the K slowest (deduplicated by fingerprint,
+//! keeping each fingerprint's worst time), so memory is bounded no matter
+//! how long the process runs. The hot-path gate is one relaxed atomic
+//! load: once the log is full, [`SlowLog::would_record`] rejects anything
+//! no slower than the current K-th entry without taking the lock — and
+//! because every *successful* SAT-layer check is orders of magnitude
+//! rarer than cache hits, even the lock-taking path is cold.
+//!
+//! Workers push their log with every metrics upstream frame; the daemon
+//! [`SlowLog::absorb`]s them into its own, so a fleet scrape surfaces the
+//! slowest queries anywhere in the fleet. `OVERIFY_SLOW_K` sizes the
+//! process-global log (default 16).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default capacity of the process-global log.
+const DEFAULT_CAPACITY: usize = 16;
+
+/// A bounded top-K log of `(fingerprint, worst nanoseconds)` entries,
+/// kept sorted slowest-first.
+pub struct SlowLog {
+    capacity: usize,
+    /// The K-th entry's time once the log is full (0 before): the
+    /// record-nothing fast-path threshold.
+    threshold: AtomicU64,
+    entries: Mutex<Vec<(u128, u64)>>,
+}
+
+impl SlowLog {
+    /// An empty log keeping the `capacity` slowest entries.
+    pub fn with_capacity(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            threshold: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-global log (capacity from `OVERIFY_SLOW_K`).
+    pub fn global() -> &'static SlowLog {
+        static GLOBAL: OnceLock<SlowLog> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let k = std::env::var("OVERIFY_SLOW_K")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(DEFAULT_CAPACITY);
+            SlowLog::with_capacity(k)
+        })
+    }
+
+    /// Whether a `ns`-long query would make the log — one relaxed load,
+    /// so callers can skip fingerprint computation for the common case.
+    #[inline]
+    pub fn would_record(&self, ns: u64) -> bool {
+        ns > self.threshold.load(Ordering::Relaxed)
+    }
+
+    /// Records one query, keeping the worst time per fingerprint and only
+    /// the K slowest fingerprints overall.
+    pub fn record(&self, fp: u128, ns: u64) {
+        if !self.would_record(ns) {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        match entries.iter_mut().find(|e| e.0 == fp) {
+            Some(e) if e.1 >= ns => return,
+            Some(e) => e.1 = ns,
+            None => entries.push((fp, ns)),
+        }
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(self.capacity);
+        if entries.len() == self.capacity {
+            self.threshold
+                .store(entries.last().unwrap().1, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges externally-observed entries (a worker's pushed log).
+    pub fn absorb(&self, entries: &[(u128, u64)]) {
+        for &(fp, ns) in entries {
+            self.record(fp, ns);
+        }
+    }
+
+    /// The current entries, slowest first.
+    pub fn snapshot(&self) -> Vec<(u128, u64)> {
+        self.entries.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_k_slowest_sorted_desc() {
+        let log = SlowLog::with_capacity(3);
+        for (fp, ns) in [(1u128, 10u64), (2, 50), (3, 30), (4, 40), (5, 20)] {
+            log.record(fp, ns);
+        }
+        assert_eq!(log.snapshot(), vec![(2, 50), (4, 40), (3, 30)]);
+        // Once full, anything at or below the K-th entry is rejected
+        // without locking.
+        assert!(!log.would_record(30));
+        assert!(log.would_record(31));
+        log.record(6, 29);
+        assert_eq!(log.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn dedups_by_fingerprint_keeping_the_worst_time() {
+        let log = SlowLog::with_capacity(4);
+        log.record(7, 100);
+        log.record(7, 90);
+        log.record(7, 120);
+        assert_eq!(log.snapshot(), vec![(7, 120)]);
+    }
+
+    #[test]
+    fn absorb_merges_a_pushed_log() {
+        let daemon = SlowLog::with_capacity(2);
+        daemon.record(1, 100);
+        let worker = SlowLog::with_capacity(2);
+        worker.record(2, 300);
+        worker.record(1, 150);
+        daemon.absorb(&worker.snapshot());
+        assert_eq!(daemon.snapshot(), vec![(2, 300), (1, 150)]);
+    }
+}

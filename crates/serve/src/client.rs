@@ -7,8 +7,8 @@
 //! progress, count store hits, or assert on the stream shape in tests.
 
 use crate::protocol::{
-    decode_event, encode_request, read_frame, write_frame, Event, JobSpec, ProtocolError, Request,
-    ServeStatsSnapshot, VERSION,
+    decode_event, encode_request, read_frame, write_frame, Event, JobSpec, MetricsScope,
+    ProtocolError, Request, ServeStatsSnapshot, VERSION,
 };
 use overify::SuiteJobResult;
 use std::collections::HashMap;
@@ -162,13 +162,15 @@ impl Client {
         }
     }
 
-    /// Fetches the server's metrics in the text exposition format:
-    /// service-level counters first, then every registry metric the
-    /// daemon process has touched.
-    pub fn metrics(&mut self) -> io::Result<String> {
-        self.send(&Request::Metrics)?;
+    /// Fetches the server's metrics in the text exposition format, plus
+    /// the daemon's slow-query log (`(fingerprint, nanoseconds)` pairs,
+    /// slowest first). The scope picks the table: the daemon process
+    /// alone, the fleet rollup with per-worker labeled series, or one
+    /// worker's pushed table.
+    pub fn metrics(&mut self, scope: MetricsScope) -> io::Result<(String, Vec<(u128, u64)>)> {
+        self.send(&Request::Metrics { scope })?;
         match self.next_event()? {
-            Event::Metrics { text } => Ok(text),
+            Event::Metrics { text, slow } => Ok((text, slow)),
             other => Err(proto_err(format!("expected Metrics, got {other:?}"))),
         }
     }

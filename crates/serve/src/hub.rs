@@ -27,7 +27,7 @@ use overify::{
 };
 use overify_obs::metrics::{LazyCounter, LazyHistogram};
 use overify_obs::trace as obs_trace;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -79,12 +79,19 @@ struct PublishedRun {
     /// The originating submission's correlation id, stamped on every
     /// lease cut from this run (protocol v5).
     trace: u64,
+    /// Names of the workers whose completed leases fed this run's merge —
+    /// shared with the job's [`RunPublisher`], which hands them to the
+    /// suite driver for the run's resource ledger.
+    contributors: Arc<Mutex<BTreeSet<String>>>,
 }
 
 struct Lease {
     owner: u64,
     prefix: Vec<bool>,
     frontier: Arc<SharedFrontier>,
+    /// The published run's contributor set; [`FrontierHub::complete`]
+    /// inserts the completing worker's name here.
+    contributors: Arc<Mutex<BTreeSet<String>>>,
     /// The run correlation id the lease carries on the wire.
     trace: u64,
     /// Wall-clock grant time (trace timebase): the daemon's `lease` span
@@ -117,6 +124,9 @@ pub(crate) struct HubStats {
 pub(crate) struct FrontierHub {
     runs: Mutex<Vec<PublishedRun>>,
     leases: Mutex<HashMap<u64, Lease>>,
+    /// `AttachWorker` display names by connection id, for ledger
+    /// attribution (falls back to `conn-<id>` for unnamed connections).
+    names: Mutex<HashMap<u64, String>>,
     /// Steal requests currently waiting; shared with every published
     /// frontier so local path workers donate for remote hunger.
     hunger: Arc<AtomicUsize>,
@@ -139,6 +149,7 @@ impl FrontierHub {
         FrontierHub {
             runs: Mutex::new(Vec::new()),
             leases: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
             hunger: Arc::new(AtomicUsize::new(0)),
             signal: Arc::new(FrontierSignal::new()),
             closed: AtomicBool::new(false),
@@ -163,13 +174,26 @@ impl FrontierHub {
         }
     }
 
-    /// A worker connection attached / detached.
-    pub fn attach_worker(&self) {
+    /// A worker connection attached / detached. The display name keys the
+    /// worker's ledger attribution (and its fleet metrics table).
+    pub fn attach_worker(&self, conn: u64, name: String) {
+        self.names.lock().unwrap().insert(conn, name);
         self.workers.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn detach_worker(&self) {
+    pub fn detach_worker(&self, conn: u64) {
+        self.names.lock().unwrap().remove(&conn);
         self.workers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The attached display name of connection `conn`, or `conn-<id>`.
+    pub fn worker_name(&self, conn: u64) -> String {
+        self.names
+            .lock()
+            .unwrap()
+            .get(&conn)
+            .cloned()
+            .unwrap_or_else(|| format!("conn-{conn}"))
     }
 
     /// Stops granting leases (daemon shutdown): pending and future steals
@@ -184,13 +208,16 @@ impl FrontierHub {
     /// Publishes one verification run: its frontier becomes stealable by
     /// remote workers until [`FrontierHub::retire`]. `priced` is the
     /// run's cost from observed history, when the scheduler had one; it
-    /// sizes every lease's reaping deadline.
+    /// sizes every lease's reaping deadline. `contributors` collects the
+    /// names of workers whose completed leases fed the run — the caller
+    /// keeps its own handle for ledger attribution.
     pub fn publish(
         &self,
         spec: JobSpec,
         budget: Arc<SharedBudget>,
         priced: Option<Duration>,
         trace: u64,
+        contributors: Arc<Mutex<BTreeSet<String>>>,
     ) -> Arc<SharedFrontier> {
         let frontier = Arc::new(SharedFrontier::for_run(
             Some(budget.clone()),
@@ -203,6 +230,7 @@ impl FrontierHub {
             frontier: frontier.clone(),
             priced,
             trace,
+            contributors,
         });
         // The fresh run's root job is stealable right away.
         self.signal.bump();
@@ -271,6 +299,7 @@ impl FrontierHub {
             Arc<SharedFrontier>,
             Option<Duration>,
             u64,
+            Arc<Mutex<BTreeSet<String>>>,
         );
         let runs: Vec<RunSnap> = self
             .runs
@@ -284,13 +313,14 @@ impl FrontierHub {
                     r.frontier.clone(),
                     r.priced,
                     r.trace,
+                    r.contributors.clone(),
                 )
             })
             .collect();
         // Shed more aggressively when more mouths are waiting...
         let hunger_shed = 2 + self.hunger.load(Ordering::Relaxed).min(6) as u32;
         let mut out = Vec::new();
-        for (spec, budget, frontier, priced, trace) in runs {
+        for (spec, budget, frontier, priced, trace, contributors) in runs {
             // Refuse to lease from a run that is nearly out of budget —
             // the clamped timeout would be (near) zero and the worker's
             // round trip pure waste. Checked *before* popping a prefix so
@@ -324,6 +354,7 @@ impl FrontierHub {
                         owner,
                         prefix: prefix.clone(),
                         frontier: frontier.clone(),
+                        contributors: contributors.clone(),
                         trace,
                         granted_us: obs_trace::now_us(),
                         deadline: Instant::now() + lease_deadline(leased_spec.cfg.timeout, priced),
@@ -391,6 +422,11 @@ impl FrontierHub {
         };
         COMPLETED.inc();
         record_lease_span(lease, &l, "completed");
+        // The completing worker earned its place in the run's ledger.
+        l.contributors
+            .lock()
+            .unwrap()
+            .insert(self.worker_name(l.owner));
         // Shed states first, completion second: live count must never
         // touch zero while the subtree's remainder is still being
         // accounted.
@@ -509,6 +545,11 @@ pub(crate) struct RunPublisher<'a> {
     /// The submission's correlation id, stamped onto every published run
     /// so leases (and the worker spans they produce) trace back to it.
     pub trace: u64,
+    /// Accumulates, across every swept run of the job, the names of the
+    /// workers whose completed leases fed the merge — read back by the
+    /// suite driver through [`overify::FrontierProvider::contributors`]
+    /// for the job's resource ledger.
+    pub contributors: Arc<Mutex<BTreeSet<String>>>,
 }
 
 impl overify::FrontierProvider for RunPublisher<'_> {
@@ -520,8 +561,13 @@ impl overify::FrontierProvider for RunPublisher<'_> {
         let mut spec = self.base.clone();
         spec.cfg = cfg.clone();
         spec.bytes = vec![cfg.input_bytes];
-        self.hub
-            .publish(spec, budget.clone(), self.priced, self.trace)
+        self.hub.publish(
+            spec,
+            budget.clone(),
+            self.priced,
+            self.trace,
+            self.contributors.clone(),
+        )
     }
 
     fn end_run(&self, frontier: Arc<dyn overify::Frontier>) {
@@ -538,6 +584,10 @@ impl overify::FrontierProvider for RunPublisher<'_> {
         if let Some(f) = published {
             self.hub.retire(&f);
         }
+    }
+
+    fn contributors(&self) -> Vec<String> {
+        self.contributors.lock().unwrap().iter().cloned().collect()
     }
 }
 
@@ -566,6 +616,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         let leases = hub.steal(7, 4);
         assert_eq!(leases.len(), 1, "the root job");
@@ -584,6 +635,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         let leases = hub.steal(7, 1);
         assert_eq!(leases.len(), 1);
@@ -605,6 +657,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         hub.close();
         assert!(hub.steal(1, 1).is_empty());
@@ -618,6 +671,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -639,6 +693,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         let leases = hub.steal(7, 1);
         assert_eq!(hub.offer_states(leases[0].lease, vec![vec![true]]), 1);
@@ -659,7 +714,13 @@ mod tests {
             timeout: Duration::ZERO,
             ..Default::default()
         };
-        let f = hub.publish(spec(), Arc::new(SharedBudget::new(&cfg)), None, 0);
+        let f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&cfg)),
+            None,
+            0,
+            Arc::default(),
+        );
         assert!(
             hub.try_steal(7, 4).is_empty(),
             "no zero-timeout leases granted"
@@ -678,6 +739,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             Some(Duration::from_millis(1)), // priced ⇒ tight deadline
             0,
+            Arc::default(),
         );
         let leases = hub.steal(7, 1);
         assert_eq!(leases.len(), 1);
@@ -727,6 +789,28 @@ mod tests {
     }
 
     #[test]
+    fn completed_leases_attribute_their_worker() {
+        let hub = FrontierHub::new();
+        hub.attach_worker(7, "w7".into());
+        let contributors: Arc<Mutex<BTreeSet<String>>> = Arc::default();
+        let _f = hub.publish(
+            spec(),
+            Arc::new(SharedBudget::new(&overify::SymConfig::default())),
+            None,
+            0,
+            contributors.clone(),
+        );
+        let leases = hub.steal(7, 1);
+        assert_eq!(leases.len(), 1);
+        assert!(hub.complete(leases[0].lease, VerificationReport::default()));
+        let names: Vec<String> = contributors.lock().unwrap().iter().cloned().collect();
+        assert_eq!(names, vec!["w7".to_string()]);
+        // Detaching forgets the name; unnamed connections get a fallback.
+        hub.detach_worker(7);
+        assert_eq!(hub.worker_name(7), "conn-7");
+    }
+
+    #[test]
     fn offers_on_dead_leases_are_rejected() {
         let hub = FrontierHub::new();
         let _f = hub.publish(
@@ -734,6 +818,7 @@ mod tests {
             Arc::new(SharedBudget::new(&overify::SymConfig::default())),
             None,
             0,
+            Arc::default(),
         );
         assert_eq!(hub.offer_states(999, vec![vec![true]]), 0);
         let leases = hub.steal(1, 1);

@@ -59,7 +59,7 @@ pub mod worker;
 
 pub use client::Client;
 pub use protocol::{
-    Event, JobOutcome, JobSpec, LeasedJob, ProtocolError, Request, ServeStatsSnapshot,
+    Event, JobOutcome, JobSpec, LeasedJob, MetricsScope, ProtocolError, Request, ServeStatsSnapshot,
 };
 pub use scheduler::{Priority, Scheduler};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -38,6 +38,15 @@
 //! frames from reaped leases, upstreamed verdicts, and the store's
 //! live-tailed entry count.
 //!
+//! **Version 6** is the fleet telemetry plane: workers periodically
+//! upstream delta-encoded metrics snapshots with [`Request::MetricsPush`]
+//! (answered [`Event::MetricsAck`]), the daemon folds them into
+//! per-worker tables plus a fleet rollup, and [`Request::Metrics`] gains
+//! a [`MetricsScope`] selecting the daemon's own registry, one worker's
+//! table, or the whole-fleet view. Outcomes carry the run's resource
+//! ledger ([`JobOutcome::ledger`]) and metrics answers carry the slow-
+//! query log, so a scrape sees where every run's time went.
+//!
 //! Every decode failure is a typed [`ProtocolError`] — oversized frames,
 //! unknown tags, truncated payloads and trailing garbage are distinct,
 //! diagnosable conditions, never a blind read.
@@ -65,8 +74,10 @@ pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
 /// delta on `JobDone` and the fabric stats fields; v5 the `Metrics`
 /// introspection frames and the trace correlation ids on
 /// `Submit`/`LeasedJob`/`JobDone`, so daemon and worker flight-recorder
-/// spans stitch into one distributed timeline.
-pub const VERSION: u32 = 5;
+/// spans stitch into one distributed timeline; v6 the fleet telemetry
+/// plane — `MetricsPush` upstreaming, scoped `Metrics`, per-run ledgers
+/// on outcomes and the slow-query log on metrics answers.
+pub const VERSION: u32 = 6;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
@@ -254,6 +265,20 @@ impl JobSpec {
     }
 }
 
+/// Which metrics table a [`Request::Metrics`] asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricsScope {
+    /// The daemon's own registry (plus its stats snapshot) — exactly what
+    /// pre-v6 `Metrics` returned.
+    Daemon,
+    /// The whole-fleet view: the daemon's registry, a rollup of every
+    /// worker's folded table, per-worker labeled series, ring-derived
+    /// rates/quantiles and the health summary gauges.
+    Fleet,
+    /// One attached worker's folded table, by its `AttachWorker` name.
+    Worker(String),
+}
+
 /// Client → server messages.
 // (The size skew between Submit and the flag variants is fine: requests
 // are built once per submission, never stored in bulk.)
@@ -267,9 +292,9 @@ pub enum Request {
     Submit { spec: JobSpec, trace: u64 },
     /// Ask for a server statistics snapshot.
     Stats,
-    /// Ask for the server's full metrics-registry snapshot in the text
-    /// exposition format. Answered with [`Event::Metrics`].
-    Metrics,
+    /// Ask for a metrics snapshot in the text exposition format, at the
+    /// requested [`MetricsScope`]. Answered with [`Event::Metrics`].
+    Metrics { scope: MetricsScope },
     /// Ask the server to drain and exit.
     Shutdown,
     /// Switch this connection into worker mode: the peer is a remote
@@ -308,6 +333,17 @@ pub enum Request {
         trace: u64,
         report: VerificationReport,
         cache_delta: Vec<(u128, CachedVerdict)>,
+    },
+    /// Upstream this worker's metrics since its last push: a delta-encoded
+    /// registry snapshot in the text exposition format (counters and
+    /// histogram buckets as increments, gauges absolute — the
+    /// `overify_obs::metrics::DeltaTracker` encoding) plus its slow-query
+    /// log `(fingerprint, nanoseconds)` entries. The daemon folds the text
+    /// into the worker's table and the fleet rollup. Answered with
+    /// [`Event::MetricsAck`].
+    MetricsPush {
+        text: String,
+        slow: Vec<(u128, u64)>,
     },
 }
 
@@ -440,6 +476,10 @@ pub struct JobOutcome {
     pub from_slice: bool,
     pub error: Option<String>,
     pub runs: Vec<(usize, overify::VerificationReport)>,
+    /// The run's resource ledger ([`overify::RunLedger`]): where its
+    /// verification effort went, including which remote workers
+    /// contributed. `None` on build failure.
+    pub ledger: Option<overify::RunLedger>,
 }
 
 impl JobOutcome {
@@ -453,6 +493,7 @@ impl JobOutcome {
             from_slice: r.from_slice,
             error: r.error.clone(),
             runs: r.runs.clone(),
+            ledger: r.ledger.clone(),
         }
     }
 
@@ -466,6 +507,7 @@ impl JobOutcome {
             error: self.error,
             from_store: self.from_store,
             from_slice: self.from_slice,
+            ledger: self.ledger,
         }
     }
 }
@@ -514,9 +556,16 @@ pub enum Event {
     StatesAccepted { accepted: u32 },
     /// Answer to [`Request::JobDone`]: the lease is retired.
     JobAck { lease: u64 },
-    /// Answer to [`Request::Metrics`]: the daemon's full metrics-registry
-    /// snapshot in the text exposition format (`overify_obs::metrics`).
-    Metrics { text: String },
+    /// Answer to [`Request::Metrics`]: a metrics snapshot in the text
+    /// exposition format (`overify_obs::metrics`) at the requested scope,
+    /// plus the daemon's bounded slow-query log — the K worst SAT solves
+    /// seen anywhere in the fleet, as `(fingerprint, nanoseconds)`.
+    Metrics {
+        text: String,
+        slow: Vec<(u128, u64)>,
+    },
+    /// Answer to [`Request::MetricsPush`]: the delta was folded.
+    MetricsAck,
 }
 
 fn encode_sym_config(w: &mut Writer, cfg: &SymConfig) {
@@ -651,6 +700,50 @@ fn decode_verdicts(r: &mut Reader) -> Option<Vec<(u128, CachedVerdict)>> {
     Some(out)
 }
 
+/// Serializes a slow-query log: `(fingerprint, nanoseconds)` pairs.
+fn encode_slow(w: &mut Writer, slow: &[(u128, u64)]) {
+    w.u32(slow.len() as u32);
+    for &(fp, ns) in slow {
+        w.u128(fp);
+        w.u64(ns);
+    }
+}
+
+/// Inverse of [`encode_slow`].
+fn decode_slow(r: &mut Reader) -> Option<Vec<(u128, u64)>> {
+    let n = r.u32()? as usize;
+    // Each entry is exactly fp + ns; a hostile count must not allocate
+    // ahead of the bytes actually present.
+    if n * 24 > r.remaining() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.u128()?, r.u64()?));
+    }
+    Some(out)
+}
+
+fn encode_scope(w: &mut Writer, scope: &MetricsScope) {
+    match scope {
+        MetricsScope::Daemon => w.u8(0),
+        MetricsScope::Fleet => w.u8(1),
+        MetricsScope::Worker(name) => {
+            w.u8(2);
+            w.str(name);
+        }
+    }
+}
+
+fn decode_scope(r: &mut Reader) -> Option<MetricsScope> {
+    match r.u8()? {
+        0 => Some(MetricsScope::Daemon),
+        1 => Some(MetricsScope::Fleet),
+        2 => Some(MetricsScope::Worker(r.str()?)),
+        _ => None,
+    }
+}
+
 fn encode_spec(w: &mut Writer, spec: &JobSpec) {
     w.str(&spec.name);
     w.str(&spec.source);
@@ -724,7 +817,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             encode_report(&mut w, report);
             encode_verdicts(&mut w, cache_delta);
         }
-        Request::Metrics => w.u8(7),
+        Request::Metrics { scope } => {
+            w.u8(7);
+            encode_scope(&mut w, scope);
+        }
+        Request::MetricsPush { text, slow } => {
+            w.u8(8);
+            w.str(text);
+            encode_slow(&mut w, slow);
+        }
     }
     w.buf
 }
@@ -779,7 +880,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
                 cache_delta: decode_verdicts(&mut r)?,
             })
         })(),
-        7 => Some(Request::Metrics),
+        7 => decode_scope(&mut r).map(|scope| Request::Metrics { scope }),
+        8 => (|| {
+            Some(Request::MetricsPush {
+                text: r.str()?,
+                slow: decode_slow(&mut r)?,
+            })
+        })(),
         tag => {
             return Err(ProtocolError::UnknownTag {
                 what: "request",
@@ -808,6 +915,13 @@ fn encode_outcome(w: &mut Writer, o: &JobOutcome) {
         w.u64(*bytes as u64);
         encode_report(w, report);
     }
+    match &o.ledger {
+        None => w.u8(0),
+        Some(l) => {
+            w.u8(1);
+            overify_store::ledger::encode_ledger(w, l);
+        }
+    }
 }
 
 fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
@@ -827,6 +941,11 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
         let bytes = r.u64()? as usize;
         runs.push((bytes, decode_report(r)?));
     }
+    let ledger = match r.u8()? {
+        0 => None,
+        1 => Some(overify_store::ledger::decode_ledger(r)?),
+        _ => return None,
+    };
     Some(JobOutcome {
         name,
         level,
@@ -835,6 +954,7 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
         from_slice,
         error,
         runs,
+        ledger,
     })
 }
 
@@ -970,10 +1090,12 @@ pub fn encode_event(ev: &Event) -> Vec<u8> {
             w.u8(10);
             w.u64(*lease);
         }
-        Event::Metrics { text } => {
+        Event::Metrics { text, slow } => {
             w.u8(11);
             w.str(text);
+            encode_slow(&mut w, slow);
         }
+        Event::MetricsAck => w.u8(12),
     }
     w.buf
 }
@@ -1039,7 +1161,13 @@ pub fn decode_event(bytes: &[u8]) -> Result<Event, ProtocolError> {
         })(),
         9 => r.u32().map(|accepted| Event::StatesAccepted { accepted }),
         10 => r.u64().map(|lease| Event::JobAck { lease }),
-        11 => r.str().map(|text| Event::Metrics { text }),
+        11 => (|| {
+            Some(Event::Metrics {
+                text: r.str()?,
+                slow: decode_slow(&mut r)?,
+            })
+        })(),
+        12 => Some(Event::MetricsAck),
         tag => return Err(ProtocolError::UnknownTag { what: "event", tag }),
     };
     seal_decode("event", ev, &r)
@@ -1095,6 +1223,20 @@ mod tests {
                     ..Default::default()
                 },
             )],
+            ledger: Some(overify::RunLedger {
+                name: "wc_words".into(),
+                verify_ns: 1_000_000,
+                solver_ns: 700_000,
+                solver_queries: 40,
+                sat_solves: 3,
+                paths: 9,
+                instructions: 800,
+                runs: 1,
+                bytes_moved: 96,
+                from_store: false,
+                from_slice: false,
+                workers: vec!["worker-a".into(), "worker-b".into()],
+            }),
         }
     }
 
@@ -1106,7 +1248,25 @@ mod tests {
                 trace: 0xFEED_F00D,
             },
             Request::Stats,
-            Request::Metrics,
+            Request::Metrics {
+                scope: MetricsScope::Daemon,
+            },
+            Request::Metrics {
+                scope: MetricsScope::Fleet,
+            },
+            Request::Metrics {
+                scope: MetricsScope::Worker("worker-7".into()),
+            },
+            Request::MetricsPush {
+                text: "# TYPE overify_worker_stolen_total counter\n\
+                       overify_worker_stolen_total 3\n"
+                    .into(),
+                slow: vec![(5 << 90, 2_000_000), (7, 900_000)],
+            },
+            Request::MetricsPush {
+                text: String::new(),
+                slow: Vec::new(),
+            },
             Request::Shutdown,
             Request::AttachWorker {
                 name: "worker-7".into(),
@@ -1206,7 +1366,9 @@ mod tests {
                 text: "# TYPE overify_solver_queries_total counter\n\
                        overify_solver_queries_total 7\n"
                     .into(),
+                slow: vec![(3 << 100, 4_000_000)],
             },
+            Event::MetricsAck,
         ];
         for ev in events {
             let bytes = encode_event(&ev);

@@ -26,15 +26,18 @@
 
 use crate::hub::{FrontierHub, RunPublisher};
 use crate::protocol::{
-    encode_event, read_frame, write_frame, Event, JobOutcome, JobSpec, Request, ServeStatsSnapshot,
-    VERSION,
+    encode_event, read_frame, write_frame, Event, JobOutcome, JobSpec, MetricsScope, Request,
+    ServeStatsSnapshot, VERSION,
 };
 use crate::scheduler::{Priority, Scheduler};
 use overify::{
     default_threads, prepare_job, JobProgress, PreparedJob, ProgressSnapshot, SharedQueryCache,
     Store, StoreConfig, SuiteJobResult,
 };
-use std::collections::HashMap;
+use overify_obs::metrics::{fold_sample, render_sample, sample_kind, LazyCounter, Sample};
+use overify_obs::rings::Rings;
+use overify_obs::slow::SlowLog;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -170,6 +173,20 @@ struct ServeState {
     verdicts_upstreamed: AtomicU64,
     next_job_id: AtomicU64,
     next_conn_id: AtomicU64,
+    /// Per-worker metrics tables, keyed by `AttachWorker` name: each
+    /// worker's `MetricsPush` deltas folded into running totals. The
+    /// fleet scrape renders these as `{worker="…"}`-labeled series plus
+    /// an unlabeled rollup.
+    fleet: Mutex<BTreeMap<String, BTreeMap<String, Sample>>>,
+    /// Time-series rings over the daemon's own registry, sampled on the
+    /// poller tick; the fleet scrape derives rates and quantiles-over-
+    /// recent-windows from them.
+    rings: Rings,
+    /// Executor pool size, for the queue-saturation health gauge.
+    executors: u64,
+    /// Trace-timebase microseconds of the last solver-log tail pass, for
+    /// the tail-lag health gauge (0 until the first pass, or storeless).
+    last_tail_us: AtomicU64,
 }
 
 impl ServeState {
@@ -213,6 +230,7 @@ impl ServeState {
                 error: Some("server shutting down before the job ran".into()),
                 from_store: false,
                 from_slice: false,
+                ledger: None,
             });
             let followers = take_followers(self, job.key_hash);
             let _ = job.events.send(Event::Report {
@@ -290,6 +308,10 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         verdicts_upstreamed: AtomicU64::new(0),
         next_job_id: AtomicU64::new(0),
         next_conn_id: AtomicU64::new(0),
+        fleet: Mutex::new(BTreeMap::new()),
+        rings: Rings::from_env(),
+        executors: cfg.executors.max(1) as u64,
+        last_tail_us: AtomicU64::new(0),
     });
 
     let mut threads = Vec::new();
@@ -361,6 +383,9 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
 
     tx.send(Event::Hello { version: VERSION }).ok();
     let mut attached = false;
+    // The worker's `AttachWorker` display name: keys its fleet metrics
+    // table and its ledger attribution.
+    let mut worker_name: Option<String> = None;
     let mut r = BufReader::new(stream);
     // The read loop ends when the client hangs up (or sends garbage
     // framing) — `read_frame` then errors.
@@ -370,11 +395,21 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
             Ok(Request::Stats) => {
                 tx.send(Event::Stats(state.stats())).ok();
             }
-            Ok(Request::Metrics) => {
-                // Service-level counters first (same names `Stats` uses),
-                // then every registry metric the process has touched.
-                let text = format!("{}{}", state.stats(), overify_obs::metrics::render());
-                tx.send(Event::Metrics { text }).ok();
+            Ok(Request::Metrics { scope }) => {
+                let text = match &scope {
+                    // Service-level counters first (same names `Stats`
+                    // uses), then every registry metric the process has
+                    // touched — exactly the pre-v6 answer.
+                    MetricsScope::Daemon => {
+                        format!("{}{}", state.stats(), overify_obs::metrics::render())
+                    }
+                    MetricsScope::Fleet => render_fleet(state),
+                    MetricsScope::Worker(name) => render_worker(state, name),
+                };
+                // Every scope carries the slow-query log: the K worst SAT
+                // solves seen anywhere in the fleet (workers push theirs).
+                let slow = SlowLog::global().snapshot();
+                tx.send(Event::Metrics { text, slow }).ok();
             }
             Ok(Request::Shutdown) => {
                 tx.send(Event::ShuttingDown).ok();
@@ -386,12 +421,51 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
                 state.begin_shutdown();
                 break;
             }
-            Ok(Request::AttachWorker { name: _ }) => {
+            Ok(Request::AttachWorker { name }) => {
                 if !attached {
                     attached = true;
-                    state.hub.attach_worker();
+                    // Disambiguate name collisions (two workers on one
+                    // host defaulting to the same name) by connection id,
+                    // so neither worker's pushes pollute the other's
+                    // table.
+                    let unique = if state.fleet.lock().unwrap().contains_key(&name) {
+                        format!("{name}#{conn_id}")
+                    } else {
+                        name
+                    };
+                    state.hub.attach_worker(conn_id, unique.clone());
+                    state
+                        .fleet
+                        .lock()
+                        .unwrap()
+                        .entry(unique.clone())
+                        .or_default();
+                    worker_name = Some(unique);
                 }
                 tx.send(Event::WorkerAttached { worker: conn_id }).ok();
+            }
+            Ok(Request::MetricsPush { text, slow }) => {
+                // Worker-only verb, like StealJobs: an unattached peer
+                // pushing metrics has a broken implementation.
+                if !attached {
+                    break;
+                }
+                static PUSHES: LazyCounter = LazyCounter::new("overify_serve_metrics_pushes_total");
+                PUSHES.inc();
+                let name = worker_name.clone().unwrap_or_default();
+                let mut fleet = state.fleet.lock().unwrap();
+                let table = fleet.entry(name).or_default();
+                for (metric, delta) in overify_obs::metrics::parse(&text) {
+                    match table.get_mut(&metric) {
+                        Some(acc) => fold_sample(acc, &delta),
+                        None => {
+                            table.insert(metric, delta);
+                        }
+                    }
+                }
+                drop(fleet);
+                SlowLog::global().absorb(&slow);
+                tx.send(Event::MetricsAck).ok();
             }
             Ok(Request::StealJobs { max }) => {
                 // Worker-only verb: an unattached peer speaking it has a
@@ -459,13 +533,128 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
     }
     if attached {
         // Crash recovery: jobs the worker still held go back to their
-        // frontiers and are re-explored by whoever pops them next.
+        // frontiers and are re-explored by whoever pops them next. The
+        // worker's metrics table is kept — its counted work happened, and
+        // dropping it would make the fleet rollup go backwards.
         state.hub.disconnect(conn_id);
-        state.hub.detach_worker();
+        state.hub.detach_worker(conn_id);
     }
     drop(tx);
     let _ = writer.join();
     Ok(())
+}
+
+/// Renders one attached worker's folded metrics table in the exposition
+/// format (empty for an unknown name — scrapes are diagnostics, not
+/// protocol errors).
+fn render_worker(state: &ServeState, name: &str) -> String {
+    let mut out = String::new();
+    if let Some(table) = state.fleet.lock().unwrap().get(name) {
+        for (metric, sample) in table {
+            out.push_str("# TYPE ");
+            out.push_str(metric);
+            out.push(' ');
+            out.push_str(sample_kind(sample));
+            out.push('\n');
+            render_sample(&mut out, metric, sample, None);
+        }
+    }
+    out
+}
+
+/// How many recent ring windows the fleet scrape's derived rates and
+/// quantiles cover.
+const RING_WINDOWS: usize = 10;
+
+/// Renders the whole-fleet view: the daemon's service counters, then for
+/// every metric name one unlabeled rollup line (the daemon's own sample
+/// folded with every worker's table) plus one `{worker="…"}`-labeled line
+/// per worker that reported it, then ring-derived rates (counters) and
+/// p50/p99 over recent windows (histograms), then the health summary
+/// gauges the `--top` dashboard's Health line reads.
+fn render_fleet(state: &ServeState) -> String {
+    let mut out = state.stats().to_string();
+    let daemon = overify_obs::metrics::snapshot();
+    let fleet = state.fleet.lock().unwrap().clone();
+
+    let mut names: BTreeSet<String> = daemon.iter().map(|(n, _)| n.to_string()).collect();
+    for table in fleet.values() {
+        names.extend(table.keys().cloned());
+    }
+    for name in &names {
+        let mut rollup: Option<Sample> = daemon
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.clone());
+        for table in fleet.values() {
+            if let Some(s) = table.get(name) {
+                match &mut rollup {
+                    Some(acc) => fold_sample(acc, s),
+                    None => rollup = Some(s.clone()),
+                }
+            }
+        }
+        let Some(rollup) = rollup else { continue };
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(sample_kind(&rollup));
+        out.push('\n');
+        render_sample(&mut out, name, &rollup, None);
+        for (worker, table) in &fleet {
+            if let Some(s) = table.get(name) {
+                render_sample(&mut out, name, s, Some(("worker", worker)));
+            }
+        }
+    }
+
+    // Ring-derived views over the daemon's own registry: per-second rates
+    // for counters (×1000, so sub-unit rates survive integer rendering)
+    // and p50/p99 over the recent windows for histograms.
+    use std::fmt::Write as _;
+    for (name, sample) in &daemon {
+        match sample {
+            Sample::Counter(_) => {
+                if let Some(rate) = state.rings.rate(name, RING_WINDOWS) {
+                    let milli = (rate * 1000.0) as u64;
+                    let _ = writeln!(out, "# TYPE {name}_rate_milli gauge");
+                    let _ = writeln!(out, "{name}_rate_milli {milli}");
+                }
+            }
+            Sample::Histogram { .. } => {
+                for (suffix, p) in [("p50", 0.5), ("p99", 0.99)] {
+                    if let Some(q) = state.rings.quantile_over(name, RING_WINDOWS, p) {
+                        let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+                        let _ = writeln!(out, "{name}_{suffix} {q}");
+                    }
+                }
+            }
+            Sample::Gauge(_) => {}
+        }
+    }
+
+    // Health summary: queue saturation (scheduler depth per executor,
+    // ×1000), the recent lease reap rate, and how far behind the solver-
+    // log tailer is.
+    let saturation = state.sched.len() as u64 * 1000 / state.executors;
+    let _ = writeln!(out, "# TYPE overify_health_queue_saturation_milli gauge");
+    let _ = writeln!(out, "overify_health_queue_saturation_milli {saturation}");
+    let reap_rate = state
+        .rings
+        .rate("overify_hub_leases_reaped_total", RING_WINDOWS)
+        .unwrap_or(0.0);
+    let reap_milli = (reap_rate * 1000.0) as u64;
+    let _ = writeln!(out, "# TYPE overify_health_reap_rate_milli gauge");
+    let _ = writeln!(out, "overify_health_reap_rate_milli {reap_milli}");
+    let tail = state.last_tail_us.load(Ordering::Relaxed);
+    let lag_ms = if tail == 0 {
+        0
+    } else {
+        overify_obs::trace::now_us().saturating_sub(tail) / 1000
+    };
+    let _ = writeln!(out, "# TYPE overify_health_tail_lag_ms gauge");
+    let _ = writeln!(out, "overify_health_tail_lag_ms {lag_ms}");
+    out
 }
 
 /// Compiles, content-addresses, and routes one submission: store hits are
@@ -592,6 +781,7 @@ fn handle_submit(
             error: Some("server shutting down before the job ran".into()),
             from_store: false,
             from_slice: false,
+            ledger: None,
         });
         let followers = take_followers(state, key_hash);
         tx.send(Event::Report {
@@ -694,6 +884,7 @@ fn executor_loop(state: &Arc<ServeState>) {
             priced: (!job.priority.estimated)
                 .then(|| Duration::from_nanos(job.priority.cost.min(u64::MAX as u128) as u64)),
             trace: job.trace,
+            contributors: Arc::default(),
         };
         let span = overify_obs::trace::span("execute")
             .arg("job", job.id)
@@ -749,6 +940,10 @@ fn poller_loop(state: &Arc<ServeState>, tick: Duration) {
         // is sampled, so a sweep never stalls longer than a tick past a
         // blown deadline.
         state.hub.reap_expired();
+        // The poller also drives the telemetry rings: one cumulative
+        // registry sample per ring resolution, from which the fleet
+        // scrape derives rates and recent-window quantiles.
+        state.rings.maybe_sample();
         let active: Vec<Arc<ActiveJob>> = state.active.lock().unwrap().clone();
         for job in active {
             // `publish` drops the sample when it is stale, a duplicate, or
@@ -768,6 +963,9 @@ fn tailer_loop(state: &Arc<ServeState>, tick: Duration) {
         std::thread::sleep(tick);
         if let Some(store) = &state.store {
             store.tail_solver_log(&state.warm);
+            state
+                .last_tail_us
+                .store(overify_obs::trace::now_us(), Ordering::Relaxed);
         }
     }
 }

@@ -21,6 +21,13 @@
 //! for. The delta is tracked per process, not per lease — a fingerprint is
 //! uploaded once, however many leases touch it.
 //!
+//! Since protocol v6 each connection also upstreams the worker's
+//! **metrics registry** ([`crate::protocol::Request::MetricsPush`]):
+//! delta-encoded snapshots after every lease completion, periodically
+//! while idling (`OVERIFY_METRICS_PUSH_MS`, default 500ms), and on clean
+//! exit, plus this process's slow-query log. The daemon folds the deltas
+//! into a per-worker table and serves the fleet rollup to any scraper.
+//!
 //! Failure semantics are the dispatcher's: if this process dies
 //! mid-lease, the daemon's lease table restores the job to its frontier
 //! and someone else re-explores it. Nothing a worker does (or fails to
@@ -38,7 +45,8 @@ use crate::protocol::{
     decode_event, encode_request, read_frame, write_frame, Event, LeasedJob, Request, VERSION,
 };
 use overify::{prepare_job, Module, SharedQueryCache, VerificationReport};
-use overify_obs::metrics::LazyCounter;
+use overify_obs::metrics::{DeltaTracker, LazyCounter};
+use overify_obs::slow::SlowLog;
 use overify_symex::{Executor, ExploreHooks};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
@@ -118,6 +126,43 @@ type ModuleCache = Mutex<HashMap<(String, u8), Arc<Module>>>;
 /// Fingerprints this process already uploaded on a `JobDone` frame.
 type Uploaded = Mutex<HashSet<u128>>;
 
+/// The process-wide metrics baseline for `MetricsPush` frames. One
+/// tracker for the whole process — not one per connection — so every
+/// registry increment is upstreamed exactly once, attributed to
+/// whichever connection happened to push it; the daemon's fleet rollup
+/// sums the per-connection tables back to the process totals.
+type PushTracker = Mutex<DeltaTracker>;
+
+/// How often a worker connection upstreams its metrics delta
+/// (`OVERIFY_METRICS_PUSH_MS`, default 500ms). Pushes also ride every
+/// lease completion and the connection's exit, so the interval only
+/// bounds staleness while idling in the steal loop.
+fn push_interval() -> Duration {
+    let ms = std::env::var("OVERIFY_METRICS_PUSH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(500);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Upstreams the registry delta since the last push, plus this process's
+/// slow-query log (the daemon's absorb dedups by fingerprint, so
+/// re-sending the log is idempotent).
+fn push_metrics(conn: &RefCell<Conn>, tracker: &PushTracker) -> io::Result<()> {
+    let text = tracker.lock().unwrap().delta();
+    let slow = SlowLog::global().snapshot();
+    if text.is_empty() && slow.is_empty() {
+        return Ok(());
+    }
+    match conn
+        .borrow_mut()
+        .request(&Request::MetricsPush { text, slow })?
+    {
+        Event::MetricsAck => Ok(()),
+        other => Err(unexpected("MetricsAck", &other)),
+    }
+}
+
 /// Runs a worker fleet against the daemon at `cfg.addr`; blocks until
 /// every connection exits (daemon gone, or `idle_exit` elapsed) and
 /// returns the summed stats.
@@ -130,13 +175,17 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<WorkerStats> {
     // Fingerprints already upstreamed to the dispatcher — process-wide,
     // so concurrent connections never upload the same verdict twice.
     let uploaded: Uploaded = Mutex::new(HashSet::new());
+    // The metrics baseline is process-wide too: see [`PushTracker`].
+    let tracker: PushTracker = Mutex::new(DeltaTracker::new());
     let mut total = WorkerStats::default();
     if cfg.threads <= 1 {
-        return worker_connection(cfg, &modules, &solver_cache, &uploaded);
+        return worker_connection(cfg, &modules, &solver_cache, &uploaded, &tracker);
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
-            .map(|_| scope.spawn(|| worker_connection(cfg, &modules, &solver_cache, &uploaded)))
+            .map(|_| {
+                scope.spawn(|| worker_connection(cfg, &modules, &solver_cache, &uploaded, &tracker))
+            })
             .collect();
         let mut first_err = None;
         for h in handles {
@@ -212,10 +261,13 @@ fn worker_connection(
     modules: &ModuleCache,
     solver_cache: &Arc<SharedQueryCache>,
     uploaded: &Uploaded,
+    tracker: &PushTracker,
 ) -> io::Result<WorkerStats> {
     let conn = RefCell::new(Conn::connect(cfg.addr, &cfg.name)?);
     let mut stats = WorkerStats::default();
     let mut last_lease = Instant::now();
+    let push_every = push_interval();
+    let mut last_push = Instant::now();
     loop {
         let leases = match conn.borrow_mut().request(&Request::StealJobs {
             max: cfg.steal_batch,
@@ -228,6 +280,17 @@ fn worker_connection(
         if leases.is_empty() {
             if let Some(limit) = cfg.idle_exit {
                 if last_lease.elapsed() >= limit {
+                    // Final upstream before a clean exit, so the fleet
+                    // table holds everything this connection counted.
+                    let _ = push_metrics(&conn, tracker);
+                    return Ok(stats);
+                }
+            }
+            // Idling only long-polls, so this is the path that needs the
+            // periodic push to keep the daemon's view fresh.
+            if last_push.elapsed() >= push_every {
+                last_push = Instant::now();
+                if push_metrics(&conn, tracker).is_err() {
                     return Ok(stats);
                 }
             }
@@ -238,6 +301,11 @@ fn worker_connection(
             if process_lease(&conn, &lease, modules, solver_cache, uploaded, &mut stats).is_err() {
                 return Ok(stats);
             }
+        }
+        // Every lease completion carries the delta it just produced.
+        last_push = Instant::now();
+        if push_metrics(&conn, tracker).is_err() {
+            return Ok(stats);
         }
     }
 }
@@ -300,6 +368,8 @@ fn process_lease(
         delta
     };
     stats.verdicts_uploaded += cache_delta.len() as u64;
+    static VERDICTS: LazyCounter = LazyCounter::new("overify_worker_verdicts_uploaded_total");
+    VERDICTS.add(cache_delta.len() as u64);
     match conn.borrow_mut().request(&Request::JobDone {
         lease: lease.lease,
         trace: lease.trace,
@@ -364,6 +434,8 @@ fn explore(
     };
     ex.run_job(init, &lease.prefix, &hooks);
     stats.states_returned += hooks.returned.get();
+    static RETURNED: LazyCounter = LazyCounter::new("overify_worker_states_returned_total");
+    RETURNED.add(hooks.returned.get());
     if hooks.broken.get() {
         return Err(io::Error::new(
             io::ErrorKind::BrokenPipe,

@@ -23,9 +23,11 @@ pub const MAGIC: &[u8; 8] = b"OVFYRPT\0";
 /// Magic prefix of a function-slice-keyed report artifact file.
 pub const SLICE_MAGIC: &[u8; 8] = b"OVFYSLC\0";
 /// Current artifact format version. v2 introduced function-grained
-/// content addressing (slice artifacts beside module artifacts); v1
-/// files decode as misses and are re-derived on the next sweep.
-pub const VERSION: u32 = 2;
+/// content addressing (slice artifacts beside module artifacts); v3
+/// added `solver_ns` to the encoded solver statistics (the per-run
+/// ledger's solver-time column). Older files decode as misses and are
+/// re-derived on the next sweep.
+pub const VERSION: u32 = 3;
 
 /// The content address of one suite job's outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -320,6 +322,7 @@ fn encode_solver_stats(w: &mut Writer, s: &SolverStats) {
         s.concretizations,
         s.sat_decisions,
         s.sat_conflicts,
+        s.solver_ns,
     ] {
         w.u64(v);
     }
@@ -340,6 +343,7 @@ fn decode_solver_stats(r: &mut Reader) -> Option<SolverStats> {
         concretizations: r.u64()?,
         sat_decisions: r.u64()?,
         sat_conflicts: r.u64()?,
+        solver_ns: r.u64()?,
     })
 }
 

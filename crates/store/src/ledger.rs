@@ -1,0 +1,271 @@
+//! Per-run resource ledgers.
+//!
+//! Verification time is the quantity -OVERIFY optimizes, so every run
+//! accounts for where its time went: a [`RunLedger`] accumulates the
+//! run's solver wall time, SAT solves, paths, interpreted instructions,
+//! report bytes moved and — when the serve daemon leased subtrees out —
+//! which remote workers contributed. The suite driver attaches one to
+//! every job result and persists it here, beside the cost log, so a
+//! sweep leaves an auditable per-run cost trail that the fleet telemetry
+//! plane reconciles against its live counters.
+//!
+//! ```text
+//! header:  magic  b"OVFYLDG\0"   8 bytes
+//!          version u32
+//! record:  len     u32           payload length
+//!          check   u64           FNV-1a over the payload bytes
+//!          payload variable      one encoded [`RunLedger`]
+//! ```
+//!
+//! Records are append-only and variable-size (names and worker lists);
+//! loading stops at the first torn or bit-rotted record, exactly like
+//! the cost log, so everything before a damaged tail survives.
+
+use crate::codec::{fnv64, Reader, Writer};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Magic prefix of a ledger log file.
+pub const MAGIC: &[u8; 8] = b"OVFYLDG\0";
+/// Current format version; mismatches load as empty.
+pub const VERSION: u32 = 1;
+
+/// A sane upper bound on one record's payload (a ledger is a name, a
+/// dozen integers and a few worker names); anything larger is damage.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// The resource ledger of one suite job: where the run's verification
+/// effort went, summed over its swept input sizes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunLedger {
+    /// The job's display name.
+    pub name: String,
+    /// Wall-clock nanoseconds of the verification phase (compile time is
+    /// reported separately and store hits have no verification phase).
+    pub verify_ns: u64,
+    /// Nanoseconds spent inside the constraint solver, summed over every
+    /// worker that contributed (from `SolverStats::solver_ns`).
+    pub solver_ns: u64,
+    /// Satisfiability queries issued.
+    pub solver_queries: u64,
+    /// Queries that fell all the way through to bit-blasting + SAT.
+    pub sat_solves: u64,
+    /// Paths explored to an end (completed + buggy + killed).
+    pub paths: u64,
+    /// Instructions interpreted.
+    pub instructions: u64,
+    /// Swept input sizes (reports merged into the result).
+    pub runs: u64,
+    /// Canonical report bytes produced by the run — the payload volume
+    /// the result moved through stores and sockets.
+    pub bytes_moved: u64,
+    /// True when the result was answered from the persistent store
+    /// (then the solver/path columns are zero: nothing executed).
+    pub from_store: bool,
+    /// True when the store answer came from the function-slice grain.
+    pub from_slice: bool,
+    /// Names of remote workers that contributed completed subtree leases,
+    /// sorted and deduplicated. Empty for purely local runs.
+    pub workers: Vec<String>,
+}
+
+/// Serializes one ledger into `w` — shared by the log file and the serve
+/// protocol, so a ledger travels identically on disk and on the wire.
+pub fn encode_ledger(w: &mut Writer, l: &RunLedger) {
+    w.str(&l.name);
+    for v in [
+        l.verify_ns,
+        l.solver_ns,
+        l.solver_queries,
+        l.sat_solves,
+        l.paths,
+        l.instructions,
+        l.runs,
+        l.bytes_moved,
+    ] {
+        w.u64(v);
+    }
+    w.u8(l.from_store as u8);
+    w.u8(l.from_slice as u8);
+    w.u32(l.workers.len() as u32);
+    for name in &l.workers {
+        w.str(name);
+    }
+}
+
+/// Deserializes one ledger; `None` on truncation.
+pub fn decode_ledger(r: &mut Reader) -> Option<RunLedger> {
+    let mut out = RunLedger {
+        name: r.str()?,
+        verify_ns: r.u64()?,
+        solver_ns: r.u64()?,
+        solver_queries: r.u64()?,
+        sat_solves: r.u64()?,
+        paths: r.u64()?,
+        instructions: r.u64()?,
+        runs: r.u64()?,
+        bytes_moved: r.u64()?,
+        from_store: r.u8()? != 0,
+        from_slice: r.u8()? != 0,
+        ..Default::default()
+    };
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return None;
+    }
+    for _ in 0..n {
+        out.workers.push(r.str()?);
+    }
+    Some(out)
+}
+
+/// Appends one ledger record, writing the header first when the file is
+/// new.
+pub fn append(path: &Path, ledger: &RunLedger) -> io::Result<()> {
+    let mut payload = Writer::default();
+    encode_ledger(&mut payload, ledger);
+    let mut rec = Writer::default();
+    rec.u32(payload.buf.len() as u32);
+    rec.u64(fnv64(&payload.buf));
+    rec.buf.extend_from_slice(&payload.buf);
+
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if file.metadata()?.len() == 0 {
+        let mut h = Writer::default();
+        h.buf.extend_from_slice(MAGIC);
+        h.u32(VERSION);
+        file.write_all(&h.buf)?;
+    }
+    file.write_all(&rec.buf)?;
+    Ok(())
+}
+
+/// Loads every intact ledger, in append order. An absent, foreign or
+/// stale-version file loads as empty; a damaged tail terminates the scan
+/// at the last good record.
+pub fn load(path: &Path) -> Vec<RunLedger> {
+    let Ok(bytes) = fs::read(path) else {
+        return Vec::new();
+    };
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Vec::new();
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    if r.u32() != Some(VERSION) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    while let Some(len) = r.u32() {
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let Some(check) = r.u64() else { break };
+        let Some(payload) = r.bytes_exact(len as usize) else {
+            break;
+        };
+        if fnv64(payload) != check {
+            break;
+        }
+        let mut p = Reader::new(payload);
+        let Some(ledger) = decode_ledger(&mut p) else {
+            break;
+        };
+        if p.remaining() != 0 {
+            break;
+        }
+        out.push(ledger);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("overify_ledger_{}_{name}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn sample(name: &str) -> RunLedger {
+        RunLedger {
+            name: name.into(),
+            verify_ns: 1_000_000,
+            solver_ns: 600_000,
+            solver_queries: 42,
+            sat_solves: 7,
+            paths: 31,
+            instructions: 9000,
+            runs: 2,
+            bytes_moved: 512,
+            from_store: false,
+            from_slice: false,
+            workers: vec!["overify-worker:11".into(), "overify-worker:12".into()],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for l in [
+            sample("echo"),
+            RunLedger::default(),
+            RunLedger {
+                from_store: true,
+                from_slice: true,
+                workers: Vec::new(),
+                ..sample("hit")
+            },
+        ] {
+            let mut w = Writer::default();
+            encode_ledger(&mut w, &l);
+            let mut r = Reader::new(&w.buf);
+            assert_eq!(decode_ledger(&mut r), Some(l));
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn append_load_roundtrip_in_order() {
+        let p = tmp("roundtrip");
+        assert!(load(&p).is_empty(), "absent file loads empty");
+        append(&p, &sample("a")).unwrap();
+        append(&p, &sample("b")).unwrap();
+        assert_eq!(load(&p), vec![sample("a"), sample("b")]);
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_prefix() {
+        let p = tmp("torn");
+        append(&p, &sample("a")).unwrap();
+        append(&p, &sample("b")).unwrap();
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+        assert_eq!(load(&p), vec![sample("a")]);
+        // A flipped payload byte stops the scan at the checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        fs::write(&p, &bad).unwrap();
+        assert_eq!(load(&p), vec![sample("a")]);
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn foreign_or_stale_file_loads_empty() {
+        let p = tmp("foreign");
+        fs::write(&p, b"not a ledger log").unwrap();
+        assert!(load(&p).is_empty());
+        let mut h = Writer::default();
+        h.buf.extend_from_slice(MAGIC);
+        h.u32(VERSION + 1);
+        fs::write(&p, &h.buf).unwrap();
+        assert!(load(&p).is_empty());
+        let _ = fs::remove_file(&p);
+    }
+}

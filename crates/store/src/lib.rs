@@ -30,6 +30,9 @@
 //!                        edits elsewhere in the module)
 //!   costs.log            per-key observed verification cost at both
 //!                        grains (scheduling metadata — see [`cost`])
+//!   ledgers.log          per-run resource attribution (solver time,
+//!                        SAT solves, paths, contributing workers —
+//!                        see [`ledger`])
 //! ```
 //!
 //! Concurrent *processes* may share a store: artifact writes are atomic
@@ -40,11 +43,13 @@
 pub mod artifact;
 pub mod codec;
 pub mod cost;
+pub mod ledger;
 pub mod lock;
 pub mod log;
 
 pub use artifact::{budget_signature, ReportKey, SliceKey, StoredJob};
 pub use cost::{CostKind, CostRecord};
+pub use ledger::RunLedger;
 pub use log::{LoadSummary, LogError, TailSummary};
 
 use overify_obs::metrics::{LazyCounter, LazyHistogram};
@@ -235,6 +240,11 @@ impl Store {
 
     fn cost_path(&self) -> PathBuf {
         self.cfg.root.join("costs.log")
+    }
+
+    /// The per-run resource ledger log, beside the cost log.
+    pub fn ledger_path(&self) -> PathBuf {
+        self.cfg.root.join("ledgers.log")
     }
 
     fn reports_dir(&self) -> PathBuf {
@@ -557,6 +567,18 @@ impl Store {
     /// The most recently observed verification cost of a slice key.
     pub fn lookup_slice_cost(&self, key: &SliceKey) -> Option<Duration> {
         self.lookup_cost_hash(key.key_hash())
+    }
+
+    /// Appends one per-run resource ledger to `ledgers.log`. Ledgers are
+    /// attribution metadata like costs — a lost or damaged record can
+    /// only blur the accounting, never change a verdict.
+    pub fn record_ledger(&self, ledger: &RunLedger) -> io::Result<()> {
+        ledger::append(&self.ledger_path(), ledger)
+    }
+
+    /// Loads every intact per-run ledger, in append order.
+    pub fn load_ledgers(&self) -> Vec<RunLedger> {
+        ledger::load(&self.ledger_path())
     }
 
     /// Garbage-collects content-addressed state at both grains: module

@@ -125,6 +125,13 @@ pub trait FrontierProvider: Sync {
     /// Called once the run's merged report exists; the dispatcher
     /// unpublishes the frontier.
     fn end_run(&self, frontier: Arc<dyn Frontier>);
+
+    /// The names of remote workers that have contributed completed leases
+    /// to this provider's runs so far — per-run resource-ledger
+    /// attribution. The in-process default has no remote contributors.
+    fn contributors(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// A wakeup channel a dispatcher shares with its frontiers: everything

@@ -95,6 +95,11 @@ pub struct SolverStats {
     /// SAT decisions and conflicts, summed.
     pub sat_decisions: u64,
     pub sat_conflicts: u64,
+    /// Wall-clock nanoseconds spent inside [`crate::Solver::check`]
+    /// across the run — the per-run solver-time ledger. Excluded from
+    /// [`VerificationReport::canonical_bytes`] like every other
+    /// interleaving-dependent aggregate.
+    pub solver_ns: u64,
 }
 
 impl SolverStats {
@@ -113,6 +118,7 @@ impl SolverStats {
         self.concretizations += other.concretizations;
         self.sat_decisions += other.sat_decisions;
         self.sat_conflicts += other.sat_conflicts;
+        self.solver_ns += other.solver_ns;
     }
 }
 

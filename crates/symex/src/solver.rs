@@ -142,7 +142,9 @@ impl Solver {
         QUERIES.inc();
         let started = std::time::Instant::now();
         let result = self.check_layers(pool, constraints);
-        LATENCY.observe_ns(started.elapsed());
+        let elapsed = started.elapsed();
+        LATENCY.observe_ns(elapsed);
+        self.stats.solver_ns += elapsed.as_nanos() as u64;
         result
     }
 
@@ -279,6 +281,7 @@ impl Solver {
         static SAT_SOLVES: LazyCounter = LazyCounter::new("overify_solver_sat_solves_total");
         SAT_SOLVES.inc();
         self.stats.solved_sat += 1;
+        let sat_started = std::time::Instant::now();
         let mut blaster = Blaster::new(pool);
         for &c in &key {
             blaster.assert_true(c);
@@ -286,6 +289,15 @@ impl Solver {
         let outcome = blaster.sat.solve();
         self.stats.sat_decisions += blaster.sat.decisions;
         self.stats.sat_conflicts += blaster.sat.conflicts;
+        // Feed the slow-query log; the fingerprint is only computed when
+        // this solve would actually make the top-K (one relaxed load
+        // otherwise), and is memoized with the shared-cache fingerprints.
+        let sat_ns = sat_started.elapsed().as_nanos() as u64;
+        let slow = overify_obs::slow::SlowLog::global();
+        if slow.would_record(sat_ns) {
+            let fp = shared_fp.unwrap_or_else(|| set_fingerprint(pool, &key, &mut self.fp_memo));
+            slow.record(fp, sat_ns);
+        }
         match outcome {
             SatOutcome::Unsat => {
                 if self.opts.use_query_cache {

@@ -61,7 +61,10 @@ fn main() {
             let job = report.job(u.name, level).expect("job ran");
             let cell = match (&job.error, job.runs.first()) {
                 (Some(e), _) => {
-                    eprintln!("{}@{level}: build failed: {e}", u.name);
+                    // The table cell below is the user-facing signal; the
+                    // compiler error detail is a diagnostic for the
+                    // leveled log (`OVERIFY_LOG=warn`).
+                    overify_obs::warn!("sweep", "{}@{level}: build failed: {e}", u.name);
                     "build-error".to_string()
                 }
                 (None, None) => "-".to_string(),

@@ -56,7 +56,10 @@ fn main() {
     let stats = match run_worker(&cfg) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("overify_worker: cannot serve {}: {e}", cfg.addr);
+            // Diagnostic, not payload: route through the leveled log
+            // (`OVERIFY_LOG=error` surfaces it); exit code 1 is the
+            // machine-readable signal either way.
+            overify_obs::error!("worker", "cannot serve {}: {e}", cfg.addr);
             std::process::exit(1);
         }
     };

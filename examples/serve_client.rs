@@ -4,6 +4,8 @@
 //! ```sh
 //! cargo run --release --example serve_client -- --port 7979                  # cold sweep
 //! cargo run --release --example serve_client -- --port 7979 --expect-all-hits # warm sweep
+//! cargo run --release --example serve_client -- --port 7979 --metrics fleet  # fleet scrape
+//! cargo run --release --example serve_client -- --port 7979 --top            # live dashboard
 //! cargo run --release --example serve_client -- --port 7979 --shutdown       # stop the daemon
 //! ```
 //!
@@ -21,7 +23,8 @@
 //! byte-identical to single-process verification.
 
 use overify::{coreutils_jobs, prepare_job, OptLevel, SuiteJob, SymConfig};
-use overify_serve::{Client, Event, JobSpec};
+use overify_serve::{Client, Event, JobSpec, MetricsScope};
+use std::collections::BTreeMap;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::time::Duration;
 
@@ -34,7 +37,11 @@ fn main() {
     let mut baseline_check = false;
     let mut shutdown = false;
     let mut metrics = false;
-    let mut args = std::env::args().skip(1);
+    let mut scope = MetricsScope::Daemon;
+    let mut top = false;
+    let mut interval_ms: u64 = 1000;
+    let mut frames: u64 = 0;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--port" => port = num(&mut args, "--port") as u16,
@@ -44,7 +51,20 @@ fn main() {
             "--expect-progress" => expect_progress = true,
             "--baseline-check" => baseline_check = true,
             "--shutdown" => shutdown = true,
-            "--metrics" => metrics = true,
+            "--metrics" => {
+                metrics = true;
+                // An optional scope token rides after the flag:
+                // `daemon` (default), `fleet`, or `worker=<name>`.
+                if let Some(tok) = args.peek() {
+                    if let Some(s) = parse_scope(tok) {
+                        scope = s;
+                        args.next();
+                    }
+                }
+            }
+            "--top" => top = true,
+            "--interval-ms" => interval_ms = num(&mut args, "--interval-ms"),
+            "--frames" => frames = num(&mut args, "--frames"),
             _ => usage(&format!("unknown argument {arg}")),
         }
     }
@@ -58,10 +78,21 @@ fn main() {
         }
     };
 
+    if top {
+        run_top(&mut client, addr, interval_ms, frames);
+        if shutdown {
+            client.shutdown().expect("shutdown acknowledged");
+            println!("serve_client: daemon is shutting down");
+        }
+        return;
+    }
     if metrics {
-        // Scrape and print the daemon's metrics (text exposition format:
-        // service-level counters, then the daemon's metrics registry).
-        let text = client.metrics().expect("metrics snapshot");
+        // Scrape and print metrics (text exposition format). Scope
+        // `daemon` is the daemon process's own registry; `fleet` adds the
+        // cross-worker rollup, per-worker labeled series, ring-derived
+        // rates/quantiles and health gauges; `worker=<name>` is one
+        // pushed table.
+        let (text, _slow) = client.metrics(scope).expect("metrics snapshot");
         print!("{text}");
         if shutdown {
             client.shutdown().expect("shutdown acknowledged");
@@ -215,6 +246,192 @@ fn main() {
     }
 }
 
+/// `daemon` | `fleet` | `worker=<name>`, or `None` if the token is some
+/// other flag (so `--metrics --shutdown` keeps meaning "daemon scope").
+fn parse_scope(tok: &str) -> Option<MetricsScope> {
+    match tok {
+        "daemon" => Some(MetricsScope::Daemon),
+        "fleet" => Some(MetricsScope::Fleet),
+        _ => tok
+            .strip_prefix("worker=")
+            .map(|name| MetricsScope::Worker(name.to_string())),
+    }
+}
+
+/// One frame's worth of fleet scrape, split into the unlabeled rollup and
+/// the `{worker="…"}` labeled series (metric → worker → value). Values
+/// are parsed as plain integers; histogram `_bucket`/`_sum`/`_count`
+/// lines land under their full suffixed names.
+fn scrape(
+    text: &str,
+) -> (
+    BTreeMap<String, i128>,
+    BTreeMap<String, BTreeMap<String, i128>>,
+) {
+    let mut plain = BTreeMap::new();
+    let mut labeled: BTreeMap<String, BTreeMap<String, i128>> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value_part.parse::<i128>() else {
+            continue;
+        };
+        if let Some((name, rest)) = name_part.split_once("{worker=\"") {
+            let Some((worker, _)) = rest.split_once('"') else {
+                continue;
+            };
+            // Skip per-worker bucket lines: the table only wants scalars.
+            if rest.contains("le=\"") {
+                continue;
+            }
+            labeled
+                .entry(name.to_string())
+                .or_default()
+                .insert(worker.to_string(), value);
+        } else if !name_part.contains('{') {
+            plain.insert(name_part.to_string(), value);
+        }
+    }
+    (plain, labeled)
+}
+
+fn fmt_rate(milli: i128) -> String {
+    format!("{:.1}/s", milli as f64 / 1000.0)
+}
+
+fn fmt_ns(ns: i128) -> String {
+    match ns {
+        n if n >= 1_000_000_000 => format!("{:.2}s", n as f64 / 1e9),
+        n if n >= 1_000_000 => format!("{:.1}ms", n as f64 / 1e6),
+        n if n >= 1_000 => format!("{:.1}µs", n as f64 / 1e3),
+        n => format!("{n}ns"),
+    }
+}
+
+/// The live dashboard: scrapes the fleet scope every `interval_ms` and
+/// redraws. `frames == 0` runs until interrupted; a finite count (used by
+/// CI) draws that many frames and returns.
+fn run_top(client: &mut Client, addr: SocketAddr, interval_ms: u64, frames: u64) {
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let (text, slow) = client
+            .metrics(MetricsScope::Fleet)
+            .expect("fleet metrics snapshot");
+        let (plain, labeled) = scrape(&text);
+        let get = |name: &str| plain.get(name).copied().unwrap_or(0);
+
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "overify --top @ {addr}  (frame {frame})");
+        let _ = writeln!(
+            out,
+            "health  queue saturation {:.2}  |  lease reaps {}  |  tail lag {}ms",
+            get("overify_health_queue_saturation_milli") as f64 / 1000.0,
+            fmt_rate(get("overify_health_reap_rate_milli")),
+            get("overify_health_tail_lag_ms"),
+        );
+        let _ = writeln!(
+            out,
+            "totals  submitted {}  executed {}  store hits {}  |  paths {}  sat {}  |  \
+             ledger runs {}  solver {}  moved {}B",
+            get("overify_serve_submitted"),
+            get("overify_serve_executed"),
+            get("overify_serve_answered_from_store"),
+            get("overify_executor_paths_total"),
+            get("overify_ledger_sat_solves_total"),
+            get("overify_ledger_runs_total"),
+            fmt_ns(get("overify_ledger_solver_ns_total")),
+            get("overify_ledger_bytes_moved_total"),
+        );
+
+        // The busiest counters over the ring window, hottest first.
+        let mut rates: Vec<(&String, i128)> = plain
+            .iter()
+            .filter(|(n, _)| n.ends_with("_rate_milli") && !n.starts_with("overify_health_"))
+            .map(|(n, &v)| (n, v))
+            .collect();
+        rates.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        let _ = writeln!(out, "rates");
+        for (name, v) in rates.iter().take(6) {
+            let base = name.trim_end_matches("_rate_milli");
+            let _ = writeln!(out, "  {base:<44} {}", fmt_rate(*v));
+        }
+
+        let mut lat: Vec<&String> = plain.keys().filter(|n| n.ends_with("_p99")).collect();
+        lat.sort();
+        let _ = writeln!(out, "latency (ring window)");
+        for name in lat.iter().take(6) {
+            let base = name.trim_end_matches("_p99");
+            let _ = writeln!(
+                out,
+                "  {base:<44} p50 {:>10}  p99 {:>10}",
+                fmt_ns(get(&format!("{base}_p50"))),
+                fmt_ns(*plain.get(*name).unwrap_or(&0)),
+            );
+        }
+
+        // Per-worker table from the labeled series.
+        let mut workers: Vec<&String> = labeled
+            .values()
+            .flat_map(|per| per.keys())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        workers.sort();
+        let _ = writeln!(
+            out,
+            "workers ({})\n  {:<24} {:>8} {:>9} {:>9} {:>10}",
+            workers.len(),
+            "name",
+            "stolen",
+            "returned",
+            "verdicts",
+            "paths"
+        );
+        let cell = |metric: &str, w: &str| {
+            labeled
+                .get(metric)
+                .and_then(|per| per.get(w))
+                .copied()
+                .unwrap_or(0)
+        };
+        for w in &workers {
+            let _ = writeln!(
+                out,
+                "  {w:<24} {:>8} {:>9} {:>9} {:>10}",
+                cell("overify_worker_stolen_total", w),
+                cell("overify_worker_states_returned_total", w),
+                cell("overify_worker_verdicts_uploaded_total", w),
+                cell("overify_executor_paths_total", w),
+            );
+        }
+
+        let _ = writeln!(out, "slowest solver queries ({})", slow.len());
+        for (fp, ns) in slow.iter().take(8) {
+            let _ = writeln!(out, "  {:032x}  {}", fp, fmt_ns(*ns as i128));
+        }
+
+        if frames == 0 || frame > 1 {
+            // Redraw in place (clear screen, home cursor). The very first
+            // frame of a finite run prints plainly so CI logs stay clean.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{out}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        if frames != 0 && frame >= frames {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
 fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
     args.next()
         .and_then(|v| v.parse().ok())
@@ -224,7 +441,9 @@ fn num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "serve_client: {msg}\nusage: serve_client [--port P] [--utilities N] [--bytes N] \
-         [--expect-all-hits] [--expect-progress] [--baseline-check] [--metrics] [--shutdown]"
+         [--expect-all-hits] [--expect-progress] [--baseline-check] \
+         [--metrics [daemon|fleet|worker=<name>]] [--top] [--interval-ms N] [--frames N] \
+         [--shutdown]"
     );
     std::process::exit(2);
 }

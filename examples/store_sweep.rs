@@ -91,7 +91,10 @@ fn main() {
     };
     if let Some(name) = &touch {
         if !utilities.iter().any(|u| u.name == name) {
-            eprintln!("--touch {name}: no such utility in the sweep");
+            // Runs before the suite driver, so arm the log level first;
+            // exit code 2 carries the failure for scripts either way.
+            overify_obs::init();
+            overify_obs::error!("sweep", "--touch {name}: no such utility in the sweep");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,249 @@
+//! End-to-end tests of the fleet telemetry plane: workers upstreaming
+//! metrics deltas over `MetricsPush`, the daemon's per-worker tables and
+//! fleet rollup, ring-derived health gauges, and the per-run resource
+//! ledgers that ride every `Report`.
+//!
+//! The worker fleets here run in-process (threads speaking real TCP), so
+//! worker pushes re-upload slices of the *same* registry the daemon
+//! samples — the rollup legitimately double-counts in this arrangement.
+//! These tests therefore assert structure (rollup lines, labeled series,
+//! parse round-trip, ledger-vs-report sums); exact cross-process counter
+//! reconciliation is CI's `fleet-metrics-smoke` job, where daemon and
+//! workers are separate OS processes.
+
+use overify::{OptLevel, Store, SuiteJob, SymConfig};
+use overify_obs::metrics::Sample;
+use overify_serve::{
+    protocol, run_worker, start, Client, Event, JobSpec, MetricsScope, Request, ServerConfig,
+    ServerHandle, WorkerConfig,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_storeless(executors: usize) -> ServerHandle {
+    start(ServerConfig {
+        port: 0,
+        executors,
+        store: None,
+        progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(50),
+    })
+    .expect("server binds an ephemeral port")
+}
+
+fn branchy_job(bytes: Vec<usize>, path_workers: usize) -> SuiteJob {
+    SuiteJob {
+        name: "branchy".into(),
+        source: r#"
+            int umain(unsigned char *in, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (in[i] > 'f') acc += 2;
+                    else if (in[i] > 'c') acc += 1;
+                    if (in[i] == 'x') acc *= 3;
+                }
+                return acc;
+            }
+        "#
+        .into(),
+        entry: "umain".into(),
+        opts: overify::BuildOptions::level(OptLevel::O0),
+        bytes,
+        cfg: SymConfig {
+            pass_len_arg: true,
+            collect_tests: true,
+            ..Default::default()
+        },
+        path_workers,
+    }
+}
+
+#[test]
+fn fleet_scrape_carries_worker_tables_health_and_ledgers() {
+    // Fast push cadence so idle-loop pushes land inside the test window;
+    // the exit push alone would also do.
+    std::env::set_var("OVERIFY_METRICS_PUSH_MS", "25");
+    let server = start_storeless(1);
+    let addr = server.addr();
+    let worker = std::thread::spawn(move || {
+        run_worker(&WorkerConfig {
+            idle_exit: Some(Duration::from_millis(600)),
+            name: "telemetry-w1".into(),
+            ..WorkerConfig::at(addr)
+        })
+    });
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let result = client
+        .submit(&JobSpec::from_suite_job(&branchy_job(vec![4], 2)))
+        .expect("job completes");
+
+    // The per-run resource ledger rides the report and sums exactly what
+    // the report itself says was done.
+    let ledger = result.ledger.as_ref().expect("fresh run carries a ledger");
+    assert_eq!(ledger.name, "branchy");
+    assert!(!ledger.from_store);
+    assert_eq!(ledger.runs, result.runs.len() as u64);
+    assert_eq!(
+        ledger.paths,
+        result
+            .runs
+            .iter()
+            .map(|(_, r)| r.total_paths())
+            .sum::<u64>()
+    );
+    assert_eq!(
+        ledger.sat_solves,
+        result
+            .runs
+            .iter()
+            .map(|(_, r)| r.solver.solved_sat)
+            .sum::<u64>()
+    );
+    assert_eq!(
+        ledger.solver_queries,
+        result
+            .runs
+            .iter()
+            .map(|(_, r)| r.solver.queries)
+            .sum::<u64>()
+    );
+    assert_eq!(
+        ledger.bytes_moved,
+        result
+            .runs
+            .iter()
+            .map(|(_, r)| r.canonical_bytes().len() as u64)
+            .sum::<u64>()
+    );
+    assert!(ledger.verify_ns > 0, "wall time is charged");
+    let mut sorted = ledger.workers.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(ledger.workers, sorted, "contributors are sorted and unique");
+
+    // Let the worker fleet reach its idle exit: the final MetricsPush
+    // lands before run_worker returns, so after join the daemon's fleet
+    // table for "telemetry-w1" is populated.
+    worker.join().unwrap().expect("worker exits cleanly");
+
+    let (text, _slow) = client
+        .metrics(MetricsScope::Fleet)
+        .expect("fleet metrics snapshot");
+    // Rollup lines (unlabeled), per-worker labeled series, ring-derived
+    // series and health gauges all share the one exposition document.
+    assert!(
+        text.contains("\noverify_executor_paths_total "),
+        "rollup line missing:\n{text}"
+    );
+    assert!(
+        text.contains("{worker=\"telemetry-w1\"}"),
+        "per-worker labeled series missing:\n{text}"
+    );
+    assert!(text.contains("overify_health_queue_saturation_milli"));
+    assert!(text.contains("overify_health_reap_rate_milli"));
+    assert!(text.contains("overify_health_tail_lag_ms"));
+
+    // The scrape parses back: labeled series are skipped by design, so
+    // what parse() yields is exactly the fleet rollup.
+    let parsed = overify_obs::metrics::parse(&text);
+    assert!(!parsed.is_empty());
+    let paths = parsed
+        .iter()
+        .find(|(n, _)| n == "overify_executor_paths_total")
+        .expect("rollup parses");
+    assert!(
+        matches!(paths.1, Sample::Counter(n) if n > 0),
+        "paths rollup counts the run"
+    );
+
+    // Worker scope serves the one pushed table, unlabeled; an unknown
+    // name is an empty document, not an error.
+    let (wtext, _) = client
+        .metrics(MetricsScope::Worker("telemetry-w1".into()))
+        .expect("worker metrics snapshot");
+    assert!(
+        wtext.contains("overify_"),
+        "worker table is empty:\n{wtext}"
+    );
+    assert!(!wtext.contains("{worker="), "worker scope is unlabeled");
+    let (missing, _) = client
+        .metrics(MetricsScope::Worker("no-such-worker".into()))
+        .expect("unknown worker scrapes");
+    assert!(missing.is_empty());
+
+    server.shutdown();
+}
+
+#[test]
+fn store_hit_ledgers_charge_no_execution_and_persist() {
+    let root = std::env::temp_dir().join(format!("overify_telemetry_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = start(ServerConfig {
+        port: 0,
+        executors: 1,
+        store: Some(overify::StoreConfig::at(&root)),
+        progress_interval: Duration::from_millis(10),
+        tail_interval: Duration::from_millis(50),
+    })
+    .expect("server starts");
+    let spec = JobSpec::from_suite_job(&branchy_job(vec![3], 1));
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    let cold = client.submit(&spec).expect("cold run");
+    let cold_ledger = cold.ledger.as_ref().expect("cold ledger");
+    assert!(!cold_ledger.from_store);
+
+    let warm = client.submit(&spec).expect("warm run");
+    assert!(warm.from_store);
+    let warm_ledger = warm.ledger.as_ref().expect("warm ledger");
+    assert!(warm_ledger.from_store);
+    // Nothing executed: the solver/path columns are zero; only the bytes
+    // that moved out of the store are charged.
+    assert_eq!(warm_ledger.verify_ns, 0);
+    assert_eq!(warm_ledger.solver_ns, 0);
+    assert_eq!(warm_ledger.paths, 0);
+    assert_eq!(warm_ledger.sat_solves, 0);
+    assert_eq!(warm_ledger.runs, cold_ledger.runs);
+    assert_eq!(warm_ledger.bytes_moved, cold_ledger.bytes_moved);
+
+    server.shutdown();
+
+    // Only fresh runs are persisted to the ledger log (a hit costs the
+    // fleet nothing), and what is persisted matches what was reported.
+    let store = Store::open(overify::StoreConfig::at(&root)).expect("store reopens");
+    let ledgers = store.load_ledgers();
+    assert_eq!(ledgers.len(), 1, "one fresh run was recorded");
+    assert_eq!(&ledgers[0], cold_ledger);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn metrics_push_without_attachment_drops_the_connection() {
+    let server = start_storeless(1);
+    let stream = TcpStream::connect(server.addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    match protocol::decode_event(&protocol::read_frame(&mut reader).expect("hello")) {
+        Ok(Event::Hello { version }) => assert_eq!(version, protocol::VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    protocol::write_frame(
+        &mut writer,
+        &protocol::encode_request(&Request::MetricsPush {
+            text: "overify_bogus_total 1\n".into(),
+            slow: Vec::new(),
+        }),
+    )
+    .expect("frame sends");
+    use std::io::Write as _;
+    writer.flush().expect("flush");
+    // A push from a connection that never attached as a worker is a
+    // protocol violation: the server hangs up instead of answering.
+    assert!(
+        protocol::read_frame(&mut reader).is_err(),
+        "unattached MetricsPush must not be acknowledged"
+    );
+    server.shutdown();
+}
