@@ -81,8 +81,8 @@ pub use overify_ir::{
 pub use overify_libc::LibcVariant;
 pub use overify_opt::{CostModel, OptLevel, OptStats, PipelineOptions};
 pub use overify_store::{
-    budget_signature, GcStats, ReportKey, RunLedger, SliceKey, Store, StoreConfig, StoreStats,
-    StoredJob,
+    budget_signature, GcStats, JobRecord, JobState, ReportKey, RunLedger, SliceKey, Store,
+    StoreConfig, StoreStats, StoredJob, VerdictPointer, VerdictRow,
 };
 pub use overify_symex::{
     default_threads, estimated_subtree_forks, verify_parallel, verify_parallel_budgeted,

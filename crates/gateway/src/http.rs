@@ -1,0 +1,273 @@
+//! A deliberately minimal HTTP/1.1 layer on std TCP.
+//!
+//! The gateway speaks just enough HTTP for a submit-then-poll API:
+//! request line, headers, an optional `Content-Length` body, and
+//! fixed-length responses closed after every exchange
+//! (`Connection: close` — one request per connection keeps the accept
+//! loop trivial and makes overload behavior obvious: a shed *response*
+//! is always delivered before the socket drops). No chunked encoding,
+//! no pipelining, no TLS — this is a localhost/behind-a-proxy tier,
+//! hand-rolled so the workspace stays dependency-free.
+//!
+//! Parsing is defensive the same way the store codecs are: everything
+//! is bounded ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) and every defect
+//! maps to a typed error the caller renders as a 4xx, never to a hang
+//! or a panic.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body (`Content-Length` beyond this is refused).
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure mid-request.
+    Io(io::Error),
+    /// Syntactically broken request (caller answers 400).
+    Malformed(&'static str),
+    /// Head or declared body over the cap (caller answers 413).
+    TooLarge,
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path + query exactly as sent (the gateway routes on the path).
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Authorization: Bearer <token>` credential, if present.
+    pub fn bearer_token(&self) -> Option<&str> {
+        let auth = self.header("authorization")?;
+        let rest = auth
+            .strip_prefix("Bearer ")
+            .or(auth.strip_prefix("bearer "))?;
+        let token = rest.trim();
+        (!token.is_empty()).then_some(token)
+    }
+}
+
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    // Bound the read *before* parsing: take() caps how much one line may
+    // consume, so a peer streaming garbage without a newline cannot grow
+    // memory past the head budget.
+    let mut limited = io::Read::take(&mut *r, *budget as u64 + 1);
+    limited.read_until(b'\n', &mut raw)?;
+    if raw.len() > *budget {
+        return Err(HttpError::TooLarge);
+    }
+    *budget -= raw.len();
+    if !raw.ends_with(b"\n") {
+        return Err(HttpError::Malformed("truncated line"));
+    }
+    raw.pop();
+    if raw.ends_with(b"\r") {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes"))
+}
+
+/// Reads one request. `Ok(None)` is a clean pre-request EOF (the client
+/// connected and went away — not an error, not a 400).
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<HttpRequest>, HttpError> {
+    // Peek for EOF before demanding a request line.
+    if r.fill_buf()?.is_empty() {
+        return Ok(None);
+    }
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without a colon"));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let req = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad Content-Length"))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    io::Read::read_exact(r, &mut body)?;
+    Ok(Some(HttpRequest { body, ..req }))
+}
+
+/// One response, written with an explicit `Content-Length` and
+/// `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (metrics, health).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds one header (builder style).
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes status line, headers and body onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_request_with_body_and_headers() {
+        let raw = b"POST /v1/verify HTTP/1.1\r\nHost: x\r\nAuthorization: Bearer tok-1\r\n\
+                    Content-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(&raw[..]))
+            .expect("parses")
+            .expect("present");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/verify");
+        assert_eq!(req.header("AUTHORIZATION"), Some("Bearer tok-1"));
+        assert_eq!(req.bearer_token(), Some("tok-1"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_defects_are_typed() {
+        assert!(read_request(&mut Cursor::new(b"")).unwrap().is_none());
+        let malformed: &[&[u8]] = &[
+            b"GARBAGE\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+        ];
+        for raw in malformed {
+            assert!(
+                matches!(
+                    read_request(&mut Cursor::new(*raw)),
+                    Err(HttpError::Malformed(_))
+                ),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+        // A declared body over the cap is refused without reading it.
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 5 << 20);
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge.as_bytes())),
+            Err(HttpError::TooLarge)
+        ));
+        // An endless header line cannot exhaust memory.
+        let mut big = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        big.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES * 2));
+        assert!(matches!(
+            read_request(&mut Cursor::new(&big[..])),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_close_and_extra_headers() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"queue full\"}")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

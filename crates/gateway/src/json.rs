@@ -1,0 +1,297 @@
+//! A minimal JSON layer: strict recursive-descent parsing plus string
+//! escaping for response building.
+//!
+//! The gateway's request bodies are small flat objects, so this stays
+//! deliberately tiny: UTF-8 text in, a [`Json`] tree out, full
+//! consumption required (trailing bytes are a parse error, same
+//! discipline as the store codecs), bounded nesting depth so a
+//! pathological body cannot blow the handler thread's stack. Any defect
+//! is `None` — the caller answers 400, never panics.
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Strict parse of a complete document.
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+const MAX_DEPTH: usize = 32;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, lit: &[u8]) -> Option<()> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'n' => eat(b, pos, b"null").map(|_| Json::Null),
+        b't' => eat(b, pos, b"true").map(|_| Json::Bool(true)),
+        b'f' => eat(b, pos, b"false").map(|_| Json::Bool(false)),
+        b'"' => string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = string(b, pos)?;
+                skip_ws(b, pos);
+                eat(b, pos, b":")?;
+                fields.push((key, value(b, pos, depth + 1)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => number(b, pos),
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Option<String> {
+    eat(b, pos, b"\"")?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        // Surrogates are not worth the code here: the
+                        // gateway's field values are identifiers and C
+                        // source; reject rather than mis-decode.
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (bodies arrive as &str, so
+                // boundaries are already valid).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                if (c as u32) < 0x20 {
+                    return None;
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_submit_shape() {
+        let body = r#"{
+            "name": "branchy",
+            "source": "int f(unsigned char *p, int n) { return n; }",
+            "entry": "f",
+            "level": "overify",
+            "bytes": [2, 3],
+            "path_workers": 1,
+            "pass_len_arg": true
+        }"#;
+        let v = Json::parse(body).expect("parses");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("branchy"));
+        assert_eq!(v.get("level").and_then(Json::as_str), Some("overify"));
+        assert_eq!(v.get("path_workers").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("pass_len_arg").and_then(Json::as_bool), Some(true));
+        let bytes: Vec<u64> = v
+            .get("bytes")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|j| j.as_u64().unwrap())
+            .collect();
+        assert_eq!(bytes, vec![2, 3]);
+    }
+
+    #[test]
+    fn escapes_round_trip_through_the_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}f/α";
+        let doc = format!("{{\"k\":\"{}\"}}", esc(nasty));
+        let v = Json::parse(&doc).expect("parses its own escaping");
+        assert_eq!(v.get("k").and_then(Json::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn defects_parse_to_none_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":1}trailing",
+            "\"bad \\q escape\"",
+            "nan",
+            "inf",
+        ] {
+            assert_eq!(Json::parse(bad), None, "{bad:?}");
+        }
+        // Depth bomb: refused, not a stack overflow.
+        let bomb = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert_eq!(Json::parse(&bomb), None);
+        // Fractions are not indices.
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-3").unwrap().as_u64(), None);
+    }
+}

@@ -62,6 +62,10 @@ impl Client {
                 ours: VERSION,
             }
             .into()),
+            Event::Busy { retry_after_ms } => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!("server at its connection cap; retry after {retry_after_ms}ms"),
+            )),
             other => Err(proto_err(format!("expected Hello, got {other:?}"))),
         }
     }
@@ -90,6 +94,23 @@ impl Client {
         self.submit_with(spec, |_| {})
     }
 
+    /// Submits one job under a tenant key and blocks until its terminal
+    /// event, feeding every event to `on_event` first. A shed submission
+    /// comes back as a result whose error names the shed.
+    pub fn submit_with_tenant<F>(
+        &mut self,
+        spec: &JobSpec,
+        tenant: &str,
+        on_event: F,
+    ) -> io::Result<SuiteJobResult>
+    where
+        F: FnMut(&Event),
+    {
+        let mut results =
+            self.submit_all_with_tenant(std::slice::from_ref(spec), tenant, on_event)?;
+        Ok(results.remove(0))
+    }
+
     /// Submits a batch pipelined — all jobs enter the server's scheduler
     /// together, so its cost-first policy (not submission order) decides
     /// execution order. Blocks until every job reported; results come
@@ -98,6 +119,24 @@ impl Client {
     pub fn submit_all_with<F>(
         &mut self,
         specs: &[JobSpec],
+        on_event: F,
+    ) -> io::Result<Vec<SuiteJobResult>>
+    where
+        F: FnMut(&Event),
+    {
+        self.submit_all_with_tenant(specs, "", on_event)
+    }
+
+    /// [`Client::submit_all_with`], submitting under a tenant key. The
+    /// daemon schedules tenants round-robin, so one flooding client
+    /// delays its own backlog rather than everyone's. A submission the
+    /// bounded queue refuses ([`Event::Shed`]) comes back as a result
+    /// whose error names the shed — the batch still returns one result
+    /// per spec, in order.
+    pub fn submit_all_with_tenant<F>(
+        &mut self,
+        specs: &[JobSpec],
+        tenant: &str,
         mut on_event: F,
     ) -> io::Result<Vec<SuiteJobResult>>
     where
@@ -109,6 +148,7 @@ impl Client {
                 &encode_request(&Request::Submit {
                     spec: spec.clone(),
                     trace: fresh_trace(spec),
+                    tenant: tenant.to_string(),
                 }),
             )?;
         }
@@ -126,7 +166,8 @@ impl Client {
                 Event::Queued { job, .. }
                 | Event::Scheduled { job }
                 | Event::Progress { job, .. }
-                | Event::Report { job, .. } => *job,
+                | Event::Report { job, .. }
+                | Event::Shed { job, .. } => *job,
                 Event::ShuttingDown => {
                     return Err(proto_err("server shut down mid-batch"));
                 }
@@ -137,12 +178,36 @@ impl Client {
                 next_slot += 1;
                 s
             });
-            if let Event::Report { outcome, .. } = ev {
-                if slot >= results.len() || results[slot].is_some() {
-                    return Err(proto_err("server reported an unknown job"));
+            if slot >= results.len() {
+                return Err(proto_err("server reported an unknown job"));
+            }
+            match ev {
+                Event::Report { outcome, .. } => {
+                    if results[slot].is_some() {
+                        return Err(proto_err("server reported an unknown job"));
+                    }
+                    results[slot] = Some(outcome.into_result());
+                    done += 1;
                 }
-                results[slot] = Some(outcome.into_result());
-                done += 1;
+                Event::Shed { retry_after_ms, .. } => {
+                    if results[slot].is_some() {
+                        return Err(proto_err("server reported an unknown job"));
+                    }
+                    results[slot] = Some(SuiteJobResult {
+                        name: specs[slot].name.clone(),
+                        level: specs[slot].level,
+                        compile_time: std::time::Duration::ZERO,
+                        runs: Vec::new(),
+                        error: Some(format!(
+                            "shed: server queue full; retry after {retry_after_ms}ms"
+                        )),
+                        from_store: false,
+                        from_slice: false,
+                        ledger: None,
+                    });
+                    done += 1;
+                }
+                _ => {}
             }
         }
         Ok(results.into_iter().map(|r| r.unwrap()).collect())
@@ -172,6 +237,33 @@ impl Client {
         match self.next_event()? {
             Event::Metrics { text, slow } => Ok((text, slow)),
             other => Err(proto_err(format!("expected Metrics, got {other:?}"))),
+        }
+    }
+
+    /// Registers this connection under a worker name in the daemon's
+    /// fleet tables. After attaching, [`Client::push_metrics`] deltas
+    /// render as a labeled series in the fleet metrics scope — this is
+    /// how sidecar processes (the gateway tier, custom tooling) appear
+    /// on the daemon's dashboard without speaking the lease protocol.
+    pub fn attach_worker(&mut self, name: &str) -> io::Result<()> {
+        self.send(&Request::AttachWorker {
+            name: name.to_string(),
+        })?;
+        match self.next_event()? {
+            Event::WorkerAttached { .. } => Ok(()),
+            other => Err(proto_err(format!("expected WorkerAttached, got {other:?}"))),
+        }
+    }
+
+    /// Upstreams one delta-encoded metrics snapshot (the
+    /// `overify_obs::metrics::DeltaTracker` encoding) plus optional
+    /// slow-query entries. The connection must be attached
+    /// ([`Client::attach_worker`]) first.
+    pub fn push_metrics(&mut self, text: String, slow: Vec<(u128, u64)>) -> io::Result<()> {
+        self.send(&Request::MetricsPush { text, slow })?;
+        match self.next_event()? {
+            Event::MetricsAck => Ok(()),
+            other => Err(proto_err(format!("expected MetricsAck, got {other:?}"))),
         }
     }
 

@@ -59,8 +59,9 @@ pub mod worker;
 
 pub use client::Client;
 pub use protocol::{
-    Event, JobOutcome, JobSpec, LeasedJob, MetricsScope, ProtocolError, Request, ServeStatsSnapshot,
+    Event, JobOutcome, JobSpec, LeasedJob, MetricsScope, ProtocolError, Request,
+    ServeStatsSnapshot, VerdictKey,
 };
-pub use scheduler::{Priority, Scheduler};
+pub use scheduler::{Priority, PushError, Scheduler};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use worker::{run_worker, WorkerConfig, WorkerStats};

@@ -47,6 +47,15 @@
 //! ledger ([`JobOutcome::ledger`]) and metrics answers carry the slow-
 //! query log, so a scrape sees where every run's time went.
 //!
+//! **Version 7** is admission control for the public gateway tier:
+//! submissions carry a tenant key ([`Request::Submit`]'s `tenant`) that
+//! feeds the scheduler's per-tenant fairness, a daemon at its connection
+//! cap answers the handshake with [`Event::Busy`] instead of `Hello`, a
+//! full bounded queue sheds a submission with [`Event::Shed`] (both carry
+//! an explicit retry hint), and outcomes carry the store key of the
+//! verdict that answered them ([`JobOutcome::verdict_key`]) so a front
+//! end can point at the artifact without recomputing content addresses.
+//!
 //! Every decode failure is a typed [`ProtocolError`] — oversized frames,
 //! unknown tags, truncated payloads and trailing garbage are distinct,
 //! diagnosable conditions, never a blind read.
@@ -76,8 +85,11 @@ pub const MAGIC: &[u8; 8] = b"OVFYSRV\0";
 /// `Submit`/`LeasedJob`/`JobDone`, so daemon and worker flight-recorder
 /// spans stitch into one distributed timeline; v6 the fleet telemetry
 /// plane — `MetricsPush` upstreaming, scoped `Metrics`, per-run ledgers
-/// on outcomes and the slow-query log on metrics answers.
-pub const VERSION: u32 = 6;
+/// on outcomes and the slow-query log on metrics answers; v7 the
+/// admission-control frames — tenant keys on `Submit`, `Busy` at the
+/// connection cap, `Shed` from the bounded queue, and verdict store keys
+/// on outcomes.
+pub const VERSION: u32 = 7;
 /// Upper bound on one frame (a full report sweep with collected tests fits
 /// comfortably; anything bigger is a framing error, not a payload).
 pub const MAX_FRAME: u32 = 1 << 26;
@@ -288,8 +300,15 @@ pub enum Request {
     /// Submit a job; the server responds with a stream of events for it.
     /// `trace` is the client's correlation id for the whole run (its run
     /// fingerprint); the daemon tags the job's spans with it and forwards
-    /// it on every lease cut from the job.
-    Submit { spec: JobSpec, trace: u64 },
+    /// it on every lease cut from the job. `tenant` is the admission-
+    /// control key: jobs compete cost-first *within* a tenant, and the
+    /// scheduler round-robins across tenants (empty = the shared tenant,
+    /// what every pre-gateway client sends).
+    Submit {
+        spec: JobSpec,
+        trace: u64,
+        tenant: String,
+    },
     /// Ask for a server statistics snapshot.
     Stats,
     /// Ask for a metrics snapshot in the text exposition format, at the
@@ -465,6 +484,22 @@ impl std::fmt::Display for ServeStatsSnapshot {
     }
 }
 
+/// The store address of the verdict that answered a job: which artifact
+/// class it lives in, the content fingerprint and the budget signature.
+/// Together with the outcome's level this names exactly one artifact
+/// file, so a front end (the gateway's registry, a job record's verdict
+/// pointer) can reference the stored proof without recompiling anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerdictKey {
+    /// True when the verdict is a function-slice artifact (`slices/`),
+    /// false for a whole-module report (`reports/`).
+    pub slice: bool,
+    /// Module or slice content fingerprint.
+    pub fp: u128,
+    /// Byte-budget signature the verdict was computed under.
+    pub budget_sig: u128,
+}
+
 /// The outcome of one job, as it travels the wire. Field-for-field a
 /// [`SuiteJobResult`] (compile time in nanoseconds).
 #[derive(Clone, Debug, PartialEq)]
@@ -480,6 +515,9 @@ pub struct JobOutcome {
     /// verification effort went, including which remote workers
     /// contributed. `None` on build failure.
     pub ledger: Option<overify::RunLedger>,
+    /// Where the answering verdict lives in the store (`None` on build
+    /// failure, or when the daemon runs storeless).
+    pub verdict_key: Option<VerdictKey>,
 }
 
 impl JobOutcome {
@@ -494,6 +532,9 @@ impl JobOutcome {
             error: r.error.clone(),
             runs: r.runs.clone(),
             ledger: r.ledger.clone(),
+            // Suite results carry no store address; the daemon stamps the
+            // key on after it knows which artifact answered the job.
+            verdict_key: None,
         }
     }
 
@@ -566,6 +607,14 @@ pub enum Event {
     },
     /// Answer to [`Request::MetricsPush`]: the delta was folded.
     MetricsAck,
+    /// Sent *instead of* [`Event::Hello`] when the daemon is at its
+    /// connection cap; the server closes the connection right after.
+    /// `retry_after_ms` is the server's backoff hint.
+    Busy { retry_after_ms: u64 },
+    /// The submission was refused by the bounded scheduler (queue full).
+    /// This is the job's final event — no `Report` follows. The client
+    /// should retry the whole submission after `retry_after_ms`.
+    Shed { job: u64, retry_after_ms: u64 },
 }
 
 fn encode_sym_config(w: &mut Writer, cfg: &SymConfig) {
@@ -757,6 +806,26 @@ fn encode_spec(w: &mut Writer, spec: &JobSpec) {
     encode_sym_config(w, &spec.cfg);
 }
 
+/// Serializes a [`JobSpec`] to its canonical wire bytes. Public because
+/// the gateway content-addresses submissions by hashing exactly these
+/// bytes and persists them opaquely inside durable job records.
+pub fn encode_spec_bytes(spec: &JobSpec) -> Vec<u8> {
+    let mut w = Writer::default();
+    encode_spec(&mut w, spec);
+    w.buf
+}
+
+/// Inverse of [`encode_spec_bytes`]; strict — every byte must be
+/// consumed.
+pub fn decode_spec_bytes(bytes: &[u8]) -> Option<JobSpec> {
+    let mut r = Reader::new(bytes);
+    let spec = decode_spec(&mut r)?;
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(spec)
+}
+
 fn decode_spec(r: &mut Reader) -> Option<JobSpec> {
     let name = r.str()?;
     let source = r.str()?;
@@ -782,9 +851,14 @@ fn decode_spec(r: &mut Reader) -> Option<JobSpec> {
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut w = Writer::default();
     match req {
-        Request::Submit { spec, trace } => {
+        Request::Submit {
+            spec,
+            trace,
+            tenant,
+        } => {
             w.u8(0);
             w.u64(*trace);
+            w.str(tenant);
             encode_spec(&mut w, spec);
         }
         Request::Stats => w.u8(1),
@@ -851,9 +925,11 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, ProtocolError> {
     let req = match tag {
         0 => (|| {
             let trace = r.u64()?;
+            let tenant = r.str()?;
             Some(Request::Submit {
                 spec: decode_spec(&mut r)?,
                 trace,
+                tenant,
             })
         })(),
         1 => Some(Request::Stats),
@@ -922,6 +998,15 @@ fn encode_outcome(w: &mut Writer, o: &JobOutcome) {
             overify_store::ledger::encode_ledger(w, l);
         }
     }
+    match &o.verdict_key {
+        None => w.u8(0),
+        Some(k) => {
+            w.u8(1);
+            w.u8(k.slice as u8);
+            w.u128(k.fp);
+            w.u128(k.budget_sig);
+        }
+    }
 }
 
 fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
@@ -946,6 +1031,22 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
         1 => Some(overify_store::ledger::decode_ledger(r)?),
         _ => return None,
     };
+    let verdict_key = match r.u8()? {
+        0 => None,
+        1 => {
+            let slice = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            Some(VerdictKey {
+                slice,
+                fp: r.u128()?,
+                budget_sig: r.u128()?,
+            })
+        }
+        _ => return None,
+    };
     Some(JobOutcome {
         name,
         level,
@@ -955,6 +1056,7 @@ fn decode_outcome(r: &mut Reader) -> Option<JobOutcome> {
         error,
         runs,
         ledger,
+        verdict_key,
     })
 }
 
@@ -1096,6 +1198,18 @@ pub fn encode_event(ev: &Event) -> Vec<u8> {
             encode_slow(&mut w, slow);
         }
         Event::MetricsAck => w.u8(12),
+        Event::Busy { retry_after_ms } => {
+            w.u8(13);
+            w.u64(*retry_after_ms);
+        }
+        Event::Shed {
+            job,
+            retry_after_ms,
+        } => {
+            w.u8(14);
+            w.u64(*job);
+            w.u64(*retry_after_ms);
+        }
     }
     w.buf
 }
@@ -1168,6 +1282,13 @@ pub fn decode_event(bytes: &[u8]) -> Result<Event, ProtocolError> {
             })
         })(),
         12 => Some(Event::MetricsAck),
+        13 => r.u64().map(|retry_after_ms| Event::Busy { retry_after_ms }),
+        14 => (|| {
+            Some(Event::Shed {
+                job: r.u64()?,
+                retry_after_ms: r.u64()?,
+            })
+        })(),
         tag => return Err(ProtocolError::UnknownTag { what: "event", tag }),
     };
     seal_decode("event", ev, &r)
@@ -1237,6 +1358,11 @@ mod tests {
                 from_slice: false,
                 workers: vec!["worker-a".into(), "worker-b".into()],
             }),
+            verdict_key: Some(VerdictKey {
+                slice: true,
+                fp: 0xABCD << 64,
+                budget_sig: 77 << 96,
+            }),
         }
     }
 
@@ -1246,6 +1372,12 @@ mod tests {
             Request::Submit {
                 spec: sample_spec(),
                 trace: 0xFEED_F00D,
+                tenant: String::new(),
+            },
+            Request::Submit {
+                spec: sample_spec(),
+                trace: 1,
+                tenant: "alice".into(),
             },
             Request::Stats,
             Request::Metrics {
@@ -1369,6 +1501,13 @@ mod tests {
                 slow: vec![(3 << 100, 4_000_000)],
             },
             Event::MetricsAck,
+            Event::Busy {
+                retry_after_ms: 250,
+            },
+            Event::Shed {
+                job: 3,
+                retry_after_ms: 1_000,
+            },
         ];
         for ev in events {
             let bytes = encode_event(&ev);
@@ -1548,6 +1687,23 @@ mod tests {
                 let mut r = Reader::new(&w.buf[..cut]);
                 proptest::prop_assert_eq!(decode_trace(&mut r), None);
             }
+        }
+    }
+
+    #[test]
+    fn spec_bytes_round_trip_and_are_canonical() {
+        let spec = sample_spec();
+        let bytes = encode_spec_bytes(&spec);
+        assert_eq!(decode_spec_bytes(&bytes), Some(spec.clone()));
+        // Identical specs encode identically — the property the gateway's
+        // content-addressed job ids rest on.
+        assert_eq!(bytes, encode_spec_bytes(&spec.clone()));
+        // Trailing bytes are rejected (one spec, one encoding).
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_spec_bytes(&padded), None);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_spec_bytes(&bytes[..cut]), None, "cut={cut}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! The store-aware, cost-first job scheduler.
+//! The store-aware, cost-first, tenant-fair job scheduler.
 //!
 //! Store *hits* never get here — the connection handler answers them
 //! straight from [`overify::Store::load_report`] — so everything in the
@@ -16,10 +16,25 @@
 //!    module's size and the job's byte budgets.
 //! 3. **FIFO tie-break** by submission sequence, so dispatch order is
 //!    fully deterministic given the queue contents.
+//!
+//! Two properties were added for the public gateway tier and apply to
+//! every feed of the executor pool:
+//!
+//! - **Bounded depth.** A scheduler built with [`Scheduler::bounded`]
+//!   refuses pushes past its capacity with [`PushError::Full`], handing
+//!   the item back so the caller can shed it explicitly (the daemon turns
+//!   this into a `Shed` frame, the gateway into an HTTP 429) instead of
+//!   letting the backlog grow without limit.
+//! - **Tenant fairness.** Items are pushed under a tenant key and `pop`
+//!   round-robins across tenants with pending work, applying the
+//!   cost-first policy *within* each tenant's backlog. One tenant
+//!   flooding the queue delays its own jobs, not everyone else's. The
+//!   plain [`Scheduler::push`] uses a single shared tenant, which
+//!   degenerates to exactly the old global policy.
 
 use overify_obs::metrics::{LazyGauge, LazyHistogram};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -51,6 +66,24 @@ impl Ord for Priority {
     }
 }
 
+/// Why a push was refused, carrying the item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at its configured capacity; shed the item.
+    Full(T),
+    /// The scheduler was closed; the daemon is shutting down.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The refused item, however it was refused.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
 struct Entry<T> {
     priority: Priority,
     seq: u64,
@@ -59,7 +92,12 @@ struct Entry<T> {
 }
 
 struct Queue<T> {
-    entries: Vec<Entry<T>>,
+    /// Per-tenant backlogs; a tenant key is present iff it has entries.
+    tenants: HashMap<String, Vec<Entry<T>>>,
+    /// Round-robin order over tenants with pending work.
+    rotation: VecDeque<String>,
+    /// Total entries across all tenants (kept in sync for O(1) bounds).
+    len: usize,
     next_seq: u64,
     closed: bool,
 }
@@ -69,59 +107,123 @@ struct Queue<T> {
 pub struct Scheduler<T> {
     queue: Mutex<Queue<T>>,
     cv: Condvar,
+    /// `None` = unbounded (the pre-gateway behavior).
+    capacity: Option<usize>,
 }
 
+/// The tenant key used by [`Scheduler::push`]; callers that never name
+/// tenants all share it, which reduces to the old single-queue policy.
+const SHARED_TENANT: &str = "";
+
 impl<T> Scheduler<T> {
-    /// An empty, open scheduler.
+    /// An empty, open, unbounded scheduler.
     pub fn new() -> Scheduler<T> {
+        Scheduler::with_capacity(None)
+    }
+
+    /// An empty, open scheduler that refuses pushes past `capacity`
+    /// waiting items with [`PushError::Full`].
+    pub fn bounded(capacity: usize) -> Scheduler<T> {
+        Scheduler::with_capacity(Some(capacity))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Scheduler<T> {
         Scheduler {
             queue: Mutex::new(Queue {
-                entries: Vec::new(),
+                tenants: HashMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
                 next_seq: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
+            capacity,
         }
     }
 
-    /// Enqueues an item; returns how many items were ahead of it (its
-    /// queue position at enqueue time). Items pushed after close are
-    /// rejected back to the caller.
-    pub fn push(&self, priority: Priority, item: T) -> Result<usize, T> {
+    /// Enqueues an item under the shared tenant; returns how many items
+    /// were ahead of it (its queue position at enqueue time).
+    pub fn push(&self, priority: Priority, item: T) -> Result<usize, PushError<T>> {
+        self.push_for(SHARED_TENANT, priority, item)
+    }
+
+    /// Enqueues an item under `tenant`. Returns how many items across
+    /// all tenants had dispatch priority at or above this one (an upper
+    /// bound on its queue position; round-robin may serve it sooner).
+    /// Items pushed after close come back as [`PushError::Closed`];
+    /// pushes past a bounded capacity come back as [`PushError::Full`].
+    pub fn push_for(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        item: T,
+    ) -> Result<usize, PushError<T>> {
         let mut q = self.queue.lock().unwrap();
         if q.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
-        let position = q.entries.iter().filter(|e| e.priority >= priority).count();
+        if let Some(cap) = self.capacity {
+            if q.len >= cap {
+                return Err(PushError::Full(item));
+            }
+        }
+        let position = q
+            .tenants
+            .values()
+            .flatten()
+            .filter(|e| e.priority >= priority)
+            .count();
         let seq = q.next_seq;
         q.next_seq += 1;
-        q.entries.push(Entry {
-            priority,
-            seq,
-            enqueued: Instant::now(),
-            item,
-        });
-        QUEUE_DEPTH.set(q.entries.len() as i64);
+        if !q.tenants.contains_key(tenant) {
+            q.rotation.push_back(tenant.to_string());
+        }
+        q.tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .push(Entry {
+                priority,
+                seq,
+                enqueued: Instant::now(),
+                item,
+            });
+        q.len += 1;
+        QUEUE_DEPTH.set(q.len as i64);
         self.cv.notify_one();
         Ok(position)
     }
 
-    /// Blocks until an item is available (highest priority, FIFO within
-    /// equal priorities) or the scheduler is closed (`None`).
+    /// Blocks until an item is available or the scheduler is closed
+    /// (`None`). Tenants are served round-robin; within a tenant the
+    /// highest-priority item dispatches, FIFO within equal priorities.
     pub fn pop(&self) -> Option<T> {
         let mut q = self.queue.lock().unwrap();
         loop {
-            if let Some(best) = q
-                .entries
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)) // lower seq wins ties
-                })
-                .map(|(i, _)| i)
-            {
-                let entry = q.entries.swap_remove(best);
-                QUEUE_DEPTH.set(q.entries.len() as i64);
+            if q.len > 0 {
+                let tenant = q
+                    .rotation
+                    .pop_front()
+                    .expect("non-empty queue has a rotation");
+                let entries = q
+                    .tenants
+                    .get_mut(&tenant)
+                    .expect("rotated tenant has entries");
+                let best = entries
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)) // lower seq wins ties
+                    })
+                    .map(|(i, _)| i)
+                    .expect("rotated tenant has entries");
+                let entry = entries.swap_remove(best);
+                if entries.is_empty() {
+                    q.tenants.remove(&tenant);
+                } else {
+                    q.rotation.push_back(tenant);
+                }
+                q.len -= 1;
+                QUEUE_DEPTH.set(q.len as i64);
                 TIME_TO_SCHEDULE_NS.observe_ns(entry.enqueued.elapsed());
                 return Some(entry.item);
             }
@@ -132,20 +234,24 @@ impl<T> Scheduler<T> {
         }
     }
 
-    /// Closes the queue and drains everything still waiting: `pop` returns
-    /// `None` once the drained backlog is gone, and future pushes fail.
+    /// Closes the queue and drains everything still waiting in global
+    /// submission order: `pop` returns `None` once the drained backlog is
+    /// gone, and future pushes fail with [`PushError::Closed`].
     pub fn close(&self) -> VecDeque<T> {
         let mut q = self.queue.lock().unwrap();
         q.closed = true;
-        let drained = std::mem::take(&mut q.entries);
+        let mut drained: Vec<Entry<T>> = q.tenants.drain().flat_map(|(_, v)| v).collect();
+        drained.sort_by_key(|e| e.seq);
+        q.rotation.clear();
+        q.len = 0;
         QUEUE_DEPTH.set(0);
         self.cv.notify_all();
         drained.into_iter().map(|e| e.item).collect()
     }
 
-    /// Items currently waiting.
+    /// Items currently waiting across all tenants.
     pub fn len(&self) -> usize {
-        self.queue.lock().unwrap().entries.len()
+        self.queue.lock().unwrap().len
     }
 
     /// True when nothing is waiting.
@@ -205,7 +311,7 @@ mod tests {
         let drained: Vec<char> = s.close().into_iter().collect();
         assert_eq!(drained, ['a', 'b'], "backlog handed back on close");
         assert!(s.pop().is_none());
-        assert_eq!(s.push(observed(3), 'c'), Err('c'));
+        assert_eq!(s.push(observed(3), 'c'), Err(PushError::Closed('c')));
     }
 
     #[test]
@@ -216,5 +322,47 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         s.push(estimated(1), 42u32).unwrap();
         assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity() {
+        let s = Scheduler::bounded(2);
+        s.push(observed(1), 'a').unwrap();
+        s.push(observed(2), 'b').unwrap();
+        assert_eq!(s.push(observed(9), 'c'), Err(PushError::Full('c')));
+        assert_eq!(s.pop(), Some('b'));
+        // Popping frees a slot; the retry is admitted.
+        s.push(observed(9), 'c').unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tenants_are_served_round_robin() {
+        let s = Scheduler::new();
+        // Tenant "hog" floods first with high-cost work; "meek" submits
+        // one cheap job afterwards.
+        for (i, name) in ["hog-1", "hog-2", "hog-3"].iter().enumerate() {
+            s.push_for("hog", observed(1000 - i as u128), *name)
+                .unwrap();
+        }
+        s.push_for("meek", observed(1), "meek-1").unwrap();
+        let order: Vec<&str> =
+            std::iter::from_fn(|| if s.is_empty() { None } else { s.pop() }).collect();
+        assert_eq!(
+            order,
+            ["hog-1", "meek-1", "hog-2", "hog-3"],
+            "the meek tenant's job is served second, not last"
+        );
+    }
+
+    #[test]
+    fn single_tenant_keeps_cost_first_policy() {
+        let s = Scheduler::bounded(10);
+        s.push_for("t", observed(5), "low").unwrap();
+        s.push_for("t", observed(50), "high").unwrap();
+        s.push_for("t", estimated(1), "unknown").unwrap();
+        assert_eq!(s.pop(), Some("unknown"));
+        assert_eq!(s.pop(), Some("high"));
+        assert_eq!(s.pop(), Some("low"));
     }
 }

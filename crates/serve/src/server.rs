@@ -27,8 +27,9 @@
 use crate::hub::{FrontierHub, RunPublisher};
 use crate::protocol::{
     encode_event, read_frame, write_frame, Event, JobOutcome, JobSpec, MetricsScope, Request,
-    ServeStatsSnapshot, VERSION,
+    ServeStatsSnapshot, VerdictKey, VERSION,
 };
+use crate::scheduler::PushError;
 use crate::scheduler::{Priority, Scheduler};
 use overify::{
     default_threads, prepare_job, JobProgress, PreparedJob, ProgressSnapshot, SharedQueryCache,
@@ -64,6 +65,16 @@ pub struct ServerConfig {
     /// *other* processes appended to the shared store into its warm
     /// cache. Ignored when serving storeless.
     pub tail_interval: Duration,
+    /// Concurrent client connections the daemon will hold. A connection
+    /// past the cap is answered with a single [`Event::Busy`] frame and
+    /// closed instead of getting a handler thread — accepts never pile
+    /// up unboundedly. `None` = unlimited (the historical behavior).
+    pub max_connections: Option<usize>,
+    /// Bound on the miss queue feeding the executor pool. A submission
+    /// that would push past it is refused with [`Event::Shed`] (its
+    /// final event) instead of growing the backlog without limit.
+    /// `None` = unbounded (the historical behavior).
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -74,9 +85,18 @@ impl Default for ServerConfig {
             store: StoreConfig::from_env(),
             progress_interval: Duration::from_millis(25),
             tail_interval: Duration::from_millis(200),
+            max_connections: None,
+            queue_capacity: None,
         }
     }
 }
+
+/// Backoff hint on a [`Event::Busy`] refusal (connection cap).
+const BUSY_RETRY_MS: u64 = 500;
+/// Backoff hint on a [`Event::Shed`] refusal (queue full). Longer than
+/// the busy hint: a full queue means real verification work is backed
+/// up, not just a momentary accept burst.
+const SHED_RETRY_MS: u64 = 1_000;
 
 /// One queued miss: the prepared job plus the event channel of the client
 /// that owns it. `key_hash` is the in-flight coalescing key (`None` when
@@ -184,6 +204,10 @@ struct ServeState {
     rings: Rings,
     /// Executor pool size, for the queue-saturation health gauge.
     executors: u64,
+    /// Live client connections, against `max_connections`.
+    live_conns: AtomicU64,
+    /// Connection cap; `None` = unlimited.
+    max_connections: Option<usize>,
     /// Trace-timebase microseconds of the last solver-log tail pass, for
     /// the tail-lag health gauge (0 until the first pass, or storeless).
     last_tail_us: AtomicU64,
@@ -295,7 +319,10 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let state = Arc::new(ServeState {
         store,
         warm,
-        sched: Scheduler::new(),
+        sched: match cfg.queue_capacity {
+            Some(cap) => Scheduler::bounded(cap),
+            None => Scheduler::new(),
+        },
         hub: FrontierHub::new(),
         active: Mutex::new(Vec::new()),
         inflight: Mutex::new(HashMap::new()),
@@ -311,6 +338,8 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         fleet: Mutex::new(BTreeMap::new()),
         rings: Rings::from_env(),
         executors: cfg.executors.max(1) as u64,
+        live_conns: AtomicU64::new(0),
+        max_connections: cfg.max_connections,
         last_tail_us: AtomicU64::new(0),
     });
 
@@ -342,6 +371,32 @@ fn accept_loop(state: &Arc<ServeState>, listener: TcpListener) {
             break;
         }
         let Ok(stream) = conn else { continue };
+        // Connection cap: refuse with a typed Busy frame instead of
+        // spawning a handler. The count is claimed optimistically and
+        // released on refusal so two racing accepts can't both slip past
+        // the last slot.
+        if let Some(cap) = state.max_connections {
+            let prev = state.live_conns.fetch_add(1, Ordering::SeqCst);
+            if prev >= cap as u64 {
+                state.live_conns.fetch_sub(1, Ordering::SeqCst);
+                static BUSY: LazyCounter = LazyCounter::new("overify_serve_busy_refused_total");
+                BUSY.inc();
+                // A slow peer must not stall the accept loop: the single
+                // refusal frame is written from a throwaway thread.
+                std::thread::spawn(move || {
+                    let mut w = BufWriter::new(stream);
+                    let _ = write_frame(
+                        &mut w,
+                        &encode_event(&Event::Busy {
+                            retry_after_ms: BUSY_RETRY_MS,
+                        }),
+                    );
+                });
+                continue;
+            }
+        } else {
+            state.live_conns.fetch_add(1, Ordering::SeqCst);
+        }
         let state = state.clone();
         let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
         // Connection handlers are detached: they exit when their client
@@ -349,6 +404,7 @@ fn accept_loop(state: &Arc<ServeState>, listener: TcpListener) {
         // whatever is left.
         std::thread::spawn(move || {
             let _ = handle_connection(&state, stream, conn_id);
+            state.live_conns.fetch_sub(1, Ordering::SeqCst);
         });
     }
 }
@@ -391,7 +447,11 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream, conn_id: u64) -
     // framing) — `read_frame` then errors.
     while let Ok(frame) = read_frame(&mut r) {
         match crate::protocol::decode_request(&frame) {
-            Ok(Request::Submit { spec, trace }) => handle_submit(state, &spec, trace, &tx),
+            Ok(Request::Submit {
+                spec,
+                trace,
+                tenant,
+            }) => handle_submit(state, &spec, trace, &tenant, &tx),
             Ok(Request::Stats) => {
                 tx.send(Event::Stats(state.stats())).ok();
             }
@@ -657,12 +717,33 @@ fn render_fleet(state: &ServeState) -> String {
     out
 }
 
+/// The store address of the verdict that answered (or will answer) a
+/// prepared job: the slice key when the answer was spliced, the module
+/// key otherwise. `None` when the server runs storeless.
+fn verdict_key_for(prepared: &PreparedJob, from_slice: bool) -> Option<VerdictKey> {
+    if from_slice {
+        prepared.slice_key.as_ref().map(|k| VerdictKey {
+            slice: true,
+            fp: k.slice_fp,
+            budget_sig: k.budget_sig,
+        })
+    } else {
+        prepared.key.as_ref().map(|k| VerdictKey {
+            slice: false,
+            fp: k.module_fp,
+            budget_sig: k.budget_sig,
+        })
+    }
+}
+
 /// Compiles, content-addresses, and routes one submission: store hits are
-/// answered here and now; misses are priced and queued.
+/// answered here and now; misses are priced and queued under the
+/// submitter's tenant key.
 fn handle_submit(
     state: &Arc<ServeState>,
     spec: &crate::protocol::JobSpec,
     trace: u64,
+    tenant: &str,
     tx: &Sender<Event>,
 ) {
     state.submitted.fetch_add(1, Ordering::Relaxed);
@@ -691,11 +772,9 @@ fn handle_submit(
             if hit.from_slice {
                 state.answered_spliced.fetch_add(1, Ordering::Relaxed);
             }
-            tx.send(Event::Report {
-                job: id,
-                outcome: JobOutcome::from_result(&hit),
-            })
-            .ok();
+            let mut outcome = JobOutcome::from_result(&hit);
+            outcome.verdict_key = verdict_key_for(&prepared, hit.from_slice);
+            tx.send(Event::Report { job: id, outcome }).ok();
             return;
         }
     }
@@ -769,27 +848,54 @@ fn handle_submit(
         priority,
         trace,
     };
-    if let Err(rejected) = state.sched.push(priority, queued) {
-        // Shutdown raced the submission. Report the job — and any
-        // followers that registered on its in-flight entry meanwhile — as
-        // aborted, exactly like `begin_shutdown` does for the backlog.
-        let outcome = JobOutcome::from_result(&SuiteJobResult {
-            name: rejected.prepared.job().name.clone(),
-            level: rejected.prepared.job().opts.level,
-            compile_time: rejected.prepared.compile_time,
-            runs: Vec::new(),
-            error: Some("server shutting down before the job ran".into()),
-            from_store: false,
-            from_slice: false,
-            ledger: None,
-        });
-        let followers = take_followers(state, key_hash);
-        tx.send(Event::Report {
-            job: id,
-            outcome: outcome.clone(),
-        })
-        .ok();
-        report_followers(followers, &outcome);
+    match state.sched.push_for(tenant, priority, queued) {
+        Ok(_) => {}
+        Err(PushError::Full(_)) => {
+            // The bounded queue refused the miss: shed it explicitly.
+            // Shed is the job's final event; the client retries the whole
+            // submission after the hint. Followers that registered on the
+            // in-flight entry meanwhile are shed too — their execution is
+            // not coming.
+            static SHED: LazyCounter = LazyCounter::new("overify_serve_shed_total");
+            SHED.inc();
+            let followers = take_followers(state, key_hash);
+            tx.send(Event::Shed {
+                job: id,
+                retry_after_ms: SHED_RETRY_MS,
+            })
+            .ok();
+            for (follower_id, events) in followers {
+                events
+                    .send(Event::Shed {
+                        job: follower_id,
+                        retry_after_ms: SHED_RETRY_MS,
+                    })
+                    .ok();
+            }
+        }
+        Err(PushError::Closed(rejected)) => {
+            // Shutdown raced the submission. Report the job — and any
+            // followers that registered on its in-flight entry meanwhile —
+            // as aborted, exactly like `begin_shutdown` does for the
+            // backlog.
+            let outcome = JobOutcome::from_result(&SuiteJobResult {
+                name: rejected.prepared.job().name.clone(),
+                level: rejected.prepared.job().opts.level,
+                compile_time: rejected.prepared.compile_time,
+                runs: Vec::new(),
+                error: Some("server shutting down before the job ran".into()),
+                from_store: false,
+                from_slice: false,
+                ledger: None,
+            });
+            let followers = take_followers(state, key_hash);
+            tx.send(Event::Report {
+                job: id,
+                outcome: outcome.clone(),
+            })
+            .ok();
+            report_followers(followers, &outcome);
+        }
     }
 }
 
@@ -836,7 +942,8 @@ fn executor_loop(state: &Arc<ServeState>) {
                 if hit.from_slice {
                     state.answered_spliced.fetch_add(1, Ordering::Relaxed);
                 }
-                let outcome = JobOutcome::from_result(&hit);
+                let mut outcome = JobOutcome::from_result(&hit);
+                outcome.verdict_key = verdict_key_for(&job.prepared, hit.from_slice);
                 let followers = take_followers(state, job.key_hash);
                 job.events
                     .send(Event::Report {
@@ -916,7 +1023,12 @@ fn executor_loop(state: &Arc<ServeState>) {
         // client reacting to it resubmits fresh instead of riding a
         // finished execution.
         active.publish(active.progress.snapshot(), true);
-        let outcome = JobOutcome::from_result(&result);
+        let mut outcome = JobOutcome::from_result(&result);
+        if result.error.is_none() && state.store.is_some() {
+            // The executed run was just persisted under the module key;
+            // point the outcome at it.
+            outcome.verdict_key = verdict_key_for(&job.prepared, false);
+        }
         let followers = take_followers(state, job.key_hash);
         job.events
             .send(Event::Report {

@@ -417,6 +417,42 @@ fn peek_fp(bytes: &[u8], magic: &[u8; 8]) -> Option<u128> {
     r.u128()
 }
 
+/// Reads the full key echo out of an artifact header with the given
+/// magic — fingerprint, level and budget signature, no payload decode.
+/// `None` when the bytes are not a current-version artifact.
+fn peek_key(bytes: &[u8], magic: &[u8; 8]) -> Option<(u128, OptLevel, u128)> {
+    if bytes.len() < magic.len() || &bytes[..magic.len()] != magic {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[magic.len()..]);
+    if r.u32()? != VERSION {
+        return None;
+    }
+    let fp = r.u128()?;
+    let level = level_from_tag(r.u8()?)?;
+    let sig = r.u128()?;
+    Some((fp, level, sig))
+}
+
+/// Reads the full [`ReportKey`] out of a module artifact's header — the
+/// registry listing's per-file probe (no payload decode).
+pub fn peek_artifact_key(bytes: &[u8]) -> Option<ReportKey> {
+    peek_key(bytes, MAGIC).map(|(module_fp, level, budget_sig)| ReportKey {
+        module_fp,
+        level,
+        budget_sig,
+    })
+}
+
+/// Reads the full [`SliceKey`] out of a slice artifact's header.
+pub fn peek_slice_artifact_key(bytes: &[u8]) -> Option<SliceKey> {
+    peek_key(bytes, SLICE_MAGIC).map(|(slice_fp, level, budget_sig)| SliceKey {
+        slice_fp,
+        level,
+        budget_sig,
+    })
+}
+
 /// Serializes a whole module-keyed artifact file: header, key echo,
 /// checksummed payload.
 pub fn encode_artifact(key: &ReportKey, job: &StoredJob) -> Vec<u8> {
@@ -587,6 +623,33 @@ mod tests {
         stale[MAGIC.len()] ^= 0xFF;
         assert_eq!(peek_module_fp(&stale), None, "version skew");
         assert_eq!(peek_module_fp(b"junk"), None);
+    }
+
+    #[test]
+    fn header_peek_reads_the_whole_key() {
+        let key = sample_key();
+        let bytes = encode_artifact(
+            &key,
+            &StoredJob {
+                runs: vec![(2, sample_report())],
+            },
+        );
+        assert_eq!(peek_artifact_key(&bytes), Some(key));
+        assert_eq!(peek_slice_artifact_key(&bytes), None, "wrong magic");
+        assert_eq!(peek_artifact_key(&bytes[..20]), None, "truncated header");
+        let skey = SliceKey {
+            slice_fp: 7 << 100,
+            level: OptLevel::O3,
+            budget_sig: 99,
+        };
+        let sbytes = encode_slice_artifact(
+            &skey,
+            &StoredJob {
+                runs: vec![(2, sample_report())],
+            },
+        );
+        assert_eq!(peek_slice_artifact_key(&sbytes), Some(skey));
+        assert_eq!(peek_artifact_key(&sbytes), None, "wrong magic");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   slices/<key>.bin     layer 2, function grain (one artifact per
 //!                        entry-function slice fingerprint — survives
 //!                        edits elsewhere in the module)
+//!   jobs/<id>.bin        durable gateway job records (submit-then-poll
+//!                        state that outlives the gateway and the
+//!                        daemon — see [`job`])
 //!   costs.log            per-key observed verification cost at both
 //!                        grains (scheduling metadata — see [`cost`])
 //!   ledgers.log          per-run resource attribution (solver time,
@@ -43,16 +46,19 @@
 pub mod artifact;
 pub mod codec;
 pub mod cost;
+pub mod job;
 pub mod ledger;
 pub mod lock;
 pub mod log;
 
 pub use artifact::{budget_signature, ReportKey, SliceKey, StoredJob};
 pub use cost::{CostKind, CostRecord};
+pub use job::{JobRecord, JobState, VerdictPointer};
 pub use ledger::RunLedger;
 pub use log::{LoadSummary, LogError, TailSummary};
 
 use overify_obs::metrics::{LazyCounter, LazyHistogram};
+use overify_opt::OptLevel;
 use overify_symex::SharedQueryCache;
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -190,6 +196,11 @@ impl Store {
             fs::create_dir_all(cfg.root.join("reports"))?;
             fs::create_dir_all(cfg.root.join("slices"))?;
         }
+        // Job records are control-plane state, not a cache layer: the
+        // gateway's submit-then-poll contract depends on them even when
+        // report persistence is switched off, so the directory always
+        // exists.
+        fs::create_dir_all(cfg.root.join("jobs"))?;
         Ok(Store {
             cfg,
             persisted: Mutex::new(HashSet::new()),
@@ -249,6 +260,18 @@ impl Store {
 
     fn reports_dir(&self) -> PathBuf {
         self.cfg.root.join("reports")
+    }
+
+    /// A collision-free temp sibling for an atomic temp+rename write.
+    /// Concurrent writers of the *same* artifact within one process
+    /// (two gateway threads stamping one job id, two suite workers
+    /// saving one key) must not share a temp path — a pid-only suffix
+    /// lets one writer's rename erase the other's temp file mid-write,
+    /// surfacing as a spurious ENOENT.
+    fn tmp_sibling(path: &Path) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        path.with_extension(format!("tmp{}_{seq}", std::process::id()))
     }
 
     fn report_path(&self, key: &ReportKey) -> PathBuf {
@@ -452,7 +475,7 @@ impl Store {
             return Ok(());
         }
         let path = self.report_path(key);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        let tmp = Self::tmp_sibling(&path);
         fs::write(&tmp, artifact::encode_artifact(key, job))?;
         fs::rename(&tmp, &path)?;
         self.reports_saved.fetch_add(1, Ordering::Relaxed);
@@ -493,11 +516,117 @@ impl Store {
             return Ok(());
         }
         let path = self.slice_path(key);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        let tmp = Self::tmp_sibling(&path);
         fs::write(&tmp, artifact::encode_slice_artifact(key, job))?;
         fs::rename(&tmp, &path)?;
         self.slices_saved.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn jobs_dir(&self) -> PathBuf {
+        self.cfg.root.join("jobs")
+    }
+
+    fn job_path(&self, id: u128) -> PathBuf {
+        self.jobs_dir().join(format!("{id:032x}.bin"))
+    }
+
+    /// Persists one gateway job record atomically (same temp + rename
+    /// discipline as the report artifacts), refusing state regressions:
+    /// when a record already on disk is terminal and `rec` is not, the
+    /// write is skipped and `Ok(false)` returned — two processes may
+    /// share the store, and a stale `Running` must never clobber a
+    /// `Done`. Returns `Ok(true)` when the record was written.
+    pub fn save_job(&self, rec: &JobRecord) -> io::Result<bool> {
+        static SAVED: LazyCounter = LazyCounter::new("overify_store_jobs_saved_total");
+        let path = self.job_path(rec.id);
+        if let Some(old) = fs::read(&path)
+            .ok()
+            .and_then(|bytes| job::decode_job_record(&bytes, rec.id))
+        {
+            if rec.regresses(&old) {
+                return Ok(false);
+            }
+        }
+        let tmp = Self::tmp_sibling(&path);
+        fs::write(&tmp, job::encode_job_record(rec))?;
+        fs::rename(&tmp, &path)?;
+        SAVED.inc();
+        Ok(true)
+    }
+
+    /// Looks up a job record by id. Any defect in the file (damage,
+    /// version skew, id-echo mismatch) degrades to "job unknown".
+    pub fn load_job(&self, id: u128) -> Option<JobRecord> {
+        fs::read(self.job_path(id))
+            .ok()
+            .and_then(|bytes| job::decode_job_record(&bytes, id))
+    }
+
+    /// Every intact job record on disk, ordered by id. A restarted
+    /// gateway replays this to re-enqueue whatever was non-terminal when
+    /// it died; damaged files are silently skipped (those jobs degrade
+    /// to unknown, exactly as [`Store::load_job`] would report them).
+    pub fn list_jobs(&self) -> Vec<JobRecord> {
+        let mut jobs = Vec::new();
+        let Ok(entries) = fs::read_dir(self.jobs_dir()) else {
+            return jobs;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_file() || path.extension().is_none_or(|e| e != "bin") {
+                continue;
+            }
+            if let Some(rec) = fs::read(&path).ok().and_then(|b| job::peek_then_decode(&b)) {
+                jobs.push(rec);
+            }
+        }
+        jobs.sort_by_key(|r| r.id);
+        jobs
+    }
+
+    /// Every stored verdict at both grains — the gateway's
+    /// `GET /v1/registry` view. Each row is read from an artifact
+    /// *header* only (magic, version, full key echo), so listing is
+    /// cheap and a damaged or foreign file simply contributes no row.
+    /// Rows are sorted (modules first, then by fingerprint) so the
+    /// registry is stable across scans.
+    pub fn list_verdicts(&self) -> Vec<VerdictRow> {
+        let mut rows = Vec::new();
+        let read_dir = |dir: PathBuf, rows: &mut Vec<VerdictRow>, slice: bool| {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if !path.is_file() || path.extension().is_none_or(|e| e != "bin") {
+                    continue;
+                }
+                let Ok(bytes) = fs::read(&path) else { continue };
+                let row = if slice {
+                    artifact::peek_slice_artifact_key(&bytes).map(|k| VerdictRow {
+                        slice: true,
+                        fp: k.slice_fp,
+                        level: k.level,
+                        budget_sig: k.budget_sig,
+                    })
+                } else {
+                    artifact::peek_artifact_key(&bytes).map(|k| VerdictRow {
+                        slice: false,
+                        fp: k.module_fp,
+                        level: k.level,
+                        budget_sig: k.budget_sig,
+                    })
+                };
+                if let Some(row) = row {
+                    rows.push(row);
+                }
+            }
+        };
+        read_dir(self.reports_dir(), &mut rows, false);
+        read_dir(self.slices_dir(), &mut rows, true);
+        rows.sort_by_key(|r| (r.slice, r.fp, artifact::level_tag(r.level), r.budget_sig));
+        rows
     }
 
     /// How old a non-artifact file under `reports/` must be before
@@ -597,7 +726,9 @@ impl Store {
     /// The solver-verdict log is *not* content-addressed by program
     /// (formula fingerprints are shared across programs — a libc query
     /// serves every utility), so it is never collected here; its own
-    /// compaction handles damage and duplicate bloat.
+    /// compaction handles damage and duplicate bloat. Job records under
+    /// `jobs/` are control-plane history, not cache — gc leaves them
+    /// alone too, so `GET /v1/jobs/<id>` keeps answering across sweeps.
     pub fn gc(
         &self,
         live_modules: &HashSet<u128>,
@@ -695,6 +826,22 @@ impl Store {
         }
         Ok((kept, removed))
     }
+}
+
+/// One row of the store's verdict registry ([`Store::list_verdicts`]):
+/// a stored verification verdict's full content address, read from the
+/// artifact header without decoding the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerdictRow {
+    /// True for a function-slice verdict (`slices/`), false for a
+    /// whole-module report (`reports/`).
+    pub slice: bool,
+    /// Module or slice fingerprint.
+    pub fp: u128,
+    /// Pipeline level the verdict was computed at.
+    pub level: OptLevel,
+    /// Budget signature the verdict was computed under.
+    pub budget_sig: u128,
 }
 
 /// What one [`Store::gc`] pass reclaimed and retained.
@@ -1132,6 +1279,85 @@ mod tests {
         let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
         assert_eq!(store2.load_slice(&skey(10)), Some(job(2)));
         assert!(store2.load_slice(&skey(20)).is_none());
+    }
+
+    #[test]
+    fn job_records_persist_refuse_regression_and_list_in_id_order() {
+        let store = tmp_store("jobs");
+        assert!(store.load_job(7).is_none());
+        let rec = |id: u128, state: JobState| JobRecord {
+            id,
+            state,
+            tenant: "t".into(),
+            created_us: 10,
+            updated_us: 20,
+            spec: vec![9, 9],
+            verdict: None,
+            error: None,
+        };
+        assert!(store.save_job(&rec(7, JobState::Queued)).unwrap());
+        assert!(store.save_job(&rec(3, JobState::Done)).unwrap());
+        assert_eq!(store.load_job(7), Some(rec(7, JobState::Queued)));
+        // Forward transitions write; a regression to non-terminal does not.
+        assert!(store.save_job(&rec(7, JobState::Done)).unwrap());
+        assert!(!store.save_job(&rec(7, JobState::Running)).unwrap());
+        assert_eq!(store.load_job(7), Some(rec(7, JobState::Done)));
+        // Listing is id-ordered and survives a fresh handle.
+        let store2 = Store::open(StoreConfig::at(store.root())).unwrap();
+        let ids: Vec<u128> = store2.list_jobs().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // A damaged record degrades to unknown and drops out of the list.
+        let path = store.job_path(7);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_job(7).is_none());
+        assert_eq!(store.list_jobs().len(), 1);
+    }
+
+    #[test]
+    fn registry_lists_stored_verdicts_at_both_grains() {
+        let store = tmp_store("registry");
+        assert!(store.list_verdicts().is_empty());
+        let job = StoredJob {
+            runs: vec![(1, VerificationReport::default())],
+        };
+        let mkey = ReportKey {
+            module_fp: 5,
+            level: OptLevel::Overify,
+            budget_sig: 9,
+        };
+        let skey = SliceKey {
+            slice_fp: 2,
+            level: OptLevel::O2,
+            budget_sig: 4,
+        };
+        store.save_report(&mkey, &job).unwrap();
+        store.save_slice(&skey, &job).unwrap();
+        assert_eq!(
+            store.list_verdicts(),
+            vec![
+                VerdictRow {
+                    slice: false,
+                    fp: 5,
+                    level: OptLevel::Overify,
+                    budget_sig: 9,
+                },
+                VerdictRow {
+                    slice: true,
+                    fp: 2,
+                    level: OptLevel::O2,
+                    budget_sig: 4,
+                },
+            ]
+        );
+        // Damage drops the row, never corrupts it.
+        let path = store.report_path(&mkey);
+        fs::write(&path, b"garbage").unwrap();
+        let rows = store.list_verdicts();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].slice);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! The public verification gateway: an HTTP submit-then-poll tier in
+//! front of a running `serve_daemon`.
+//!
+//! ```sh
+//! cargo run --release --example serve_daemon -- --port 7979 --store /tmp/ovstore &
+//! cargo run --release --example gateway_daemon -- \
+//!     --daemon 127.0.0.1:7979 --store /tmp/ovstore --port 8080 \
+//!     --queue-cap 64 --token sekrit=alice
+//! curl -s -X POST http://127.0.0.1:8080/v1/verify \
+//!     -H 'Authorization: Bearer sekrit' \
+//!     -d '{"name":"t","source":"int f(unsigned char*p,int n){return n;}","entry":"f","level":"overify","bytes":[2]}'
+//! ```
+//!
+//! The gateway and the daemon must share one store directory — that is
+//! where job records and the verdict registry live.
+
+use overify::StoreConfig;
+use overify_gateway::{start, GatewayConfig, QuotaConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut port = 0u16;
+    let mut daemon: Option<SocketAddr> = None;
+    let mut store: Option<StoreConfig> = None;
+    let mut dispatchers = 2usize;
+    let mut queue_cap = 256usize;
+    let mut quota = QuotaConfig::default();
+    let mut tokens: Vec<(String, String)> = Vec::new();
+    let mut upstream = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| args.next().unwrap_or_else(|| usage(what));
+        match arg.as_str() {
+            "--port" => port = parse(&next("--port needs a number")),
+            "--daemon" => daemon = Some(parse(&next("--daemon needs HOST:PORT"))),
+            "--store" => store = Some(StoreConfig::at(next("--store needs a path"))),
+            "--dispatchers" => dispatchers = parse(&next("--dispatchers needs a number")),
+            "--queue-cap" => queue_cap = parse(&next("--queue-cap needs a number")),
+            "--quota-burst" => quota.burst = parse(&next("--quota-burst needs a number")),
+            "--quota-per-sec" => quota.per_sec = parse(&next("--quota-per-sec needs a number")),
+            "--token" => {
+                let pair = next("--token needs TOKEN=TENANT");
+                let Some((token, tenant)) = pair.split_once('=') else {
+                    usage("--token needs TOKEN=TENANT")
+                };
+                tokens.push((token.to_string(), tenant.to_string()));
+            }
+            "--upstream-metrics" => upstream = true,
+            _ => usage(&format!("unknown argument {arg}")),
+        }
+    }
+    let Some(daemon) = daemon else {
+        usage("--daemon is required")
+    };
+    let store = store.or_else(StoreConfig::from_env).unwrap_or_else(|| {
+        usage("--store (or OVERIFY_STORE) is required — the gateway and daemon share it")
+    });
+
+    let store_root = store.root.clone();
+    let cfg = GatewayConfig {
+        port,
+        daemon,
+        store,
+        dispatchers,
+        queue_capacity: queue_cap,
+        quota,
+        tokens,
+        upstream_metrics: upstream,
+    };
+    match start(cfg) {
+        Ok(handle) => {
+            println!(
+                "gateway_daemon: listening on {} (daemon {daemon}, store {})",
+                handle.addr(),
+                store_root.display(),
+            );
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("gateway_daemon: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("cannot parse '{v}'")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "gateway_daemon: {msg}\nusage: gateway_daemon --daemon HOST:PORT [--store DIR] [--port P] \
+         [--dispatchers N] [--queue-cap N] [--quota-burst N] [--quota-per-sec N] \
+         [--token TOKEN=TENANT]... [--upstream-metrics]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,205 @@
+//! Floods a gateway with concurrent submissions and reports the
+//! admission outcome — the load-shedding smoke check.
+//!
+//! ```sh
+//! cargo run --release --example gateway_flood -- \
+//!     http://127.0.0.1:8080 --jobs 2000 --threads 32 [--token sekrit] [--distinct]
+//! ```
+//!
+//! Every submission is answered 202/200 (accepted), 429 (shed or
+//! quota-denied) or an error; accepted job ids are then polled until
+//! every one reaches a terminal state. Exit status 0 means zero lost
+//! jobs: accepted + shed == submitted and all accepted ids terminal.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let base = args.next().unwrap_or_else(|| usage("gateway URL required"));
+    let mut jobs = 2000usize;
+    let mut threads = 32usize;
+    let mut token: Option<String> = None;
+    let mut distinct = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = num(args.next()),
+            "--threads" => threads = num(args.next()),
+            "--token" => {
+                token = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--token needs a value")),
+                )
+            }
+            "--distinct" => distinct = true,
+            _ => usage(&format!("unknown argument {arg}")),
+        }
+    }
+    let host = base
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string();
+
+    let accepted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let ids: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (host, token) = (&host, &token);
+            let (accepted, shed, failed, ids) = (&accepted, &shed, &failed, &ids);
+            scope.spawn(move || {
+                for i in (t..jobs).step_by(threads) {
+                    // Distinct specs defeat content-address dedup (each
+                    // submission is its own job); the default reuses a
+                    // small spec pool, exercising idempotent resubmits.
+                    let salt = if distinct { i } else { i % 8 };
+                    let body = format!(
+                        "{{\"name\":\"flood-{salt}\",\"source\":\"int f(unsigned char *p, int n) \
+                         {{ int a = {salt}; if (n > 1 && p[0] > 'm') a += 2; return a; }}\",\
+                         \"entry\":\"f\",\"level\":\"O0\",\"bytes\":[2]}}"
+                    );
+                    match request(host, "POST", "/v1/verify", token.as_deref(), Some(&body)) {
+                        Ok((status, body)) if status == 202 || status == 200 => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            if let Some(id) = extract(&body, "job_id") {
+                                ids.lock().unwrap().insert(id);
+                            }
+                        }
+                        Ok((429, _)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok((status, body)) => {
+                            eprintln!("gateway_flood: unexpected {status}: {body}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("gateway_flood: transport error: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let (acc, sh, fl) = (
+        accepted.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        failed.load(Ordering::Relaxed),
+    );
+    println!(
+        "gateway_flood: submitted {jobs} in {:?}: accepted {acc}, shed {sh}, errors {fl}",
+        started.elapsed()
+    );
+    if fl > 0 || acc + sh != jobs as u64 {
+        eprintln!("gateway_flood: lost submissions");
+        std::process::exit(1);
+    }
+
+    // Poll every accepted id to a terminal state.
+    let ids = ids.into_inner().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut pending: Vec<String> = ids.into_iter().collect();
+    let mut done = 0u64;
+    let mut job_failed = 0u64;
+    while !pending.is_empty() {
+        if Instant::now() > deadline {
+            eprintln!(
+                "gateway_flood: {} jobs never reached a terminal state",
+                pending.len()
+            );
+            std::process::exit(1);
+        }
+        pending.retain(|id| {
+            match request(
+                &host,
+                "GET",
+                &format!("/v1/jobs/{id}"),
+                token.as_deref(),
+                None,
+            ) {
+                Ok((200, body)) => match extract(&body, "state").as_deref() {
+                    Some("done") => {
+                        done += 1;
+                        false
+                    }
+                    Some("failed") => {
+                        job_failed += 1;
+                        eprintln!("gateway_flood: job {id} failed: {body}");
+                        false
+                    }
+                    _ => true,
+                },
+                _ => true,
+            }
+        });
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    println!("gateway_flood: terminal states: done {done}, failed {job_failed}");
+    if job_failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// One HTTP exchange over a fresh connection (the gateway closes after
+/// every response).
+fn request(
+    host: &str,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(host)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let auth = token
+        .map(|t| format!("Authorization: Bearer {t}\r\n"))
+        .unwrap_or_default();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\n{auth}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// Pulls a `"key":"value"` string field out of a flat JSON body.
+fn extract(body: &str, key: &str) -> Option<String> {
+    let at = body.find(&format!("\"{key}\":\""))? + key.len() + 4;
+    let rest = &body[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn num(v: Option<String>) -> usize {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage("expected a number"))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "gateway_flood: {msg}\nusage: gateway_flood http://HOST:PORT [--jobs N] [--threads N] \
+         [--token T] [--distinct]"
+    );
+    std::process::exit(2);
+}

@@ -319,9 +319,15 @@ fn run_top(client: &mut Client, addr: SocketAddr, interval_ms: u64, frames: u64)
     let mut frame = 0u64;
     loop {
         frame += 1;
-        let (text, slow) = client
-            .metrics(MetricsScope::Fleet)
-            .expect("fleet metrics snapshot");
+        // The daemon can vanish between frames (restart, crash, drain) —
+        // that ends the dashboard, it must not end it with a panic.
+        let (text, slow) = match client.metrics(MetricsScope::Fleet) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("serve_client: daemon at {addr} went away mid---top: {e}");
+                std::process::exit(1);
+            }
+        };
         let (plain, labeled) = scrape(&text);
         let get = |name: &str| plain.get(name).copied().unwrap_or(0);
 

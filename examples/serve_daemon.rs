@@ -42,6 +42,20 @@ fn main() {
                     args.next().unwrap_or_else(|| usage("--store needs a path")),
                 ))
             }
+            "--max-conns" => {
+                cfg.max_connections = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--max-conns needs a number")),
+                )
+            }
+            "--queue-cap" => {
+                cfg.queue_capacity = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--queue-cap needs a number")),
+                )
+            }
             "--metrics-dump" => {
                 metrics_dump = Some(PathBuf::from(
                     args.next()
@@ -95,7 +109,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!(
         "serve_daemon: {msg}\nusage: serve_daemon [--port P] [--threads N] [--store DIR] \
-         [--metrics-dump FILE]"
+         [--max-conns N] [--queue-cap N] [--metrics-dump FILE]"
     );
     std::process::exit(2);
 }

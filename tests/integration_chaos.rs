@@ -54,6 +54,8 @@ fn start_daemon(root: &std::path::Path) -> ServerHandle {
         store: Some(StoreConfig::at(root)),
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(25),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server binds an ephemeral port")
 }

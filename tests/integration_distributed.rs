@@ -24,6 +24,8 @@ fn start_storeless(executors: usize) -> ServerHandle {
         store: None,
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server binds an ephemeral port")
 }
@@ -224,6 +226,8 @@ fn workers_share_store_hits_with_clients() {
         store: Some(overify::StoreConfig::at(&root)),
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server starts");
     let addr = server.addr();

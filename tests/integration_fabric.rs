@@ -25,6 +25,8 @@ fn start_reportless(root: &Path, executors: usize) -> ServerHandle {
         }),
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(25),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server binds an ephemeral port")
 }

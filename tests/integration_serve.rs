@@ -20,6 +20,8 @@ fn start_server(root: &PathBuf, executors: usize) -> ServerHandle {
         store: Some(StoreConfig::at(root)),
         progress_interval: Duration::from_millis(5),
         tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server binds an ephemeral port")
 }
@@ -270,6 +272,115 @@ fn client_shutdown_drains_the_server() {
     client.shutdown().expect("acknowledged");
     // join() returns because the client-initiated shutdown drained the
     // executor pool, poller and accept loop.
+    server.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A v5 client generation talking to this daemon — or, equivalently,
+/// this client talking to an old daemon — must get a typed
+/// `VersionSkew` refusal naming both versions, never a hang or a
+/// garbled-frame error.
+#[test]
+fn version_skew_is_refused_by_name_not_by_hanging() {
+    // A fake old daemon: leads with a Hello frame claiming protocol v5.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accepts");
+        let mut payload = vec![0u8]; // Event::Hello tag
+        payload.extend_from_slice(b"OVFYSRV\0");
+        payload.extend_from_slice(&5u32.to_le_bytes());
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        std::io::Write::write_all(&mut conn, &frame).expect("writes hello");
+        std::io::Write::flush(&mut conn).expect("flushes");
+        // Hold the socket open: the refusal must come from the version
+        // check, not from a convenient EOF.
+        std::thread::sleep(Duration::from_millis(500));
+    });
+
+    let Err(err) = Client::connect(addr) else {
+        panic!("v5 hello must be refused")
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("protocol v5"), "names the peer version: {msg}");
+    fake.join().unwrap();
+}
+
+/// The connection cap refuses extra clients with a typed `Busy` frame
+/// (surfaced as `WouldBlock` plus a retry hint) instead of accepting
+/// unboundedly — and a freed slot admits the next client.
+#[test]
+fn connection_cap_refuses_cleanly_and_frees_slots() {
+    let root = tmp_root("conncap");
+    let server = start(ServerConfig {
+        port: 0,
+        executors: 1,
+        store: Some(StoreConfig::at(&root)),
+        progress_interval: Duration::from_millis(5),
+        tail_interval: Duration::from_millis(50),
+        max_connections: Some(1),
+        queue_capacity: None,
+    })
+    .expect("server binds");
+    let addr = server.addr();
+
+    let first = Client::connect(addr).expect("first client fills the cap");
+    let Err(err) = Client::connect(addr) else {
+        panic!("second client must be over the cap")
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    assert!(err.to_string().contains("connection cap"), "{err}");
+
+    // Releasing the slot admits a new client (the server notices the
+    // disconnect asynchronously, so poll briefly).
+    drop(first);
+    let mut admitted = None;
+    for _ in 0..200 {
+        match Client::connect(addr) {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10))
+            }
+            Err(e) => panic!("unexpected connect error: {e}"),
+        }
+    }
+    let client = admitted.expect("freed slot admits a client");
+    client.shutdown().expect("acknowledged");
+    server.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// With a zero-capacity queue every submission is shed: the client gets
+/// a per-job result naming the shed and a retry hint, not an error that
+/// kills the batch.
+#[test]
+fn bounded_queue_sheds_submissions_as_typed_results() {
+    let root = tmp_root("qshed");
+    let server = start(ServerConfig {
+        port: 0,
+        executors: 1,
+        store: Some(StoreConfig::at(&root)),
+        progress_interval: Duration::from_millis(5),
+        tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: Some(0),
+    })
+    .expect("server binds");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connects");
+    let result = client
+        .submit_with_tenant(&branchy_spec(vec![1]), "shed-tenant", |_| {})
+        .expect("the connection survives a shed");
+    let err = result.error.expect("shed submissions carry an error");
+    assert!(err.starts_with("shed: server queue full"), "{err}");
+    assert!(err.contains("retry after"), "{err}");
+
+    client.shutdown().expect("acknowledged");
     server.join();
     let _ = std::fs::remove_dir_all(&root);
 }

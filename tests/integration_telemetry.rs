@@ -28,6 +28,8 @@ fn start_storeless(executors: usize) -> ServerHandle {
         store: None,
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server binds an ephemeral port")
 }
@@ -186,6 +188,8 @@ fn store_hit_ledgers_charge_no_execution_and_persist() {
         store: Some(overify::StoreConfig::at(&root)),
         progress_interval: Duration::from_millis(10),
         tail_interval: Duration::from_millis(50),
+        max_connections: None,
+        queue_capacity: None,
     })
     .expect("server starts");
     let spec = JobSpec::from_suite_job(&branchy_job(vec![3], 1));
